@@ -1,0 +1,1 @@
+bench/common.ml: Analyze Bechamel Benchmark Float Hashtbl Instance List Measure Option Printf String Test Time Toolkit Unix

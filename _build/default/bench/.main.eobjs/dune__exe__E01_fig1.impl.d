@@ -1,0 +1,1 @@
+bench/e01_fig1.ml: Bechamel Common Float List Printf Probdb_boolean Probdb_core Probdb_dpll Probdb_engine Probdb_lifted Probdb_lineage Probdb_logic

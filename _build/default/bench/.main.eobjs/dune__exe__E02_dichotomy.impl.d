@@ -1,0 +1,1 @@
+bench/e02_dichotomy.ml: Bechamel Common Format List Option Printf Probdb_boolean Probdb_core Probdb_dpll Probdb_lifted Probdb_lineage Probdb_logic Probdb_workload

@@ -1,0 +1,1 @@
+bench/e03_classifier.ml: Bechamel Common List Printf Probdb_lifted Probdb_logic Probdb_workload

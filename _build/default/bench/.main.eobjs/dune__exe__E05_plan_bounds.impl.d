@@ -1,0 +1,1 @@
+bench/e05_plan_bounds.ml: Bechamel Common Float List Printf Probdb_core Probdb_logic Probdb_plans Probdb_workload

@@ -1,0 +1,1 @@
+bench/e06_obdd_size.ml: Bechamel Common Float List Printf Probdb_boolean Probdb_dpll Probdb_kc Probdb_lineage Probdb_logic Probdb_workload

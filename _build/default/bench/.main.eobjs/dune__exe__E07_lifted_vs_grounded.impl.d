@@ -1,0 +1,1 @@
+bench/e07_lifted_vs_grounded.ml: Bechamel Common Float Format List Printf Probdb_dpll Probdb_lifted Probdb_lineage Probdb_logic Probdb_workload

@@ -1,0 +1,1 @@
+bench/e08_symmetric.ml: Bechamel Common List Printf Probdb_dpll Probdb_lineage Probdb_logic Probdb_symmetric Probdb_workload

@@ -1,0 +1,1 @@
+bench/e09_mln.ml: Array Bechamel Bool Common List Printf Probdb_boolean Probdb_core Probdb_logic Probdb_mln

@@ -1,0 +1,1 @@
+bench/e10_approximation.ml: Bechamel Common Float List Option Printf Probdb_approx Probdb_dpll Probdb_lineage Probdb_logic Probdb_workload

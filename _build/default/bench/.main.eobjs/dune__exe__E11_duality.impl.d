@@ -1,0 +1,1 @@
+bench/e11_duality.ml: Common Float Format List Probdb_core Probdb_engine Probdb_lifted Probdb_logic Probdb_workload

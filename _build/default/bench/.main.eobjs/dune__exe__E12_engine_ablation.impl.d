@@ -1,0 +1,1 @@
+bench/e12_engine_ablation.ml: Bechamel Common List Printf Probdb_core Probdb_engine Probdb_logic Probdb_workload String

@@ -1,0 +1,90 @@
+(* Shared helpers for the experiment harness: wall-clock timing, aligned
+   table printing, and a small Bechamel wrapper for the micro-benchmarks. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(* Median wall-clock time of [repeat] runs (seconds). *)
+let timed ?(repeat = 3) f =
+  let times =
+    List.init repeat (fun _ ->
+        let _, dt = time f in
+        dt)
+    |> List.sort Float.compare
+  in
+  List.nth times (repeat / 2)
+
+let pretty_time dt =
+  if dt < 1e-6 then Printf.sprintf "%.0fns" (dt *. 1e9)
+  else if dt < 1e-3 then Printf.sprintf "%.1fus" (dt *. 1e6)
+  else if dt < 1.0 then Printf.sprintf "%.2fms" (dt *. 1e3)
+  else Printf.sprintf "%.2fs" dt
+
+let header title =
+  Printf.printf "\n=== %s ===\n" title
+
+let section s = Printf.printf "\n--- %s ---\n" s
+
+(* Aligned table: first row is the header. *)
+let table rows =
+  match rows with
+  | [] -> ()
+  | header :: _ ->
+      let cols = List.length header in
+      let width i =
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 rows
+      in
+      let widths = List.init cols width in
+      let print_row row =
+        List.iteri
+          (fun i cell -> Printf.printf "%-*s  " (List.nth widths i) cell)
+          row;
+        print_newline ()
+      in
+      List.iteri
+        (fun idx row ->
+          print_row row;
+          if idx = 0 then begin
+            List.iter (fun w -> Printf.printf "%s  " (String.make w '-')) widths;
+            print_newline ()
+          end)
+        rows
+
+let f4 x = Printf.sprintf "%.4f" x
+let f6 x = Printf.sprintf "%.6f" x
+let g x = Printf.sprintf "%.6g" x
+
+(* ---------- Bechamel ---------- *)
+
+open Bechamel
+open Toolkit
+
+let run_bechamel tests =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.4) ~kde:None () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"probdb" tests) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> est
+          | _ -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+  in
+  table
+    ([ "benchmark"; "time/run"; "r²" ]
+    :: List.map
+         (fun (name, ns, r2) ->
+           [ name; pretty_time (ns *. 1e-9); Printf.sprintf "%.3f" r2 ])
+         rows)

@@ -1,0 +1,89 @@
+(* E5 — oblivious bounds from extensional plans (Thm. 6.1): on the #P-hard
+   H0, every plan upper-bounds the true probability, the dissociated
+   database lower-bounds it, and taking the best bound over all plans
+   tightens the bracket. *)
+
+module Core = Probdb_core
+module L = Probdb_logic
+module P = Probdb_plans
+module Gen = Probdb_workload.Gen
+module Q = Probdb_workload.Queries
+
+let h0_cq () =
+  match L.Ucq.of_sentence Q.h0.Q.query with
+  | [ cq ], L.Ucq.Direct -> cq
+  | _ -> assert false
+
+let bracket_table () =
+  Common.section "bracket quality on H0 (exact by enumeration for reference)";
+  let cq = h0_cq () in
+  let rows =
+    List.map
+      (fun seed ->
+        let db =
+          Gen.random_tid ~seed ~domain_size:3
+            [ Gen.spec ~density:0.9 "R" 1; Gen.spec ~density:0.9 "S" 2;
+              Gen.spec ~density:0.9 "T" 1 ]
+        in
+        let truth = L.Brute_force.probability db Q.h0.Q.query in
+        let b = P.Bounds.bracket db cq in
+        [ string_of_int seed;
+          Common.f4 b.P.Bounds.lower;
+          Common.f4 truth;
+          Common.f4 b.P.Bounds.upper;
+          Common.f4 (b.P.Bounds.upper -. b.P.Bounds.lower);
+          string_of_int b.P.Bounds.plans_tried ])
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  Common.table ([ "seed"; "lower"; "exact"; "upper"; "width"; "plans" ] :: rows)
+
+let min_over_plans () =
+  Common.section "single plan vs min-over-plans (the optimisation of Sec. 6)";
+  let cq = h0_cq () in
+  let db =
+    Gen.random_tid ~seed:42 ~domain_size:4
+      [ Gen.spec ~density:0.9 "R" 1; Gen.spec ~density:0.9 "S" 2;
+        Gen.spec ~density:0.9 "T" 1 ]
+  in
+  let truth = L.Brute_force.probability db Q.h0.Q.query in
+  let plans = P.Plan.enumerate cq in
+  let values =
+    List.map (fun plan -> (P.Plan.to_string plan, P.Plan.boolean_prob db plan)) plans
+  in
+  let rows =
+    List.map (fun (s, v) -> [ s; Common.f4 v; Common.f4 (v -. truth) ]) values
+  in
+  Common.table ([ "plan"; "value"; "excess over exact" ] :: rows);
+  let best = List.fold_left (fun acc (_, v) -> Float.min acc v) infinity values in
+  Printf.printf "exact = %.4f; best (min) upper bound = %.4f\n" truth best
+
+let scaling () =
+  Common.section "plan bounds scale where exact inference cannot (H0, larger n)";
+  let cq = h0_cq () in
+  let rows =
+    List.map
+      (fun n ->
+        let db = Gen.h0_db ~seed:n ~n () in
+        let b = ref { P.Bounds.lower = 0.; upper = 0.; exact = None; plans_tried = 0 } in
+        let dt = Common.timed ~repeat:1 (fun () -> b := P.Bounds.bracket db cq) in
+        [ string_of_int n;
+          Common.f4 !b.P.Bounds.lower;
+          Common.f4 !b.P.Bounds.upper;
+          Common.pretty_time dt ])
+      [ 5; 10; 20; 40 ]
+  in
+  Common.table ([ "n"; "lower"; "upper"; "time (all plans)" ] :: rows)
+
+let run () =
+  Common.header "E5: upper/lower bounds from query plans (Thm. 6.1)";
+  bracket_table ();
+  min_over_plans ();
+  scaling ()
+
+let bechamel_tests =
+  let cq = h0_cq () in
+  let db = Gen.h0_db ~seed:3 ~n:15 () in
+  [
+    Bechamel.Test.make ~name:"e5/bracket-h0-n15"
+      (Bechamel.Staged.stage (fun () -> P.Bounds.bracket db cq));
+  ]

@@ -1,0 +1,81 @@
+(* E10 — approximation where exact inference is #P-hard: Karp–Luby on the
+   H0 lineage converges at the predicted 1/√N rate, and keeps a bounded
+   *relative* error on low-probability events where naive MC collapses. *)
+
+module L = Probdb_logic
+module Gen = Probdb_workload.Gen
+module Q = Probdb_workload.Queries
+module Lineage = Probdb_lineage.Lineage
+module Mc = Probdb_approx.Mc
+module Kl = Probdb_approx.Karp_luby
+module Dpll = Probdb_dpll.Dpll
+
+let convergence () =
+  Common.section "Karp–Luby convergence on H0 (n = 8; exact reference via DPLL)";
+  let db = Gen.h0_db ~seed:4 ~n:8 () in
+  let ctx = Lineage.create db in
+  let ucq, _ = L.Ucq.of_sentence Q.h0.Q.query in
+  let clauses = Lineage.dnf_of_ucq ctx ucq in
+  let truth = Dpll.probability ~prob:(Lineage.prob ctx) (Lineage.of_query ctx Q.h0.Q.query) in
+  Printf.printf "exact p(H0) = %.6f, DNF clauses = %d\n" truth (List.length clauses);
+  let rows =
+    List.map
+      (fun samples ->
+        let est = ref None in
+        let dt =
+          Common.timed ~repeat:1 (fun () ->
+              est := Some (Kl.estimate ~seed:1 ~samples ~prob:(Lineage.prob ctx) clauses))
+        in
+        let est = Option.get !est in
+        [ string_of_int samples;
+          Common.f6 est.Kl.mean;
+          Common.f6 (Float.abs (est.Kl.mean -. truth));
+          Common.f6 (Kl.half_width_95 est);
+          Common.pretty_time dt ])
+      [ 100; 1_000; 10_000; 100_000 ]
+  in
+  Common.table ([ "samples"; "estimate"; "|error|"; "95% half-width"; "time" ] :: rows)
+
+let low_probability () =
+  Common.section "low-probability regime: Karp–Luby vs naive MC (relative error)";
+  (* a sparse H0 instance with small tuple probabilities *)
+  let db =
+    Gen.random_tid ~seed:8 ~prob_range:(0.01, 0.05) ~domain_size:8
+      [ Gen.spec ~density:1.0 "R" 1; Gen.spec ~density:1.0 "S" 2;
+        Gen.spec ~density:1.0 "T" 1 ]
+  in
+  let ctx = Lineage.create db in
+  let ucq, _ = L.Ucq.of_sentence Q.h0.Q.query in
+  let clauses = Lineage.dnf_of_ucq ctx ucq in
+  let truth = Dpll.probability ~prob:(Lineage.prob ctx) (Lineage.of_query ctx Q.h0.Q.query) in
+  Printf.printf "exact p = %.3e\n" truth;
+  let samples = 20_000 in
+  let kl = Kl.estimate ~seed:2 ~samples ~prob:(Lineage.prob ctx) clauses in
+  let mc = Mc.estimate ~seed:2 ~samples db Q.h0.Q.query in
+  Common.table
+    [
+      [ "method"; "estimate"; "relative error" ];
+      [ "Karp–Luby";
+        Printf.sprintf "%.3e" kl.Kl.mean;
+        Common.f4 (Float.abs (kl.Kl.mean -. truth) /. truth) ];
+      [ "naive MC";
+        Printf.sprintf "%.3e" mc.Mc.mean;
+        (if mc.Mc.mean = 0.0 then "no hits at all"
+         else Common.f4 (Float.abs (mc.Mc.mean -. truth) /. truth)) ];
+    ]
+
+let run () =
+  Common.header "E10: approximation for #P-hard queries (Karp–Luby FPRAS)";
+  convergence ();
+  low_probability ()
+
+let bechamel_tests =
+  let db = Gen.h0_db ~seed:4 ~n:8 () in
+  let ctx = Lineage.create db in
+  let ucq, _ = L.Ucq.of_sentence Q.h0.Q.query in
+  let clauses = Lineage.dnf_of_ucq ctx ucq in
+  [
+    Bechamel.Test.make ~name:"e10/karp-luby-10k-samples"
+      (Bechamel.Staged.stage (fun () ->
+           Kl.estimate ~seed:1 ~samples:10_000 ~prob:(Lineage.prob ctx) clauses));
+  ]

@@ -1,0 +1,75 @@
+(* E12 — whole-engine ablation: every strategy on every query, with the
+   dispatcher's choice highlighted. This is the survey's "who wins where"
+   in one table. *)
+
+module Core = Probdb_core
+module L = Probdb_logic
+module E = Probdb_engine.Engine
+module Gen = Probdb_workload.Gen
+module Q = Probdb_workload.Queries
+
+let strategies =
+  [ E.Lifted; E.Safe_plan; E.Read_once; E.Obdd; E.Dpll; E.Karp_luby; E.World_enum ]
+
+let db_for q ~n =
+  let specs =
+    List.map (fun (name, arity) -> Gen.spec ~density:0.8 name arity) (L.Fo.relations q)
+  in
+  Gen.random_tid ~seed:23 ~domain_size:n specs
+
+let cell db q s =
+  let config =
+    { E.default_config with E.strategies = [ s ]; E.kl_samples = 30_000 }
+  in
+  match Common.time (fun () -> E.evaluate ~config db q) with
+  | r, dt ->
+      let v = E.value r.E.outcome in
+      let mark = match r.E.outcome with E.Exact _ -> "" | E.Approximate _ -> "~" in
+      Printf.sprintf "%s%.4f %s" mark v (Common.pretty_time dt)
+  | exception E.No_method ((_, reason) :: _) ->
+      let short = if String.length reason > 18 then String.sub reason 0 18 ^ "…" else reason in
+      "✗ " ^ short
+  | exception E.No_method [] -> "✗"
+
+let matrix () =
+  Common.section "per-strategy results (value + time; ~ marks sampling; ✗ = method refuses)";
+  let queries =
+    [ (Q.q_hier, 4); (Q.q_j, 3); (Q.q_w, 2); (Q.h0, 3); (Q.self_join_symmetric, 3) ]
+  in
+  let rows =
+    List.map
+      (fun ((e : Q.entry), n) ->
+        let db = db_for e.Q.query ~n in
+        e.Q.name :: List.map (cell db e.Q.query) strategies)
+      queries
+  in
+  Common.table (("query" :: List.map E.strategy_name strategies) :: rows)
+
+let dispatcher () =
+  Common.section "dispatcher choices (default configuration)";
+  let queries = [ (Q.q_hier, 4); (Q.q_j, 3); (Q.q_w, 2); (Q.h0, 3); (Q.self_join_symmetric, 3) ] in
+  let rows =
+    List.map
+      (fun ((e : Q.entry), n) ->
+        let db = db_for e.Q.query ~n in
+        let r = E.evaluate db e.Q.query in
+        [ e.Q.name;
+          E.strategy_name r.E.strategy;
+          Common.f6 (E.value r.E.outcome);
+          String.concat "; "
+            (List.map (fun (s, _) -> E.strategy_name s) r.E.skipped) ])
+      queries
+  in
+  Common.table ([ "query"; "answered by"; "value"; "skipped" ] :: rows)
+
+let run () =
+  Common.header "E12: engine ablation — every method on every query";
+  matrix ();
+  dispatcher ()
+
+let bechamel_tests =
+  let db = db_for Q.q_j.Q.query ~n:3 in
+  [
+    Bechamel.Test.make ~name:"e12/engine-auto-qj"
+      (Bechamel.Staged.stage (fun () -> E.probability db Q.q_j.Q.query));
+  ]

@@ -1,0 +1,54 @@
+(* The experiment harness: one section per experiment of EXPERIMENTS.md
+   (E1-E12), plus a Bechamel micro-benchmark suite (one Test.make per
+   experiment family).
+
+   Usage:
+     dune exec bench/main.exe            # run everything
+     dune exec bench/main.exe -- e4 e7   # selected experiments
+     dune exec bench/main.exe -- micro   # only the Bechamel suite *)
+
+let experiments =
+  [
+    ("e1", "Example 2.1 / Fig. 1", E01_fig1.run);
+    ("e2", "dichotomy runtimes", E02_dichotomy.run);
+    ("e3", "safety classifier", E03_classifier.run);
+    ("e4", "inclusion-exclusion", E04_inclusion_exclusion.run);
+    ("e5", "plan bounds", E05_plan_bounds.run);
+    ("e6", "OBDD sizes", E06_obdd_size.run);
+    ("e7", "lifted vs grounded", E07_lifted_vs_grounded.run);
+    ("e8", "symmetric / FO2", E08_symmetric.run);
+    ("e9", "MLN translation", E09_mln.run);
+    ("e10", "approximation", E10_approximation.run);
+    ("e11", "dual queries", E11_duality.run);
+    ("e12", "engine ablation", E12_engine_ablation.run);
+    ("e13", "extensions", E13_extensions.run);
+  ]
+
+let micro () =
+  Common.header "Bechamel micro-benchmarks";
+  Common.run_bechamel
+    (E01_fig1.bechamel_tests @ E02_dichotomy.bechamel_tests
+   @ E03_classifier.bechamel_tests @ E04_inclusion_exclusion.bechamel_tests
+   @ E05_plan_bounds.bechamel_tests @ E06_obdd_size.bechamel_tests
+   @ E07_lifted_vs_grounded.bechamel_tests @ E08_symmetric.bechamel_tests
+   @ E09_mln.bechamel_tests @ E10_approximation.bechamel_tests
+   @ E11_duality.bechamel_tests @ E12_engine_ablation.bechamel_tests @ E13_extensions.bechamel_tests)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] ->
+      List.iter (fun (_, _, run) -> run ()) experiments;
+      micro ()
+  | names ->
+      List.iter
+        (fun name ->
+          if name = "micro" then micro ()
+          else
+            match List.find_opt (fun (id, _, _) -> String.equal id name) experiments with
+            | Some (_, _, run) -> run ()
+            | None ->
+                Printf.eprintf "unknown experiment %S; available: %s micro\n" name
+                  (String.concat " " (List.map (fun (id, _, _) -> id) experiments));
+                exit 1)
+        names

@@ -1,0 +1,306 @@
+(* The probdb command-line interface.
+
+   A TID lives on disk as a directory of CSV files (one per relation, rows
+   are "v1,...,vk,probability"). Queries are first-order sentences in the
+   concrete syntax of Probdb_logic.Parser.
+
+     probdb eval     --db data/ "exists x y. R(x) && S(x,y)"
+     probdb classify "forall x y. R(x) || S(x,y) || T(y)"
+     probdb plan     --db data/ "exists x y. R(x) && S(x,y) && T(y)"
+     probdb lineage  --db data/ "exists x y. R(x) && S(x,y)"
+     probdb compile  --db data/ "exists x y. R(x) && S(x,y)"
+     probdb gen      --out data/ --domain 10 R:1:0.5 S:2:0.3 *)
+
+open Cmdliner
+
+module Core = Probdb_core
+module L = Probdb_logic
+module E = Probdb_engine.Engine
+module Lift = Probdb_lifted.Lift
+module Lineage = Probdb_lineage.Lineage
+module P = Probdb_plans
+
+let query_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"The query sentence.")
+
+let db_arg =
+  Arg.(
+    required
+    & opt (some dir) None
+    & info [ "db" ] ~docv:"DIR" ~doc:"Directory of CSV relations (one file per relation).")
+
+let free_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "free" ] ~docv:"VARS" ~doc:"Comma-separated free variables of a non-Boolean query.")
+
+let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
+
+let with_query ?(free = []) text k =
+  match L.Parser.parse ~free text with
+  | q -> k q
+  | exception L.Parser.Error msg -> fail "parse error: %s" msg
+
+let with_db dir k =
+  match Core.Csv_io.load_dir dir with
+  | db -> k db
+  | exception Failure msg -> fail "cannot load database: %s" msg
+
+(* ---------- eval ---------- *)
+
+let strategy_conv =
+  let parse = function
+    | "auto" -> Ok None
+    | "lifted" -> Ok (Some E.Lifted)
+    | "symmetric" -> Ok (Some E.Symmetric)
+    | "safe-plan" -> Ok (Some E.Safe_plan)
+    | "read-once" -> Ok (Some E.Read_once)
+    | "obdd" -> Ok (Some E.Obdd)
+    | "dpll" -> Ok (Some E.Dpll)
+    | "karp-luby" -> Ok (Some E.Karp_luby)
+    | "world-enum" -> Ok (Some E.World_enum)
+    | s -> Error (`Msg (Printf.sprintf "unknown method %S" s))
+  in
+  Arg.conv (parse, fun ppf m ->
+      Format.pp_print_string ppf
+        (match m with None -> "auto" | Some s -> E.strategy_name s))
+
+let method_arg =
+  Arg.(
+    value
+    & opt strategy_conv None
+    & info [ "method" ] ~docv:"METHOD"
+        ~doc:"One of auto, lifted, symmetric, safe-plan, read-once, obdd, dpll, karp-luby, world-enum.")
+
+let samples_arg =
+  Arg.(
+    value
+    & opt int 100_000
+    & info [ "samples" ] ~docv:"N" ~doc:"Sample budget for karp-luby.")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Trace lifted-inference rule applications.")
+
+let setup_verbose verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.Src.set_level Lift.log_src (Some Logs.Debug)
+  end
+
+let eval_run db_dir text free meth samples verbose =
+  setup_verbose verbose;
+  with_db db_dir @@ fun db ->
+  with_query ~free text @@ fun q ->
+  let config =
+    let base = { E.default_config with E.kl_samples = samples } in
+    match meth with None -> base | Some s -> { base with E.strategies = [ s ] }
+  in
+  let print_report r = Format.printf "%a@." E.pp_report r in
+  match free with
+  | [] -> (
+      match E.evaluate ~config db q with
+      | r ->
+          print_report r;
+          `Ok ()
+      | exception E.No_method skipped ->
+          fail "no method could evaluate the query:\n%s"
+            (String.concat "\n"
+               (List.map (fun (s, m) -> Printf.sprintf "  %s: %s" (E.strategy_name s) m) skipped)))
+  | _ ->
+      List.iter
+        (fun (binding, r) ->
+          Format.printf "%s -> %a@."
+            (String.concat ", " (List.map Core.Value.to_string binding))
+            E.pp_report r)
+        (E.answers ~config ~free db q);
+      `Ok ()
+
+let eval_cmd =
+  let term =
+    Term.(
+      ret
+        (const eval_run $ db_arg $ query_arg $ free_arg $ method_arg $ samples_arg
+       $ verbose_arg))
+  in
+  Cmd.v (Cmd.info "eval" ~doc:"Evaluate a query's probability on a TID.") term
+
+(* ---------- classify ---------- *)
+
+let classify_run text =
+  with_query text @@ fun q ->
+  Format.printf "query: %a@." L.Fo.pp q;
+  Format.printf "monotone: %b, unate: %b@." (L.Fo.is_monotone q) (L.Fo.is_unate q);
+  (match L.Ucq.of_sentence q with
+  | ucq, mode ->
+      Format.printf "UCQ form (%s): %a@."
+        (match mode with L.Ucq.Direct -> "direct" | L.Ucq.Complemented -> "complemented")
+        L.Ucq.pp ucq;
+      (match L.Ucq.minimize ucq with
+      | [ cq ] when L.Cq.is_self_join_free cq ->
+          Format.printf "single self-join-free CQ: %s (Thm 4.3)@."
+            (if L.Cq.is_hierarchical cq then "hierarchical => PTIME"
+             else "non-hierarchical => #P-hard")
+      | _ -> ())
+  | exception L.Ucq.Unsupported msg -> Format.printf "outside the unate fragment: %s@." msg);
+  Format.printf "lifted rules: %a@." Lift.pp_verdict (Lift.classify q);
+  Format.printf "basic rules only: %a@." Lift.pp_verdict
+    (Lift.classify ~config:Lift.basic_rules_only q);
+  `Ok ()
+
+let classify_cmd =
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Report the data complexity of a query (dichotomy).")
+    Term.(ret (const classify_run $ query_arg))
+
+(* ---------- plan ---------- *)
+
+let plan_run db_dir text =
+  with_db db_dir @@ fun db ->
+  with_query text @@ fun q ->
+  match L.Ucq.of_sentence q with
+  | exception L.Ucq.Unsupported msg -> fail "not a UCQ: %s" msg
+  | ucq, mode -> (
+      if mode = L.Ucq.Complemented then fail "plans need an existential query"
+      else
+        match L.Ucq.minimize ucq with
+        | [ cq ] when L.Cq.is_self_join_free cq ->
+            (match P.Plan.safe_plan cq with
+            | Some plan ->
+                Format.printf "safe plan: %s@." (P.Plan.to_string plan);
+                Format.printf "p(Q) = %.9g (exact)@." (P.Plan.boolean_prob db plan)
+            | None ->
+                Format.printf "no safe plan (query is not hierarchical)@.";
+                let b = P.Bounds.bracket db cq in
+                Format.printf "bounds over %d plans (Thm 6.1): %.9g <= p(Q) <= %.9g@."
+                  b.P.Bounds.plans_tried b.P.Bounds.lower b.P.Bounds.upper;
+                List.iter
+                  (fun plan ->
+                    Format.printf "  %-50s value %.9g%s@." (P.Plan.to_string plan)
+                      (P.Plan.boolean_prob db plan)
+                      (if P.Plan.is_safe plan then " (safe)" else ""))
+                  (P.Plan.enumerate cq));
+            `Ok ()
+        | _ -> fail "plans support single self-join-free CQs")
+
+let plan_cmd =
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Show safe plans or Thm 6.1 bounds for a CQ.")
+    Term.(ret (const plan_run $ db_arg $ query_arg))
+
+(* ---------- lineage ---------- *)
+
+let dnf_flag =
+  Arg.(value & flag & info [ "dnf" ] ~doc:"Print the DNF clauses instead of the formula.")
+
+let lineage_run db_dir text dnf =
+  with_db db_dir @@ fun db ->
+  with_query text @@ fun q ->
+  let ctx = Lineage.create db in
+  if dnf then
+    match L.Ucq.of_sentence q with
+    | exception L.Ucq.Unsupported msg -> fail "not a UCQ: %s" msg
+    | ucq, _ ->
+        let clauses = Lineage.dnf_of_ucq ctx ucq in
+        List.iter
+          (fun clause ->
+            print_endline
+              (String.concat " & "
+                 (List.map
+                    (fun v -> Probdb_boolean.Var_pool.label (Lineage.pool ctx) v)
+                    clause)))
+          clauses;
+        Printf.printf "(%d clauses)\n" (List.length clauses);
+        `Ok ()
+  else begin
+    let f = Lineage.of_query ctx q in
+    let label v = Probdb_boolean.Var_pool.label (Lineage.pool ctx) v in
+    Format.printf "%a@." (Probdb_boolean.Formula.pp ~label ()) f;
+    Printf.printf "(%d variables, %d nodes)\n"
+      (Probdb_boolean.Formula.var_count f)
+      (Probdb_boolean.Formula.size f);
+    `Ok ()
+  end
+
+let lineage_cmd =
+  Cmd.v
+    (Cmd.info "lineage" ~doc:"Ground a query into its Boolean lineage.")
+    Term.(ret (const lineage_run $ db_arg $ query_arg $ dnf_flag))
+
+(* ---------- compile ---------- *)
+
+let compile_run db_dir text =
+  with_db db_dir @@ fun db ->
+  with_query text @@ fun q ->
+  let ctx = Lineage.create db in
+  let f = Lineage.of_query ctx q in
+  Printf.printf "lineage: %d variables, %d nodes\n"
+    (Probdb_boolean.Formula.var_count f) (Probdb_boolean.Formula.size f);
+  let m = Probdb_kc.Obdd.manager ~max_nodes:5_000_000 ~order:(Probdb_kc.Obdd.default_order f) () in
+  (match Probdb_kc.Obdd.of_formula m f with
+  | bdd ->
+      Printf.printf "OBDD: %d nodes, wmc = %.9g\n" (Probdb_kc.Obdd.size bdd)
+        (Probdb_kc.Obdd.wmc m (Lineage.prob ctx) bdd)
+  | exception Probdb_kc.Obdd.Node_limit n -> Printf.printf "OBDD: exceeded %d nodes\n" n);
+  let r = Probdb_dpll.Dpll.count ~prob:(Lineage.prob ctx) f in
+  Printf.printf
+    "decision-DNNF trace: %d nodes (%d decisions, %d cache hits, %d component splits), wmc = %.9g\n"
+    r.Probdb_dpll.Dpll.trace_size r.Probdb_dpll.Dpll.stats.Probdb_dpll.Dpll.decisions
+    r.Probdb_dpll.Dpll.stats.Probdb_dpll.Dpll.cache_hits
+    r.Probdb_dpll.Dpll.stats.Probdb_dpll.Dpll.component_splits r.Probdb_dpll.Dpll.prob;
+  `Ok ()
+
+let compile_cmd =
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a query's lineage to OBDD and decision-DNNF.")
+    Term.(ret (const compile_run $ db_arg $ query_arg))
+
+(* ---------- gen ---------- *)
+
+let out_arg =
+  Arg.(required & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc:"Output directory.")
+
+let domain_arg =
+  Arg.(value & opt int 10 & info [ "domain" ] ~docv:"N" ~doc:"Domain size.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let specs_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"SPEC" ~doc:"Relation specs of the form name:arity:density.")
+
+let gen_run out domain seed specs =
+  let parse_spec s =
+    match String.split_on_char ':' s with
+    | [ name; arity; density ] -> (
+        match int_of_string_opt arity, float_of_string_opt density with
+        | Some a, Some d -> Ok (Probdb_workload.Gen.spec ~density:d name a)
+        | _ -> Error s)
+    | _ -> Error s
+  in
+  let parsed = List.map parse_spec specs in
+  match List.find_opt Result.is_error parsed with
+  | Some (Error s) -> fail "bad spec %S (want name:arity:density)" s
+  | _ ->
+      let specs = List.map Result.get_ok parsed in
+      let db = Probdb_workload.Gen.random_tid ~seed ~domain_size:domain specs in
+      Core.Csv_io.save_dir out db;
+      Printf.printf "wrote %d relations (%d tuples) to %s\n"
+        (List.length (Core.Tid.relations db))
+        (Core.Tid.support_size db) out;
+      `Ok ()
+
+let gen_cmd =
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic TID as CSV files.")
+    Term.(ret (const gen_run $ out_arg $ domain_arg $ seed_arg $ specs_arg))
+
+(* ---------- main ---------- *)
+
+let () =
+  let info =
+    Cmd.info "probdb" ~version:"1.0.0"
+      ~doc:"A probabilistic database engine (PODS'20 'Probabilistic Databases for All')."
+  in
+  exit (Cmd.eval (Cmd.group info [ eval_cmd; classify_cmd; plan_cmd; lineage_cmd; compile_cmd; gen_cmd ]))

@@ -1,0 +1,1 @@
+examples/data_cleaning.ml: Format List Probdb_core Probdb_engine Probdb_logic Probdb_plans

@@ -1,0 +1,1 @@
+examples/knowledge_base.ml: Format List Printf Probdb_core Probdb_logic Probdb_mln String

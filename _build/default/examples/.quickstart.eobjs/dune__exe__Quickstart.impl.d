@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Probdb_core Probdb_engine Probdb_logic String

@@ -1,0 +1,1 @@
+lib/approx/karp_luby.ml: Array Float Hashtbl Int List Random

@@ -1,0 +1,1 @@
+lib/approx/mc.ml: List Probdb_core Probdb_logic Random

@@ -1,0 +1,1 @@
+lib/approx/mc.mli: Probdb_core Probdb_logic Random

@@ -1,0 +1,93 @@
+type estimate = { mean : float; std_error : float; samples : int; union_weight : float }
+
+let half_width_95 e = 1.96 *. e.std_error
+
+let clause_weight prob clause = List.fold_left (fun acc v -> acc *. prob v) 1.0 clause
+
+let all_vars clauses = List.concat clauses |> List.sort_uniq Int.compare
+
+let satisfies assignment clause = List.for_all assignment clause
+
+let estimate ?(seed = 42) ~samples ~prob clauses =
+  if samples <= 0 then invalid_arg "Karp_luby.estimate: need at least one sample";
+  match clauses with
+  | [] -> { mean = 0.0; std_error = 0.0; samples; union_weight = 0.0 }
+  | _ ->
+      let clauses = Array.of_list clauses in
+      let weights = Array.map (clause_weight prob) clauses in
+      let union_weight = Array.fold_left ( +. ) 0.0 weights in
+      if union_weight = 0.0 then
+        { mean = 0.0; std_error = 0.0; samples; union_weight }
+      else begin
+        let vars = all_vars (Array.to_list clauses) in
+        List.iter
+          (fun v ->
+            let p = prob v in
+            if p < 0.0 || p > 1.0 then
+              invalid_arg "Karp_luby.estimate: non-standard probability")
+          vars;
+        let cumulative = Array.make (Array.length weights) 0.0 in
+        let _ =
+          Array.fold_left
+            (fun (i, acc) w ->
+              let acc = acc +. w in
+              cumulative.(i) <- acc;
+              (i + 1, acc))
+            (0, 0.0) weights
+        in
+        let rng = Random.State.make [| seed |] in
+        let pick_clause () =
+          let r = Random.State.float rng union_weight in
+          let rec find i = if r <= cumulative.(i) || i = Array.length cumulative - 1 then i else find (i + 1) in
+          find 0
+        in
+        let assignment = Hashtbl.create 16 in
+        let sum = ref 0.0 and sum_sq = ref 0.0 in
+        for _ = 1 to samples do
+          let i = pick_clause () in
+          Hashtbl.reset assignment;
+          List.iter (fun v -> Hashtbl.replace assignment v true) clauses.(i);
+          List.iter
+            (fun v ->
+              if not (Hashtbl.mem assignment v) then
+                Hashtbl.replace assignment v (Random.State.float rng 1.0 < prob v))
+            vars;
+          let lookup v = Hashtbl.find assignment v in
+          let n = Array.fold_left (fun acc c -> if satisfies lookup c then acc + 1 else acc) 0 clauses in
+          let z = 1.0 /. float_of_int n in
+          sum := !sum +. z;
+          sum_sq := !sum_sq +. (z *. z)
+        done;
+        let m = float_of_int samples in
+        let mean_z = !sum /. m in
+        let var_z = Float.max 0.0 ((!sum_sq /. m) -. (mean_z *. mean_z)) in
+        { mean = union_weight *. mean_z;
+          std_error = union_weight *. sqrt (var_z /. m);
+          samples;
+          union_weight }
+      end
+
+let exact_via_sampling_identity ~prob clauses =
+  match clauses with
+  | [] -> 0.0
+  | _ ->
+      let vars = all_vars clauses in
+      if List.length vars > 20 then
+        invalid_arg "Karp_luby.exact_via_sampling_identity: too many variables";
+      let assignment = Hashtbl.create 16 in
+      let lookup v = Hashtbl.find assignment v in
+      let rec go = function
+        | [] ->
+            let p =
+              List.fold_left
+                (fun acc v -> acc *. if lookup v then prob v else 1.0 -. prob v)
+                1.0 vars
+            in
+            if List.exists (satisfies lookup) clauses then p else 0.0
+        | v :: rest ->
+            Hashtbl.replace assignment v true;
+            let a = go rest in
+            Hashtbl.replace assignment v false;
+            a +. go rest
+      in
+      go vars

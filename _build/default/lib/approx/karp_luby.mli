@@ -1,0 +1,34 @@
+(** The Karp–Luby FPRAS for DNF probability.
+
+    Given a monotone DNF [F = C₁ ∨ ... ∨ C_m] over independent variables —
+    exactly the shape of a UCQ's lineage — the estimator samples a clause
+    [Cᵢ] with probability proportional to its weight [wᵢ = Π p(v)], then a
+    world conditioned on [Cᵢ] being true, and averages [1/N(θ)] where
+    [N(θ)] is the number of clauses the world satisfies:
+
+    [p(F) = (Σ wᵢ) · E[1/N]].
+
+    Unlike naive Monte Carlo, the relative error is bounded uniformly,
+    giving an FPRAS — the classical answer to #P-hard PQE for UCQs
+    mentioned alongside Sec. 6's bounds. *)
+
+type estimate = {
+  mean : float;
+  std_error : float;
+  samples : int;
+  union_weight : float;  (** Σᵢ wᵢ, an upper bound on p(F) *)
+}
+
+val half_width_95 : estimate -> float
+
+val estimate :
+  ?seed:int -> samples:int -> prob:(int -> float) -> int list list -> estimate
+(** [estimate ~prob clauses]: clauses are positive variable lists. Raises
+    [Invalid_argument] on an empty clause list with no clauses... an empty
+    DNF has probability 0 and returns the zero estimate; probabilities must
+    be standard. *)
+
+val exact_via_sampling_identity : prob:(int -> float) -> int list list -> float
+(** [Σ_θ P(θ)·1] via the identity [p(F) = Σᵢ wᵢ · E[1/N]], computed exactly
+    by enumerating the variables of the DNF — a slow oracle used in tests
+    (≤ 20 variables). *)

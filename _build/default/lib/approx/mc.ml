@@ -1,0 +1,27 @@
+module Core = Probdb_core
+
+type estimate = { mean : float; std_error : float; samples : int }
+
+let half_width_95 e = 1.96 *. e.std_error
+
+let sample_world rng db =
+  List.fold_left
+    (fun w (rel, tuple, p) ->
+      if Random.State.float rng 1.0 < p then Core.World.add (rel, tuple) w else w)
+    Core.World.empty (Core.Tid.support db)
+
+let estimate ?(seed = 42) ~samples db q =
+  if samples <= 0 then invalid_arg "Mc.estimate: need at least one sample";
+  if not (Core.Tid.is_standard db) then
+    invalid_arg "Mc.estimate: non-standard probabilities cannot be sampled";
+  if not (Probdb_logic.Fo.is_sentence q) then invalid_arg "Mc.estimate: open formula";
+  let rng = Random.State.make [| seed |] in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    let w = sample_world rng db in
+    if Probdb_logic.Semantics.holds_in_tid db w q then incr hits
+  done;
+  let mean = float_of_int !hits /. float_of_int samples in
+  { mean;
+    std_error = sqrt (mean *. (1.0 -. mean) /. float_of_int samples);
+    samples }

@@ -1,0 +1,24 @@
+(** Naive Monte-Carlo estimation of PQE.
+
+    Samples possible worlds by independent coin flips per listed tuple
+    (Eq. (3) of the paper) and evaluates the query on each sample. Works
+    for arbitrary FO sentences and is the approximation baseline of the
+    benchmark suite; the relative error degrades as [p_D(Q) → 0], which is
+    why Karp–Luby exists ({!Karp_luby}). *)
+
+type estimate = {
+  mean : float;
+  std_error : float;  (** √(p̂(1-p̂)/N) *)
+  samples : int;
+}
+
+val half_width_95 : estimate -> float
+(** 1.96 standard errors. *)
+
+val estimate :
+  ?seed:int -> samples:int -> Probdb_core.Tid.t -> Probdb_logic.Fo.t -> estimate
+(** Raises [Invalid_argument] on non-standard probabilities or open
+    formulas. *)
+
+val sample_world : Random.State.t -> Probdb_core.Tid.t -> Probdb_core.World.t
+(** One possible world drawn from the TID (requires a standard TID). *)

@@ -1,0 +1,1 @@
+lib/boolean/brute_wmc.mli: Formula

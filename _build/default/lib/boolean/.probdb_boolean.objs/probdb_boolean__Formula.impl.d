@@ -1,0 +1,1 @@
+lib/boolean/formula.ml: Buffer Format Hashtbl Int List Set

@@ -1,0 +1,1 @@
+lib/boolean/var_pool.ml: Array Hashtbl Printf

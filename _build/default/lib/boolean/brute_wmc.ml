@@ -1,0 +1,47 @@
+let max_vars = 24
+
+exception Too_large of int
+
+let enumerate f combine init =
+  let vars = Array.of_list (Formula.vars f) in
+  let n = Array.length vars in
+  if n > max_vars then raise (Too_large n);
+  let assignment = Hashtbl.create n in
+  let lookup x = Hashtbl.find assignment x in
+  let rec go i acc =
+    if i = n then combine (Formula.eval lookup f) lookup vars acc
+    else begin
+      Hashtbl.replace assignment vars.(i) true;
+      let acc = go (i + 1) acc in
+      Hashtbl.replace assignment vars.(i) false;
+      go (i + 1) acc
+    end
+  in
+  go 0 init
+
+let count_models f =
+  enumerate f (fun sat _ _ acc -> if sat then acc + 1 else acc) 0
+
+let probability p f =
+  enumerate f
+    (fun sat lookup vars acc ->
+      if not sat then acc
+      else
+        let weight =
+          Array.fold_left
+            (fun w x -> w *. if lookup x then p x else 1.0 -. p x)
+            1.0 vars
+        in
+        acc +. weight)
+    0.0
+
+let weight w f =
+  enumerate f
+    (fun sat lookup vars acc ->
+      if not sat then acc
+      else
+        let wt =
+          Array.fold_left (fun acc x -> if lookup x then acc *. w x else acc) 1.0 vars
+        in
+        acc +. wt)
+    0.0

@@ -1,0 +1,25 @@
+(** Brute-force (weighted) model counting by assignment enumeration.
+
+    The reference implementation of the model-counting problem of Sec. 7:
+    exponential in the number of variables, used as the testing oracle for
+    DPLL and knowledge compilation. *)
+
+val max_vars : int
+(** Enumeration refuses formulas with more variables than this (24). *)
+
+exception Too_large of int
+
+val count_models : Formula.t -> int
+(** Number of satisfying assignments over the variables occurring in the
+    formula (Valiant's #F). *)
+
+val probability : (int -> float) -> Formula.t -> float
+(** [probability p f] is the probability that [f] is true when each variable
+    [x] is independently true with probability [p x] — weighted model
+    counting in its probability formulation (Appendix of the paper).
+    Non-standard "probabilities" outside [0,1] are accepted. *)
+
+val weight : (int -> float) -> Formula.t -> float
+(** [weight w f] is the weighted model count [Σ_{θ ⊨ f} Π_{θ(x)=1} w x]
+    (Eq. (16) of the paper); related to {!probability} by dividing by
+    [Z = Π (1 + w x)]. *)

@@ -1,0 +1,86 @@
+(** Propositional formulas over integer variables.
+
+    These are the Boolean formulas of the model-counting problem (Sec. 7 of
+    the paper): lineages of queries are values of this type, and all the
+    grounded-inference machinery (brute-force WMC, DPLL, knowledge
+    compilation) consumes it.
+
+    Values are kept lightly normalised by the smart constructors: [And]/[Or]
+    are flattened, sorted, duplicate-free, never contain their identity or
+    absorbing element, and never have fewer than two children. This gives a
+    cheap syntactic canonical form used as a cache key by DPLL. *)
+
+type t = private
+  | True
+  | False
+  | Var of int
+  | Not of t
+  | And of t list
+  | Or of t list
+
+val tru : t
+val fls : t
+val var : int -> t
+
+val neg : t -> t
+(** Pushes through constants and double negation. *)
+
+val conj : t list -> t
+(** n-ary conjunction with flattening, identity/absorption, duplicate
+    removal and complement detection ([x /\ ~x = false]). *)
+
+val disj : t list -> t
+
+val conj2 : t -> t -> t
+val disj2 : t -> t -> t
+
+val implies : t -> t -> t
+(** Material implication [~a \/ b]. *)
+
+val iff : t -> t -> t
+
+val compare : t -> t -> int
+(** Structural total order (on the normalised form). *)
+
+val equal : t -> t -> bool
+
+val vars : t -> int list
+(** Variables occurring in the formula, sorted, without duplicates. *)
+
+val var_count : t -> int
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val eval : (int -> bool) -> t -> bool
+
+val condition : int -> bool -> t -> t
+(** [condition x b f] is [f[x := b]], re-normalised — the restriction used
+    by the Shannon expansion (Eq. (11) of the paper). *)
+
+val substitute : (int -> t option) -> t -> t
+(** Simultaneous substitution of formulas for variables. *)
+
+val nnf : t -> t
+(** Negation normal form: negations pushed down to variables. *)
+
+val is_positive : t -> bool
+(** No negation anywhere (e.g. lineages of monotone queries). *)
+
+val is_syntactically_read_once : t -> bool
+(** Every variable occurs at most once in the AST. A read-once formula's
+    probability is computable in linear time; this is the easy syntactic
+    check, not the full read-once recognition of Golumbic et al. *)
+
+val to_dnf : t -> int list list
+(** Disjunctive normal form of a positive formula as a list of clauses
+    (sorted variable lists), with absorption applied. Raises
+    [Invalid_argument] on non-positive input. Worst-case exponential — meant
+    for lineages of fixed queries on moderate databases. *)
+
+val to_key : t -> string
+(** Compact serialisation of the normalised form; equal formulas (as values)
+    have equal keys. *)
+
+val pp : ?label:(int -> string) -> unit -> Format.formatter -> t -> unit
+val to_string : ?label:(int -> string) -> t -> string

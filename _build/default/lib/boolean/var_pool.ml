@@ -1,0 +1,64 @@
+(* OCaml 5.1 has no Dynarray in the stdlib (it arrives in 5.2); emulate the
+   tiny part we need with an array-backed growable buffer. *)
+module Buf = struct
+  type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+  let create dummy = { data = Array.make 16 dummy; len = 0; dummy }
+
+  let push buf x =
+    if buf.len = Array.length buf.data then begin
+      let data = Array.make (2 * buf.len) buf.dummy in
+      Array.blit buf.data 0 data 0 buf.len;
+      buf.data <- data
+    end;
+    buf.data.(buf.len) <- x;
+    buf.len <- buf.len + 1
+
+  let get buf i =
+    if i < 0 || i >= buf.len then raise Not_found;
+    buf.data.(i)
+
+  let set buf i x =
+    if i < 0 || i >= buf.len then raise Not_found;
+    buf.data.(i) <- x
+
+  let length buf = buf.len
+end
+
+type t = {
+  by_label : (string, int) Hashtbl.t;
+  labels : string Buf.t;
+  prob_tbl : float Buf.t;
+}
+
+let create () =
+  { by_label = Hashtbl.create 64; labels = Buf.create ""; prob_tbl = Buf.create 0.5 }
+
+let alloc pool ?(prob = 0.5) lbl =
+  let id = Buf.length pool.labels in
+  Hashtbl.replace pool.by_label lbl id;
+  Buf.push pool.labels lbl;
+  Buf.push pool.prob_tbl prob;
+  id
+
+let intern pool ?prob lbl =
+  match Hashtbl.find_opt pool.by_label lbl with
+  | Some id ->
+      (match prob with Some p -> Buf.set pool.prob_tbl id p | None -> ());
+      id
+  | None -> alloc pool ?prob lbl
+
+let fresh pool ?prob lbl =
+  let rec distinct candidate i =
+    if Hashtbl.mem pool.by_label candidate then
+      distinct (Printf.sprintf "%s#%d" lbl i) (i + 1)
+    else candidate
+  in
+  alloc pool ?prob (distinct lbl 1)
+
+let label pool id = Buf.get pool.labels id
+let find pool lbl = Hashtbl.find_opt pool.by_label lbl
+let prob pool id = Buf.get pool.prob_tbl id
+let set_prob pool id p = Buf.set pool.prob_tbl id p
+let size pool = Buf.length pool.labels
+let probs = prob

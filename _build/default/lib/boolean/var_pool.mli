@@ -1,0 +1,33 @@
+(** Pools of named Boolean variables.
+
+    Model counting works on integer variable ids; lineage construction needs
+    to associate each id with the fact (e.g. ["S(a1,b2)"]) it stands for, and
+    with that fact's marginal probability. A pool is the mutable bijection
+    between labels and ids, plus the probability table. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> ?prob:float -> string -> int
+(** Returns the id of the label, allocating a fresh one on first use. The
+    probability defaults to 0.5 and is overwritten when [?prob] is given. *)
+
+val fresh : t -> ?prob:float -> string -> int
+(** Always allocates a new id; the label is suffixed to stay unique. *)
+
+val label : t -> int -> string
+(** Raises [Not_found] on unknown ids. *)
+
+val find : t -> string -> int option
+
+val prob : t -> int -> float
+(** Marginal probability of the variable (default 0.5). *)
+
+val set_prob : t -> int -> float -> unit
+
+val size : t -> int
+(** Number of allocated variables; ids are [0 .. size-1]. *)
+
+val probs : t -> int -> float
+(** Same as {!prob}; usable directly as the weight function of WMC. *)

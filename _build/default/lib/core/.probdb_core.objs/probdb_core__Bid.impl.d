@@ -1,0 +1,1 @@
+lib/core/bid.ml: Hashtbl List Printf Relation Schema Tuple World

@@ -1,0 +1,1 @@
+lib/core/bid.mli: Relation Schema Tuple World

@@ -1,0 +1,1 @@
+lib/core/csv_io.ml: Array Filename Fun In_channel List Printf Relation Schema String Sys Tid Tuple Value

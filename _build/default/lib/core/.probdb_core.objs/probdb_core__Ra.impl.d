@@ -1,0 +1,1 @@
+lib/core/ra.ml: Float List Printf Relation Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/core/ra.mli: Relation Tuple Value

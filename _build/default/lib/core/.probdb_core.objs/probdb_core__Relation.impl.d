@@ -1,0 +1,1 @@
+lib/core/relation.ml: Format List Printf Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/core/schema.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/tid.ml: Format List Map Printf Relation String Value

@@ -1,0 +1,1 @@
+lib/core/tuple.ml: Format Hashtbl List Map Set Value

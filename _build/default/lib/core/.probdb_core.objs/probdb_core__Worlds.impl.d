@@ -1,0 +1,1 @@
+lib/core/worlds.ml: List Tid World

@@ -1,0 +1,1 @@
+lib/core/worlds.mli: Tid World

@@ -1,0 +1,125 @@
+type block = { key : Tuple.t; options : (Tuple.t * float) list }
+
+type t = { schema : Schema.t; key_arity : int; blocks : block list }
+
+let check_block schema key_arity b =
+  let value_arity = Schema.arity schema - key_arity in
+  if Tuple.arity b.key <> key_arity then
+    invalid_arg
+      (Printf.sprintf "Bid: key %s has arity %d, expected %d" (Tuple.to_string b.key)
+         (Tuple.arity b.key) key_arity);
+  let seen = Hashtbl.create 8 in
+  let total =
+    List.fold_left
+      (fun acc (value, p) ->
+        if Tuple.arity value <> value_arity then
+          invalid_arg
+            (Printf.sprintf "Bid: option %s has arity %d, expected %d"
+               (Tuple.to_string value) (Tuple.arity value) value_arity);
+        if p < 0.0 then invalid_arg "Bid: negative probability";
+        if Hashtbl.mem seen value then
+          invalid_arg
+            (Printf.sprintf "Bid: duplicate option %s in block %s" (Tuple.to_string value)
+               (Tuple.to_string b.key));
+        Hashtbl.add seen value ();
+        acc +. p)
+      0.0 b.options
+  in
+  if total > 1.0 +. 1e-9 then
+    invalid_arg
+      (Printf.sprintf "Bid: block %s probabilities sum to %g > 1" (Tuple.to_string b.key)
+         total)
+
+let make schema ~key_arity blocks =
+  if key_arity < 0 || key_arity > Schema.arity schema then
+    invalid_arg "Bid.make: bad key arity";
+  let keys = List.map (fun b -> b.key) blocks in
+  if List.length keys <> List.length (List.sort_uniq Tuple.compare keys) then
+    invalid_arg "Bid.make: duplicate block key";
+  List.iter (check_block schema key_arity) blocks;
+  { schema; key_arity; blocks }
+
+let schema t = t.schema
+let key_arity t = t.key_arity
+let blocks t = t.blocks
+let block_count t = List.length t.blocks
+
+let split t tuple =
+  let rec take k acc rest =
+    if k = 0 then (List.rev acc, rest)
+    else match rest with [] -> (List.rev acc, []) | x :: xs -> take (k - 1) (x :: acc) xs
+  in
+  take t.key_arity [] tuple
+
+let tuple_prob t tuple =
+  let key, value = split t tuple in
+  match List.find_opt (fun b -> Tuple.equal b.key key) t.blocks with
+  | None -> 0.0
+  | Some b -> (
+      match List.find_opt (fun (v, _) -> Tuple.equal v value) b.options with
+      | Some (_, p) -> p
+      | None -> 0.0)
+
+let of_tid_relation rel ~key_arity =
+  let schema = Relation.schema rel in
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  Relation.fold
+    (fun tuple p () ->
+      let rec take k acc rest =
+        if k = 0 then (List.rev acc, rest)
+        else
+          match rest with [] -> (List.rev acc, []) | x :: xs -> take (k - 1) (x :: acc) xs
+      in
+      let key, value = take key_arity [] tuple in
+      (match Hashtbl.find_opt tbl key with
+      | None ->
+          Hashtbl.add tbl key [ (value, p) ];
+          order := key :: !order
+      | Some opts -> Hashtbl.replace tbl key ((value, p) :: opts)))
+    rel ();
+  let blocks =
+    List.rev_map
+      (fun key -> { key; options = List.rev (Hashtbl.find tbl key) })
+      !order
+  in
+  make schema ~key_arity blocks
+
+let to_tid_relation t =
+  let rows =
+    List.concat_map
+      (fun b -> List.map (fun (value, p) -> (b.key @ value, p)) b.options)
+      t.blocks
+  in
+  Relation.make t.schema rows
+
+let fold_worlds f init rel_name t =
+  let choices =
+    List.fold_left (fun acc b -> acc *. float_of_int (1 + List.length b.options)) 1.0 t.blocks
+  in
+  if choices > 16_777_216.0 then
+    invalid_arg "Bid.fold_worlds: too many block combinations";
+  let rec go blocks world p acc =
+    match blocks with
+    | [] -> f world p acc
+    | b :: rest ->
+        let taken = List.fold_left (fun s (_, q) -> s +. q) 0.0 b.options in
+        (* the "no tuple from this block" outcome *)
+        let acc =
+          if 1.0 -. taken <= 0.0 then acc else go rest world (p *. (1.0 -. taken)) acc
+        in
+        List.fold_left
+          (fun acc (value, q) ->
+            if q = 0.0 then acc
+            else go rest (World.add (rel_name, b.key @ value) world) (p *. q) acc)
+          acc b.options
+  in
+  go t.blocks World.empty 1.0 init
+
+let probability t event =
+  fold_worlds (fun w p acc -> if event w then acc +. p else acc) 0.0 "bid" t
+
+let expected_size t =
+  List.fold_left
+    (fun acc b -> acc +. List.fold_left (fun s (_, q) -> s +. q) 0.0 b.options)
+    0.0 t.blocks

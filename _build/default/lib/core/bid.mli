@@ -1,0 +1,55 @@
+(** Block-independent-disjoint (BID) probabilistic databases.
+
+    The main alternative representation the paper mentions next to TIDs
+    (Sec. 1, citing [16]): tuples are grouped into {e blocks} by a key; the
+    tuples of one block are mutually exclusive (at most one is present, a
+    {e disjoint} choice), while distinct blocks are independent. BID tables
+    model attribute-level uncertainty: "sensor 7 read 40°, 41° or 42°, with
+    probabilities .2/.5/.3".
+
+    A BID relation over schema (K, A) assigns to each key a distribution
+    over the possible A-values whose probabilities sum to at most 1 (the
+    slack is the probability that the block contributes no tuple). *)
+
+type block = {
+  key : Tuple.t;
+  options : (Tuple.t * float) list;
+      (** non-key attribute values with probabilities; sum ≤ 1 *)
+}
+
+type t
+
+val make : Schema.t -> key_arity:int -> block list -> t
+(** [make schema ~key_arity blocks]: the first [key_arity] attributes form
+    the key. Raises [Invalid_argument] on duplicate keys, duplicate options
+    within a block, probability sums > 1 (beyond 1e-9 slack), negative
+    probabilities, or arity mismatches. *)
+
+val schema : t -> Schema.t
+val key_arity : t -> int
+val blocks : t -> block list
+val block_count : t -> int
+
+val tuple_prob : t -> Tuple.t -> float
+(** Marginal probability of a full tuple (key ++ value). *)
+
+val of_tid_relation : Relation.t -> key_arity:int -> t
+(** Reinterprets a relation's tuples as blocks keyed by the first
+    attributes. Raises [Invalid_argument] when some block's probabilities
+    exceed 1. *)
+
+val to_tid_relation : t -> Relation.t
+(** Forgets the disjointness, keeping the marginals — the {e independent
+    approximation} of the BID table. Query answers on it generally differ;
+    see {!fold_worlds} for the exact semantics. *)
+
+val fold_worlds : (World.t -> float -> 'a -> 'a) -> 'a -> string -> t -> 'a
+(** Exact possible-worlds enumeration: one choice (or none) per block,
+    blocks independent. The string names the relation facts are filed
+    under. Product of per-block sizes must stay under 2^24. *)
+
+val probability : t -> (World.t -> bool) -> float
+(** Probability of an event under the exact BID semantics. *)
+
+val expected_size : t -> float
+(** Expected number of tuples present. *)

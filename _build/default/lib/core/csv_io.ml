@@ -1,0 +1,60 @@
+let split_line line = String.split_on_char ',' line |> List.map String.trim
+
+let parse_row ~path ~lineno line =
+  match List.rev (split_line line) with
+  | p :: rev_values when rev_values <> [] -> (
+      match float_of_string_opt p with
+      | Some p -> (List.rev_map Value.of_string rev_values, p)
+      | None ->
+          failwith
+            (Printf.sprintf "%s:%d: cannot parse probability %S" path lineno p))
+  | _ -> failwith (Printf.sprintf "%s:%d: expected v1,...,vk,p" path lineno)
+
+let load_relation name path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec read lineno acc =
+        match In_channel.input_line ic with
+        | None -> List.rev acc
+        | Some line ->
+            let line = String.trim line in
+            if line = "" || String.length line > 0 && line.[0] = '#' then
+              read (lineno + 1) acc
+            else read (lineno + 1) (parse_row ~path ~lineno line :: acc)
+      in
+      let rows = read 1 [] in
+      match rows with
+      | [] -> Relation.make (Schema.of_arity name 0) []
+      | (t, _) :: _ -> Relation.make (Schema.of_arity name (Tuple.arity t)) rows)
+
+let load_dir dir =
+  let files = Sys.readdir dir in
+  Array.sort String.compare files;
+  let rels =
+    Array.to_list files
+    |> List.filter_map (fun f ->
+           if Filename.check_suffix f ".csv" then
+             Some (load_relation (Filename.remove_extension f) (Filename.concat dir f))
+           else None)
+  in
+  Tid.make rels
+
+let save_relation path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Relation.fold
+        (fun t p () ->
+          let vals = List.map Value.to_string t in
+          output_string oc (String.concat "," (vals @ [ Printf.sprintf "%.17g" p ]));
+          output_char oc '\n')
+        r ())
+
+let save_dir dir db =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun r -> save_relation (Filename.concat dir (Relation.name r ^ ".csv")) r)
+    (Tid.relations db)

@@ -1,0 +1,19 @@
+(** Loading and saving TIDs as directories of CSV files.
+
+    The on-disk format is one file per relation, named [<relation>.csv].
+    Each line holds the tuple values followed by the tuple's marginal
+    probability: [v1,v2,...,vk,p]. Lines starting with [#] and blank lines
+    are ignored. Values parse per {!Value.of_string}. *)
+
+val load_relation : string -> string -> Relation.t
+(** [load_relation name path] reads one CSV file. Raises [Failure] with a
+    line-numbered message on malformed input. *)
+
+val load_dir : string -> Tid.t
+(** Loads every [*.csv] file in the directory as a relation named after the
+    file. *)
+
+val save_relation : string -> Relation.t -> unit
+
+val save_dir : string -> Tid.t -> unit
+(** Creates the directory if needed and writes one CSV per relation. *)

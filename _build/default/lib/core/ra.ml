@@ -1,0 +1,86 @@
+let attr_index r attr =
+  let attrs = (Relation.schema r).Schema.attrs in
+  let rec find i = function
+    | [] ->
+        invalid_arg
+          (Printf.sprintf "Ra: attribute %s not found in %s" attr (Relation.name r))
+    | a :: rest -> if String.equal a attr then i else find (i + 1) rest
+  in
+  find 0 attrs
+
+let select pred r =
+  Relation.make (Relation.schema r)
+    (List.filter (fun (t, _) -> pred t) (Relation.rows r))
+
+let select_eq attr v r =
+  let i = attr_index r attr in
+  select (fun t -> Value.equal (List.nth t i) v) r
+
+let project attrs r =
+  let idxs = List.map (attr_index r) attrs in
+  let shrink t = List.map (fun i -> List.nth t i) idxs in
+  let add map (t, p) =
+    let t' = shrink t in
+    let p' = match Tuple.Map.find_opt t' map with Some q -> Float.max p q | None -> p in
+    Tuple.Map.add t' p' map
+  in
+  let map = List.fold_left add Tuple.Map.empty (Relation.rows r) in
+  Relation.make (Schema.make (Relation.name r) attrs) (Tuple.Map.bindings map)
+
+let rename new_name mapping r =
+  let attrs =
+    List.map
+      (fun a -> match List.assoc_opt a mapping with Some a' -> a' | None -> a)
+      (Relation.schema r).Schema.attrs
+  in
+  Relation.make (Schema.make new_name attrs) (Relation.rows r)
+
+let natural_join ?name r1 r2 =
+  let a1 = (Relation.schema r1).Schema.attrs in
+  let a2 = (Relation.schema r2).Schema.attrs in
+  let shared = List.filter (fun a -> List.mem a a1) a2 in
+  let out_attrs = a1 @ List.filter (fun a -> not (List.mem a shared)) a2 in
+  let name = match name with Some n -> n | None -> Relation.name r1 ^ "_" ^ Relation.name r2 in
+  let idx attrs a =
+    let rec find i = function
+      | [] -> assert false
+      | x :: rest -> if String.equal x a then i else find (i + 1) rest
+    in
+    find 0 attrs
+  in
+  let key attrs t = List.map (fun a -> List.nth t (idx attrs a)) shared in
+  let extra2 = List.filter (fun a -> not (List.mem a shared)) a2 in
+  let rows =
+    List.concat_map
+      (fun (t1, p1) ->
+        List.filter_map
+          (fun (t2, p2) ->
+            if Tuple.equal (key a1 t1) (key a2 t2) then
+              let t = t1 @ List.map (fun a -> List.nth t2 (idx a2 a)) extra2 in
+              Some (t, p1 *. p2)
+            else None)
+          (Relation.rows r2))
+      (Relation.rows r1)
+  in
+  (* Distinct joined tuples can coincide only when shared attrs repeat; rows
+     are distinct because both inputs are maps over distinct tuples. *)
+  Relation.make (Schema.make name out_attrs) rows
+
+let union r1 r2 =
+  if Relation.arity r1 <> Relation.arity r2 then
+    invalid_arg "Ra.union: arity mismatch";
+  let combine p q = 1.0 -. ((1.0 -. p) *. (1.0 -. q)) in
+  let rows =
+    List.fold_left
+      (fun map (t, p) ->
+        let p' = match Tuple.Map.find_opt t map with Some q -> combine p q | None -> p in
+        Tuple.Map.add t p' map)
+      Tuple.Map.empty
+      (Relation.rows r1 @ Relation.rows r2)
+  in
+  Relation.make (Relation.schema r1) (Tuple.Map.bindings rows)
+
+let difference r1 r2 =
+  if Relation.arity r1 <> Relation.arity r2 then
+    invalid_arg "Ra.difference: arity mismatch";
+  select (fun t -> not (Relation.mem r2 t)) r1

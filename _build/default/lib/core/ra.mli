@@ -1,0 +1,40 @@
+(** Set-semantics relational algebra over probabilistic relations.
+
+    These operators implement ordinary data processing (the non-inference
+    half of PQE, Sec. 6 of the paper) on relations whose probability column
+    is simply carried along; the probability-aware operators used by
+    extensional plans live in [Probdb_plans]. Attributes are addressed by
+    name. *)
+
+val select : (Tuple.t -> bool) -> Relation.t -> Relation.t
+(** Keeps the rows whose tuple satisfies the predicate. *)
+
+val select_eq : string -> Value.t -> Relation.t -> Relation.t
+(** [select_eq attr v r] keeps rows whose [attr] column equals [v]. Raises
+    [Invalid_argument] on an unknown attribute. *)
+
+val project : string list -> Relation.t -> Relation.t
+(** Duplicate-eliminating projection onto the named attributes. When several
+    input rows collapse onto one output tuple, the output probability is the
+    maximum of theirs (a deterministic placeholder; probabilistic projection
+    is [Probdb_plans.Ptable.project_independent]). *)
+
+val rename : string -> (string * string) list -> Relation.t -> Relation.t
+(** [rename new_name mapping r] renames the relation and the listed
+    attributes. *)
+
+val natural_join : ?name:string -> Relation.t -> Relation.t -> Relation.t
+(** Natural join on shared attribute names. Output attributes are the union
+    (left attributes first); output probability is the product of the two
+    input probabilities, matching the modified join of Sec. 6. *)
+
+val union : Relation.t -> Relation.t -> Relation.t
+(** Set union of two union-compatible relations. A tuple present in both
+    keeps the disjoint-or combination [1 - (1-p)(1-q)]. *)
+
+val difference : Relation.t -> Relation.t -> Relation.t
+(** Tuples of the first relation not listed in the second. *)
+
+val attr_index : Relation.t -> string -> int
+(** Position of the attribute in the schema. Raises [Invalid_argument] when
+    absent. *)

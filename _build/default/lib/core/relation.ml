@@ -1,0 +1,44 @@
+type t = { schema : Schema.t; map : float Tuple.Map.t }
+
+let make schema rows =
+  let k = Schema.arity schema in
+  let add map (tuple, p) =
+    if Tuple.arity tuple <> k then
+      invalid_arg
+        (Printf.sprintf "Relation.make: tuple %s has arity %d, expected %d in %s"
+           (Tuple.to_string tuple) (Tuple.arity tuple) k schema.Schema.name);
+    if Tuple.Map.mem tuple map then
+      invalid_arg
+        (Printf.sprintf "Relation.make: duplicate tuple %s in %s" (Tuple.to_string tuple)
+           schema.Schema.name);
+    Tuple.Map.add tuple p map
+  in
+  { schema; map = List.fold_left add Tuple.Map.empty rows }
+
+let of_list name rows =
+  match rows with
+  | [] -> invalid_arg "Relation.of_list: empty row list (arity unknown); use make"
+  | (t, _) :: _ -> make (Schema.of_arity name (Tuple.arity t)) rows
+
+let deterministic name tuples = of_list name (List.map (fun t -> (t, 1.0)) tuples)
+let schema r = r.schema
+let name r = r.schema.Schema.name
+let arity r = Schema.arity r.schema
+let prob r t = match Tuple.Map.find_opt t r.map with Some p -> p | None -> 0.0
+let mem r t = Tuple.Map.mem t r.map
+let cardinal r = Tuple.Map.cardinal r.map
+let tuples r = Tuple.Map.fold (fun t _ acc -> t :: acc) r.map [] |> List.rev
+let rows r = Tuple.Map.bindings r.map
+let fold f r init = Tuple.Map.fold f r.map init
+let map_probs f r = { r with map = Tuple.Map.mapi f r.map }
+let is_standard r = Tuple.Map.for_all (fun _ p -> p >= 0.0 && p <= 1.0) r.map
+
+let values r =
+  let add acc t = List.fold_left (fun acc v -> v :: acc) acc t in
+  Tuple.Map.fold (fun t _ acc -> add acc t) r.map []
+  |> List.sort_uniq Value.compare
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v2>%a:" Schema.pp r.schema;
+  Tuple.Map.iter (fun t p -> Format.fprintf ppf "@ %a : %g" Tuple.pp t p) r.map;
+  Format.fprintf ppf "@]"

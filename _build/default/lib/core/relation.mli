@@ -1,0 +1,52 @@
+(** Probabilistic relations: a schema plus a finite map from tuples to
+    marginal probabilities.
+
+    This is the standard representation of a tuple-independent database
+    (TID): each relation [R] carries an extra attribute [P] holding the
+    marginal probability [p_D(t) = t.P] of each listed tuple; unlisted
+    tuples have probability 0 (Sec. 2, Fig. 1 of the paper).
+
+    Probabilities are not required to lie in [0, 1]: the Appendix of the
+    paper uses non-standard "probabilities" (e.g. negative weights for
+    Skolem predicates, or [1/(w-1) > 1] in the MLN translation), and all the
+    algebra goes through unchanged. Use {!is_standard} to check. *)
+
+type t
+
+val make : Schema.t -> (Tuple.t * float) list -> t
+(** Builds a relation. Raises [Invalid_argument] on an arity mismatch or a
+    duplicate tuple. *)
+
+val of_list : string -> (Tuple.t * float) list -> t
+(** [of_list name rows] infers the arity from the first row. An empty [rows]
+    list is rejected; use {!make} with an explicit schema instead. *)
+
+val deterministic : string -> Tuple.t list -> t
+(** All listed tuples get probability 1. *)
+
+val schema : t -> Schema.t
+val name : t -> string
+val arity : t -> int
+
+val prob : t -> Tuple.t -> float
+(** Marginal probability of a tuple; 0 for unlisted tuples. *)
+
+val mem : t -> Tuple.t -> bool
+(** True iff the tuple is listed (even with probability 0). *)
+
+val cardinal : t -> int
+val tuples : t -> Tuple.t list
+val rows : t -> (Tuple.t * float) list
+val fold : (Tuple.t -> float -> 'a -> 'a) -> t -> 'a -> 'a
+
+val map_probs : (Tuple.t -> float -> float) -> t -> t
+(** Rewrites every probability; used e.g. by the lower-bound construction of
+    Theorem 6.1 and by the unate-to-monotone complementation of Sec. 4. *)
+
+val is_standard : t -> bool
+(** True iff every probability lies in [0, 1]. *)
+
+val values : t -> Value.t list
+(** All values appearing in some tuple, without duplicates. *)
+
+val pp : Format.formatter -> t -> unit

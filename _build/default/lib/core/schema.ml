@@ -1,0 +1,14 @@
+type t = { name : string; attrs : string list }
+
+let make name attrs = { name; attrs }
+
+let of_arity name k =
+  { name; attrs = List.init k (fun i -> Printf.sprintf "a%d" (i + 1)) }
+
+let arity s = List.length s.attrs
+let equal a b = String.equal a.name b.name && List.equal String.equal a.attrs b.attrs
+
+let pp ppf s =
+  Format.fprintf ppf "%s(%a)" s.name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Format.pp_print_string)
+    s.attrs

@@ -1,0 +1,22 @@
+(** Relation schemas: a relation name together with named attributes.
+
+    The relational vocabulary of a probabilistic database is a finite set of
+    schemas; possible tuples [Tup] are generated per schema from the domain
+    (Sec. 2 of the paper). *)
+
+type t = {
+  name : string;  (** relation name, e.g. ["S"] *)
+  attrs : string list;  (** attribute names; length = arity *)
+}
+
+val make : string -> string list -> t
+
+val of_arity : string -> int -> t
+(** [of_arity name k] names the attributes [a1 ... ak]. *)
+
+val arity : t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [name(attr1, ..., attrk)]. *)

@@ -1,0 +1,62 @@
+module Smap = Map.Make (String)
+
+type t = { rels : Relation.t Smap.t; domain : Value.t list }
+
+let compute_domain extra rels =
+  List.concat_map Relation.values rels
+  |> List.rev_append extra
+  |> List.sort_uniq Value.compare
+
+let make ?(domain = []) rels =
+  let add map r =
+    let name = Relation.name r in
+    if Smap.mem name map then
+      invalid_arg (Printf.sprintf "Tid.make: duplicate relation %s" name);
+    Smap.add name r map
+  in
+  { rels = List.fold_left add Smap.empty rels; domain = compute_domain domain rels }
+
+let relations db = Smap.bindings db.rels |> List.map snd
+let relation db name = Smap.find name db.rels
+let relation_opt db name = Smap.find_opt name db.rels
+let mem_relation db name = Smap.mem name db.rels
+let domain db = db.domain
+let domain_size db = List.length db.domain
+
+let prob db name t =
+  match Smap.find_opt name db.rels with
+  | None -> 0.0
+  | Some r -> Relation.prob r t
+
+let support_size db = Smap.fold (fun _ r acc -> acc + Relation.cardinal r) db.rels 0
+
+let support db =
+  Smap.fold
+    (fun name r acc -> Relation.fold (fun t p acc -> (name, t, p) :: acc) r acc)
+    db.rels []
+  |> List.rev
+
+let is_standard db = Smap.for_all (fun _ r -> Relation.is_standard r) db.rels
+
+let map_probs f db =
+  { db with rels = Smap.mapi (fun name r -> Relation.map_probs (f name) r) db.rels }
+
+let add_relation db r =
+  let name = Relation.name r in
+  if Smap.mem name db.rels then
+    invalid_arg (Printf.sprintf "Tid.add_relation: relation %s already exists" name);
+  { rels = Smap.add name r db.rels; domain = compute_domain db.domain [ r ] }
+
+let replace_relation db r =
+  { rels = Smap.add (Relation.name r) r db.rels;
+    domain = compute_domain db.domain [ r ] }
+
+let restrict db names =
+  { db with rels = Smap.filter (fun name _ -> List.mem name names) db.rels }
+
+let pp ppf db =
+  Format.fprintf ppf "@[<v>";
+  Smap.iter (fun _ r -> Format.fprintf ppf "%a@ " Relation.pp r) db.rels;
+  Format.fprintf ppf "domain = {%a}@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Value.pp)
+    db.domain

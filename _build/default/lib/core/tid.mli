@@ -1,0 +1,52 @@
+(** Tuple-independent probabilistic databases (TIDs).
+
+    A TID is a set of probabilistic relations over a shared finite domain.
+    A possible world is drawn by including each listed tuple independently
+    with its marginal probability; unlisted possible tuples have probability
+    0 (Sec. 2, Eq. (3) of the paper). *)
+
+type t
+
+val make : ?domain:Value.t list -> Relation.t list -> t
+(** Builds a TID. The domain is the active domain (every value appearing in
+    some tuple) union the optional [domain] list, which lets callers declare
+    domain values that appear in no tuple. Raises [Invalid_argument] if two
+    relations share a name. *)
+
+val relations : t -> Relation.t list
+
+val relation : t -> string -> Relation.t
+(** Raises [Not_found] if no relation with that name exists. *)
+
+val relation_opt : t -> string -> Relation.t option
+val mem_relation : t -> string -> bool
+
+val domain : t -> Value.t list
+(** The finite domain [DOM], sorted. *)
+
+val domain_size : t -> int
+
+val prob : t -> string -> Tuple.t -> float
+(** [prob db r t] is the marginal probability of tuple [t] in relation [r];
+    0 when the tuple (or the relation) is absent. *)
+
+val support_size : t -> int
+(** Total number of listed tuples across all relations. *)
+
+val support : t -> (string * Tuple.t * float) list
+(** All listed tuples as [(relation, tuple, probability)] triples. *)
+
+val is_standard : t -> bool
+(** True iff every probability lies in [0, 1]. *)
+
+val map_probs : (string -> Tuple.t -> float -> float) -> t -> t
+
+val add_relation : t -> Relation.t -> t
+(** Raises [Invalid_argument] if a relation with that name already exists. *)
+
+val replace_relation : t -> Relation.t -> t
+
+val restrict : t -> string list -> t
+(** Keeps only the named relations (same domain). *)
+
+val pp : Format.formatter -> t -> unit

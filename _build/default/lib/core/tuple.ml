@@ -1,0 +1,21 @@
+type t = Value.t list
+
+let compare = List.compare Value.compare
+let equal a b = compare a b = 0
+let hash t = Hashtbl.hash (List.map Value.hash t)
+let arity = List.length
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Value.pp) t
+
+let to_string t = Format.asprintf "%a" pp t
+let of_ints xs = List.map Value.int xs
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

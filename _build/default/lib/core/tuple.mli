@@ -1,0 +1,24 @@
+(** Database tuples: finite sequences of {!Value.t}.
+
+    A tuple over a relation of arity [k] is a list of [k] values. Tuples are
+    ordered lexicographically so they can key maps and sets. *)
+
+type t = Value.t list
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val arity : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(v1, v2, ..., vk)]. *)
+
+val to_string : t -> string
+
+val of_ints : int list -> t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

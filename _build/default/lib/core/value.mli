@@ -1,0 +1,31 @@
+(** Constants stored in database tuples.
+
+    A value is either an integer, a string, or a boolean. Values are the
+    constants of the relational vocabulary: the active domain of a database
+    is a finite set of values, and possible tuples are drawn from powers of
+    that domain (Sec. 2 of the paper). *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Bool of bool
+
+val compare : t -> t -> int
+(** Total order on values, first by constructor, then by payload. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** [of_string s] parses [s] as an [Int] if it looks like an integer, as a
+    [Bool] for ["true"]/["false"], and as a [Str] otherwise. Used by the CSV
+    loader. *)
+
+val int : int -> t
+
+val str : string -> t

@@ -1,0 +1,35 @@
+type fact = string * Tuple.t
+
+module Fset = Set.Make (struct
+  type t = fact
+
+  let compare (r1, t1) (r2, t2) =
+    match String.compare r1 r2 with 0 -> Tuple.compare t1 t2 | c -> c
+end)
+
+type t = Fset.t
+
+let empty = Fset.empty
+let of_facts facts = Fset.of_list facts
+let add = Fset.add
+let remove = Fset.remove
+let mem w r t = Fset.mem (r, t) w
+let facts w = Fset.elements w
+let cardinal = Fset.cardinal
+let union = Fset.union
+
+let tuples_of w name =
+  Fset.fold (fun (r, t) acc -> if String.equal r name then t :: acc else acc) w []
+  |> List.rev
+
+let of_tid_support db =
+  List.fold_left (fun w (r, t, _) -> add (r, t) w) empty (Tid.support db)
+
+let compare = Fset.compare
+let equal = Fset.equal
+
+let pp ppf w =
+  let pp_fact ppf (r, t) = Format.fprintf ppf "%s%a" r Tuple.pp t in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_fact)
+    (facts w)

@@ -1,0 +1,29 @@
+(** Possible worlds: ordinary (deterministic) database instances.
+
+    A world is a finite set of facts, where a fact is a relation name applied
+    to a tuple. Worlds are what queries are evaluated on; a probabilistic
+    database is a distribution over worlds (Sec. 2 of the paper). *)
+
+type fact = string * Tuple.t
+
+type t
+
+val empty : t
+val of_facts : fact list -> t
+val add : fact -> t -> t
+val remove : fact -> t -> t
+val mem : t -> string -> Tuple.t -> bool
+val facts : t -> fact list
+val cardinal : t -> int
+val union : t -> t -> t
+
+val tuples_of : t -> string -> Tuple.t list
+(** All tuples of the given relation present in the world. *)
+
+val of_tid_support : Tid.t -> t
+(** The world containing every listed tuple of the TID (ignoring
+    probabilities); useful for deterministic evaluation. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

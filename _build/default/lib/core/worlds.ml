@@ -1,0 +1,29 @@
+let max_support = 24
+
+exception Too_large of int
+
+let fold f init db =
+  let support = Tid.support db in
+  let m = List.length support in
+  if m > max_support then raise (Too_large m);
+  (* Walk the binary tree of include/exclude decisions, accumulating the
+     world and its probability product (Eq. (3)). *)
+  let rec go support world p acc =
+    match support with
+    | [] -> f world p acc
+    | (r, t, pt) :: rest ->
+        let acc =
+          if pt = 0.0 then acc else go rest (World.add (r, t) world) (p *. pt) acc
+        in
+        if pt = 1.0 then acc else go rest world (p *. (1.0 -. pt)) acc
+  in
+  go support World.empty 1.0 init
+
+let probability db sat =
+  fold (fun w p acc -> if sat w then acc +. p else acc) 0.0 db
+
+let expectation db stat = fold (fun w p acc -> acc +. (p *. stat w)) 0.0 db
+
+let count db =
+  let m = Tid.support_size db in
+  if m >= 62 then max_int else 1 lsl m

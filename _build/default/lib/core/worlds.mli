@@ -1,0 +1,27 @@
+(** Exact enumeration of the possible worlds of a TID.
+
+    With [m] listed tuples there are [2^m] worlds (Eq. (3) of the paper), so
+    enumeration is only feasible for small supports. It is the ground-truth
+    oracle every other inference method in this repository is tested
+    against. *)
+
+val max_support : int
+(** Enumeration refuses supports larger than this (default 24). *)
+
+exception Too_large of int
+(** Raised with the support size when it exceeds {!max_support}. *)
+
+val fold : (World.t -> float -> 'a -> 'a) -> 'a -> Tid.t -> 'a
+(** [fold f init db] folds [f world probability] over all [2^m] worlds.
+    World probabilities are products per Eq. (3); they sum to 1 when the TID
+    is standard. Raises {!Too_large} on oversized supports. *)
+
+val probability : Tid.t -> (World.t -> bool) -> float
+(** [probability db sat] is the total probability of the worlds satisfying
+    [sat] — Eq. (1) of the paper with [sat] playing the role of [W |= Q]. *)
+
+val expectation : Tid.t -> (World.t -> float) -> float
+(** Expected value of a world statistic. *)
+
+val count : Tid.t -> int
+(** Number of possible worlds ([2^support]). *)

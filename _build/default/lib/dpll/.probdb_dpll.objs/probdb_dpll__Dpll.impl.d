@@ -1,0 +1,1 @@
+lib/dpll/dpll.ml: Array Fun Hashtbl Int List Option Probdb_boolean Probdb_kc Set

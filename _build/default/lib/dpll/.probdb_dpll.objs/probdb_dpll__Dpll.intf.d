@@ -1,0 +1,1 @@
+lib/dpll/dpll.mli: Probdb_boolean Probdb_kc

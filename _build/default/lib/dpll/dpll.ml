@@ -1,0 +1,151 @@
+module F = Probdb_boolean.Formula
+module Circuit = Probdb_kc.Circuit
+
+type var_choice = Most_frequent | Fixed of int list
+
+type config = {
+  use_cache : bool;
+  use_components : bool;
+  independent_or : bool;
+  var_choice : var_choice;
+  max_decisions : int;
+}
+
+let default_config =
+  { use_cache = true;
+    use_components = true;
+    independent_or = false;
+    var_choice = Most_frequent;
+    max_decisions = 50_000_000 }
+
+let obdd_config order =
+  { default_config with use_components = false; var_choice = Fixed order }
+
+let fbdd_config = { default_config with use_components = false }
+
+exception Decision_limit of int
+
+type stats = { decisions : int; cache_hits : int; component_splits : int }
+
+type result = { prob : float; circuit : Circuit.t; trace_size : int; stats : stats }
+
+module Iset = Set.Make (Int)
+
+let rec var_set = function
+  | F.True | F.False -> Iset.empty
+  | F.Var v -> Iset.singleton v
+  | F.Not f -> var_set f
+  | F.And fs | F.Or fs ->
+      List.fold_left (fun acc f -> Iset.union acc (var_set f)) Iset.empty fs
+
+(* Partition formulas into groups sharing no variables (union-find). *)
+let independent_groups fs =
+  let fs = Array.of_list fs in
+  let n = Array.length fs in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri, rj = find i, find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  let home = Hashtbl.create 16 in
+  Array.iteri
+    (fun i f ->
+      Iset.iter
+        (fun v ->
+          match Hashtbl.find_opt home v with
+          | Some j -> union i j
+          | None -> Hashtbl.add home v i)
+        (var_set f))
+    fs;
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i f ->
+      let r = find i in
+      Hashtbl.replace groups r (f :: Option.value ~default:[] (Hashtbl.find_opt groups r)))
+    fs;
+  Hashtbl.fold (fun _ g acc -> g :: acc) groups []
+
+let most_frequent_var f =
+  let freq = Hashtbl.create 32 in
+  let bump v = Hashtbl.replace freq v (1 + Option.value ~default:0 (Hashtbl.find_opt freq v)) in
+  let rec go = function
+    | F.True | F.False -> ()
+    | F.Var v -> bump v
+    | F.Not f -> go f
+    | F.And fs | F.Or fs -> List.iter go fs
+  in
+  go f;
+  let best = Hashtbl.fold
+      (fun v c acc ->
+        match acc with
+        | Some (_, c') when c' > c -> acc
+        | Some (v', c') when c' = c && v' <= v -> acc
+        | _ -> Some (v, c))
+      freq None
+  in
+  match best with Some (v, _) -> v | None -> invalid_arg "most_frequent_var: no variables"
+
+let choose_var cfg f =
+  match cfg.var_choice with
+  | Most_frequent -> most_frequent_var f
+  | Fixed order -> (
+      let vs = var_set f in
+      match List.find_opt (fun v -> Iset.mem v vs) order with
+      | Some v -> v
+      | None -> Iset.min_elt vs)
+
+let count ?(config = default_config) ~prob f =
+  let builder = Circuit.builder () in
+  let cache : (string, float * Circuit.t) Hashtbl.t = Hashtbl.create 1024 in
+  let decisions = ref 0 and cache_hits = ref 0 and component_splits = ref 0 in
+  let rec go f =
+    match f with
+    | F.True -> (1.0, Circuit.tru builder)
+    | F.False -> (0.0, Circuit.fls builder)
+    | _ -> (
+        let key = if config.use_cache then Some (F.to_key f) else None in
+        match Option.bind key (Hashtbl.find_opt cache) with
+        | Some hit ->
+            incr cache_hits;
+            hit
+        | None ->
+            let result = solve f in
+            (match key with Some k -> Hashtbl.replace cache k result | None -> ());
+            result)
+  and solve f =
+    match f with
+    | F.And fs when config.use_components -> (
+        match independent_groups fs with
+        | [ _ ] -> shannon f
+        | groups ->
+            incr component_splits;
+            let parts = List.map (fun g -> go (F.conj g)) groups in
+            let p = List.fold_left (fun acc (q, _) -> acc *. q) 1.0 parts in
+            (p, Circuit.band builder (List.map snd parts)))
+    | F.Or fs when config.independent_or -> (
+        match independent_groups fs with
+        | [ _ ] -> shannon f
+        | groups ->
+            incr component_splits;
+            let parts = List.map (fun g -> go (F.disj g)) groups in
+            let p = 1.0 -. List.fold_left (fun acc (q, _) -> acc *. (1.0 -. q)) 1.0 parts in
+            (p, Circuit.ior builder (List.map snd parts)))
+    | _ -> shannon f
+  and shannon f =
+    incr decisions;
+    if !decisions > config.max_decisions then raise (Decision_limit config.max_decisions);
+    let v = choose_var config f in
+    let p_lo, c_lo = go (F.condition v false f) in
+    let p_hi, c_hi = go (F.condition v true f) in
+    let pv = prob v in
+    (((1.0 -. pv) *. p_lo) +. (pv *. p_hi), Circuit.decision builder v ~lo:c_lo ~hi:c_hi)
+  in
+  let p, circuit = go f in
+  { prob = p;
+    circuit;
+    trace_size = Circuit.size circuit;
+    stats =
+      { decisions = !decisions; cache_hits = !cache_hits; component_splits = !component_splits } }
+
+let probability ?config ~prob f = (count ?config ~prob f).prob

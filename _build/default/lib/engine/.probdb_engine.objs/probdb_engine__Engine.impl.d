@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Float Format List Printf Probdb_approx Probdb_core Probdb_dpll Probdb_kc Probdb_lifted Probdb_lineage Probdb_logic Probdb_plans Probdb_symmetric String

@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Format Probdb_core Probdb_logic

@@ -1,0 +1,258 @@
+module Core = Probdb_core
+module Fo = Probdb_logic.Fo
+module Ucq = Probdb_logic.Ucq
+module Lift = Probdb_lifted.Lift
+module Lineage = Probdb_lineage.Lineage
+module Obdd = Probdb_kc.Obdd
+module Dpll = Probdb_dpll.Dpll
+module Plan = Probdb_plans.Plan
+module Karp_luby = Probdb_approx.Karp_luby
+
+type strategy =
+  | Lifted
+  | Symmetric
+  | Safe_plan
+  | Read_once
+  | Obdd
+  | Dpll
+  | Karp_luby
+  | World_enum
+
+let strategy_name = function
+  | Lifted -> "lifted"
+  | Symmetric -> "symmetric"
+  | Safe_plan -> "safe-plan"
+  | Read_once -> "read-once"
+  | Obdd -> "obdd"
+  | Dpll -> "dpll"
+  | Karp_luby -> "karp-luby"
+  | World_enum -> "world-enum"
+
+type config = {
+  strategies : strategy list;
+  obdd_max_nodes : int;
+  dpll_max_decisions : int;
+  kl_samples : int;
+  max_enum_support : int;
+  seed : int;
+}
+
+let default_config =
+  { strategies =
+      [ Lifted; Symmetric; Safe_plan; Read_once; Obdd; Dpll; Karp_luby; World_enum ];
+    obdd_max_nodes = 200_000;
+    dpll_max_decisions = 2_000_000;
+    kl_samples = 100_000;
+    max_enum_support = 22;
+    seed = 42 }
+
+let exact_only =
+  { default_config with
+    strategies = [ Lifted; Symmetric; Safe_plan; Read_once; Obdd; Dpll; World_enum ] }
+
+type outcome = Exact of float | Approximate of { value : float; std_error : float }
+
+let value = function Exact v -> v | Approximate { value; _ } -> value
+
+type report = {
+  outcome : outcome;
+  strategy : strategy;
+  skipped : (strategy * string) list;
+}
+
+exception No_method of (strategy * string) list
+
+type attempt = Ok_outcome of outcome | Skip of string
+
+let try_lifted db q =
+  match Lift.probability db q with
+  | p -> Ok_outcome (Exact p)
+  | exception Lift.Unsafe msg -> Skip ("rules fail: " ^ msg)
+  | exception Ucq.Unsupported msg -> Skip ("fragment: " ^ msg)
+
+(* A materialised TID is symmetric (Sec. 8) when every relation lists all
+   |DOM|^arity possible tuples at one shared probability. *)
+let as_symmetric db =
+  let n = Core.Tid.domain_size db in
+  let expected_domain = List.init n (fun i -> Core.Value.Int i) in
+  if n = 0 || not (List.equal Core.Value.equal (Core.Tid.domain db) expected_domain)
+  then None
+  else
+    let rec complete acc = function
+      | [] -> Some (List.rev acc)
+      | rel :: rest -> (
+          let arity = Core.Relation.arity rel in
+          if arity < 1 || arity > 2 then None
+          else
+            let possible = int_of_float (Float.pow (float_of_int n) (float_of_int arity)) in
+            if Core.Relation.cardinal rel <> possible then None
+            else
+              match
+                List.sort_uniq compare (List.map snd (Core.Relation.rows rel))
+              with
+              | [ p ] -> complete ((Core.Relation.name rel, arity, p) :: acc) rest
+              | _ -> None)
+    in
+    match complete [] (Core.Tid.relations db) with
+    | Some rels -> ( try Some (Probdb_symmetric.Sym_db.make ~n rels) with Invalid_argument _ -> None)
+    | None -> None
+
+let try_symmetric db q =
+  match as_symmetric db with
+  | None -> Skip "database is not symmetric"
+  | Some sym -> (
+      match Probdb_symmetric.Wfomc.probability sym q with
+      | p -> Ok_outcome (Exact p)
+      | exception Probdb_symmetric.Wfomc.Unsupported msg -> Skip ("FO2 fragment: " ^ msg))
+
+let try_read_once db q =
+  match Ucq.of_sentence q with
+  | exception Ucq.Unsupported msg -> Skip ("fragment: " ^ msg)
+  | ucq, mode -> (
+      if
+        List.exists
+          (List.exists (fun (a : Probdb_logic.Cq.atom) -> a.Probdb_logic.Cq.comp))
+          ucq
+      then Skip "complemented atoms (lineage is not a monotone DNF)"
+      else
+        let ctx = Lineage.create db in
+        match Lineage.dnf_of_ucq ctx ucq with
+        | exception Invalid_argument msg -> Skip msg
+        | clauses -> (
+            match Probdb_kc.Read_once.probability (Lineage.prob ctx) clauses with
+            | Some p -> Ok_outcome (Exact (Ucq.apply_mode mode p))
+            | None -> Skip "lineage is not read-once"))
+
+let try_safe_plan db q =
+  match Ucq.of_sentence q with
+  | exception Ucq.Unsupported msg -> Skip ("fragment: " ^ msg)
+  | ucq, Ucq.Complemented ->
+      ignore ucq;
+      Skip "universal sentence (plans handle positive CQs only)"
+  | ucq, Ucq.Direct -> (
+      match Ucq.minimize ucq with
+      | [ cq ]
+        when Probdb_logic.Cq.is_self_join_free cq
+             && not (List.exists (fun (a : Probdb_logic.Cq.atom) -> a.Probdb_logic.Cq.comp) cq)
+        -> (
+          match Plan.safe_plan cq with
+          | Some plan -> Ok_outcome (Exact (Plan.boolean_prob db plan))
+          | None -> Skip "no safe plan (non-hierarchical)")
+      | [ _ ] -> Skip "CQ has self-joins or negated atoms"
+      | _ -> Skip "not a single CQ")
+
+let try_obdd config db q =
+  let ctx = Lineage.create db in
+  match Lineage.of_query ctx q with
+  | exception Invalid_argument msg -> Skip msg
+  | f -> (
+      let manager =
+        Obdd.manager ~max_nodes:config.obdd_max_nodes ~order:(Obdd.default_order f) ()
+      in
+      match Obdd.of_formula manager f with
+      | bdd -> Ok_outcome (Exact (Obdd.wmc manager (Lineage.prob ctx) bdd))
+      | exception Obdd.Node_limit n -> Skip (Printf.sprintf "node budget %d exceeded" n))
+
+let try_dpll config db q =
+  let ctx = Lineage.create db in
+  match Lineage.of_query ctx q with
+  | exception Invalid_argument msg -> Skip msg
+  | f -> (
+      let dpll_config =
+        { Dpll.default_config with Dpll.max_decisions = config.dpll_max_decisions }
+      in
+      match Dpll.probability ~config:dpll_config ~prob:(Lineage.prob ctx) f with
+      | p -> Ok_outcome (Exact p)
+      | exception Dpll.Decision_limit n ->
+          Skip (Printf.sprintf "decision budget %d exceeded" n))
+
+let try_karp_luby config db q =
+  if not (Core.Tid.is_standard db) then Skip "non-standard probabilities"
+  else
+    match Ucq.of_sentence q with
+    | exception Ucq.Unsupported msg -> Skip ("fragment: " ^ msg)
+    | ucq, mode -> (
+        if List.exists (List.exists (fun (a : Probdb_logic.Cq.atom) -> a.Probdb_logic.Cq.comp)) ucq
+        then Skip "complemented atoms (lineage is not a monotone DNF)"
+        else
+          let ctx = Lineage.create db in
+          match Lineage.dnf_of_ucq ctx ucq with
+          | exception Invalid_argument msg -> Skip msg
+          | clauses ->
+              let est =
+                Karp_luby.estimate ~seed:config.seed ~samples:config.kl_samples
+                  ~prob:(Lineage.prob ctx) clauses
+              in
+              let v = Ucq.apply_mode mode est.Karp_luby.mean in
+              Ok_outcome (Approximate { value = v; std_error = est.Karp_luby.std_error }))
+
+let try_world_enum config db q =
+  if Core.Tid.support_size db > config.max_enum_support then
+    Skip
+      (Printf.sprintf "support %d exceeds enumeration budget %d"
+         (Core.Tid.support_size db) config.max_enum_support)
+  else Ok_outcome (Exact (Probdb_logic.Brute_force.probability db q))
+
+let attempt config db q = function
+  | Lifted -> try_lifted db q
+  | Symmetric -> try_symmetric db q
+  | Safe_plan -> try_safe_plan db q
+  | Read_once -> try_read_once db q
+  | Obdd -> try_obdd config db q
+  | Dpll -> try_dpll config db q
+  | Karp_luby -> try_karp_luby config db q
+  | World_enum -> try_world_enum config db q
+
+let evaluate ?(config = default_config) db q =
+  if not (Fo.is_sentence q) then
+    invalid_arg "Engine.evaluate: open formula (use Engine.answers)";
+  let rec go skipped = function
+    | [] -> raise (No_method (List.rev skipped))
+    | s :: rest -> (
+        match attempt config db q s with
+        | Ok_outcome outcome -> { outcome; strategy = s; skipped = List.rev skipped }
+        | Skip reason -> go ((s, reason) :: skipped) rest)
+  in
+  go [] config.strategies
+
+let probability ?config db q = value (evaluate ?config db q).outcome
+
+let answers ?config ~free db q =
+  let undeclared = List.filter (fun v -> not (List.mem v free)) (Fo.free_vars q) in
+  if undeclared <> [] then
+    invalid_arg
+      (Printf.sprintf "Engine.answers: undeclared free variables %s"
+         (String.concat ", " undeclared));
+  let domain = Core.Tid.domain db in
+  let rec bindings = function
+    | [] -> [ [] ]
+    | _ :: rest ->
+        let tails = bindings rest in
+        List.concat_map (fun v -> List.map (fun tl -> v :: tl) tails) domain
+  in
+  bindings free
+  |> List.filter_map (fun binding ->
+         let ground =
+           List.fold_left2 (fun f x v -> Fo.subst_const x v f) q free binding
+         in
+         let report = evaluate ?config db ground in
+         if value report.outcome > 0.0 then Some (binding, report) else None)
+  |> List.sort (fun (a, _) (b, _) -> Core.Tuple.compare a b)
+
+let expected_answer_count ?config ~free db q =
+  List.fold_left
+    (fun acc (_, report) -> acc +. value report.outcome)
+    0.0
+    (answers ?config ~free db q)
+
+let pp_report ppf r =
+  let pp_outcome ppf = function
+    | Exact v -> Format.fprintf ppf "%.9g (exact)" v
+    | Approximate { value; std_error } ->
+        Format.fprintf ppf "%.9g (±%.2g at 95%%)" value (1.96 *. std_error)
+  in
+  Format.fprintf ppf "@[<v>%a via %s" pp_outcome r.outcome (strategy_name r.strategy);
+  List.iter
+    (fun (s, reason) -> Format.fprintf ppf "@   %s skipped: %s" (strategy_name s) reason)
+    r.skipped;
+  Format.fprintf ppf "@]"

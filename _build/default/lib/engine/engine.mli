@@ -1,0 +1,89 @@
+(** The PQE engine: a dispatcher over every inference method in the
+    repository.
+
+    This is the "probabilistic database system" the paper's results add up
+    to. Given a query, the engine tries, in order:
+
+    + {e lifted inference} (Sec. 5) — polynomial time, exact, succeeds
+      exactly on safe queries of the unate ∃*/∀* fragment;
+    + {e symmetric WFOMC} (Sec. 8) — when the database happens to be
+      symmetric (every possible tuple listed at one probability per
+      relation), any FO² sentence is polynomial, including #P-hard ones
+      like H0;
+    + a {e safe extensional plan} (Sec. 6) — exact on hierarchical
+      self-join-free CQs, evaluated with plain relational operators;
+    + {e read-once factorisation} — when the monotone DNF lineage is
+      read-once (e.g. any hierarchical CQ lineage), probability in linear
+      time (Golumbic et al., Sec. 7 context);
+    + {e knowledge compilation to OBDD} (Sec. 7) — exact, grounded; blows
+      up on hard queries and is capped by a node budget;
+    + {e DPLL with caching and components} (Sec. 7) — exact, grounded,
+      capped by a decision budget;
+    + {e Karp–Luby sampling} on the DNF lineage — an FPRAS for monotone
+      UCQs when everything exact has failed;
+    + {e possible-world enumeration} — the last resort for tiny databases.
+
+    Every answer reports which method produced it and why the earlier ones
+    were skipped — the paper's narrative (who wins where) as an API. *)
+
+type strategy =
+  | Lifted
+  | Symmetric
+  | Safe_plan
+  | Read_once
+  | Obdd
+  | Dpll
+  | Karp_luby
+  | World_enum
+
+val strategy_name : strategy -> string
+
+type config = {
+  strategies : strategy list;  (** tried in order *)
+  obdd_max_nodes : int;
+  dpll_max_decisions : int;
+  kl_samples : int;
+  max_enum_support : int;
+  seed : int;
+}
+
+val default_config : config
+(** All eight strategies in the order above; 200k OBDD nodes, 2M decisions,
+    100k Karp–Luby samples. *)
+
+val exact_only : config
+(** Drops Karp–Luby. *)
+
+type outcome =
+  | Exact of float
+  | Approximate of { value : float; std_error : float }
+
+val value : outcome -> float
+
+type report = {
+  outcome : outcome;
+  strategy : strategy;  (** the method that produced the answer *)
+  skipped : (strategy * string) list;  (** earlier methods and why they failed *)
+}
+
+exception No_method of (strategy * string) list
+(** Every configured strategy failed; the payload says why. *)
+
+val evaluate : ?config:config -> Probdb_core.Tid.t -> Probdb_logic.Fo.t -> report
+
+val probability : ?config:config -> Probdb_core.Tid.t -> Probdb_logic.Fo.t -> float
+(** The numeric value of {!evaluate}'s outcome. *)
+
+val answers :
+  ?config:config -> free:string list -> Probdb_core.Tid.t -> Probdb_logic.Fo.t ->
+  (Probdb_core.Value.t list * report) list
+(** Non-Boolean queries: evaluates the Boolean query obtained by binding
+    the free variables to each combination of domain values, keeping the
+    bindings with positive probability. *)
+
+val expected_answer_count :
+  ?config:config -> free:string list -> Probdb_core.Tid.t -> Probdb_logic.Fo.t -> float
+(** Expected number of answers of a non-Boolean query, by linearity of
+    expectation: the sum of the per-binding marginals of {!answers}. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/kc/circuit.ml: Format Hashtbl Int List Printf Result Set String

@@ -1,0 +1,1 @@
+lib/kc/ddnnf.ml: Array Circuit Hashtbl Int List Set

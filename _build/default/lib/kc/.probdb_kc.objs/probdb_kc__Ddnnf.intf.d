@@ -1,0 +1,1 @@
+lib/kc/ddnnf.mli: Circuit

@@ -1,0 +1,1 @@
+lib/kc/obdd.ml: Circuit Hashtbl List Probdb_boolean

@@ -1,0 +1,1 @@
+lib/kc/obdd.mli: Circuit Probdb_boolean

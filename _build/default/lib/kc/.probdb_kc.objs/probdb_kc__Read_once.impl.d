@@ -1,0 +1,1 @@
+lib/kc/read_once.ml: Array Fun Hashtbl Int List Option Probdb_boolean Set

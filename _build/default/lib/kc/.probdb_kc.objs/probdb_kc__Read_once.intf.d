@@ -1,0 +1,1 @@
+lib/kc/read_once.mli: Probdb_boolean

@@ -1,0 +1,243 @@
+type t = { id : int; node : node }
+
+and node =
+  | True_
+  | False_
+  | Decision of { var : int; lo : t; hi : t }
+  | And_ of t list
+  | Ior of t list
+
+(* Hash-consing key: constructor tag + child ids. *)
+type key = K_true | K_false | K_decision of int * int * int | K_and of int list | K_ior of int list
+
+type builder = {
+  unique : (key, t) Hashtbl.t;
+  mutable next_id : int;
+  mutable internal : int;
+}
+
+let builder () = { unique = Hashtbl.create 256; next_id = 0; internal = 0 }
+
+let mk b key node =
+  match Hashtbl.find_opt b.unique key with
+  | Some t -> t
+  | None ->
+      let t = { id = b.next_id; node } in
+      b.next_id <- b.next_id + 1;
+      (match node with True_ | False_ -> () | _ -> b.internal <- b.internal + 1);
+      Hashtbl.replace b.unique key t;
+      t
+
+let tru b = mk b K_true True_
+let fls b = mk b K_false False_
+
+let decision b var ~lo ~hi =
+  if lo.id = hi.id then lo
+  else mk b (K_decision (var, lo.id, hi.id)) (Decision { var; lo; hi })
+
+let band b children =
+  let rec flatten acc = function
+    | [] -> Some acc
+    | { node = True_; _ } :: rest -> flatten acc rest
+    | { node = False_; _ } :: _ -> None
+    | { node = And_ cs; _ } :: rest -> flatten (List.rev_append cs acc) rest
+    | c :: rest -> flatten (c :: acc) rest
+  in
+  match flatten [] children with
+  | None -> fls b
+  | Some [] -> tru b
+  | Some [ c ] -> c
+  | Some cs ->
+      let cs = List.sort_uniq (fun a c -> Int.compare a.id c.id) cs in
+      (match cs with
+      | [ c ] -> c
+      | _ -> mk b (K_and (List.map (fun c -> c.id) cs)) (And_ cs))
+
+let ior b children =
+  let rec flatten acc = function
+    | [] -> Some acc
+    | { node = False_; _ } :: rest -> flatten acc rest
+    | { node = True_; _ } :: _ -> None
+    | { node = Ior cs; _ } :: rest -> flatten (List.rev_append cs acc) rest
+    | c :: rest -> flatten (c :: acc) rest
+  in
+  match flatten [] children with
+  | None -> tru b
+  | Some [] -> fls b
+  | Some [ c ] -> c
+  | Some cs ->
+      let cs = List.sort_uniq (fun a c -> Int.compare a.id c.id) cs in
+      (match cs with
+      | [ c ] -> c
+      | _ -> mk b (K_ior (List.map (fun c -> c.id) cs)) (Ior cs))
+
+let var_leaf b v = decision b v ~lo:(fls b) ~hi:(tru b)
+
+let built_nodes b = b.internal
+
+let iter_nodes f root =
+  let seen = Hashtbl.create 64 in
+  let rec go t =
+    if not (Hashtbl.mem seen t.id) then begin
+      Hashtbl.add seen t.id ();
+      f t;
+      match t.node with
+      | True_ | False_ -> ()
+      | Decision { lo; hi; _ } ->
+          go lo;
+          go hi
+      | And_ cs | Ior cs -> List.iter go cs
+    end
+  in
+  go root
+
+let size root =
+  let n = ref 0 in
+  iter_nodes (fun t -> match t.node with True_ | False_ -> () | _ -> incr n) root;
+  !n
+
+let edge_count root =
+  let n = ref 0 in
+  iter_nodes
+    (fun t ->
+      match t.node with
+      | True_ | False_ -> ()
+      | Decision _ -> n := !n + 2
+      | And_ cs | Ior cs -> n := !n + List.length cs)
+    root;
+  !n
+
+module Iset = Set.Make (Int)
+
+let scope_tbl root =
+  let tbl = Hashtbl.create 64 in
+  let rec go t =
+    match Hashtbl.find_opt tbl t.id with
+    | Some s -> s
+    | None ->
+        let s =
+          match t.node with
+          | True_ | False_ -> Iset.empty
+          | Decision { var; lo; hi } -> Iset.add var (Iset.union (go lo) (go hi))
+          | And_ cs | Ior cs ->
+              List.fold_left (fun acc c -> Iset.union acc (go c)) Iset.empty cs
+        in
+        Hashtbl.replace tbl t.id s;
+        s
+  in
+  ignore (go root);
+  tbl
+
+let scope root = Iset.elements (Hashtbl.find (scope_tbl root) root.id)
+
+let rec eval assignment t =
+  match t.node with
+  | True_ -> true
+  | False_ -> false
+  | Decision { var; lo; hi } -> if assignment var then eval assignment hi else eval assignment lo
+  | And_ cs -> List.for_all (eval assignment) cs
+  | Ior cs -> List.exists (eval assignment) cs
+
+let wmc p root =
+  let memo = Hashtbl.create 64 in
+  let rec go t =
+    match Hashtbl.find_opt memo t.id with
+    | Some v -> v
+    | None ->
+        let v =
+          match t.node with
+          | True_ -> 1.0
+          | False_ -> 0.0
+          | Decision { var; lo; hi } -> ((1.0 -. p var) *. go lo) +. (p var *. go hi)
+          | And_ cs -> List.fold_left (fun acc c -> acc *. go c) 1.0 cs
+          | Ior cs -> 1.0 -. List.fold_left (fun acc c -> acc *. (1.0 -. go c)) 1.0 cs
+        in
+        Hashtbl.replace memo t.id v;
+        v
+  in
+  go root
+
+type kind = Obdd_like | Fbdd | Decision_dnnf | Extended
+
+let kind ~order root =
+  let has_and = ref false and has_ior = ref false in
+  iter_nodes
+    (fun t ->
+      match t.node with
+      | And_ _ -> has_and := true
+      | Ior _ -> has_ior := true
+      | _ -> ())
+    root;
+  if !has_ior then Extended
+  else if !has_and then Decision_dnnf
+  else
+    match order with
+    | None -> Fbdd
+    | Some order ->
+        let level = Hashtbl.create 16 in
+        List.iteri (fun i v -> Hashtbl.replace level v i) order;
+        let lv v = match Hashtbl.find_opt level v with Some l -> l | None -> max_int in
+        let ordered = ref true in
+        iter_nodes
+          (fun t ->
+            match t.node with
+            | Decision { var; lo; hi } ->
+                let check_child c =
+                  match c.node with
+                  | Decision { var = v'; _ } -> if lv v' <= lv var then ordered := false
+                  | _ -> ()
+                in
+                check_child lo;
+                check_child hi
+            | _ -> ())
+          root;
+        if !ordered then Obdd_like else Fbdd
+
+let check root =
+  let scopes = scope_tbl root in
+  let sc t = Hashtbl.find scopes t.id in
+  let problem = ref None in
+  iter_nodes
+    (fun t ->
+      if !problem = None then
+        match t.node with
+        | True_ | False_ -> ()
+        | Decision { var; lo; hi } ->
+            if Iset.mem var (sc lo) || Iset.mem var (sc hi) then
+              problem := Some (Printf.sprintf "variable %d re-read below its decision node" var)
+        | And_ cs | Ior cs ->
+            let rec disjoint seen = function
+              | [] -> ()
+              | c :: rest ->
+                  let s = sc c in
+                  if not (Iset.is_empty (Iset.inter seen s)) then
+                    problem :=
+                      Some
+                        (Printf.sprintf "node %d: children scopes overlap on {%s}" t.id
+                           (String.concat ","
+                              (List.map string_of_int (Iset.elements (Iset.inter seen s)))))
+                  else disjoint (Iset.union seen s) rest
+            in
+            disjoint Iset.empty cs)
+    root;
+  match !problem with None -> Ok () | Some msg -> Error msg
+
+let check_decomposable root = Result.is_ok (check root)
+
+let pp ?(label = fun v -> "x" ^ string_of_int v) () ppf root =
+  let rec go ppf t =
+    match t.node with
+    | True_ -> Format.pp_print_string ppf "T"
+    | False_ -> Format.pp_print_string ppf "F"
+    | Decision { var; lo; hi } ->
+        Format.fprintf ppf "@[<hv2>ite(%s,@ %a,@ %a)@]" (label var) go hi go lo
+    | And_ cs ->
+        Format.fprintf ppf "@[<hv2>and(%a)@]"
+          (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") go)
+          cs
+    | Ior cs ->
+        Format.fprintf ppf "@[<hv2>ior(%a)@]"
+          (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") go)
+          cs
+  in
+  go ppf root

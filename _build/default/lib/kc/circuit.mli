@@ -1,0 +1,83 @@
+(** Trace circuits: FBDDs, decision-DNNFs, and independent-or extensions.
+
+    Huang and Darwiche's observation (Sec. 7 of the paper): the trace of a
+    DPLL-style algorithm is a circuit — an FBDD when the algorithm uses
+    caching only, a decision-DNNF when it also uses components. This module
+    is the circuit datatype those traces are recorded in, with hash-consing
+    so that cache hits become shared subcircuits and the circuit size equals
+    the number of distinct subproblems the algorithm solved.
+
+    A circuit node is a decision node (Shannon expansion on a variable), an
+    independent-[and] (components rule, Eq. (12)), or — beyond
+    decision-DNNF — an independent-[or] (the dual of components, used by
+    extensional plans but not by DPLL provers). {!kind} reports the
+    strongest classical class a circuit belongs to. *)
+
+type t = private {
+  id : int;
+  node : node;
+}
+
+and node = private
+  | True_
+  | False_
+  | Decision of { var : int; lo : t; hi : t }
+  | And_ of t list
+  | Ior of t list
+
+type builder
+
+val builder : unit -> builder
+val tru : builder -> t
+val fls : builder -> t
+
+val decision : builder -> int -> lo:t -> hi:t -> t
+(** Collapses to the child when [lo == hi]. *)
+
+val band : builder -> t list -> t
+(** Independent-and node; flattens, drops [true] children, collapses to
+    [false] on a [false] child. The caller guarantees children have disjoint
+    variable scopes ({!check_decomposable} verifies). *)
+
+val ior : builder -> t list -> t
+(** Independent-or node (dual conventions). *)
+
+val var_leaf : builder -> int -> t
+(** The one-decision circuit testing a single variable. *)
+
+val built_nodes : builder -> int
+(** Total distinct internal nodes ever built — the trace size measure used
+    by the Theorem 7.1 experiments. *)
+
+(** {1 Analysis} *)
+
+val size : t -> int
+(** Distinct internal (non-leaf) nodes reachable from the root. *)
+
+val edge_count : t -> int
+val scope : t -> int list
+(** Variables read anywhere below the node. *)
+
+val eval : (int -> bool) -> t -> bool
+
+val wmc : (int -> float) -> t -> float
+(** Weighted model count in probability form: decisions combine by Shannon
+    expansion, independent-ands multiply, independent-ors combine as
+    [1 - Π(1-p)]. Linear in the circuit size. *)
+
+type kind = Obdd_like | Fbdd | Decision_dnnf | Extended
+
+val kind : order:int list option -> t -> kind
+(** Strongest class the circuit syntactically belongs to: no [And_]/[Ior]
+    and decisions following [order] on every path → [Obdd_like]; no
+    [And_]/[Ior] → [Fbdd]; no [Ior] → [Decision_dnnf]; otherwise
+    [Extended]. Assumes {!check_decomposable} and read-once paths hold
+    (guaranteed for DPLL traces, verified by {!check}). *)
+
+val check : t -> (unit, string) result
+(** Structural validity: decision variables are not re-read below either
+    branch, and [And_]/[Ior] children have pairwise disjoint scopes. *)
+
+val check_decomposable : t -> bool
+
+val pp : ?label:(int -> string) -> unit -> Format.formatter -> t -> unit

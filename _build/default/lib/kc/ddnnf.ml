@@ -1,0 +1,94 @@
+type t =
+  | Lit of int * bool
+  | Tru
+  | Fls
+  | And of t list
+  | Or of t list
+
+let of_circuit root =
+  let memo = Hashtbl.create 64 in
+  let rec go (c : Circuit.t) =
+    match Hashtbl.find_opt memo c.Circuit.id with
+    | Some d -> d
+    | None ->
+        let d =
+          match c.Circuit.node with
+          | Circuit.True_ -> Tru
+          | Circuit.False_ -> Fls
+          | Circuit.Decision { var; lo; hi } ->
+              Or [ And [ Lit (var, true); go hi ]; And [ Lit (var, false); go lo ] ]
+          | Circuit.And_ cs -> And (List.map go cs)
+          | Circuit.Ior _ ->
+              invalid_arg "Ddnnf.of_circuit: independent-or is not d-DNNF"
+        in
+        Hashtbl.replace memo c.Circuit.id d;
+        d
+  in
+  go root
+
+let rec eval a = function
+  | Lit (v, phase) -> a v = phase
+  | Tru -> true
+  | Fls -> false
+  | And cs -> List.for_all (eval a) cs
+  | Or cs -> List.exists (eval a) cs
+
+let rec wmc p = function
+  | Lit (v, true) -> p v
+  | Lit (v, false) -> 1.0 -. p v
+  | Tru -> 1.0
+  | Fls -> 0.0
+  | And cs -> List.fold_left (fun acc c -> acc *. wmc p c) 1.0 cs
+  | Or cs -> List.fold_left (fun acc c -> acc +. wmc p c) 0.0 cs
+
+let rec size = function
+  | Lit _ | Tru | Fls -> 1
+  | And cs | Or cs -> List.fold_left (fun acc c -> acc + size c) 1 cs
+
+module Iset = Set.Make (Int)
+
+let rec var_set = function
+  | Lit (v, _) -> Iset.singleton v
+  | Tru | Fls -> Iset.empty
+  | And cs | Or cs ->
+      List.fold_left (fun acc c -> Iset.union acc (var_set c)) Iset.empty cs
+
+let vars d = Iset.elements (var_set d)
+
+let rec check_decomposable = function
+  | Lit _ | Tru | Fls -> true
+  | Or cs -> List.for_all check_decomposable cs
+  | And cs ->
+      let rec disjoint seen = function
+        | [] -> true
+        | c :: rest ->
+            let s = var_set c in
+            Iset.is_empty (Iset.inter seen s) && disjoint (Iset.union seen s) rest
+      in
+      disjoint Iset.empty cs && List.for_all check_decomposable cs
+
+let check_deterministic d =
+  let vs = Array.of_list (vars d) in
+  let n = Array.length vs in
+  if n > 20 then invalid_arg "Ddnnf.check_deterministic: too many variables";
+  (* Enumerate assignments once; at each Or node, at most one child may be
+     true under any assignment. *)
+  let assignment = Hashtbl.create n in
+  let a v = Hashtbl.find assignment v in
+  let rec node_ok = function
+    | Lit _ | Tru | Fls -> true
+    | And cs -> List.for_all node_ok cs
+    | Or cs ->
+        let true_children = List.filter (eval a) cs in
+        List.length true_children <= 1 && List.for_all node_ok cs
+  in
+  let rec enum i =
+    if i = n then node_ok d
+    else begin
+      Hashtbl.replace assignment vs.(i) true;
+      let ok = enum (i + 1) in
+      Hashtbl.replace assignment vs.(i) false;
+      ok && enum (i + 1)
+    end
+  in
+  enum 0

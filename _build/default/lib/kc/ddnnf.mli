@@ -1,0 +1,41 @@
+(** d-DNNF circuits: deterministic, decomposable negation normal form.
+
+    The most general compilation target discussed in Sec. 7 of the paper:
+    leaves are literals, ∧-nodes have independent (variable-disjoint)
+    children, ∨-nodes have disjoint (mutually exclusive) children, and
+    negation appears only at the leaves. Weighted model counting is linear
+    in the circuit size.
+
+    Every decision-DNNF embeds into a d-DNNF by rewriting each decision node
+    [ite(x, hi, lo)] as [(x ∧ hi) ∨ (¬x ∧ lo)] — a disjoint disjunction —
+    which is how {!of_circuit} works. *)
+
+type t =
+  | Lit of int * bool  (** variable, phase ([true] = positive) *)
+  | Tru
+  | Fls
+  | And of t list
+  | Or of t list
+
+val of_circuit : Circuit.t -> t
+(** Embeds a decision circuit (decision-DNNF). Raises [Invalid_argument] on
+    circuits containing independent-or nodes, which are not d-DNNF. *)
+
+val eval : (int -> bool) -> t -> bool
+
+val wmc : (int -> float) -> t -> float
+(** Linear-time weighted model counting; correct only on valid d-DNNF. *)
+
+val size : t -> int
+(** AST node count (this representation is a tree; sharing is not
+    tracked). *)
+
+val vars : t -> int list
+
+val check_decomposable : t -> bool
+(** ∧-children have pairwise disjoint variable sets. *)
+
+val check_deterministic : t -> bool
+(** ∨-children are pairwise logically inconsistent, verified by exhaustive
+    enumeration over the circuit variables. Exponential — testing only.
+    Raises [Invalid_argument] beyond 20 variables. *)

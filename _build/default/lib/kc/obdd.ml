@@ -1,0 +1,212 @@
+module F = Probdb_boolean.Formula
+
+type t = Zero | One | Node of { uid : int; var : int; lo : t; hi : t }
+
+exception Node_limit of int
+
+type manager = {
+  unique : (int * int * int, t) Hashtbl.t; (* (var, lo uid, hi uid) -> node *)
+  and_memo : (int * int, t) Hashtbl.t;
+  or_memo : (int * int, t) Hashtbl.t;
+  neg_memo : (int, t) Hashtbl.t;
+  level_tbl : (int, int) Hashtbl.t;
+  mutable rev_order : int list;
+  mutable next_uid : int;
+  max_nodes : int;
+}
+
+let manager ?(max_nodes = max_int) ~order () =
+  let m =
+    { unique = Hashtbl.create 1024;
+      and_memo = Hashtbl.create 1024;
+      or_memo = Hashtbl.create 1024;
+      neg_memo = Hashtbl.create 256;
+      level_tbl = Hashtbl.create 64;
+      rev_order = [];
+      next_uid = 2;
+      max_nodes }
+  in
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem m.level_tbl v) then begin
+        Hashtbl.replace m.level_tbl v (Hashtbl.length m.level_tbl);
+        m.rev_order <- v :: m.rev_order
+      end)
+    order;
+  m
+
+let order m = List.rev m.rev_order
+
+let level m v =
+  match Hashtbl.find_opt m.level_tbl v with
+  | Some l -> l
+  | None ->
+      let l = Hashtbl.length m.level_tbl in
+      Hashtbl.replace m.level_tbl v l;
+      m.rev_order <- v :: m.rev_order;
+      l
+
+let uid = function Zero -> 0 | One -> 1 | Node { uid; _ } -> uid
+
+let node_count m = Hashtbl.length m.unique
+
+let mk m v lo hi =
+  if uid lo = uid hi then lo
+  else
+    let key = (v, uid lo, uid hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+        if Hashtbl.length m.unique >= m.max_nodes then
+          raise (Node_limit m.max_nodes);
+        let n = Node { uid = m.next_uid; var = v; lo; hi } in
+        m.next_uid <- m.next_uid + 1;
+        Hashtbl.replace m.unique key n;
+        n
+
+let zero _ = Zero
+let one _ = One
+let var m v = mk m v Zero One
+
+let top_level m = function
+  | Zero | One -> max_int
+  | Node { var; _ } -> level m var
+
+let split m lv = function
+  | Node { var; lo; hi; _ } when level m var = lv -> (lo, hi)
+  | n -> (n, n)
+
+let rec neg m n =
+  match n with
+  | Zero -> One
+  | One -> Zero
+  | Node { uid = u; var; lo; hi } -> (
+      match Hashtbl.find_opt m.neg_memo u with
+      | Some r -> r
+      | None ->
+          let r = mk m var (neg m lo) (neg m hi) in
+          Hashtbl.replace m.neg_memo u r;
+          r)
+
+let rec apply m op_memo ~absorbing ~unit_ a b =
+  if a == absorbing || b == absorbing then absorbing
+  else if a == unit_ then b
+  else if b == unit_ then a
+  else if uid a = uid b then a
+  else
+    let key = if uid a <= uid b then (uid a, uid b) else (uid b, uid a) in
+    match Hashtbl.find_opt op_memo key with
+    | Some r -> r
+    | None ->
+        let lv = min (top_level m a) (top_level m b) in
+        let v =
+          match a, b with
+          | Node { var; _ }, _ when level m var = lv -> var
+          | _, Node { var; _ } -> var
+          | _ -> assert false
+        in
+        let a0, a1 = split m lv a in
+        let b0, b1 = split m lv b in
+        let r =
+          mk m v
+            (apply m op_memo ~absorbing ~unit_ a0 b0)
+            (apply m op_memo ~absorbing ~unit_ a1 b1)
+        in
+        Hashtbl.replace op_memo key r;
+        r
+
+let conj m a b = apply m m.and_memo ~absorbing:Zero ~unit_:One a b
+let disj m a b = apply m m.or_memo ~absorbing:One ~unit_:Zero a b
+
+let of_formula m f =
+  (* Compile bottom-up; the formula cache avoids recompiling shared
+     subformulas. *)
+  let cache = Hashtbl.create 256 in
+  let rec go f =
+    let key = F.to_key f in
+    match Hashtbl.find_opt cache key with
+    | Some n -> n
+    | None ->
+        let n =
+          match f with
+          | F.True -> One
+          | F.False -> Zero
+          | F.Var v -> var m v
+          | F.Not g -> neg m (go g)
+          | F.And gs -> List.fold_left (fun acc g -> conj m acc (go g)) One gs
+          | F.Or gs -> List.fold_left (fun acc g -> disj m acc (go g)) Zero gs
+        in
+        Hashtbl.replace cache key n;
+        n
+  in
+  go f
+
+let size root =
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | Zero | One -> ()
+    | Node { uid; lo; hi; _ } ->
+        if not (Hashtbl.mem seen uid) then begin
+          Hashtbl.add seen uid ();
+          go lo;
+          go hi
+        end
+  in
+  go root;
+  Hashtbl.length seen
+
+let rec eval assignment = function
+  | Zero -> false
+  | One -> true
+  | Node { var; lo; hi; _ } -> eval assignment (if assignment var then hi else lo)
+
+let wmc _m p root =
+  let memo = Hashtbl.create 64 in
+  let rec go = function
+    | Zero -> 0.0
+    | One -> 1.0
+    | Node { uid; var; lo; hi } -> (
+        match Hashtbl.find_opt memo uid with
+        | Some v -> v
+        | None ->
+            let v = ((1.0 -. p var) *. go lo) +. (p var *. go hi) in
+            Hashtbl.replace memo uid v;
+            v)
+  in
+  go root
+
+let sat_count m ~over_vars root =
+  wmc m (fun _ -> 0.5) root *. (2.0 ** float_of_int over_vars)
+
+let to_circuit builder root =
+  let memo = Hashtbl.create 64 in
+  let rec go = function
+    | Zero -> Circuit.fls builder
+    | One -> Circuit.tru builder
+    | Node { uid; var; lo; hi } -> (
+        match Hashtbl.find_opt memo uid with
+        | Some c -> c
+        | None ->
+            let c = Circuit.decision builder var ~lo:(go lo) ~hi:(go hi) in
+            Hashtbl.replace memo uid c;
+            c)
+  in
+  go root
+
+let default_order f =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let note v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      out := v :: !out
+    end
+  in
+  let rec go = function
+    | F.True | F.False -> ()
+    | F.Var v -> note v
+    | F.Not g -> go g
+    | F.And gs | F.Or gs -> List.iter go gs
+  in
+  go f;
+  List.rev !out

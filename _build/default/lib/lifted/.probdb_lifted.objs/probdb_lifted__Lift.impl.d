@@ -1,0 +1,1 @@
+lib/lifted/lift.ml: Array Format Fun Hashtbl Int List Logs Option Printf Probdb_core Probdb_logic Seq Set String

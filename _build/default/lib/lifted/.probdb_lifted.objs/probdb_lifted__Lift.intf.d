@@ -1,0 +1,1 @@
+lib/lifted/lift.mli: Format Logs Probdb_core Probdb_logic

@@ -1,0 +1,319 @@
+module Core = Probdb_core
+module Fo = Probdb_logic.Fo
+module Cq = Probdb_logic.Cq
+module Ucq = Probdb_logic.Ucq
+
+exception Unsafe of string
+
+let log_src = Logs.Src.create "probdb.lifted" ~doc:"Lifted inference rule applications"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = { use_inclusion_exclusion : bool; use_cancellation : bool }
+
+let default_config = { use_inclusion_exclusion = true; use_cancellation = true }
+let basic_rules_only = { default_config with use_inclusion_exclusion = false }
+let no_cancellation = { default_config with use_cancellation = false }
+
+type stats = {
+  mutable independent_unions : int;
+  mutable independent_joins : int;
+  mutable separator_steps : int;
+  mutable ie_expansions : int;
+  mutable ie_terms : int;
+  mutable cancelled_terms : int;
+  mutable base_lookups : int;
+}
+
+let fresh_stats () =
+  { independent_unions = 0;
+    independent_joins = 0;
+    separator_steps = 0;
+    ie_expansions = 0;
+    ie_terms = 0;
+    cancelled_terms = 0;
+    base_lookups = 0 }
+
+(* A clause is a disjunction of variable-connected CQ components; a query is
+   a conjunction of clauses. [] is the empty conjunction (true); [[]]
+   contains the empty clause (false). *)
+type clause = Cq.t list
+
+type query = clause list
+
+let clause_to_string d =
+  match d with
+  | [] -> "false"
+  | _ -> String.concat " || " (List.map Cq.to_string d)
+
+let query_to_string q =
+  match q with
+  | [] -> "true"
+  | _ -> String.concat " AND " (List.map (fun d -> "(" ^ clause_to_string d ^ ")") q)
+
+(* d1 implies d2, clause-wise (Sagiv–Yannakakis on the disjunctions). *)
+let clause_contained d1 d2 =
+  List.for_all (fun c -> List.exists (fun c' -> Cq.contained c c') d2) d1
+
+let clause_equiv d1 d2 = clause_contained d1 d2 && clause_contained d2 d1
+
+(* Drop components contained in a different component of the same clause,
+   keeping one representative per equivalence class. *)
+let clause_minimize d =
+  let d = List.map Cq.minimize d |> List.sort_uniq Cq.compare in
+  let rec filter kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+        let absorbs c' = Cq.contained c c' in
+        if List.exists absorbs kept || List.exists absorbs rest then filter kept rest
+        else filter (c :: kept) rest
+  in
+  filter [] d
+
+(* Drop clauses implied by a different clause of the conjunction. *)
+let conj_minimize q =
+  let rec filter kept = function
+    | [] -> List.rev kept
+    | d :: rest ->
+        let implies d' = clause_contained d' d in
+        if List.exists implies kept || List.exists implies rest then filter kept rest
+        else filter (d :: kept) rest
+  in
+  (* syntactic dedup first so that equal clauses don't absorb each other *)
+  let q = List.sort_uniq (List.compare Cq.compare) q in
+  filter [] q
+
+let query_of_ucq ucq : query =
+  let ucq = Ucq.minimize ucq in
+  if ucq = [] then [ [] ]
+  else if List.exists (fun cq -> cq = []) ucq then []
+  else
+    let comp_lists = List.map Cq.connected_components ucq in
+    let clauses =
+      List.fold_left
+        (fun acc comps ->
+          List.concat_map (fun clause -> List.map (fun c -> c :: clause) comps) acc)
+        [ [] ] comp_lists
+    in
+    conj_minimize (List.map clause_minimize clauses)
+
+(* Partition items into groups whose relation names are connected. *)
+let group_by_names names items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri, rj = find i, find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  let home = Hashtbl.create 16 in
+  Array.iteri
+    (fun i item ->
+      List.iter
+        (fun name ->
+          match Hashtbl.find_opt home name with
+          | Some j -> union i j
+          | None -> Hashtbl.add home name i)
+        (names item))
+    items;
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i item ->
+      let r = find i in
+      Hashtbl.replace groups r (item :: Option.value ~default:[] (Hashtbl.find_opt groups r)))
+    items;
+  Hashtbl.fold (fun _ g acc -> List.rev g :: acc) groups []
+
+module Iset = Set.Make (Int)
+
+let positions_of_var (a : Cq.atom) x =
+  List.to_seq a.Cq.args
+  |> Seq.mapi (fun i t -> (i, t))
+  |> Seq.filter_map (fun (i, t) ->
+         match t with Fo.Var y when String.equal x y -> Some i | _ -> None)
+  |> Iset.of_seq
+
+(* A separator assigns to each component a variable occurring in all its
+   atoms such that a single position per relation symbol carries the chosen
+   variable in every atom of the whole clause (Sec. 5's side condition:
+   this makes the substituted queries over distinct constants touch
+   disjoint sets of tuples, hence independent). [posmap] accumulates the
+   allowed positions per relation name. *)
+let find_separator (d : clause) : (Cq.t * string) list option =
+  let candidates c =
+    List.filter
+      (fun x -> List.length (Cq.atoms_of_var c x) = List.length c)
+      (Cq.vars c)
+  in
+  let restrict posmap c x =
+    List.fold_left
+      (fun posmap_opt (a : Cq.atom) ->
+        Option.bind posmap_opt (fun posmap ->
+            let here = positions_of_var a x in
+            let allowed =
+              match List.assoc_opt a.Cq.rel posmap with
+              | None -> here
+              | Some s -> Iset.inter s here
+            in
+            if Iset.is_empty allowed then None
+            else Some ((a.Cq.rel, allowed) :: List.remove_assoc a.Cq.rel posmap)))
+      (Some posmap) c
+  in
+  let rec assign posmap acc = function
+    | [] -> Some (List.rev acc)
+    | c :: rest ->
+        List.find_map
+          (fun x ->
+            match restrict posmap c x with
+            | Some posmap' -> assign posmap' ((c, x) :: acc) rest
+            | None -> None)
+          (candidates c)
+  in
+  assign [] [] d
+
+let ground_tuple (a : Cq.atom) =
+  let value = function Fo.Const v -> Some v | Fo.Var _ -> None in
+  let vals = List.filter_map value a.Cq.args in
+  if List.length vals = List.length a.Cq.args then Some vals else None
+
+(* Non-empty subsets of a list, with the subset size. *)
+let nonempty_subsets xs =
+  let rec go = function
+    | [] -> [ ([], 0) ]
+    | x :: rest ->
+        let subs = go rest in
+        subs @ List.map (fun (s, k) -> (x :: s, k + 1)) subs
+  in
+  List.filter (fun (_, k) -> k > 0) (go xs)
+
+let eval_query config stats db (q0 : query) =
+  let domain = Core.Tid.domain db in
+  let base (a : Cq.atom) tuple =
+    stats.base_lookups <- stats.base_lookups + 1;
+    let p = Core.Tid.prob db a.Cq.rel tuple in
+    if a.Cq.comp then 1.0 -. p else p
+  in
+  let rec prob_query q =
+    let q = conj_minimize (List.map clause_minimize q) in
+    match q with
+    | [] -> 1.0
+    | [ d ] -> prob_clause d
+    | clauses -> (
+        match group_by_names (fun d -> List.concat_map Cq.rel_names d) clauses with
+        | [] -> 1.0
+        | [ _single ] -> inclusion_exclusion clauses
+        | groups ->
+            stats.independent_joins <- stats.independent_joins + 1;
+            Log.debug (fun m ->
+                m "independent join: %d groups of %s" (List.length groups)
+                  (query_to_string clauses));
+            List.fold_left (fun acc g -> acc *. prob_query g) 1.0 groups)
+  and inclusion_exclusion clauses =
+    if not config.use_inclusion_exclusion then
+      raise
+        (Unsafe
+           (Printf.sprintf "inclusion-exclusion needed (disabled) on: %s"
+              (query_to_string clauses)));
+    stats.ie_expansions <- stats.ie_expansions + 1;
+    let terms =
+      List.map
+        (fun (subset, k) ->
+          let union_clause = clause_minimize (List.concat subset) in
+          let sign = if k mod 2 = 1 then 1 else -1 in
+          (union_clause, sign))
+        (nonempty_subsets clauses)
+    in
+    let terms =
+      if not config.use_cancellation then terms
+      else begin
+        let grouped =
+          List.fold_left
+            (fun acc (d, coeff) ->
+              let rec add = function
+                | [] -> [ (d, coeff) ]
+                | (d', coeff') :: rest when clause_equiv d d' -> (d', coeff' + coeff) :: rest
+                | pair :: rest -> pair :: add rest
+              in
+              add acc)
+            [] terms
+        in
+        let kept = List.filter (fun (_, coeff) -> coeff <> 0) grouped in
+        stats.cancelled_terms <-
+          stats.cancelled_terms + (List.length terms - List.length kept);
+        kept
+      end
+    in
+    stats.ie_terms <- stats.ie_terms + List.length terms;
+    Log.debug (fun m ->
+        m "inclusion-exclusion over %d clauses: %d terms after cancellation"
+          (List.length clauses) (List.length terms));
+    List.fold_left
+      (fun acc (d, coeff) -> acc +. (float_of_int coeff *. prob_clause d))
+      0.0 terms
+  and prob_clause d =
+    let d = clause_minimize d in
+    match d with
+    | [] -> 0.0
+    | _ when List.exists (fun c -> c = []) d -> 1.0
+    | [ [ a ] ] when Option.is_some (ground_tuple a) ->
+        base a (Option.get (ground_tuple a))
+    | _ -> (
+        match group_by_names Cq.rel_names d with
+        | [] -> 0.0
+        | [ _single ] -> (
+            match find_separator d with
+            | Some pairs ->
+                stats.separator_steps <- stats.separator_steps + 1;
+                Log.debug (fun m ->
+                    m "separator {%s} on %s"
+                      (String.concat ", " (List.map snd pairs))
+                      (clause_to_string d));
+                let factor a =
+                  let ucq = List.map (fun (c, x) -> Cq.subst_const x a c) pairs in
+                  1.0 -. prob_query (query_of_ucq ucq)
+                in
+                1.0 -. List.fold_left (fun acc a -> acc *. factor a) 1.0 domain
+            | None ->
+                raise
+                  (Unsafe
+                     (Printf.sprintf "no lifted rule applies to clause: %s"
+                        (clause_to_string d))))
+        | groups ->
+            stats.independent_unions <- stats.independent_unions + 1;
+            Log.debug (fun m ->
+                m "independent union: %d groups of %s" (List.length groups)
+                  (clause_to_string d));
+            1.0
+            -. List.fold_left (fun acc g -> acc *. (1.0 -. prob_clause g)) 1.0 groups)
+  in
+  prob_query q0
+
+let probability_ucq ?(config = default_config) ?(stats = fresh_stats ()) db ucq =
+  eval_query config stats db (query_of_ucq ucq)
+
+let probability ?config ?stats db q =
+  let ucq, mode = Ucq.of_sentence q in
+  Ucq.apply_mode mode (probability_ucq ?config ?stats db ucq)
+
+type verdict = Safe | Unsafe_by_rules of string | Unsupported of string
+
+(* Rule applicability does not depend on probabilities or on which domain
+   constant is substituted, so a one-element domain with an empty database
+   decides safety. *)
+let abstract_db = Core.Tid.make ~domain:[ Core.Value.Str "\xe2\x80\xa2" ] []
+
+let classify_ucq ?config ucq =
+  match probability_ucq ?config abstract_db ucq with
+  | (_ : float) -> Safe
+  | exception Unsafe msg -> Unsafe_by_rules msg
+
+let classify ?config q =
+  match Ucq.of_sentence q with
+  | exception Ucq.Unsupported msg -> Unsupported msg
+  | ucq, _mode -> classify_ucq ?config ucq
+
+let pp_verdict ppf = function
+  | Safe -> Format.pp_print_string ppf "safe (PTIME by lifted inference)"
+  | Unsafe_by_rules msg -> Format.fprintf ppf "unsafe (rules fail: %s)" msg
+  | Unsupported msg -> Format.fprintf ppf "unsupported (%s)" msg

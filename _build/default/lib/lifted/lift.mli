@@ -1,0 +1,88 @@
+(** Lifted inference: evaluating PQE on the first-order syntax alone.
+
+    Implements the rule system of Sec. 5 of the paper on unate ∃*/∀*
+    sentences (reduced to UCQs by [Probdb_logic.Ucq.of_sentence]):
+
+    - independent union / independent join (rule (7) and its dual), with
+      independence decided by disjointness of relation symbols;
+    - the separator-variable rule (rule (8) and its dual);
+    - the inclusion–exclusion formula (rule (10)) with cancellation of
+      equivalent terms — the rule the paper singles out as the surprising
+      ingredient of complete lifted inference (Thm. 5.1);
+    - CQ/UCQ minimisation via homomorphism containment throughout.
+
+    Internally a query is kept in CNF shape: a conjunction of {e clauses},
+    each clause a disjunction of variable-connected CQ {e components}. The
+    evaluation always runs in time polynomial in the database.
+
+    When no rule applies the query is rejected with {!Unsafe}. For
+    constant-free queries in the fragment this coincides with #P-hardness
+    (Thm. 5.1) up to the paper's omitted refinements: we implement neither
+    {e shattering} (needed for constants in the input query) nor {e ranking}
+    (needed for atoms repeating a variable, e.g. [R(x,y) ∧ R(y,x)]), so a
+    handful of exotic safe queries are rejected and must fall back to
+    grounded inference. The experiment suite documents this boundary.
+
+    The [use_inclusion_exclusion] and [use_cancellation] switches exist as
+    ablations: without I/E the basic rules are incomplete (e.g. on [Q_J] of
+    Sec. 5); without cancellation the I/E expansion recurses into #P-hard
+    terms that a complete implementation must cancel (the [AB ∨ BC ∨ CD]
+    discussion of Sec. 5). *)
+
+exception Unsafe of string
+(** No lifted rule applies; the message names the offending subquery. *)
+
+val log_src : Logs.src
+(** Rule applications are logged at debug level on this source; enable with
+    [Logs.Src.set_level Lift.log_src (Some Logs.Debug)] (and a reporter) to
+    watch the derivation. *)
+
+type config = {
+  use_inclusion_exclusion : bool;
+  use_cancellation : bool;
+}
+
+val default_config : config
+(** Both on — the complete rule set of Theorem 5.1. *)
+
+val basic_rules_only : config
+(** Inclusion–exclusion disabled: the incomplete "basic rules" system. *)
+
+val no_cancellation : config
+(** I/E on, cancellation of equivalent terms off. *)
+
+type stats = {
+  mutable independent_unions : int;
+  mutable independent_joins : int;
+  mutable separator_steps : int;
+  mutable ie_expansions : int;  (** inclusion–exclusion applications *)
+  mutable ie_terms : int;  (** terms recursed into after cancellation *)
+  mutable cancelled_terms : int;  (** subset-sum terms removed by cancellation *)
+  mutable base_lookups : int;
+}
+
+val fresh_stats : unit -> stats
+
+val probability :
+  ?config:config -> ?stats:stats -> Probdb_core.Tid.t -> Probdb_logic.Fo.t -> float
+(** [probability db q] evaluates a unate ∃*/∀* sentence by lifted inference.
+    Raises {!Unsafe} when the rules fail, [Probdb_logic.Ucq.Unsupported]
+    outside the fragment. *)
+
+val probability_ucq :
+  ?config:config -> ?stats:stats -> Probdb_core.Tid.t -> Probdb_logic.Ucq.t -> float
+
+type verdict =
+  | Safe  (** lifted inference succeeds: PQE(Q) is in PTIME *)
+  | Unsafe_by_rules of string
+      (** the rules fail; for constant-free, repeat-free queries this means
+          #P-hard by Thm. 5.1 *)
+  | Unsupported of string  (** outside the unate ∃*/∀* fragment *)
+
+val classify : ?config:config -> Probdb_logic.Fo.t -> verdict
+(** Runs the rules symbolically (on a one-element abstract domain) — the
+    decision procedure of Question 4.2 for this fragment. *)
+
+val classify_ucq : ?config:config -> Probdb_logic.Ucq.t -> verdict
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,1 @@
+lib/lineage/lineage.ml: Hashtbl Int List Option Printf Probdb_boolean Probdb_core Probdb_logic

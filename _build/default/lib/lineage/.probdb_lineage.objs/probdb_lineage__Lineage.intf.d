@@ -1,0 +1,1 @@
+lib/lineage/lineage.mli: Probdb_boolean Probdb_core Probdb_logic

@@ -1,0 +1,140 @@
+module Core = Probdb_core
+module Fo = Probdb_logic.Fo
+module Cq = Probdb_logic.Cq
+module Semantics = Probdb_logic.Semantics
+module F = Probdb_boolean.Formula
+module Pool = Probdb_boolean.Var_pool
+
+type ctx = {
+  db : Core.Tid.t;
+  pool : Pool.t;
+  facts : (int, string * Core.Tuple.t) Hashtbl.t;
+}
+
+let fact_label rel tuple = Printf.sprintf "%s%s" rel (Core.Tuple.to_string tuple)
+
+let create db =
+  let pool = Pool.create () in
+  let facts = Hashtbl.create 64 in
+  List.iter
+    (fun (rel, tuple, p) ->
+      let id = Pool.intern pool ~prob:p (fact_label rel tuple) in
+      Hashtbl.replace facts id (rel, tuple))
+    (Core.Tid.support db);
+  { db; pool; facts }
+
+let db ctx = ctx.db
+let pool ctx = ctx.pool
+
+let var_of_fact ctx rel tuple =
+  if Core.Tid.mem_relation ctx.db rel && Core.Relation.mem (Core.Tid.relation ctx.db rel) tuple
+  then Pool.find ctx.pool (fact_label rel tuple)
+  else None
+
+let fact_of_var ctx id =
+  match Hashtbl.find_opt ctx.facts id with
+  | Some fact -> fact
+  | None -> raise Not_found
+
+let prob ctx id = Pool.prob ctx.pool id
+
+let atom_formula ctx rel tuple =
+  match var_of_fact ctx rel tuple with Some id -> F.var id | None -> F.fls
+
+let of_query ctx q =
+  if not (Fo.is_sentence q) then invalid_arg "Lineage.of_query: open formula";
+  let domain = Core.Tid.domain ctx.db in
+  let rec go env = function
+    | Fo.True -> F.tru
+    | Fo.False -> F.fls
+    | Fo.Atom a ->
+        atom_formula ctx a.Fo.rel (List.map (Semantics.eval_term env) a.Fo.args)
+    | Fo.Not f -> F.neg (go env f)
+    | Fo.And (f, g) -> F.conj2 (go env f) (go env g)
+    | Fo.Or (f, g) -> F.disj2 (go env f) (go env g)
+    | Fo.Implies (f, g) -> F.implies (go env f) (go env g)
+    | Fo.Exists (x, f) -> F.disj (List.map (fun a -> go ((x, a) :: env) f) domain)
+    | Fo.Forall (x, f) -> F.conj (List.map (fun a -> go ((x, a) :: env) f) domain)
+  in
+  go [] q
+
+(* Enumerate assignments of the CQ's variables over the domain, pruning a
+   branch as soon as a fully-instantiated positive atom is unlisted. *)
+let of_cq ctx cq =
+  let domain = Core.Tid.domain ctx.db in
+  let vars = Cq.vars cq in
+  let eval_arg env = function
+    | Fo.Const v -> v
+    | Fo.Var x -> List.assoc x env
+  in
+  let clause env =
+    let literal (a : Cq.atom) =
+      let tuple = List.map (eval_arg env) a.Cq.args in
+      match var_of_fact ctx a.Cq.rel tuple, a.Cq.comp with
+      | Some id, false -> Some (F.var id)
+      | Some id, true -> Some (F.neg (F.var id))
+      | None, false -> Some F.fls
+      | None, true -> None (* unlisted tuple is surely absent: literal true *)
+    in
+    F.conj (List.filter_map literal cq)
+  in
+  let rec assign env = function
+    | [] -> [ clause env ]
+    | x :: rest -> List.concat_map (fun a -> assign ((x, a) :: env) rest) domain
+  in
+  F.disj (assign [] vars)
+
+let of_ucq ctx ucq = F.disj (List.map (of_cq ctx) ucq)
+
+let clause_subsumes small big = List.for_all (fun x -> List.mem x big) small
+
+let absorb clauses =
+  let clauses = List.sort_uniq (List.compare Int.compare) clauses in
+  List.filter
+    (fun c ->
+      not
+        (List.exists
+           (fun c' -> (not (List.equal Int.equal c c')) && clause_subsumes c' c)
+           clauses))
+    clauses
+
+let dnf_of_ucq ctx ucq =
+  let domain = Core.Tid.domain ctx.db in
+  let eval_arg env = function
+    | Fo.Const v -> v
+    | Fo.Var x -> List.assoc x env
+  in
+  let cq_clauses cq =
+    let vars = Cq.vars cq in
+    let clause env =
+      let rec literals acc = function
+        | [] -> Some (List.sort_uniq Int.compare acc)
+        | (a : Cq.atom) :: rest ->
+            if a.Cq.comp then
+              invalid_arg "Lineage.dnf_of_ucq: complemented atom in UCQ";
+            let tuple = List.map (eval_arg env) a.Cq.args in
+            (match var_of_fact ctx a.Cq.rel tuple with
+            | Some id -> literals (id :: acc) rest
+            | None -> None)
+      in
+      literals [] cq
+    in
+    let rec assign env = function
+      | [] -> Option.to_list (clause env)
+      | x :: rest -> List.concat_map (fun a -> assign ((x, a) :: env) rest) domain
+    in
+    assign [] vars
+  in
+  absorb (List.concat_map cq_clauses ucq)
+
+let multiplicities clauses =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun v ->
+          Hashtbl.replace tbl v (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v)))
+        clause)
+    clauses;
+  Hashtbl.fold (fun v k acc -> (v, k) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

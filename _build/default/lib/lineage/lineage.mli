@@ -1,0 +1,56 @@
+(** Lineage: grounding a query over a TID into a Boolean formula.
+
+    The lineage [F_{Q,DOM}] of a sentence [Q] associates a Boolean variable
+    to every possible tuple and is true exactly on the assignments whose
+    corresponding world satisfies [Q] (Sec. 7 and the Appendix of the
+    paper). PQE is weighted model counting of the lineage: [p_D(Q) =
+    p(F_{Q,DOM})] with each tuple-variable weighted by its marginal
+    probability.
+
+    Unlisted possible tuples have probability 0, so their variables are
+    replaced by the constant [false] during construction; this keeps
+    lineages polynomial in the size of the database rather than in
+    |DOM|^arity. *)
+
+type ctx
+(** Grounding context: the database plus the pool mapping facts to Boolean
+    variables. *)
+
+val create : Probdb_core.Tid.t -> ctx
+
+val db : ctx -> Probdb_core.Tid.t
+
+val pool : ctx -> Probdb_boolean.Var_pool.t
+(** The fact/variable bijection. Variable probabilities equal the tuple
+    marginals, so the pool doubles as the WMC weight function. *)
+
+val var_of_fact : ctx -> string -> Probdb_core.Tuple.t -> int option
+(** The variable of a listed fact; [None] when the tuple is unlisted
+    (probability 0). *)
+
+val fact_of_var : ctx -> int -> string * Probdb_core.Tuple.t
+(** Inverse of {!var_of_fact}. Raises [Not_found] on foreign variables. *)
+
+val prob : ctx -> int -> float
+(** Marginal probability of a lineage variable. *)
+
+val of_query : ctx -> Probdb_logic.Fo.t -> Probdb_boolean.Formula.t
+(** The inductive lineage construction of the Appendix: conjunction for ∀
+    and ∧, disjunction for ∃ and ∨, negation for ¬, with quantifiers
+    expanded over the TID's domain. Works for arbitrary FO sentences. *)
+
+val of_cq : ctx -> Probdb_logic.Cq.t -> Probdb_boolean.Formula.t
+(** Lineage of a Boolean CQ (complemented atoms become negative literals
+    over the same fact variables). *)
+
+val of_ucq : ctx -> Probdb_logic.Ucq.t -> Probdb_boolean.Formula.t
+
+val dnf_of_ucq : ctx -> Probdb_logic.Ucq.t -> int list list
+(** The lineage of a positive UCQ directly as DNF clauses (sorted variable
+    lists, absorption applied) — the input format of Karp–Luby sampling and
+    of the multiplicity counts used by the lower bound of Theorem 6.1.
+    Raises [Invalid_argument] if some atom is complemented. *)
+
+val multiplicities : int list list -> (int * int) list
+(** How many DNF clauses each variable occurs in — the [k] of the
+    [1-(1-p)^{1/k}] lower-bound trick (Sec. 6). *)

@@ -1,0 +1,1 @@
+lib/logic/brute_force.ml: Fo List Printf Probdb_core Semantics String

@@ -1,0 +1,1 @@
+lib/logic/brute_force.mli: Fo Probdb_core

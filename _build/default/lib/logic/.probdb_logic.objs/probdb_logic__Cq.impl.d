@@ -1,0 +1,1 @@
+lib/logic/cq.ml: Array Bool Fo Format Fun Hashtbl List Option Printf Probdb_core Set String

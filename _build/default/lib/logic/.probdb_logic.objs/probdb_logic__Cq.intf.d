@@ -1,0 +1,1 @@
+lib/logic/cq.mli: Fo Format Probdb_core

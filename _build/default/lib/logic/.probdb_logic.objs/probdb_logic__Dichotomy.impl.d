@@ -1,0 +1,1 @@
+lib/logic/dichotomy.ml: Cq Format Ucq

@@ -1,0 +1,1 @@
+lib/logic/dichotomy.mli: Cq Fo Format

@@ -1,0 +1,1 @@
+lib/logic/fo.ml: Format Hashtbl Int List Printf Probdb_core Set String

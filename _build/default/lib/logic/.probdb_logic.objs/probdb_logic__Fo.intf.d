@@ -1,0 +1,1 @@
+lib/logic/fo.mli: Format Probdb_core

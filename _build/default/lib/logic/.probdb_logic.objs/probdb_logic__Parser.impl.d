@@ -1,0 +1,1 @@
+lib/logic/parser.ml: Fo List Printf Probdb_core String

@@ -1,0 +1,1 @@
+lib/logic/semantics.ml: Fo List Printf Probdb_core

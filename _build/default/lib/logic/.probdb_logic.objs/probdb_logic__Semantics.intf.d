@@ -1,0 +1,1 @@
+lib/logic/semantics.mli: Fo Probdb_core

@@ -1,0 +1,1 @@
+lib/logic/ucq.ml: Cq Fo Format List Printf String

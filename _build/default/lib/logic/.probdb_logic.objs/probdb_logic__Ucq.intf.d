@@ -1,0 +1,1 @@
+lib/logic/ucq.mli: Cq Fo Format

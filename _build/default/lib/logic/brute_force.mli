@@ -1,0 +1,24 @@
+(** Exact PQE by possible-world enumeration — the ground-truth oracle.
+
+    Computes [p_D(Q) = Σ_{W ⊨ Q} p_D(W)] (Eq. (1) of the paper) literally.
+    Exponential in the TID's support size; every other inference method in
+    this repository is validated against it on small inputs. *)
+
+val probability : Probdb_core.Tid.t -> Fo.t -> float
+(** Probability of a Boolean query. Raises [Invalid_argument] on open
+    formulas and [Probdb_core.Worlds.Too_large] on oversized supports. *)
+
+val answers :
+  Probdb_core.Tid.t -> free:string list -> Fo.t ->
+  (Probdb_core.Value.t list * float) list
+(** Non-Boolean queries: the marginal probability of each binding of the
+    free variables to domain values, listing only bindings with positive
+    probability, sorted by binding. *)
+
+val complement_tid :
+  Probdb_core.Tid.t -> (string * int) list -> Probdb_core.Tid.t
+(** [complement_tid db arities] materialises, for each listed relation, all
+    possible tuples over the domain with complemented probabilities
+    [1 - p(t)] (so unlisted tuples get probability 1). This is the database
+    [D^c] for which [p_D(dual Q) = 1 - p_{D^c}(Q)] (Sec. 2). Intended for
+    tiny domains. *)

@@ -1,0 +1,18 @@
+type verdict = Safe | Hard
+
+let classify_sjf_cq q =
+  if not (Cq.is_self_join_free q) then
+    invalid_arg "Dichotomy.classify_sjf_cq: query has self-joins";
+  if Cq.is_hierarchical q then Safe else Hard
+
+let classify_sentence_sjf q =
+  match Ucq.of_sentence q with
+  | exception Ucq.Unsupported _ -> None
+  | ucq, _mode -> (
+      match Ucq.minimize ucq with
+      | [ cq ] when Cq.is_self_join_free cq -> Some (classify_sjf_cq cq)
+      | _ -> None)
+
+let pp_verdict ppf = function
+  | Safe -> Format.pp_print_string ppf "PTIME"
+  | Hard -> Format.pp_print_string ppf "#P-hard"

@@ -1,0 +1,28 @@
+(** The small dichotomy: safety of self-join-free conjunctive queries.
+
+    Theorem 4.3 of the paper: a self-join-free CQ is computable in
+    polynomial time iff it is hierarchical (Def. 4.2), and otherwise it is
+    #P-hard; the classification itself is trivially cheap (AC⁰).
+
+    The classifier for the full unate ∃*/∀* language (Thm. 4.1) is
+    [Probdb_lifted.Lift.classify]: by Theorem 5.1 the lifted-inference rules
+    succeed exactly on the polynomial-time queries, so running them
+    symbolically decides safety. This module covers the self-join-free
+    special case where the syntactic test is immediate, and documents known
+    boundary examples. *)
+
+type verdict =
+  | Safe  (** PQE(Q) is in polynomial time *)
+  | Hard  (** PQE(Q) is #P-hard *)
+
+val classify_sjf_cq : Cq.t -> verdict
+(** Theorem 4.3. Raises [Invalid_argument] when the query has self-joins
+    (the hierarchy criterion is not valid there: [∃x∃y∃z R(x,y) ∧ R(y,z)]
+    is hierarchical yet #P-hard). *)
+
+val classify_sentence_sjf : Fo.t -> verdict option
+(** Convenience wrapper: reduces a unate ∃*/∀* sentence to a UCQ and, when
+    the result is a single self-join-free CQ, classifies it. [None] when the
+    reduction fails or the query is not a self-join-free CQ. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,381 @@
+module Value = Probdb_core.Value
+
+type term =
+  | Var of string
+  | Const of Value.t
+
+type atom = { rel : string; args : term list }
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of string * t
+  | Forall of string * t
+
+type quantifier = Q_exists | Q_forall
+
+let atom rel args = Atom { rel; args }
+let rel name vars = Atom { rel = name; args = List.map (fun v -> Var v) vars }
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let exists vars body = List.fold_right (fun v acc -> Exists (v, acc)) vars body
+let forall vars body = List.fold_right (fun v acc -> Forall (v, acc)) vars body
+
+let compare_term a b =
+  match a, b with
+  | Var x, Var y -> String.compare x y
+  | Const u, Const v -> Value.compare u v
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+
+let compare_atom a b =
+  match String.compare a.rel b.rel with
+  | 0 -> List.compare compare_term a.args b.args
+  | c -> c
+
+let rank = function
+  | True -> 0
+  | False -> 1
+  | Atom _ -> 2
+  | Not _ -> 3
+  | And _ -> 4
+  | Or _ -> 5
+  | Implies _ -> 6
+  | Exists _ -> 7
+  | Forall _ -> 8
+
+let rec compare f g =
+  match f, g with
+  | True, True | False, False -> 0
+  | Atom a, Atom b -> compare_atom a b
+  | Not f, Not g -> compare f g
+  | And (a, b), And (c, d) | Or (a, b), Or (c, d) | Implies (a, b), Implies (c, d) -> (
+      match compare a c with 0 -> compare b d | r -> r)
+  | Exists (x, f), Exists (y, g) | Forall (x, f), Forall (y, g) -> (
+      match String.compare x y with 0 -> compare f g | r -> r)
+  | _ -> Int.compare (rank f) (rank g)
+
+let equal f g = compare f g = 0
+
+module Sset = Set.Make (String)
+
+let term_vars = function Var x -> Sset.singleton x | Const _ -> Sset.empty
+
+let atom_vars a =
+  List.fold_left (fun acc t -> Sset.union acc (term_vars t)) Sset.empty a.args
+
+let rec free_set = function
+  | True | False -> Sset.empty
+  | Atom a -> atom_vars a
+  | Not f -> free_set f
+  | And (f, g) | Or (f, g) | Implies (f, g) -> Sset.union (free_set f) (free_set g)
+  | Exists (x, f) | Forall (x, f) -> Sset.remove x (free_set f)
+
+let free_vars f = Sset.elements (free_set f)
+let is_sentence f = Sset.is_empty (free_set f)
+
+let atoms f =
+  let rec go acc = function
+    | True | False -> acc
+    | Atom a -> a :: acc
+    | Not f -> go acc f
+    | And (f, g) | Or (f, g) | Implies (f, g) -> go (go acc f) g
+    | Exists (_, f) | Forall (_, f) -> go acc f
+  in
+  List.rev (go [] f)
+
+let relations f =
+  let add acc a =
+    let k = List.length a.args in
+    match List.assoc_opt a.rel acc with
+    | Some k' when k' <> k ->
+        invalid_arg
+          (Printf.sprintf "Fo.relations: %s used with arities %d and %d" a.rel k' k)
+    | Some _ -> acc
+    | None -> (a.rel, k) :: acc
+  in
+  List.fold_left add [] (atoms f)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let constants f =
+  atoms f
+  |> List.concat_map (fun a ->
+         List.filter_map (function Const v -> Some v | Var _ -> None) a.args)
+  |> List.sort_uniq Value.compare
+
+let rec size = function
+  | True | False | Atom _ -> 1
+  | Not f -> 1 + size f
+  | And (f, g) | Or (f, g) | Implies (f, g) -> 1 + size f + size g
+  | Exists (_, f) | Forall (_, f) -> 1 + size f
+
+let map_atom_args f a = { a with args = List.map f a.args }
+
+let subst_const x a f =
+  let on_term = function Var y when String.equal x y -> Const a | t -> t in
+  let rec go = function
+    | (True | False) as f -> f
+    | Atom at -> Atom (map_atom_args on_term at)
+    | Not f -> Not (go f)
+    | And (f, g) -> And (go f, go g)
+    | Or (f, g) -> Or (go f, go g)
+    | Implies (f, g) -> Implies (go f, go g)
+    | (Exists (y, _) | Forall (y, _)) as f when String.equal x y -> f
+    | Exists (y, f) -> Exists (y, go f)
+    | Forall (y, f) -> Forall (y, go f)
+  in
+  go f
+
+let subst_var x y f =
+  let on_term = function Var z when String.equal x z -> Var y | t -> t in
+  let rec go = function
+    | (True | False) as f -> f
+    | Atom at -> Atom (map_atom_args on_term at)
+    | Not f -> Not (go f)
+    | And (f, g) -> And (go f, go g)
+    | Or (f, g) -> Or (go f, go g)
+    | Implies (f, g) -> Implies (go f, go g)
+    | (Exists (z, _) | Forall (z, _)) as f when String.equal x z -> f
+    | Exists (z, body) ->
+        if String.equal z y && Sset.mem x (free_set body) then
+          invalid_arg "Fo.subst_var: variable capture"
+        else Exists (z, go body)
+    | Forall (z, body) ->
+        if String.equal z y && Sset.mem x (free_set body) then
+          invalid_arg "Fo.subst_var: variable capture"
+        else Forall (z, go body)
+  in
+  go f
+
+let standardize_apart ?(reserved = []) f =
+  let used = ref (Sset.union (free_set f) (Sset.of_list reserved)) in
+  let fresh base =
+    if not (Sset.mem base !used) then begin
+      used := Sset.add base !used;
+      base
+    end
+    else
+      let rec try_i i =
+        let cand = Printf.sprintf "%s_%d" base i in
+        if Sset.mem cand !used then try_i (i + 1)
+        else begin
+          used := Sset.add cand !used;
+          cand
+        end
+      in
+      try_i 1
+  in
+  let rec go env = function
+    | (True | False) as f -> f
+    | Atom a ->
+        let on_term = function
+          | Var x as t -> ( match List.assoc_opt x env with Some y -> Var y | None -> t)
+          | t -> t
+        in
+        Atom (map_atom_args on_term a)
+    | Not f -> Not (go env f)
+    | And (f, g) -> And (go env f, go env g)
+    | Or (f, g) -> Or (go env f, go env g)
+    | Implies (f, g) -> Implies (go env f, go env g)
+    | Exists (x, f) ->
+        let x' = fresh x in
+        Exists (x', go ((x, x') :: env) f)
+    | Forall (x, f) ->
+        let x' = fresh x in
+        Forall (x', go ((x, x') :: env) f)
+  in
+  go [] f
+
+let rec simplify f =
+  match f with
+  | True | False | Atom _ -> f
+  | Not f -> (
+      match simplify f with
+      | True -> False
+      | False -> True
+      | Not g -> g
+      | g -> Not g)
+  | And (f, g) -> (
+      match simplify f, simplify g with
+      | False, _ | _, False -> False
+      | True, h | h, True -> h
+      | f', g' -> if equal f' g' then f' else And (f', g'))
+  | Or (f, g) -> (
+      match simplify f, simplify g with
+      | True, _ | _, True -> True
+      | False, h | h, False -> h
+      | f', g' -> if equal f' g' then f' else Or (f', g'))
+  | Implies (f, g) -> (
+      match simplify f, simplify g with
+      | False, _ -> True
+      | True, h -> h
+      | _, True -> True
+      | f', g' -> Implies (f', g'))
+  | Exists (x, f) -> (
+      match simplify f with
+      | True -> True
+      | False -> False
+      | g when not (Sset.mem x (free_set g)) -> g
+      | g -> Exists (x, g))
+  | Forall (x, f) -> (
+      match simplify f with
+      | True -> True
+      | False -> False
+      | g when not (Sset.mem x (free_set g)) -> g
+      | g -> Forall (x, g))
+
+let rec elim_implies = function
+  | (True | False | Atom _) as f -> f
+  | Not f -> Not (elim_implies f)
+  | And (f, g) -> And (elim_implies f, elim_implies g)
+  | Or (f, g) -> Or (elim_implies f, elim_implies g)
+  | Implies (f, g) -> Or (Not (elim_implies f), elim_implies g)
+  | Exists (x, f) -> Exists (x, elim_implies f)
+  | Forall (x, f) -> Forall (x, elim_implies f)
+
+let nnf f =
+  let rec pos = function
+    | (True | False | Atom _) as f -> f
+    | Not f -> neg f
+    | And (f, g) -> And (pos f, pos g)
+    | Or (f, g) -> Or (pos f, pos g)
+    | Implies (f, g) -> Or (neg f, pos g)
+    | Exists (x, f) -> Exists (x, pos f)
+    | Forall (x, f) -> Forall (x, pos f)
+  and neg = function
+    | True -> False
+    | False -> True
+    | Atom _ as f -> Not f
+    | Not f -> pos f
+    | And (f, g) -> Or (neg f, neg g)
+    | Or (f, g) -> And (neg f, neg g)
+    | Implies (f, g) -> And (pos f, neg g)
+    | Exists (x, f) -> Forall (x, neg f)
+    | Forall (x, f) -> Exists (x, neg f)
+  in
+  pos f
+
+let dual f =
+  let rec go = function
+    | True -> False
+    | False -> True
+    | Atom _ as f -> f
+    | Not f -> Not (go f)
+    | And (f, g) -> Or (go f, go g)
+    | Or (f, g) -> And (go f, go g)
+    | Implies _ -> invalid_arg "Fo.dual: eliminate implications first"
+    | Exists (x, f) -> Forall (x, go f)
+    | Forall (x, f) -> Exists (x, go f)
+  in
+  go f
+
+let prenex f =
+  let f = standardize_apart (nnf (simplify f)) in
+  let rec go = function
+    | (True | False | Atom _ | Not _) as f -> ([], f)
+    | Exists (x, f) ->
+        let prefix, m = go f in
+        ((Q_exists, x) :: prefix, m)
+    | Forall (x, f) ->
+        let prefix, m = go f in
+        ((Q_forall, x) :: prefix, m)
+    | And (f, g) ->
+        let p1, m1 = go f in
+        let p2, m2 = go g in
+        (p1 @ p2, And (m1, m2))
+    | Or (f, g) ->
+        let p1, m1 = go f in
+        let p2, m2 = go g in
+        (p1 @ p2, Or (m1, m2))
+    | Implies _ -> assert false
+  in
+  go f
+
+let prefix_class f =
+  let prefix, _ = prenex f in
+  match prefix with
+  | [] -> `None
+  | _ when List.for_all (fun (q, _) -> q = Q_exists) prefix -> `All_exists
+  | _ when List.for_all (fun (q, _) -> q = Q_forall) prefix -> `All_forall
+  | _ -> `Mixed
+
+let polarities f =
+  let f = nnf (elim_implies f) in
+  let tbl = Hashtbl.create 8 in
+  let note rel pol =
+    let merged =
+      match Hashtbl.find_opt tbl rel with
+      | None -> pol
+      | Some p when p = pol -> p
+      | Some _ -> `Both
+    in
+    Hashtbl.replace tbl rel merged
+  in
+  let rec go = function
+    | True | False -> ()
+    | Atom a -> note a.rel `Pos
+    | Not (Atom a) -> note a.rel `Neg
+    | Not f -> go f
+    | And (f, g) | Or (f, g) | Implies (f, g) ->
+        go f;
+        go g
+    | Exists (_, f) | Forall (_, f) -> go f
+  in
+  go f;
+  Hashtbl.fold (fun rel pol acc -> (rel, pol) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let is_monotone f = List.for_all (fun (_, pol) -> pol = `Pos) (polarities f)
+let is_unate f = List.for_all (fun (_, pol) -> pol <> `Both) (polarities f)
+
+let pp_term ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | Const v -> Value.pp ppf v
+
+let pp_atom ppf a =
+  Format.fprintf ppf "%s(%a)" a.rel
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") pp_term)
+    a.args
+
+(* Precedence, loosest first: Implies (1), Or (2), And (3), quantifiers and
+   Not bind tightest. *)
+let pp ppf f =
+  let rec go prec ppf f =
+    let paren p body =
+      if p < prec then Format.fprintf ppf "(%t)" body else body ppf
+    in
+    match f with
+    | True -> Format.pp_print_string ppf "true"
+    | False -> Format.pp_print_string ppf "false"
+    | Atom a -> pp_atom ppf a
+    | Not f -> Format.fprintf ppf "!%a" (go 4) f
+    | And (a, b) -> paren 3 (fun ppf -> Format.fprintf ppf "%a && %a" (go 3) a (go 4) b)
+    | Or (a, b) -> paren 2 (fun ppf -> Format.fprintf ppf "%a || %a" (go 2) a (go 3) b)
+    | Implies (a, b) ->
+        paren 1 (fun ppf -> Format.fprintf ppf "%a => %a" (go 2) a (go 1) b)
+    | Exists _ | Forall _ ->
+        let rec collect q acc = function
+          | Exists (x, f) when q = Q_exists -> collect q (x :: acc) f
+          | Forall (x, f) when q = Q_forall -> collect q (x :: acc) f
+          | f -> (List.rev acc, f)
+        in
+        let q, kw = match f with Exists _ -> (Q_exists, "exists") | _ -> (Q_forall, "forall") in
+        let vars, body = collect q [] f in
+        paren 1 (fun ppf ->
+            Format.fprintf ppf "%s %s. %a" kw (String.concat " " vars) (go 1) body)
+  in
+  go 0 ppf f
+
+let to_string f = Format.asprintf "%a" pp f

@@ -1,0 +1,116 @@
+(** First-order logic over a relational vocabulary.
+
+    Queries in this repository are FO sentences (Sec. 2 of the paper):
+    Boolean combinations of relational atoms under ∃/∀ quantifiers. This
+    module provides the AST, substitution, standard normal forms (negation
+    normal form, prenex form), the dual query of Sec. 2, and the syntactic
+    classifications (monotone, unate, quantifier prefix) that the dichotomy
+    theorem (Thm. 4.1) is stated for. *)
+
+type term =
+  | Var of string
+  | Const of Probdb_core.Value.t
+
+type atom = { rel : string; args : term list }
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Exists of string * t
+  | Forall of string * t
+
+type quantifier = Q_exists | Q_forall
+
+(** {1 Constructors} *)
+
+val atom : string -> term list -> t
+val rel : string -> string list -> t
+(** [rel "R" ["x"; "y"]] is the atom [R(x, y)] with variable arguments. *)
+
+val conj : t list -> t
+(** Right-nested conjunction; [conj [] = True]. *)
+
+val disj : t list -> t
+val exists : string list -> t -> t
+val forall : string list -> t -> t
+
+(** {1 Syntax inspection} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val compare_term : term -> term -> int
+val compare_atom : atom -> atom -> int
+
+val free_vars : t -> string list
+(** Free variables, sorted, without duplicates. *)
+
+val is_sentence : t -> bool
+val atoms : t -> atom list
+(** All atom occurrences, in syntactic order. *)
+
+val relations : t -> (string * int) list
+(** Relation symbols with arities, sorted by name. Raises [Invalid_argument]
+    if a symbol is used with two different arities. *)
+
+val constants : t -> Probdb_core.Value.t list
+
+val size : t -> int
+
+(** {1 Substitution and renaming} *)
+
+val subst_const : string -> Probdb_core.Value.t -> t -> t
+(** [subst_const x a q] is [q[a/x]]: replaces free occurrences of the
+    variable by the constant (no capture is possible). *)
+
+val subst_var : string -> string -> t -> t
+(** [subst_var x y q] renames free occurrences of [x] to [y]. Raises
+    [Invalid_argument] if [y] would be captured by a quantifier of [q]. *)
+
+val standardize_apart : ?reserved:string list -> t -> t
+(** Renames bound variables so that each quantifier binds a distinct
+    variable, distinct from all free variables and from [reserved]. *)
+
+(** {1 Normal forms and transforms} *)
+
+val simplify : t -> t
+(** Constant propagation and trivial-identity elimination. *)
+
+val elim_implies : t -> t
+
+val nnf : t -> t
+(** Negation normal form; also eliminates implications. *)
+
+val dual : t -> t
+(** The dual query of Sec. 2: swaps ∧/∨ and ∃/∀. Defined on
+    implication-free formulas; raises [Invalid_argument] otherwise. For any
+    sentence, [p_D(dual Q) = 1 - p_{D^c}(Q)] where [D^c] complements the
+    probability of every possible tuple. *)
+
+val prenex : t -> (quantifier * string) list * t
+(** Prenex normal form of an implication-free NNF sentence: the quantifier
+    prefix and the quantifier-free matrix. The input is normalised first. *)
+
+val prefix_class : t -> [ `All_exists | `All_forall | `Mixed | `None ]
+(** Classification of the prenex quantifier prefix ([`None] when the
+    sentence is quantifier-free). *)
+
+val polarities : t -> (string * [ `Pos | `Neg | `Both ]) list
+(** Occurrence polarity of each relation symbol (computed on the NNF). *)
+
+val is_monotone : t -> bool
+(** All symbols occur positively (in NNF: no negation). *)
+
+val is_unate : t -> bool
+(** Every symbol occurs with a single polarity (Sec. 4). *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val pp_atom : Format.formatter -> atom -> unit
+val pp_term : Format.formatter -> term -> unit

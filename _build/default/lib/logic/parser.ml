@@ -1,0 +1,197 @@
+exception Error of string
+
+type token =
+  | T_ident of string
+  | T_int of int
+  | T_quoted of string
+  | T_lpar
+  | T_rpar
+  | T_comma
+  | T_dot
+  | T_bang
+  | T_and
+  | T_or
+  | T_implies
+  | T_eof
+
+let token_name = function
+  | T_ident s -> Printf.sprintf "identifier %S" s
+  | T_int i -> Printf.sprintf "integer %d" i
+  | T_quoted s -> Printf.sprintf "string %S" s
+  | T_lpar -> "'('"
+  | T_rpar -> "')'"
+  | T_comma -> "','"
+  | T_dot -> "'.'"
+  | T_bang -> "'!'"
+  | T_and -> "'&&'"
+  | T_or -> "'||'"
+  | T_implies -> "'=>'"
+  | T_eof -> "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let tokenize input =
+  let n = String.length input in
+  let fail i msg = raise (Error (Printf.sprintf "at offset %d: %s" i msg)) in
+  let rec go i acc =
+    if i >= n then List.rev ((T_eof, n) :: acc)
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '(' -> go (i + 1) ((T_lpar, i) :: acc)
+      | ')' -> go (i + 1) ((T_rpar, i) :: acc)
+      | ',' -> go (i + 1) ((T_comma, i) :: acc)
+      | '.' -> go (i + 1) ((T_dot, i) :: acc)
+      | '!' -> go (i + 1) ((T_bang, i) :: acc)
+      | '&' when i + 1 < n && input.[i + 1] = '&' -> go (i + 2) ((T_and, i) :: acc)
+      | '|' when i + 1 < n && input.[i + 1] = '|' -> go (i + 2) ((T_or, i) :: acc)
+      | '=' when i + 1 < n && input.[i + 1] = '>' -> go (i + 2) ((T_implies, i) :: acc)
+      | '\'' ->
+          let j = try String.index_from input (i + 1) '\'' with Not_found -> fail i "unterminated string literal" in
+          go (j + 1) ((T_quoted (String.sub input (i + 1) (j - i - 1)), i) :: acc)
+      | c when c >= '0' && c <= '9' || c = '-' ->
+          let j = ref (i + 1) in
+          while !j < n && input.[!j] >= '0' && input.[!j] <= '9' do
+            incr j
+          done;
+          let s = String.sub input i (!j - i) in
+          (match int_of_string_opt s with
+          | Some v -> go !j ((T_int v, i) :: acc)
+          | None -> fail i (Printf.sprintf "bad number %S" s))
+      | c when is_ident_char c ->
+          let j = ref i in
+          while !j < n && is_ident_char input.[!j] do
+            incr j
+          done;
+          go !j ((T_ident (String.sub input i (!j - i)), i) :: acc)
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0 []
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> (T_eof, 0) | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  let t, pos = peek st in
+  if t = tok then advance st
+  else
+    raise
+      (Error (Printf.sprintf "at offset %d: expected %s, found %s" pos (token_name tok) (token_name t)))
+
+(* bound: quantified variables in scope; free: caller-declared free vars. *)
+let rec parse_implies st ~bound ~free =
+  let lhs = parse_or st ~bound ~free in
+  match peek st with
+  | T_implies, _ ->
+      advance st;
+      Fo.Implies (lhs, parse_implies st ~bound ~free)
+  | _ -> lhs
+
+and parse_or st ~bound ~free =
+  let lhs = ref (parse_and st ~bound ~free) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | T_or, _ ->
+        advance st;
+        lhs := Fo.Or (!lhs, parse_and st ~bound ~free)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_and st ~bound ~free =
+  let lhs = ref (parse_unary st ~bound ~free) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | T_and, _ ->
+        advance st;
+        lhs := Fo.And (!lhs, parse_unary st ~bound ~free)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st ~bound ~free =
+  match peek st with
+  | T_bang, _ ->
+      advance st;
+      Fo.Not (parse_unary st ~bound ~free)
+  | T_lpar, _ ->
+      advance st;
+      let f = parse_implies st ~bound ~free in
+      expect st T_rpar;
+      f
+  | T_ident "true", _ ->
+      advance st;
+      Fo.True
+  | T_ident "false", _ ->
+      advance st;
+      Fo.False
+  | T_ident (("exists" | "forall") as kw), pos ->
+      advance st;
+      let rec vars acc =
+        match peek st with
+        | T_ident v, _ when v <> "exists" && v <> "forall" ->
+            advance st;
+            vars (v :: acc)
+        | T_dot, _ ->
+            advance st;
+            List.rev acc
+        | t, p ->
+            raise
+              (Error
+                 (Printf.sprintf "at offset %d: expected variable or '.', found %s" p (token_name t)))
+      in
+      let vs = vars [] in
+      if vs = [] then raise (Error (Printf.sprintf "at offset %d: %s with no variables" pos kw));
+      let body = parse_implies st ~bound:(vs @ bound) ~free in
+      if kw = "exists" then Fo.exists vs body else Fo.forall vs body
+  | T_ident name, _ ->
+      advance st;
+      parse_atom st name ~bound ~free
+  | t, pos ->
+      raise (Error (Printf.sprintf "at offset %d: unexpected %s" pos (token_name t)))
+
+and parse_atom st name ~bound ~free =
+  expect st T_lpar;
+  let rec args acc =
+    let arg =
+      match peek st with
+      | T_int v, _ ->
+          advance st;
+          Fo.Const (Probdb_core.Value.Int v)
+      | T_quoted s, _ ->
+          advance st;
+          Fo.Const (Probdb_core.Value.Str s)
+      | T_ident v, _ ->
+          advance st;
+          if List.mem v bound || List.mem v free then Fo.Var v
+          else Fo.Const (Probdb_core.Value.Str v)
+      | t, pos ->
+          raise (Error (Printf.sprintf "at offset %d: bad atom argument %s" pos (token_name t)))
+    in
+    match peek st with
+    | T_comma, _ ->
+        advance st;
+        args (arg :: acc)
+    | _ -> List.rev (arg :: acc)
+  in
+  let arguments = match peek st with T_rpar, _ -> [] | _ -> args [] in
+  expect st T_rpar;
+  Fo.Atom { rel = name; args = arguments }
+
+let parse ?(free = []) input =
+  let st = { toks = tokenize input } in
+  let f = parse_implies st ~bound:[] ~free in
+  expect st T_eof;
+  f
+
+let parse_sentence input =
+  let f = parse input in
+  if not (Fo.is_sentence f) then
+    raise (Error (Printf.sprintf "free variables in sentence: %s" (String.concat ", " (Fo.free_vars f))));
+  f

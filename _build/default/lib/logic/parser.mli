@@ -1,0 +1,26 @@
+(** Concrete syntax for first-order queries.
+
+    Grammar (loosest to tightest): [=>] right-associative, [||], [&&], then
+    [!], quantifiers and atoms. Quantifiers extend maximally to the right:
+
+    {v
+      forall x y. S(x,y) => R(x)
+      exists x y. R(x) && S(x,y) || exists u v. T(u) && S(u,v)
+      forall m e. RR(m,e) || !Manager(m,e) || HighlyCompensated(m)
+    v}
+
+    Atom arguments are variables when the identifier is bound by an
+    enclosing quantifier or listed in [~free]; otherwise they parse as
+    constants (integers for digit tokens, strings for bare or ['quoted']
+    identifiers). [true] and [false] are constants of the logic. *)
+
+exception Error of string
+(** Parse errors, with position information in the message. *)
+
+val parse : ?free:string list -> string -> Fo.t
+(** Parses a formula. Unbound identifiers not listed in [~free] become
+    string constants. Raises {!Error}. *)
+
+val parse_sentence : string -> Fo.t
+(** Like {!parse} with no free variables; additionally checks the result is
+    a sentence. *)

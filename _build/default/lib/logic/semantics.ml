@@ -1,0 +1,27 @@
+module Value = Probdb_core.Value
+module World = Probdb_core.World
+
+type env = (string * Value.t) list
+
+let eval_term env = function
+  | Fo.Const v -> v
+  | Fo.Var x -> (
+      match List.assoc_opt x env with
+      | Some v -> v
+      | None -> invalid_arg (Printf.sprintf "Semantics: unbound variable %s" x))
+
+let holds ?(env = []) ~domain world q =
+  let rec go env = function
+    | Fo.True -> true
+    | Fo.False -> false
+    | Fo.Atom a -> World.mem world a.rel (List.map (eval_term env) a.args)
+    | Fo.Not f -> not (go env f)
+    | Fo.And (f, g) -> go env f && go env g
+    | Fo.Or (f, g) -> go env f || go env g
+    | Fo.Implies (f, g) -> (not (go env f)) || go env g
+    | Fo.Exists (x, f) -> List.exists (fun a -> go ((x, a) :: env) f) domain
+    | Fo.Forall (x, f) -> List.for_all (fun a -> go ((x, a) :: env) f) domain
+  in
+  go env q
+
+let holds_in_tid db world q = holds ~domain:(Probdb_core.Tid.domain db) world q

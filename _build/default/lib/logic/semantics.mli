@@ -1,0 +1,19 @@
+(** Tarskian satisfaction of FO formulas in a possible world.
+
+    [W |= Q] from Sec. 2 of the paper: quantifiers range over the given
+    finite domain, atoms are looked up in the world. *)
+
+type env = (string * Probdb_core.Value.t) list
+(** Assignment of values to free variables. *)
+
+val eval_term : env -> Fo.term -> Probdb_core.Value.t
+(** Raises [Invalid_argument] on an unbound variable. *)
+
+val holds :
+  ?env:env -> domain:Probdb_core.Value.t list -> Probdb_core.World.t -> Fo.t -> bool
+(** [holds ~domain w q] decides [w |= q]. Free variables of [q] must be
+    covered by [env]. *)
+
+val holds_in_tid : Probdb_core.Tid.t -> Probdb_core.World.t -> Fo.t -> bool
+(** {!holds} with the TID's domain — the common case when enumerating the
+    TID's possible worlds. *)

@@ -1,0 +1,94 @@
+type t = Cq.t list
+
+type mode = Direct | Complemented
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* DNF of a quantifier-free NNF matrix, as lists of signed atoms. A disjunct
+   containing complementary literals is dropped (cannot arise for unate
+   input, kept as a safety net). *)
+let matrix_to_dnf matrix =
+  let product ds es =
+    List.concat_map (fun d -> List.map (fun e -> d @ e) ds) es
+  in
+  let rec go = function
+    | Fo.True -> [ [] ]
+    | Fo.False -> []
+    | Fo.Atom a -> [ [ Cq.atom a.Fo.rel a.Fo.args ] ]
+    | Fo.Not (Fo.Atom a) -> [ [ Cq.atom ~comp:true a.Fo.rel a.Fo.args ] ]
+    | Fo.Or (f, g) -> go f @ go g
+    | Fo.And (f, g) -> product (go f) (go g)
+    | f -> unsupported "non-NNF construct in matrix: %s" (Fo.to_string f)
+  in
+  let contradictory cq =
+    List.exists
+      (fun (a : Cq.atom) ->
+        List.exists
+          (fun (b : Cq.atom) ->
+            String.equal a.Cq.rel b.Cq.rel && a.Cq.comp <> b.Cq.comp
+            && List.compare Fo.compare_term a.Cq.args b.Cq.args = 0)
+          cq)
+      cq
+  in
+  go matrix |> List.map Cq.make |> List.filter (fun cq -> not (contradictory cq))
+
+let of_sentence q =
+  if not (Fo.is_sentence q) then invalid_arg "Ucq.of_sentence: open formula";
+  let q = Fo.simplify (Fo.nnf (Fo.elim_implies q)) in
+  if not (Fo.is_unate q) then unsupported "sentence is not unate: %s" (Fo.to_string q);
+  let build sentence =
+    let prefix, matrix = Fo.prenex sentence in
+    if List.exists (fun (k, _) -> k = Fo.Q_forall) prefix then
+      unsupported "mixed quantifier prefix: %s" (Fo.to_string sentence)
+    else matrix_to_dnf matrix
+  in
+  match Fo.prefix_class q with
+  | `None | `All_exists -> (build q, Direct)
+  | `All_forall -> (build (Fo.simplify (Fo.nnf (Fo.Not q))), Complemented)
+  | `Mixed -> unsupported "mixed quantifier prefix: %s" (Fo.to_string q)
+
+let apply_mode mode p = match mode with Direct -> p | Complemented -> 1.0 -. p
+
+let minimize ucq =
+  let ucq = List.map Cq.minimize ucq |> List.sort_uniq Cq.compare in
+  (* Drop disjunct q when it is contained in a *different* remaining
+     disjunct; process in order so that exactly one representative of each
+     equivalence class survives. *)
+  let rec filter kept = function
+    | [] -> List.rev kept
+    | q :: rest ->
+        let absorbed_by q' = Cq.contained q q' in
+        if List.exists absorbed_by kept || List.exists absorbed_by rest then
+          filter kept rest
+        else filter (q :: kept) rest
+  in
+  filter [] ucq
+
+let contained q1 q2 =
+  List.for_all (fun c -> List.exists (fun d -> Cq.contained c d) q2) q1
+
+let equivalent q1 q2 = contained q1 q2 && contained q2 q1
+
+let vars ucq = List.concat_map Cq.vars ucq |> List.sort_uniq String.compare
+
+let rel_names ucq = List.concat_map Cq.rel_names ucq |> List.sort_uniq String.compare
+
+let conjoin q1 q2 =
+  List.concat_map (fun c -> List.map (fun d -> Cq.conjoin c d) q2) q1
+  |> List.sort_uniq Cq.compare
+
+let disjoin q1 q2 = List.sort_uniq Cq.compare (q1 @ q2)
+
+let to_fo ucq = Fo.disj (List.map Cq.to_fo ucq)
+
+let pp ppf = function
+  | [] -> Format.pp_print_string ppf "false"
+  | ucq ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ || ")
+        (fun ppf cq -> Format.fprintf ppf "(%a)" Cq.pp cq)
+        ppf ucq
+
+let to_string ucq = Format.asprintf "%a" pp ucq

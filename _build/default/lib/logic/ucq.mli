@@ -1,0 +1,50 @@
+(** Unions of conjunctive queries, and the reduction of unate ∃*/∀*
+    sentences to them.
+
+    A UCQ is a disjunction of Boolean CQs. Theorem 4.1 of the paper states
+    its dichotomy for unate FO sentences whose quantifier prefix is all-∃ or
+    all-∀; this module performs the reduction described there: negated
+    symbols become complemented atoms (probability [1 - p]), and an all-∀
+    sentence is replaced by the negation-dual all-∃ sentence whose
+    probability is the complement. *)
+
+type t = Cq.t list
+(** Disjunction; [[]] is [false]. *)
+
+type mode =
+  | Direct  (** [p(Q) = p(ucq)] *)
+  | Complemented  (** [p(Q) = 1 - p(ucq)] *)
+
+exception Unsupported of string
+(** Raised when a sentence is outside the unate ∃*/∀* fragment. *)
+
+val of_sentence : Fo.t -> t * mode
+(** Reduction of a unate ∃* or ∀* sentence (Thm. 4.1's language) to a UCQ.
+    Raises {!Unsupported} on sentences outside the fragment and
+    [Invalid_argument] on open formulas. *)
+
+val apply_mode : mode -> float -> float
+
+val minimize : t -> t
+(** Minimises every disjunct and removes disjuncts contained in another —
+    the UCQ core. *)
+
+val contained : t -> t -> bool
+(** Sagiv–Yannakakis: [Q1 ⊑ Q2] iff every disjunct of [Q1] is contained in
+    some disjunct of [Q2]. *)
+
+val equivalent : t -> t -> bool
+
+val vars : t -> string list
+val rel_names : t -> string list
+
+val conjoin : t -> t -> t
+(** Distributes conjunction over the two unions: the disjuncts of the
+    result are pairwise [Cq.conjoin]s. *)
+
+val disjoin : t -> t -> t
+
+val to_fo : t -> Fo.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/mln/factors.ml: Array Hashtbl Int List Option Probdb_boolean

@@ -1,0 +1,1 @@
+lib/mln/factors.mli: Probdb_boolean

@@ -1,0 +1,1 @@
+lib/mln/mln.ml: List Printf Probdb_core Probdb_logic String

@@ -1,0 +1,1 @@
+lib/mln/mln.mli: Probdb_core Probdb_logic

@@ -1,0 +1,111 @@
+module F = Probdb_boolean.Formula
+
+type factor = { weight : float; formula : F.t }
+
+type t = { var_weights : (int * float) list; factors : factor list }
+
+let make ?(var_weights = []) factors = { var_weights; factors }
+
+let vars mn =
+  List.map fst mn.var_weights @ List.concat_map (fun f -> F.vars f.formula) mn.factors
+  |> List.sort_uniq Int.compare
+
+let var_weight mn x = Option.value ~default:1.0 (List.assoc_opt x mn.var_weights)
+
+let world_weight mn assignment =
+  let base =
+    List.fold_left
+      (fun acc x -> if assignment x then acc *. var_weight mn x else acc)
+      1.0 (vars mn)
+  in
+  List.fold_left
+    (fun acc f -> if F.eval assignment f.formula then acc *. f.weight else acc)
+    base mn.factors
+
+let enumerate vs f init =
+  let vs = Array.of_list vs in
+  let n = Array.length vs in
+  if n > 20 then invalid_arg "Factors: too many variables to enumerate";
+  let tbl = Hashtbl.create n in
+  let lookup x = match Hashtbl.find_opt tbl x with Some b -> b | None -> false in
+  let rec go i acc =
+    if i = n then f lookup acc
+    else begin
+      Hashtbl.replace tbl vs.(i) true;
+      let acc = go (i + 1) acc in
+      Hashtbl.replace tbl vs.(i) false;
+      go (i + 1) acc
+    end
+  in
+  go 0 init
+
+let partition_function mn =
+  enumerate (vars mn) (fun a acc -> acc +. world_weight mn a) 0.0
+
+let probability mn f =
+  let num, den =
+    enumerate
+      (List.sort_uniq Int.compare (vars mn @ F.vars f))
+      (fun a (num, den) ->
+        let w = world_weight mn a in
+        ((if F.eval a f then num +. w else num), den +. w))
+      (0.0, 0.0)
+  in
+  num /. den
+
+type encoding = Or_encoding | Iff_encoding
+
+type translation = {
+  probs : (int * float) list;
+  gamma : F.t;
+  fresh : (int * int) list;
+}
+
+let translate ?(encoding = Iff_encoding) ?(avoid = []) mn =
+  let original = vars mn in
+  let next =
+    ref
+      (match original @ avoid with
+      | [] -> 0
+      | used -> 1 + List.fold_left max 0 used)
+  in
+  let base_probs = List.map (fun x -> (x, var_weight mn x /. (1.0 +. var_weight mn x))) original in
+  let per_factor i f =
+    let x = !next in
+    incr next;
+    let weight, gamma =
+      match encoding with
+      | Iff_encoding -> (f.weight, F.iff (F.var x) f.formula)
+      | Or_encoding ->
+          if f.weight = 1.0 then invalid_arg "Factors.translate: Or encoding needs weight <> 1";
+          (1.0 /. (f.weight -. 1.0), F.disj2 (F.var x) f.formula)
+    in
+    ((x, weight /. (1.0 +. weight)), (i, x), gamma)
+  in
+  let converted = List.mapi per_factor mn.factors in
+  { probs = base_probs @ List.map (fun (p, _, _) -> p) converted;
+    gamma = F.conj (List.map (fun (_, _, g) -> g) converted);
+    fresh = List.map (fun (_, m, _) -> m) converted }
+
+let conditional_probability prob ~given f =
+  let vs = List.sort_uniq Int.compare (F.vars f @ F.vars given) in
+  let num, den =
+    enumerate vs
+      (fun a (num, den) ->
+        if F.eval a given then begin
+          let w =
+            List.fold_left
+              (fun acc x -> acc *. if a x then prob x else 1.0 -. prob x)
+              1.0 vs
+          in
+          ((if F.eval a f then num +. w else num), den +. w)
+        end
+        else (num, den))
+      (0.0, 0.0)
+  in
+  num /. den
+
+let probability_via_translation ?encoding mn f =
+  let { probs; gamma; _ } = translate ?encoding ~avoid:(F.vars f) mn in
+  let prob x = Option.value ~default:0.5 (List.assoc_opt x probs) in
+  conditional_probability prob ~given:gamma f

@@ -1,0 +1,58 @@
+(** Propositional Markov networks: weights, factors, and the two
+    independence-plus-constraint encodings of the Appendix.
+
+    This is the propositional core that Sec. 3 lifts to relations: variables
+    carry weights, factors [(w, G)] multiply a world's weight by [w] when
+    the Boolean formula [G] holds, and the distribution is weight/Z. The
+    Appendix shows two ways to replace a factor by a fresh independent
+    variable [X] and a hard constraint [Γ]:
+
+    - [weight X = w] and [Γ = (X ⇔ G)];
+    - [weight X = 1/(w-1)] and [Γ = (X ∨ G)] (negative weight when
+      [w < 1] — a non-standard probability, yet all conditional
+      probabilities remain standard). *)
+
+type factor = { weight : float; formula : Probdb_boolean.Formula.t }
+
+type t = {
+  var_weights : (int * float) list;
+      (** weight of each variable being true; missing variables weigh 1 *)
+  factors : factor list;
+}
+
+val make : ?var_weights:(int * float) list -> factor list -> t
+
+val vars : t -> int list
+(** All variables of the network (from weights and factor formulas). *)
+
+val world_weight : t -> (int -> bool) -> float
+(** [Π_{θ(X)=1} w_X × Π_{(w,G): θ ⊨ G} w] — the [weight'] of the
+    Appendix. *)
+
+val partition_function : t -> float
+(** [Z'], by enumeration over all assignments (≤ 20 variables). *)
+
+val probability : t -> Probdb_boolean.Formula.t -> float
+(** [p'(F) = weight'(F) / Z']. *)
+
+type encoding = Or_encoding | Iff_encoding
+
+type translation = {
+  probs : (int * float) list;  (** per-variable independent probabilities *)
+  gamma : Probdb_boolean.Formula.t;  (** the hard constraint *)
+  fresh : (int * int) list;  (** factor index → fresh variable *)
+}
+
+val translate : ?encoding:encoding -> ?avoid:int list -> t -> translation
+(** Conversion to an independent model conditioned on [gamma]: for every
+    Boolean query [F] over the original variables,
+    [probability mn F = P(F | gamma)] under the independent distribution
+    [probs]. Default [Iff_encoding]. Fresh variables are chosen above every
+    variable of the network and of [avoid] (pass the query's variables). *)
+
+val conditional_probability :
+  (int -> float) -> given:Probdb_boolean.Formula.t -> Probdb_boolean.Formula.t -> float
+(** [P(F | Γ)] under an independent distribution (enumeration). *)
+
+val probability_via_translation :
+  ?encoding:encoding -> t -> Probdb_boolean.Formula.t -> float

@@ -1,0 +1,90 @@
+(** Markov Logic Networks, and their reduction to TIDs with constraints.
+
+    Sec. 3 of the paper: an MLN is a set of soft constraints [(w, Δ)]; its
+    semantics is the Markov network whose factors are the groundings of the
+    constraints — a world's weight is [Π w] over satisfied groundings, and
+    its probability is the weight divided by the partition function [Z].
+
+    Proposition 3.1: the same distribution arises from a tuple-independent
+    database conditioned on a hard constraint [Γ]. Two encodings are
+    implemented, following the Appendix:
+
+    - {e Or}: a fresh relation [A_i] per constraint with tuple {e weight}
+      [1/(w_i - 1)] (i.e. probability [1/w_i]; non-standard when [w_i < 1])
+      and [Γ_i = ∀x̄ (A_i(x̄) ∨ Δ_i(x̄))] — the encoding of the
+      Manager/HighlyCompensated example;
+    - {e Iff}: tuple weight [w_i] (probability [w_i/(1+w_i)]) and
+      [Γ_i = ∀x̄ (A_i(x̄) ⇔ Δ_i(x̄))].
+
+    Then [p_MLN(Q) = p_D(Q | Γ) = p_D(Q ∧ Γ) / p_D(Γ)] for every query [Q]
+    over the original vocabulary.
+
+    All exact computations here enumerate the [2^|Tup|] possible worlds and
+    are meant for small domains; they are the semantics oracle, not the
+    inference engine. *)
+
+type soft = {
+  weight : float;  (** must be positive; [1.0] means the constraint is vacuous *)
+  delta : Probdb_logic.Fo.t;  (** free variables are the grounding variables *)
+}
+
+type t = soft list
+
+val soft : float -> Probdb_logic.Fo.t -> soft
+
+val vocabulary : t -> (string * int) list
+(** Relation symbols of the original (non-auxiliary) vocabulary. *)
+
+val groundings :
+  domain:Probdb_core.Value.t list -> soft -> (float * Probdb_logic.Fo.t) list
+(** All groundings of one soft constraint: the free variables substituted by
+    domain constants in every possible way (the factors of the Markov
+    network). *)
+
+val world_weight : domain:Probdb_core.Value.t list -> t -> Probdb_core.World.t -> float
+(** [Π_{(w,F) ⊨ W} w]. *)
+
+exception Too_large of int
+
+val fold_worlds :
+  domain:Probdb_core.Value.t list -> (string * int) list ->
+  (Probdb_core.World.t -> 'a -> 'a) -> 'a -> 'a
+(** Folds over all subsets of the possible tuples of the given vocabulary;
+    raises {!Too_large} beyond 2^22 worlds. *)
+
+val partition_function : domain:Probdb_core.Value.t list -> t -> float
+(** [Z = Σ_W weight(W)]. *)
+
+val probability : domain:Probdb_core.Value.t list -> t -> Probdb_logic.Fo.t -> float
+(** [p_MLN(Q)] by direct enumeration. *)
+
+(** {1 The Prop. 3.1 translation} *)
+
+type encoding = Or_encoding | Iff_encoding
+
+type translation = {
+  db : Probdb_core.Tid.t;
+      (** original relations complete at probability 1/2, one auxiliary
+          relation per constraint *)
+  gamma : Probdb_logic.Fo.t;  (** the hard constraint [Γ] *)
+  aux : string list;  (** names of the auxiliary relations *)
+}
+
+val translate :
+  ?encoding:encoding -> domain:Probdb_core.Value.t list -> t -> translation
+(** Default encoding [Iff_encoding] (standard probabilities for every
+    weight). [Or_encoding] requires every weight ≠ 1 and produces
+    non-standard probabilities for weights < 1. *)
+
+val conditional_probability :
+  Probdb_core.Tid.t -> given:Probdb_logic.Fo.t -> Probdb_logic.Fo.t -> float
+(** [p_D(Q | Γ)] by world enumeration. *)
+
+val probability_via_tid :
+  ?encoding:encoding -> domain:Probdb_core.Value.t list -> t ->
+  Probdb_logic.Fo.t -> float
+(** The right-hand side of Prop. 3.1: translate, then condition. *)
+
+val manager_example : t
+(** The running example (5) of the paper: weight 3.9 on
+    [Manager(m,e) ⇒ HighlyCompensated(m)]. *)

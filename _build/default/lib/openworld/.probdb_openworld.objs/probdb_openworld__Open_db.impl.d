@@ -1,0 +1,1 @@
+lib/openworld/open_db.ml: Float List Option Printf Probdb_core Probdb_engine Probdb_logic

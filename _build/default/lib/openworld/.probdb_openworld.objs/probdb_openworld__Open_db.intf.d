@@ -1,0 +1,1 @@
+lib/openworld/open_db.mli: Probdb_core Probdb_engine Probdb_logic

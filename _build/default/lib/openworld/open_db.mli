@@ -1,0 +1,37 @@
+(** Open-world probabilistic databases (Ceylan–Darwiche–Van den Broeck,
+    discussed in Sec. 9 of the paper).
+
+    A closed-world TID declares every unlisted tuple impossible. An
+    open-world database instead allows each unlisted possible tuple an
+    unknown probability in [0, λ]. The semantics of a query is then an
+    {e interval}: the infimum and supremum of [p_D'(Q)] over all
+    λ-completions [D'].
+
+    For monotone queries the extremes are attained at the endpoints: the
+    infimum is the closed-world probability, and the supremum is reached by
+    completing every unlisted tuple at exactly λ. This module materialises
+    that completion (so it is meant for moderate domains) and evaluates
+    both ends with the engine. For unate queries the same trick works per
+    polarity: negative relations complete at the {e lower} end for the
+    supremum. Non-unate queries are rejected. *)
+
+type t
+
+val make :
+  ?lambda:float -> open_relations:(string * int) list -> Probdb_core.Tid.t -> t
+(** [make ~open_relations db] declares which relations are open (with their
+    arities — they may be absent from [db] entirely). Default λ = 0.1.
+    Raises [Invalid_argument] if λ is outside [0, 1]. *)
+
+val lambda : t -> float
+
+val completion : t -> Probdb_core.Tid.t
+(** The λ-completion: every unlisted possible tuple of an open relation is
+    added with probability λ. *)
+
+type interval = { lower : float; upper : float }
+
+val probability_interval :
+  ?config:Probdb_engine.Engine.config -> t -> Probdb_logic.Fo.t -> interval
+(** The open-world probability interval of a unate sentence. Raises
+    [Probdb_logic.Ucq.Unsupported] on non-unate sentences. *)

@@ -1,0 +1,1 @@
+lib/plans/bounds.ml: Float List Option Plan Probdb_core Probdb_lineage

@@ -1,0 +1,1 @@
+lib/plans/bounds.mli: Plan Probdb_core Probdb_logic

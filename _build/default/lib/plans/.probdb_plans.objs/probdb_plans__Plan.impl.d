@@ -1,0 +1,1 @@
+lib/plans/plan.ml: Array Format Fun Hashtbl List Option Printf Probdb_core Probdb_logic Ptable Set String

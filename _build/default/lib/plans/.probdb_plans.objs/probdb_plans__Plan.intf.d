@@ -1,0 +1,1 @@
+lib/plans/plan.mli: Format Probdb_core Probdb_logic Ptable

@@ -1,0 +1,1 @@
+lib/plans/ptable.ml: Format Hashtbl List Printf Probdb_core Probdb_logic String

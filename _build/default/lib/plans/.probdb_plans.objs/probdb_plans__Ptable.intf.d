@@ -1,0 +1,1 @@
+lib/plans/ptable.mli: Format Probdb_core Probdb_logic

@@ -1,0 +1,43 @@
+module Core = Probdb_core
+module Lineage = Probdb_lineage.Lineage
+
+let upper_bound db plan = Plan.boolean_prob db plan
+
+let dissociated_db db cq =
+  let ctx = Lineage.create db in
+  let clauses = Lineage.dnf_of_ucq ctx [ cq ] in
+  let mult = Lineage.multiplicities clauses in
+  let k_of rel tuple =
+    match Lineage.var_of_fact ctx rel tuple with
+    | None -> 0
+    | Some id -> Option.value ~default:0 (List.assoc_opt id mult)
+  in
+  Core.Tid.map_probs
+    (fun rel tuple p ->
+      match k_of rel tuple with
+      | 0 | 1 -> p
+      | k -> 1.0 -. Float.pow (1.0 -. p) (1.0 /. float_of_int k))
+    db
+
+let lower_bound db cq plan = Plan.boolean_prob (dissociated_db db cq) plan
+
+type bracket = { lower : float; upper : float; exact : float option; plans_tried : int }
+
+let bracket ?max_plans db cq =
+  let plans = Plan.enumerate ?max_plans cq in
+  if plans = [] then invalid_arg "Bounds.bracket: no plans (empty query?)";
+  let d1 = dissociated_db db cq in
+  let step (lo, hi, exact) plan =
+    let up = Plan.boolean_prob db plan in
+    let down = Plan.boolean_prob d1 plan in
+    let exact =
+      match exact with
+      | Some _ -> exact
+      | None -> if Plan.is_safe plan then Some up else None
+    in
+    (Float.max lo down, Float.min hi up, exact)
+  in
+  let lower, upper, exact =
+    List.fold_left step (Float.neg_infinity, Float.infinity, None) plans
+  in
+  { lower; upper; exact; plans_tried = List.length plans }

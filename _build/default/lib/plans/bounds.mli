@@ -1,0 +1,33 @@
+(** Oblivious upper and lower bounds from extensional plans (Thm. 6.1).
+
+    For a self-join-free Boolean CQ [Q] and any plan [P]:
+
+    - [P(D) ≥ p_D(Q)] — every plan overestimates, so the minimum over all
+      plans is a certified upper bound computable inside the engine even
+      when PQE(Q) is #P-hard;
+    - replacing each tuple probability [p] by [1 - (1-p)^(1/k)], where [k]
+      is the number of occurrences of the tuple in the lineage DNF, yields a
+      database [D₁] with [P(D₁) ≤ p_D(Q)] (Gatterbauer–Suciu). *)
+
+val upper_bound : Probdb_core.Tid.t -> Plan.t -> float
+(** The plan's value — an upper bound on the query probability. *)
+
+val dissociated_db : Probdb_core.Tid.t -> Probdb_logic.Cq.t -> Probdb_core.Tid.t
+(** The database [D₁] of the lower-bound construction: tuple probabilities
+    are deflated by their lineage multiplicity. Tuples outside the lineage
+    keep their probability (they cannot affect the plan's value). *)
+
+val lower_bound : Probdb_core.Tid.t -> Probdb_logic.Cq.t -> Plan.t -> float
+(** The plan evaluated on {!dissociated_db}. *)
+
+type bracket = {
+  lower : float;
+  upper : float;
+  exact : float option;  (** filled when some enumerated plan is safe *)
+  plans_tried : int;
+}
+
+val bracket : ?max_plans:int -> Probdb_core.Tid.t -> Probdb_logic.Cq.t -> bracket
+(** Enumerates plans and returns the best (max) lower bound and best (min)
+    upper bound over all of them, plus the exact value if a safe plan was
+    found among them. *)

@@ -1,0 +1,44 @@
+(** Extensional query plans for self-join-free Boolean CQs.
+
+    Sec. 6 of the paper: any project-join plan, with its operators modified
+    to combine probabilities, computes *some* number; a {e safe} plan
+    computes the true probability, and every plan computes an upper bound
+    (Thm. 6.1). This module provides the plan AST, evaluation, the
+    structural safety test, safe-plan construction for hierarchical queries
+    (Dalvi–Suciu 2004), and exhaustive plan enumeration for the
+    min-over-plans bound. *)
+
+type t =
+  | Scan of Probdb_logic.Cq.atom
+  | Join of t * t
+  | Project of string list * t
+      (** group-by the listed variables, ⊕-combining the rest away *)
+
+val out_vars : t -> string list
+(** Output columns of the plan. *)
+
+val atoms : t -> Probdb_logic.Cq.atom list
+
+val eval : Probdb_core.Tid.t -> t -> Ptable.t
+
+val boolean_prob : Probdb_core.Tid.t -> t -> float
+(** Evaluates a plan whose output has no columns. *)
+
+val is_safe : t -> bool
+(** The structural criterion of [32] for self-join-free plans: every
+    [Project] that removes a variable [y] is an independent project, i.e.
+    [y] occurs in every atom under that node. Safe plans return the exact
+    query probability on every TID. *)
+
+val safe_plan : Probdb_logic.Cq.t -> t option
+(** A safe plan for a Boolean self-join-free CQ; exists iff the query is
+    hierarchical (Thm. 4.3 / Sec. 6). Raises [Invalid_argument] on
+    self-joins or complemented atoms. *)
+
+val enumerate : ?max_plans:int -> Probdb_logic.Cq.t -> t list
+(** All project-join plans for the Boolean query (join trees, with eager or
+    lazy projection at each child), deduplicated, capped at [max_plans]
+    (default 5000). Every returned plan has no output columns. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,112 @@
+module Core = Probdb_core
+module Cq = Probdb_logic.Cq
+module Fo = Probdb_logic.Fo
+
+type t = { vars : string list; rows : (Core.Tuple.t * float) list }
+
+let scan db (atom : Cq.atom) =
+  if atom.Cq.comp then invalid_arg "Ptable.scan: complemented atom";
+  let vars =
+    List.fold_left
+      (fun acc t ->
+        match t with
+        | Fo.Var x when not (List.mem x acc) -> acc @ [ x ]
+        | _ -> acc)
+      [] atom.Cq.args
+  in
+  let matches tuple =
+    (* constants must match; repeated variables must carry equal values *)
+    let binding = Hashtbl.create 4 in
+    List.for_all2
+      (fun arg v ->
+        match arg with
+        | Fo.Const c -> Core.Value.equal c v
+        | Fo.Var x -> (
+            match Hashtbl.find_opt binding x with
+            | Some v' -> Core.Value.equal v v'
+            | None ->
+                Hashtbl.add binding x v;
+                true))
+      atom.Cq.args tuple
+  in
+  let projection tuple =
+    let lookup x =
+      let rec find args vals =
+        match args, vals with
+        | Fo.Var y :: _, v :: _ when String.equal x y -> v
+        | _ :: args, _ :: vals -> find args vals
+        | _ -> assert false
+      in
+      find atom.Cq.args tuple
+    in
+    List.map lookup vars
+  in
+  let rows =
+    match Core.Tid.relation_opt db atom.Cq.rel with
+    | None -> []
+    | Some rel ->
+        Core.Relation.fold
+          (fun tuple p acc -> if matches tuple then (projection tuple, p) :: acc else acc)
+          rel []
+        |> List.rev
+  in
+  { vars; rows }
+
+let index_of vars x =
+  let rec go i = function
+    | [] -> invalid_arg (Printf.sprintf "Ptable: unknown column %s" x)
+    | y :: rest -> if String.equal x y then i else go (i + 1) rest
+  in
+  go 0 vars
+
+let join t1 t2 =
+  let shared = List.filter (fun x -> List.mem x t1.vars) t2.vars in
+  let extra2 = List.filter (fun x -> not (List.mem x shared)) t2.vars in
+  let key vars tuple = List.map (fun x -> List.nth tuple (index_of vars x)) shared in
+  (* hash the smaller side on the shared key *)
+  let tbl = Hashtbl.create (List.length t2.rows) in
+  List.iter
+    (fun (tuple, p) ->
+      let k = key t2.vars tuple in
+      Hashtbl.add tbl k (tuple, p))
+    t2.rows;
+  let rows =
+    List.concat_map
+      (fun (tuple1, p1) ->
+        Hashtbl.find_all tbl (key t1.vars tuple1)
+        |> List.map (fun (tuple2, p2) ->
+               let ext = List.map (fun x -> List.nth tuple2 (index_of t2.vars x)) extra2 in
+               (tuple1 @ ext, p1 *. p2)))
+      t1.rows
+  in
+  { vars = t1.vars @ extra2; rows }
+
+let combine p q = 1.0 -. ((1.0 -. p) *. (1.0 -. q))
+
+let project keep t =
+  let idxs = List.map (index_of t.vars) keep in
+  let groups = Hashtbl.create 64 in
+  List.iter
+    (fun (tuple, p) ->
+      let k = List.map (List.nth tuple) idxs in
+      let p' =
+        match Hashtbl.find_opt groups k with Some q -> combine p q | None -> p
+      in
+      Hashtbl.replace groups k p')
+    t.rows;
+  let rows = Hashtbl.fold (fun k p acc -> (k, p) :: acc) groups [] in
+  { vars = keep; rows = List.sort (fun (a, _) (b, _) -> Core.Tuple.compare a b) rows }
+
+let boolean_prob t =
+  match t.vars, t.rows with
+  | [], [ ([], p) ] -> p
+  | [], [] -> 0.0
+  | [], _ -> invalid_arg "Ptable.boolean_prob: multiple rows in boolean table"
+  | _ -> invalid_arg "Ptable.boolean_prob: table has columns"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v2>[%s]:" (String.concat ", " t.vars);
+  List.iter
+    (fun (tuple, p) -> Format.fprintf ppf "@ %a : %g" Core.Tuple.pp tuple p)
+    t.rows;
+  Format.fprintf ppf "@]"

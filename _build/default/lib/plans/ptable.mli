@@ -1,0 +1,30 @@
+(** Probabilistic intermediate tables for extensional plans.
+
+    Sec. 6 of the paper: relations carry a probability column [P]; the two
+    plan operators are the natural join (probabilities multiply) and the
+    independent-project / group-by with the aggregate
+    [u ⊕ v = 1-(1-u)(1-v)]. Columns are named by query variables. *)
+
+type t = {
+  vars : string list;  (** column names, in order *)
+  rows : (Probdb_core.Tuple.t * float) list;  (** distinct tuples *)
+}
+
+val scan : Probdb_core.Tid.t -> Probdb_logic.Cq.atom -> t
+(** Reads the atom's relation, keeps rows matching the atom's constants and
+    repeated variables, and projects onto the distinct variables (first
+    occurrence order). Raises [Invalid_argument] on complemented atoms. *)
+
+val join : t -> t -> t
+(** Natural join on shared columns; output probability is the product
+    (the modified ⋈ of Sec. 6). *)
+
+val project : string list -> t -> t
+(** Group-by the kept columns, combining group probabilities with ⊕
+    (the modified γ of Sec. 6). Raises [Invalid_argument] on unknown
+    columns. *)
+
+val boolean_prob : t -> float
+(** For a zero-column table: the probability of its single row, or 0. *)
+
+val pp : Format.formatter -> t -> unit

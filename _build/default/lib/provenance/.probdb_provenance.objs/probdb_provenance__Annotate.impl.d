@@ -1,0 +1,1 @@
+lib/provenance/annotate.ml: List Probdb_core Probdb_logic Semiring

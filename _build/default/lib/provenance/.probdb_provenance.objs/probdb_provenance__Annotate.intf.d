@@ -1,0 +1,1 @@
+lib/provenance/annotate.mli: Probdb_core Probdb_logic Semiring

@@ -1,0 +1,1 @@
+lib/provenance/semiring.ml: Bool Float Format Hashtbl Int List Option Probdb_boolean

@@ -1,0 +1,1 @@
+lib/provenance/semiring.mli: Format Probdb_boolean

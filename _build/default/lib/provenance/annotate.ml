@@ -1,0 +1,36 @@
+module Core = Probdb_core
+module Fo = Probdb_logic.Fo
+module Cq = Probdb_logic.Cq
+
+module Make (K : Semiring.S) = struct
+  type annotation = string -> Core.Tuple.t -> K.t
+
+  let of_world world rel tuple = if Core.World.mem world rel tuple then K.one else K.zero
+
+  let eval_cq ~domain ann cq =
+    List.iter
+      (fun (a : Cq.atom) ->
+        if a.Cq.comp then invalid_arg "Annotate.eval_cq: complemented atom")
+      cq;
+    let eval_arg env = function
+      | Fo.Const v -> v
+      | Fo.Var x -> List.assoc x env
+    in
+    let product env =
+      List.fold_left
+        (fun acc (a : Cq.atom) ->
+          K.times acc (ann a.Cq.rel (List.map (eval_arg env) a.Cq.args)))
+        K.one cq
+    in
+    let rec assign env = function
+      | [] -> product env
+      | x :: rest ->
+          List.fold_left
+            (fun acc v -> K.plus acc (assign ((x, v) :: env) rest))
+            K.zero domain
+    in
+    assign [] (Cq.vars cq)
+
+  let eval_ucq ~domain ann ucq =
+    List.fold_left (fun acc cq -> K.plus acc (eval_cq ~domain ann cq)) K.zero ucq
+end

@@ -1,0 +1,25 @@
+(** Semiring-annotated evaluation of (unions of) conjunctive queries.
+
+    Given an annotation of every fact in some semiring K, the annotation of
+    a Boolean UCQ is [Σ over valuations Π over atoms] of the facts'
+    annotations — joins multiply, the implicit existential projection adds.
+    With K = {!Semiring.Formula} and facts annotated by their lineage
+    variables this computes exactly [Probdb_lineage.Lineage.of_ucq]; with
+    K = ℕ it counts valuations; with K = Bool it decides satisfaction
+    (tested against [Probdb_logic.Semantics]). *)
+
+module Make (K : Semiring.S) : sig
+  type annotation = string -> Probdb_core.Tuple.t -> K.t
+  (** per-fact annotations; facts not mentioned should map to [K.zero]. *)
+
+  val of_world : Probdb_core.World.t -> annotation
+  (** [K.one] on the world's facts, [K.zero] elsewhere. *)
+
+  val eval_cq :
+    domain:Probdb_core.Value.t list -> annotation -> Probdb_logic.Cq.t -> K.t
+  (** Annotation of a Boolean CQ. Raises [Invalid_argument] on complemented
+      atoms (provenance here is for positive queries). *)
+
+  val eval_ucq :
+    domain:Probdb_core.Value.t list -> annotation -> Probdb_logic.Ucq.t -> K.t
+end

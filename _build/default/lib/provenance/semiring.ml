@@ -1,0 +1,112 @@
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val plus : t -> t -> t
+  val times : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Bool = struct
+  type t = bool
+
+  let zero = false
+  let one = true
+  let plus = ( || )
+  let times = ( && )
+  let equal = Bool.equal
+  let pp = Format.pp_print_bool
+end
+
+module Counting = struct
+  type t = int
+
+  let zero = 0
+  let one = 1
+  let plus = ( + )
+  let times = ( * )
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+module Tropical = struct
+  type t = float
+
+  let zero = Float.infinity
+  let one = 0.0
+  let plus = Float.min
+  let times = ( +. )
+  let equal a b = a = b || (Float.is_nan a && Float.is_nan b)
+  let pp ppf x = Format.fprintf ppf "%g" x
+end
+
+module Formula = struct
+  module F = Probdb_boolean.Formula
+
+  type t = F.t
+
+  let zero = F.fls
+  let one = F.tru
+  let plus = F.disj2
+  let times = F.conj2
+  let equal = F.equal
+  let pp = F.pp ()
+end
+
+module Polynomial = struct
+  (* canonical form: association list from sorted factor lists (with
+     multiplicity) to positive integer coefficients, sorted by monomial. *)
+  type t = (int list * int) list
+
+  let normalize monos =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (factors, coeff) ->
+        if coeff <> 0 then begin
+          let key = List.sort Int.compare factors in
+          Hashtbl.replace tbl key (coeff + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+        end)
+      monos;
+    Hashtbl.fold (fun k c acc -> if c = 0 then acc else (k, c) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> List.compare Int.compare a b)
+
+  let zero = []
+  let one = [ ([], 1) ]
+  let var x = [ ([ x ], 1) ]
+  let of_monomials = normalize
+  let monomials p = p
+  let plus p q = normalize (p @ q)
+
+  let times p q =
+    normalize
+      (List.concat_map
+         (fun (m1, c1) -> List.map (fun (m2, c2) -> (m1 @ m2, c1 * c2)) q)
+         p)
+
+  let equal p q = List.equal (fun (m1, c1) (m2, c2) -> c1 = c2 && List.equal Int.equal m1 m2) p q
+
+  let eval env p =
+    List.fold_left
+      (fun acc (factors, coeff) ->
+        acc + (coeff * List.fold_left (fun m x -> m * env x) 1 factors))
+      0 p
+
+  let pp ppf p =
+    match p with
+    | [] -> Format.pp_print_string ppf "0"
+    | _ ->
+        Format.pp_print_list
+          ~pp_sep:(fun ppf () -> Format.fprintf ppf " + ")
+          (fun ppf (factors, coeff) ->
+            match factors with
+            | [] -> Format.fprintf ppf "%d" coeff
+            | _ ->
+                if coeff <> 1 then Format.fprintf ppf "%d·" coeff;
+                Format.pp_print_list
+                  ~pp_sep:(fun ppf () -> Format.fprintf ppf "·")
+                  (fun ppf x -> Format.fprintf ppf "x%d" x)
+                  ppf factors)
+          ppf p
+end

@@ -1,0 +1,60 @@
+(** Commutative semirings for provenance-annotated query evaluation.
+
+    The lineage of Sec. 7 is the special case of semiring provenance
+    (Green–Karvounarakis–Tannen) where the semiring is positive Boolean
+    formulas over the fact variables: joins multiply annotations,
+    union/projection add them. Keeping the semiring abstract buys, with the
+    same evaluator: plain satisfaction (Boolean semiring), counting the
+    derivations (ℕ), cheapest derivations (tropical), why-provenance
+    (sets of sets of facts), and full provenance polynomials ℕ[X]. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  (** neutral for {!plus}, annihilator for {!times}: "no derivation". *)
+
+  val one : t
+  (** neutral for {!times}: the annotation of "present for sure". *)
+
+  val plus : t -> t -> t
+  (** alternative derivations (union, projection). *)
+
+  val times : t -> t -> t
+  (** joint use (join). *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Bool : S with type t = bool
+(** Set semantics: does the query hold? *)
+
+module Counting : S with type t = int
+(** Bag semantics / number of derivations. *)
+
+module Tropical : S with type t = float
+(** (min, +): cost of the cheapest derivation; {!S.zero} is +∞. *)
+
+module Formula : S with type t = Probdb_boolean.Formula.t
+(** Positive Boolean formulas over fact variables — the lineage semiring.
+    [plus] is ∨, [times] is ∧. *)
+
+module Polynomial : sig
+  include S
+
+  val var : int -> t
+  (** the indeterminate of one fact. *)
+
+  val of_monomials : (int list * int) list -> t
+  (** monomials as sorted factor lists with coefficients. *)
+
+  val monomials : t -> (int list * int) list
+  (** canonical form: sorted monomials (factors sorted, with multiplicity),
+      positive coefficients. *)
+
+  val eval : (int -> int) -> t -> int
+  (** substitute numbers for the indeterminates. *)
+end
+(** Provenance polynomials ℕ[X], the most general annotation: specialising
+    their indeterminates recovers every other semiring above. *)

@@ -1,0 +1,1 @@
+lib/symmetric/closed_forms.mli:

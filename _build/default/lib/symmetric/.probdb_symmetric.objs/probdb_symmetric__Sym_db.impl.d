@@ -1,0 +1,1 @@
+lib/symmetric/sym_db.ml: Float List Printf Probdb_core String

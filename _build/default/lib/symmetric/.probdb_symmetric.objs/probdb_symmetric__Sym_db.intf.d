@@ -1,0 +1,1 @@
+lib/symmetric/sym_db.mli: Probdb_core

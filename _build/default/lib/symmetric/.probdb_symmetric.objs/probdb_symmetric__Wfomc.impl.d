@@ -1,0 +1,1 @@
+lib/symmetric/wfomc.ml: Array Closed_forms List Map Printf Probdb_logic String Sym_db

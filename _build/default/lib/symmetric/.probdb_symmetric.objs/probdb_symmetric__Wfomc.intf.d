@@ -1,0 +1,1 @@
+lib/symmetric/wfomc.mli: Probdb_logic Sym_db

@@ -1,0 +1,70 @@
+let powi x k =
+  if k < 0 then invalid_arg "powi: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else
+      let acc = if k land 1 = 1 then acc *. base else acc in
+      go acc (base *. base) (k lsr 1)
+  in
+  go 1.0 x k
+
+let binomial n k =
+  if k < 0 || k > n then 0.0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1.0 in
+    for i = 0 to k - 1 do
+      acc := !acc *. float_of_int (n - i) /. float_of_int (i + 1)
+    done;
+    !acc
+  end
+
+(* ln(k!) computed incrementally; large n makes the direct binomial /
+   power products overflow, so each term of the H0 sum is assembled in
+   log-space. *)
+let ln_factorial =
+  let cache = ref [| 0.0 |] in
+  fun k ->
+    let table = !cache in
+    if k < Array.length table then table.(k)
+    else begin
+      let table' = Array.make (k + 1) 0.0 in
+      Array.blit table 0 table' 0 (Array.length table);
+      for i = Array.length table to k do
+        table'.(i) <- table'.(i - 1) +. log (float_of_int i)
+      done;
+      cache := table';
+      table'.(k)
+    end
+
+let ln_binomial n k = ln_factorial n -. ln_factorial k -. ln_factorial (n - k)
+
+(* k * ln p, with the 0^0 = 1 convention; None encodes a zero factor. *)
+let ln_pow p k =
+  if k = 0 then Some 0.0 else if p <= 0.0 then None else Some (float_of_int k *. log p)
+
+let h0 ~n ~p_r ~p_s ~p_t =
+  let total = ref 0.0 in
+  for k = 0 to n do
+    for l = 0 to n do
+      let factors =
+        [
+          ln_pow p_r k;
+          ln_pow (1.0 -. p_r) (n - k);
+          ln_pow p_t l;
+          ln_pow (1.0 -. p_t) (n - l);
+          ln_pow p_s ((n - k) * (n - l));
+        ]
+      in
+      if List.for_all Option.is_some factors then begin
+        let ln_term =
+          ln_binomial n k +. ln_binomial n l
+          +. List.fold_left (fun acc f -> acc +. Option.get f) 0.0 factors
+        in
+        total := !total +. exp ln_term
+      end
+    done
+  done;
+  !total
+
+let forall_exists_s ~n ~p_s = powi (1.0 -. powi (1.0 -. p_s) n) n

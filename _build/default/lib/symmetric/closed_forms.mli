@@ -1,0 +1,25 @@
+(** Closed-form symmetric evaluations from Sec. 8 of the paper.
+
+    The paper derives, by conditioning on the cardinalities |R| = k and
+    |T| = ℓ, a polynomial-time sum for [H0 = ∀x∀y (R(x) ∨ S(x,y) ∨ T(y))]
+    on a symmetric database:
+
+    {v p(H0) = Σ_{k,ℓ} C(n,k) C(n,ℓ) p_R^k (1-p_R)^(n-k)
+                       p_T^ℓ (1-p_T)^(n-ℓ) p_S^((n-k)(n-ℓ)) v}
+
+    Note the exponent: the pairs that force an S-tuple are those with
+    [x ∉ R] and [y ∉ T], i.e. [(n-k)(n-ℓ)] of them. (The paper's text
+    prints the exponent as [n² - kℓ], which double-counts; the tests
+    validate the version above against brute-force enumeration.) *)
+
+val h0 : n:int -> p_r:float -> p_s:float -> p_t:float -> float
+(** The O(n²) evaluation above. *)
+
+val forall_exists_s : n:int -> p_s:float -> float
+(** [p(∀x ∃y S(x,y)) = (1 - (1-p_s)^n)^n] — the rows-all-nonempty query,
+    another staple symmetric closed form. *)
+
+val binomial : int -> int -> float
+val powi : float -> int -> float
+(** Integer power by repeated squaring (exact for negative bases, unlike
+    [Float.pow]). *)

@@ -1,0 +1,30 @@
+(** Symmetric probabilistic databases (Sec. 8).
+
+    A symmetric database is invariant under permutations of the domain:
+    for every relation, {e all possible tuples} carry the same probability.
+    It is fully described by the domain size and one probability per
+    relation — the input of symmetric WFOMC, whose complexity is measured
+    in [n] alone (the class #P₁ of the paper). *)
+
+type t = {
+  n : int;  (** domain size *)
+  rels : (string * int * float) list;  (** name, arity, tuple probability *)
+}
+
+val make : n:int -> (string * int * float) list -> t
+(** Raises [Invalid_argument] on duplicate names, arities outside {1, 2}
+    (the FO² algorithms only see unary and binary predicates), or [n < 1]. *)
+
+val domain : t -> Probdb_core.Value.t list
+
+val prob : t -> string -> float
+(** Raises [Not_found] for unknown relations. *)
+
+val arity : t -> string -> int
+
+val to_tid : t -> Probdb_core.Tid.t
+(** Materialises every possible tuple — for cross-checking against
+    brute-force enumeration on small [n]. *)
+
+val tuple_count : t -> int
+(** |Tup|: the number of possible tuples. *)

@@ -1,0 +1,323 @@
+module Fo = Probdb_logic.Fo
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+type stats = {
+  mutable cells : int;
+  mutable live_cells : int;
+  mutable compositions : int;
+  mutable cell_calls : int;
+}
+
+let fresh_stats () = { cells = 0; live_cells = 0; compositions = 0; cell_calls = 0 }
+
+type pred = { pname : string; arity : int; wt : float; wf : float }
+
+(* ---------- quantifier-free matrix evaluation ---------- *)
+
+let rec eval_matrix av = function
+  | Fo.True -> true
+  | Fo.False -> false
+  | Fo.Atom a -> av a.Fo.rel a.Fo.args
+  | Fo.Not f -> not (eval_matrix av f)
+  | Fo.And (f, g) -> eval_matrix av f && eval_matrix av g
+  | Fo.Or (f, g) -> eval_matrix av f || eval_matrix av g
+  | Fo.Implies (f, g) -> (not (eval_matrix av f)) || eval_matrix av g
+  | Fo.Exists _ | Fo.Forall _ -> unsupported "quantifier left inside a matrix"
+
+let var_name = function
+  | Fo.Var v -> v
+  | Fo.Const _ -> unsupported "constants are not allowed in symmetric WFOMC"
+
+(* ---------- the cell algorithm for ∀x∀y χ(x,y) ---------- *)
+
+module Smap = Map.Make (String)
+
+(* A cell assigns a truth value to every unary atom U(x) and every diagonal
+   binary atom B(x,x). *)
+type cell = { u : bool Smap.t; d : bool Smap.t; weight : float }
+
+let bool_vectors n =
+  let rec go k = if k = 0 then [ [] ] else List.concat_map (fun v -> [ true :: v; false :: v ]) (go (k - 1)) in
+  go n
+
+let enumerate_cells preds matrix =
+  let unaries = List.filter (fun p -> p.arity = 1) preds in
+  let binaries = List.filter (fun p -> p.arity = 2) preds in
+  let mk uvec dvec =
+    let u = List.fold_left2 (fun m p b -> Smap.add p.pname b m) Smap.empty unaries uvec in
+    let d = List.fold_left2 (fun m p b -> Smap.add p.pname b m) Smap.empty binaries dvec in
+    (* χ(a,a): every atom resolves through the diagonal *)
+    let av rel args =
+      ignore args;
+      match Smap.find_opt rel u with
+      | Some b -> b
+      | None -> (
+          match Smap.find_opt rel d with
+          | Some b -> b
+          | None -> unsupported "unknown predicate %s in matrix" rel)
+    in
+    let ok = eval_matrix av matrix in
+    let weight =
+      if not ok then 0.0
+      else
+        List.fold_left2
+          (fun acc p b -> acc *. (if b then p.wt else p.wf))
+          (List.fold_left2
+             (fun acc p b -> acc *. (if b then p.wt else p.wf))
+             1.0 unaries uvec)
+          binaries dvec
+    in
+    { u; d; weight }
+  in
+  List.concat_map
+    (fun uvec -> List.map (fun dvec -> mk uvec dvec) (bool_vectors (List.length binaries)))
+    (bool_vectors (List.length unaries))
+
+(* Weighted count of the binary-atom assignments between two distinct
+   elements a (cell ca) and b (cell cb) satisfying χ(a,b) ∧ χ(b,a). *)
+let pair_weight binaries matrix ca cb =
+  let rec go assigned rest =
+    match rest with
+    | [] ->
+        (* assigned : (name, (a→b value, b→a value)) list *)
+        let lookup name = List.assoc name assigned in
+        let av_ab rel (args : Fo.term list) =
+          match args with
+          | [ t ] -> (
+              match var_name t with
+              | "x" -> Smap.find rel ca.u
+              | "y" -> Smap.find rel cb.u
+              | v -> unsupported "unexpected variable %s" v)
+          | [ t1; t2 ] -> (
+              match var_name t1, var_name t2 with
+              | "x", "x" -> Smap.find rel ca.d
+              | "y", "y" -> Smap.find rel cb.d
+              | "x", "y" -> fst (lookup rel)
+              | "y", "x" -> snd (lookup rel)
+              | v, w -> unsupported "unexpected variables %s,%s" v w)
+          | _ -> unsupported "arity > 2 predicate %s" rel
+        in
+        let av_ba rel (args : Fo.term list) =
+          match args with
+          | [ t ] -> (
+              match var_name t with
+              | "x" -> Smap.find rel cb.u
+              | "y" -> Smap.find rel ca.u
+              | v -> unsupported "unexpected variable %s" v)
+          | [ t1; t2 ] -> (
+              match var_name t1, var_name t2 with
+              | "x", "x" -> Smap.find rel cb.d
+              | "y", "y" -> Smap.find rel ca.d
+              | "x", "y" -> snd (lookup rel)
+              | "y", "x" -> fst (lookup rel)
+              | v, w -> unsupported "unexpected variables %s,%s" v w)
+          | _ -> unsupported "arity > 2 predicate %s" rel
+        in
+        if eval_matrix av_ab matrix && eval_matrix av_ba matrix then
+          List.fold_left
+            (fun acc (name, (ab, ba)) ->
+              let p = List.find (fun p -> String.equal p.pname name) binaries in
+              acc *. (if ab then p.wt else p.wf) *. if ba then p.wt else p.wf)
+            1.0 assigned
+        else 0.0
+    | p :: rest ->
+        List.fold_left
+          (fun acc (ab, ba) -> acc +. go ((p.pname, (ab, ba)) :: assigned) rest)
+          0.0
+          [ (true, true); (true, false); (false, true); (false, false) ]
+  in
+  go [] binaries
+
+let factorials = Array.make 171 1.0
+
+let () =
+  for i = 1 to 170 do
+    factorials.(i) <- factorials.(i - 1) *. float_of_int i
+  done
+
+let choose n k = factorials.(n) /. (factorials.(k) *. factorials.(n - k))
+
+let cell_algorithm ?(stats = fresh_stats ()) ~max_terms ~n preds matrix =
+  if n > 170 then unsupported "domain size %d too large for float factorials" n;
+  stats.cell_calls <- stats.cell_calls + 1;
+  let binaries = List.filter (fun p -> p.arity = 2) preds in
+  let cells = enumerate_cells preds matrix in
+  stats.cells <- stats.cells + List.length cells;
+  let live = List.filter (fun c -> c.weight <> 0.0) cells in
+  stats.live_cells <- stats.live_cells + List.length live;
+  let live = Array.of_list live in
+  let k = Array.length live in
+  if k = 0 then 0.0
+  else begin
+    let r = Array.make_matrix k k 0.0 in
+    for i = 0 to k - 1 do
+      for j = i to k - 1 do
+        let w = pair_weight binaries matrix live.(i) live.(j) in
+        r.(i).(j) <- w;
+        r.(j).(i) <- w
+      done
+    done;
+    let powi = Closed_forms.powi in
+    (* Sum over compositions n_0 + ... + n_{k-1} = n; [acc] carries the
+       multinomial, the cell weights, and all pair factors between already
+       assigned cells. *)
+    let total = ref 0.0 in
+    let counts = Array.make k 0 in
+    let rec go i remaining acc =
+      if acc = 0.0 then ()
+      else if i = k - 1 then begin
+        let ni = remaining in
+        counts.(i) <- ni;
+        stats.compositions <- stats.compositions + 1;
+        if stats.compositions > max_terms then
+          unsupported "composition budget exceeded (%d terms)" max_terms;
+        let acc = acc *. powi live.(i).weight ni *. powi r.(i).(i) (ni * (ni - 1) / 2) in
+        let acc =
+          let cross = ref acc in
+          for j = 0 to i - 1 do
+            cross := !cross *. powi r.(j).(i) (counts.(j) * ni)
+          done;
+          !cross
+        in
+        total := !total +. acc
+      end
+      else
+        for ni = 0 to remaining do
+          counts.(i) <- ni;
+          let acc' =
+            acc *. choose remaining ni *. powi live.(i).weight ni
+            *. powi r.(i).(i) (ni * (ni - 1) / 2)
+          in
+          let acc' =
+            let cross = ref acc' in
+            for j = 0 to i - 1 do
+              cross := !cross *. powi r.(j).(i) (counts.(j) * ni)
+            done;
+            !cross
+          in
+          go (i + 1) (remaining - ni) acc'
+        done
+    in
+    go 0 n 1.0;
+    !total
+  end
+
+(* ---------- sentence normalisation ---------- *)
+
+(* Simultaneous renaming of free variables in a quantifier-free matrix. *)
+let rename_matrix mapping matrix =
+  let on_term = function
+    | Fo.Var v -> (
+        match List.assoc_opt v mapping with Some v' -> Fo.Var v' | None -> Fo.Var v)
+    | t -> t
+  in
+  let rec go = function
+    | (Fo.True | Fo.False) as f -> f
+    | Fo.Atom a -> Fo.Atom { a with Fo.args = List.map on_term a.Fo.args }
+    | Fo.Not f -> Fo.Not (go f)
+    | Fo.And (f, g) -> Fo.And (go f, go g)
+    | Fo.Or (f, g) -> Fo.Or (go f, go g)
+    | Fo.Implies (f, g) -> Fo.Implies (go f, go g)
+    | Fo.Exists _ | Fo.Forall _ -> unsupported "nested quantifier in matrix"
+  in
+  go matrix
+
+type block =
+  | B_universal of Fo.t  (** matrix over x (and possibly y), fully ∀ *)
+  | B_forall_exists of Fo.t  (** ψ(x,y) of a ∀x∃y ψ block *)
+  | B_existential of Fo.t  (** the original ∃-prefixed sentence *)
+
+let classify_block conjunct =
+  let prefix, matrix = Fo.prenex conjunct in
+  match prefix with
+  | [] -> B_universal matrix
+  | [ (Fo.Q_forall, v) ] -> B_universal (rename_matrix [ (v, "x") ] matrix)
+  | [ (Fo.Q_forall, v1); (Fo.Q_forall, v2) ] ->
+      B_universal (rename_matrix [ (v1, "#x"); (v2, "#y") ] matrix |> rename_matrix [ ("#x", "x"); ("#y", "y") ])
+  | [ (Fo.Q_forall, v1); (Fo.Q_exists, v2) ] ->
+      B_forall_exists
+        (rename_matrix [ (v1, "#x"); (v2, "#y") ] matrix |> rename_matrix [ ("#x", "x"); ("#y", "y") ])
+  | (Fo.Q_exists, _) :: _ -> B_existential conjunct
+  | _ -> unsupported "more than two quantified variables in: %s" (Fo.to_string conjunct)
+
+let rec flatten_conjuncts = function
+  | Fo.And (f, g) -> flatten_conjuncts f @ flatten_conjuncts g
+  | f -> [ f ]
+
+let nonempty_and = function [] -> Fo.True | f :: fs -> List.fold_left (fun a b -> Fo.And (a, b)) f fs
+
+let probability ?(stats = fresh_stats ()) ?(max_terms = 20_000_000) db q =
+  let base_preds =
+    List.map
+      (fun (name, arity, p) -> { pname = name; arity; wt = p; wf = 1.0 -. p })
+      db.Sym_db.rels
+  in
+  let existing = List.map (fun p -> p.pname) base_preds in
+  let fresh_marker =
+    let counter = ref 0 in
+    fun () ->
+      incr counter;
+      let rec pick c = if List.mem c existing then pick (c ^ "'") else c in
+      pick (Printf.sprintf "SK%d" !counter)
+  in
+  (* Evaluate a conjunction of blocks none of which is ∃-prefixed. *)
+  let eval_universal_conj blocks =
+    let parts, marker_preds =
+      List.fold_left
+        (fun (parts, markers) b ->
+          match b with
+          | B_universal m -> (m :: parts, markers)
+          | B_forall_exists psi ->
+              let name = fresh_marker () in
+              let clause = Fo.Or (Fo.Not (Fo.atom name [ Fo.Var "x" ]), Fo.Not psi) in
+              (clause :: parts, { pname = name; arity = 1; wt = -1.0; wf = 1.0 } :: markers)
+          | B_existential _ -> assert false)
+        ([], []) blocks
+    in
+    let matrix = Fo.simplify (nonempty_and (List.rev parts)) in
+    cell_algorithm ~stats ~max_terms ~n:db.Sym_db.n (base_preds @ marker_preds) matrix
+  in
+  let rec prob_sentence q =
+    let q = Fo.simplify (Fo.nnf (Fo.elim_implies q)) in
+    match q with
+    | Fo.True -> 1.0
+    | Fo.False -> 0.0
+    | Fo.Or _ -> 1.0 -. prob_sentence (Fo.Not q)
+    | _ -> prob_conjunction (flatten_conjuncts q)
+  and prob_conjunction conjuncts =
+    let blocks = List.map classify_block conjuncts in
+    let universal, existential =
+      List.partition (function B_existential _ -> false | _ -> true) blocks
+    in
+    match existential with
+    | [] -> eval_universal_conj universal
+    | _ ->
+        (* p(∧A ∧ ∧_e e) with e = ¬u_e:
+           Σ_{S ⊆ E} (-1)^{|S|} p(∧A ∧ ∧_{e∈S} u_e) *)
+        let negated =
+          List.map
+            (function
+              | B_existential e -> (
+                  match classify_block (Fo.simplify (Fo.nnf (Fo.Not e))) with
+                  | B_existential _ ->
+                      unsupported "negation of %s still existential" (Fo.to_string e)
+                  | b -> b)
+              | _ -> assert false)
+            existential
+        in
+        let rec subsets = function
+          | [] -> [ (0, []) ]
+          | b :: rest ->
+              let subs = subsets rest in
+              subs @ List.map (fun (k, s) -> (k + 1, b :: s)) subs
+        in
+        List.fold_left
+          (fun acc (k, s) ->
+            let sign = if k mod 2 = 0 then 1.0 else -1.0 in
+            acc +. (sign *. eval_universal_conj (universal @ s)))
+          0.0 (subsets negated)
+  in
+  prob_sentence q

@@ -1,0 +1,45 @@
+(** Symmetric weighted first-order model counting for FO² (Thm. 8.1).
+
+    For every FO² sentence, PQE over symmetric databases is in polynomial
+    time in the domain size (Van den Broeck et al. [24], quoted as
+    Thm. 8.1). This module implements the classical cell-decomposition
+    algorithm:
+
+    - a {e 1-type} (cell) is a complete assignment to all unary atoms
+      [U(x)] and diagonal binary atoms [B(x,x)];
+    - a universally quantified sentence [∀x∀y ψ(x,y)] is evaluated by
+      summing, over all partitions of the [n] domain elements into cells,
+      the multinomial coefficient times per-cell weights times per-pair
+      weights [r_ij] (the weighted count of the binary-atom assignments
+      between two elements that satisfy [ψ] in both directions);
+    - an existential conjunct [∀x∃y ψ(x,y)] is removed by a {e Skolem
+      marker}: a fresh unary predicate [P] with weights [w(P) = -1],
+      [w̄(P) = +1] and the hard clause [∀x∀y (¬P(x) ∨ ¬ψ(x,y))]. Summing
+      the marker out cancels exactly the worlds containing an element with
+      no [ψ]-witness — the negative-weight Skolemization of [24];
+    - sentences with a leading ∃ (or disjunctions of blocks) reduce to the
+      above by complementation and inclusion–exclusion.
+
+    The evaluation runs in time [O(n^(K-1))] for [K] live cells —
+    polynomial in the domain size for each fixed sentence, exactly the
+    claim of Thm. 8.1. Supported input: Boolean combinations whose
+    conjuncts each prenex to at most two variables. Constants and arity
+    ≥ 3 are rejected with {!Unsupported} (the paper's Thm. 8.2 shows FO³
+    is #P₁-hard anyway). *)
+
+exception Unsupported of string
+
+type stats = {
+  mutable cells : int;  (** 1-types enumerated (per cell-algorithm call) *)
+  mutable live_cells : int;  (** cells surviving the diagonal check *)
+  mutable compositions : int;  (** partition terms summed *)
+  mutable cell_calls : int;  (** cell-algorithm invocations (I/E terms) *)
+}
+
+val fresh_stats : unit -> stats
+
+val probability :
+  ?stats:stats -> ?max_terms:int -> Sym_db.t -> Probdb_logic.Fo.t -> float
+(** [probability db q] is [p_db(q)] for a symmetric database. [max_terms]
+    (default 20 million) bounds the number of partition terms before
+    {!Unsupported} is raised. *)

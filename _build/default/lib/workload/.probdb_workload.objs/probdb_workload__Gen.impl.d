@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Array Float Fun List Probdb_core Random

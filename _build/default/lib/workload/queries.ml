@@ -1,0 +1,94 @@
+type expected = Ptime | Sharp_p_hard | Ptime_beyond_rules
+
+type entry = {
+  name : string;
+  text : string;
+  query : Probdb_logic.Fo.t;
+  expected : expected;
+  about : string;
+}
+
+let entry name text expected about =
+  { name; text; query = Probdb_logic.Parser.parse_sentence text; expected; about }
+
+let q_hier =
+  entry "q_hier" "exists x y. R(x) && S(x,y)" Ptime
+    "Hierarchical self-join-free CQ (Thm. 4.3, PTIME side); also the plan \
+     example of Sec. 6."
+
+let h0 =
+  entry "h0" "exists x y. R(x) && S(x,y) && T(y)" Sharp_p_hard
+    "The non-hierarchical CQ; dual of Thm. 2.2's H0. #P-hard by reduction \
+     from PP2CNF counting."
+
+let h0_forall =
+  entry "h0_forall" "forall x y. R(x) || S(x,y) || T(y)" Sharp_p_hard
+    "H0 exactly as in Thm. 2.2."
+
+let example_2_1 =
+  entry "example_2_1" "forall x y. S(x,y) => R(x)" Ptime
+    "The inclusion constraint of Example 2.1 / Fig. 1; its closed-form \
+     probability is derived in the paper."
+
+let q_j =
+  entry "q_j"
+    "exists x y u v. R(x) && S(x,y) && T(u) && S(u,v)" Ptime
+    "Q_J of Sec. 5: the basic lifted rules fail, inclusion-exclusion \
+     succeeds."
+
+let h1 =
+  entry "h1"
+    "(exists x y. R(x) && S(x,y)) || (exists u v. S(u,v) && T(v))" Sharp_p_hard
+    "h_1, the smallest #P-hard UCQ (both disjuncts are safe, the union is \
+     not)."
+
+let h2 =
+  entry "h2"
+    "(exists x y. R(x) && S1(x,y)) || (exists x y. S1(x,y) && S2(x,y)) || \
+     (exists x y. S2(x,y) && T(y))"
+    Sharp_p_hard "h_2 of the hard h_k family."
+
+let h3 =
+  entry "h3"
+    "(exists x y. R(x) && S1(x,y)) || (exists x y. S1(x,y) && S2(x,y)) || \
+     (exists x y. S2(x,y) && S3(x,y)) || (exists x y. S3(x,y) && T(y))"
+    Sharp_p_hard "h_3 of the hard h_k family (used by Thm. 7.1(ii))."
+
+let q_w =
+  entry "q_w"
+    "((exists x y. R(x) && S1(x,y)) || (exists x y. S2(x,y) && S3(x,y))) && \
+     ((exists x y. S1(x,y) && S2(x,y)) || (exists x y. S3(x,y) && T(y))) && \
+     ((exists x y. S2(x,y) && S3(x,y)) || (exists x y. S3(x,y) && T(y)))"
+    Ptime
+    "A safe query in the style of Q_W (Dalvi-Suciu): its \
+     inclusion-exclusion expansion contains #P-hard h_3-shaped terms that \
+     cancel; without the cancellation step lifted inference gets stuck \
+     (Sec. 5's AB v BC v CD discussion)."
+
+let self_join_hard =
+  entry "self_join_hard" "exists x y z. R(x,y) && R(y,z)" Sharp_p_hard
+    "Hierarchical but with a self-join: the Thm. 4.3 criterion does not \
+     apply, and the query is #P-hard (Sec. 4)."
+
+let self_join_symmetric =
+  entry "self_join_symmetric" "exists x y. R(x,y) && R(y,x)" Ptime_beyond_rules
+    "In PTIME (pairs {a,b} are independent) but requires the 'ranking' \
+     rewriting the paper mentions omitting; our rule set rejects it and the \
+     engine falls back to grounded inference."
+
+let all =
+  [
+    q_hier; h0; h0_forall; example_2_1; q_j; h1; h2; h3; q_w; self_join_hard;
+    self_join_symmetric;
+  ]
+
+let find name = List.find (fun e -> String.equal e.name name) all
+
+let hierarchical_chain k =
+  let open Probdb_logic.Fo in
+  let ys = List.init k (fun i -> Printf.sprintf "y%d" (i + 1)) in
+  let atoms =
+    rel "R" [ "x" ]
+    :: List.mapi (fun i y -> rel (Printf.sprintf "S%d" (i + 1)) [ "x"; y ]) ys
+  in
+  exists ("x" :: ys) (conj atoms)

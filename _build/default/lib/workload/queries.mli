@@ -1,0 +1,65 @@
+(** The query zoo: the named queries the paper's narrative revolves around.
+
+    Every entry records the concrete syntax, the parsed sentence, and what
+    the literature says about its data complexity, so tests and benchmarks
+    can assert the expected behaviour. *)
+
+type expected =
+  | Ptime  (** PQE(Q) in polynomial time, and the lifted rules find it *)
+  | Sharp_p_hard  (** #P-hard *)
+  | Ptime_beyond_rules
+      (** in PTIME, but outside this implementation's rule fragment
+          (needs shattering/ranking); grounded methods still apply *)
+
+type entry = {
+  name : string;
+  text : string;  (** concrete syntax, parseable by [Probdb_logic.Parser] *)
+  query : Probdb_logic.Fo.t;
+  expected : expected;
+  about : string;  (** where in the paper it appears and why it matters *)
+}
+
+val all : entry list
+
+val find : string -> entry
+(** Raises [Not_found]. *)
+
+val q_hier : entry
+(** [∃x∃y R(x)∧S(x,y)] — the hierarchical poster child (Thm. 4.3). *)
+
+val h0 : entry
+(** [∃x∃y R(x)∧S(x,y)∧T(y)] — the #P-hard query of Thm. 2.2 (dual form). *)
+
+val h0_forall : entry
+(** [∀x∀y R(x)∨S(x,y)∨T(y)] — Thm. 2.2 as stated. *)
+
+val example_2_1 : entry
+(** [∀x∀y (S(x,y) ⇒ R(x))] — the inclusion constraint of Example 2.1. *)
+
+val q_j : entry
+(** [Q_J] of Sec. 5 — liftable only with inclusion–exclusion. *)
+
+val h1 : entry
+(** [R(x)S(x,y) ∨ S(u,v)T(v)] — the smallest hard UCQ. *)
+
+val h2 : entry
+val h3 : entry
+(** Longer members of the hard [h_k] family (used by Thm. 7.1(ii)). *)
+
+val q_w : entry
+(** A safe conjunction of clauses over the [h_3] components whose
+    inclusion–exclusion expansion contains the #P-hard [h_3]-style terms
+    with coefficient 0 — evaluating it requires the cancellation step
+    (the [AB ∨ BC ∨ CD] discussion of Sec. 5). *)
+
+val self_join_hard : entry
+(** [∃x∃y∃z R(x,y)∧R(y,z)] — hierarchical yet #P-hard (self-joins break
+    Thm. 4.3's criterion). *)
+
+val self_join_symmetric : entry
+(** [∃x∃y R(x,y)∧R(y,x)] — in PTIME but needs the "ranking" refinement the
+    paper mentions omitting; our rules reject it. *)
+
+val hierarchical_chain : int -> Probdb_logic.Fo.t
+(** [∃x∃y1...∃yk R(x)∧S1(x,y1)∧...∧Sk(x,yk)] — a hierarchical family of
+    growing width, all safe, used for the linear-OBDD experiment. *)

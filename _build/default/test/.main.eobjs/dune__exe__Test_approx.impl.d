@@ -1,0 +1,1 @@
+test/test_approx.ml: Alcotest Float Int List Printf Probdb_approx Probdb_boolean Probdb_core Probdb_lineage Probdb_logic Probdb_workload QCheck2 Test_util

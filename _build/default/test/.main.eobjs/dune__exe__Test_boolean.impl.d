@@ -1,0 +1,1 @@
+test/test_boolean.ml: Alcotest Brute_wmc Float Formula List Probdb_boolean QCheck2 String Test_util Var_pool

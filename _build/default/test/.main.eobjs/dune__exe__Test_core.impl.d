@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bid Csv_io Filename Float List Probdb_core QCheck2 Ra Relation Schema Test_util Tid Tuple Value World Worlds

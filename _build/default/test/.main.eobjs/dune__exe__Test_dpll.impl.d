@@ -1,0 +1,1 @@
+test/test_dpll.ml: Alcotest Dpll Float List Probdb_boolean Probdb_dpll Probdb_kc QCheck2 Result Test_util

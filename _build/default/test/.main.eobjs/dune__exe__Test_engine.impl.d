@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Float Format List Printf Probdb_core Probdb_engine Probdb_logic Probdb_symmetric Probdb_workload QCheck2 String Test_util

@@ -1,0 +1,1 @@
+test/test_kc.ml: Alcotest Circuit Ddnnf Float Fun Int List Obdd Option Printf Probdb_boolean Probdb_kc Probdb_lineage Probdb_logic Probdb_workload QCheck2 Read_once Result Test_util

@@ -1,0 +1,1 @@
+test/test_lifted.ml: Alcotest Float Format Fun List Printf Probdb_core Probdb_lifted Probdb_logic Probdb_workload QCheck2 Test_util

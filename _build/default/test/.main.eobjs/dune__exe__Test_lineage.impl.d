@@ -1,0 +1,1 @@
+test/test_lineage.ml: Alcotest Float Lineage List Option Printf Probdb_boolean Probdb_core Probdb_lineage Probdb_logic QCheck2 Test_util

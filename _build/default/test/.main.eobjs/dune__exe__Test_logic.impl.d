@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Brute_force Cq Dichotomy Float Fo List Parser Printf Probdb_core Probdb_logic Probdb_workload QCheck2 Semantics String Test_util Ucq

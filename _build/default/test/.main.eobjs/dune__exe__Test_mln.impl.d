@@ -1,0 +1,1 @@
+test/test_mln.ml: Alcotest Float List Printf Probdb_boolean Probdb_core Probdb_logic Probdb_mln QCheck2 Test_util

@@ -1,0 +1,1 @@
+test/test_openworld.ml: Alcotest List Probdb_core Probdb_logic Probdb_openworld QCheck2 Random Test_util

@@ -1,0 +1,1 @@
+test/test_plans.ml: Alcotest Float List Option Printf Probdb_core Probdb_logic Probdb_plans Probdb_workload QCheck2 String Test_util

@@ -1,0 +1,1 @@
+test/test_provenance.ml: Alcotest List Printf Probdb_boolean Probdb_core Probdb_lineage Probdb_logic Probdb_provenance QCheck2 Test_util

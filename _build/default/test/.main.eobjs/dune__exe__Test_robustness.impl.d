@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Filename List Probdb_core Probdb_engine Probdb_lifted Probdb_logic String Test_util

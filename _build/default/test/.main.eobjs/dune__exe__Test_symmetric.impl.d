@@ -1,0 +1,1 @@
+test/test_symmetric.ml: Alcotest Float List Printf Probdb_core Probdb_logic Probdb_symmetric QCheck2 Test_util

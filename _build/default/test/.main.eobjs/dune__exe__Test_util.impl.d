@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Float List Printf Probdb_core QCheck2 QCheck_alcotest Relation Schema Tid Value

@@ -1,0 +1,126 @@
+module Core = Probdb_core
+module L = Probdb_logic
+module Mc = Probdb_approx.Mc
+module Kl = Probdb_approx.Karp_luby
+module Gen = Probdb_workload.Gen
+module Q = Probdb_workload.Queries
+module Lineage = Probdb_lineage.Lineage
+
+let test_mc_converges () =
+  let db = Gen.random_tid ~seed:11 ~domain_size:3 [ Gen.spec "R" 1; Gen.spec "S" 2 ] in
+  let q = Q.q_hier.Q.query in
+  let truth = L.Brute_force.probability db q in
+  let est = Mc.estimate ~seed:1 ~samples:20_000 db q in
+  let err = Float.abs (est.Mc.mean -. truth) in
+  if err > 4.0 *. Float.max est.Mc.std_error 0.004 then
+    Alcotest.failf "MC off: estimate %.4f vs truth %.4f (err %.4f)" est.Mc.mean truth err
+
+let test_mc_error_shrinks () =
+  let db = Gen.random_tid ~seed:7 ~domain_size:3 [ Gen.spec "R" 1; Gen.spec "S" 2 ] in
+  let q = Q.q_hier.Q.query in
+  let small = Mc.estimate ~seed:3 ~samples:500 db q in
+  let large = Mc.estimate ~seed:3 ~samples:50_000 db q in
+  Alcotest.(check bool) "std error shrinks ~1/sqrt(N)" true
+    (large.Mc.std_error < small.Mc.std_error /. 5.0)
+
+let test_mc_rejects () =
+  let t xs = List.map Core.Value.int xs in
+  let bad = Core.Tid.make [ Core.Relation.of_list "R" [ (t [ 1 ], 1.5) ] ] in
+  (match Mc.estimate ~samples:10 bad (L.Parser.parse_sentence "exists x. R(x)") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of non-standard TID")
+
+let test_mc_extremes () =
+  let t xs = List.map Core.Value.int xs in
+  let db =
+    Core.Tid.make [ Core.Relation.of_list "R" [ (t [ 1 ], 1.0); (t [ 2 ], 0.0) ] ]
+  in
+  let sure = Mc.estimate ~samples:100 db (L.Parser.parse_sentence "exists x. R(x)") in
+  Test_util.check_float "certain event" 1.0 sure.Mc.mean;
+  let impossible = Mc.estimate ~samples:100 db (L.Parser.parse_sentence "R(2)") in
+  Test_util.check_float "impossible event" 0.0 impossible.Mc.mean
+
+let probs v = 0.1 +. (0.05 *. float_of_int (v mod 10))
+
+let test_kl_exact_identity () =
+  (* the sampling identity evaluated exactly equals brute-force DNF
+     probability *)
+  let clauses = [ [ 0; 1 ]; [ 1; 2 ]; [ 3 ] ] in
+  let f =
+    Probdb_boolean.Formula.disj
+      (List.map
+         (fun c -> Probdb_boolean.Formula.conj (List.map Probdb_boolean.Formula.var c))
+         clauses)
+  in
+  Test_util.check_float "identity"
+    (Probdb_boolean.Brute_wmc.probability probs f)
+    (Kl.exact_via_sampling_identity ~prob:probs clauses)
+
+let test_kl_converges () =
+  let clauses = [ [ 0; 1 ]; [ 1; 2 ]; [ 2; 3 ]; [ 0; 3 ]; [ 4 ] ] in
+  let truth = Kl.exact_via_sampling_identity ~prob:probs clauses in
+  let est = Kl.estimate ~seed:5 ~samples:50_000 ~prob:probs clauses in
+  let err = Float.abs (est.Kl.mean -. truth) in
+  if err > 4.0 *. Float.max est.Kl.std_error 1e-4 then
+    Alcotest.failf "KL off: %.5f vs %.5f" est.Kl.mean truth;
+  Alcotest.(check bool) "union weight bounds p" true (est.Kl.union_weight >= truth -. 1e-12)
+
+let test_kl_empty_and_trivial () =
+  let est = Kl.estimate ~samples:10 ~prob:probs [] in
+  Test_util.check_float "empty DNF" 0.0 est.Kl.mean;
+  (* single clause: estimator is exact with zero variance *)
+  let est1 = Kl.estimate ~samples:100 ~prob:probs [ [ 0; 1 ] ] in
+  Test_util.check_float "single clause" (probs 0 *. probs 1) est1.Kl.mean;
+  Test_util.check_float "zero variance" 0.0 est1.Kl.std_error
+
+let test_kl_on_h0_lineage () =
+  (* Karp-Luby estimates the #P-hard H0 within its confidence interval *)
+  let db = Gen.h0_db ~seed:9 ~n:3 () in
+  let ctx = Lineage.create db in
+  let ucq, _ = L.Ucq.of_sentence Q.h0.Q.query in
+  let clauses = Lineage.dnf_of_ucq ctx ucq in
+  let truth = L.Brute_force.probability db Q.h0.Q.query in
+  let est = Kl.estimate ~seed:2 ~samples:40_000 ~prob:(Lineage.prob ctx) clauses in
+  let err = Float.abs (est.Kl.mean -. truth) in
+  if err > 4.0 *. Float.max est.Kl.std_error 1e-3 then
+    Alcotest.failf "KL on H0 off: %.5f vs %.5f (se %.5f)" est.Kl.mean truth est.Kl.std_error
+
+let test_kl_small_probability_advantage () =
+  (* with a tiny p(F), Karp-Luby keeps a small *relative* error where naive
+     MC would mostly see zero hits *)
+  let tiny v = if v < 10 then 0.01 else 0.01 in
+  let clauses = [ [ 0; 1 ]; [ 2; 3 ] ] in
+  let truth = Kl.exact_via_sampling_identity ~prob:tiny clauses in
+  let est = Kl.estimate ~seed:4 ~samples:20_000 ~prob:tiny clauses in
+  let rel_err = Float.abs (est.Kl.mean -. truth) /. truth in
+  Alcotest.(check bool)
+    (Printf.sprintf "relative error %.3f small" rel_err)
+    true (rel_err < 0.1)
+
+let prop_kl_unbiased_small =
+  Test_util.qcheck ~count:30 "KL matches exact on random small DNFs"
+    QCheck2.Gen.(
+      let clause = list_size (int_range 1 3) (int_range 0 5) in
+      pair (list_size (int_range 1 4) clause) (int_range 1 1000))
+    (fun (clauses, seed) ->
+      let clauses = List.map (List.sort_uniq Int.compare) clauses in
+      let truth = Kl.exact_via_sampling_identity ~prob:probs clauses in
+      let est = Kl.estimate ~seed ~samples:30_000 ~prob:probs clauses in
+      Float.abs (est.Kl.mean -. truth) < 5.0 *. Float.max est.Kl.std_error 2e-3)
+
+let suites =
+  [
+    ( "approx",
+      [
+        Alcotest.test_case "MC converges" `Quick test_mc_converges;
+        Alcotest.test_case "MC error shrinks" `Quick test_mc_error_shrinks;
+        Alcotest.test_case "MC rejects non-standard" `Quick test_mc_rejects;
+        Alcotest.test_case "MC extremes" `Quick test_mc_extremes;
+        Alcotest.test_case "KL sampling identity" `Quick test_kl_exact_identity;
+        Alcotest.test_case "KL converges" `Quick test_kl_converges;
+        Alcotest.test_case "KL empty and single clause" `Quick test_kl_empty_and_trivial;
+        Alcotest.test_case "KL on H0 lineage" `Quick test_kl_on_h0_lineage;
+        Alcotest.test_case "KL small-probability advantage" `Quick test_kl_small_probability_advantage;
+        prop_kl_unbiased_small;
+      ] );
+  ]

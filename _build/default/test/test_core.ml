@@ -1,0 +1,256 @@
+open Probdb_core
+
+let v = Value.int
+let t xs = Tuple.of_ints xs
+
+let test_value_order () =
+  Alcotest.(check bool) "int < str" true (Value.compare (Value.Int 5) (Value.Str "a") < 0);
+  Alcotest.(check bool) "roundtrip int" true (Value.equal (Value.of_string "42") (v 42));
+  Alcotest.(check bool) "roundtrip bool" true (Value.equal (Value.of_string "true") (Value.Bool true));
+  Alcotest.(check bool) "roundtrip str" true (Value.equal (Value.of_string "a1") (Value.str "a1"));
+  Alcotest.(check string) "print" "7" (Value.to_string (v 7))
+
+let test_tuple_basics () =
+  Alcotest.(check int) "arity" 3 (Tuple.arity (t [ 1; 2; 3 ]));
+  Alcotest.(check bool) "equal" true (Tuple.equal (t [ 1; 2 ]) (t [ 1; 2 ]));
+  Alcotest.(check bool) "order" true (Tuple.compare (t [ 1; 2 ]) (t [ 1; 3 ]) < 0);
+  Alcotest.(check string) "print" "(1, 2)" (Tuple.to_string (t [ 1; 2 ]))
+
+let test_relation_basics () =
+  let r = Relation.of_list "R" [ (t [ 1 ], 0.4); (t [ 2 ], 0.9) ] in
+  Alcotest.(check int) "cardinal" 2 (Relation.cardinal r);
+  Test_util.check_float "prob listed" 0.4 (Relation.prob r (t [ 1 ]));
+  Test_util.check_float "prob unlisted" 0.0 (Relation.prob r (t [ 3 ]));
+  Alcotest.(check bool) "mem" true (Relation.mem r (t [ 2 ]));
+  Alcotest.(check bool) "standard" true (Relation.is_standard r);
+  let r' = Relation.map_probs (fun _ p -> p +. 1.0) r in
+  Alcotest.(check bool) "nonstandard after shift" false (Relation.is_standard r')
+
+let test_relation_errors () =
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Relation.make: tuple (1, 2) has arity 2, expected 1 in R")
+    (fun () -> ignore (Relation.make (Schema.of_arity "R" 1) [ (t [ 1; 2 ], 0.5) ]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Relation.make: duplicate tuple (1) in R") (fun () ->
+      ignore (Relation.make (Schema.of_arity "R" 1) [ (t [ 1 ], 0.5); (t [ 1 ], 0.6) ]))
+
+let test_tid_basics () =
+  let r = Relation.of_list "R" [ (t [ 1 ], 0.4) ] in
+  let s = Relation.of_list "S" [ (t [ 1; 2 ], 0.5); (t [ 3; 4 ], 0.6) ] in
+  let db = Tid.make [ r; s ] in
+  Alcotest.(check int) "domain size" 4 (Tid.domain_size db);
+  Alcotest.(check int) "support" 3 (Tid.support_size db);
+  Test_util.check_float "prob" 0.5 (Tid.prob db "S" (t [ 1; 2 ]));
+  Test_util.check_float "missing rel" 0.0 (Tid.prob db "T" (t [ 1 ]));
+  let db' = Tid.make ~domain:[ v 9 ] [ r ] in
+  Alcotest.(check int) "declared domain" 2 (Tid.domain_size db')
+
+let test_worlds_sum_to_one () =
+  let db = Test_util.fig1_tid () in
+  let total = Worlds.fold (fun _ p acc -> acc +. p) 0.0 db in
+  Test_util.check_float "sum of world probs" 1.0 total;
+  Alcotest.(check int) "count" 512 (Worlds.count db)
+
+let test_worlds_marginal () =
+  (* Recover a tuple marginal from the world distribution (Eq. (2)). *)
+  let db = Test_util.fig1_tid () in
+  let tuple = [ Value.str "a2" ] in
+  let p = Worlds.probability db (fun w -> World.mem w "R" tuple) in
+  Test_util.check_float "marginal of R(a2)" 0.6 p
+
+let test_worlds_expectation () =
+  let db =
+    Tid.make [ Relation.of_list "R" [ (t [ 1 ], 0.25); (t [ 2 ], 0.75) ] ]
+  in
+  let expected_size = Worlds.expectation db (fun w -> float_of_int (World.cardinal w)) in
+  Test_util.check_float "E[|W|] is sum of marginals" 1.0 expected_size
+
+let test_worlds_too_large () =
+  let rows = List.init 30 (fun i -> (t [ i ], 0.5)) in
+  let db = Tid.make [ Relation.of_list "R" rows ] in
+  Alcotest.check_raises "refuses big support" (Worlds.Too_large 30) (fun () ->
+      ignore (Worlds.probability db (fun _ -> true)))
+
+let test_world_ops () =
+  let w = World.of_facts [ ("R", t [ 1 ]); ("S", t [ 1; 2 ]) ] in
+  Alcotest.(check bool) "mem" true (World.mem w "R" (t [ 1 ]));
+  Alcotest.(check bool) "not mem" false (World.mem w "R" (t [ 2 ]));
+  Alcotest.(check int) "cardinal" 2 (World.cardinal w);
+  Alcotest.(check int) "tuples_of" 1 (List.length (World.tuples_of w "S"));
+  let w' = World.remove ("R", t [ 1 ]) w in
+  Alcotest.(check int) "after remove" 1 (World.cardinal w')
+
+let test_ra_join () =
+  let r = Relation.make (Schema.make "R" [ "x" ]) [ (t [ 1 ], 0.5); (t [ 2 ], 0.5) ] in
+  let s =
+    Relation.make (Schema.make "S" [ "x"; "y" ])
+      [ (t [ 1; 10 ], 0.4); (t [ 1; 11 ], 0.3); (t [ 3; 12 ], 0.9) ]
+  in
+  let j = Ra.natural_join r s in
+  Alcotest.(check int) "join rows" 2 (Relation.cardinal j);
+  Test_util.check_float "join prob multiplies" (0.5 *. 0.4) (Relation.prob j (t [ 1; 10 ]))
+
+let test_ra_project_select () =
+  let s =
+    Relation.make (Schema.make "S" [ "x"; "y" ])
+      [ (t [ 1; 10 ], 0.4); (t [ 1; 11 ], 0.3); (t [ 2; 12 ], 0.9) ]
+  in
+  let px = Ra.project [ "x" ] s in
+  Alcotest.(check int) "distinct x" 2 (Relation.cardinal px);
+  let sel = Ra.select_eq "x" (v 1) s in
+  Alcotest.(check int) "selected" 2 (Relation.cardinal sel);
+  let renamed = Ra.rename "S2" [ ("x", "z") ] s in
+  Alcotest.(check string) "renamed rel" "S2" (Relation.name renamed);
+  Alcotest.(check int) "rename keeps rows" 3 (Relation.cardinal renamed)
+
+let test_ra_union_difference () =
+  let mk rows = Relation.make (Schema.make "R" [ "x" ]) rows in
+  let r1 = mk [ (t [ 1 ], 0.5); (t [ 2 ], 0.5) ] in
+  let r2 = mk [ (t [ 2 ], 0.5); (t [ 3 ], 0.5) ] in
+  let u = Ra.union r1 r2 in
+  Alcotest.(check int) "union rows" 3 (Relation.cardinal u);
+  Test_util.check_float "union combines" 0.75 (Relation.prob u (t [ 2 ]));
+  let d = Ra.difference r1 r2 in
+  Alcotest.(check int) "difference rows" 1 (Relation.cardinal d)
+
+let test_csv_roundtrip () =
+  let db = Test_util.fig1_tid () in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "probdb_csv_test" in
+  Csv_io.save_dir dir db;
+  let db' = Csv_io.load_dir dir in
+  Alcotest.(check int) "relations" 2 (List.length (Tid.relations db'));
+  Alcotest.(check int) "support" (Tid.support_size db) (Tid.support_size db');
+  List.iter
+    (fun (r, tup, p) -> Test_util.check_float "prob preserved" p (Tid.prob db' r tup))
+    (Tid.support db)
+
+(* Property: world probabilities of a random TID sum to 1. *)
+let gen_small_tid =
+  QCheck2.Gen.(
+    let prob = float_bound_inclusive 1.0 in
+    let* n_r = int_range 0 4 in
+    let* n_s = int_range 0 4 in
+    let* r_rows =
+      flatten_l
+        (List.init n_r (fun i ->
+             let+ p = prob in
+             (t [ i ], p)))
+    in
+    let+ s_rows =
+      flatten_l
+        (List.init n_s (fun i ->
+             let+ p = prob in
+             (t [ i; i + 1 ], p)))
+    in
+    let rels = [] in
+    let rels = if r_rows = [] then rels else Relation.of_list "R" r_rows :: rels in
+    let rels = if s_rows = [] then rels else Relation.of_list "S" s_rows :: rels in
+    Tid.make rels)
+
+let prop_world_probs_sum_to_one =
+  Test_util.qcheck "world probabilities sum to 1" gen_small_tid (fun db ->
+      let total = Worlds.fold (fun _ p acc -> acc +. p) 0.0 db in
+      Float.abs (total -. 1.0) < 1e-9)
+
+let prop_marginals_recovered =
+  Test_util.qcheck "marginals recovered from worlds" gen_small_tid (fun db ->
+      List.for_all
+        (fun (r, tup, p) ->
+          let q = Worlds.probability db (fun w -> World.mem w r tup) in
+          Float.abs (p -. q) < 1e-9)
+        (Tid.support db))
+
+(* ---------- BID tables ---------- *)
+
+let sensor_bid () =
+  (* Sensor(id, reading): each sensor reports at most one reading *)
+  Bid.make (Schema.make "Sensor" [ "id"; "reading" ]) ~key_arity:1
+    [
+      { Bid.key = t [ 1 ]; options = [ (t [ 40 ], 0.2); (t [ 41 ], 0.5); (t [ 42 ], 0.3) ] };
+      { Bid.key = t [ 2 ]; options = [ (t [ 10 ], 0.6) ] };
+    ]
+
+let test_bid_basics () =
+  let b = sensor_bid () in
+  Alcotest.(check int) "blocks" 2 (Bid.block_count b);
+  Test_util.check_float "tuple prob" 0.5 (Bid.tuple_prob b (t [ 1; 41 ]));
+  Test_util.check_float "missing option" 0.0 (Bid.tuple_prob b (t [ 1; 99 ]));
+  Test_util.check_float "expected size" (1.0 +. 0.6) (Bid.expected_size b)
+
+let test_bid_validation () =
+  let schema = Schema.make "Sensor" [ "id"; "reading" ] in
+  (match
+     Bid.make schema ~key_arity:1
+       [ { Bid.key = t [ 1 ]; options = [ (t [ 40 ], 0.7); (t [ 41 ], 0.7) ] } ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "probabilities summing over 1 accepted");
+  match
+    Bid.make schema ~key_arity:1
+      [ { Bid.key = t [ 1 ]; options = [] }; { Bid.key = t [ 1 ]; options = [] } ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate keys accepted"
+
+let test_bid_worlds () =
+  let b = sensor_bid () in
+  (* exhaustive semantics: disjoint within a block, independent across *)
+  let total = Bid.fold_worlds (fun _ p acc -> acc +. p) 0.0 "Sensor" b in
+  Test_util.check_float "worlds sum to 1" 1.0 total;
+  (* disjointness: the two blocks never produce more than 2 tuples *)
+  let two_readings w = List.length (World.tuples_of w "bid") > 2 in
+  Test_util.check_float "never > 2 tuples" 0.0 (Bid.probability b two_readings);
+  (* P(sensor 1 reads >= 41 AND sensor 2 present) = (0.5+0.3) * 0.6 *)
+  let q w = (World.mem w "bid" (t [ 1; 41 ]) || World.mem w "bid" (t [ 1; 42 ])) && World.mem w "bid" (t [ 2; 10 ]) in
+  Test_util.check_float "joint event" (0.8 *. 0.6) (Bid.probability b q)
+
+let test_bid_vs_independent_approximation () =
+  let b = sensor_bid () in
+  (* under BID semantics readings 41 and 42 are disjoint; the independent
+     approximation (TID of the marginals) disagrees on their conjunction *)
+  let both w = World.mem w "bid" (t [ 1; 41 ]) && World.mem w "bid" (t [ 1; 42 ]) in
+  Test_util.check_float "disjoint in BID" 0.0 (Bid.probability b both);
+  let tid = Tid.make [ Bid.to_tid_relation b ] in
+  let p_indep =
+    Worlds.probability tid (fun w ->
+        World.mem w "Sensor" (t [ 1; 41 ]) && World.mem w "Sensor" (t [ 1; 42 ]))
+  in
+  Test_util.check_float "independent approximation differs" (0.5 *. 0.3) p_indep
+
+let test_bid_roundtrip () =
+  let b = sensor_bid () in
+  let rel = Bid.to_tid_relation b in
+  let b' = Bid.of_tid_relation rel ~key_arity:1 in
+  Alcotest.(check int) "blocks preserved" (Bid.block_count b) (Bid.block_count b');
+  List.iter
+    (fun (tuple, p) -> Test_util.check_float "marginal preserved" p (Bid.tuple_prob b' tuple))
+    (Relation.rows rel)
+
+let suites =
+  [
+    ( "core",
+      [
+        Alcotest.test_case "value order and parsing" `Quick test_value_order;
+        Alcotest.test_case "tuple basics" `Quick test_tuple_basics;
+        Alcotest.test_case "relation basics" `Quick test_relation_basics;
+        Alcotest.test_case "relation errors" `Quick test_relation_errors;
+        Alcotest.test_case "tid basics" `Quick test_tid_basics;
+        Alcotest.test_case "worlds sum to one" `Quick test_worlds_sum_to_one;
+        Alcotest.test_case "worlds marginal" `Quick test_worlds_marginal;
+        Alcotest.test_case "worlds expectation" `Quick test_worlds_expectation;
+        Alcotest.test_case "worlds too large" `Quick test_worlds_too_large;
+        Alcotest.test_case "world operations" `Quick test_world_ops;
+        Alcotest.test_case "ra join" `Quick test_ra_join;
+        Alcotest.test_case "ra project/select/rename" `Quick test_ra_project_select;
+        Alcotest.test_case "ra union/difference" `Quick test_ra_union_difference;
+        Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+        Alcotest.test_case "bid basics" `Quick test_bid_basics;
+        Alcotest.test_case "bid validation" `Quick test_bid_validation;
+        Alcotest.test_case "bid world semantics" `Quick test_bid_worlds;
+        Alcotest.test_case "bid vs independent approximation" `Quick
+          test_bid_vs_independent_approximation;
+        Alcotest.test_case "bid roundtrip" `Quick test_bid_roundtrip;
+        prop_world_probs_sum_to_one;
+        prop_marginals_recovered;
+      ] );
+  ]

@@ -1,0 +1,135 @@
+open Probdb_dpll
+module F = Probdb_boolean.Formula
+module W = Probdb_boolean.Brute_wmc
+module Circuit = Probdb_kc.Circuit
+
+let probs x = 0.15 +. (0.07 *. float_of_int x)
+
+let x0 = F.var 0
+let x1 = F.var 1
+let x2 = F.var 2
+let x3 = F.var 3
+
+let test_simple_counts () =
+  let f = F.conj [ F.disj2 x0 x1; F.disj2 x0 x2; F.disj2 x1 x2 ] in
+  let r = Dpll.count ~prob:probs f in
+  Test_util.check_float "Eq.(14) probability" (W.probability probs f) r.Dpll.prob;
+  Alcotest.(check bool) "made decisions" true (r.Dpll.stats.Dpll.decisions > 0)
+
+let test_trace_is_valid_decision_dnnf () =
+  let f =
+    F.disj
+      [ F.conj [ x0; x1 ]; F.conj [ x2; x3 ]; F.conj [ x0; x3 ] ]
+  in
+  let r = Dpll.count ~prob:probs f in
+  Alcotest.(check bool) "trace valid" true (Result.is_ok (Circuit.check r.Dpll.circuit));
+  Alcotest.(check bool) "trace is decision-DNNF or smaller" true
+    (Circuit.kind ~order:None r.Dpll.circuit <> Circuit.Extended);
+  (* the trace recomputes the same probability *)
+  Test_util.check_float "trace wmc" r.Dpll.prob (Circuit.wmc probs r.Dpll.circuit)
+
+let test_components_fire () =
+  (* (x0 v x1) ∧ (x2 v x3): var-disjoint conjuncts *)
+  let f = F.conj2 (F.disj2 x0 x1) (F.disj2 x2 x3) in
+  let r = Dpll.count ~prob:probs f in
+  Alcotest.(check bool) "component split" true (r.Dpll.stats.Dpll.component_splits > 0);
+  Test_util.check_float "probability" (W.probability probs f) r.Dpll.prob;
+  (* without components: more decisions *)
+  let r' = Dpll.count ~config:Dpll.fbdd_config ~prob:probs f in
+  Alcotest.(check bool) "fbdd mode has no ANDs" true
+    (Circuit.kind ~order:None r'.Dpll.circuit = Circuit.Fbdd
+    || Circuit.kind ~order:None r'.Dpll.circuit = Circuit.Obdd_like);
+  Alcotest.(check bool) "components save decisions" true
+    (r.Dpll.stats.Dpll.decisions <= r'.Dpll.stats.Dpll.decisions)
+
+let test_obdd_shaped_trace () =
+  let f = F.disj2 (F.conj2 x0 x1) (F.conj2 x2 x3) in
+  let order = [ 0; 1; 2; 3 ] in
+  let r = Dpll.count ~config:(Dpll.obdd_config order) ~prob:probs f in
+  Alcotest.(check bool) "obdd-like trace" true
+    (Circuit.kind ~order:(Some order) r.Dpll.circuit = Circuit.Obdd_like);
+  Test_util.check_float "probability" (W.probability probs f) r.Dpll.prob
+
+let test_cache_hits () =
+  (* a formula with repeated subproblems under conditioning *)
+  let f =
+    F.conj
+      [ F.disj2 x0 x2; F.disj2 x1 x2; F.disj2 x0 x3; F.disj2 x1 x3 ]
+  in
+  let with_cache = Dpll.count ~prob:probs f in
+  let without =
+    Dpll.count ~config:{ Dpll.default_config with Dpll.use_cache = false } ~prob:probs f
+  in
+  Test_util.check_float "same result" with_cache.Dpll.prob without.Dpll.prob;
+  Alcotest.(check bool) "cache used" true (with_cache.Dpll.stats.Dpll.cache_hits > 0)
+
+let test_decision_limit () =
+  let f = F.conj [ F.disj2 x0 x1; F.disj2 x1 x2; F.disj2 x2 x3 ] in
+  match
+    Dpll.count ~config:{ Dpll.default_config with Dpll.max_decisions = 1 } ~prob:probs f
+  with
+  | exception Dpll.Decision_limit 1 -> ()
+  | _ -> Alcotest.fail "expected Decision_limit"
+
+let test_independent_or () =
+  let f = F.disj2 (F.conj2 x0 x1) (F.conj2 x2 x3) in
+  let cfg = { Dpll.default_config with Dpll.independent_or = true } in
+  let r = Dpll.count ~config:cfg ~prob:probs f in
+  Test_util.check_float "probability with ior" (W.probability probs f) r.Dpll.prob;
+  Alcotest.(check bool) "trace beyond decision-DNNF" true
+    (Circuit.kind ~order:None r.Dpll.circuit = Circuit.Extended);
+  Alcotest.(check bool) "but still a valid trace" true
+    (Result.is_ok (Circuit.check r.Dpll.circuit))
+
+let gen_formula =
+  QCheck2.Gen.(
+    sized_size (int_range 0 8) @@ fix (fun self n ->
+        if n = 0 then
+          oneof [ return F.tru; return F.fls; map F.var (int_range 0 6) ]
+        else
+          oneof
+            [
+              map F.var (int_range 0 6);
+              map F.neg (self (n - 1));
+              map2 F.conj2 (self (n / 2)) (self (n / 2));
+              map2 F.disj2 (self (n / 2)) (self (n / 2));
+            ]))
+
+let configs =
+  [
+    ("default", Dpll.default_config);
+    ("fbdd", Dpll.fbdd_config);
+    ("obdd", Dpll.obdd_config [ 0; 1; 2; 3; 4; 5; 6 ]);
+    ("no-cache", { Dpll.default_config with Dpll.use_cache = false });
+    ("ior", { Dpll.default_config with Dpll.independent_or = true });
+  ]
+
+let prop_all_configs_agree_with_brute_force =
+  Test_util.qcheck ~count:150 "all DPLL configs = brute force" gen_formula (fun f ->
+      let expected = W.probability probs f in
+      List.for_all
+        (fun (_, cfg) ->
+          Float.abs (Dpll.probability ~config:cfg ~prob:probs f -. expected) < 1e-9)
+        configs)
+
+let prop_trace_wmc_agrees =
+  Test_util.qcheck ~count:150 "trace WMC = reported probability" gen_formula (fun f ->
+      let r = Dpll.count ~prob:probs f in
+      Result.is_ok (Circuit.check r.Dpll.circuit)
+      && Float.abs (Circuit.wmc probs r.Dpll.circuit -. r.Dpll.prob) < 1e-9)
+
+let suites =
+  [
+    ( "dpll",
+      [
+        Alcotest.test_case "simple counts" `Quick test_simple_counts;
+        Alcotest.test_case "trace is valid decision-DNNF" `Quick test_trace_is_valid_decision_dnnf;
+        Alcotest.test_case "components fire" `Quick test_components_fire;
+        Alcotest.test_case "obdd-shaped trace" `Quick test_obdd_shaped_trace;
+        Alcotest.test_case "cache hits" `Quick test_cache_hits;
+        Alcotest.test_case "decision limit" `Quick test_decision_limit;
+        Alcotest.test_case "independent-or ablation" `Quick test_independent_or;
+        prop_all_configs_agree_with_brute_force;
+        prop_trace_wmc_agrees;
+      ] );
+  ]

@@ -1,0 +1,215 @@
+module Core = Probdb_core
+module L = Probdb_logic
+module Lift = Probdb_lifted.Lift
+module Q = Probdb_workload.Queries
+module Gen = Probdb_workload.Gen
+
+let parse_s = L.Parser.parse_sentence
+
+let is_safe v = match v with Lift.Safe -> true | _ -> false
+
+let test_classifier_on_zoo () =
+  List.iter
+    (fun (e : Q.entry) ->
+      let v = Lift.classify e.Q.query in
+      let expected_safe = e.Q.expected = Q.Ptime in
+      if is_safe v <> expected_safe then
+        Alcotest.failf "%s: expected %s, classifier said %s" e.Q.name
+          (if expected_safe then "safe" else "unsafe/beyond-rules")
+          (Format.asprintf "%a" Lift.pp_verdict v))
+    Q.all
+
+let test_classifier_unsupported () =
+  match Lift.classify (parse_s "forall x. exists y. S(x,y)") with
+  | Lift.Unsupported _ -> ()
+  | v -> Alcotest.failf "expected Unsupported, got %a" Lift.pp_verdict v
+
+(* For each safe zoo query, lifted inference must equal brute force on
+   several random databases. *)
+let db_for_query ?(domain_size = 2) ~seed q =
+  let specs =
+    List.map (fun (name, arity) -> Gen.spec ~density:0.7 name arity) (L.Fo.relations q)
+  in
+  Gen.random_tid ~seed ~domain_size specs
+
+let check_query_numerically ?domain_size (e : Q.entry) =
+  for seed = 1 to 10 do
+    let db = db_for_query ?domain_size ~seed e.Q.query in
+    let expected = L.Brute_force.probability db e.Q.query in
+    let got = Lift.probability db e.Q.query in
+    Test_util.check_float
+      (Printf.sprintf "%s (seed %d)" e.Q.name seed)
+      expected got
+  done
+
+let test_lifted_matches_brute_force () =
+  List.iter
+    (fun (e : Q.entry) -> if e.Q.expected = Q.Ptime then check_query_numerically e)
+    Q.all
+
+let test_lifted_larger_domain () =
+  (* same on a 3-element domain for the cheap queries *)
+  List.iter
+    (fun name -> check_query_numerically ~domain_size:3 (Q.find name))
+    [ "q_hier"; "example_2_1"; "q_j" ]
+
+let test_example_2_1_closed_form () =
+  let db = Test_util.fig1_tid () in
+  Test_util.check_float "Example 2.1 via lifted inference"
+    (Test_util.example_2_1_expected ())
+    (Lift.probability db Q.example_2_1.Q.query)
+
+let test_qj_needs_inclusion_exclusion () =
+  (* Sec. 5: basic rules fail on Q_J, the full rule set succeeds. *)
+  (match Lift.classify ~config:Lift.basic_rules_only Q.q_j.Q.query with
+  | Lift.Unsafe_by_rules _ -> ()
+  | v -> Alcotest.failf "basic rules should fail on Q_J, got %a" Lift.pp_verdict v);
+  Alcotest.(check bool) "full rules succeed" true (is_safe (Lift.classify Q.q_j.Q.query));
+  let stats = Lift.fresh_stats () in
+  let db = db_for_query ~seed:7 Q.q_j.Q.query in
+  let _p = Lift.probability ~stats db Q.q_j.Q.query in
+  Alcotest.(check bool) "I/E fired" true (stats.Lift.ie_expansions > 0)
+
+let test_qw_needs_cancellation () =
+  (* Sec. 5's cancellation discussion: without cancelling equivalent I/E
+     terms the expansion hits the #P-hard h3-shaped subquery. *)
+  (match Lift.classify ~config:Lift.no_cancellation Q.q_w.Q.query with
+  | Lift.Unsafe_by_rules _ -> ()
+  | v -> Alcotest.failf "no-cancellation should fail on Q_W, got %a" Lift.pp_verdict v);
+  Alcotest.(check bool) "with cancellation: safe" true (is_safe (Lift.classify Q.q_w.Q.query));
+  let stats = Lift.fresh_stats () in
+  let db = db_for_query ~seed:3 Q.q_w.Q.query in
+  let p = Lift.probability ~stats db Q.q_w.Q.query in
+  Test_util.check_float "Q_W matches brute force"
+    (L.Brute_force.probability db Q.q_w.Q.query) p;
+  Alcotest.(check bool) "terms were cancelled" true (stats.Lift.cancelled_terms > 0)
+
+let test_separator_positions () =
+  (* the separator may sit at different positions of different relations *)
+  let q = parse_s "exists x y. S(y,x) && R(x)" in
+  Alcotest.(check bool) "cross-position separator" true (is_safe (Lift.classify q));
+  check_query_numerically
+    { Q.name = "cross_pos"; text = ""; query = q; expected = Q.Ptime; about = "" };
+  (* but inconsistent positions within one relation are rejected *)
+  let bad = parse_s "exists x y. S(x,y) && S(y,x)" in
+  match Lift.classify bad with
+  | Lift.Unsafe_by_rules _ -> ()
+  | v -> Alcotest.failf "expected unsafe (needs ranking), got %a" Lift.pp_verdict v
+
+let test_stats_counters () =
+  let stats = Lift.fresh_stats () in
+  let db = db_for_query ~seed:5 Q.q_hier.Q.query in
+  let _ = Lift.probability ~stats db Q.q_hier.Q.query in
+  Alcotest.(check bool) "separator used" true (stats.Lift.separator_steps > 0);
+  Alcotest.(check bool) "base lookups" true (stats.Lift.base_lookups > 0);
+  let stats2 = Lift.fresh_stats () in
+  let q = parse_s "(exists x. R(x)) && (exists y. T(y))" in
+  let db2 = db_for_query ~seed:5 q in
+  let _ = Lift.probability ~stats:stats2 db2 q in
+  Alcotest.(check bool) "independent join used" true (stats2.Lift.independent_joins > 0)
+
+let test_forall_mode () =
+  (* ∀-sentences go through the complemented dual *)
+  let q = parse_s "forall x y. R(x) || S(x,y)" in
+  for seed = 1 to 10 do
+    let db = db_for_query ~seed q in
+    Test_util.check_float
+      (Printf.sprintf "forall dual (seed %d)" seed)
+      (L.Brute_force.probability db q)
+      (Lift.probability db q)
+  done
+
+let test_constants_in_query () =
+  (* ground atoms and mixed constants work through the base case *)
+  let q = parse_s "exists y. S(0,y) && R(0)" in
+  for seed = 1 to 5 do
+    let db = db_for_query ~seed q in
+    Test_util.check_float
+      (Printf.sprintf "constants (seed %d)" seed)
+      (L.Brute_force.probability db q)
+      (Lift.probability db q)
+  done
+
+let test_hierarchical_chain_family () =
+  List.iter
+    (fun k ->
+      let q = Q.hierarchical_chain k in
+      Alcotest.(check bool)
+        (Printf.sprintf "chain %d safe" k)
+        true
+        (is_safe (Lift.classify q)))
+    [ 1; 2; 3; 4 ];
+  let q = Q.hierarchical_chain 2 in
+  for seed = 1 to 5 do
+    let db = db_for_query ~seed q in
+    Test_util.check_float
+      (Printf.sprintf "chain2 (seed %d)" seed)
+      (L.Brute_force.probability db q)
+      (Lift.probability db q)
+  done
+
+(* ---------- properties ---------- *)
+
+(* Random self-join-free CQs over a fixed vocabulary: safety by the lifted
+   rules must coincide with the hierarchy test (Thm. 4.3 vs Thm. 5.1). *)
+let gen_sjf_cq =
+  QCheck2.Gen.(
+    let var = map (fun i -> Printf.sprintf "v%d" i) (int_range 0 2) in
+    let pick name arity =
+      let+ args = flatten_l (List.init arity (fun _ -> var)) in
+      L.Cq.of_vars name args
+    in
+    let* use_r = bool and* use_s = bool and* use_t = bool and* use_u = bool in
+    let atoms =
+      List.filter_map Fun.id
+        [
+          (if use_r then Some (pick "R" 1) else None);
+          (if use_s then Some (pick "S" 2) else None);
+          (if use_t then Some (pick "T" 1) else None);
+          (if use_u then Some (pick "U" 2) else None);
+        ]
+    in
+    match atoms with
+    | [] -> map (fun a -> L.Cq.make [ a ]) (pick "R" 1)
+    | _ -> map L.Cq.make (flatten_l atoms))
+
+let prop_dichotomy_agreement =
+  Test_util.qcheck ~count:400 "lifted rules = hierarchy test on sjf CQs" gen_sjf_cq
+    (fun cq ->
+      let hier = L.Dichotomy.classify_sjf_cq cq = L.Dichotomy.Safe in
+      let lifted = is_safe (Lift.classify_ucq [ cq ]) in
+      hier = lifted)
+
+let prop_lifted_correct_on_safe_cqs =
+  Test_util.qcheck ~count:150 "lifted = brute force on safe sjf CQs"
+    QCheck2.Gen.(pair gen_sjf_cq (int_range 1 1000))
+    (fun (cq, seed) ->
+      if L.Dichotomy.classify_sjf_cq cq <> L.Dichotomy.Safe then true
+      else begin
+        let q = L.Cq.to_fo cq in
+        let db = db_for_query ~seed q in
+        let expected = L.Brute_force.probability db q in
+        let got = Lift.probability_ucq db [ cq ] in
+        Float.abs (expected -. got) < 1e-9
+      end)
+
+let suites =
+  [
+    ( "lifted",
+      [
+        Alcotest.test_case "classifier on the query zoo" `Quick test_classifier_on_zoo;
+        Alcotest.test_case "unsupported fragment" `Quick test_classifier_unsupported;
+        Alcotest.test_case "lifted = brute force (safe zoo)" `Quick test_lifted_matches_brute_force;
+        Alcotest.test_case "larger domain" `Quick test_lifted_larger_domain;
+        Alcotest.test_case "Example 2.1 closed form" `Quick test_example_2_1_closed_form;
+        Alcotest.test_case "Q_J needs inclusion-exclusion" `Quick test_qj_needs_inclusion_exclusion;
+        Alcotest.test_case "Q_W needs cancellation" `Quick test_qw_needs_cancellation;
+        Alcotest.test_case "separator positions" `Quick test_separator_positions;
+        Alcotest.test_case "stats counters" `Quick test_stats_counters;
+        Alcotest.test_case "forall sentences via dual" `Quick test_forall_mode;
+        Alcotest.test_case "constants in query" `Quick test_constants_in_query;
+        Alcotest.test_case "hierarchical chain family" `Quick test_hierarchical_chain_family;
+        prop_dichotomy_agreement;
+        prop_lifted_correct_on_safe_cqs;
+      ] );
+  ]

@@ -1,0 +1,201 @@
+open Probdb_lineage
+module Core = Probdb_core
+module F = Probdb_boolean.Formula
+module Logic = Probdb_logic
+
+let parse_s = Logic.Parser.parse_sentence
+
+let small_tid () =
+  let t xs = List.map Core.Value.int xs in
+  let r = Core.Relation.of_list "R" [ (t [ 1 ], 0.3); (t [ 2 ], 0.8) ] in
+  let s =
+    Core.Relation.of_list "S" [ (t [ 1; 1 ], 0.5); (t [ 1; 2 ], 0.4); (t [ 2; 2 ], 0.9) ]
+  in
+  let u = Core.Relation.of_list "T" [ (t [ 1 ], 0.25); (t [ 2 ], 0.75) ] in
+  Core.Tid.make [ r; s; u ]
+
+let lineage_prob ctx f = Probdb_boolean.Brute_wmc.probability (Lineage.prob ctx) f
+
+(* Lineage WMC must equal world-enumeration PQE for any sentence. *)
+let check_query db q =
+  let ctx = Lineage.create db in
+  let f = Lineage.of_query ctx q in
+  Test_util.check_float
+    (Printf.sprintf "lineage WMC = brute force for %s" (Logic.Fo.to_string q))
+    (Logic.Brute_force.probability db q)
+    (lineage_prob ctx f)
+
+let test_lineage_vs_brute_force () =
+  let db = small_tid () in
+  List.iter
+    (fun s -> check_query db (parse_s s))
+    [
+      "exists x y. R(x) && S(x,y)";
+      "exists x y. R(x) && S(x,y) && T(y)";
+      "forall x y. S(x,y) => R(x)";
+      "forall x y. R(x) || S(x,y) || T(y)";
+      "exists x. R(x) && !T(x)";
+      "(exists x. R(x)) || (forall y. T(y))";
+      "forall x. exists y. S(x,y)";
+      "exists x. R(3)";
+      "R(1) && T(2)";
+    ]
+
+let test_lineage_example_2_1 () =
+  let db = Test_util.fig1_tid () in
+  let ctx = Lineage.create db in
+  let f = Lineage.of_query ctx (parse_s "forall x y. S(x,y) => R(x)") in
+  Test_util.check_float "Example 2.1 via lineage"
+    (Test_util.example_2_1_expected ())
+    (lineage_prob ctx f)
+
+let test_lineage_structure () =
+  (* H0's lineage on a 2x2 complete bipartite database: a positive CNF with
+     one clause per (x,y) pair. *)
+  let t xs = List.map Core.Value.int xs in
+  let r = Core.Relation.of_list "R" [ (t [ 0 ], 0.5); (t [ 1 ], 0.5) ] in
+  let s =
+    Core.Relation.of_list "S"
+      [ (t [ 0; 0 ], 0.5); (t [ 0; 1 ], 0.5); (t [ 1; 0 ], 0.5); (t [ 1; 1 ], 0.5) ]
+  in
+  let u = Core.Relation.of_list "T" [ (t [ 0 ], 0.5); (t [ 1 ], 0.5) ] in
+  let db = Core.Tid.make [ r; s; u ] in
+  let ctx = Lineage.create db in
+  let f = Lineage.of_query ctx (parse_s "forall x y. R(x) || S(x,y) || T(y)") in
+  (match f with
+  | F.And clauses ->
+      Alcotest.(check int) "4 clauses" 4 (List.length clauses)
+  | _ -> Alcotest.failf "expected conjunction, got %s" (F.to_string f));
+  Alcotest.(check int) "8 variables" 8 (F.var_count f)
+
+let test_unlisted_tuples_are_false () =
+  (* with an empty S, ∃xy R(x)∧S(x,y) grounds to false *)
+  let t xs = List.map Core.Value.int xs in
+  let r = Core.Relation.of_list "R" [ (t [ 1 ], 0.3) ] in
+  let db = Core.Tid.make [ r ] in
+  let ctx = Lineage.create db in
+  let f = Lineage.of_query ctx (parse_s "exists x y. R(x) && S(x,y)") in
+  Alcotest.(check bool) "false lineage" true (F.equal f F.fls);
+  (* and a universally quantified negated S grounds to true *)
+  let g = Lineage.of_query ctx (parse_s "forall x y. !S(x,y)") in
+  Alcotest.(check bool) "true lineage" true (F.equal g F.tru)
+
+let test_fact_var_roundtrip () =
+  let db = small_tid () in
+  let ctx = Lineage.create db in
+  let t xs = List.map Core.Value.int xs in
+  (match Lineage.var_of_fact ctx "S" (t [ 1; 2 ]) with
+  | None -> Alcotest.fail "expected a variable for S(1,2)"
+  | Some id ->
+      let rel, tuple = Lineage.fact_of_var ctx id in
+      Alcotest.(check string) "rel" "S" rel;
+      Alcotest.(check bool) "tuple" true (Core.Tuple.equal tuple (t [ 1; 2 ]));
+      Test_util.check_float "prob" 0.4 (Lineage.prob ctx id));
+  Alcotest.(check bool) "unlisted" true (Lineage.var_of_fact ctx "S" (t [ 9; 9 ]) = None)
+
+let ucq_of s =
+  match Logic.Ucq.of_sentence (parse_s s) with
+  | ucq, Logic.Ucq.Direct -> ucq
+  | _ -> Alcotest.failf "expected a direct UCQ: %s" s
+
+let test_of_cq_matches_of_query () =
+  let db = small_tid () in
+  let ctx = Lineage.create db in
+  List.iter
+    (fun s ->
+      let q = parse_s s in
+      let ucq = ucq_of s in
+      let f1 = Lineage.of_query ctx q in
+      let f2 = Lineage.of_ucq ctx ucq in
+      Test_util.check_float
+        (Printf.sprintf "of_ucq = of_query for %s" s)
+        (lineage_prob ctx f1) (lineage_prob ctx f2))
+    [
+      "exists x y. R(x) && S(x,y)";
+      "exists x y. R(x) && S(x,y) && T(y)";
+      "exists x y. R(x) && S(x,y) || exists u v. T(u) && S(u,v)";
+      "exists x. R(x) && T(x)";
+    ]
+
+let test_dnf_lineage () =
+  let db = small_tid () in
+  let ctx = Lineage.create db in
+  let ucq = ucq_of "exists x y. R(x) && S(x,y)" in
+  let clauses = Lineage.dnf_of_ucq ctx ucq in
+  (* R has 2 tuples; S-tuples joining: R(1)S(1,1), R(1)S(1,2), R(2)S(2,2) *)
+  Alcotest.(check int) "3 clauses" 3 (List.length clauses);
+  (* DNF probability equals query probability *)
+  let f = F.disj (List.map (fun c -> F.conj (List.map F.var c)) clauses) in
+  Test_util.check_float "dnf prob"
+    (Logic.Brute_force.probability db (parse_s "exists x y. R(x) && S(x,y)"))
+    (lineage_prob ctx f);
+  let mult = Lineage.multiplicities clauses in
+  (* R(1) occurs in 2 clauses, R(2) in 1 *)
+  let id_r1 = Option.get (Lineage.var_of_fact ctx "R" [ Core.Value.int 1 ]) in
+  let id_r2 = Option.get (Lineage.var_of_fact ctx "R" [ Core.Value.int 2 ]) in
+  Alcotest.(check int) "k of R(1)" 2 (List.assoc id_r1 mult);
+  Alcotest.(check int) "k of R(2)" 1 (List.assoc id_r2 mult)
+
+(* Property: on random small TIDs and a fixed query zoo, lineage WMC always
+   equals world enumeration. *)
+let gen_tid =
+  QCheck2.Gen.(
+    let prob = float_bound_inclusive 1.0 in
+    let value = int_range 0 2 in
+    let* n_r = int_range 0 3 and* n_s = int_range 0 4 and* n_t = int_range 0 3 in
+    let row1 = map2 (fun v p -> ([ Core.Value.int v ], p)) value prob in
+    let row2 =
+      map2
+        (fun (v1, v2) p -> ([ Core.Value.int v1; Core.Value.int v2 ], p))
+        (pair value value) prob
+    in
+    let dedup rows =
+      List.fold_left
+        (fun acc (t, p) -> if List.mem_assoc t acc then acc else (t, p) :: acc)
+        [] rows
+    in
+    let* r_rows = flatten_l (List.init n_r (fun _ -> row1)) in
+    let* s_rows = flatten_l (List.init n_s (fun _ -> row2)) in
+    let+ t_rows = flatten_l (List.init n_t (fun _ -> row1)) in
+    let add name rows rels =
+      match dedup rows with [] -> rels | rows -> Core.Relation.of_list name rows :: rels
+    in
+    Core.Tid.make (add "R" r_rows (add "S" s_rows (add "T" t_rows []))))
+
+let query_zoo =
+  [
+    "exists x y. R(x) && S(x,y)";
+    "exists x y. R(x) && S(x,y) && T(y)";
+    "forall x y. R(x) || S(x,y) || T(y)";
+    "forall x y. S(x,y) => R(x)";
+    "exists x. R(x) && !T(x)";
+    "forall x. exists y. S(x,y)";
+  ]
+
+let prop_lineage_equals_brute_force =
+  Test_util.qcheck ~count:100 "lineage WMC = world enumeration (random TIDs)" gen_tid
+    (fun db ->
+      List.for_all
+        (fun s ->
+          let q = parse_s s in
+          let ctx = Lineage.create db in
+          let f = Lineage.of_query ctx q in
+          let a = Logic.Brute_force.probability db q in
+          let b = lineage_prob ctx f in
+          Float.abs (a -. b) < 1e-9)
+        query_zoo)
+
+let suites =
+  [
+    ( "lineage",
+      [
+        Alcotest.test_case "lineage vs brute force (query zoo)" `Quick test_lineage_vs_brute_force;
+        Alcotest.test_case "Example 2.1 via lineage" `Quick test_lineage_example_2_1;
+        Alcotest.test_case "H0 lineage structure" `Quick test_lineage_structure;
+        Alcotest.test_case "unlisted tuples are false" `Quick test_unlisted_tuples_are_false;
+        Alcotest.test_case "fact/var roundtrip" `Quick test_fact_var_roundtrip;
+        Alcotest.test_case "of_ucq matches of_query" `Quick test_of_cq_matches_of_query;
+        Alcotest.test_case "DNF lineage and multiplicities" `Quick test_dnf_lineage;
+        prop_lineage_equals_brute_force;
+      ] );
+  ]

@@ -1,0 +1,435 @@
+open Probdb_logic
+module Core = Probdb_core
+
+let parse = Parser.parse
+let parse_s = Parser.parse_sentence
+
+let test_parser_basics () =
+  let q = parse_s "exists x y. R(x) && S(x,y)" in
+  Alcotest.(check string) "roundtrip" "exists x y. R(x) && S(x,y)" (Fo.to_string q);
+  let q2 = parse_s "forall x y. S(x,y) => R(x)" in
+  Alcotest.(check bool) "sentence" true (Fo.is_sentence q2);
+  (* unbound identifiers are constants *)
+  let q3 = parse "R(alice)" in
+  Alcotest.(check int) "constant arg" 1 (List.length (Fo.constants q3));
+  let q4 = parse ~free:[ "x" ] "R(x)" in
+  Alcotest.(check (list string)) "declared free var" [ "x" ] (Fo.free_vars q4)
+
+let test_parser_precedence () =
+  let q = parse_s "exists x. R(x) && S(x,x) || T(x) && R(x)" in
+  (match q with
+  | Fo.Exists (_, Fo.Or (Fo.And _, Fo.And _)) -> ()
+  | _ -> Alcotest.failf "precedence wrong: %s" (Fo.to_string q));
+  let q2 = parse_s "exists x. R(x) => S(x,x) => T(x)" in
+  match q2 with
+  | Fo.Exists (_, Fo.Implies (_, Fo.Implies _)) -> ()
+  | _ -> Alcotest.failf "implies associativity wrong: %s" (Fo.to_string q2)
+
+let test_parser_errors () =
+  let expect_error s =
+    match parse_s s with
+    | exception Parser.Error _ -> ()
+    | q -> Alcotest.failf "expected parse error for %S, got %s" s (Fo.to_string q)
+  in
+  expect_error "R(x";
+  expect_error "exists . R(x)";
+  expect_error "R(x) &&";
+  expect_error "exists x. R(x) S(x)";
+  (* unterminated quote *)
+  expect_error "R('a)"
+
+let test_free_vars_subst () =
+  let q = parse ~free:[ "x" ] "exists y. S(x,y) && R(x)" in
+  Alcotest.(check (list string)) "free" [ "x" ] (Fo.free_vars q);
+  let q' = Fo.subst_const "x" (Core.Value.str "a1") q in
+  Alcotest.(check (list string)) "closed after subst" [] (Fo.free_vars q');
+  (* substitution does not cross shadowing quantifiers *)
+  let shadow = parse ~free:[ "y" ] "R(y) && (exists y. S(y,y))" in
+  let shadow' = Fo.subst_const "y" (Core.Value.int 1) shadow in
+  Alcotest.(check (list string)) "shadowed bound var intact" [] (Fo.free_vars shadow');
+  Alcotest.(check bool) "inner exists kept" true
+    (String.length (Fo.to_string shadow') > 0
+    && (match shadow' with Fo.And (_, Fo.Exists _) -> true | _ -> false))
+
+let test_nnf_and_prenex () =
+  let q = parse_s "forall x y. S(x,y) => R(x)" in
+  let n = Fo.nnf q in
+  Alcotest.(check bool) "nnf has no implies" true
+    (match n with Fo.Forall (_, Fo.Forall (_, Fo.Or (Fo.Not (Fo.Atom _), Fo.Atom _))) -> true | _ -> false);
+  let prefix, matrix = Fo.prenex (parse_s "(exists x. R(x)) && (exists y. T(y))") in
+  Alcotest.(check int) "two quantifiers" 2 (List.length prefix);
+  Alcotest.(check bool) "matrix qf" true (match matrix with Fo.And _ -> true | _ -> false);
+  Alcotest.(check bool) "prefix class" true (Fo.prefix_class q = `All_forall)
+
+let test_polarity_unate () =
+  (* the paper's unate example: both occurrences of R negated *)
+  let u = parse_s "forall x. (R(x) => S(x)) && (R(x) => T(x))" in
+  Alcotest.(check bool) "unate" true (Fo.is_unate u);
+  Alcotest.(check bool) "not monotone" false (Fo.is_monotone u);
+  (* the paper's non-unate example: S occurs both positive and negated *)
+  let nu = parse_s "forall x. (R(x) => S(x)) && (S(x) => T(x))" in
+  Alcotest.(check bool) "not unate" false (Fo.is_unate nu);
+  let m = parse_s "exists x y. R(x) && S(x,y)" in
+  Alcotest.(check bool) "monotone" true (Fo.is_monotone m)
+
+let test_dual () =
+  (* dual of H0-forall is H0-exists (Sec. 2) *)
+  let h0 = parse_s "forall x y. R(x) || S(x,y) || T(y)" in
+  let d = Fo.dual h0 in
+  let expected = parse_s "exists x y. R(x) && S(x,y) && T(y)" in
+  Alcotest.(check bool) "dual of H0" true (Fo.equal d expected);
+  Alcotest.(check bool) "involution" true (Fo.equal (Fo.dual d) h0)
+
+let test_dual_probability () =
+  (* p_D(dual Q) = 1 - p_{D^c}(Q) on a tiny database *)
+  let t xs = List.map Core.Value.int xs in
+  let r = Core.Relation.of_list "R" [ (t [ 0 ], 0.3); (t [ 1 ], 0.8) ] in
+  let s = Core.Relation.of_list "S" [ (t [ 0; 1 ], 0.5) ] in
+  let db = Core.Tid.make [ r; s ] in
+  let q = parse_s "exists x y. R(x) && S(x,y)" in
+  let dual_q = Fo.dual q in
+  let dbc = Brute_force.complement_tid db [ ("R", 1); ("S", 2) ] in
+  Test_util.check_float "duality identity"
+    (Brute_force.probability db dual_q)
+    (1.0 -. Brute_force.probability dbc q)
+
+let test_semantics () =
+  let t xs = List.map Core.Value.int xs in
+  let w = Core.World.of_facts [ ("R", t [ 1 ]); ("S", t [ 1; 2 ]) ] in
+  let domain = [ Core.Value.int 1; Core.Value.int 2 ] in
+  let holds q = Semantics.holds ~domain w (parse_s q) in
+  Alcotest.(check bool) "exists sat" true (holds "exists x y. R(x) && S(x,y)");
+  Alcotest.(check bool) "forall unsat" false (holds "forall x. R(x)");
+  Alcotest.(check bool) "implication" true (holds "forall x y. S(x,y) => R(x)");
+  Alcotest.(check bool) "negation" true (holds "!(forall x. R(x))");
+  Alcotest.(check bool) "constants" true
+    (Semantics.holds ~domain w (parse "R(1)"))
+
+let test_example_2_1 () =
+  (* Example 2.1: the inclusion-constraint sentence on the Fig. 1 TID. *)
+  let db = Test_util.fig1_tid () in
+  let q = parse_s "forall x y. S(x,y) => R(x)" in
+  Test_util.check_float "closed form vs enumeration"
+    (Test_util.example_2_1_expected ())
+    (Brute_force.probability db q)
+
+let test_answers () =
+  let t xs = List.map Core.Value.int xs in
+  let r = Core.Relation.of_list "R" [ (t [ 1 ], 0.3); (t [ 2 ], 0.9) ] in
+  let s = Core.Relation.of_list "S" [ (t [ 1; 2 ], 0.5); (t [ 2; 2 ], 1.0) ] in
+  let db = Core.Tid.make [ r; s ] in
+  let q = parse ~free:[ "x" ] "exists y. R(x) && S(x,y)" in
+  let answers = Brute_force.answers db ~free:[ "x" ] q in
+  Alcotest.(check int) "two answers" 2 (List.length answers);
+  let lookup k = List.assoc (t [ k ]) answers in
+  Test_util.check_float "answer 1" (0.3 *. 0.5) (lookup 1);
+  Test_util.check_float "answer 2" 0.9 (lookup 2)
+
+(* ---------- CQ machinery ---------- *)
+
+let cq_of_string s =
+  match Ucq.of_sentence (parse_s s) with
+  | [ cq ], Ucq.Direct -> cq
+  | _ -> Alcotest.failf "not a single CQ: %s" s
+
+let test_hierarchical () =
+  let h = cq_of_string "exists x y. R(x) && S(x,y)" in
+  Alcotest.(check bool) "R,S hierarchical" true (Cq.is_hierarchical h);
+  let h0 = cq_of_string "exists x y. R(x) && S(x,y) && T(y)" in
+  Alcotest.(check bool) "H0 not hierarchical" false (Cq.is_hierarchical h0);
+  let sj = cq_of_string "exists x y z. R(x,y) && R(y,z)" in
+  Alcotest.(check bool) "self-join query hierarchical" true (Cq.is_hierarchical sj);
+  Alcotest.(check bool) "detects self-join" false (Cq.is_self_join_free sj)
+
+let test_dichotomy_classifier () =
+  let safe = cq_of_string "exists x y. R(x) && S(x,y)" in
+  Alcotest.(check bool) "safe" true (Dichotomy.classify_sjf_cq safe = Dichotomy.Safe);
+  let hard = cq_of_string "exists x y. R(x) && S(x,y) && T(y)" in
+  Alcotest.(check bool) "hard" true (Dichotomy.classify_sjf_cq hard = Dichotomy.Hard);
+  (* works through the forall form too *)
+  (match Dichotomy.classify_sentence_sjf (parse_s "forall x y. R(x) || S(x,y) || T(y)") with
+  | Some Dichotomy.Hard -> ()
+  | _ -> Alcotest.fail "H0-forall should classify as hard");
+  let sj = cq_of_string "exists x y z. R(x,y) && R(y,z)" in
+  Alcotest.check_raises "self-join rejected"
+    (Invalid_argument "Dichotomy.classify_sjf_cq: query has self-joins") (fun () ->
+      ignore (Dichotomy.classify_sjf_cq sj))
+
+let test_containment () =
+  let c1 = cq_of_string "exists x y. R(x) && S(x,y)" in
+  let c2 = cq_of_string "exists x. R(x)" in
+  Alcotest.(check bool) "c1 ⊑ c2" true (Cq.contained c1 c2);
+  Alcotest.(check bool) "c2 not ⊑ c1" false (Cq.contained c2 c1);
+  Alcotest.(check bool) "reflexive" true (Cq.contained c1 c1);
+  (* constants block homomorphisms *)
+  let g1 = cq_of_string "exists y. S(1,y)" in
+  let g2 = cq_of_string "exists x y. S(x,y)" in
+  Alcotest.(check bool) "ground ⊑ general" true (Cq.contained g1 g2);
+  Alcotest.(check bool) "general not ⊑ ground" false (Cq.contained g2 g1);
+  (* complemented symbols are distinct from positive ones *)
+  let n1 = Cq.make [ Cq.of_vars ~comp:true "R" [ "x" ] ] in
+  let p1 = Cq.make [ Cq.of_vars "R" [ "x" ] ] in
+  Alcotest.(check bool) "comp vs pos" false (Cq.contained n1 p1)
+
+let test_minimization () =
+  (* R(x) ∧ ∃y S(x,y) ∧ ∃z S(x,z): the second S-atom is redundant *)
+  let c = cq_of_string "exists x y z. R(x) && S(x,y) && S(x,z)" in
+  let m = Cq.minimize c in
+  Alcotest.(check int) "atoms after minimize" 2 (List.length m);
+  Alcotest.(check bool) "equivalent to original" true (Cq.equivalent c m);
+  (* a core: R(x,y) ∧ R(y,x) is already minimal *)
+  let core = cq_of_string "exists x y. R(x,y) && R(y,x)" in
+  Alcotest.(check int) "core untouched" 2 (List.length (Cq.minimize core))
+
+let test_components () =
+  let c = cq_of_string "exists x y u v. R(x) && S(x,y) && T(u) && S(u,v)" in
+  let comps = Cq.connected_components c in
+  Alcotest.(check int) "two components" 2 (List.length comps);
+  let ground = cq_of_string "R(1) && S(1,2)" in
+  Alcotest.(check int) "ground atoms split" 2 (List.length (Cq.connected_components ground))
+
+let test_ucq_of_sentence () =
+  let ucq, mode = Ucq.of_sentence (parse_s "exists x y. R(x) && S(x,y) || exists u v. T(u) && S(u,v)") in
+  Alcotest.(check bool) "direct" true (mode = Ucq.Direct);
+  Alcotest.(check int) "two disjuncts" 2 (List.length ucq);
+  (* forall sentence: complemented mode, negated symbols *)
+  let ucq2, mode2 = Ucq.of_sentence (parse_s "forall x y. S(x,y) => R(x)") in
+  Alcotest.(check bool) "complemented" true (mode2 = Ucq.Complemented);
+  Alcotest.(check int) "one disjunct" 1 (List.length ucq2);
+  (match ucq2 with
+  | [ cq ] ->
+      Alcotest.(check bool) "S positive, R complemented" true
+        (List.exists (fun (a : Cq.atom) -> a.Cq.rel = "R" && a.Cq.comp) cq
+        && List.exists (fun (a : Cq.atom) -> a.Cq.rel = "S" && not a.Cq.comp) cq)
+  | _ -> Alcotest.fail "expected single disjunct");
+  (* non-unate sentences are rejected *)
+  (match Ucq.of_sentence (parse_s "forall x. (R(x) => S(x)) && (S(x) => T(x))") with
+  | exception Ucq.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported");
+  (* mixed prefixes are rejected *)
+  match Ucq.of_sentence (parse_s "forall x. exists y. S(x,y)") with
+  | exception Ucq.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported on mixed prefix"
+
+let test_ucq_minimize () =
+  let ucq, _ =
+    Ucq.of_sentence
+      (parse_s "exists x y. R(x) && S(x,y) || exists z. R(z) || exists u v. R(u) && S(u,v) && S(u,v)")
+  in
+  let m = Ucq.minimize ucq in
+  (* both R∧S disjuncts are contained in R(z) *)
+  Alcotest.(check int) "one disjunct survives" 1 (List.length m);
+  Alcotest.(check bool) "equivalent" true (Ucq.equivalent ucq m)
+
+(* Property: CQ containment is sound w.r.t. semantics on random worlds. *)
+let gen_cq =
+  QCheck2.Gen.(
+    let var = map (fun i -> Fo.Var (Printf.sprintf "v%d" i)) (int_range 0 2) in
+    let atom =
+      oneof
+        [
+          map (fun v -> Cq.atom "R" [ v ]) var;
+          map2 (fun v1 v2 -> Cq.atom "S" [ v1; v2 ]) var var;
+          map (fun v -> Cq.atom "T" [ v ]) var;
+        ]
+    in
+    let* n = int_range 1 4 in
+    map Cq.make (flatten_l (List.init n (fun _ -> atom))))
+
+let gen_world =
+  QCheck2.Gen.(
+    let value = map Core.Value.int (int_range 0 2) in
+    let fact =
+      oneof
+        [
+          map (fun v -> ("R", [ v ])) value;
+          map2 (fun v1 v2 -> ("S", [ v1; v2 ])) value value;
+          map (fun v -> ("T", [ v ])) value;
+        ]
+    in
+    let* n = int_range 0 6 in
+    map Core.World.of_facts (flatten_l (List.init n (fun _ -> fact))))
+
+let domain3 = List.init 3 Core.Value.int
+
+let sat_cq w cq = Semantics.holds ~domain:domain3 w (Cq.to_fo cq)
+
+let prop_containment_sound =
+  Test_util.qcheck ~count:500 "containment sound on random worlds"
+    QCheck2.Gen.(triple gen_cq gen_cq gen_world)
+    (fun (c1, c2, w) ->
+      if Cq.contained c1 c2 then (not (sat_cq w c1)) || sat_cq w c2 else true)
+
+let prop_minimize_preserves_semantics =
+  Test_util.qcheck ~count:500 "minimization preserves semantics"
+    QCheck2.Gen.(pair gen_cq gen_world)
+    (fun (c, w) -> sat_cq w c = sat_cq w (Cq.minimize c))
+
+let prop_conjoin_is_conjunction =
+  Test_util.qcheck ~count:500 "conjoin is Boolean conjunction"
+    QCheck2.Gen.(triple gen_cq gen_cq gen_world)
+    (fun (c1, c2, w) -> sat_cq w (Cq.conjoin c1 c2) = (sat_cq w c1 && sat_cq w c2))
+
+let prop_components_partition =
+  Test_util.qcheck "components partition the atoms" gen_cq (fun c ->
+      let comps = Cq.connected_components c in
+      List.length (List.concat comps) = List.length c)
+
+(* ---------- random FO sentences: roundtrip and transform soundness ---------- *)
+
+let gen_sentence =
+  QCheck2.Gen.(
+    let vars = [ "x"; "y"; "z" ] in
+    let term =
+      oneof
+        [
+          map (fun i -> Fo.Var (List.nth vars i)) (int_range 0 2);
+          map (fun i -> Fo.Const (Core.Value.Int i)) (int_range 0 2);
+          map (fun s -> Fo.Const (Core.Value.Str s)) (oneofl [ "a"; "b" ]);
+        ]
+    in
+    let atom =
+      oneof
+        [
+          map (fun t -> Fo.Atom { Fo.rel = "R"; args = [ t ] }) term;
+          map2 (fun t1 t2 -> Fo.Atom { Fo.rel = "S"; args = [ t1; t2 ] }) term term;
+          map (fun t -> Fo.Atom { Fo.rel = "T"; args = [ t ] }) term;
+        ]
+    in
+    let matrix =
+      sized_size (int_range 0 5) @@ fix (fun self n ->
+          if n = 0 then atom
+          else
+            oneof
+              [
+                atom;
+                map (fun f -> Fo.Not f) (self (n - 1));
+                map2 (fun f g -> Fo.And (f, g)) (self (n / 2)) (self (n / 2));
+                map2 (fun f g -> Fo.Or (f, g)) (self (n / 2)) (self (n / 2));
+                map2 (fun f g -> Fo.Implies (f, g)) (self (n / 2)) (self (n / 2));
+              ])
+    in
+    let* m = matrix in
+    (* close the sentence with a random quantifier per free variable *)
+    let+ quants = flatten_l (List.map (fun _ -> bool) (Fo.free_vars m)) in
+    List.fold_left2
+      (fun f v is_forall -> if is_forall then Fo.Forall (v, f) else Fo.Exists (v, f))
+      m (Fo.free_vars m) quants)
+
+let prop_pp_parse_roundtrip =
+  Test_util.qcheck ~count:500 "pp/parse roundtrip" gen_sentence (fun q ->
+      let printed = Fo.to_string q in
+      match Parser.parse_sentence printed with
+      | q' -> Fo.equal q q'
+      | exception Parser.Error msg ->
+          QCheck2.Test.fail_reportf "parse error on %S: %s" printed msg)
+
+let gen_tiny_world =
+  QCheck2.Gen.(
+    let value = map Core.Value.int (int_range 0 2) in
+    let fact =
+      oneof
+        [
+          map (fun v -> ("R", [ v ])) value;
+          map2 (fun v1 v2 -> ("S", [ v1; v2 ])) value value;
+          map (fun v -> ("T", [ v ])) value;
+        ]
+    in
+    let* n = int_range 0 6 in
+    map Core.World.of_facts (flatten_l (List.init n (fun _ -> fact))))
+
+let domain_prop = List.init 3 Core.Value.int
+
+let holds w q = Semantics.holds ~domain:domain_prop w q
+
+let prop_transforms_preserve_semantics =
+  Test_util.qcheck ~count:400 "nnf/simplify/prenex/standardize preserve semantics"
+    QCheck2.Gen.(pair gen_sentence gen_tiny_world)
+    (fun (q, w) ->
+      let reference = holds w q in
+      holds w (Fo.nnf q) = reference
+      && holds w (Fo.simplify q) = reference
+      && holds w (Fo.elim_implies q) = reference
+      && holds w (Fo.standardize_apart q) = reference
+      &&
+      let prefix, matrix = Fo.prenex q in
+      let rebuilt =
+        List.fold_right
+          (fun (kind, v) f ->
+            match kind with Fo.Q_exists -> Fo.Exists (v, f) | Fo.Q_forall -> Fo.Forall (v, f))
+          prefix matrix
+      in
+      holds w rebuilt = reference)
+
+let prop_dual_involution =
+  Test_util.qcheck ~count:300 "dual is an involution" gen_sentence (fun q ->
+      let q = Fo.elim_implies q in
+      Fo.equal (Fo.dual (Fo.dual q)) q)
+
+let prop_nnf_negation_free =
+  Test_util.qcheck ~count:300 "nnf pushes negation to atoms" gen_sentence (fun q ->
+      let rec ok = function
+        | Fo.True | Fo.False | Fo.Atom _ -> true
+        | Fo.Not (Fo.Atom _) -> true
+        | Fo.Not _ -> false
+        | Fo.And (f, g) | Fo.Or (f, g) -> ok f && ok g
+        | Fo.Implies _ -> false
+        | Fo.Exists (_, f) | Fo.Forall (_, f) -> ok f
+      in
+      ok (Fo.nnf q))
+
+let prop_ucq_reduction_sound =
+  (* whenever the unate reduction applies, the UCQ has the same probability
+     as the sentence on random small TIDs *)
+  Test_util.qcheck ~count:200 "UCQ reduction preserves probability"
+    QCheck2.Gen.(pair gen_sentence (int_range 1 1000))
+    (fun (q, seed) ->
+      match Ucq.of_sentence q with
+      | exception Ucq.Unsupported _ -> true
+      | ucq, mode ->
+          let db =
+            Probdb_workload.Gen.random_tid ~seed ~domain_size:2
+              (List.map
+                 (fun (name, arity) -> Probdb_workload.Gen.spec ~density:0.7 name arity)
+                 [ ("R", 1); ("S", 2); ("T", 1) ])
+          in
+          let p_sentence = Brute_force.probability db q in
+          let p_ucq = Brute_force.probability db (Ucq.to_fo ucq) in
+          Float.abs (p_sentence -. Ucq.apply_mode mode p_ucq) < 1e-9)
+
+let suites =
+  [
+    ( "logic.fo",
+      [
+        Alcotest.test_case "parser basics" `Quick test_parser_basics;
+        Alcotest.test_case "parser precedence" `Quick test_parser_precedence;
+        Alcotest.test_case "parser errors" `Quick test_parser_errors;
+        Alcotest.test_case "free vars and substitution" `Quick test_free_vars_subst;
+        Alcotest.test_case "nnf and prenex" `Quick test_nnf_and_prenex;
+        Alcotest.test_case "polarities and unateness" `Quick test_polarity_unate;
+        Alcotest.test_case "dual query" `Quick test_dual;
+        Alcotest.test_case "dual probability identity" `Quick test_dual_probability;
+        Alcotest.test_case "semantics" `Quick test_semantics;
+        Alcotest.test_case "Example 2.1 (Fig. 1)" `Quick test_example_2_1;
+        Alcotest.test_case "non-Boolean answers" `Quick test_answers;
+        prop_pp_parse_roundtrip;
+        prop_transforms_preserve_semantics;
+        prop_dual_involution;
+        prop_nnf_negation_free;
+        prop_ucq_reduction_sound;
+      ] );
+    ( "logic.cq",
+      [
+        Alcotest.test_case "hierarchy test" `Quick test_hierarchical;
+        Alcotest.test_case "small dichotomy classifier" `Quick test_dichotomy_classifier;
+        Alcotest.test_case "containment" `Quick test_containment;
+        Alcotest.test_case "minimization" `Quick test_minimization;
+        Alcotest.test_case "connected components" `Quick test_components;
+        Alcotest.test_case "ucq of sentence" `Quick test_ucq_of_sentence;
+        Alcotest.test_case "ucq minimization" `Quick test_ucq_minimize;
+        prop_containment_sound;
+        prop_minimize_preserves_semantics;
+        prop_conjoin_is_conjunction;
+        prop_components_partition;
+      ] );
+  ]

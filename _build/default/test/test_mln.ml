@@ -1,0 +1,234 @@
+module Core = Probdb_core
+module L = Probdb_logic
+module Mln = Probdb_mln.Mln
+module Factors = Probdb_mln.Factors
+module F = Probdb_boolean.Formula
+
+let domain2 = [ Core.Value.str "p1"; Core.Value.str "p2" ]
+
+let parse = L.Parser.parse
+let parse_s = L.Parser.parse_sentence
+
+(* ---------- predicate-level MLN ---------- *)
+
+let test_groundings () =
+  let mln = Mln.manager_example in
+  match mln with
+  | [ s ] ->
+      let g = Mln.groundings ~domain:domain2 s in
+      Alcotest.(check int) "2x2 groundings" 4 (List.length g);
+      List.iter (fun (w, f) ->
+          Test_util.check_float "weight" 3.9 w;
+          Alcotest.(check bool) "ground" true (L.Fo.is_sentence f)) g
+  | _ -> Alcotest.fail "unexpected example shape"
+
+let test_world_weight () =
+  let mln = Mln.manager_example in
+  (* empty world satisfies all 4 groundings (implication vacuously true) *)
+  Test_util.check_float "empty world" (3.9 ** 4.0)
+    (Mln.world_weight ~domain:domain2 mln Core.World.empty);
+  (* Manager(p1,p2) present without HighlyCompensated(p1): one grounding
+     fails *)
+  let w = Core.World.of_facts [ ("Manager", [ List.nth domain2 0; List.nth domain2 1 ]) ] in
+  Test_util.check_float "one violated" (3.9 ** 3.0) (Mln.world_weight ~domain:domain2 mln w)
+
+let test_partition_function_no_factor () =
+  (* an MLN whose constraint is a tautology: Z = w^G * 2^|Tup| *)
+  let mln = [ Mln.soft 2.0 (parse ~free:[ "x" ] "R(x) || !R(x)") ] in
+  let z = Mln.partition_function ~domain:domain2 mln in
+  (* |Tup| = 2 (R over domain of 2), each world satisfies both groundings *)
+  Test_util.check_float "Z" (4.0 *. (2.0 ** 2.0)) z
+
+let test_mln_monotonicity () =
+  (* more managed employees raise P(HighlyCompensated) (the paper's
+     narrative about example (5)) *)
+  let mln = Mln.manager_example in
+  let q = parse_s "HighlyCompensated(p1)" in
+  let base = Mln.probability ~domain:domain2 mln q in
+  let mln_with_evidence =
+    (* add near-hard evidence that p1 manages p2 *)
+    Mln.soft 1000.0 (parse "Manager(p1,p2)") :: mln
+  in
+  let boosted = Mln.probability ~domain:domain2 mln_with_evidence q in
+  Alcotest.(check bool) "prior above 1/2" true (base > 0.5);
+  Alcotest.(check bool) "evidence boosts" true (boosted > base)
+
+let prop31_check ?encoding mln queries =
+  List.iter
+    (fun q ->
+      let direct = Mln.probability ~domain:domain2 mln q in
+      let via_tid = Mln.probability_via_tid ?encoding ~domain:domain2 mln q in
+      Test_util.check_float
+        (Printf.sprintf "Prop 3.1 for %s" (L.Fo.to_string q))
+        direct via_tid)
+    queries
+
+let manager_queries =
+  [
+    parse_s "HighlyCompensated(p1)";
+    parse_s "exists m e. Manager(m,e)";
+    parse_s "forall m. HighlyCompensated(m)";
+    parse_s "exists m. Manager(m,m) && !HighlyCompensated(m)";
+  ]
+
+let test_prop31_iff () = prop31_check ~encoding:Mln.Iff_encoding Mln.manager_example manager_queries
+let test_prop31_or () = prop31_check ~encoding:Mln.Or_encoding Mln.manager_example manager_queries
+
+let test_prop31_small_weight () =
+  (* weight < 1: the Or encoding uses a non-standard probability (> 1), yet
+     all conditional probabilities remain standard (Appendix) *)
+  let mln = [ Mln.soft 0.4 (parse ~free:[ "m"; "e" ] "Manager(m,e) => HighlyCompensated(m)") ] in
+  let translation = Mln.translate ~encoding:Mln.Or_encoding ~domain:domain2 mln in
+  Alcotest.(check bool) "non-standard TID" false (Core.Tid.is_standard translation.Mln.db);
+  prop31_check ~encoding:Mln.Or_encoding mln [ parse_s "HighlyCompensated(p1)" ];
+  prop31_check ~encoding:Mln.Iff_encoding mln [ parse_s "HighlyCompensated(p1)" ]
+
+let test_prop31_two_constraints () =
+  let mln =
+    [
+      Mln.soft 2.5 (parse ~free:[ "x"; "y" ] "Friend(x,y) => Friend(y,x)");
+      Mln.soft 0.7 (parse ~free:[ "x" ] "Friend(x,x)");
+    ]
+  in
+  List.iter
+    (fun enc ->
+      List.iter
+        (fun q ->
+          let direct = Mln.probability ~domain:domain2 mln q in
+          let via = Mln.probability_via_tid ~encoding:enc ~domain:domain2 mln q in
+          Test_util.check_float (Printf.sprintf "two constraints %s" (L.Fo.to_string q))
+            direct via)
+        [ parse_s "exists x y. Friend(x,y)"; parse_s "Friend(p1,p2)" ])
+    [ Mln.Iff_encoding; Mln.Or_encoding ]
+
+let test_translation_shape () =
+  let tr = Mln.translate ~domain:domain2 Mln.manager_example in
+  Alcotest.(check int) "one aux relation" 1 (List.length tr.Mln.aux);
+  let aux = List.hd tr.Mln.aux in
+  let rel = Core.Tid.relation tr.Mln.db aux in
+  Alcotest.(check int) "aux is complete" 4 (Core.Relation.cardinal rel);
+  (* original relations complete at 1/2 *)
+  let m = Core.Tid.relation tr.Mln.db "Manager" in
+  Alcotest.(check int) "manager complete" 4 (Core.Relation.cardinal m);
+  List.iter (fun (_, p) -> Test_util.check_float "half" 0.5 p) (Core.Relation.rows m);
+  (* the translated db of the Sec. 3 example is symmetric (Sec. 8) *)
+  List.iter
+    (fun r ->
+      match List.sort_uniq compare (List.map snd (Core.Relation.rows r)) with
+      | [ _ ] -> ()
+      | _ -> Alcotest.failf "%s not symmetric" (Core.Relation.name r))
+    (Core.Tid.relations tr.Mln.db)
+
+(* ---------- propositional factors (Appendix / Fig. 3) ---------- *)
+
+let x1 = F.var 1
+let x2 = F.var 2
+let x3 = F.var 3
+
+let eq14 = F.conj [ F.disj2 x1 x2; F.disj2 x1 x3; F.disj2 x2 x3 ]
+
+let test_fig3_factor_table () =
+  (* Fig. 3, last column: adding the factor (w4, X1 => X2) *)
+  let w1, w2, w3, w4 = (0.6, 1.7, 2.2, 3.1) in
+  let mn =
+    Factors.make
+      ~var_weights:[ (1, w1); (2, w2); (3, w3) ]
+      [ { Factors.weight = w4; formula = F.implies x1 x2 } ]
+  in
+  (* weight'(F) = w2 w3 w4 + w1 w3 + w2 w3 w4 ... per the Appendix:
+     models 011, 101, 110, 111 with the factor applying to 011, 110, 111 *)
+  let expected =
+    (w2 *. w3 *. w4) +. (w1 *. w3) +. (w1 *. w2 *. w4) +. (w1 *. w2 *. w3 *. w4)
+  in
+  let z = Factors.partition_function mn in
+  Test_util.check_float "weight'(F)" expected (Factors.probability mn eq14 *. z)
+
+let test_factor_translation_both_encodings () =
+  let mn =
+    Factors.make
+      ~var_weights:[ (1, 0.6); (2, 1.7); (3, 2.2) ]
+      [ { Factors.weight = 3.1; formula = F.implies x1 x2 } ]
+  in
+  let direct = Factors.probability mn eq14 in
+  Test_util.check_float "iff encoding" direct
+    (Factors.probability_via_translation ~encoding:Factors.Iff_encoding mn eq14);
+  Test_util.check_float "or encoding" direct
+    (Factors.probability_via_translation ~encoding:Factors.Or_encoding mn eq14)
+
+let test_factor_translation_small_weight () =
+  (* w4 < 1 -> negative weight for the fresh variable in the Or encoding *)
+  let mn = Factors.make [ { Factors.weight = 0.3; formula = F.conj2 x1 x2 } ] in
+  let tr = Factors.translate ~encoding:Factors.Or_encoding mn in
+  let fresh_p = List.assoc (snd (List.hd tr.Factors.fresh)) tr.Factors.probs in
+  Alcotest.(check bool) "non-standard probability" true (fresh_p < 0.0 || fresh_p > 1.0);
+  List.iter
+    (fun q ->
+      let direct = Factors.probability mn q in
+      Test_util.check_float "small weight or-encoding" direct
+        (Factors.probability_via_translation ~encoding:Factors.Or_encoding mn q))
+    [ x1; F.conj2 x1 x2; F.disj2 x1 (F.neg x2) ]
+
+let test_multi_factor () =
+  let mn =
+    Factors.make
+      [
+        { Factors.weight = 2.0; formula = F.implies x1 x2 };
+        { Factors.weight = 0.5; formula = F.disj2 x2 x3 };
+      ]
+  in
+  List.iter
+    (fun q ->
+      let direct = Factors.probability mn q in
+      Test_util.check_float "multi-factor iff" direct
+        (Factors.probability_via_translation ~encoding:Factors.Iff_encoding mn q);
+      Test_util.check_float "multi-factor or" direct
+        (Factors.probability_via_translation ~encoding:Factors.Or_encoding mn q))
+    [ x1; x3; F.conj2 x2 x3 ]
+
+(* Property: Prop 3.1 holds for random single-constraint propositional MNs. *)
+let gen_small_formula =
+  QCheck2.Gen.(
+    sized_size (int_range 0 4) @@ fix (fun self n ->
+        if n = 0 then map F.var (int_range 0 3)
+        else
+          oneof
+            [
+              map F.var (int_range 0 3);
+              map F.neg (self (n - 1));
+              map2 F.conj2 (self (n / 2)) (self (n / 2));
+              map2 F.disj2 (self (n / 2)) (self (n / 2));
+            ]))
+
+let prop_factor_translation =
+  Test_util.qcheck ~count:150 "random factor: both encodings match"
+    QCheck2.Gen.(triple gen_small_formula gen_small_formula (float_range 0.2 5.0))
+    (fun (g, q, w) ->
+      QCheck2.assume (Float.abs (w -. 1.0) > 1e-3);
+      let mn = Factors.make [ { Factors.weight = w; formula = g } ] in
+      let direct = Factors.probability mn q in
+      let ok enc =
+        Float.abs (Factors.probability_via_translation ~encoding:enc mn q -. direct)
+        < 1e-9
+      in
+      ok Factors.Iff_encoding && ok Factors.Or_encoding)
+
+let suites =
+  [
+    ( "mln",
+      [
+        Alcotest.test_case "groundings" `Quick test_groundings;
+        Alcotest.test_case "world weight" `Quick test_world_weight;
+        Alcotest.test_case "partition function (tautology)" `Quick test_partition_function_no_factor;
+        Alcotest.test_case "MLN semantics: evidence raises belief" `Quick test_mln_monotonicity;
+        Alcotest.test_case "Prop 3.1 (iff encoding)" `Quick test_prop31_iff;
+        Alcotest.test_case "Prop 3.1 (or encoding, the paper's)" `Quick test_prop31_or;
+        Alcotest.test_case "Prop 3.1 with weight < 1" `Quick test_prop31_small_weight;
+        Alcotest.test_case "Prop 3.1 with two constraints" `Quick test_prop31_two_constraints;
+        Alcotest.test_case "translation shape & symmetry" `Quick test_translation_shape;
+        Alcotest.test_case "Fig. 3 factor table" `Quick test_fig3_factor_table;
+        Alcotest.test_case "factor translation (both encodings)" `Quick test_factor_translation_both_encodings;
+        Alcotest.test_case "factor translation, weight < 1" `Quick test_factor_translation_small_weight;
+        Alcotest.test_case "multiple factors" `Quick test_multi_factor;
+        prop_factor_translation;
+      ] );
+  ]

@@ -1,0 +1,123 @@
+module Core = Probdb_core
+module L = Probdb_logic
+module O = Probdb_openworld.Open_db
+
+let t xs = List.map Core.Value.int xs
+let parse_s = L.Parser.parse_sentence
+
+let small_db () =
+  Core.Tid.make
+    ~domain:(List.map Core.Value.int [ 0; 1; 2 ])
+    [
+      Core.Relation.of_list "R" [ (t [ 0 ], 0.5); (t [ 1 ], 0.5) ];
+      Core.Relation.of_list "S" [ (t [ 0; 1 ], 0.6) ];
+    ]
+
+let test_completion () =
+  let ow = O.make ~lambda:0.2 ~open_relations:[ ("S", 2) ] (small_db ()) in
+  let c = O.completion ow in
+  Alcotest.(check int) "S completed to 9 tuples" 9
+    (Core.Relation.cardinal (Core.Tid.relation c "S"));
+  Test_util.check_float "listed tuple keeps prob" 0.6 (Core.Tid.prob c "S" (t [ 0; 1 ]));
+  Test_util.check_float "unlisted tuple gets lambda" 0.2 (Core.Tid.prob c "S" (t [ 2; 2 ]));
+  (* closed relations untouched *)
+  Alcotest.(check int) "R untouched" 2 (Core.Relation.cardinal (Core.Tid.relation c "R"))
+
+let test_interval_monotone () =
+  let ow = O.make ~lambda:0.2 ~open_relations:[ ("S", 2) ] (small_db ()) in
+  let q = parse_s "exists x y. R(x) && S(x,y)" in
+  let iv = O.probability_interval ow q in
+  (* lower = closed world, upper = full completion *)
+  Test_util.check_float "lower = closed world" (L.Brute_force.probability (small_db ()) q) iv.O.lower;
+  Test_util.check_float "upper = completion"
+    (L.Brute_force.probability (O.completion ow) q)
+    iv.O.upper;
+  Alcotest.(check bool) "lower <= upper" true (iv.O.lower <= iv.O.upper);
+  Alcotest.(check bool) "open world strictly wider" true (iv.O.upper > iv.O.lower)
+
+let test_interval_negative_polarity () =
+  (* for a universally quantified (negative-polarity) open relation the
+     completion is the *lower* end *)
+  let ow = O.make ~lambda:0.2 ~open_relations:[ ("S", 2) ] (small_db ()) in
+  let q = parse_s "forall x y. S(x,y) => R(x)" in
+  let iv = O.probability_interval ow q in
+  Test_util.check_float "upper = closed world"
+    (L.Brute_force.probability (small_db ()) q)
+    iv.O.upper;
+  Test_util.check_float "lower = completion"
+    (L.Brute_force.probability (O.completion ow) q)
+    iv.O.lower
+
+let test_lambda_zero_collapses () =
+  let ow = O.make ~lambda:0.0 ~open_relations:[ ("S", 2) ] (small_db ()) in
+  let q = parse_s "exists x y. R(x) && S(x,y)" in
+  let iv = O.probability_interval ow q in
+  Test_util.check_float "width 0 at lambda 0" iv.O.lower iv.O.upper
+
+let test_absent_relation_opens () =
+  let db = Core.Tid.make ~domain:(List.map Core.Value.int [ 0; 1 ])
+      [ Core.Relation.of_list "R" [ (t [ 0 ], 0.9) ] ] in
+  let ow = O.make ~lambda:0.3 ~open_relations:[ ("T", 1) ] db in
+  let q = parse_s "exists x. R(x) && T(x)" in
+  let iv = O.probability_interval ow q in
+  Test_util.check_float "closed lower is 0" 0.0 iv.O.lower;
+  Alcotest.(check bool) "open upper is positive" true (iv.O.upper > 0.0)
+
+let test_rejects_mixed_polarity () =
+  let ow = O.make ~open_relations:[ ("S", 2) ] (small_db ()) in
+  let q = parse_s "(exists x y. S(x,y)) && (forall x y. S(x,y) => R(x))" in
+  match O.probability_interval ow q with
+  | exception L.Ucq.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported on mixed polarity"
+
+let test_rejects_bad_lambda () =
+  Alcotest.check_raises "lambda > 1" (Invalid_argument "Open_db.make: lambda outside [0,1]")
+    (fun () -> ignore (O.make ~lambda:1.5 ~open_relations:[] (small_db ())))
+
+(* Property: the interval brackets every individual λ-completion obtained
+   by listing a random subset of unlisted tuples at random probabilities
+   ≤ λ. *)
+let prop_interval_brackets_completions =
+  Test_util.qcheck ~count:80 "interval brackets random completions"
+    QCheck2.Gen.(pair (int_range 1 1000) (float_bound_inclusive 0.3))
+    (fun (seed, lambda) ->
+      let db = small_db () in
+      let ow = O.make ~lambda ~open_relations:[ ("S", 2) ] db in
+      let q = parse_s "exists x y. R(x) && S(x,y)" in
+      let iv = O.probability_interval ow q in
+      (* random completion *)
+      let rng = Random.State.make [| seed |] in
+      let dom = Core.Tid.domain db in
+      let extra =
+        List.concat_map
+          (fun a -> List.map (fun b -> [ a; b ]) dom)
+          dom
+        |> List.filter (fun tu -> not (Core.Relation.mem (Core.Tid.relation db "S") tu))
+        |> List.filter_map (fun tu ->
+               if Random.State.bool rng then
+                 Some (tu, Random.State.float rng lambda)
+               else None)
+      in
+      let s' =
+        Core.Relation.make
+          (Core.Schema.of_arity "S" 2)
+          (Core.Relation.rows (Core.Tid.relation db "S") @ extra)
+      in
+      let db' = Core.Tid.replace_relation db s' in
+      let p = L.Brute_force.probability db' q in
+      iv.O.lower -. 1e-9 <= p && p <= iv.O.upper +. 1e-9)
+
+let suites =
+  [
+    ( "openworld",
+      [
+        Alcotest.test_case "completion" `Quick test_completion;
+        Alcotest.test_case "interval for monotone query" `Quick test_interval_monotone;
+        Alcotest.test_case "negative polarity flips ends" `Quick test_interval_negative_polarity;
+        Alcotest.test_case "lambda 0 collapses" `Quick test_lambda_zero_collapses;
+        Alcotest.test_case "absent relation opens" `Quick test_absent_relation_opens;
+        Alcotest.test_case "mixed polarity rejected" `Quick test_rejects_mixed_polarity;
+        Alcotest.test_case "bad lambda rejected" `Quick test_rejects_bad_lambda;
+        prop_interval_brackets_completions;
+      ] );
+  ]

@@ -1,0 +1,209 @@
+module Core = Probdb_core
+module L = Probdb_logic
+module P = Probdb_plans
+module Q = Probdb_workload.Queries
+module Gen = Probdb_workload.Gen
+
+let cq_of (e : Q.entry) =
+  match L.Ucq.of_sentence e.Q.query with
+  | [ cq ], L.Ucq.Direct -> cq
+  | _ -> Alcotest.failf "%s is not a single ∃-CQ" e.Q.name
+
+let db_for cq ~seed ~domain_size =
+  let rels =
+    List.map (fun (name, _comp) -> name) (L.Cq.symbols cq)
+    |> List.map (fun name ->
+           let arity =
+             List.find_map
+               (fun (a : L.Cq.atom) ->
+                 if String.equal a.L.Cq.rel name then Some (List.length a.L.Cq.args)
+                 else None)
+               cq
+             |> Option.get
+           in
+           Gen.spec ~density:0.8 name arity)
+  in
+  Gen.random_tid ~seed ~domain_size rels
+
+let exact db cq = L.Brute_force.probability db (L.Cq.to_fo cq)
+
+(* ---------- the Sec. 6 worked example ---------- *)
+
+let fig1_s_only_probs = Test_util.fig1_probs
+
+let test_sec6_plans_on_fig1 () =
+  (* Plan1 = γ(R ⋈x S), Plan2 = γ(R ⋈x γx(S)): the paper's footnote gives
+     both closed forms on the Fig. 1 database. *)
+  let db = Test_util.fig1_tid () in
+  let r_atom = L.Cq.of_vars "R" [ "x" ] in
+  let s_atom = L.Cq.of_vars "S" [ "x"; "y" ] in
+  let plan1 = P.Plan.Project ([], P.Plan.Join (P.Plan.Scan r_atom, P.Plan.Scan s_atom)) in
+  let plan2 =
+    P.Plan.Project
+      ([], P.Plan.Join (P.Plan.Scan r_atom, P.Plan.Project ([ "x" ], P.Plan.Scan s_atom)))
+  in
+  let p, q = fig1_s_only_probs in
+  let p1, p2 = (List.nth p 0, List.nth p 1) in
+  let q1, q2, q3, q4, q5 =
+    (List.nth q 0, List.nth q 1, List.nth q 2, List.nth q 3, List.nth q 4)
+  in
+  let expected_plan1 =
+    1.
+    -. ((1. -. (p1 *. q1)) *. (1. -. (p1 *. q2)) *. (1. -. (p2 *. q3))
+        *. (1. -. (p2 *. q4)) *. (1. -. (p2 *. q5)))
+  in
+  let expected_plan2 =
+    let sx1 = 1. -. ((1. -. q1) *. (1. -. q2)) in
+    let sx2 = 1. -. ((1. -. q3) *. (1. -. q4) *. (1. -. q5)) in
+    1. -. ((1. -. (p1 *. sx1)) *. (1. -. (p2 *. sx2)))
+  in
+  Test_util.check_float "Plan1 footnote formula" expected_plan1
+    (P.Plan.boolean_prob db plan1);
+  Test_util.check_float "Plan2 footnote formula" expected_plan2
+    (P.Plan.boolean_prob db plan2);
+  (* Plan2 is safe and returns the true probability; Plan1 is unsafe *)
+  Alcotest.(check bool) "plan1 unsafe" false (P.Plan.is_safe plan1);
+  Alcotest.(check bool) "plan2 safe" true (P.Plan.is_safe plan2);
+  let truth = exact db (L.Cq.make [ r_atom; s_atom ]) in
+  Test_util.check_float "plan2 = exact" truth (P.Plan.boolean_prob db plan2);
+  Alcotest.(check bool) "plan1 >= exact" true (P.Plan.boolean_prob db plan1 >= truth -. 1e-12)
+
+let test_safe_plan_construction () =
+  let hier = cq_of Q.q_hier in
+  (match P.Plan.safe_plan hier with
+  | None -> Alcotest.fail "hierarchical query must have a safe plan"
+  | Some plan ->
+      Alcotest.(check bool) "structurally safe" true (P.Plan.is_safe plan);
+      for seed = 1 to 10 do
+        let db = db_for hier ~seed ~domain_size:3 in
+        Test_util.check_float
+          (Printf.sprintf "safe plan exact (seed %d)" seed)
+          (exact db hier)
+          (P.Plan.boolean_prob db plan)
+      done);
+  (* non-hierarchical: no safe plan *)
+  let h0 = cq_of Q.h0 in
+  Alcotest.(check bool) "H0 has no safe plan" true (P.Plan.safe_plan h0 = None)
+
+let test_safe_plan_disconnected () =
+  let cq = cq_of { Q.q_hier with Q.query = L.Parser.parse_sentence "exists x y. R(x) && T(y)" } in
+  match P.Plan.safe_plan cq with
+  | None -> Alcotest.fail "disconnected safe query must have a safe plan"
+  | Some plan ->
+      Alcotest.(check bool) "safe" true (P.Plan.is_safe plan);
+      let db = db_for cq ~seed:4 ~domain_size:3 in
+      Test_util.check_float "exact" (exact db cq) (P.Plan.boolean_prob db plan)
+
+let test_enumerate_h0 () =
+  let h0 = cq_of Q.h0 in
+  let plans = P.Plan.enumerate h0 in
+  Alcotest.(check bool) "several plans" true (List.length plans >= 3);
+  Alcotest.(check bool) "none safe" true
+    (List.for_all (fun p -> not (P.Plan.is_safe p)) plans);
+  List.iter
+    (fun p ->
+      Alcotest.(check (list string)) "boolean output" [] (P.Plan.out_vars p))
+    plans
+
+let test_bounds_on_h0 () =
+  let h0 = cq_of Q.h0 in
+  for seed = 1 to 15 do
+    let db = db_for h0 ~seed ~domain_size:3 in
+    let truth = exact db h0 in
+    let b = P.Bounds.bracket db h0 in
+    if not (b.P.Bounds.lower <= truth +. 1e-9) then
+      Alcotest.failf "seed %d: lower %.9g > exact %.9g" seed b.P.Bounds.lower truth;
+    if not (b.P.Bounds.upper >= truth -. 1e-9) then
+      Alcotest.failf "seed %d: upper %.9g < exact %.9g" seed b.P.Bounds.upper truth;
+    Alcotest.(check bool) "no safe plan claims exact" true (b.P.Bounds.exact = None)
+  done
+
+let test_bounds_exact_on_safe () =
+  let hier = cq_of Q.q_hier in
+  for seed = 1 to 10 do
+    let db = db_for hier ~seed ~domain_size:3 in
+    let truth = exact db hier in
+    let b = P.Bounds.bracket db hier in
+    (match b.P.Bounds.exact with
+    | Some e -> Test_util.check_float (Printf.sprintf "exact via safe plan %d" seed) truth e
+    | None -> Alcotest.fail "expected a safe plan among enumerated plans");
+    Alcotest.(check bool) "bracket contains truth" true
+      (b.P.Bounds.lower <= truth +. 1e-9 && truth -. 1e-9 <= b.P.Bounds.upper)
+  done
+
+let test_dissociated_db () =
+  let h0 = cq_of Q.h0 in
+  let db = db_for h0 ~seed:2 ~domain_size:2 in
+  let d1 = P.Bounds.dissociated_db db h0 in
+  (* probabilities only ever decrease *)
+  List.iter
+    (fun (rel, tuple, p) ->
+      let p1 = Core.Tid.prob d1 rel tuple in
+      if p1 > p +. 1e-12 then
+        Alcotest.failf "dissociation increased %s%s: %g -> %g" rel
+          (Core.Tuple.to_string tuple) p p1)
+    (Core.Tid.support db)
+
+let test_scan_constants_and_repeats () =
+  let t xs = List.map Core.Value.int xs in
+  let s =
+    Core.Relation.of_list "S"
+      [ (t [ 1; 1 ], 0.3); (t [ 1; 2 ], 0.5); (t [ 2; 2 ], 0.7) ]
+  in
+  let db = Core.Tid.make [ s ] in
+  (* S(x,x): only the diagonal *)
+  let diag = P.Ptable.scan db (L.Cq.of_vars "S" [ "x"; "x" ]) in
+  Alcotest.(check int) "diagonal rows" 2 (List.length diag.P.Ptable.rows);
+  Alcotest.(check (list string)) "one column" [ "x" ] diag.P.Ptable.vars;
+  (* S(1,y): constant selection *)
+  let sel =
+    P.Ptable.scan db (L.Cq.atom "S" [ L.Fo.Const (Core.Value.int 1); L.Fo.Var "y" ])
+  in
+  Alcotest.(check int) "selected rows" 2 (List.length sel.P.Ptable.rows)
+
+(* Property: on random databases, every enumerated plan brackets the truth:
+   lower(D1) ≤ p(Q) ≤ plan(D) for each plan individually (Thm. 6.1). *)
+let prop_every_plan_brackets =
+  Test_util.qcheck ~count:60 "every plan brackets the truth (H0)"
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let h0 = cq_of Q.h0 in
+      let db = db_for h0 ~seed ~domain_size:2 in
+      let truth = exact db h0 in
+      let d1 = P.Bounds.dissociated_db db h0 in
+      List.for_all
+        (fun plan ->
+          let up = P.Plan.boolean_prob db plan in
+          let down = P.Plan.boolean_prob d1 plan in
+          down <= truth +. 1e-9 && truth <= up +. 1e-9)
+        (P.Plan.enumerate h0))
+
+let prop_safe_plans_are_exact =
+  Test_util.qcheck ~count:60 "safe plans compute exactly (q_hier family)"
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let cq = cq_of Q.q_hier in
+      let db = db_for cq ~seed ~domain_size:3 in
+      let truth = exact db cq in
+      List.for_all
+        (fun plan ->
+          (not (P.Plan.is_safe plan))
+          || Float.abs (P.Plan.boolean_prob db plan -. truth) < 1e-9)
+        (P.Plan.enumerate cq))
+
+let suites =
+  [
+    ( "plans",
+      [
+        Alcotest.test_case "Sec. 6 worked example (Fig. 1)" `Quick test_sec6_plans_on_fig1;
+        Alcotest.test_case "safe plan construction" `Quick test_safe_plan_construction;
+        Alcotest.test_case "safe plan for disconnected query" `Quick test_safe_plan_disconnected;
+        Alcotest.test_case "plan enumeration for H0" `Quick test_enumerate_h0;
+        Alcotest.test_case "bounds bracket H0" `Quick test_bounds_on_h0;
+        Alcotest.test_case "bracket exact on safe queries" `Quick test_bounds_exact_on_safe;
+        Alcotest.test_case "dissociated database" `Quick test_dissociated_db;
+        Alcotest.test_case "scan with constants/repeats" `Quick test_scan_constants_and_repeats;
+        prop_every_plan_brackets;
+        prop_safe_plans_are_exact;
+      ] );
+  ]

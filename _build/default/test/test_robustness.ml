@@ -1,0 +1,176 @@
+(* Edge cases and failure injection across the stack: malformed inputs,
+   missing relations, extreme probabilities, empty databases. *)
+
+module Core = Probdb_core
+module L = Probdb_logic
+module E = Probdb_engine.Engine
+module Lift = Probdb_lifted.Lift
+
+let t xs = List.map Core.Value.int xs
+let parse_s = L.Parser.parse_sentence
+
+(* ---------- CSV loader ---------- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_csv_malformed_probability () =
+  let path = tmp "bad_prob.csv" in
+  write_file path "1,2,not_a_number\n";
+  match Core.Csv_io.load_relation "R" path with
+  | exception Failure msg ->
+      Alcotest.(check bool) "line number in message" true
+        (String.length msg > 0 && String.contains msg ':')
+  | _ -> Alcotest.fail "expected Failure on malformed probability"
+
+let test_csv_missing_columns () =
+  let path = tmp "short_row.csv" in
+  write_file path "0.5\n";
+  match Core.Csv_io.load_relation "R" path with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on missing value columns"
+
+let test_csv_comments_and_blanks () =
+  let path = tmp "comments.csv" in
+  write_file path "# header comment\n\n1,0.5\n  \n2,0.25\n";
+  let rel = Core.Csv_io.load_relation "R" path in
+  Alcotest.(check int) "two rows" 2 (Core.Relation.cardinal rel)
+
+(* ---------- missing relations: probability-0 semantics everywhere ---------- *)
+
+let test_missing_relation_consistency () =
+  (* the query mentions T, the database has no T at all: every method must
+     treat T as empty *)
+  let db = Core.Tid.make ~domain:(List.map Core.Value.int [ 0; 1 ])
+      [ Core.Relation.of_list "R" [ (t [ 0 ], 0.5) ];
+        Core.Relation.of_list "S" [ (t [ 0; 1 ], 0.5) ] ] in
+  let q = parse_s "exists x y. R(x) && S(x,y) && T(y)" in
+  let truth = L.Brute_force.probability db q in
+  Test_util.check_float "brute = 0" 0.0 truth;
+  List.iter
+    (fun s ->
+      let config = { E.default_config with E.strategies = [ s ] } in
+      match E.evaluate ~config db q with
+      | r -> Test_util.check_float (E.strategy_name s) truth (E.value r.E.outcome)
+      | exception E.No_method _ -> () (* refusing is also fine *))
+    [ E.Obdd; E.Dpll; E.World_enum; E.Read_once ];
+  (* a universally-quantified query over the missing relation is true *)
+  let q2 = parse_s "forall x y. T(y) => R(x)" in
+  Test_util.check_float "vacuous forall" 1.0 (E.probability db q2)
+
+(* ---------- extreme probabilities ---------- *)
+
+let test_zero_and_one_probabilities () =
+  let db =
+    Core.Tid.make
+      [ Core.Relation.of_list "R" [ (t [ 0 ], 0.0); (t [ 1 ], 1.0) ];
+        Core.Relation.of_list "S" [ (t [ 1; 1 ], 1.0); (t [ 0; 0 ], 0.0) ] ]
+  in
+  let q = parse_s "exists x y. R(x) && S(x,y)" in
+  List.iter
+    (fun s ->
+      let config = { E.default_config with E.strategies = [ s ] } in
+      match E.evaluate ~config db q with
+      | r -> Test_util.check_float (E.strategy_name s) 1.0 (E.value r.E.outcome)
+      | exception E.No_method _ -> ())
+    [ E.Lifted; E.Obdd; E.Dpll; E.World_enum ];
+  (* certain complement *)
+  let q2 = parse_s "exists x. R(x) && !S(x,x)" in
+  Test_util.check_float "mixed negation with extremes"
+    (L.Brute_force.probability db q2)
+    (E.probability db q2)
+
+(* ---------- empty databases and trivial queries ---------- *)
+
+let test_empty_database () =
+  let db = Core.Tid.make ~domain:[ Core.Value.int 0 ] [] in
+  Test_util.check_float "exists over empty db" 0.0
+    (E.probability db (parse_s "exists x. R(x)"));
+  Test_util.check_float "forall over empty db" 1.0
+    (E.probability db (parse_s "forall x. R(x) => R(x)"));
+  Test_util.check_float "true" 1.0 (E.probability db L.Fo.True);
+  Test_util.check_float "false" 0.0 (E.probability db L.Fo.False)
+
+let test_trivial_queries_via_lifted () =
+  let db = Core.Tid.make [ Core.Relation.of_list "R" [ (t [ 0 ], 0.4) ] ] in
+  Test_util.check_float "single ground atom" 0.4 (Lift.probability db (parse_s "R(0)"));
+  Test_util.check_float "negated ground atom via forall" 0.6
+    (Lift.probability db (parse_s "forall x. !R(0)"));
+  Test_util.check_float "tautology" 1.0
+    (E.probability db (parse_s "R(0) || !R(0)"))
+
+(* ---------- engine argument validation ---------- *)
+
+let test_engine_validation () =
+  let db = Core.Tid.make [ Core.Relation.of_list "R" [ (t [ 0 ], 0.4) ] ] in
+  (match E.evaluate db (L.Parser.parse ~free:[ "x" ] "R(x)") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "open formula must be rejected by evaluate");
+  match E.answers ~free:[] db (L.Parser.parse ~free:[ "x" ] "R(x)") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "undeclared free variables must be rejected"
+
+(* ---------- duplicate variables & constants through every layer ---------- *)
+
+let test_repeated_vars_and_constants () =
+  let db =
+    Core.Tid.make
+      [ Core.Relation.of_list "S"
+          [ (t [ 0; 0 ], 0.5); (t [ 0; 1 ], 0.5); (t [ 1; 1 ], 0.25) ] ]
+  in
+  List.iter
+    (fun text ->
+      let q = parse_s text in
+      Test_util.check_float text
+        (L.Brute_force.probability db q)
+        (E.probability ~config:E.exact_only db q))
+    [
+      "exists x. S(x,x)";
+      "exists x. S(0,x) && S(x,1)";
+      "forall x. S(x,x) => S(0,x)";
+      "exists x y. S(x,y) && S(y,x)";
+    ]
+
+(* ---------- non-standard probabilities flow through exact methods ---------- *)
+
+let test_nonstandard_probabilities () =
+  (* weights outside [0,1] (MLN Or-encoding) must work through lineage-based
+     exact inference, and Karp-Luby must refuse them *)
+  let db =
+    Core.Tid.make
+      [ Core.Relation.of_list "R" [ (t [ 0 ], 1.25); (t [ 1 ], -0.25) ];
+        Core.Relation.of_list "S" [ (t [ 0; 1 ], 0.5) ] ]
+  in
+  let q = parse_s "exists x y. R(x) && S(x,y)" in
+  let truth = L.Brute_force.probability db q in
+  List.iter
+    (fun s ->
+      let config = { E.default_config with E.strategies = [ s ] } in
+      let r = E.evaluate ~config db q in
+      Test_util.check_float (E.strategy_name s) truth (E.value r.E.outcome))
+    [ E.Lifted; E.Obdd; E.Dpll ];
+  let config = { E.default_config with E.strategies = [ E.Karp_luby ] } in
+  match E.evaluate ~config db q with
+  | exception E.No_method [ (E.Karp_luby, _) ] -> ()
+  | _ -> Alcotest.fail "Karp-Luby must refuse non-standard probabilities"
+
+let suites =
+  [
+    ( "robustness",
+      [
+        Alcotest.test_case "csv malformed probability" `Quick test_csv_malformed_probability;
+        Alcotest.test_case "csv missing columns" `Quick test_csv_missing_columns;
+        Alcotest.test_case "csv comments and blanks" `Quick test_csv_comments_and_blanks;
+        Alcotest.test_case "missing relation = empty" `Quick test_missing_relation_consistency;
+        Alcotest.test_case "zero/one probabilities" `Quick test_zero_and_one_probabilities;
+        Alcotest.test_case "empty database" `Quick test_empty_database;
+        Alcotest.test_case "trivial queries" `Quick test_trivial_queries_via_lifted;
+        Alcotest.test_case "engine validation" `Quick test_engine_validation;
+        Alcotest.test_case "repeated vars and constants" `Quick test_repeated_vars_and_constants;
+        Alcotest.test_case "non-standard probabilities" `Quick test_nonstandard_probabilities;
+      ] );
+  ]

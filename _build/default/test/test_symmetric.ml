@@ -1,0 +1,177 @@
+module Core = Probdb_core
+module L = Probdb_logic
+module Sym = Probdb_symmetric
+module Sym_db = Sym.Sym_db
+module Wfomc = Sym.Wfomc
+module Cf = Sym.Closed_forms
+
+let parse = L.Parser.parse_sentence
+
+let check_vs_brute name db q =
+  let tid = Sym_db.to_tid db in
+  Test_util.check_float name
+    (L.Brute_force.probability tid q)
+    (Wfomc.probability db q)
+
+let test_sym_db_basics () =
+  let db = Sym_db.make ~n:3 [ ("R", 1, 0.3); ("S", 2, 0.6) ] in
+  Alcotest.(check int) "tuple count" 12 (Sym_db.tuple_count db);
+  Test_util.check_float "prob" 0.6 (Sym_db.prob db "S");
+  Alcotest.(check int) "arity" 2 (Sym_db.arity db "S");
+  let tid = Sym_db.to_tid db in
+  Alcotest.(check int) "materialised support" 12 (Core.Tid.support_size tid);
+  Alcotest.(check bool) "all S probs equal" true
+    (List.for_all (fun (_, p) -> p = 0.6) (Core.Relation.rows (Core.Tid.relation tid "S")));
+  Alcotest.check_raises "arity 3 rejected"
+    (Invalid_argument "Sym_db.make: U has arity 3 (only 1 and 2 supported)")
+    (fun () -> ignore (Sym_db.make ~n:2 [ ("U", 3, 0.5) ]))
+
+let test_h0_closed_form_vs_brute () =
+  let h0 = parse "forall x y. R(x) || S(x,y) || T(y)" in
+  List.iter
+    (fun n ->
+      let db = Sym_db.make ~n [ ("R", 1, 0.3); ("S", 2, 0.6); ("T", 1, 0.45) ] in
+      let tid = Sym_db.to_tid db in
+      Test_util.check_float
+        (Printf.sprintf "H0 closed form, n=%d" n)
+        (L.Brute_force.probability tid h0)
+        (Cf.h0 ~n ~p_r:0.3 ~p_s:0.6 ~p_t:0.45))
+    [ 1; 2; 3 ]
+
+let test_h0_wfomc_matches_closed_form () =
+  let h0 = parse "forall x y. R(x) || S(x,y) || T(y)" in
+  List.iter
+    (fun n ->
+      let db = Sym_db.make ~n [ ("R", 1, 0.25); ("S", 2, 0.8); ("T", 1, 0.5) ] in
+      Test_util.check_float
+        (Printf.sprintf "H0 wfomc = closed form, n=%d" n)
+        (Cf.h0 ~n ~p_r:0.25 ~p_s:0.8 ~p_t:0.5)
+        (Wfomc.probability db h0))
+    [ 1; 2; 4; 7; 10 ]
+
+let test_forall_exists_closed_form () =
+  List.iter
+    (fun n ->
+      let db = Sym_db.make ~n [ ("S", 2, 0.35) ] in
+      check_vs_brute (Printf.sprintf "∀∃ vs brute, n=%d" n) db
+        (parse "forall x. exists y. S(x,y)");
+      Test_util.check_float
+        (Printf.sprintf "∀∃ closed form, n=%d" n)
+        (Cf.forall_exists_s ~n ~p_s:0.35)
+        (Wfomc.probability db (parse "forall x. exists y. S(x,y)")))
+    [ 1; 2; 3 ]
+
+let fo2_zoo =
+  [
+    ("symmetry", "forall x y. S(x,y) => S(y,x)");
+    ("antisymmetry-ish", "forall x y. S(x,y) && S(y,x) => S(x,x)");
+    ("exists-forall", "exists x. forall y. S(x,y)");
+    ("exists-exists", "exists x y. S(x,y) && S(y,x)");
+    ("diagonal", "forall x. S(x,x)");
+    ("no-self-loop", "forall x. !S(x,x)");
+  ]
+
+let test_fo2_zoo_vs_brute () =
+  List.iter
+    (fun n ->
+      let db = Sym_db.make ~n [ ("S", 2, 0.35) ] in
+      List.iter (fun (name, text) ->
+          check_vs_brute (Printf.sprintf "%s n=%d" name n) db (parse text))
+        fo2_zoo)
+    [ 1; 2; 3 ]
+
+let test_mixed_sentences_vs_brute () =
+  List.iter
+    (fun n ->
+      let db = Sym_db.make ~n [ ("R", 1, 0.7); ("S", 2, 0.35) ] in
+      List.iter
+        (fun (name, text) ->
+          check_vs_brute (Printf.sprintf "%s n=%d" name n) db (parse text))
+        [
+          ("inclusion + totality",
+           "(forall x y. S(x,y) => R(x)) && (forall x. exists y. S(x,y))");
+          ("disjunction of blocks", "(forall x. R(x)) || (exists x y. S(x,y))");
+          ("smokers", "forall x y. R(x) && S(x,y) => R(y)");
+          ("two existentials",
+           "(exists x. R(x)) && (exists x y. S(x,y))");
+          ("negated existential", "!(exists x. R(x) && S(x,x))");
+        ])
+    [ 2; 3 ]
+
+let test_unsupported () =
+  let db = Sym_db.make ~n:2 [ ("S", 2, 0.5) ] in
+  (match Wfomc.probability db (parse "forall x y. S(x,y) || S(y,x) || S(0,x)") with
+  | exception Wfomc.Unsupported _ -> ()
+  | _ -> Alcotest.fail "constants should be unsupported");
+  match Wfomc.probability db (parse "exists x. forall y. exists z. S(x,y) && S(y,z)") with
+  | exception Wfomc.Unsupported _ -> ()
+  | p -> Alcotest.failf "three variables should be unsupported, got %g" p
+
+let test_stats_and_scaling () =
+  (* the cell algorithm is polynomial: n=25 H0 runs in well under a second
+     and visits C(n+K-1, K-1) compositions *)
+  let h0 = parse "forall x y. R(x) || S(x,y) || T(y)" in
+  let stats = Wfomc.fresh_stats () in
+  let db = Sym_db.make ~n:25 [ ("R", 1, 0.25); ("S", 2, 0.8); ("T", 1, 0.5) ] in
+  let p = Wfomc.probability ~stats db h0 in
+  Test_util.check_float ~eps:1e-12 "n=25 matches closed form"
+    (Cf.h0 ~n:25 ~p_r:0.25 ~p_s:0.8 ~p_t:0.5)
+    p;
+  Alcotest.(check int) "8 one-types" 8 stats.Wfomc.cells;
+  Alcotest.(check bool) "some cells die on the diagonal" true
+    (stats.Wfomc.live_cells <= stats.Wfomc.cells);
+  Alcotest.(check bool) "composition count polynomial" true
+    (stats.Wfomc.compositions < 1_000_000)
+
+let test_term_budget () =
+  let db = Sym_db.make ~n:60 [ ("R", 1, 0.25); ("S", 2, 0.8); ("T", 1, 0.5) ] in
+  match
+    Wfomc.probability ~max_terms:100 db (parse "forall x y. R(x) || S(x,y) || T(y)")
+  with
+  | exception Wfomc.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected the term budget to trip"
+
+let test_powi_and_binomial () =
+  Test_util.check_float "powi negative base" (-8.0) (Cf.powi (-2.0) 3);
+  Test_util.check_float "powi zero exponent" 1.0 (Cf.powi 5.0 0);
+  Test_util.check_float "binomial" 35.0 (Cf.binomial 7 3);
+  Test_util.check_float "binomial edge" 1.0 (Cf.binomial 5 0);
+  Test_util.check_float "binomial out of range" 0.0 (Cf.binomial 3 5)
+
+(* Property: on random symmetric databases and the FO² zoo, WFOMC equals
+   brute force. *)
+let prop_wfomc_matches_brute =
+  Test_util.qcheck ~count:60 "wfomc = brute force (random symmetric dbs)"
+    QCheck2.Gen.(
+      triple (int_range 1 3) (float_bound_inclusive 1.0) (float_bound_inclusive 1.0))
+    (fun (n, p_r, p_s) ->
+      let db = Sym_db.make ~n [ ("R", 1, p_r); ("S", 2, p_s) ] in
+      let tid = Sym_db.to_tid db in
+      List.for_all
+        (fun text ->
+          let q = parse text in
+          Float.abs (Wfomc.probability db q -. L.Brute_force.probability tid q) < 1e-9)
+        [
+          "forall x y. S(x,y) => R(x)";
+          "forall x. exists y. S(x,y)";
+          "exists x. R(x) && S(x,x)";
+          "forall x y. R(x) && S(x,y) => R(y)";
+        ])
+
+let suites =
+  [
+    ( "symmetric",
+      [
+        Alcotest.test_case "sym db basics" `Quick test_sym_db_basics;
+        Alcotest.test_case "H0 closed form vs brute force" `Quick test_h0_closed_form_vs_brute;
+        Alcotest.test_case "H0 wfomc = closed form" `Quick test_h0_wfomc_matches_closed_form;
+        Alcotest.test_case "∀∃ closed form" `Quick test_forall_exists_closed_form;
+        Alcotest.test_case "FO² zoo vs brute force" `Quick test_fo2_zoo_vs_brute;
+        Alcotest.test_case "mixed sentences vs brute force" `Quick test_mixed_sentences_vs_brute;
+        Alcotest.test_case "unsupported inputs" `Quick test_unsupported;
+        Alcotest.test_case "stats and polynomial scaling" `Quick test_stats_and_scaling;
+        Alcotest.test_case "term budget" `Quick test_term_budget;
+        Alcotest.test_case "powi and binomial" `Quick test_powi_and_binomial;
+        prop_wfomc_matches_brute;
+      ] );
+  ]
