@@ -1,0 +1,27 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: all build test bench docs check
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Build the odoc API docs with warnings as errors (see the root dune file).
+docs:
+	dune build @check-docs
+
+# What CI runs: build, test suite, and — when odoc is installed — the
+# fatal-warnings documentation build.
+check: build test
+	@if command -v odoc >/dev/null 2>&1; then \
+		dune build @check-docs; \
+	else \
+		echo "odoc not installed; skipping @check-docs (opam install odoc)"; \
+	fi

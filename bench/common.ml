@@ -1,5 +1,8 @@
 (* Shared helpers for the experiment harness: wall-clock timing, aligned
-   table printing, and a small Bechamel wrapper for the micro-benchmarks. *)
+   table printing, machine-readable JSON output (BENCH_*.json), and a small
+   Bechamel wrapper for the micro-benchmarks. *)
+
+module Json = Probdb_obs.Json
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -51,6 +54,19 @@ let table rows =
             print_newline ()
           end)
         rows
+
+(* Write one experiment's machine-readable results next to the console
+   table. The schema shares field names with the engine's per-query stats
+   (docs/STATS.md): circuit sizes, rule counts and seconds appear under the
+   same keys, so tooling can join BENCH_*.json with `probdb eval
+   --stats-json` output. *)
+let bench_json name fields =
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out path in
+  output_string oc (Json.to_string ~pretty:true (Json.Obj (("experiment", Json.Str name) :: fields)));
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "[wrote %s]\n" path
 
 let f4 x = Printf.sprintf "%.4f" x
 let f6 x = Printf.sprintf "%.6f" x

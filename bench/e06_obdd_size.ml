@@ -20,36 +20,53 @@ let hier_db n =
 let hierarchical_part () =
   Common.section "hierarchical chain query: OBDD size is linear in the database";
   let q = Q.hierarchical_chain 1 in
-  let rows =
+  let measured =
     List.map
       (fun n ->
         let db = hier_db n in
         let _, f = lineage_of db q in
         let m = Kc.Obdd.manager ~order:(Kc.Obdd.default_order f) () in
-        let bdd = Kc.Obdd.of_formula m f in
+        let bdd, dt = Common.time (fun () -> Kc.Obdd.of_formula m f) in
         let vars = Probdb_boolean.Formula.var_count f in
-        [ string_of_int n;
-          string_of_int vars;
-          string_of_int (Kc.Obdd.size bdd);
-          Common.f4 (float_of_int (Kc.Obdd.size bdd) /. float_of_int vars) ])
+        (n, vars, Kc.Obdd.obs_counts bdd, dt))
       [ 2; 4; 8; 16; 32; 64 ]
   in
-  Common.table ([ "n"; "lineage vars"; "OBDD size"; "size/vars" ] :: rows);
-  Printf.printf "(size/vars stays constant: the OBDD is linear, Thm. 7.1(i)(a))\n"
+  Common.table
+    ([ "n"; "lineage vars"; "OBDD size"; "size/vars" ]
+    :: List.map
+         (fun (n, vars, (c : Probdb_obs.Stats.circuit_counts), _) ->
+           [ string_of_int n;
+             string_of_int vars;
+             string_of_int c.Probdb_obs.Stats.nodes;
+             Common.f4 (float_of_int c.Probdb_obs.Stats.nodes /. float_of_int vars) ])
+         measured);
+  Printf.printf "(size/vars stays constant: the OBDD is linear, Thm. 7.1(i)(a))\n";
+  List.map
+    (fun (n, vars, (c : Probdb_obs.Stats.circuit_counts), dt) ->
+      Common.Json.Obj
+        [ ("n", Common.Json.Int n);
+          ("lineage_vars", Common.Json.Int vars);
+          ( "circuit",
+            Common.Json.Obj
+              [ ("class", Common.Json.Str c.Probdb_obs.Stats.circuit_class);
+                ("nodes", Common.Json.Int c.Probdb_obs.Stats.nodes);
+                ("edges", Common.Json.Int c.Probdb_obs.Stats.edges) ] );
+          ("compile_s", Common.Json.Float dt) ])
+    measured
 
 let h0_part () =
   Common.section "H0: every OBDD is exponential (≥ (2^n - 1)/n, Thm. 7.1(i)(b))";
-  let rows =
+  let measured =
     List.map
       (fun n ->
         let db = Gen.h0_db ~seed:n ~n () in
         let ctx, f = lineage_of db Q.h0_forall.Q.query in
         ignore ctx;
         let m = Kc.Obdd.manager ~max_nodes:3_000_000 ~order:(Kc.Obdd.default_order f) () in
-        let size =
+        let obdd_nodes =
           match Kc.Obdd.of_formula m f with
-          | bdd -> string_of_int (Kc.Obdd.size bdd)
-          | exception Kc.Obdd.Node_limit _ -> "> 3e6 (cap)"
+          | bdd -> Some (Kc.Obdd.size bdd)
+          | exception Kc.Obdd.Node_limit _ -> None
         in
         let bound = (Float.pow 2.0 (float_of_int n) -. 1.0) /. float_of_int n in
         (* decision-DNNF trace for the same lineage *)
@@ -57,16 +74,31 @@ let h0_part () =
           if n <= 8 then begin
             let ctx2, f2 = lineage_of db Q.h0_forall.Q.query in
             let r = Dpll.count ~prob:(Lineage.prob ctx2) f2 in
-            string_of_int r.Dpll.trace_size
+            Some r.Dpll.trace_size
           end
-          else "skipped"
+          else None
         in
-        [ string_of_int n; size; Printf.sprintf "%.0f" bound; trace ])
+        (n, obdd_nodes, bound, trace))
       [ 2; 4; 6; 8; 10; 12 ]
   in
   Common.table
     ([ "n"; "OBDD size (first-appearance order)"; "(2^n-1)/n bound"; "decision-DNNF trace" ]
-    :: rows)
+    :: List.map
+         (fun (n, obdd_nodes, bound, trace) ->
+           [ string_of_int n;
+             (match obdd_nodes with Some s -> string_of_int s | None -> "> 3e6 (cap)");
+             Printf.sprintf "%.0f" bound;
+             (match trace with Some s -> string_of_int s | None -> "skipped") ])
+         measured);
+  List.map
+    (fun (n, obdd_nodes, bound, trace) ->
+      let opt = function Some i -> Common.Json.Int i | None -> Common.Json.Null in
+      Common.Json.Obj
+        [ ("n", Common.Json.Int n);
+          ("obdd_nodes", opt obdd_nodes);
+          ("lower_bound", Common.Json.Float bound);
+          ("ddnnf_trace_nodes", opt trace) ])
+    measured
 
 let order_ablation () =
   Common.section "variable-order ablation on the hierarchical query";
@@ -95,9 +127,12 @@ let order_ablation () =
 
 let run () =
   Common.header "E6: OBDD and decision-DNNF sizes of query lineages (Thm. 7.1(i))";
-  hierarchical_part ();
-  h0_part ();
-  order_ablation ()
+  let hier_rows = hierarchical_part () in
+  let h0_rows = h0_part () in
+  order_ablation ();
+  Common.bench_json "e06_obdd_size"
+    [ ("hierarchical_chain", Common.Json.List hier_rows);
+      ("h0", Common.Json.List h0_rows) ]
 
 let bechamel_tests =
   let q = Q.hierarchical_chain 1 in

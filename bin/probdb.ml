@@ -4,7 +4,8 @@
    are "v1,...,vk,probability"). Queries are first-order sentences in the
    concrete syntax of Probdb_logic.Parser.
 
-     probdb eval     --db data/ "exists x y. R(x) && S(x,y)"
+     probdb eval     --db data/ --stats "exists x y. R(x) && S(x,y)"
+     probdb explain  --db data/ "exists x y. R(x) && S(x,y)"
      probdb classify "forall x y. R(x) || S(x,y) || T(y)"
      probdb plan     --db data/ "exists x y. R(x) && S(x,y) && T(y)"
      probdb lineage  --db data/ "exists x y. R(x) && S(x,y)"
@@ -19,6 +20,8 @@ module E = Probdb_engine.Engine
 module Lift = Probdb_lifted.Lift
 module Lineage = Probdb_lineage.Lineage
 module P = Probdb_plans
+module Obs = Probdb_obs
+module Stats = Probdb_obs.Stats
 
 let query_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"The query sentence.")
@@ -82,16 +85,38 @@ let samples_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Trace lifted-inference rule applications.")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print per-query statistics (phase timings, rule counts, circuit sizes).")
+
+let stats_json_arg =
+  Arg.(
+    value & flag
+    & info [ "stats-json" ]
+        ~doc:"Emit the per-query statistics as JSON on stdout (schema: docs/STATS.md).")
+
 let setup_verbose verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.Src.set_level Lift.log_src (Some Logs.Debug)
   end
 
-let eval_run db_dir text free meth samples verbose =
+(* Parse into the stats record so [--stats] reports parse time too. *)
+let with_timed_query stats ?(free = []) text k =
+  match Stats.time_phase stats Stats.Parse (fun () -> L.Parser.parse ~free text) with
+  | q -> k q
+  | exception L.Parser.Error msg -> fail "parse error: %s" msg
+
+let print_stats_json stats = print_endline (Obs.Json.to_string ~pretty:true (Stats.to_json stats))
+
+let eval_run db_dir text free meth samples verbose show_stats stats_json =
   setup_verbose verbose;
   with_db db_dir @@ fun db ->
-  with_query ~free text @@ fun q ->
+  let stats = Stats.create () in
+  stats.Stats.query <- Some text;
+  with_timed_query stats ~free text @@ fun q ->
   let config =
     let base = { E.default_config with E.kl_samples = samples } in
     match meth with None -> base | Some s -> { base with E.strategies = [ s ] }
@@ -99,21 +124,45 @@ let eval_run db_dir text free meth samples verbose =
   let print_report r = Format.printf "%a@." E.pp_report r in
   match free with
   | [] -> (
-      match E.evaluate ~config db q with
+      match E.evaluate ~config ~stats db q with
       | r ->
-          print_report r;
+          if stats_json then print_stats_json r.E.stats
+          else begin
+            print_report r;
+            if show_stats then Format.printf "%a" Stats.pp r.E.stats
+          end;
           `Ok ()
       | exception E.No_method skipped ->
           fail "no method could evaluate the query:\n%s"
             (String.concat "\n"
                (List.map (fun (s, m) -> Printf.sprintf "  %s: %s" (E.strategy_name s) m) skipped)))
   | _ ->
-      List.iter
-        (fun (binding, r) ->
-          Format.printf "%s -> %a@."
-            (String.concat ", " (List.map Core.Value.to_string binding))
-            E.pp_report r)
-        (E.answers ~config ~free db q);
+      let answers = E.answers ~config ~free db q in
+      if stats_json then
+        print_endline
+          (Obs.Json.to_string ~pretty:true
+             (Obs.Json.Obj
+                [ ("query", Obs.Json.Str text);
+                  ( "bindings",
+                    Obs.Json.List
+                      (List.map
+                         (fun (binding, (r : E.report)) ->
+                           Obs.Json.Obj
+                             [ ( "binding",
+                                 Obs.Json.List
+                                   (List.map
+                                      (fun v -> Obs.Json.Str (Core.Value.to_string v))
+                                      binding) );
+                               ("stats", Stats.to_json r.E.stats) ])
+                         answers) ) ]))
+      else
+        List.iter
+          (fun (binding, r) ->
+            Format.printf "%s -> %a@."
+              (String.concat ", " (List.map Core.Value.to_string binding))
+              E.pp_report r;
+            if show_stats then Format.printf "%a" Stats.pp r.E.stats)
+          answers;
       `Ok ()
 
 let eval_cmd =
@@ -121,9 +170,104 @@ let eval_cmd =
     Term.(
       ret
         (const eval_run $ db_arg $ query_arg $ free_arg $ method_arg $ samples_arg
-       $ verbose_arg))
+       $ verbose_arg $ stats_arg $ stats_json_arg))
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a query's probability on a TID.") term
+
+(* ---------- explain ---------- *)
+
+(* A Logs reporter that appends every rendered message to a list — used to
+   capture the lifted-inference derivation trace for [probdb explain]. *)
+let capture_reporter out =
+  { Logs.report =
+      (fun _src _level ~over k msgf ->
+        msgf (fun ?header:_ ?tags:_ fmt ->
+            Format.kasprintf
+              (fun s ->
+                out s;
+                over ();
+                k ())
+              fmt)) }
+
+let explain_run db_dir text =
+  with_db db_dir @@ fun db ->
+  let stats = Stats.create () in
+  stats.Stats.query <- Some text;
+  with_timed_query stats text @@ fun q ->
+  Format.printf "query:     %a@." L.Fo.pp q;
+  (match L.Ucq.of_sentence q with
+  | ucq, mode ->
+      Format.printf "UCQ form:  %a (%s)@." L.Ucq.pp ucq
+        (match mode with L.Ucq.Direct -> "direct" | L.Ucq.Complemented -> "complemented")
+  | exception L.Ucq.Unsupported msg ->
+      Format.printf "UCQ form:  outside the unate fragment (%s)@." msg);
+  let verdict, _ =
+    Stats.time_phase stats Stats.Classify (fun () -> (Lift.classify q, ()))
+  in
+  Format.printf "safety:    %a@." Lift.pp_verdict verdict;
+  (* run the engine while capturing the lifted derivation *)
+  let trace = ref [] in
+  let saved_reporter = Logs.reporter () in
+  Logs.set_reporter (capture_reporter (fun s -> trace := s :: !trace));
+  Logs.Src.set_level Lift.log_src (Some Logs.Debug);
+  let result =
+    match E.evaluate ~stats db q with
+    | r -> Ok r
+    | exception E.No_method skipped -> Error skipped
+  in
+  Logs.Src.set_level Lift.log_src None;
+  Logs.set_reporter saved_reporter;
+  match result with
+  | Error skipped ->
+      fail "no method could evaluate the query:\n%s"
+        (String.concat "\n"
+           (List.map (fun (s, m) -> Printf.sprintf "  %s: %s" (E.strategy_name s) m) skipped))
+  | Ok r ->
+      Format.printf "strategy:  %s@." (E.strategy_name r.E.strategy);
+      Format.printf "answer:    %a@."
+        (fun ppf -> function
+          | E.Exact v -> Format.fprintf ppf "%.9g (exact)" v
+          | E.Approximate { value; std_error } ->
+              Format.fprintf ppf "%.9g (±%.2g at 95%%)" value (1.96 *. std_error))
+        r.E.outcome;
+      List.iter
+        (fun (s, reason) ->
+          Format.printf "skipped:   %s (%s)@." (E.strategy_name s) reason)
+        r.E.skipped;
+      let derivation = List.rev !trace in
+      if derivation <> [] then begin
+        Format.printf "@.lifted-rule derivation:@.";
+        List.iter (fun line -> Format.printf "  %s@." line) derivation
+      end;
+      (* for safe plans, show the plan itself *)
+      (match r.E.strategy with
+      | E.Safe_plan -> (
+          match L.Ucq.of_sentence q with
+          | ucq, L.Ucq.Direct -> (
+              match L.Ucq.minimize ucq with
+              | [ cq ] -> (
+                  match P.Plan.safe_plan cq with
+                  | Some plan -> Format.printf "@.safe plan: %s@." (P.Plan.to_string plan)
+                  | None -> ())
+              | _ -> ())
+          | _ | (exception L.Ucq.Unsupported _) -> ())
+      | _ -> ());
+      (match r.E.stats.Stats.circuit with
+      | Some c ->
+          Format.printf "@.compiled circuit: %s, %d nodes, %d edges@."
+            c.Stats.circuit_class c.Stats.nodes c.Stats.edges
+      | None -> ());
+      Format.printf "@.--- stats ---@.%a" Stats.pp r.E.stats;
+      `Ok ()
+
+let explain_cmd =
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain how a query is evaluated: strategy choice, skip reasons, the \
+          lifted-rule derivation trace, the safe plan or compiled-circuit size, and \
+          per-phase timings.")
+    Term.(ret (const explain_run $ db_arg $ query_arg))
 
 (* ---------- classify ---------- *)
 
@@ -303,4 +447,7 @@ let () =
     Cmd.info "probdb" ~version:"1.0.0"
       ~doc:"A probabilistic database engine (PODS'20 'Probabilistic Databases for All')."
   in
-  exit (Cmd.eval (Cmd.group info [ eval_cmd; classify_cmd; plan_cmd; lineage_cmd; compile_cmd; gen_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ eval_cmd; explain_cmd; classify_cmd; plan_cmd; lineage_cmd; compile_cmd; gen_cmd ]))

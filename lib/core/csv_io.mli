@@ -6,14 +6,16 @@
     are ignored. Values parse per {!Value.of_string}. *)
 
 val load_relation : string -> string -> Relation.t
-(** [load_relation name path] reads one CSV file. Raises [Failure] with a
-    line-numbered message on malformed input. *)
+(** [load_relation name path] reads one CSV file.
+
+    @raise Failure with a line-numbered message on malformed input. *)
 
 val load_dir : string -> Tid.t
 (** Loads every [*.csv] file in the directory as a relation named after the
     file. *)
 
 val save_relation : string -> Relation.t -> unit
+(** [save_relation path r] writes [r] to one CSV file at [path]. *)
 
 val save_dir : string -> Tid.t -> unit
 (** Creates the directory if needed and writes one CSV per relation. *)

@@ -14,8 +14,9 @@
 type t
 
 val make : Schema.t -> (Tuple.t * float) list -> t
-(** Builds a relation. Raises [Invalid_argument] on an arity mismatch or a
-    duplicate tuple. *)
+(** Builds a relation.
+
+    @raise Invalid_argument on an arity mismatch or a duplicate tuple. *)
 
 val of_list : string -> (Tuple.t * float) list -> t
 (** [of_list name rows] infers the arity from the first row. An empty [rows]
@@ -35,9 +36,16 @@ val mem : t -> Tuple.t -> bool
 (** True iff the tuple is listed (even with probability 0). *)
 
 val cardinal : t -> int
+(** Number of listed tuples. *)
+
 val tuples : t -> Tuple.t list
+(** Listed tuples, sorted. *)
+
 val rows : t -> (Tuple.t * float) list
+(** Listed tuples with their marginals, sorted by tuple. *)
+
 val fold : (Tuple.t -> float -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over [rows] in sorted order. *)
 
 val map_probs : (Tuple.t -> float -> float) -> t -> t
 (** Rewrites every probability; used e.g. by the lower-bound construction of

@@ -10,11 +10,13 @@ type t = {
 }
 
 val make : string -> string list -> t
+(** [make name attrs] builds a schema with the given attribute names. *)
 
 val of_arity : string -> int -> t
 (** [of_arity name k] names the attributes [a1 ... ak]. *)
 
 val arity : t -> int
+(** Number of attributes. *)
 
 val equal : t -> t -> bool
 

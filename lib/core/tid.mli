@@ -8,17 +8,21 @@
 type t
 
 val make : ?domain:Value.t list -> Relation.t list -> t
-(** Builds a TID. The domain is the active domain (every value appearing in
-    some tuple) union the optional [domain] list, which lets callers declare
-    domain values that appear in no tuple. Raises [Invalid_argument] if two
-    relations share a name. *)
+(** Builds a TID.
+
+    @param domain extra domain values that appear in no tuple; the full
+      domain is the active domain (every value appearing in some tuple)
+      union this list.
+    @raise Invalid_argument if two relations share a name. *)
 
 val relations : t -> Relation.t list
 
 val relation : t -> string -> Relation.t
-(** Raises [Not_found] if no relation with that name exists. *)
+(** @raise Not_found if no relation with that name exists. *)
 
 val relation_opt : t -> string -> Relation.t option
+(** Like {!relation} but total. *)
+
 val mem_relation : t -> string -> bool
 
 val domain : t -> Value.t list
@@ -40,11 +44,14 @@ val is_standard : t -> bool
 (** True iff every probability lies in [0, 1]. *)
 
 val map_probs : (string -> Tuple.t -> float -> float) -> t -> t
+(** Rewrites every marginal; the callback sees relation name, tuple, and the
+    current probability. *)
 
 val add_relation : t -> Relation.t -> t
-(** Raises [Invalid_argument] if a relation with that name already exists. *)
+(** @raise Invalid_argument if a relation with that name already exists. *)
 
 val replace_relation : t -> Relation.t -> t
+(** Replaces the same-named relation, or adds it when absent. *)
 
 val restrict : t -> string list -> t
 (** Keeps only the named relations (same domain). *)

@@ -16,10 +16,14 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 
 val hash : t -> int
+(** Hash compatible with {!equal}, for use in [Hashtbl] keys. *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints the payload without the constructor: [7], [abc], [true]. *)
 
 val to_string : t -> string
+(** Same rendering as {!pp}; inverse of {!of_string} for round-trippable
+    payloads. *)
 
 val of_string : string -> t
 (** [of_string s] parses [s] as an [Int] if it looks like an integer, as a
@@ -27,5 +31,7 @@ val of_string : string -> t
     loader. *)
 
 val int : int -> t
+(** [int i] is [Int i]. *)
 
 val str : string -> t
+(** [str s] is [Str s]. *)

@@ -5,16 +5,29 @@
     database is a distribution over worlds (Sec. 2 of the paper). *)
 
 type fact = string * Tuple.t
+(** A relation name applied to a tuple, e.g. [("S", [1; 2])]. *)
 
 type t
 
 val empty : t
+(** The world with no facts. *)
+
 val of_facts : fact list -> t
+(** Builds a world from a fact list; duplicates collapse. *)
+
 val add : fact -> t -> t
+
 val remove : fact -> t -> t
+
 val mem : t -> string -> Tuple.t -> bool
+(** [mem w r t] is true iff fact [(r, t)] holds in [w]. *)
+
 val facts : t -> fact list
+(** All facts, sorted. *)
+
 val cardinal : t -> int
+(** Number of facts. *)
+
 val union : t -> t -> t
 
 val tuples_of : t -> string -> Tuple.t list

@@ -25,7 +25,22 @@ let fbdd_config = { default_config with use_components = false }
 
 exception Decision_limit of int
 
-type stats = { decisions : int; cache_hits : int; component_splits : int }
+type stats = {
+  decisions : int;
+  unit_propagations : int;
+  cache_hits : int;
+  cache_queries : int;
+  component_splits : int;
+  cache_entries : int;
+}
+
+let obs_counts (s : stats) : Probdb_obs.Stats.dpll_counts =
+  { Probdb_obs.Stats.branches = s.decisions;
+    unit_propagations = s.unit_propagations;
+    cache_hits = s.cache_hits;
+    cache_queries = s.cache_queries;
+    component_splits = s.component_splits;
+    cache_entries = s.cache_entries }
 
 type result = { prob : float; circuit : Circuit.t; trace_size : int; stats : stats }
 
@@ -98,13 +113,22 @@ let choose_var cfg f =
 let count ?(config = default_config) ~prob f =
   let builder = Circuit.builder () in
   let cache : (string, float * Circuit.t) Hashtbl.t = Hashtbl.create 1024 in
-  let decisions = ref 0 and cache_hits = ref 0 and component_splits = ref 0 in
+  let decisions = ref 0
+  and unit_propagations = ref 0
+  and cache_hits = ref 0
+  and cache_queries = ref 0
+  and component_splits = ref 0 in
   let rec go f =
     match f with
-    | F.True -> (1.0, Circuit.tru builder)
-    | F.False -> (0.0, Circuit.fls builder)
+    | F.True ->
+        incr unit_propagations;
+        (1.0, Circuit.tru builder)
+    | F.False ->
+        incr unit_propagations;
+        (0.0, Circuit.fls builder)
     | _ -> (
         let key = if config.use_cache then Some (F.to_key f) else None in
+        if Option.is_some key then incr cache_queries;
         match Option.bind key (Hashtbl.find_opt cache) with
         | Some hit ->
             incr cache_hits;
@@ -146,6 +170,11 @@ let count ?(config = default_config) ~prob f =
     circuit;
     trace_size = Circuit.size circuit;
     stats =
-      { decisions = !decisions; cache_hits = !cache_hits; component_splits = !component_splits } }
+      { decisions = !decisions;
+        unit_propagations = !unit_propagations;
+        cache_hits = !cache_hits;
+        cache_queries = !cache_queries;
+        component_splits = !component_splits;
+        cache_entries = Hashtbl.length cache } }
 
 let probability ?config ~prob f = (count ?config ~prob f).prob

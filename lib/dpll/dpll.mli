@@ -38,10 +38,19 @@ val fbdd_config : config
 exception Decision_limit of int
 
 type stats = {
-  decisions : int;  (** Shannon expansions performed *)
+  decisions : int;  (** Shannon expansions performed (branches) *)
+  unit_propagations : int;
+      (** subproblems that collapsed to a constant after conditioning — the
+          formula-prover analogue of unit propagation *)
   cache_hits : int;
+  cache_queries : int;  (** cache lookups; hit rate = hits/queries *)
   component_splits : int;
+  cache_entries : int;  (** distinct subformulas memoised over the run *)
 }
+
+val obs_counts : stats -> Probdb_obs.Stats.dpll_counts
+(** The same counters in the shape of the observability layer's per-query
+    record; used by the engine and the CLI. *)
 
 type result = {
   prob : float;

@@ -7,6 +7,9 @@ module Obdd = Probdb_kc.Obdd
 module Dpll = Probdb_dpll.Dpll
 module Plan = Probdb_plans.Plan
 module Karp_luby = Probdb_approx.Karp_luby
+module Stats = Probdb_obs.Stats
+module Clock = Probdb_obs.Clock
+module Counter = Probdb_obs.Counter
 
 type strategy =
   | Lifted
@@ -58,15 +61,19 @@ type report = {
   outcome : outcome;
   strategy : strategy;
   skipped : (strategy * string) list;
+  stats : Stats.t;
 }
 
 exception No_method of (strategy * string) list
 
 type attempt = Ok_outcome of outcome | Skip of string
 
-let try_lifted db q =
-  match Lift.probability db q with
-  | p -> Ok_outcome (Exact p)
+let try_lifted stats db q =
+  let rule_stats = Lift.fresh_stats () in
+  match Lift.probability ~stats:rule_stats db q with
+  | p ->
+      stats.Stats.lifted <- Some (Lift.obs_counts rule_stats);
+      Ok_outcome (Exact p)
   | exception Lift.Unsafe msg -> Skip ("rules fail: " ^ msg)
   | exception Ucq.Unsupported msg -> Skip ("fragment: " ^ msg)
 
@@ -123,7 +130,7 @@ let try_read_once db q =
             | Some p -> Ok_outcome (Exact (Ucq.apply_mode mode p))
             | None -> Skip "lineage is not read-once"))
 
-let try_safe_plan db q =
+let try_safe_plan stats db q =
   match Ucq.of_sentence q with
   | exception Ucq.Unsupported msg -> Skip ("fragment: " ^ msg)
   | ucq, Ucq.Complemented ->
@@ -135,13 +142,16 @@ let try_safe_plan db q =
         when Probdb_logic.Cq.is_self_join_free cq
              && not (List.exists (fun (a : Probdb_logic.Cq.atom) -> a.Probdb_logic.Cq.comp) cq)
         -> (
-          match Plan.safe_plan cq with
-          | Some plan -> Ok_outcome (Exact (Plan.boolean_prob db plan))
+          match Stats.time_phase stats Stats.Plan (fun () -> Plan.safe_plan cq) with
+          | Some plan ->
+              let p, plan_counts = Plan.boolean_prob_counting db plan in
+              stats.Stats.plan <- Some plan_counts;
+              Ok_outcome (Exact p)
           | None -> Skip "no safe plan (non-hierarchical)")
       | [ _ ] -> Skip "CQ has self-joins or negated atoms"
       | _ -> Skip "not a single CQ")
 
-let try_obdd config db q =
+let try_obdd config stats db q =
   let ctx = Lineage.create db in
   match Lineage.of_query ctx q with
   | exception Invalid_argument msg -> Skip msg
@@ -150,10 +160,12 @@ let try_obdd config db q =
         Obdd.manager ~max_nodes:config.obdd_max_nodes ~order:(Obdd.default_order f) ()
       in
       match Obdd.of_formula manager f with
-      | bdd -> Ok_outcome (Exact (Obdd.wmc manager (Lineage.prob ctx) bdd))
+      | bdd ->
+          stats.Stats.circuit <- Some (Obdd.obs_counts bdd);
+          Ok_outcome (Exact (Obdd.wmc manager (Lineage.prob ctx) bdd))
       | exception Obdd.Node_limit n -> Skip (Printf.sprintf "node budget %d exceeded" n))
 
-let try_dpll config db q =
+let try_dpll config stats db q =
   let ctx = Lineage.create db in
   match Lineage.of_query ctx q with
   | exception Invalid_argument msg -> Skip msg
@@ -161,8 +173,14 @@ let try_dpll config db q =
       let dpll_config =
         { Dpll.default_config with Dpll.max_decisions = config.dpll_max_decisions }
       in
-      match Dpll.probability ~config:dpll_config ~prob:(Lineage.prob ctx) f with
-      | p -> Ok_outcome (Exact p)
+      match Dpll.count ~config:dpll_config ~prob:(Lineage.prob ctx) f with
+      | r ->
+          stats.Stats.dpll <- Some (Dpll.obs_counts r.Dpll.stats);
+          stats.Stats.circuit <- Some (Probdb_kc.Circuit.obs_counts r.Dpll.circuit);
+          stats.Stats.memo_hit_rate <-
+            Stats.hit_rate ~hits:r.Dpll.stats.Dpll.cache_hits
+              ~queries:r.Dpll.stats.Dpll.cache_queries;
+          Ok_outcome (Exact r.Dpll.prob)
       | exception Dpll.Decision_limit n ->
           Skip (Printf.sprintf "decision budget %d exceeded" n))
 
@@ -193,25 +211,51 @@ let try_world_enum config db q =
          (Core.Tid.support_size db) config.max_enum_support)
   else Ok_outcome (Exact (Probdb_logic.Brute_force.probability db q))
 
-let attempt config db q = function
-  | Lifted -> try_lifted db q
+let attempt config stats db q = function
+  | Lifted -> try_lifted stats db q
   | Symmetric -> try_symmetric db q
-  | Safe_plan -> try_safe_plan db q
+  | Safe_plan -> try_safe_plan stats db q
   | Read_once -> try_read_once db q
-  | Obdd -> try_obdd config db q
-  | Dpll -> try_dpll config db q
+  | Obdd -> try_obdd config stats db q
+  | Dpll -> try_dpll config stats db q
   | Karp_luby -> try_karp_luby config db q
   | World_enum -> try_world_enum config db q
 
-let evaluate ?(config = default_config) db q =
+let evaluate ?(config = default_config) ?stats db q =
   if not (Fo.is_sentence q) then
     invalid_arg "Engine.evaluate: open formula (use Engine.answers)";
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  if stats.Stats.query = None then
+    stats.Stats.query <- Some (Format.asprintf "%a" Fo.pp q);
+  Counter.incr "engine.queries";
   let rec go skipped = function
-    | [] -> raise (No_method (List.rev skipped))
+    | [] ->
+        stats.Stats.skipped <-
+          List.rev_map (fun (s, m) -> (strategy_name s, m)) skipped;
+        raise (No_method (List.rev skipped))
     | s :: rest -> (
-        match attempt config db q s with
-        | Ok_outcome outcome -> { outcome; strategy = s; skipped = List.rev skipped }
-        | Skip reason -> go ((s, reason) :: skipped) rest)
+        (* [Plan.safe_plan] time lands in the Plan phase inside the attempt;
+           subtract it so Classify/Solve only get what is really theirs. *)
+        let plan_before = stats.Stats.plan_s in
+        let result, dt = Clock.time (fun () -> attempt config stats db q s) in
+        let dt = Float.max 0.0 (dt -. (stats.Stats.plan_s -. plan_before)) in
+        match result with
+        | Ok_outcome outcome ->
+            Stats.record_phase stats Stats.Solve dt;
+            stats.Stats.strategy <- Some (strategy_name s);
+            stats.Stats.probability <- Some (value outcome);
+            (match outcome with
+            | Exact _ -> stats.Stats.exact <- true
+            | Approximate { std_error; _ } ->
+                stats.Stats.exact <- false;
+                stats.Stats.std_error <- Some std_error);
+            stats.Stats.skipped <-
+              List.rev_map (fun (s, m) -> (strategy_name s, m)) skipped;
+            Counter.incr ("engine.strategy." ^ strategy_name s);
+            { outcome; strategy = s; skipped = List.rev skipped; stats }
+        | Skip reason ->
+            Stats.record_phase stats Stats.Classify dt;
+            go ((s, reason) :: skipped) rest)
   in
   go [] config.strategies
 

@@ -64,12 +64,27 @@ type report = {
   outcome : outcome;
   strategy : strategy;  (** the method that produced the answer *)
   skipped : (strategy * string) list;  (** earlier methods and why they failed *)
+  stats : Probdb_obs.Stats.t;
+      (** per-query observability record: phase timings, lifted-rule tally,
+          DPLL counters, circuit sizes, plan cardinalities (docs/STATS.md) *)
 }
 
 exception No_method of (strategy * string) list
 (** Every configured strategy failed; the payload says why. *)
 
-val evaluate : ?config:config -> Probdb_core.Tid.t -> Probdb_logic.Fo.t -> report
+val evaluate :
+  ?config:config -> ?stats:Probdb_obs.Stats.t -> Probdb_core.Tid.t ->
+  Probdb_logic.Fo.t -> report
+(** Tries the configured strategies in order and returns the first answer.
+    Always-on instrumentation: phase timings and per-solver counters are
+    recorded into [stats] (a fresh record when not supplied) and returned
+    in the report. Pass [?stats] to carry CLI-side timings (e.g. parse
+    time) into the same record.
+
+    @param config strategy list and budgets (default {!default_config}).
+    @param stats the record to fill; freshly created when absent.
+    @raise Invalid_argument on open formulas — use {!answers}.
+    @raise No_method when every configured strategy is skipped. *)
 
 val probability : ?config:config -> Probdb_core.Tid.t -> Probdb_logic.Fo.t -> float
 (** The numeric value of {!evaluate}'s outcome. *)

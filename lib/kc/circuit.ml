@@ -241,3 +241,14 @@ let pp ?(label = fun v -> "x" ^ string_of_int v) () ppf root =
           cs
   in
   go ppf root
+
+let kind_name = function
+  | Obdd_like -> "obdd"
+  | Fbdd -> "fbdd"
+  | Decision_dnnf -> "decision-dnnf"
+  | Extended -> "extended"
+
+let obs_counts ?order root : Probdb_obs.Stats.circuit_counts =
+  { Probdb_obs.Stats.circuit_class = kind_name (kind ~order root);
+    nodes = size root;
+    edges = edge_count root }

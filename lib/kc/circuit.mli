@@ -74,6 +74,15 @@ val kind : order:int list option -> t -> kind
     [Extended]. Assumes {!check_decomposable} and read-once paths hold
     (guaranteed for DPLL traces, verified by {!check}). *)
 
+val kind_name : kind -> string
+(** ["obdd"], ["fbdd"], ["decision-dnnf"] or ["extended"] — the class
+    labels used in the stats JSON schema (docs/STATS.md). *)
+
+val obs_counts : ?order:int list -> t -> Probdb_obs.Stats.circuit_counts
+(** Size of the circuit in the shape of the observability layer's
+    per-query record: class per {!kind} (with [order] forwarded), node and
+    edge counts per {!size} and {!edge_count}. *)
+
 val check : t -> (unit, string) result
 (** Structural validity: decision variables are not re-read below either
     branch, and [And_]/[Ior] children have pairwise disjoint scopes. *)

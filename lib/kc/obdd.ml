@@ -210,3 +210,8 @@ let default_order f =
   in
   go f;
   List.rev !out
+
+let obs_counts root : Probdb_obs.Stats.circuit_counts =
+  (* every internal OBDD node has exactly two out-edges *)
+  let n = size root in
+  { Probdb_obs.Stats.circuit_class = "obdd"; nodes = n; edges = 2 * n }

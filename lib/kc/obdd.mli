@@ -45,6 +45,10 @@ val sat_count : manager -> over_vars:int -> t -> float
 val to_circuit : Circuit.builder -> t -> Circuit.t
 (** The OBDD as a decision circuit (every OBDD is an FBDD, Fig. 2). *)
 
+val obs_counts : t -> Probdb_obs.Stats.circuit_counts
+(** {!size} in the observability layer's circuit record (class ["obdd"],
+    two out-edges per internal node). *)
+
 val default_order : Probdb_boolean.Formula.t -> int list
 (** Variable order by first appearance in the formula — a reasonable
     default. *)

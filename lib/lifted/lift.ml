@@ -22,6 +22,7 @@ type stats = {
   mutable ie_expansions : int;
   mutable ie_terms : int;
   mutable cancelled_terms : int;
+  mutable negations : int;
   mutable base_lookups : int;
 }
 
@@ -32,7 +33,18 @@ let fresh_stats () =
     ie_expansions = 0;
     ie_terms = 0;
     cancelled_terms = 0;
+    negations = 0;
     base_lookups = 0 }
+
+let obs_counts (s : stats) : Probdb_obs.Stats.lifted_rules =
+  { Probdb_obs.Stats.independent_unions = s.independent_unions;
+    independent_joins = s.independent_joins;
+    separator_steps = s.separator_steps;
+    ie_expansions = s.ie_expansions;
+    ie_terms = s.ie_terms;
+    cancelled_terms = s.cancelled_terms;
+    negations = s.negations;
+    base_lookups = s.base_lookups }
 
 (* A clause is a disjunction of variable-connected CQ components; a query is
    a conjunction of clauses. [] is the empty conjunction (true); [[]]
@@ -192,7 +204,11 @@ let eval_query config stats db (q0 : query) =
   let base (a : Cq.atom) tuple =
     stats.base_lookups <- stats.base_lookups + 1;
     let p = Core.Tid.prob db a.Cq.rel tuple in
-    if a.Cq.comp then 1.0 -. p else p
+    if a.Cq.comp then begin
+      stats.negations <- stats.negations + 1;
+      1.0 -. p
+    end
+    else p
   in
   let rec prob_query q =
     let q = conj_minimize (List.map clause_minimize q) in

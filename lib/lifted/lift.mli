@@ -53,15 +53,24 @@ val no_cancellation : config
 
 type stats = {
   mutable independent_unions : int;
+      (** independent-∨ / independent-∃ splits (rule (7)) *)
   mutable independent_joins : int;
-  mutable separator_steps : int;
+      (** independent-∧ / independent-∀ splits (the dual of rule (7)) *)
+  mutable separator_steps : int;  (** separator-variable applications (rule (8)) *)
   mutable ie_expansions : int;  (** inclusion–exclusion applications *)
   mutable ie_terms : int;  (** terms recursed into after cancellation *)
   mutable cancelled_terms : int;  (** subset-sum terms removed by cancellation *)
-  mutable base_lookups : int;
+  mutable negations : int;  (** complemented ground atoms evaluated as [1-p] *)
+  mutable base_lookups : int;  (** ground-tuple probability reads *)
 }
 
 val fresh_stats : unit -> stats
+(** A zeroed counter record, ready to pass as [~stats]. *)
+
+val obs_counts : stats -> Probdb_obs.Stats.lifted_rules
+(** The same tallies in the shape of the observability layer's per-query
+    record ({!Probdb_obs.Stats.t}); used by the engine and the CLI to
+    report rule applications. *)
 
 val probability :
   ?config:config -> ?stats:stats -> Probdb_core.Tid.t -> Probdb_logic.Fo.t -> float

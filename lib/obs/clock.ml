@@ -1,0 +1,19 @@
+let epoch = Unix.gettimeofday ()
+
+(* Highest timestamp handed out so far; [now] never returns less. *)
+let last = Atomic.make 0.0
+
+let now () =
+  let t = Unix.gettimeofday () -. epoch in
+  let rec clamp () =
+    let prev = Atomic.get last in
+    if t <= prev then prev
+    else if Atomic.compare_and_set last prev t then t
+    else clamp ()
+  in
+  clamp ()
+
+let time f =
+  let t0 = now () in
+  let result = f () in
+  (result, now () -. t0)

@@ -1,0 +1,17 @@
+(** A cheap monotonic clock for the observability layer.
+
+    The container's OCaml has no [Mtime]/[clock_gettime] binding, so this
+    is [Unix.gettimeofday] anchored at module initialisation and clamped to
+    be non-decreasing across all domains: [now] never goes backwards even
+    if the system clock is stepped. Resolution is therefore that of
+    [gettimeofday] (microseconds); good enough for per-query phase timings,
+    not for nanosecond microbenchmarks (use Bechamel in [bench/] for
+    those). *)
+
+val now : unit -> float
+(** Seconds since the process loaded this module; non-negative and
+    monotonically non-decreasing, also under concurrent callers. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed seconds
+    (always [>= 0.]). Exceptions from [f] propagate unchanged. *)

@@ -1,0 +1,27 @@
+let table : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let cell name =
+  match Hashtbl.find_opt table name with
+  | Some c -> c
+  | None ->
+      Mutex.protect registry_lock (fun () ->
+          match Hashtbl.find_opt table name with
+          | Some c -> c
+          | None ->
+              let c = Atomic.make 0 in
+              Hashtbl.add table name c;
+              c)
+
+let add name n = ignore (Atomic.fetch_and_add (cell name) n)
+let incr name = add name 1
+let get name = match Hashtbl.find_opt table name with Some c -> Atomic.get c | None -> 0
+
+let snapshot () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.fold (fun name c acc -> (name, Atomic.get c) :: acc) table [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c 0) table)

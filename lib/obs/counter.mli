@@ -1,0 +1,26 @@
+(** Always-on named counters, safe under parallel domains.
+
+    A process-global registry of [string -> int] counters backed by
+    [Atomic.t]: incrementing an existing counter is one atomic
+    fetch-and-add, so counters can stay enabled in production paths. Used
+    for engine-wide tallies that outlive a single query (queries evaluated,
+    strategies chosen, cache activity); per-query numbers live in
+    {!Stats.t} instead. *)
+
+val incr : string -> unit
+(** [incr name] adds 1, creating the counter at 0 first if needed. *)
+
+val add : string -> int -> unit
+(** [add name n] adds [n] (which may be negative).
+
+    @param n the increment. *)
+
+val get : string -> int
+(** Current value; [0] for a counter never touched. *)
+
+val snapshot : unit -> (string * int) list
+(** All counters, sorted by name — the export hook for stats dumps. *)
+
+val reset : unit -> unit
+(** Zeroes every registered counter (tests only; counters stay
+    registered). *)

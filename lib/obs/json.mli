@@ -1,0 +1,43 @@
+(** A minimal JSON tree, encoder and parser.
+
+    The observability layer ships per-query statistics as JSON (CLI
+    [--stats-json], bench [BENCH_*.json]); the container deliberately has no
+    JSON dependency, so this module implements the small subset of
+    RFC 8259 the stats schema needs: the full value grammar on output, and
+    a strict recursive-descent parser on input (used by the round-trip
+    tests and by external tooling that re-reads bench output).
+
+    Not a general-purpose library: no streaming, no number-precision
+    guarantees beyond IEEE doubles, and [\uXXXX] escapes decode basic-plane
+    scalars plus surrogate pairs only. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialise. [Float] values that are NaN or infinite print as [null]
+    (JSON has no lexeme for them); integral floats keep a decimal point so
+    they round-trip as floats.
+
+    @param pretty two-space indentation and one member per line
+                  (default [false]: compact, no whitespace). *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of one JSON value followed only by whitespace. Numbers
+    without [.], [e] or [E] parse as [Int] when they fit in [int], as
+    [Float] otherwise.
+
+    @return [Error msg] with a character offset on malformed input. *)
+
+val member : string -> t -> t option
+(** [member k j] is the value bound to key [k] when [j] is an [Obj] that
+    binds it, [None] otherwise. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-prints as by [to_string ~pretty:true]. *)

@@ -1,0 +1,73 @@
+type node = {
+  name : string;
+  mutable total_s : float;
+  mutable count : int;
+  mutable children : node list;
+}
+
+type t = { root : node; mutable stack : (node * float) list }
+
+let fresh_node name = { name; total_s = 0.0; count = 0; children = [] }
+
+let create name =
+  let root = fresh_node name in
+  { root; stack = [ (root, Clock.now ()) ] }
+
+let top t =
+  match t.stack with
+  | (node, _) :: _ -> node
+  | [] -> invalid_arg "Span: collector already finished"
+
+let enter t name =
+  let parent = top t in
+  let child =
+    match List.find_opt (fun n -> String.equal n.name name) parent.children with
+    | Some n -> n
+    | None ->
+        let n = fresh_node name in
+        parent.children <- parent.children @ [ n ];
+        n
+  in
+  t.stack <- (child, Clock.now ()) :: t.stack
+
+let close_top t =
+  match t.stack with
+  | (node, t0) :: rest ->
+      node.total_s <- node.total_s +. (Clock.now () -. t0);
+      node.count <- node.count + 1;
+      t.stack <- rest
+  | [] -> invalid_arg "Span: collector already finished"
+
+let exit t =
+  match t.stack with
+  | [ _root ] -> invalid_arg "Span.exit: only the root span is open"
+  | _ -> close_top t
+
+let with_ t name f =
+  enter t name;
+  Fun.protect ~finally:(fun () -> exit t) f
+
+let finish t =
+  while t.stack <> [] do
+    close_top t
+  done;
+  t.root
+
+let root t = t.root
+
+let rec to_json n =
+  Json.Obj
+    ([ ("name", Json.Str n.name);
+       ("total_s", Json.Float n.total_s);
+       ("count", Json.Int n.count) ]
+    @ if n.children = [] then [] else [ ("children", Json.List (List.map to_json n.children)) ])
+
+let pp ppf n =
+  let rec go indent n =
+    Format.fprintf ppf "%s%-*s %10.3fms  x%d@."
+      (String.make indent ' ')
+      (max 1 (24 - indent))
+      n.name (n.total_s *. 1e3) n.count;
+    List.iter (go (indent + 2)) n.children
+  in
+  go 0 n

@@ -1,0 +1,49 @@
+(** Hierarchical wall-clock spans.
+
+    A span tree records where time goes inside one query evaluation:
+    entering a span starts a child of the currently open span, exiting
+    folds the elapsed time into it. Re-entering a name under the same
+    parent accumulates into the same node (so a span run in a loop shows
+    one line with a count, not one line per iteration). Collectors are
+    single-domain values — create one per query, not one per process. *)
+
+type node = {
+  name : string;
+  mutable total_s : float;  (** summed wall-clock seconds over all entries *)
+  mutable count : int;  (** how many times the span was entered *)
+  mutable children : node list;  (** in first-entry order *)
+}
+
+type t
+(** A collector: a root node plus the stack of currently open spans. *)
+
+val create : string -> t
+(** [create name] makes a collector whose root span [name] is already
+    open; {!finish} closes it. *)
+
+val enter : t -> string -> unit
+(** Opens (or re-opens) the child [name] of the innermost open span. *)
+
+val exit : t -> unit
+(** Closes the innermost open span, adding its elapsed time.
+
+    @raise Invalid_argument when only the root is open. *)
+
+val with_ : t -> string -> (unit -> 'a) -> 'a
+(** [with_ t name f] brackets [f] with {!enter}/{!exit}; the span is closed
+    also when [f] raises. *)
+
+val finish : t -> node
+(** Closes every span still open, including the root, and returns the
+    tree. The collector must not be used afterwards. *)
+
+val root : t -> node
+(** The root node, readable while collection is still running (open spans
+    show the time accumulated by completed entries only). *)
+
+val to_json : node -> Json.t
+(** [{"name": ..., "total_s": ..., "count": ..., "children": [...]}] —
+    empty [children] omitted. *)
+
+val pp : Format.formatter -> node -> unit
+(** An indented tree, one line per span: name, total, count. *)

@@ -1,0 +1,188 @@
+type lifted_rules = {
+  independent_unions : int;
+  independent_joins : int;
+  separator_steps : int;
+  ie_expansions : int;
+  ie_terms : int;
+  cancelled_terms : int;
+  negations : int;
+  base_lookups : int;
+}
+
+type dpll_counts = {
+  branches : int;
+  unit_propagations : int;
+  cache_hits : int;
+  cache_queries : int;
+  component_splits : int;
+  cache_entries : int;
+}
+
+type circuit_counts = { circuit_class : string; nodes : int; edges : int }
+
+type plan_counts = { operators : int; peak_rows : int }
+
+type phase = Parse | Classify | Plan | Solve
+
+type t = {
+  mutable query : string option;
+  mutable strategy : string option;
+  mutable probability : float option;
+  mutable exact : bool;
+  mutable std_error : float option;
+  mutable parse_s : float;
+  mutable classify_s : float;
+  mutable plan_s : float;
+  mutable solve_s : float;
+  mutable lifted : lifted_rules option;
+  mutable dpll : dpll_counts option;
+  mutable circuit : circuit_counts option;
+  mutable plan : plan_counts option;
+  mutable memo_hit_rate : float option;
+  mutable skipped : (string * string) list;
+}
+
+let create () =
+  { query = None;
+    strategy = None;
+    probability = None;
+    exact = true;
+    std_error = None;
+    parse_s = 0.0;
+    classify_s = 0.0;
+    plan_s = 0.0;
+    solve_s = 0.0;
+    lifted = None;
+    dpll = None;
+    circuit = None;
+    plan = None;
+    memo_hit_rate = None;
+    skipped = [] }
+
+let total_s t = t.parse_s +. t.classify_s +. t.plan_s +. t.solve_s
+
+let record_phase t phase dt =
+  let dt = Float.max 0.0 dt in
+  match phase with
+  | Parse -> t.parse_s <- t.parse_s +. dt
+  | Classify -> t.classify_s <- t.classify_s +. dt
+  | Plan -> t.plan_s <- t.plan_s +. dt
+  | Solve -> t.solve_s <- t.solve_s +. dt
+
+let time_phase t phase f =
+  let t0 = Clock.now () in
+  Fun.protect ~finally:(fun () -> record_phase t phase (Clock.now () -. t0)) f
+
+let hit_rate ~hits ~queries =
+  if queries = 0 then None else Some (float_of_int hits /. float_of_int queries)
+
+(* ---------- JSON ---------- *)
+
+let opt f = function None -> Json.Null | Some v -> f v
+
+let lifted_to_json (l : lifted_rules) =
+  Json.Obj
+    [ ("independent_unions", Json.Int l.independent_unions);
+      ("independent_joins", Json.Int l.independent_joins);
+      ("separator_steps", Json.Int l.separator_steps);
+      ("ie_expansions", Json.Int l.ie_expansions);
+      ("ie_terms", Json.Int l.ie_terms);
+      ("cancelled_terms", Json.Int l.cancelled_terms);
+      ("negations", Json.Int l.negations);
+      ("base_lookups", Json.Int l.base_lookups) ]
+
+let dpll_to_json (d : dpll_counts) =
+  Json.Obj
+    [ ("branches", Json.Int d.branches);
+      ("unit_propagations", Json.Int d.unit_propagations);
+      ("cache_hits", Json.Int d.cache_hits);
+      ("cache_queries", Json.Int d.cache_queries);
+      ("component_splits", Json.Int d.component_splits);
+      ("cache_entries", Json.Int d.cache_entries) ]
+
+let circuit_to_json (c : circuit_counts) =
+  Json.Obj
+    [ ("class", Json.Str c.circuit_class);
+      ("nodes", Json.Int c.nodes);
+      ("edges", Json.Int c.edges) ]
+
+let plan_to_json (p : plan_counts) =
+  Json.Obj
+    [ ("operators", Json.Int p.operators); ("peak_rows", Json.Int p.peak_rows) ]
+
+let to_json t =
+  Json.Obj
+    [ ("query", opt (fun s -> Json.Str s) t.query);
+      ("strategy", opt (fun s -> Json.Str s) t.strategy);
+      ("probability", opt (fun f -> Json.Float f) t.probability);
+      ("exact", Json.Bool t.exact);
+      ("std_error", opt (fun f -> Json.Float f) t.std_error);
+      ( "phases",
+        Json.Obj
+          [ ("parse_s", Json.Float t.parse_s);
+            ("classify_s", Json.Float t.classify_s);
+            ("plan_s", Json.Float t.plan_s);
+            ("solve_s", Json.Float t.solve_s);
+            ("total_s", Json.Float (total_s t)) ] );
+      ("lifted_rules", opt lifted_to_json t.lifted);
+      ("dpll", opt dpll_to_json t.dpll);
+      ("circuit", opt circuit_to_json t.circuit);
+      ("plan", opt plan_to_json t.plan);
+      ("memo_hit_rate", opt (fun f -> Json.Float f) t.memo_hit_rate);
+      ( "skipped",
+        Json.List
+          (List.map
+             (fun (s, reason) ->
+               Json.Obj [ ("strategy", Json.Str s); ("reason", Json.Str reason) ])
+             t.skipped) ) ]
+
+(* ---------- human table ---------- *)
+
+let ms s = Printf.sprintf "%.3fms" (s *. 1e3)
+
+let pp ppf t =
+  let line fmt = Format.fprintf ppf fmt in
+  (match t.query with Some q -> line "query            %s@." q | None -> ());
+  (match t.strategy with Some s -> line "strategy         %s@." s | None -> ());
+  (match t.probability with
+  | Some p ->
+      line "probability      %.9g%s%s@." p
+        (if t.exact then " (exact)" else "")
+        (match t.std_error with
+        | Some e -> Printf.sprintf " (±%.2g at 95%%)" (1.96 *. e)
+        | None -> "")
+  | None -> ());
+  line "phase timings    parse %s | classify %s | plan %s | solve %s | total %s@."
+    (ms t.parse_s) (ms t.classify_s) (ms t.plan_s) (ms t.solve_s) (ms (total_s t));
+  (match t.lifted with
+  | Some l ->
+      line
+        "lifted rules     independent-or/exists %d | independent-and/forall %d | \
+         separator %d@."
+        l.independent_unions l.independent_joins l.separator_steps;
+      line
+        "                 inclusion-exclusion %d (terms %d, cancelled %d) | negations %d \
+         | base lookups %d@."
+        l.ie_expansions l.ie_terms l.cancelled_terms l.negations l.base_lookups
+  | None -> ());
+  (match t.dpll with
+  | Some d ->
+      line
+        "dpll             branches %d | unit propagations %d | cache %d/%d | components \
+         %d | cached subformulas %d@."
+        d.branches d.unit_propagations d.cache_hits d.cache_queries d.component_splits
+        d.cache_entries
+  | None -> ());
+  (match t.circuit with
+  | Some c ->
+      line "circuit          %s: %d nodes, %d edges@." c.circuit_class c.nodes c.edges
+  | None -> ());
+  (match t.plan with
+  | Some p ->
+      line "plan             %d operators | peak intermediate rows %d@." p.operators
+        p.peak_rows
+  | None -> ());
+  (match t.memo_hit_rate with
+  | Some r -> line "memo hit rate    %.1f%%@." (100.0 *. r)
+  | None -> ());
+  List.iter (fun (s, reason) -> line "skipped          %s: %s@." s reason) t.skipped

@@ -1,0 +1,95 @@
+(** Per-query statistics: the structured record every solver reports into.
+
+    One {!t} is created per query evaluation (by [Probdb_engine.Engine] or
+    by hand) and filled as the engine works through its strategies: phase
+    wall-clock timings, the lifted-inference rule tally, DPLL search
+    counters, compiled-circuit sizes, and safe-plan cardinalities. The
+    record is deliberately flat and mutable — recording must stay cheap
+    enough to leave on for every query — and {!to_json} defines the stable
+    machine-readable schema documented field by field in [docs/STATS.md].
+
+    Which optional section is populated depends on the winning strategy:
+    [lifted] for lifted inference, [dpll] + [circuit] for the DPLL prover,
+    [circuit] for OBDD compilation, [plan] for safe extensional plans.
+    Sections of strategies that were tried but skipped stay [None]. *)
+
+type lifted_rules = {
+  independent_unions : int;
+      (** independent-∨ / independent-∃ splits (rule (7) of Sec. 5) *)
+  independent_joins : int;  (** independent-∧ / independent-∀ splits (the dual) *)
+  separator_steps : int;  (** separator-variable applications (rule (8)) *)
+  ie_expansions : int;  (** inclusion–exclusion applications (rule (10)) *)
+  ie_terms : int;  (** I/E terms recursed into after cancellation *)
+  cancelled_terms : int;  (** I/E terms removed by cancellation *)
+  negations : int;  (** complemented ground atoms evaluated as [1-p] *)
+  base_lookups : int;  (** ground-tuple probability reads *)
+}
+
+type dpll_counts = {
+  branches : int;  (** Shannon expansions (decisions) *)
+  unit_propagations : int;
+      (** branches that collapsed to a constant after conditioning *)
+  cache_hits : int;
+  cache_queries : int;
+  component_splits : int;
+  cache_entries : int;  (** distinct subformulas memoised *)
+}
+
+type circuit_counts = {
+  circuit_class : string;  (** ["obdd"], ["fbdd"], ["decision-dnnf"], ... *)
+  nodes : int;
+  edges : int;
+}
+
+type plan_counts = {
+  operators : int;  (** scans + joins + projections evaluated *)
+  peak_rows : int;  (** largest intermediate-relation cardinality *)
+}
+
+(** The four phases a query goes through; see {!record_phase}. *)
+type phase = Parse | Classify | Plan | Solve
+
+type t = {
+  mutable query : string option;  (** concrete syntax, when known *)
+  mutable strategy : string option;  (** winning strategy name *)
+  mutable probability : float option;
+  mutable exact : bool;  (** [false] for sampling-based answers *)
+  mutable std_error : float option;  (** for approximate answers *)
+  mutable parse_s : float;
+  mutable classify_s : float;
+      (** time spent deciding applicability (skipped strategies included) *)
+  mutable plan_s : float;  (** safe-plan construction *)
+  mutable solve_s : float;  (** the winning strategy's evaluation *)
+  mutable lifted : lifted_rules option;
+  mutable dpll : dpll_counts option;
+  mutable circuit : circuit_counts option;
+  mutable plan : plan_counts option;
+  mutable memo_hit_rate : float option;
+      (** cache hits / cache queries of the winning solver, when it caches *)
+  mutable skipped : (string * string) list;  (** strategy, reason — in trial order *)
+}
+
+val create : unit -> t
+(** All-zero timings, every section [None]. *)
+
+val total_s : t -> float
+(** Sum of the four phase timings. *)
+
+val record_phase : t -> phase -> float -> unit
+(** [record_phase t ph dt] adds [dt] seconds to phase [ph].
+
+    @param dt elapsed seconds; clamped to [0.] if negative. *)
+
+val time_phase : t -> phase -> (unit -> 'a) -> 'a
+(** Runs the thunk and {!record_phase}s its duration (measured with
+    {!Clock.time}); exceptions propagate with the time still recorded. *)
+
+val hit_rate : hits:int -> queries:int -> float option
+(** [hits/queries], or [None] when [queries = 0]. *)
+
+val to_json : t -> Json.t
+(** The machine-readable form; schema in [docs/STATS.md]. Unpopulated
+    sections serialise as [null] so every document has the same keys. *)
+
+val pp : Format.formatter -> t -> unit
+(** The human-readable table behind [probdb eval --stats]. *)

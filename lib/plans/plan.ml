@@ -30,6 +30,25 @@ let rec eval db = function
 
 let boolean_prob db plan = Ptable.boolean_prob (eval db plan)
 
+let eval_counting db plan =
+  let operators = ref 0 and peak = ref 0 in
+  let observe t =
+    incr operators;
+    peak := max !peak (List.length t.Ptable.rows);
+    t
+  in
+  let rec go = function
+    | Scan a -> observe (Ptable.scan db a)
+    | Join (p1, p2) -> observe (Ptable.join (go p1) (go p2))
+    | Project (keep, p) -> observe (Ptable.project keep (go p))
+  in
+  let result = go plan in
+  (result, { Probdb_obs.Stats.operators = !operators; peak_rows = !peak })
+
+let boolean_prob_counting db plan =
+  let t, counts = eval_counting db plan in
+  (Ptable.boolean_prob t, counts)
+
 let is_safe plan =
   let rec go = function
     | Scan _ -> true

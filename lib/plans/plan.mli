@@ -24,6 +24,14 @@ val eval : Probdb_core.Tid.t -> t -> Ptable.t
 val boolean_prob : Probdb_core.Tid.t -> t -> float
 (** Evaluates a plan whose output has no columns. *)
 
+val eval_counting : Probdb_core.Tid.t -> t -> Ptable.t * Probdb_obs.Stats.plan_counts
+(** Like {!eval}, additionally reporting the number of operators evaluated
+    and the peak intermediate-relation cardinality — the space measure the
+    oblivious-bounds experiments (Thm. 6.1) track per plan. *)
+
+val boolean_prob_counting : Probdb_core.Tid.t -> t -> float * Probdb_obs.Stats.plan_counts
+(** {!boolean_prob} with the same operator/cardinality counts. *)
+
 val is_safe : t -> bool
 (** The structural criterion of [32] for self-join-free plans: every
     [Project] that removes a variable [y] is an independent project, i.e.

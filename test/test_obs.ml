@@ -1,0 +1,121 @@
+(* Tests for the observability layer: stats populated by the engine,
+   JSON round-tripping, and clock sanity. *)
+
+module L = Probdb_logic
+module E = Probdb_engine.Engine
+module Q = Probdb_workload.Queries
+module Gen = Probdb_workload.Gen
+module Obs = Probdb_obs
+module Stats = Probdb_obs.Stats
+module Json = Probdb_obs.Json
+
+let db_for q ~seed ~domain_size =
+  let specs =
+    List.map (fun (name, arity) -> Gen.spec ~density:0.7 name arity) (L.Fo.relations q)
+  in
+  Gen.random_tid ~seed ~domain_size specs
+
+(* (a) A hierarchical (safe) query needs no inclusion–exclusion: the lifted
+   rule counters must report zero IE expansions. *)
+let test_safe_query_no_ie () =
+  let q = L.Parser.parse_sentence "exists x y. R(x) && S(x,y)" in
+  let db = db_for q ~seed:1 ~domain_size:3 in
+  let stats = Stats.create () in
+  let r = E.evaluate ~stats db q in
+  Alcotest.(check string) "lifted wins" "lifted" (E.strategy_name r.E.strategy);
+  match stats.Stats.lifted with
+  | None -> Alcotest.fail "lifted rule counts not populated"
+  | Some rules ->
+      Alcotest.(check int) "no inclusion-exclusion" 0 rules.Stats.ie_expansions;
+      Alcotest.(check bool) "some rules fired" true
+        (rules.Stats.independent_joins + rules.Stats.separator_steps > 0)
+
+(* (b) Forcing an unsafe query through DPLL must surface nonzero branch
+   counts in the stats record. *)
+let test_unsafe_query_dpll_counts () =
+  let db = Gen.h0_db ~seed:4 ~n:3 () in
+  let config = { E.default_config with E.strategies = [ E.Dpll ] } in
+  let stats = Stats.create () in
+  let r = E.evaluate ~config ~stats db Q.h0.Q.query in
+  Alcotest.(check string) "dpll wins" "dpll" (E.strategy_name r.E.strategy);
+  match stats.Stats.dpll with
+  | None -> Alcotest.fail "dpll counts not populated"
+  | Some d ->
+      Alcotest.(check bool) "branches > 0" true (d.Stats.branches > 0);
+      Alcotest.(check bool) "cache queried" true (d.Stats.cache_queries >= d.Stats.cache_hits);
+      (match stats.Stats.circuit with
+      | None -> Alcotest.fail "trace circuit counts not populated"
+      | Some c -> Alcotest.(check bool) "trace nonempty" true (c.Stats.nodes > 0))
+
+(* (c) The stats JSON must survive a parse round-trip through our own
+   parser, with the important members intact. *)
+let test_stats_json_roundtrip () =
+  let db = Gen.h0_db ~seed:4 ~n:3 () in
+  let stats = Stats.create () in
+  let _ = E.evaluate ~stats db Q.h0.Q.query in
+  let doc = Stats.to_json stats in
+  let text = Json.to_string ~pretty:true doc in
+  match Json.of_string text with
+  | Error msg -> Alcotest.failf "stats JSON does not parse: %s" msg
+  | Ok reparsed ->
+      Alcotest.(check bool) "round-trip preserves document" true (reparsed = doc);
+      List.iter
+        (fun key ->
+          match Json.member key reparsed with
+          | None -> Alcotest.failf "missing member %S" key
+          | Some _ -> ())
+        [ "query"; "strategy"; "probability"; "phases"; "lifted_rules"; "dpll";
+          "circuit"; "plan"; "skipped" ]
+
+(* (d) The monotonic clock never goes backwards and all recorded phase
+   timings are non-negative. *)
+let test_timers_nonnegative () =
+  let t0 = Obs.Clock.now () in
+  Alcotest.(check bool) "clock non-negative" true (t0 >= 0.0);
+  let last = ref t0 in
+  for _ = 1 to 1000 do
+    let t = Obs.Clock.now () in
+    Alcotest.(check bool) "clock monotone" true (t >= !last);
+    last := t
+  done;
+  let q = L.Parser.parse_sentence "exists x y. R(x) && S(x,y)" in
+  let db = db_for q ~seed:2 ~domain_size:3 in
+  let stats = Stats.create () in
+  let _ = E.evaluate ~stats db q in
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " >= 0") true (v >= 0.0))
+    [ ("parse", stats.Stats.parse_s); ("classify", stats.Stats.classify_s);
+      ("plan", stats.Stats.plan_s); ("solve", stats.Stats.solve_s);
+      ("total", Stats.total_s stats) ]
+
+(* Parser edge cases of the hand-rolled JSON layer. *)
+let test_json_parser_edges () =
+  let ok s = match Json.of_string s with Ok v -> v | Error e -> Alcotest.failf "%S: %s" s e in
+  Alcotest.(check bool) "escapes" true
+    (ok {|{"s": "aA\n\"b\""}|} = Json.Obj [ ("s", Json.Str "aA\n\"b\"") ]);
+  Alcotest.(check bool) "numbers" true
+    (ok "[1, -2.5, 3e2]" = Json.List [ Json.Int 1; Json.Float (-2.5); Json.Float 300.0 ]);
+  (match Json.of_string "{\"a\": }" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted malformed object");
+  (match Json.of_string "[1, 2] trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted trailing garbage");
+  let nonfinite = Json.to_string (Json.Float Float.nan) in
+  Alcotest.(check string) "nan serialises as null" "null" nonfinite
+
+let suites =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "safe query: zero inclusion-exclusion" `Quick
+          test_safe_query_no_ie;
+        Alcotest.test_case "unsafe query via DPLL: nonzero branches" `Quick
+          test_unsafe_query_dpll_counts;
+        Alcotest.test_case "stats JSON round-trips" `Quick test_stats_json_roundtrip;
+        Alcotest.test_case "timers monotone and non-negative" `Quick
+          test_timers_nonnegative;
+        Alcotest.test_case "json parser edge cases" `Quick test_json_parser_edges;
+      ] );
+  ]
