@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench docs check
+.PHONY: all build test bench docs check check-budget
 
 all: build
 
@@ -17,9 +17,25 @@ bench:
 docs:
 	dune build @check-docs
 
-# What CI runs: build, test suite, and — when odoc is installed — the
-# fatal-warnings documentation build.
-check: build test
+# Smoke test for the resource guards: an intractable query under a 2 s
+# deadline must come back as a degraded (ε,δ)-answer instead of hanging.
+# `timeout 10` is the belt to the deadline's braces — if the guard ever
+# regresses into a hang, this target fails rather than wedging CI.
+check-budget: build
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT; \
+	dune exec --no-build bin/probdb.exe -- gen --out "$$tmp/db" --domain 24 --seed 7 \
+		R:1:0.9 S:2:0.85 T:1:0.9 >/dev/null; \
+	out=$$(timeout 10 dune exec --no-build bin/probdb.exe -- eval --db "$$tmp/db" \
+		--deadline-ms 2000 --stats-json \
+		"exists x y. R(x) && S(x,y) && T(y)") || \
+		{ echo "check-budget: eval failed or hung (exit $$?)"; exit 1; }; \
+	echo "$$out" | grep -q '"degraded": true' || \
+		{ echo "check-budget: expected a degraded answer"; echo "$$out"; exit 1; }; \
+	echo "check-budget: degraded (ε,δ)-answer within deadline — OK"
+
+# What CI runs: build, test suite, the budget smoke test, and — when odoc
+# is installed — the fatal-warnings documentation build.
+check: build test check-budget
 	@if command -v odoc >/dev/null 2>&1; then \
 		dune build @check-docs; \
 	else \

@@ -1,0 +1,93 @@
+(* E14 — resource guards and graceful degradation: on an instance where
+   every exact strategy is hopeless, how quickly does the engine notice
+   and hand back an (ε,δ)-approximation?  The deadline is the knob: the
+   time-to-answer should track the deadline plus a roughly constant
+   Karp–Luby tail, and the returned interval should be stable across
+   deadlines (same ε, δ). *)
+
+module L = Probdb_logic
+module E = Probdb_engine.Engine
+module Answer = Probdb_engine.Answer
+module Guard = Probdb_guard.Guard
+module Gen = Probdb_workload.Gen
+module Json = Common.Json
+
+let unsafe_db () =
+  (* H0-shaped bipartite instance: dense enough that OBDD and DPLL both
+     blow their budgets, small enough that sampling is instant. *)
+  Gen.random_tid ~seed:7 ~prob_range:(0.02, 0.25) ~domain_size:24
+    [ Gen.spec ~density:0.9 "R" 1;
+      Gen.spec ~density:0.85 "S" 2;
+      Gen.spec ~density:0.9 "T" 1 ]
+
+let unsafe_q () = L.Parser.parse_sentence "exists x y. R(x) && S(x,y) && T(y)"
+
+let run () =
+  Common.header "E14: resource guards — time-to-degrade vs deadline";
+  let db = unsafe_db () in
+  let q = unsafe_q () in
+  let json_rows = ref [] in
+  let rows =
+    List.map
+      (fun deadline_s ->
+        let config =
+          { E.default_config with
+            E.deadline_s = Some deadline_s;
+            E.degrade = Some { E.eps = 0.1; E.delta = 0.05; E.max_samples = 20_000 } }
+        in
+        let answer, dt = Common.time (fun () -> E.eval ~config db q) in
+        match answer with
+        | Error e -> failwith (Probdb_core.Probdb_error.render e)
+        | Ok a ->
+            let ci_low, ci_high, samples =
+              match a.Answer.confidence with
+              | Some c -> (c.Answer.ci_low, c.Answer.ci_high, c.Answer.samples)
+              | None -> (nan, nan, 0)
+            in
+            let tripped =
+              List.length (List.filter (function Answer.Tripped _ -> true | _ -> false) a.Answer.chain)
+            in
+            json_rows :=
+              Json.Obj
+                [ ("deadline_s", Json.Float deadline_s);
+                  ("time_to_answer_s", Json.Float dt);
+                  ("degraded", Json.Bool a.Answer.degraded);
+                  ("strategy", Json.Str a.Answer.strategy);
+                  ("value", Json.Float a.Answer.value);
+                  ("ci_low", Json.Float ci_low);
+                  ("ci_high", Json.Float ci_high);
+                  ("ci_width", Json.Float (ci_high -. ci_low));
+                  ("samples", Json.Int samples);
+                  ("tripped_strategies", Json.Int tripped) ]
+              :: !json_rows;
+            [ Common.f4 deadline_s;
+              Common.pretty_time dt;
+              (if a.Answer.degraded then "yes" else "no");
+              a.Answer.strategy;
+              Common.f6 a.Answer.value;
+              Printf.sprintf "[%s, %s]" (Common.f4 ci_low) (Common.f4 ci_high);
+              string_of_int samples ])
+      [ 0.25; 0.5; 1.0; 2.0 ]
+  in
+  Common.table
+    ([ "deadline (s)"; "time to answer"; "degraded"; "strategy"; "estimate";
+       "95% CI"; "samples" ]
+    :: rows);
+  Printf.printf
+    "(time-to-answer ≈ deadline + a constant Karp–Luby tail; the interval\n\
+    \ itself only depends on (ε,δ) = (0.1, 0.05), not on the deadline)\n";
+  Common.bench_json "guard"
+    [ ("query", Json.Str "exists x y. R(x) && S(x,y) && T(y)");
+      ("domain_size", Json.Int 24);
+      ("eps", Json.Float 0.1);
+      ("delta", Json.Float 0.05);
+      ("rows", Json.List (List.rev !json_rows)) ]
+
+let bechamel_tests =
+  let guard = Guard.create ~deadline_s:3600.0 () in
+  [
+    Bechamel.Test.make ~name:"e14/poll-unlimited"
+      (Bechamel.Staged.stage (fun () -> Guard.poll Guard.unlimited ~site:"bench"));
+    Bechamel.Test.make ~name:"e14/poll-deadline"
+      (Bechamel.Staged.stage (fun () -> Guard.poll guard ~site:"bench"));
+  ]

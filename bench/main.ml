@@ -22,6 +22,7 @@ let experiments =
     ("e11", "dual queries", E11_duality.run);
     ("e12", "engine ablation", E12_engine_ablation.run);
     ("e13", "extensions", E13_extensions.run);
+    ("e14", "resource guards / degradation", E14_guard.run);
   ]
 
 let micro () =
@@ -32,7 +33,8 @@ let micro () =
    @ E05_plan_bounds.bechamel_tests @ E06_obdd_size.bechamel_tests
    @ E07_lifted_vs_grounded.bechamel_tests @ E08_symmetric.bechamel_tests
    @ E09_mln.bechamel_tests @ E10_approximation.bechamel_tests
-   @ E11_duality.bechamel_tests @ E12_engine_ablation.bechamel_tests @ E13_extensions.bechamel_tests)
+   @ E11_duality.bechamel_tests @ E12_engine_ablation.bechamel_tests
+   @ E13_extensions.bechamel_tests @ E14_guard.bechamel_tests)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -15,8 +15,10 @@
 open Cmdliner
 
 module Core = Probdb_core
+module Err = Probdb_core.Probdb_error
 module L = Probdb_logic
 module E = Probdb_engine.Engine
+module Answer = Probdb_engine.Answer
 module Lift = Probdb_lifted.Lift
 module Lineage = Probdb_lineage.Lineage
 module P = Probdb_plans
@@ -26,10 +28,12 @@ module Stats = Probdb_obs.Stats
 let query_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"The query sentence.")
 
+(* A plain string, not [Arg.dir]: a missing directory must reach the typed
+   I/O error path (exit 2), not cmdliner's generic CLI error. *)
 let db_arg =
   Arg.(
     required
-    & opt (some dir) None
+    & opt (some string) None
     & info [ "db" ] ~docv:"DIR" ~doc:"Directory of CSV relations (one file per relation).")
 
 let free_arg =
@@ -38,17 +42,16 @@ let free_arg =
     & opt (list string) []
     & info [ "free" ] ~docv:"VARS" ~doc:"Comma-separated free variables of a non-Boolean query.")
 
-let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
+(* Usage-class failure: rendered by the top-level handler, exit code 5. *)
+let fail fmt = Printf.ksprintf (fun s -> Err.raise_ (Err.Usage { message = s })) fmt
 
 let with_query ?(free = []) text k =
   match L.Parser.parse ~free text with
   | q -> k q
-  | exception L.Parser.Error msg -> fail "parse error: %s" msg
+  | exception L.Parser.Error msg -> Err.raise_ (Err.Parse { message = msg })
 
-let with_db dir k =
-  match Core.Csv_io.load_dir dir with
-  | db -> k db
-  | exception Failure msg -> fail "cannot load database: %s" msg
+(* Typed [Io]/[Csv] errors propagate to the top-level handler. *)
+let with_db dir k = k (Core.Csv_io.load_dir dir)
 
 (* ---------- eval ---------- *)
 
@@ -79,8 +82,56 @@ let method_arg =
 let samples_arg =
   Arg.(
     value
-    & opt int 100_000
-    & info [ "samples" ] ~docv:"N" ~doc:"Sample budget for karp-luby.")
+    & opt (some int) None
+    & info [ "samples" ] ~docv:"N"
+        ~doc:
+          "Sample budget for karp-luby (default 100000 as a strategy, 20000 \
+           as the degraded fallback).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock deadline for exact inference, in milliseconds. When it \
+           trips, the engine degrades to the (eps,delta)-approximation.")
+
+let eps_arg =
+  Arg.(
+    value
+    & opt float 0.1
+    & info [ "eps" ] ~docv:"EPS"
+        ~doc:"Relative error target of the degraded approximation.")
+
+let delta_arg =
+  Arg.(
+    value
+    & opt float 0.05
+    & info [ "delta" ] ~docv:"DELTA"
+        ~doc:"Failure probability of the degraded approximation.")
+
+let no_degrade_arg =
+  Arg.(
+    value & flag
+    & info [ "no-degrade" ]
+        ~doc:
+          "Fail (exit 6 or 7) instead of degrading to the \
+           (eps,delta)-approximation when exact inference is exhausted.")
+
+let max_ie_terms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-ie-terms" ] ~docv:"N"
+        ~doc:"Budget on lifted inclusion-exclusion terms.")
+
+let max_plan_rows_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-plan-rows" ] ~docv:"N"
+        ~doc:"Budget on intermediate plan rows.")
 
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Trace lifted-inference rule applications.")
@@ -107,35 +158,58 @@ let setup_verbose verbose =
 let with_timed_query stats ?(free = []) text k =
   match Stats.time_phase stats Stats.Parse (fun () -> L.Parser.parse ~free text) with
   | q -> k q
-  | exception L.Parser.Error msg -> fail "parse error: %s" msg
+  | exception L.Parser.Error msg -> Err.raise_ (Err.Parse { message = msg })
 
 let print_stats_json stats = print_endline (Obs.Json.to_string ~pretty:true (Stats.to_json stats))
 
-let eval_run db_dir text free meth samples verbose show_stats stats_json =
+let config_of_cli meth samples deadline_ms eps delta no_degrade max_ie_terms
+    max_plan_rows =
+  let default_fallback_samples =
+    match E.default_config.E.degrade with Some d -> d.E.max_samples | None -> 20_000
+  in
+  let base =
+    { E.default_config with
+      E.kl_samples = Option.value samples ~default:E.default_config.E.kl_samples }
+  in
+  let base = match meth with None -> base | Some s -> { base with E.strategies = [ s ] } in
+  let degrade =
+    (* An explicit --method karp-luby runs sampling as the strategy itself,
+       not as a degradation. *)
+    if no_degrade || meth = Some E.Karp_luby then None
+    else
+      Some
+        { E.eps;
+          delta;
+          max_samples = Option.value samples ~default:default_fallback_samples }
+  in
+  { base with
+    E.deadline_s = Option.map (fun ms -> float_of_int ms /. 1000.0) deadline_ms;
+    max_ie_terms;
+    max_plan_rows;
+    degrade }
+
+let eval_run db_dir text free meth samples deadline_ms eps delta no_degrade
+    max_ie_terms max_plan_rows verbose show_stats stats_json =
   setup_verbose verbose;
   with_db db_dir @@ fun db ->
   let stats = Stats.create () in
   stats.Stats.query <- Some text;
   with_timed_query stats ~free text @@ fun q ->
   let config =
-    let base = { E.default_config with E.kl_samples = samples } in
-    match meth with None -> base | Some s -> { base with E.strategies = [ s ] }
+    config_of_cli meth samples deadline_ms eps delta no_degrade max_ie_terms
+      max_plan_rows
   in
-  let print_report r = Format.printf "%a@." E.pp_report r in
   match free with
   | [] -> (
-      match E.evaluate ~config ~stats db q with
-      | r ->
-          if stats_json then print_stats_json r.E.stats
+      match E.eval ~config ~stats db q with
+      | Ok a ->
+          if stats_json then print_stats_json a.Answer.stats
           else begin
-            print_report r;
-            if show_stats then Format.printf "%a" Stats.pp r.E.stats
+            Format.printf "%a@." Answer.pp a;
+            if show_stats then Format.printf "%a" Stats.pp a.Answer.stats
           end;
           `Ok ()
-      | exception E.No_method skipped ->
-          fail "no method could evaluate the query:\n%s"
-            (String.concat "\n"
-               (List.map (fun (s, m) -> Printf.sprintf "  %s: %s" (E.strategy_name s) m) skipped)))
+      | Error e -> Err.raise_ e)
   | _ ->
       let answers = E.answers ~config ~free db q in
       if stats_json then
@@ -170,7 +244,8 @@ let eval_cmd =
     Term.(
       ret
         (const eval_run $ db_arg $ query_arg $ free_arg $ method_arg $ samples_arg
-       $ verbose_arg $ stats_arg $ stats_json_arg))
+       $ deadline_arg $ eps_arg $ delta_arg $ no_degrade_arg $ max_ie_terms_arg
+       $ max_plan_rows_arg $ verbose_arg $ stats_arg $ stats_json_arg))
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a query's probability on a TID.") term
 
@@ -189,7 +264,7 @@ let capture_reporter out =
                 k ())
               fmt)) }
 
-let explain_run db_dir text =
+let explain_run db_dir text deadline_ms eps delta no_degrade =
   with_db db_dir @@ fun db ->
   let stats = Stats.create () in
   stats.Stats.query <- Some text;
@@ -210,64 +285,65 @@ let explain_run db_dir text =
   let saved_reporter = Logs.reporter () in
   Logs.set_reporter (capture_reporter (fun s -> trace := s :: !trace));
   Logs.Src.set_level Lift.log_src (Some Logs.Debug);
-  let result =
-    match E.evaluate ~stats db q with
-    | r -> Ok r
-    | exception E.No_method skipped -> Error skipped
-  in
+  let config = config_of_cli None None deadline_ms eps delta no_degrade None None in
+  let result = E.eval ~config ~stats db q in
   Logs.Src.set_level Lift.log_src None;
   Logs.set_reporter saved_reporter;
   match result with
-  | Error skipped ->
-      fail "no method could evaluate the query:\n%s"
-        (String.concat "\n"
-           (List.map (fun (s, m) -> Printf.sprintf "  %s: %s" (E.strategy_name s) m) skipped))
-  | Ok r ->
-      Format.printf "strategy:  %s@." (E.strategy_name r.E.strategy);
-      Format.printf "answer:    %a@."
-        (fun ppf -> function
-          | E.Exact v -> Format.fprintf ppf "%.9g (exact)" v
-          | E.Approximate { value; std_error } ->
-              Format.fprintf ppf "%.9g (±%.2g at 95%%)" value (1.96 *. std_error))
-        r.E.outcome;
+  | Error e -> Err.raise_ e
+  | Ok a ->
+      Format.printf "strategy:  %s%s@." a.Answer.strategy
+        (if a.Answer.degraded then " (degraded from exact inference)" else "");
+      (match a.Answer.confidence with
+      | Some c ->
+          Format.printf "answer:    %.9g in [%.9g, %.9g] at confidence %g (%d samples)@."
+            a.Answer.value c.Answer.ci_low c.Answer.ci_high (1.0 -. c.Answer.delta)
+            c.Answer.samples
+      | None ->
+          Format.printf "answer:    %.9g%s%s@." a.Answer.value
+            (if a.Answer.exact then " (exact)" else "")
+            (match a.Answer.stats.Stats.std_error with
+            | Some e when not a.Answer.exact ->
+                Printf.sprintf " (±%.2g at 95%%)" (1.96 *. e)
+            | _ -> ""));
       List.iter
-        (fun (s, reason) ->
-          Format.printf "skipped:   %s (%s)@." (E.strategy_name s) reason)
-        r.E.skipped;
+        (fun step -> Format.printf "chain:     %a@." Answer.pp_step step)
+        a.Answer.chain;
       let derivation = List.rev !trace in
       if derivation <> [] then begin
         Format.printf "@.lifted-rule derivation:@.";
         List.iter (fun line -> Format.printf "  %s@." line) derivation
       end;
       (* for safe plans, show the plan itself *)
-      (match r.E.strategy with
-      | E.Safe_plan -> (
-          match L.Ucq.of_sentence q with
-          | ucq, L.Ucq.Direct -> (
-              match L.Ucq.minimize ucq with
-              | [ cq ] -> (
-                  match P.Plan.safe_plan cq with
-                  | Some plan -> Format.printf "@.safe plan: %s@." (P.Plan.to_string plan)
-                  | None -> ())
-              | _ -> ())
-          | _ | (exception L.Ucq.Unsupported _) -> ())
-      | _ -> ());
-      (match r.E.stats.Stats.circuit with
+      (if String.equal a.Answer.strategy (E.strategy_name E.Safe_plan) then
+         match L.Ucq.of_sentence q with
+         | ucq, L.Ucq.Direct -> (
+             match L.Ucq.minimize ucq with
+             | [ cq ] -> (
+                 match P.Plan.safe_plan cq with
+                 | Some plan -> Format.printf "@.safe plan: %s@." (P.Plan.to_string plan)
+                 | None -> ())
+             | _ -> ())
+         | _ | (exception L.Ucq.Unsupported _) -> ());
+      (match a.Answer.stats.Stats.circuit with
       | Some c ->
           Format.printf "@.compiled circuit: %s, %d nodes, %d edges@."
             c.Stats.circuit_class c.Stats.nodes c.Stats.edges
       | None -> ());
-      Format.printf "@.--- stats ---@.%a" Stats.pp r.E.stats;
+      Format.printf "@.--- stats ---@.%a" Stats.pp a.Answer.stats;
       `Ok ()
 
 let explain_cmd =
   Cmd.v
     (Cmd.info "explain"
        ~doc:
-         "Explain how a query is evaluated: strategy choice, skip reasons, the \
-          lifted-rule derivation trace, the safe plan or compiled-circuit size, and \
-          per-phase timings.")
-    Term.(ret (const explain_run $ db_arg $ query_arg))
+         "Explain how a query is evaluated: strategy choice, the degradation \
+          chain (skips and resource trips), the lifted-rule derivation trace, \
+          the safe plan or compiled-circuit size, and per-phase timings.")
+    Term.(
+      ret
+        (const explain_run $ db_arg $ query_arg $ deadline_arg $ eps_arg $ delta_arg
+       $ no_degrade_arg))
 
 (* ---------- classify ---------- *)
 
@@ -442,12 +518,27 @@ let gen_cmd =
 
 (* ---------- main ---------- *)
 
+(* Exit codes (documented in README.md):
+   0 ok | 2 io | 3 csv | 4 parse | 5 usage | 6 no method | 7 exhausted.
+   [~catch:false] lets typed errors reach this handler instead of
+   cmdliner's backtrace printer. *)
 let () =
   let info =
     Cmd.info "probdb" ~version:"1.0.0"
       ~doc:"A probabilistic database engine (PODS'20 'Probabilistic Databases for All')."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ eval_cmd; explain_cmd; classify_cmd; plan_cmd; lineage_cmd; compile_cmd; gen_cmd ]))
+  let code =
+    try
+      Cmd.eval ~catch:false
+        (Cmd.group info
+           [ eval_cmd; explain_cmd; classify_cmd; plan_cmd; lineage_cmd; compile_cmd;
+             gen_cmd ])
+    with
+    | Err.Error e ->
+        prerr_endline ("probdb: " ^ Err.render e);
+        Err.exit_code e
+    | Sys_error msg ->
+        prerr_endline ("probdb: " ^ msg);
+        2
+  in
+  exit code

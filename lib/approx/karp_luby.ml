@@ -1,6 +1,60 @@
+module Guard = Probdb_guard.Guard
+
 type estimate = { mean : float; std_error : float; samples : int; union_weight : float }
 
 let half_width_95 e = 1.96 *. e.std_error
+
+(* Acklam's rational approximation to the standard normal quantile
+   (inverse CDF), accurate to ~1.15e-9 over (0,1). *)
+let normal_quantile p =
+  if not (p > 0.0 && p < 1.0) then
+    invalid_arg "Karp_luby.normal_quantile: p must lie in (0,1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  and b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  and c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  and d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let tail q sign =
+    let u = sqrt (-2.0 *. log q) in
+    sign
+    *. (((((c.(0) *. u +. c.(1)) *. u +. c.(2)) *. u +. c.(3)) *. u +. c.(4)) *. u
+        +. c.(5))
+    /. ((((d.(0) *. u +. d.(1)) *. u +. d.(2)) *. u +. d.(3)) *. u +. 1.0)
+  in
+  if p < p_low then tail p 1.0
+  else if p > 1.0 -. p_low then tail (1.0 -. p) (-1.0)
+  else begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r
+     +. a.(5))
+    *. q
+    /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r
+        +. 1.0)
+  end
+
+let required_samples ~eps ~delta ~clauses =
+  if not (eps > 0.0) then invalid_arg "Karp_luby.required_samples: eps must be > 0";
+  if not (delta > 0.0 && delta < 1.0) then
+    invalid_arg "Karp_luby.required_samples: delta must lie in (0,1)";
+  if clauses <= 0 then invalid_arg "Karp_luby.required_samples: need clauses > 0";
+  let m = float_of_int clauses in
+  let n = 4.0 *. m *. log (2.0 /. delta) /. (eps *. eps) in
+  int_of_float (Float.ceil n)
+
+let confidence_interval ~delta e =
+  let z = normal_quantile (1.0 -. (delta /. 2.0)) in
+  let h = z *. e.std_error in
+  (Float.max 0.0 (e.mean -. h), Float.min 1.0 (e.mean +. h))
 
 let clause_weight prob clause = List.fold_left (fun acc v -> acc *. prob v) 1.0 clause
 
@@ -8,7 +62,7 @@ let all_vars clauses = List.concat clauses |> List.sort_uniq Int.compare
 
 let satisfies assignment clause = List.for_all assignment clause
 
-let estimate ?(seed = 42) ~samples ~prob clauses =
+let estimate ?(seed = 42) ?(guard = Guard.unlimited) ~samples ~prob clauses =
   if samples <= 0 then invalid_arg "Karp_luby.estimate: need at least one sample";
   match clauses with
   | [] -> { mean = 0.0; std_error = 0.0; samples; union_weight = 0.0 }
@@ -41,20 +95,42 @@ let estimate ?(seed = 42) ~samples ~prob clauses =
           let rec find i = if r <= cumulative.(i) || i = Array.length cumulative - 1 then i else find (i + 1) in
           find 0
         in
-        let assignment = Hashtbl.create 16 in
+        (* Dense arrays indexed by variable id: the sampler's inner loops
+           run [samples * total-literals] times, so per-lookup hashing is
+           the dominant cost at FPRAS sample counts. *)
+        let vmax = List.fold_left max 0 vars in
+        let clause_arr = Array.map Array.of_list clauses in
+        let var_arr = Array.of_list vars in
+        let probs = Array.map prob var_arr in
+        let assignment = Array.make (vmax + 1) false in
+        let stamped = Array.make (vmax + 1) (-1) in
         let sum = ref 0.0 and sum_sq = ref 0.0 in
-        for _ = 1 to samples do
+        for s = 1 to samples do
+          Guard.poll guard ~site:"kl.sample";
           let i = pick_clause () in
-          Hashtbl.reset assignment;
-          List.iter (fun v -> Hashtbl.replace assignment v true) clauses.(i);
-          List.iter
+          Array.iter
             (fun v ->
-              if not (Hashtbl.mem assignment v) then
-                Hashtbl.replace assignment v (Random.State.float rng 1.0 < prob v))
-            vars;
-          let lookup v = Hashtbl.find assignment v in
-          let n = Array.fold_left (fun acc c -> if satisfies lookup c then acc + 1 else acc) 0 clauses in
-          let z = 1.0 /. float_of_int n in
+              assignment.(v) <- true;
+              stamped.(v) <- s)
+            clause_arr.(i);
+          Array.iteri
+            (fun j v ->
+              if stamped.(v) <> s then
+                assignment.(v) <- Random.State.float rng 1.0 < probs.(j))
+            var_arr;
+          let n = ref 0 in
+          Array.iter
+            (fun c ->
+              let sat = ref true in
+              let k = Array.length c in
+              let j = ref 0 in
+              while !sat && !j < k do
+                if not assignment.(c.(!j)) then sat := false;
+                incr j
+              done;
+              if !sat then incr n)
+            clause_arr;
+          let z = 1.0 /. float_of_int !n in
           sum := !sum +. z;
           sum_sq := !sum_sq +. (z *. z)
         done;

@@ -21,12 +21,33 @@ type estimate = {
 
 val half_width_95 : estimate -> float
 
+val normal_quantile : float -> float
+(** Standard normal inverse CDF (Acklam's approximation, error < 1.2e-9).
+    Raises [Invalid_argument] outside (0,1). Used to turn a standard error
+    into a [(1-δ)]-confidence interval at arbitrary δ. *)
+
+val required_samples : eps:float -> delta:float -> clauses:int -> int
+(** [required_samples ~eps ~delta ~clauses] is the classical Karp–Luby
+    sample bound [⌈4m·ln(2/δ)/ε²⌉] for an (ε,δ)-approximation of a DNF
+    with [m] clauses. Raises [Invalid_argument] on non-positive [eps] or
+    [clauses], or [delta] outside (0,1). *)
+
+val confidence_interval : delta:float -> estimate -> float * float
+(** [(lo, hi)] — the normal-approximation [(1-δ)]-confidence interval
+    around [mean], clamped to [0,1]. *)
+
 val estimate :
-  ?seed:int -> samples:int -> prob:(int -> float) -> int list list -> estimate
+  ?seed:int ->
+  ?guard:Probdb_guard.Guard.t ->
+  samples:int ->
+  prob:(int -> float) ->
+  int list list ->
+  estimate
 (** [estimate ~prob clauses]: clauses are positive variable lists. Raises
     [Invalid_argument] on an empty clause list with no clauses... an empty
     DNF has probability 0 and returns the zero estimate; probabilities must
-    be standard. *)
+    be standard. [guard] (default {!Probdb_guard.Guard.unlimited}) is
+    polled once per sample (site ["kl.sample"]). *)
 
 val exact_via_sampling_identity : prob:(int -> float) -> int list list -> float
 (** [Σ_θ P(θ)·1] via the identity [p(F) = Σᵢ wᵢ · E[1/N]], computed exactly

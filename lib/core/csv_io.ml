@@ -1,16 +1,41 @@
+module Guard = Probdb_guard.Guard
+
 let split_line line = String.split_on_char ',' line |> List.map String.trim
 
-let parse_row ~path ~lineno line =
+let csv_error ~path ~lineno fmt =
+  Printf.ksprintf
+    (fun message ->
+      Probdb_error.raise_ (Probdb_error.Csv { path; line = lineno; message }))
+    fmt
+
+(* Weights outside [0,1] are legal in-memory (the MLN Or-encoding builds
+   them directly through [Tid.make]) but on disk they are almost always a
+   data-entry error, so the loader rejects them unless told otherwise. *)
+let validate_probability ~strict ~path ~lineno p =
+  if Float.is_nan p then csv_error ~path ~lineno "probability is NaN"
+  else if p = Float.infinity || p = Float.neg_infinity then
+    csv_error ~path ~lineno "probability is infinite"
+  else if strict && (p < 0.0 || p > 1.0) then
+    csv_error ~path ~lineno
+      "probability %g outside [0,1] (use ~strict:false for weights)" p
+  else p
+
+let parse_row ?(strict = true) ~path ~lineno line =
   match List.rev (split_line line) with
   | p :: rev_values when rev_values <> [] -> (
       match float_of_string_opt p with
-      | Some p -> (List.rev_map Value.of_string rev_values, p)
-      | None ->
-          failwith
-            (Printf.sprintf "%s:%d: cannot parse probability %S" path lineno p))
-  | _ -> failwith (Printf.sprintf "%s:%d: expected v1,...,vk,p" path lineno)
+      | Some p ->
+          ( List.rev_map Value.of_string rev_values,
+            validate_probability ~strict ~path ~lineno p )
+      | None -> csv_error ~path ~lineno "cannot parse probability %S" p)
+  | _ -> csv_error ~path ~lineno "expected v1,...,vk,p"
 
-let load_relation name path =
+let load_relation ?(guard = Probdb_guard.Guard.unlimited) ?(strict = true) name
+    path =
+  Probdb_error.guard_io ~path @@ fun () ->
+  (* inside the wrapper: an injected I/O fault must surface as a typed Io
+     error exactly like a real failing open *)
+  Guard.io guard ~path;
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
@@ -20,28 +45,33 @@ let load_relation name path =
         | None -> List.rev acc
         | Some line ->
             let line = String.trim line in
-            if line = "" || String.length line > 0 && line.[0] = '#' then
+            if line = "" || (String.length line > 0 && line.[0] = '#') then
               read (lineno + 1) acc
-            else read (lineno + 1) (parse_row ~path ~lineno line :: acc)
+            else read (lineno + 1) (parse_row ~strict ~path ~lineno line :: acc)
       in
       let rows = read 1 [] in
       match rows with
       | [] -> Relation.make (Schema.of_arity name 0) []
       | (t, _) :: _ -> Relation.make (Schema.of_arity name (Tuple.arity t)) rows)
 
-let load_dir dir =
+let load_dir ?(guard = Probdb_guard.Guard.unlimited) ?(strict = true) dir =
+  Probdb_error.guard_io ~path:dir @@ fun () ->
   let files = Sys.readdir dir in
   Array.sort String.compare files;
   let rels =
     Array.to_list files
     |> List.filter_map (fun f ->
            if Filename.check_suffix f ".csv" then
-             Some (load_relation (Filename.remove_extension f) (Filename.concat dir f))
+             Some
+               (load_relation ~guard ~strict
+                  (Filename.remove_extension f)
+                  (Filename.concat dir f))
            else None)
   in
   Tid.make rels
 
 let save_relation path r =
+  Probdb_error.guard_io ~path @@ fun () ->
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -54,6 +84,7 @@ let save_relation path r =
         r ())
 
 let save_dir dir db =
+  Probdb_error.guard_io ~path:dir @@ fun () ->
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   List.iter
     (fun r -> save_relation (Filename.concat dir (Relation.name r ^ ".csv")) r)

@@ -3,16 +3,40 @@
     The on-disk format is one file per relation, named [<relation>.csv].
     Each line holds the tuple values followed by the tuple's marginal
     probability: [v1,v2,...,vk,p]. Lines starting with [#] and blank lines
-    are ignored. Values parse per {!Value.of_string}. *)
+    are ignored. Values parse per {!Value.of_string}.
 
-val load_relation : string -> string -> Relation.t
-(** [load_relation name path] reads one CSV file.
+    All failures surface through the typed channel {!Probdb_error}: file
+    system problems as [Io], malformed or invalid rows as [Csv] with a
+    [path:line] position. Probabilities are validated on load: [NaN],
+    infinities, negatives and values above 1 are rejected unless
+    [~strict:false] relaxes the range check for weight tables (NaN and
+    infinities are never accepted). *)
 
-    @raise Failure with a line-numbered message on malformed input. *)
+val parse_row :
+  ?strict:bool ->
+  path:string ->
+  lineno:int ->
+  string ->
+  Value.t list * float
+(** Parse one non-comment CSV line into (tuple, probability).
 
-val load_dir : string -> Tid.t
+    @raise Probdb_error.Error
+      [Csv] when the row is malformed or the probability is NaN, infinite,
+      or (with [strict], the default) outside [0,1]. *)
+
+val load_relation :
+  ?guard:Probdb_guard.Guard.t -> ?strict:bool -> string -> string -> Relation.t
+(** [load_relation name path] reads one CSV file. [guard] threads the
+    fault-injection hook ({!Probdb_guard.Guard.io}) through each file open,
+    so tests can fail the [n]-th I/O deterministically.
+
+    @raise Probdb_error.Error [Io] or [Csv] on failure. *)
+
+val load_dir : ?guard:Probdb_guard.Guard.t -> ?strict:bool -> string -> Tid.t
 (** Loads every [*.csv] file in the directory as a relation named after the
-    file. *)
+    file.
+
+    @raise Probdb_error.Error [Io] when the directory cannot be read. *)
 
 val save_relation : string -> Relation.t -> unit
 (** [save_relation path r] writes [r] to one CSV file at [path]. *)

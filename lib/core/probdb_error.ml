@@ -1,0 +1,59 @@
+type t =
+  | Io of { path : string; message : string }
+  | Csv of { path : string; line : int; message : string }
+  | Parse of { message : string }
+  | Usage of { message : string }
+  | No_method of (string * string) list
+  | Exhausted of { resource : string; site : string; detail : string }
+
+exception Error of t
+
+let raise_ e = raise (Error e)
+
+let exit_code = function
+  | Io _ -> 2
+  | Csv _ -> 3
+  | Parse _ -> 4
+  | Usage _ -> 5
+  | No_method _ -> 6
+  | Exhausted _ -> 7
+
+let class_name = function
+  | Io _ -> "io"
+  | Csv _ -> "csv"
+  | Parse _ -> "parse"
+  | Usage _ -> "usage"
+  | No_method _ -> "no-method"
+  | Exhausted _ -> "exhausted"
+
+let render = function
+  | Io { path; message } ->
+      (* [Sys_error] messages usually repeat the path ("p: No such file or
+         directory"); strip it and shorten the stock phrasing. *)
+      let message =
+        match String.index_opt message ':' with
+        | Some i when String.sub message 0 i = path ->
+            String.trim (String.sub message (i + 1) (String.length message - i - 1))
+        | _ -> message
+      in
+      let message =
+        if String.equal message "No such file or directory" then "no such file"
+        else message
+      in
+      Printf.sprintf "%s: %s" path message
+  | Csv { path; line; message } -> Printf.sprintf "%s:%d: %s" path line message
+  | Parse { message } -> Printf.sprintf "parse error: %s" message
+  | Usage { message } -> message
+  | No_method reasons ->
+      "no method could evaluate the query"
+      ^ String.concat ""
+          (List.map (fun (s, m) -> Printf.sprintf "; %s: %s" s m) reasons)
+  | Exhausted { resource; site; detail } ->
+      Printf.sprintf "resource %s exhausted at %s (%s)" resource site detail
+
+let pp ppf e = Format.pp_print_string ppf (render e)
+
+let guard_io ~path f =
+  try f () with
+  | Sys_error message -> raise_ (Io { path; message })
+  | Error _ as e -> raise e

@@ -1,0 +1,51 @@
+(** The typed error channel for user-facing failures.
+
+    Every failure class a [probdb] user can trigger from the outside —
+    missing files, malformed CSV rows, query syntax errors, bad CLI
+    arguments, an engine with no applicable method, an exhausted resource
+    guard — is a constructor here, so the CLI can map each class to a
+    distinct exit code and a clean one-line diagnostic instead of a raw
+    OCaml backtrace. Library code raises {!Error}; [bin/probdb.ml] catches
+    it at the top level.
+
+    Exit-code contract (documented in the README):
+    {ul
+    {- [2] — {!Io}: a file or directory could not be read or written}
+    {- [3] — {!Csv}: a CSV row failed to parse or validate}
+    {- [4] — {!Parse}: the query text failed to parse}
+    {- [5] — {!Usage}: semantically invalid arguments (bad method name,
+       bad generator spec, …)}
+    {- [6] — {!No_method}: every configured strategy refused the query and
+       degradation was unavailable or disabled}
+    {- [7] — {!Exhausted}: a resource guard tripped and no fallback could
+       produce an answer}} *)
+
+type t =
+  | Io of { path : string; message : string }
+  | Csv of { path : string; line : int; message : string }
+  | Parse of { message : string }
+  | Usage of { message : string }
+  | No_method of (string * string) list
+      (** per-strategy (name, skip/trip reason) pairs *)
+  | Exhausted of { resource : string; site : string; detail : string }
+
+exception Error of t
+
+val raise_ : t -> 'a
+(** [raise_ e = raise (Error e)]. *)
+
+val exit_code : t -> int
+(** The distinct per-class process exit code (see the table above). *)
+
+val class_name : t -> string
+(** Short machine-readable class tag: ["io"], ["csv"], ["parse"],
+    ["usage"], ["no-method"], ["exhausted"]. *)
+
+val render : t -> string
+(** One-line diagnostic without trailing newline; the CLI prefixes
+    ["probdb: "]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val guard_io : path:string -> (unit -> 'a) -> 'a
+(** Run [f], rewrapping any [Sys_error] into [Error (Io {path; _})]. *)

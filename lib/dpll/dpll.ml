@@ -1,5 +1,6 @@
 module F = Probdb_boolean.Formula
 module Circuit = Probdb_kc.Circuit
+module Guard = Probdb_guard.Guard
 
 type var_choice = Most_frequent | Fixed of int list
 
@@ -110,7 +111,7 @@ let choose_var cfg f =
       | Some v -> v
       | None -> Iset.min_elt vs)
 
-let count ?(config = default_config) ~prob f =
+let count ?(config = default_config) ?(guard = Guard.unlimited) ~prob f =
   let builder = Circuit.builder () in
   let cache : (string, float * Circuit.t) Hashtbl.t = Hashtbl.create 1024 in
   let decisions = ref 0
@@ -159,6 +160,7 @@ let count ?(config = default_config) ~prob f =
   and shannon f =
     incr decisions;
     if !decisions > config.max_decisions then raise (Decision_limit config.max_decisions);
+    Guard.poll guard ~site:"dpll.shannon";
     let v = choose_var config f in
     let p_lo, c_lo = go (F.condition v false f) in
     let p_hi, c_hi = go (F.condition v true f) in
@@ -177,4 +179,4 @@ let count ?(config = default_config) ~prob f =
         component_splits = !component_splits;
         cache_entries = Hashtbl.length cache } }
 
-let probability ?config ~prob f = (count ?config ~prob f).prob
+let probability ?config ?guard ~prob f = (count ?config ?guard ~prob f).prob

@@ -59,8 +59,22 @@ type result = {
   stats : stats;
 }
 
-val count : ?config:config -> prob:(int -> float) -> Probdb_boolean.Formula.t -> result
+val count :
+  ?config:config ->
+  ?guard:Probdb_guard.Guard.t ->
+  prob:(int -> float) ->
+  Probdb_boolean.Formula.t ->
+  result
+(** [guard] (default {!Probdb_guard.Guard.unlimited}) is polled at every
+    Shannon expansion (site ["dpll.shannon"]), so a deadline, cancellation
+    or injected fault interrupts the search with
+    [Probdb_guard.Guard.Exhausted]. The solver's own [max_decisions] cap
+    still raises {!Decision_limit}. *)
 
 val probability :
-  ?config:config -> prob:(int -> float) -> Probdb_boolean.Formula.t -> float
+  ?config:config ->
+  ?guard:Probdb_guard.Guard.t ->
+  prob:(int -> float) ->
+  Probdb_boolean.Formula.t ->
+  float
 (** Just the probability of {!count}. *)

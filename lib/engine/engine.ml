@@ -10,6 +10,8 @@ module Karp_luby = Probdb_approx.Karp_luby
 module Stats = Probdb_obs.Stats
 module Clock = Probdb_obs.Clock
 module Counter = Probdb_obs.Counter
+module Guard = Probdb_guard.Guard
+module Error = Probdb_core.Probdb_error
 
 type strategy =
   | Lifted
@@ -31,6 +33,8 @@ let strategy_name = function
   | Karp_luby -> "karp-luby"
   | World_enum -> "world-enum"
 
+type degrade = { eps : float; delta : float; max_samples : int }
+
 type config = {
   strategies : strategy list;
   obdd_max_nodes : int;
@@ -38,6 +42,12 @@ type config = {
   kl_samples : int;
   max_enum_support : int;
   seed : int;
+  deadline_s : float option;
+  max_ie_terms : int option;
+  max_plan_rows : int option;
+  heap_watermark_words : int option;
+  fault : Guard.fault option;
+  degrade : degrade option;
 }
 
 let default_config =
@@ -47,7 +57,13 @@ let default_config =
     dpll_max_decisions = 2_000_000;
     kl_samples = 100_000;
     max_enum_support = 22;
-    seed = 42 }
+    seed = 42;
+    deadline_s = None;
+    max_ie_terms = None;
+    max_plan_rows = None;
+    heap_watermark_words = None;
+    fault = None;
+    degrade = Some { eps = 0.1; delta = 0.05; max_samples = 20_000 } }
 
 let exact_only =
   { default_config with
@@ -66,11 +82,31 @@ type report = {
 
 exception No_method of (strategy * string) list
 
-type attempt = Ok_outcome of outcome | Skip of string
+type attempt = Ok_outcome of outcome | Skip of string | Trip of Guard.trip
 
-let try_lifted stats db q =
+(* Guard assembly: all knobs off means the shared no-op guard, so the
+   default configuration pays nothing at the poll sites. *)
+let guard_of_config config =
+  match
+    ( config.deadline_s,
+      config.heap_watermark_words,
+      config.fault,
+      config.max_ie_terms,
+      config.max_plan_rows )
+  with
+  | None, None, None, None, None -> Guard.unlimited
+  | _ ->
+      let g =
+        Guard.create ?deadline_s:config.deadline_s
+          ?heap_watermark_words:config.heap_watermark_words ?fault:config.fault ()
+      in
+      Option.iter (fun n -> Guard.set_budget g "lifted.ie_terms" n) config.max_ie_terms;
+      Option.iter (fun n -> Guard.set_budget g "plan.rows" n) config.max_plan_rows;
+      g
+
+let try_lifted stats guard db q =
   let rule_stats = Lift.fresh_stats () in
-  match Lift.probability ~stats:rule_stats db q with
+  match Lift.probability ~stats:rule_stats ~guard db q with
   | p ->
       stats.Stats.lifted <- Some (Lift.obs_counts rule_stats);
       Ok_outcome (Exact p)
@@ -104,11 +140,11 @@ let as_symmetric db =
     | Some rels -> ( try Some (Probdb_symmetric.Sym_db.make ~n rels) with Invalid_argument _ -> None)
     | None -> None
 
-let try_symmetric db q =
+let try_symmetric guard db q =
   match as_symmetric db with
   | None -> Skip "database is not symmetric"
   | Some sym -> (
-      match Probdb_symmetric.Wfomc.probability sym q with
+      match Probdb_symmetric.Wfomc.probability ~guard sym q with
       | p -> Ok_outcome (Exact p)
       | exception Probdb_symmetric.Wfomc.Unsupported msg -> Skip ("FO2 fragment: " ^ msg))
 
@@ -130,7 +166,7 @@ let try_read_once db q =
             | Some p -> Ok_outcome (Exact (Ucq.apply_mode mode p))
             | None -> Skip "lineage is not read-once"))
 
-let try_safe_plan stats db q =
+let try_safe_plan stats guard db q =
   match Ucq.of_sentence q with
   | exception Ucq.Unsupported msg -> Skip ("fragment: " ^ msg)
   | ucq, Ucq.Complemented ->
@@ -144,28 +180,35 @@ let try_safe_plan stats db q =
         -> (
           match Stats.time_phase stats Stats.Plan (fun () -> Plan.safe_plan cq) with
           | Some plan ->
-              let p, plan_counts = Plan.boolean_prob_counting db plan in
+              let p, plan_counts = Plan.boolean_prob_counting ~guard db plan in
               stats.Stats.plan <- Some plan_counts;
               Ok_outcome (Exact p)
           | None -> Skip "no safe plan (non-hierarchical)")
       | [ _ ] -> Skip "CQ has self-joins or negated atoms"
       | _ -> Skip "not a single CQ")
 
-let try_obdd config stats db q =
+let try_obdd config stats guard db q =
   let ctx = Lineage.create db in
   match Lineage.of_query ctx q with
   | exception Invalid_argument msg -> Skip msg
   | f -> (
       let manager =
-        Obdd.manager ~max_nodes:config.obdd_max_nodes ~order:(Obdd.default_order f) ()
+        Obdd.manager ~max_nodes:config.obdd_max_nodes ~guard
+          ~order:(Obdd.default_order f) ()
       in
       match Obdd.of_formula manager f with
       | bdd ->
           stats.Stats.circuit <- Some (Obdd.obs_counts bdd);
           Ok_outcome (Exact (Obdd.wmc manager (Lineage.prob ctx) bdd))
-      | exception Obdd.Node_limit n -> Skip (Printf.sprintf "node budget %d exceeded" n))
+      | exception Obdd.Node_limit n ->
+          (* solver-internal cap: same class of event as a guard budget *)
+          Trip
+            { Guard.resource = Guard.Work "obdd.nodes";
+              site = "obdd.mk";
+              limit = float_of_int n;
+              spent = float_of_int n })
 
-let try_dpll config stats db q =
+let try_dpll config stats guard db q =
   let ctx = Lineage.create db in
   match Lineage.of_query ctx q with
   | exception Invalid_argument msg -> Skip msg
@@ -173,7 +216,7 @@ let try_dpll config stats db q =
       let dpll_config =
         { Dpll.default_config with Dpll.max_decisions = config.dpll_max_decisions }
       in
-      match Dpll.count ~config:dpll_config ~prob:(Lineage.prob ctx) f with
+      match Dpll.count ~config:dpll_config ~guard ~prob:(Lineage.prob ctx) f with
       | r ->
           stats.Stats.dpll <- Some (Dpll.obs_counts r.Dpll.stats);
           stats.Stats.circuit <- Some (Probdb_kc.Circuit.obs_counts r.Dpll.circuit);
@@ -182,9 +225,13 @@ let try_dpll config stats db q =
               ~queries:r.Dpll.stats.Dpll.cache_queries;
           Ok_outcome (Exact r.Dpll.prob)
       | exception Dpll.Decision_limit n ->
-          Skip (Printf.sprintf "decision budget %d exceeded" n))
+          Trip
+            { Guard.resource = Guard.Work "dpll.decisions";
+              site = "dpll.shannon";
+              limit = float_of_int n;
+              spent = float_of_int n })
 
-let try_karp_luby config db q =
+let try_karp_luby config guard db q =
   if not (Core.Tid.is_standard db) then Skip "non-standard probabilities"
   else
     match Ucq.of_sentence q with
@@ -198,7 +245,7 @@ let try_karp_luby config db q =
           | exception Invalid_argument msg -> Skip msg
           | clauses ->
               let est =
-                Karp_luby.estimate ~seed:config.seed ~samples:config.kl_samples
+                Karp_luby.estimate ~seed:config.seed ~guard ~samples:config.kl_samples
                   ~prob:(Lineage.prob ctx) clauses
               in
               let v = Ucq.apply_mode mode est.Karp_luby.mean in
@@ -211,15 +258,19 @@ let try_world_enum config db q =
          (Core.Tid.support_size db) config.max_enum_support)
   else Ok_outcome (Exact (Probdb_logic.Brute_force.probability db q))
 
-let attempt config stats db q = function
-  | Lifted -> try_lifted stats db q
-  | Symmetric -> try_symmetric db q
-  | Safe_plan -> try_safe_plan stats db q
-  | Read_once -> try_read_once db q
-  | Obdd -> try_obdd config stats db q
-  | Dpll -> try_dpll config stats db q
-  | Karp_luby -> try_karp_luby config db q
-  | World_enum -> try_world_enum config db q
+let attempt config stats guard db q s =
+  let run () =
+    match s with
+    | Lifted -> try_lifted stats guard db q
+    | Symmetric -> try_symmetric guard db q
+    | Safe_plan -> try_safe_plan stats guard db q
+    | Read_once -> try_read_once db q
+    | Obdd -> try_obdd config stats guard db q
+    | Dpll -> try_dpll config stats guard db q
+    | Karp_luby -> try_karp_luby config guard db q
+    | World_enum -> try_world_enum config db q
+  in
+  match run () with r -> r | exception Guard.Exhausted trip -> Trip trip
 
 let evaluate ?(config = default_config) ?stats db q =
   if not (Fo.is_sentence q) then
@@ -228,6 +279,7 @@ let evaluate ?(config = default_config) ?stats db q =
   if stats.Stats.query = None then
     stats.Stats.query <- Some (Format.asprintf "%a" Fo.pp q);
   Counter.incr "engine.queries";
+  let guard = guard_of_config config in
   let rec go skipped = function
     | [] ->
         stats.Stats.skipped <-
@@ -237,7 +289,7 @@ let evaluate ?(config = default_config) ?stats db q =
         (* [Plan.safe_plan] time lands in the Plan phase inside the attempt;
            subtract it so Classify/Solve only get what is really theirs. *)
         let plan_before = stats.Stats.plan_s in
-        let result, dt = Clock.time (fun () -> attempt config stats db q s) in
+        let result, dt = Clock.time (fun () -> attempt config stats guard db q s) in
         let dt = Float.max 0.0 (dt -. (stats.Stats.plan_s -. plan_before)) in
         match result with
         | Ok_outcome outcome ->
@@ -255,9 +307,163 @@ let evaluate ?(config = default_config) ?stats db q =
             { outcome; strategy = s; skipped = List.rev skipped; stats }
         | Skip reason ->
             Stats.record_phase stats Stats.Classify dt;
-            go ((s, reason) :: skipped) rest)
+            go ((s, reason) :: skipped) rest
+        | Trip trip ->
+            Stats.record_phase stats Stats.Classify dt;
+            go ((s, Guard.describe trip) :: skipped) rest)
   in
   go [] config.strategies
+
+(* ---------- guaranteed-completion evaluation ---------- *)
+
+(* The (ε,δ) fallback: Karp–Luby on the monotone DNF lineage, with the
+   sample count from the classical FPRAS bound capped at [max_samples].
+   Runs unguarded — sampling is the one method whose cost is fixed up
+   front, so completion is guaranteed. Returns [None] when the query has
+   no monotone DNF lineage to sample (complemented atoms, non-standard
+   probabilities, outside the UCQ fragment). *)
+let kl_fallback config ~eps ~delta ~max_samples db q =
+  if not (Core.Tid.is_standard db) then None
+  else
+    match Ucq.of_sentence q with
+    | exception Ucq.Unsupported _ -> None
+    | ucq, mode -> (
+        if
+          List.exists
+            (List.exists (fun (a : Probdb_logic.Cq.atom) -> a.Probdb_logic.Cq.comp))
+            ucq
+        then None
+        else
+          let ctx = Lineage.create db in
+          match Lineage.dnf_of_ucq ctx ucq with
+          | exception Invalid_argument _ -> None
+          | clauses ->
+              let m = max 1 (List.length clauses) in
+              let samples =
+                min (Karp_luby.required_samples ~eps ~delta ~clauses:m) max_samples
+              in
+              let est =
+                Karp_luby.estimate ~seed:config.seed ~samples
+                  ~prob:(Lineage.prob ctx) clauses
+              in
+              let lo, hi = Karp_luby.confidence_interval ~delta est in
+              let v = Ucq.apply_mode mode est.Karp_luby.mean in
+              let lo, hi =
+                match mode with
+                | Ucq.Direct -> (lo, hi)
+                | Ucq.Complemented -> (1.0 -. hi, 1.0 -. lo)
+              in
+              Some
+                ( v,
+                  est.Karp_luby.std_error,
+                  { Answer.ci_low = lo; ci_high = hi; eps; delta; samples } ))
+
+let eval ?(config = default_config) ?stats db q =
+  if not (Fo.is_sentence q) then
+    invalid_arg "Engine.eval: open formula (use Engine.answers)";
+  let stats = match stats with Some s -> s | None -> Stats.create () in
+  if stats.Stats.query = None then
+    stats.Stats.query <- Some (Format.asprintf "%a" Fo.pp q);
+  Counter.incr "engine.queries";
+  let guard = guard_of_config config in
+  (* With degradation on, Karp–Luby is reserved for the fallback so that
+     [degraded = true] means exactly "no exact strategy completed". *)
+  let strategies =
+    match config.degrade with
+    | Some _ -> List.filter (fun s -> s <> Karp_luby) config.strategies
+    | None -> config.strategies
+  in
+  let finish_stats chain =
+    stats.Stats.chain <- Answer.chain_to_stats chain;
+    stats.Stats.skipped <-
+      List.map (fun s -> (Answer.step_strategy s, Answer.step_detail s)) chain
+  in
+  let fail chain =
+    finish_stats chain;
+    let tripped =
+      List.find_map
+        (function
+          | Answer.Tripped { resource; site; detail; _ } -> Some (resource, site, detail)
+          | Answer.Skipped _ -> None)
+        chain
+    in
+    match tripped with
+    | Some (resource, site, detail) -> Result.Error (Error.Exhausted { resource; site; detail })
+    | None ->
+        Result.Error
+          (Error.No_method
+             (List.map (fun s -> (Answer.step_strategy s, Answer.step_detail s)) chain))
+  in
+  let degrade_or_fail chain =
+    match config.degrade with
+    | None -> fail chain
+    | Some { eps; delta; max_samples } -> (
+        let result, dt =
+          Clock.time (fun () -> kl_fallback config ~eps ~delta ~max_samples db q)
+        in
+        Stats.record_phase stats Stats.Solve dt;
+        match result with
+        | None -> fail chain
+        | Some (v, std_error, confidence) ->
+            finish_stats chain;
+            stats.Stats.strategy <- Some (strategy_name Karp_luby);
+            stats.Stats.probability <- Some v;
+            stats.Stats.exact <- false;
+            stats.Stats.std_error <- Some std_error;
+            stats.Stats.degraded <- true;
+            stats.Stats.ci_low <- Some confidence.Answer.ci_low;
+            stats.Stats.ci_high <- Some confidence.Answer.ci_high;
+            stats.Stats.samples <- Some confidence.Answer.samples;
+            Counter.incr "engine.degraded";
+            Result.Ok
+              { Answer.value = v;
+                exact = false;
+                strategy = strategy_name Karp_luby;
+                degraded = true;
+                confidence = Some confidence;
+                chain;
+                stats })
+  in
+  let rec go chain = function
+    | [] -> degrade_or_fail (List.rev chain)
+    | s :: rest -> (
+        let plan_before = stats.Stats.plan_s in
+        let result, dt = Clock.time (fun () -> attempt config stats guard db q s) in
+        let dt = Float.max 0.0 (dt -. (stats.Stats.plan_s -. plan_before)) in
+        match result with
+        | Ok_outcome outcome ->
+            Stats.record_phase stats Stats.Solve dt;
+            let chain = List.rev chain in
+            finish_stats chain;
+            stats.Stats.strategy <- Some (strategy_name s);
+            stats.Stats.probability <- Some (value outcome);
+            let exact, confidence =
+              match outcome with
+              | Exact _ ->
+                  stats.Stats.exact <- true;
+                  (true, None)
+              | Approximate { std_error; _ } ->
+                  stats.Stats.exact <- false;
+                  stats.Stats.std_error <- Some std_error;
+                  (false, None)
+            in
+            Counter.incr ("engine.strategy." ^ strategy_name s);
+            Result.Ok
+              { Answer.value = value outcome;
+                exact;
+                strategy = strategy_name s;
+                degraded = false;
+                confidence;
+                chain;
+                stats }
+        | Skip reason ->
+            Stats.record_phase stats Stats.Classify dt;
+            go (Answer.Skipped { strategy = strategy_name s; reason } :: chain) rest
+        | Trip trip ->
+            Stats.record_phase stats Stats.Classify dt;
+            go (Answer.step_of_trip ~strategy:(strategy_name s) trip :: chain) rest)
+  in
+  go [] strategies
 
 let probability ?config db q = value (evaluate ?config db q).outcome
 

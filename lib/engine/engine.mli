@@ -38,6 +38,14 @@ type strategy =
 
 val strategy_name : strategy -> string
 
+type degrade = {
+  eps : float;  (** target relative error of the fallback approximation *)
+  delta : float;  (** target failure probability *)
+  max_samples : int;
+      (** hard cap on Monte-Carlo samples, so the fallback itself has a
+          bounded cost (the FPRAS bound [4m·ln(2/δ)/ε²] can be huge) *)
+}
+
 type config = {
   strategies : strategy list;  (** tried in order *)
   obdd_max_nodes : int;
@@ -45,11 +53,26 @@ type config = {
   kl_samples : int;
   max_enum_support : int;
   seed : int;
+  deadline_s : float option;
+      (** wall-clock deadline across all strategies (monotonic clock) *)
+  max_ie_terms : int option;
+      (** budget on lifted inclusion–exclusion terms (["lifted.ie_terms"]) *)
+  max_plan_rows : int option;
+      (** budget on plan intermediate-relation rows (["plan.rows"]) *)
+  heap_watermark_words : int option;  (** major-heap watermark *)
+  fault : Probdb_guard.Guard.fault option;
+      (** deterministic fault injection, for tests *)
+  degrade : degrade option;
+      (** [Some _]: {!eval} falls back to the (ε,δ) Karp–Luby approximation
+          when every exact strategy is skipped or tripped, and Karp–Luby is
+          removed from the main strategy loop. [None]: {!eval} fails
+          instead. Ignored by the legacy {!evaluate}. *)
 }
 
 val default_config : config
 (** All eight strategies in the order above; 200k OBDD nodes, 2M decisions,
-    100k Karp–Luby samples. *)
+    100k Karp–Luby samples; no deadline, no budgets, no fault; degradation
+    on at [eps = 0.1], [delta = 0.05], at most 20k samples. *)
 
 val exact_only : config
 (** Drops Karp–Luby. *)
@@ -85,6 +108,30 @@ val evaluate :
     @param stats the record to fill; freshly created when absent.
     @raise Invalid_argument on open formulas — use {!answers}.
     @raise No_method when every configured strategy is skipped. *)
+
+val eval :
+  ?config:config ->
+  ?stats:Probdb_obs.Stats.t ->
+  Probdb_core.Tid.t ->
+  Probdb_logic.Fo.t ->
+  (Answer.t, Probdb_core.Probdb_error.t) result
+(** Guaranteed-completion evaluation. Like {!evaluate}, but
+
+    - a {!Probdb_guard.Guard.t} built from the config's [deadline_s],
+      budgets, heap watermark and [fault] interrupts runaway strategies;
+      each interruption is recorded as a typed [Tripped] step in the
+      answer's degradation chain (solver-internal caps — OBDD nodes, DPLL
+      decisions — are recorded the same way);
+    - when every exact strategy is skipped or tripped and [config.degrade]
+      is [Some _], the engine degrades to the Karp–Luby
+      (ε,δ)-approximation (unguarded but sample-capped, so it always
+      terminates) and returns a [degraded] answer with its confidence
+      interval;
+    - instead of raising, failures come back as
+      [Error (Exhausted _)] (some strategy tripped a resource and no
+      fallback applied) or [Error (No_method _)] (nothing was applicable).
+
+    @raise Invalid_argument on open formulas — use {!answers}. *)
 
 val probability : ?config:config -> Probdb_core.Tid.t -> Probdb_logic.Fo.t -> float
 (** The numeric value of {!evaluate}'s outcome. *)

@@ -1,0 +1,134 @@
+module Clock = Probdb_obs.Clock
+
+type resource = Deadline | Cancelled | Heap | Fault | Work of string
+
+type trip = { resource : resource; site : string; limit : float; spent : float }
+
+exception Exhausted of trip
+
+type fault =
+  | Trip_at_poll of { poll : int; resource : resource }
+  | Fail_io_at of int
+
+type budget = { limit : int; mutable spent : int }
+
+type t = {
+  born : float;  (* Clock.now at creation *)
+  deadline_s : float option;  (* relative limit, for messages *)
+  deadline_at : float option;  (* absolute Clock time *)
+  heap_watermark : int option;
+  fault : fault option;
+  mutable cancelled : bool;
+  budgets : (string, budget) Hashtbl.t;
+  mutable poll_count : int;
+  mutable io_count : int;
+  live : bool;  (* false only for [unlimited]: every check short-circuits *)
+}
+
+let make ~live ?deadline_s ?heap_watermark_words ?fault () =
+  let born = Clock.now () in
+  { born;
+    deadline_s;
+    deadline_at = Option.map (fun d -> born +. d) deadline_s;
+    heap_watermark = heap_watermark_words;
+    fault;
+    cancelled = false;
+    budgets = Hashtbl.create 8;
+    poll_count = 0;
+    io_count = 0;
+    live }
+
+let create ?deadline_s ?heap_watermark_words ?fault () =
+  make ~live:true ?deadline_s ?heap_watermark_words ?fault ()
+
+let unlimited = make ~live:false ()
+
+let set_budget g name limit =
+  if g.live then Hashtbl.replace g.budgets name { limit; spent = 0 }
+
+let budget_spent g name =
+  match Hashtbl.find_opt g.budgets name with Some b -> b.spent | None -> 0
+
+let cancel g = if g.live then g.cancelled <- true
+
+let is_cancelled g = g.cancelled
+
+let polls g = g.poll_count
+
+let elapsed_s g = Clock.now () -. g.born
+
+let remaining_s g =
+  Option.map (fun at -> Float.max 0.0 (at -. Clock.now ())) g.deadline_at
+
+let trip resource ~site ~limit ~spent =
+  raise (Exhausted { resource; site; limit; spent })
+
+let poll g ~site =
+  if g.live then begin
+    g.poll_count <- g.poll_count + 1;
+    (match g.fault with
+    | Some (Trip_at_poll { poll; resource }) when g.poll_count >= poll ->
+        trip resource ~site ~limit:(float_of_int poll)
+          ~spent:(float_of_int g.poll_count)
+    | _ -> ());
+    if g.cancelled then trip Cancelled ~site ~limit:0.0 ~spent:(elapsed_s g);
+    (match g.deadline_at with
+    | Some at ->
+        let now = Clock.now () in
+        if now > at then
+          trip Deadline ~site
+            ~limit:(Option.value ~default:0.0 g.deadline_s)
+            ~spent:(now -. g.born)
+    | None -> ());
+    match g.heap_watermark with
+    | Some w ->
+        let words = (Gc.quick_stat ()).Gc.heap_words in
+        if words > w then
+          trip Heap ~site ~limit:(float_of_int w) ~spent:(float_of_int words)
+    | None -> ()
+  end
+
+let charge g ~site name n =
+  if g.live then begin
+    (match Hashtbl.find_opt g.budgets name with
+    | Some b ->
+        b.spent <- b.spent + n;
+        if b.spent > b.limit then
+          trip (Work name) ~site ~limit:(float_of_int b.limit)
+            ~spent:(float_of_int b.spent)
+    | None -> ());
+    poll g ~site
+  end
+
+let io g ~path =
+  if g.live then begin
+    g.io_count <- g.io_count + 1;
+    match g.fault with
+    | Some (Fail_io_at n) when g.io_count = n ->
+        raise (Sys_error (path ^ ": injected I/O fault (guard)"))
+    | _ -> ()
+  end
+
+let resource_name = function
+  | Deadline -> "deadline"
+  | Cancelled -> "cancelled"
+  | Heap -> "heap"
+  | Fault -> "fault"
+  | Work name -> name
+
+let describe t =
+  match t.resource with
+  | Deadline ->
+      Printf.sprintf "deadline %.3fs exhausted at %s (elapsed %.3fs)" t.limit
+        t.site t.spent
+  | Cancelled -> Printf.sprintf "cancelled at %s (elapsed %.3fs)" t.site t.spent
+  | Heap ->
+      Printf.sprintf "heap watermark %.0f words exceeded at %s (%.0f live)"
+        t.limit t.site t.spent
+  | Fault ->
+      Printf.sprintf "injected fault tripped at %s (poll %.0f)" t.site t.spent
+  | Work name ->
+      Printf.sprintf "budget %s=%.0f exhausted at %s (spent %.0f)" name t.limit
+        t.site t.spent
+
+let pp_trip ppf t = Format.pp_print_string ppf (describe t)

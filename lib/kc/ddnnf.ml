@@ -5,12 +5,13 @@ type t =
   | And of t list
   | Or of t list
 
-let of_circuit root =
+let of_circuit ?(guard = Probdb_guard.Guard.unlimited) root =
   let memo = Hashtbl.create 64 in
   let rec go (c : Circuit.t) =
     match Hashtbl.find_opt memo c.Circuit.id with
     | Some d -> d
     | None ->
+        Probdb_guard.Guard.poll guard ~site:"ddnnf.of_circuit";
         let d =
           match c.Circuit.node with
           | Circuit.True_ -> Tru

@@ -17,9 +17,10 @@ type t =
   | And of t list
   | Or of t list
 
-val of_circuit : Circuit.t -> t
+val of_circuit : ?guard:Probdb_guard.Guard.t -> Circuit.t -> t
 (** Embeds a decision circuit (decision-DNNF). Raises [Invalid_argument] on
-    circuits containing independent-or nodes, which are not d-DNNF. *)
+    circuits containing independent-or nodes, which are not d-DNNF. [guard]
+    is polled once per distinct circuit node (site ["ddnnf.of_circuit"]). *)
 
 val eval : (int -> bool) -> t -> bool
 

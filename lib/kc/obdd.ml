@@ -1,4 +1,5 @@
 module F = Probdb_boolean.Formula
+module Guard = Probdb_guard.Guard
 
 type t = Zero | One | Node of { uid : int; var : int; lo : t; hi : t }
 
@@ -13,9 +14,10 @@ type manager = {
   mutable rev_order : int list;
   mutable next_uid : int;
   max_nodes : int;
+  guard : Guard.t;
 }
 
-let manager ?(max_nodes = max_int) ~order () =
+let manager ?(max_nodes = max_int) ?(guard = Guard.unlimited) ~order () =
   let m =
     { unique = Hashtbl.create 1024;
       and_memo = Hashtbl.create 1024;
@@ -24,7 +26,8 @@ let manager ?(max_nodes = max_int) ~order () =
       level_tbl = Hashtbl.create 64;
       rev_order = [];
       next_uid = 2;
-      max_nodes }
+      max_nodes;
+      guard }
   in
   List.iter
     (fun v ->
@@ -57,6 +60,7 @@ let mk m v lo hi =
     match Hashtbl.find_opt m.unique key with
     | Some n -> n
     | None ->
+        Guard.poll m.guard ~site:"obdd.mk";
         if Hashtbl.length m.unique >= m.max_nodes then
           raise (Node_limit m.max_nodes);
         let n = Node { uid = m.next_uid; var = v; lo; hi } in

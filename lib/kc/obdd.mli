@@ -15,9 +15,14 @@ exception Node_limit of int
 (** Raised by constructions when the manager exceeds its node budget — used
     by the exponential-blow-up experiments to bail out early. *)
 
-val manager : ?max_nodes:int -> order:int list -> unit -> manager
+val manager :
+  ?max_nodes:int -> ?guard:Probdb_guard.Guard.t -> order:int list -> unit -> manager
 (** [order] is the global variable order, first variable tested first.
-    Variables absent from [order] are appended on first use. *)
+    Variables absent from [order] are appended on first use. [guard]
+    (default {!Probdb_guard.Guard.unlimited}) is polled on every fresh node
+    allocation (site ["obdd.mk"]), so deadlines and cancellation interrupt
+    compilation with [Probdb_guard.Guard.Exhausted]; the manager's own
+    [max_nodes] cap still raises {!Node_limit}. *)
 
 val order : manager -> int list
 

@@ -2,6 +2,7 @@ module Core = Probdb_core
 module Fo = Probdb_logic.Fo
 module Cq = Probdb_logic.Cq
 module Ucq = Probdb_logic.Ucq
+module Guard = Probdb_guard.Guard
 
 exception Unsafe of string
 
@@ -199,7 +200,7 @@ let nonempty_subsets xs =
   in
   List.filter (fun (_, k) -> k > 0) (go xs)
 
-let eval_query config stats db (q0 : query) =
+let eval_query config stats guard db (q0 : query) =
   let domain = Core.Tid.domain db in
   let base (a : Cq.atom) tuple =
     stats.base_lookups <- stats.base_lookups + 1;
@@ -211,6 +212,7 @@ let eval_query config stats db (q0 : query) =
     else p
   in
   let rec prob_query q =
+    Guard.poll guard ~site:"lifted.query";
     let q = conj_minimize (List.map clause_minimize q) in
     match q with
     | [] -> 1.0
@@ -261,6 +263,9 @@ let eval_query config stats db (q0 : query) =
       end
     in
     stats.ie_terms <- stats.ie_terms + List.length terms;
+    (* The I/E expansion is the one lifted step that can explode (2^clauses
+       terms, each recursing); it gets its own work budget. *)
+    Guard.charge guard ~site:"lifted.ie" "lifted.ie_terms" (List.length terms);
     Log.debug (fun m ->
         m "inclusion-exclusion over %d clauses: %d terms after cancellation"
           (List.length clauses) (List.length terms));
@@ -268,6 +273,7 @@ let eval_query config stats db (q0 : query) =
       (fun acc (d, coeff) -> acc +. (float_of_int coeff *. prob_clause d))
       0.0 terms
   and prob_clause d =
+    Guard.poll guard ~site:"lifted.clause";
     let d = clause_minimize d in
     match d with
     | [] -> 0.0
@@ -305,12 +311,13 @@ let eval_query config stats db (q0 : query) =
   in
   prob_query q0
 
-let probability_ucq ?(config = default_config) ?(stats = fresh_stats ()) db ucq =
-  eval_query config stats db (query_of_ucq ucq)
+let probability_ucq ?(config = default_config) ?(stats = fresh_stats ())
+    ?(guard = Guard.unlimited) db ucq =
+  eval_query config stats guard db (query_of_ucq ucq)
 
-let probability ?config ?stats db q =
+let probability ?config ?stats ?guard db q =
   let ucq, mode = Ucq.of_sentence q in
-  Ucq.apply_mode mode (probability_ucq ?config ?stats db ucq)
+  Ucq.apply_mode mode (probability_ucq ?config ?stats ?guard db ucq)
 
 type verdict = Safe | Unsafe_by_rules of string | Unsupported of string
 

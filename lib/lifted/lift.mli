@@ -73,13 +73,28 @@ val obs_counts : stats -> Probdb_obs.Stats.lifted_rules
     report rule applications. *)
 
 val probability :
-  ?config:config -> ?stats:stats -> Probdb_core.Tid.t -> Probdb_logic.Fo.t -> float
+  ?config:config ->
+  ?stats:stats ->
+  ?guard:Probdb_guard.Guard.t ->
+  Probdb_core.Tid.t ->
+  Probdb_logic.Fo.t ->
+  float
 (** [probability db q] evaluates a unate ∃*/∀* sentence by lifted inference.
     Raises {!Unsafe} when the rules fail, [Probdb_logic.Ucq.Unsupported]
-    outside the fragment. *)
+    outside the fragment. [guard] (default
+    {!Probdb_guard.Guard.unlimited}) is polled at every query/clause
+    recursion (sites ["lifted.query"], ["lifted.clause"]) and charged
+    ["lifted.ie_terms"] work units per inclusion–exclusion expansion, so an
+    exploding derivation raises [Probdb_guard.Guard.Exhausted] instead of
+    running away. *)
 
 val probability_ucq :
-  ?config:config -> ?stats:stats -> Probdb_core.Tid.t -> Probdb_logic.Ucq.t -> float
+  ?config:config ->
+  ?stats:stats ->
+  ?guard:Probdb_guard.Guard.t ->
+  Probdb_core.Tid.t ->
+  Probdb_logic.Ucq.t ->
+  float
 
 type verdict =
   | Safe  (** lifted inference succeeds: PQE(Q) is in PTIME *)

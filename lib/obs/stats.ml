@@ -40,6 +40,11 @@ type t = {
   mutable plan : plan_counts option;
   mutable memo_hit_rate : float option;
   mutable skipped : (string * string) list;
+  mutable degraded : bool;
+  mutable ci_low : float option;
+  mutable ci_high : float option;
+  mutable samples : int option;
+  mutable chain : (string * string * string) list;
 }
 
 let create () =
@@ -57,7 +62,12 @@ let create () =
     circuit = None;
     plan = None;
     memo_hit_rate = None;
-    skipped = [] }
+    skipped = [];
+    degraded = false;
+    ci_low = None;
+    ci_high = None;
+    samples = None;
+    chain = [] }
 
 let total_s t = t.parse_s +. t.classify_s +. t.plan_s +. t.solve_s
 
@@ -134,7 +144,20 @@ let to_json t =
           (List.map
              (fun (s, reason) ->
                Json.Obj [ ("strategy", Json.Str s); ("reason", Json.Str reason) ])
-             t.skipped) ) ]
+             t.skipped) );
+      ("degraded", Json.Bool t.degraded);
+      ("ci_low", opt (fun f -> Json.Float f) t.ci_low);
+      ("ci_high", opt (fun f -> Json.Float f) t.ci_high);
+      ("samples", opt (fun n -> Json.Int n) t.samples);
+      ( "chain",
+        Json.List
+          (List.map
+             (fun (s, kind, detail) ->
+               Json.Obj
+                 [ ("strategy", Json.Str s);
+                   ("kind", Json.Str kind);
+                   ("detail", Json.Str detail) ])
+             t.chain) ) ]
 
 (* ---------- human table ---------- *)
 
@@ -185,4 +208,18 @@ let pp ppf t =
   (match t.memo_hit_rate with
   | Some r -> line "memo hit rate    %.1f%%@." (100.0 *. r)
   | None -> ());
-  List.iter (fun (s, reason) -> line "skipped          %s: %s@." s reason) t.skipped
+  if t.degraded then begin
+    line "degraded         yes — exact strategies exhausted@.";
+    (match (t.ci_low, t.ci_high) with
+    | Some lo, Some hi -> line "confidence       [%.9g, %.9g]@." lo hi
+    | _ -> ());
+    match t.samples with
+    | Some n -> line "samples          %d@." n
+    | None -> ()
+  end;
+  List.iter
+    (fun (s, kind, detail) -> line "chain            %s %s: %s@." s kind detail)
+    t.chain;
+  (* [chain] is the typed superset of [skipped]; avoid printing both *)
+  if t.chain = [] then
+    List.iter (fun (s, reason) -> line "skipped          %s: %s@." s reason) t.skipped

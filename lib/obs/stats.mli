@@ -67,6 +67,15 @@ type t = {
   mutable memo_hit_rate : float option;
       (** cache hits / cache queries of the winning solver, when it caches *)
   mutable skipped : (string * string) list;  (** strategy, reason — in trial order *)
+  mutable degraded : bool;
+      (** the exact strategies were exhausted and the answer is the (ε,δ)
+          Karp–Luby fallback *)
+  mutable ci_low : float option;  (** (1-δ)-confidence interval, degraded answers *)
+  mutable ci_high : float option;
+  mutable samples : int option;  (** Monte-Carlo samples drawn, degraded answers *)
+  mutable chain : (string * string * string) list;
+      (** degradation chain: strategy, kind (["skipped"] or ["tripped"]),
+          detail — in trial order; the typed superset of [skipped] *)
 }
 
 val create : unit -> t

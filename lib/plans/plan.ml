@@ -1,6 +1,7 @@
 module Core = Probdb_core
 module Cq = Probdb_logic.Cq
 module Fo = Probdb_logic.Fo
+module Guard = Probdb_guard.Guard
 module Sset = Set.Make (String)
 
 type t =
@@ -23,18 +24,29 @@ let rec atoms = function
   | Join (p1, p2) -> atoms p1 @ atoms p2
   | Project (_, p) -> atoms p
 
-let rec eval db = function
-  | Scan a -> Ptable.scan db a
-  | Join (p1, p2) -> Ptable.join (eval db p1) (eval db p2)
-  | Project (keep, p) -> Ptable.project keep (eval db p)
+let eval ?(guard = Guard.unlimited) db plan =
+  (* Each operator's output cardinality is charged against the guard's
+     ["plan.rows"] budget, bounding intermediate-relation blow-up. *)
+  let observe t =
+    Guard.charge guard ~site:"plan.eval" "plan.rows" (List.length t.Ptable.rows);
+    t
+  in
+  let rec go = function
+    | Scan a -> observe (Ptable.scan db a)
+    | Join (p1, p2) -> observe (Ptable.join (go p1) (go p2))
+    | Project (keep, p) -> observe (Ptable.project keep (go p))
+  in
+  go plan
 
-let boolean_prob db plan = Ptable.boolean_prob (eval db plan)
+let boolean_prob ?guard db plan = Ptable.boolean_prob (eval ?guard db plan)
 
-let eval_counting db plan =
+let eval_counting ?(guard = Guard.unlimited) db plan =
   let operators = ref 0 and peak = ref 0 in
   let observe t =
     incr operators;
-    peak := max !peak (List.length t.Ptable.rows);
+    let rows = List.length t.Ptable.rows in
+    peak := max !peak rows;
+    Guard.charge guard ~site:"plan.eval" "plan.rows" rows;
     t
   in
   let rec go = function
@@ -45,8 +57,8 @@ let eval_counting db plan =
   let result = go plan in
   (result, { Probdb_obs.Stats.operators = !operators; peak_rows = !peak })
 
-let boolean_prob_counting db plan =
-  let t, counts = eval_counting db plan in
+let boolean_prob_counting ?guard db plan =
+  let t, counts = eval_counting ?guard db plan in
   (Ptable.boolean_prob t, counts)
 
 let is_safe plan =

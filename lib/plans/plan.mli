@@ -19,17 +19,29 @@ val out_vars : t -> string list
 
 val atoms : t -> Probdb_logic.Cq.atom list
 
-val eval : Probdb_core.Tid.t -> t -> Ptable.t
+val eval : ?guard:Probdb_guard.Guard.t -> Probdb_core.Tid.t -> t -> Ptable.t
+(** [guard] (default {!Probdb_guard.Guard.unlimited}) is charged
+    ["plan.rows"] work units per operator output row (site ["plan.eval"]),
+    so a cardinality budget or deadline interrupts evaluation with
+    [Probdb_guard.Guard.Exhausted]. *)
 
-val boolean_prob : Probdb_core.Tid.t -> t -> float
+val boolean_prob : ?guard:Probdb_guard.Guard.t -> Probdb_core.Tid.t -> t -> float
 (** Evaluates a plan whose output has no columns. *)
 
-val eval_counting : Probdb_core.Tid.t -> t -> Ptable.t * Probdb_obs.Stats.plan_counts
+val eval_counting :
+  ?guard:Probdb_guard.Guard.t ->
+  Probdb_core.Tid.t ->
+  t ->
+  Ptable.t * Probdb_obs.Stats.plan_counts
 (** Like {!eval}, additionally reporting the number of operators evaluated
     and the peak intermediate-relation cardinality — the space measure the
     oblivious-bounds experiments (Thm. 6.1) track per plan. *)
 
-val boolean_prob_counting : Probdb_core.Tid.t -> t -> float * Probdb_obs.Stats.plan_counts
+val boolean_prob_counting :
+  ?guard:Probdb_guard.Guard.t ->
+  Probdb_core.Tid.t ->
+  t ->
+  float * Probdb_obs.Stats.plan_counts
 (** {!boolean_prob} with the same operator/cardinality counts. *)
 
 val is_safe : t -> bool

@@ -1,4 +1,5 @@
 module Fo = Probdb_logic.Fo
+module Guard = Probdb_guard.Guard
 
 exception Unsupported of string
 
@@ -140,7 +141,8 @@ let () =
 
 let choose n k = factorials.(n) /. (factorials.(k) *. factorials.(n - k))
 
-let cell_algorithm ?(stats = fresh_stats ()) ~max_terms ~n preds matrix =
+let cell_algorithm ?(stats = fresh_stats ()) ?(guard = Guard.unlimited) ~max_terms ~n
+    preds matrix =
   if n > 170 then unsupported "domain size %d too large for float factorials" n;
   stats.cell_calls <- stats.cell_calls + 1;
   let binaries = List.filter (fun p -> p.arity = 2) preds in
@@ -172,6 +174,7 @@ let cell_algorithm ?(stats = fresh_stats ()) ~max_terms ~n preds matrix =
         let ni = remaining in
         counts.(i) <- ni;
         stats.compositions <- stats.compositions + 1;
+        Guard.poll guard ~site:"wfomc.compose";
         if stats.compositions > max_terms then
           unsupported "composition budget exceeded (%d terms)" max_terms;
         let acc = acc *. powi live.(i).weight ni *. powi r.(i).(i) (ni * (ni - 1) / 2) in
@@ -249,7 +252,8 @@ let rec flatten_conjuncts = function
 
 let nonempty_and = function [] -> Fo.True | f :: fs -> List.fold_left (fun a b -> Fo.And (a, b)) f fs
 
-let probability ?(stats = fresh_stats ()) ?(max_terms = 20_000_000) db q =
+let probability ?(stats = fresh_stats ()) ?(guard = Guard.unlimited)
+    ?(max_terms = 20_000_000) db q =
   let base_preds =
     List.map
       (fun (name, arity, p) -> { pname = name; arity; wt = p; wf = 1.0 -. p })
@@ -278,7 +282,8 @@ let probability ?(stats = fresh_stats ()) ?(max_terms = 20_000_000) db q =
         ([], []) blocks
     in
     let matrix = Fo.simplify (nonempty_and (List.rev parts)) in
-    cell_algorithm ~stats ~max_terms ~n:db.Sym_db.n (base_preds @ marker_preds) matrix
+    cell_algorithm ~stats ~guard ~max_terms ~n:db.Sym_db.n (base_preds @ marker_preds)
+      matrix
   in
   let rec prob_sentence q =
     let q = Fo.simplify (Fo.nnf (Fo.elim_implies q)) in

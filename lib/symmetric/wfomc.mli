@@ -39,7 +39,15 @@ type stats = {
 val fresh_stats : unit -> stats
 
 val probability :
-  ?stats:stats -> ?max_terms:int -> Sym_db.t -> Probdb_logic.Fo.t -> float
+  ?stats:stats ->
+  ?guard:Probdb_guard.Guard.t ->
+  ?max_terms:int ->
+  Sym_db.t ->
+  Probdb_logic.Fo.t ->
+  float
 (** [probability db q] is [p_db(q)] for a symmetric database. [max_terms]
     (default 20 million) bounds the number of partition terms before
-    {!Unsupported} is raised. *)
+    {!Unsupported} is raised. [guard] (default
+    {!Probdb_guard.Guard.unlimited}) is polled at every composition term
+    (site ["wfomc.compose"]), so a deadline or cancellation interrupts the
+    partition sum with [Probdb_guard.Guard.Exhausted]. *)

@@ -65,7 +65,8 @@ let test_stats_json_roundtrip () =
           | None -> Alcotest.failf "missing member %S" key
           | Some _ -> ())
         [ "query"; "strategy"; "probability"; "phases"; "lifted_rules"; "dpll";
-          "circuit"; "plan"; "skipped" ]
+          "circuit"; "plan"; "skipped"; "degraded"; "ci_low"; "ci_high"; "samples";
+          "chain" ]
 
 (* (d) The monotonic clock never goes backwards and all recorded phase
    timings are non-negative. *)

@@ -1,10 +1,14 @@
 (* Edge cases and failure injection across the stack: malformed inputs,
-   missing relations, extreme probabilities, empty databases. *)
+   missing relations, extreme probabilities, empty databases, resource
+   guards, and the exact-to-(eps,delta) degradation path. *)
 
 module Core = Probdb_core
+module Err = Probdb_core.Probdb_error
 module L = Probdb_logic
 module E = Probdb_engine.Engine
+module Answer = Probdb_engine.Answer
 module Lift = Probdb_lifted.Lift
+module Guard = Probdb_guard.Guard
 
 let t xs = List.map Core.Value.int xs
 let parse_s = L.Parser.parse_sentence
@@ -22,17 +26,58 @@ let test_csv_malformed_probability () =
   let path = tmp "bad_prob.csv" in
   write_file path "1,2,not_a_number\n";
   match Core.Csv_io.load_relation "R" path with
-  | exception Failure msg ->
-      Alcotest.(check bool) "line number in message" true
-        (String.length msg > 0 && String.contains msg ':')
-  | _ -> Alcotest.fail "expected Failure on malformed probability"
+  | exception Err.Error (Err.Csv { path = p; line; _ }) ->
+      Alcotest.(check string) "path in error" path p;
+      Alcotest.(check int) "line number" 1 line
+  | _ -> Alcotest.fail "expected a typed Csv error on malformed probability"
 
 let test_csv_missing_columns () =
   let path = tmp "short_row.csv" in
   write_file path "0.5\n";
   match Core.Csv_io.load_relation "R" path with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected Failure on missing value columns"
+  | exception Err.Error (Err.Csv _) -> ()
+  | _ -> Alcotest.fail "expected a typed Csv error on missing value columns"
+
+let test_csv_probability_validation () =
+  (* NaN, infinities, and out-of-range values must all be rejected with the
+     offending line; ~strict:false admits out-of-range weights but never
+     non-finite ones. *)
+  List.iter
+    (fun (name, bad) ->
+      let path = tmp (Printf.sprintf "bad_%s.csv" name) in
+      write_file path (Printf.sprintf "1,0.5\n2,%s\n" bad);
+      match Core.Csv_io.load_relation "R" path with
+      | exception Err.Error (Err.Csv { line; _ }) ->
+          Alcotest.(check int) (name ^ " line") 2 line
+      | _ -> Alcotest.fail ("expected a Csv error for " ^ name))
+    [ ("nan", "nan"); ("inf", "inf"); ("neg_inf", "-inf");
+      ("negative", "-0.5"); ("above_one", "1.5") ];
+  let path = tmp "weights.csv" in
+  write_file path "1,1.25\n2,-0.25\n";
+  let rel = Core.Csv_io.load_relation ~strict:false "R" path in
+  Alcotest.(check int) "weights accepted non-strict" 2 (Core.Relation.cardinal rel);
+  (match Core.Csv_io.load_relation "R" path with
+  | exception Err.Error (Err.Csv _) -> ()
+  | _ -> Alcotest.fail "weights must be rejected in strict mode");
+  let path = tmp "nan_weight.csv" in
+  write_file path "1,nan\n";
+  match Core.Csv_io.load_relation ~strict:false "R" path with
+  | exception Err.Error (Err.Csv _) -> ()
+  | _ -> Alcotest.fail "NaN must be rejected even with ~strict:false"
+
+let test_csv_io_fault_injection () =
+  (* [Fail_io_at 1] makes the first guarded open fail like a dead disk; the
+     loader must surface it as a typed Io error naming the path. *)
+  let path = tmp "io_fault.csv" in
+  write_file path "1,0.5\n";
+  let guard = Guard.create ~fault:(Guard.Fail_io_at 1) () in
+  (match Core.Csv_io.load_relation ~guard "R" path with
+  | exception Err.Error (Err.Io { path = p; _ }) ->
+      Alcotest.(check string) "fault names the path" path p
+  | _ -> Alcotest.fail "expected a typed Io error from the injected fault");
+  (* the same guard does not fire twice with Fail_io_at 1 *)
+  let rel = Core.Csv_io.load_relation ~guard "R" path in
+  Alcotest.(check int) "second load succeeds" 1 (Core.Relation.cardinal rel)
 
 let test_csv_comments_and_blanks () =
   let path = tmp "comments.csv" in
@@ -158,12 +203,151 @@ let test_nonstandard_probabilities () =
   | exception E.No_method [ (E.Karp_luby, _) ] -> ()
   | _ -> Alcotest.fail "Karp-Luby must refuse non-standard probabilities"
 
+(* ---------- resource guards and graceful degradation ---------- *)
+
+(* A small non-hierarchical instance: every exact grounded method can do it,
+   so trips must come from guards/budgets, not from genuine hardness. *)
+let unsafe_db () =
+  Core.Tid.make
+    [ Core.Relation.of_list "R" [ (t [ 0 ], 0.5); (t [ 1 ], 0.6) ];
+      Core.Relation.of_list "S"
+        [ (t [ 0; 0 ], 0.5); (t [ 0; 1 ], 0.7); (t [ 1; 0 ], 0.4); (t [ 1; 1 ], 0.5) ];
+      Core.Relation.of_list "T" [ (t [ 0 ], 0.8); (t [ 1 ], 0.3) ] ]
+
+let unsafe_q () = parse_s "exists x y. R(x) && S(x,y) && T(y)"
+
+let test_guard_primitives () =
+  (* unlimited never trips *)
+  Guard.poll Guard.unlimited ~site:"test";
+  Guard.charge Guard.unlimited ~site:"test" "work" 1_000_000;
+  (* budgets trip with the right payload *)
+  let g = Guard.create () in
+  Guard.set_budget g "work" 10;
+  Guard.charge g ~site:"a" "work" 10;
+  (match Guard.charge g ~site:"b" "work" 1 with
+  | exception Guard.Exhausted { resource = Guard.Work "work"; site = "b"; _ } -> ()
+  | _ -> Alcotest.fail "expected the work budget to trip at site b");
+  Alcotest.(check int) "spent recorded" 11 (Guard.budget_spent g "work");
+  (* cancellation *)
+  let g = Guard.create () in
+  Guard.cancel g;
+  (match Guard.poll g ~site:"c" with
+  | exception Guard.Exhausted { resource = Guard.Cancelled; _ } -> ()
+  | _ -> Alcotest.fail "expected cancellation to trip");
+  (* deterministic fault injection *)
+  let g = Guard.create ~fault:(Guard.Trip_at_poll { poll = 3; resource = Guard.Deadline }) () in
+  Guard.poll g ~site:"p";
+  Guard.poll g ~site:"p";
+  match Guard.poll g ~site:"p" with
+  | exception Guard.Exhausted { resource = Guard.Deadline; _ } ->
+      Alcotest.(check int) "three polls" 3 (Guard.polls g)
+  | _ -> Alcotest.fail "expected the injected deadline trip at poll 3"
+
+let test_deadline_trip_degrades () =
+  (* inject a deadline trip at the very first poll: every guarded exact
+     strategy trips immediately and eval must degrade to Karp-Luby *)
+  let db = unsafe_db () and q = unsafe_q () in
+  let config =
+    { E.default_config with
+      E.strategies = [ E.Obdd; E.Dpll ];
+      fault = Some (Guard.Trip_at_poll { poll = 1; resource = Guard.Deadline });
+      degrade = Some { E.eps = 0.05; delta = 0.05; max_samples = 30_000 } }
+  in
+  match E.eval ~config db q with
+  | Error e -> Alcotest.fail ("expected a degraded answer, got error: " ^ Err.render e)
+  | Ok a ->
+      Alcotest.(check bool) "degraded" true a.Answer.degraded;
+      Alcotest.(check bool) "not exact" false a.Answer.exact;
+      Alcotest.(check string) "strategy" "karp-luby" a.Answer.strategy;
+      let tripped =
+        List.filter (function Answer.Tripped _ -> true | _ -> false) a.Answer.chain
+      in
+      Alcotest.(check int) "both strategies tripped" 2 (List.length tripped);
+      (* the (eps,delta) interval must bracket the exact answer *)
+      let truth = L.Brute_force.probability db q in
+      (match a.Answer.confidence with
+      | None -> Alcotest.fail "degraded answer must carry a confidence interval"
+      | Some c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "ci [%g, %g] brackets %g" c.Answer.ci_low c.Answer.ci_high
+               truth)
+            true
+            (c.Answer.ci_low <= truth && truth <= c.Answer.ci_high));
+      (* stats mirror the degradation *)
+      Alcotest.(check bool) "stats.degraded" true a.Answer.stats.Probdb_obs.Stats.degraded
+
+let test_decision_budget_trip () =
+  (* a tiny DPLL decision budget must surface as a typed Tripped step, and
+     with degradation off the failure is a typed Exhausted error *)
+  let db = unsafe_db () and q = unsafe_q () in
+  let config =
+    { E.default_config with
+      E.strategies = [ E.Dpll ];
+      dpll_max_decisions = 1;
+      degrade = None }
+  in
+  match E.eval ~config db q with
+  | Ok _ -> Alcotest.fail "expected failure with a 1-decision budget and no fallback"
+  | Error (Err.Exhausted { resource; site; _ }) ->
+      Alcotest.(check string) "resource" "dpll.decisions" resource;
+      Alcotest.(check string) "site" "dpll.shannon" site
+  | Error e -> Alcotest.fail ("expected Exhausted, got: " ^ Err.render e)
+
+let test_degraded_answer_close_to_exact () =
+  (* degradation with generous samples lands near the truth (seeded rng) *)
+  let db = unsafe_db () and q = unsafe_q () in
+  let truth = L.Brute_force.probability db q in
+  let config =
+    { E.default_config with
+      E.strategies = [ E.Dpll ];
+      dpll_max_decisions = 1;
+      degrade = Some { E.eps = 0.02; delta = 0.01; max_samples = 60_000 } }
+  in
+  match E.eval ~config db q with
+  | Error e -> Alcotest.fail ("expected a degraded answer, got: " ^ Err.render e)
+  | Ok a ->
+      Alcotest.(check bool) "degraded" true a.Answer.degraded;
+      Alcotest.(check bool)
+        (Printf.sprintf "value %g within 2%% of %g" a.Answer.value truth)
+        true
+        (Float.abs (a.Answer.value -. truth) <= 0.02 *. truth)
+
+let test_exact_answer_not_degraded () =
+  (* a safe query under the same config must stay exact: degradation only
+     kicks in when exact inference is exhausted *)
+  let db = unsafe_db () in
+  let q = parse_s "exists x y. R(x) && S(x,y)" in
+  let config =
+    { E.default_config with
+      E.deadline_s = Some 30.0 (* a live guard, but roomy *) }
+  in
+  match E.eval ~config db q with
+  | Error e -> Alcotest.fail ("expected an exact answer, got: " ^ Err.render e)
+  | Ok a ->
+      Alcotest.(check bool) "not degraded" false a.Answer.degraded;
+      Alcotest.(check bool) "exact" true a.Answer.exact;
+      Test_util.check_float "value" (L.Brute_force.probability db q) a.Answer.value
+
+let test_no_method_stays_typed () =
+  (* nothing applicable and no trip: the error class is No_method, not
+     Exhausted *)
+  let db = unsafe_db () and q = unsafe_q () in
+  let config =
+    { E.default_config with E.strategies = [ E.Safe_plan ]; degrade = None }
+  in
+  match E.eval ~config db q with
+  | Error (Err.No_method [ ("safe-plan", _) ]) -> ()
+  | Error e -> Alcotest.fail ("expected No_method, got: " ^ Err.render e)
+  | Ok _ -> Alcotest.fail "safe-plan cannot answer a non-hierarchical query"
+
 let suites =
   [
     ( "robustness",
       [
         Alcotest.test_case "csv malformed probability" `Quick test_csv_malformed_probability;
         Alcotest.test_case "csv missing columns" `Quick test_csv_missing_columns;
+        Alcotest.test_case "csv probability validation" `Quick test_csv_probability_validation;
+        Alcotest.test_case "csv io fault injection" `Quick test_csv_io_fault_injection;
         Alcotest.test_case "csv comments and blanks" `Quick test_csv_comments_and_blanks;
         Alcotest.test_case "missing relation = empty" `Quick test_missing_relation_consistency;
         Alcotest.test_case "zero/one probabilities" `Quick test_zero_and_one_probabilities;
@@ -172,5 +356,13 @@ let suites =
         Alcotest.test_case "engine validation" `Quick test_engine_validation;
         Alcotest.test_case "repeated vars and constants" `Quick test_repeated_vars_and_constants;
         Alcotest.test_case "non-standard probabilities" `Quick test_nonstandard_probabilities;
+        Alcotest.test_case "guard primitives" `Quick test_guard_primitives;
+        Alcotest.test_case "deadline trip degrades to (eps,delta)" `Quick
+          test_deadline_trip_degrades;
+        Alcotest.test_case "decision budget trip is typed" `Quick test_decision_budget_trip;
+        Alcotest.test_case "degraded answer close to exact" `Quick
+          test_degraded_answer_close_to_exact;
+        Alcotest.test_case "exact answer not degraded" `Quick test_exact_answer_not_degraded;
+        Alcotest.test_case "no-method stays typed" `Quick test_no_method_stays_typed;
       ] );
   ]
