@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench docs check check-budget
+.PHONY: all build test bench bench-smoke docs check check-budget
 
 all: build
 
@@ -33,9 +33,25 @@ check-budget: build
 		{ echo "check-budget: expected a degraded answer"; echo "$$out"; exit 1; }; \
 	echo "check-budget: degraded (ε,δ)-answer within deadline — OK"
 
-# What CI runs: build, test suite, the budget smoke test, and — when odoc
-# is installed — the fatal-warnings documentation build.
-check: build test check-budget
+# Smoke test for the E15 parallel/columnar benchmark: run it at toy sizes
+# (PROBDB_BENCH_SMOKE=1) and assert BENCH_parallel.json carries the schema
+# downstream tooling reads — the columnar-vs-list join rows and the
+# cross-domain-count determinism flag. `timeout 120` guards against the
+# worker pool wedging on exotic machines.
+bench-smoke: build
+	@timeout 120 env PROBDB_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- e15 \
+		>/dev/null || { echo "bench-smoke: e15 failed or hung (exit $$?)"; exit 1; }; \
+	for key in '"experiment": "parallel"' '"smoke": true' '"join_speedup"' \
+		'"columnar_rows_per_s"' '"estimates_identical": true' '"scaling"'; do \
+		grep -q "$$key" BENCH_parallel.json || \
+			{ echo "bench-smoke: BENCH_parallel.json missing $$key"; \
+			  cat BENCH_parallel.json; exit 1; }; \
+	done; \
+	echo "bench-smoke: BENCH_parallel.json schema + determinism flag — OK"
+
+# What CI runs: build, test suite, the budget and benchmark smoke tests,
+# and — when odoc is installed — the fatal-warnings documentation build.
+check: build test check-budget bench-smoke
 	@if command -v odoc >/dev/null 2>&1; then \
 		dune build @check-docs; \
 	else \

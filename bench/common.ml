@@ -9,10 +9,13 @@ let time f =
   let result = f () in
   (result, Unix.gettimeofday () -. t0)
 
-(* Median wall-clock time of [repeat] runs (seconds). *)
+(* Median wall-clock time of [repeat] runs (seconds). Each run starts
+   from a collected heap, so a measurement doesn't pay the major-GC debt
+   of whatever allocated before it. *)
 let timed ?(repeat = 3) f =
   let times =
     List.init repeat (fun _ ->
+        Gc.full_major ();
         let _, dt = time f in
         dt)
     |> List.sort Float.compare

@@ -1,0 +1,175 @@
+(* E15 — the parallel runtime: columnar plan execution vs the list-based
+   reference, and Karp–Luby batch sampling across domain counts. The
+   columnar claim is single-core (same work, unboxed inner loops); the
+   sampler rows additionally check the batch-indexed RNG streams make the
+   estimate identical at every domain count.
+
+   PROBDB_BENCH_SMOKE=1 shrinks every size so the experiment doubles as a
+   schema check for BENCH_parallel.json (make bench-smoke). *)
+
+module Core = Probdb_core
+module L = Probdb_logic
+module P = Probdb_plans
+module Exec = Probdb_exec.Exec
+module Par = Probdb_par.Par
+module Kl = Probdb_approx.Karp_luby
+module Gen = Probdb_workload.Gen
+module Q = Probdb_workload.Queries
+module Lineage = Probdb_lineage.Lineage
+module Json = Probdb_obs.Json
+
+let smoke = Sys.getenv_opt "PROBDB_BENCH_SMOKE" <> None
+
+(* R(x) with [n] keys, S(x,y) with [n] rows over those keys: the join
+   R(x) ⋈ S(x,y) streams n + n rows and outputs n. *)
+let join_db n =
+  let r = List.init n (fun i -> ([ Core.Value.int i ], 0.5)) in
+  let s =
+    List.init n (fun i -> ([ Core.Value.int (i mod max 1 (n / 4)); Core.Value.int i ], 0.5))
+  in
+  Core.Tid.make
+    [ Core.Relation.of_list "R" r; Core.Relation.of_list "S" s ]
+
+let join_plan =
+  P.Plan.Project
+    ([], P.Plan.Join (P.Plan.Scan (L.Cq.of_vars "R" [ "x" ]),
+                      P.Plan.Scan (L.Cq.of_vars "S" [ "x"; "y" ])))
+
+let r_atom = L.Cq.of_vars "R" [ "x" ]
+let s_atom = L.Cq.of_vars "S" [ "x"; "y" ]
+
+(* The join operator in isolation: both inputs pre-materialised, so the
+   numbers compare the hash-join inner loops without the (tree-bound)
+   scan cost common to both paths. *)
+let join_operator_times ~repeat db =
+  let dict = Core.Dict.create ~size_hint:(2 * Core.Tid.support_size db) () in
+  let cr = Exec.scan dict db r_atom and cs = Exec.scan dict db s_atom in
+  let tr = P.Ptable.scan db r_atom and ts = P.Ptable.scan db s_atom in
+  let t_list = Common.timed ~repeat (fun () -> ignore (P.Ptable.join tr ts)) in
+  let t_col = Common.timed ~repeat (fun () -> ignore (Exec.join cr cs)) in
+  (t_list, t_col)
+
+let columnar_vs_list () =
+  Common.section "columnar executor vs list-based reference (γ(R ⋈ S), 50% density)";
+  let sizes = if smoke then [ 200; 1_000 ] else [ 1_000; 10_000; 100_000 ] in
+  let rows, json =
+    List.map
+      (fun n ->
+        let db = join_db n in
+        let repeat = if n >= 100_000 then 3 else 5 in
+        let p_list = ref 0.0 and p_col = ref 0.0 in
+        let t_list =
+          Common.timed ~repeat (fun () -> p_list := P.Plan.boolean_prob_reference db join_plan)
+        in
+        let t_col =
+          Common.timed ~repeat (fun () -> p_col := P.Plan.boolean_prob db join_plan)
+        in
+        let jt_list, jt_col = join_operator_times ~repeat db in
+        let agree = Float.abs (!p_list -. !p_col) < 1e-9 in
+        let speedup = t_list /. t_col in
+        let join_speedup = jt_list /. jt_col in
+        let input_rows = 2 * n in
+        ( [ string_of_int n;
+            Common.pretty_time t_list;
+            Common.pretty_time t_col;
+            Printf.sprintf "%.1fx" speedup;
+            Printf.sprintf "%.1fx" join_speedup;
+            Printf.sprintf "%.3g" (float_of_int input_rows /. t_col);
+            (if agree then "yes" else "NO") ],
+          Json.Obj
+            [ ("rows", Json.Int n);
+              ("list_s", Json.Float t_list);
+              ("columnar_s", Json.Float t_col);
+              ("speedup", Json.Float speedup);
+              ("join_list_s", Json.Float jt_list);
+              ("join_columnar_s", Json.Float jt_col);
+              ("join_speedup", Json.Float join_speedup);
+              ("columnar_rows_per_s", Json.Float (float_of_int input_rows /. t_col));
+              ("agree", Json.Bool agree) ] ))
+      sizes
+    |> List.split
+  in
+  Common.table
+    ([ "rows/rel"; "list"; "columnar"; "pipeline"; "join op"; "col rows/s"; "agree" ]
+    :: rows);
+  json
+
+let sampler_scaling () =
+  Common.section "Karp–Luby batch sampling across domain counts (H0 lineage)";
+  let n = if smoke then 4 else 8 in
+  let samples = if smoke then 4_000 else 200_000 in
+  let db = Gen.h0_db ~seed:4 ~n () in
+  let ctx = Lineage.create db in
+  let ucq, _ = L.Ucq.of_sentence Q.h0.Q.query in
+  let clauses = Lineage.dnf_of_ucq ctx ucq in
+  let prob = Lineage.prob ctx in
+  let counts = [ 1; 2; 4; 8 ] in
+  let runs =
+    List.map
+      (fun domains ->
+        let pool = Par.create ~domains () in
+        let est = ref None in
+        let dt =
+          Common.timed ~repeat:3 (fun () ->
+              est := Some (Kl.estimate_par ~seed:1 ~pool ~samples ~prob clauses))
+        in
+        (domains, dt, Option.get !est))
+      counts
+  in
+  let _, t1, e1 = List.hd runs in
+  let identical =
+    List.for_all (fun (_, _, e) -> e.Kl.mean = e1.Kl.mean && e.Kl.std_error = e1.Kl.std_error) runs
+  in
+  Common.table
+    ([ "domains"; "time"; "speedup"; "samples/s"; "estimate" ]
+    :: List.map
+         (fun (d, dt, e) ->
+           [ string_of_int d;
+             Common.pretty_time dt;
+             Printf.sprintf "%.2fx" (t1 /. dt);
+             Printf.sprintf "%.3g" (float_of_int samples /. dt);
+             Common.f6 e.Kl.mean ])
+         runs);
+  Printf.printf "estimates identical across domain counts: %s (hardware cores: %d)\n"
+    (if identical then "yes" else "NO")
+    (Domain.recommended_domain_count ());
+  Json.Obj
+    [ ("samples", Json.Int samples);
+      ("clauses", Json.Int (List.length clauses));
+      ("estimates_identical", Json.Bool identical);
+      ("baseline_mean", Json.Float e1.Kl.mean);
+      ( "scaling",
+        Json.List
+          (List.map
+             (fun (d, dt, e) ->
+               Json.Obj
+                 [ ("domains", Json.Int d);
+                   ("time_s", Json.Float dt);
+                   ("speedup", Json.Float (t1 /. dt));
+                   ("mean", Json.Float e.Kl.mean) ])
+             runs) ) ]
+
+let run () =
+  Common.header "E15: columnar execution + multicore runtime";
+  let join = columnar_vs_list () in
+  let sampler = sampler_scaling () in
+  Common.bench_json "parallel"
+    [ ("smoke", Json.Bool smoke);
+      ("join", Json.List join);
+      ("sampler", sampler) ]
+
+let bechamel_tests =
+  let db = join_db 1_000 in
+  let kl_db = Gen.h0_db ~seed:4 ~n:6 () in
+  let ctx = Lineage.create kl_db in
+  let ucq, _ = L.Ucq.of_sentence Q.h0.Q.query in
+  let clauses = Lineage.dnf_of_ucq ctx ucq in
+  [
+    Bechamel.Test.make ~name:"e15/columnar-join-1k"
+      (Bechamel.Staged.stage (fun () -> P.Plan.boolean_prob db join_plan));
+    Bechamel.Test.make ~name:"e15/list-join-1k"
+      (Bechamel.Staged.stage (fun () -> P.Plan.boolean_prob_reference db join_plan));
+    Bechamel.Test.make ~name:"e15/estimate-par-4k"
+      (Bechamel.Staged.stage (fun () ->
+           Kl.estimate_par ~seed:1 ~samples:4_000 ~prob:(Lineage.prob ctx) clauses));
+  ]

@@ -23,6 +23,7 @@ let experiments =
     ("e12", "engine ablation", E12_engine_ablation.run);
     ("e13", "extensions", E13_extensions.run);
     ("e14", "resource guards / degradation", E14_guard.run);
+    ("e15", "columnar execution / parallel runtime", E15_parallel.run);
   ]
 
 let micro () =
@@ -34,7 +35,8 @@ let micro () =
    @ E07_lifted_vs_grounded.bechamel_tests @ E08_symmetric.bechamel_tests
    @ E09_mln.bechamel_tests @ E10_approximation.bechamel_tests
    @ E11_duality.bechamel_tests @ E12_engine_ablation.bechamel_tests
-   @ E13_extensions.bechamel_tests @ E14_guard.bechamel_tests)
+   @ E13_extensions.bechamel_tests @ E14_guard.bechamel_tests
+   @ E15_parallel.bechamel_tests)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

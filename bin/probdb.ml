@@ -133,6 +133,17 @@ let max_plan_rows_arg =
     & info [ "max-plan-rows" ] ~docv:"N"
         ~doc:"Budget on intermediate plan rows.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "OCaml domains for parallel evaluation (default 1, sequential). \
+           Above 1, lifted inference forks independent branches and \
+           karp-luby samples in parallel batches; sampling results are \
+           identical for a given --seed at any domain count.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Trace lifted-inference rule applications.")
 
@@ -163,7 +174,7 @@ let with_timed_query stats ?(free = []) text k =
 let print_stats_json stats = print_endline (Obs.Json.to_string ~pretty:true (Stats.to_json stats))
 
 let config_of_cli meth samples deadline_ms eps delta no_degrade max_ie_terms
-    max_plan_rows =
+    max_plan_rows domains =
   let default_fallback_samples =
     match E.default_config.E.degrade with Some d -> d.E.max_samples | None -> 20_000
   in
@@ -186,10 +197,11 @@ let config_of_cli meth samples deadline_ms eps delta no_degrade max_ie_terms
     E.deadline_s = Option.map (fun ms -> float_of_int ms /. 1000.0) deadline_ms;
     max_ie_terms;
     max_plan_rows;
-    degrade }
+    degrade;
+    domains = max 1 domains }
 
 let eval_run db_dir text free meth samples deadline_ms eps delta no_degrade
-    max_ie_terms max_plan_rows verbose show_stats stats_json =
+    max_ie_terms max_plan_rows domains verbose show_stats stats_json =
   setup_verbose verbose;
   with_db db_dir @@ fun db ->
   let stats = Stats.create () in
@@ -197,7 +209,7 @@ let eval_run db_dir text free meth samples deadline_ms eps delta no_degrade
   with_timed_query stats ~free text @@ fun q ->
   let config =
     config_of_cli meth samples deadline_ms eps delta no_degrade max_ie_terms
-      max_plan_rows
+      max_plan_rows domains
   in
   match free with
   | [] -> (
@@ -245,7 +257,7 @@ let eval_cmd =
       ret
         (const eval_run $ db_arg $ query_arg $ free_arg $ method_arg $ samples_arg
        $ deadline_arg $ eps_arg $ delta_arg $ no_degrade_arg $ max_ie_terms_arg
-       $ max_plan_rows_arg $ verbose_arg $ stats_arg $ stats_json_arg))
+       $ max_plan_rows_arg $ domains_arg $ verbose_arg $ stats_arg $ stats_json_arg))
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a query's probability on a TID.") term
 
@@ -285,7 +297,7 @@ let explain_run db_dir text deadline_ms eps delta no_degrade =
   let saved_reporter = Logs.reporter () in
   Logs.set_reporter (capture_reporter (fun s -> trace := s :: !trace));
   Logs.Src.set_level Lift.log_src (Some Logs.Debug);
-  let config = config_of_cli None None deadline_ms eps delta no_degrade None None in
+  let config = config_of_cli None None deadline_ms eps delta no_degrade None None 1 in
   let result = E.eval ~config ~stats db q in
   Logs.Src.set_level Lift.log_src None;
   Logs.set_reporter saved_reporter;

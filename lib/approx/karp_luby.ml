@@ -1,4 +1,5 @@
 module Guard = Probdb_guard.Guard
+module Par = Probdb_par.Par
 
 type estimate = { mean : float; std_error : float; samples : int; union_weight : float }
 
@@ -137,6 +138,107 @@ let estimate ?(seed = 42) ?(guard = Guard.unlimited) ~samples ~prob clauses =
         let m = float_of_int samples in
         let mean_z = !sum /. m in
         let var_z = Float.max 0.0 ((!sum_sq /. m) -. (mean_z *. mean_z)) in
+        { mean = union_weight *. mean_z;
+          std_error = union_weight *. sqrt (var_z /. m);
+          samples;
+          union_weight }
+      end
+
+(* ---------- parallel estimator ---------- *)
+
+let batch_size = 1024
+
+let estimate_par ?(seed = 42) ?(guard = Guard.unlimited) ?pool ~samples ~prob clauses =
+  if samples <= 0 then invalid_arg "Karp_luby.estimate_par: need at least one sample";
+  match clauses with
+  | [] -> { mean = 0.0; std_error = 0.0; samples; union_weight = 0.0 }
+  | _ ->
+      let clauses = Array.of_list clauses in
+      let weights = Array.map (clause_weight prob) clauses in
+      let union_weight = Array.fold_left ( +. ) 0.0 weights in
+      if union_weight = 0.0 then
+        { mean = 0.0; std_error = 0.0; samples; union_weight }
+      else begin
+        let vars = all_vars (Array.to_list clauses) in
+        List.iter
+          (fun v ->
+            let p = prob v in
+            if p < 0.0 || p > 1.0 then
+              invalid_arg "Karp_luby.estimate_par: non-standard probability")
+          vars;
+        let cumulative = Array.make (Array.length weights) 0.0 in
+        let _ =
+          Array.fold_left
+            (fun (i, acc) w ->
+              let acc = acc +. w in
+              cumulative.(i) <- acc;
+              (i + 1, acc))
+            (0, 0.0) weights
+        in
+        let vmax = List.fold_left max 0 vars in
+        let clause_arr = Array.map Array.of_list clauses in
+        let var_arr = Array.of_list vars in
+        let probs = Array.map prob var_arr in
+        (* Samples are drawn in fixed-size batches; batch [b] consumes only
+           RNG stream [b] and owns its scratch arrays, so the estimate is a
+           pure function of [(seed, samples)] — identical for any pool size,
+           including the sequential [domains = 1] default. *)
+        let nbatches = (samples + batch_size - 1) / batch_size in
+        let run_batch b =
+          let rng = Par.Rng.make ~seed ~stream:b in
+          let n_here = min batch_size (samples - (b * batch_size)) in
+          let assignment = Array.make (vmax + 1) false in
+          let stamped = Array.make (vmax + 1) (-1) in
+          let polls = ref 0 in
+          let sum = ref 0.0 and sum_sq = ref 0.0 in
+          for s = 1 to n_here do
+            Guard.tick guard ~site:"kl.sample" polls;
+            let r = Par.Rng.float rng union_weight in
+            let i =
+              let rec find i =
+                if r <= cumulative.(i) || i = Array.length cumulative - 1 then i
+                else find (i + 1)
+              in
+              find 0
+            in
+            Array.iter
+              (fun v ->
+                assignment.(v) <- true;
+                stamped.(v) <- s)
+              clause_arr.(i);
+            Array.iteri
+              (fun j v ->
+                if stamped.(v) <> s then
+                  assignment.(v) <- Par.Rng.float rng 1.0 < probs.(j))
+              var_arr;
+            let n = ref 0 in
+            Array.iter
+              (fun c ->
+                let sat = ref true in
+                let k = Array.length c in
+                let j = ref 0 in
+                while !sat && !j < k do
+                  if not assignment.(c.(!j)) then sat := false;
+                  incr j
+                done;
+                if !sat then incr n)
+              clause_arr;
+            let z = 1.0 /. float_of_int !n in
+            sum := !sum +. z;
+            sum_sq := !sum_sq +. (z *. z)
+          done;
+          (!sum, !sum_sq)
+        in
+        let pool = match pool with Some p -> p | None -> Par.create ~domains:1 () in
+        let sum, sum_sq =
+          Par.map_reduce pool
+            ~map:run_batch
+            ~reduce:(fun (s, sq) (s', sq') -> (s +. s', sq +. sq'))
+            ~init:(0.0, 0.0) nbatches
+        in
+        let m = float_of_int samples in
+        let mean_z = sum /. m in
+        let var_z = Float.max 0.0 ((sum_sq /. m) -. (mean_z *. mean_z)) in
         { mean = union_weight *. mean_z;
           std_error = union_weight *. sqrt (var_z /. m);
           samples;

@@ -49,6 +49,26 @@ val estimate :
     be standard. [guard] (default {!Probdb_guard.Guard.unlimited}) is
     polled once per sample (site ["kl.sample"]). *)
 
+val batch_size : int
+(** Samples per parallel batch in {!estimate_par} (a power of two). *)
+
+val estimate_par :
+  ?seed:int ->
+  ?guard:Probdb_guard.Guard.t ->
+  ?pool:Probdb_par.Par.pool ->
+  samples:int ->
+  prob:(int -> float) ->
+  int list list ->
+  estimate
+(** Pool-parallel Karp–Luby. Samples are drawn in {!batch_size}-sized
+    batches; batch [b] uses the dedicated RNG stream
+    [Par.Rng.make ~seed ~stream:b] and partial sums are reduced in batch
+    order, so the returned estimate depends only on [(seed, samples)] — it
+    is bit-identical for any pool size (though it differs from the
+    sequential {!estimate}, which draws one global stream). [guard] polling
+    is amortised ({!Probdb_guard.Guard.tick}, site ["kl.sample"]). Without
+    [pool] the batches run on the calling domain. *)
+
 val exact_via_sampling_identity : prob:(int -> float) -> int list list -> float
 (** [Σ_θ P(θ)·1] via the identity [p(F) = Σᵢ wᵢ · E[1/N]], computed exactly
     by enumerating the variables of the DNF — a slow oracle used in tests

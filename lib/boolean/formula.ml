@@ -28,6 +28,22 @@ let rec compare a b =
 
 let equal a b = compare a b = 0
 
+(* Full structural hash (the polymorphic [Hashtbl.hash] only samples a
+   bounded prefix, which collides badly on large lineages). One pass, no
+   allocation — cheaper to build than a serialised string key and equally
+   discriminating when paired with [equal] in a hashtable. *)
+let hash f =
+  let mix h v = (h * 486187739) + v land max_int in
+  let rec go h = function
+    | True -> mix h 1
+    | False -> mix h 2
+    | Var x -> mix (mix h 3) x
+    | Not f -> go (mix h 5) f
+    | And fs -> mix (List.fold_left go (mix h 7) fs) 11
+    | Or fs -> mix (List.fold_left go (mix h 13) fs) 17
+  in
+  go 0 f land max_int
+
 let neg = function
   | True -> False
   | False -> True

@@ -44,6 +44,12 @@ val compare : t -> t -> int
 
 val equal : t -> t -> bool
 
+val hash : t -> int
+(** Full structural hash consistent with {!equal}: one pass over the whole
+    AST (unlike the polymorphic [Hashtbl.hash], which samples a bounded
+    prefix and degenerates on large lineages). Suitable for
+    [Hashtbl.Make]-style hashed structural keys, e.g. the DPLL cache. *)
+
 val vars : t -> int list
 (** Variables occurring in the formula, sorted, without duplicates. *)
 

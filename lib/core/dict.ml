@@ -1,0 +1,47 @@
+(* Interning is the hot edge of every columnar scan, so the id table is a
+   [Hashtbl.Make] over a cheap value-specialised hash — the polymorphic
+   [Hashtbl.hash] walks the boxed representation on every probe. *)
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+
+  let hash = function
+    | Value.Int x -> x * 0x9e3779b1 land max_int
+    | Value.Str s -> Hashtbl.hash s
+    | Value.Bool b -> if b then 1 else 2
+end)
+
+type t = {
+  ids : int Vtbl.t;
+  mutable vals : Value.t array;  (* vals.(id) = value; grown by doubling *)
+  mutable n : int;
+}
+
+let create ?(size_hint = 64) () =
+  let size_hint = max 1 size_hint in
+  { ids = Vtbl.create size_hint; vals = Array.make size_hint (Value.Int 0); n = 0 }
+
+let intern d v =
+  match Vtbl.find_opt d.ids v with
+  | Some id -> id
+  | None ->
+      let id = d.n in
+      if id = Array.length d.vals then begin
+        let bigger = Array.make (2 * id) (Value.Int 0) in
+        Array.blit d.vals 0 bigger 0 id;
+        d.vals <- bigger
+      end;
+      d.vals.(id) <- v;
+      d.n <- id + 1;
+      Vtbl.add d.ids v id;
+      id
+
+let find_opt d v = Vtbl.find_opt d.ids v
+
+let value d id =
+  if id < 0 || id >= d.n then
+    invalid_arg (Printf.sprintf "Dict.value: unknown id %d" id);
+  d.vals.(id)
+
+let size d = d.n

@@ -1,0 +1,26 @@
+(** Interned value dictionary: the bridge between the boxed {!Value.t}
+    world and the columnar executor's int-array world.
+
+    The columnar operators ([Probdb_exec.Exec]) never touch a {!Value.t} in
+    their inner loops: every value is interned once at scan time and flows
+    through joins and projections as a dense [int] id. One dictionary is
+    shared by all operators of one plan evaluation, so equal values always
+    carry equal ids and equality tests compile to integer compares. *)
+
+type t
+
+val create : ?size_hint:int -> unit -> t
+
+val intern : t -> Value.t -> int
+(** The id of [v], allocating the next dense id (0, 1, 2, …) on first
+    sight. Ids are stable for the dictionary's lifetime. *)
+
+val find_opt : t -> Value.t -> int option
+(** The id of [v] if it was interned before, without allocating one. Used
+    by selections: a constant absent from the dictionary matches no row. *)
+
+val value : t -> int -> Value.t
+(** Inverse of {!intern}. Raises [Invalid_argument] on an unknown id. *)
+
+val size : t -> int
+(** Number of distinct values interned so far. *)

@@ -45,6 +45,18 @@ let obs_counts (s : stats) : Probdb_obs.Stats.dpll_counts =
 
 type result = { prob : float; circuit : Circuit.t; trace_size : int; stats : stats }
 
+(* Hashed structural cache keys: the cache used to serialise every
+   subformula into a string ([F.to_key]) — an allocation per lookup and a
+   resident copy per entry. Formulas are kept normalised by their smart
+   constructors, so structural equality IS semantic key equality, and
+   [F.hash] discriminates without materialising anything. *)
+module Fcache = Hashtbl.Make (struct
+  type t = F.t
+
+  let equal = F.equal
+  let hash = F.hash
+end)
+
 module Iset = Set.Make (Int)
 
 let rec var_set = function
@@ -113,7 +125,7 @@ let choose_var cfg f =
 
 let count ?(config = default_config) ?(guard = Guard.unlimited) ~prob f =
   let builder = Circuit.builder () in
-  let cache : (string, float * Circuit.t) Hashtbl.t = Hashtbl.create 1024 in
+  let cache : (float * Circuit.t) Fcache.t = Fcache.create 1024 in
   let decisions = ref 0
   and unit_propagations = ref 0
   and cache_hits = ref 0
@@ -127,16 +139,16 @@ let count ?(config = default_config) ?(guard = Guard.unlimited) ~prob f =
     | F.False ->
         incr unit_propagations;
         (0.0, Circuit.fls builder)
+    | _ when not config.use_cache -> solve f
     | _ -> (
-        let key = if config.use_cache then Some (F.to_key f) else None in
-        if Option.is_some key then incr cache_queries;
-        match Option.bind key (Hashtbl.find_opt cache) with
+        incr cache_queries;
+        match Fcache.find_opt cache f with
         | Some hit ->
             incr cache_hits;
             hit
         | None ->
             let result = solve f in
-            (match key with Some k -> Hashtbl.replace cache k result | None -> ());
+            Fcache.replace cache f result;
             result)
   and solve f =
     match f with
@@ -177,6 +189,6 @@ let count ?(config = default_config) ?(guard = Guard.unlimited) ~prob f =
         cache_hits = !cache_hits;
         cache_queries = !cache_queries;
         component_splits = !component_splits;
-        cache_entries = Hashtbl.length cache } }
+        cache_entries = Fcache.length cache } }
 
 let probability ?config ?guard ~prob f = (count ?config ?guard ~prob f).prob

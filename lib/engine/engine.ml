@@ -12,6 +12,7 @@ module Clock = Probdb_obs.Clock
 module Counter = Probdb_obs.Counter
 module Guard = Probdb_guard.Guard
 module Error = Probdb_core.Probdb_error
+module Par = Probdb_par.Par
 
 type strategy =
   | Lifted
@@ -48,6 +49,7 @@ type config = {
   heap_watermark_words : int option;
   fault : Guard.fault option;
   degrade : degrade option;
+  domains : int;
 }
 
 let default_config =
@@ -63,7 +65,8 @@ let default_config =
     max_plan_rows = None;
     heap_watermark_words = None;
     fault = None;
-    degrade = Some { eps = 0.1; delta = 0.05; max_samples = 20_000 } }
+    degrade = Some { eps = 0.1; delta = 0.05; max_samples = 20_000 };
+    domains = 1 }
 
 let exact_only =
   { default_config with
@@ -104,9 +107,21 @@ let guard_of_config config =
       Option.iter (fun n -> Guard.set_budget g "plan.rows" n) config.max_plan_rows;
       g
 
-let try_lifted stats guard db q =
+(* [domains = 1] means no pool at all: every strategy takes the exact
+   sequential path it always took, so single-domain behaviour (results,
+   RNG streams, poll counts) is unchanged by the parallel runtime. *)
+let pool_of_config config =
+  if config.domains > 1 then Some (Par.create ~domains:config.domains ()) else None
+
+let record_pool stats = function
+  | None -> ()
+  | Some p ->
+      stats.Stats.domains_used <- Par.domains p;
+      stats.Stats.par_tasks <- Par.tasks_run p
+
+let try_lifted stats guard pool db q =
   let rule_stats = Lift.fresh_stats () in
-  match Lift.probability ~stats:rule_stats ~guard db q with
+  match Lift.probability ~stats:rule_stats ~guard ?pool db q with
   | p ->
       stats.Stats.lifted <- Some (Lift.obs_counts rule_stats);
       Ok_outcome (Exact p)
@@ -180,8 +195,9 @@ let try_safe_plan stats guard db q =
         -> (
           match Stats.time_phase stats Stats.Plan (fun () -> Plan.safe_plan cq) with
           | Some plan ->
-              let p, plan_counts = Plan.boolean_prob_counting ~guard db plan in
+              let p, plan_counts, rows = Plan.boolean_prob_counting ~guard db plan in
               stats.Stats.plan <- Some plan_counts;
+              stats.Stats.rows_processed <- stats.Stats.rows_processed + rows;
               Ok_outcome (Exact p)
           | None -> Skip "no safe plan (non-hierarchical)")
       | [ _ ] -> Skip "CQ has self-joins or negated atoms"
@@ -231,7 +247,7 @@ let try_dpll config stats guard db q =
               limit = float_of_int n;
               spent = float_of_int n })
 
-let try_karp_luby config guard db q =
+let try_karp_luby config guard pool db q =
   if not (Core.Tid.is_standard db) then Skip "non-standard probabilities"
   else
     match Ucq.of_sentence q with
@@ -245,8 +261,13 @@ let try_karp_luby config guard db q =
           | exception Invalid_argument msg -> Skip msg
           | clauses ->
               let est =
-                Karp_luby.estimate ~seed:config.seed ~guard ~samples:config.kl_samples
-                  ~prob:(Lineage.prob ctx) clauses
+                match pool with
+                | Some pool ->
+                    Karp_luby.estimate_par ~seed:config.seed ~guard ~pool
+                      ~samples:config.kl_samples ~prob:(Lineage.prob ctx) clauses
+                | None ->
+                    Karp_luby.estimate ~seed:config.seed ~guard
+                      ~samples:config.kl_samples ~prob:(Lineage.prob ctx) clauses
               in
               let v = Ucq.apply_mode mode est.Karp_luby.mean in
               Ok_outcome (Approximate { value = v; std_error = est.Karp_luby.std_error }))
@@ -258,16 +279,16 @@ let try_world_enum config db q =
          (Core.Tid.support_size db) config.max_enum_support)
   else Ok_outcome (Exact (Probdb_logic.Brute_force.probability db q))
 
-let attempt config stats guard db q s =
+let attempt config stats guard pool db q s =
   let run () =
     match s with
-    | Lifted -> try_lifted stats guard db q
+    | Lifted -> try_lifted stats guard pool db q
     | Symmetric -> try_symmetric guard db q
     | Safe_plan -> try_safe_plan stats guard db q
     | Read_once -> try_read_once db q
     | Obdd -> try_obdd config stats guard db q
     | Dpll -> try_dpll config stats guard db q
-    | Karp_luby -> try_karp_luby config guard db q
+    | Karp_luby -> try_karp_luby config guard pool db q
     | World_enum -> try_world_enum config db q
   in
   match run () with r -> r | exception Guard.Exhausted trip -> Trip trip
@@ -280,6 +301,7 @@ let evaluate ?(config = default_config) ?stats db q =
     stats.Stats.query <- Some (Format.asprintf "%a" Fo.pp q);
   Counter.incr "engine.queries";
   let guard = guard_of_config config in
+  let pool = pool_of_config config in
   let rec go skipped = function
     | [] ->
         stats.Stats.skipped <-
@@ -289,7 +311,7 @@ let evaluate ?(config = default_config) ?stats db q =
         (* [Plan.safe_plan] time lands in the Plan phase inside the attempt;
            subtract it so Classify/Solve only get what is really theirs. *)
         let plan_before = stats.Stats.plan_s in
-        let result, dt = Clock.time (fun () -> attempt config stats guard db q s) in
+        let result, dt = Clock.time (fun () -> attempt config stats guard pool db q s) in
         let dt = Float.max 0.0 (dt -. (stats.Stats.plan_s -. plan_before)) in
         match result with
         | Ok_outcome outcome ->
@@ -303,6 +325,7 @@ let evaluate ?(config = default_config) ?stats db q =
                 stats.Stats.std_error <- Some std_error);
             stats.Stats.skipped <-
               List.rev_map (fun (s, m) -> (strategy_name s, m)) skipped;
+            record_pool stats pool;
             Counter.incr ("engine.strategy." ^ strategy_name s);
             { outcome; strategy = s; skipped = List.rev skipped; stats }
         | Skip reason ->
@@ -322,7 +345,7 @@ let evaluate ?(config = default_config) ?stats db q =
    front, so completion is guaranteed. Returns [None] when the query has
    no monotone DNF lineage to sample (complemented atoms, non-standard
    probabilities, outside the UCQ fragment). *)
-let kl_fallback config ~eps ~delta ~max_samples db q =
+let kl_fallback config pool ~eps ~delta ~max_samples db q =
   if not (Core.Tid.is_standard db) then None
   else
     match Ucq.of_sentence q with
@@ -343,8 +366,13 @@ let kl_fallback config ~eps ~delta ~max_samples db q =
                 min (Karp_luby.required_samples ~eps ~delta ~clauses:m) max_samples
               in
               let est =
-                Karp_luby.estimate ~seed:config.seed ~samples
-                  ~prob:(Lineage.prob ctx) clauses
+                match pool with
+                | Some pool ->
+                    Karp_luby.estimate_par ~seed:config.seed ~pool ~samples
+                      ~prob:(Lineage.prob ctx) clauses
+                | None ->
+                    Karp_luby.estimate ~seed:config.seed ~samples
+                      ~prob:(Lineage.prob ctx) clauses
               in
               let lo, hi = Karp_luby.confidence_interval ~delta est in
               let v = Ucq.apply_mode mode est.Karp_luby.mean in
@@ -366,6 +394,7 @@ let eval ?(config = default_config) ?stats db q =
     stats.Stats.query <- Some (Format.asprintf "%a" Fo.pp q);
   Counter.incr "engine.queries";
   let guard = guard_of_config config in
+  let pool = pool_of_config config in
   (* With degradation on, Karp–Luby is reserved for the fallback so that
      [degraded = true] means exactly "no exact strategy completed". *)
   let strategies =
@@ -399,13 +428,14 @@ let eval ?(config = default_config) ?stats db q =
     | None -> fail chain
     | Some { eps; delta; max_samples } -> (
         let result, dt =
-          Clock.time (fun () -> kl_fallback config ~eps ~delta ~max_samples db q)
+          Clock.time (fun () -> kl_fallback config pool ~eps ~delta ~max_samples db q)
         in
         Stats.record_phase stats Stats.Solve dt;
         match result with
         | None -> fail chain
         | Some (v, std_error, confidence) ->
             finish_stats chain;
+            record_pool stats pool;
             stats.Stats.strategy <- Some (strategy_name Karp_luby);
             stats.Stats.probability <- Some v;
             stats.Stats.exact <- false;
@@ -428,13 +458,14 @@ let eval ?(config = default_config) ?stats db q =
     | [] -> degrade_or_fail (List.rev chain)
     | s :: rest -> (
         let plan_before = stats.Stats.plan_s in
-        let result, dt = Clock.time (fun () -> attempt config stats guard db q s) in
+        let result, dt = Clock.time (fun () -> attempt config stats guard pool db q s) in
         let dt = Float.max 0.0 (dt -. (stats.Stats.plan_s -. plan_before)) in
         match result with
         | Ok_outcome outcome ->
             Stats.record_phase stats Stats.Solve dt;
             let chain = List.rev chain in
             finish_stats chain;
+            record_pool stats pool;
             stats.Stats.strategy <- Some (strategy_name s);
             stats.Stats.probability <- Some (value outcome);
             let exact, confidence =

@@ -67,12 +67,21 @@ type config = {
           when every exact strategy is skipped or tripped, and Karp–Luby is
           removed from the main strategy loop. [None]: {!eval} fails
           instead. Ignored by the legacy {!evaluate}. *)
+  domains : int;
+      (** OCaml domains for the parallel runtime ([probdb.par]). At [1]
+          (the default) no pool is created and every strategy runs its
+          exact sequential path. Above [1], a {!Probdb_par.Par.pool} is
+          shared by lifted inference (independent branches) and Karp–Luby
+          sampling ({!Probdb_approx.Karp_luby.estimate_par}, whose
+          batch-indexed RNG streams make the estimate identical at any
+          domain count); [stats] reports [domains_used] / [par_tasks]. *)
 }
 
 val default_config : config
 (** All eight strategies in the order above; 200k OBDD nodes, 2M decisions,
     100k Karp–Luby samples; no deadline, no budgets, no fault; degradation
-    on at [eps = 0.1], [delta = 0.05], at most 20k samples. *)
+    on at [eps = 0.1], [delta = 0.05], at most 20k samples; one domain
+    (sequential). *)
 
 val exact_only : config
 (** Drops Karp–Luby. *)

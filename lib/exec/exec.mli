@@ -1,0 +1,78 @@
+(** Columnar plan execution: the fast path behind [Probdb_plans.Plan.eval].
+
+    The list-based {!Probdb_plans.Ptable} evaluates Sec. 6 extensional
+    plans over [(Value.t list * float) list] — every join key is a boxed
+    list, every column access a [List.nth]. This module stores an
+    intermediate relation as {e int-array columns} plus a float probability
+    array; values are interned once per plan evaluation into a shared
+    {!Probdb_core.Dict.t}, so the operator inner loops run over unboxed
+    integers. The operators implement the same modified algebra
+    (probabilities multiply under ⋈, combine with [u ⊕ v = 1-(1-u)(1-v)]
+    under the independent project) and are tested property-for-property
+    against the [Ptable] reference.
+
+    Guard integration: operators accept a [?guard] and poll it amortised
+    (every {!Probdb_guard.Guard.poll_interval} rows), so deadlines and
+    cancellation reach even a single large join without measurable
+    overhead. Budget charging per operator {e output} stays the caller's
+    job ([Plan.eval] charges ["plan.rows"], as before). *)
+
+type rel = {
+  vars : string array;  (** column names, in order *)
+  cols : int array array;  (** [cols.(j).(i)] = interned value of row [i], column [j] *)
+  probs : float array;  (** [probs.(i)] = marginal probability of row [i] *)
+}
+
+(** Mutable per-evaluation tally, reported into
+    [Probdb_obs.Stats.plan_counts] and the new [rows_processed] field. *)
+type counters = {
+  mutable operators : int;  (** operator applications *)
+  mutable peak_rows : int;  (** largest operator output cardinality *)
+  mutable rows_processed : int;  (** total input rows streamed through operators *)
+}
+
+val fresh_counters : unit -> counters
+
+val nrows : rel -> int
+
+val scan :
+  ?guard:Probdb_guard.Guard.t ->
+  ?counters:counters ->
+  Probdb_core.Dict.t ->
+  Probdb_core.Tid.t ->
+  Probdb_logic.Cq.atom ->
+  rel
+(** Like [Ptable.scan]: keeps rows matching the atom's constants and
+    repeated variables, projects onto the distinct variables in first
+    occurrence order, and interns the surviving values. An atom over a
+    missing relation scans as empty. Raises [Invalid_argument] on
+    complemented atoms. *)
+
+val select : ?guard:Probdb_guard.Guard.t -> ?counters:counters -> rel -> string -> int -> rel
+(** [select r x id] keeps the rows whose column [x] carries interned value
+    [id]. (Scans already push atom constants down; this exists for
+    selections decided after a scan.) *)
+
+val join : ?guard:Probdb_guard.Guard.t -> ?counters:counters -> rel -> rel -> rel
+(** Natural hash join on the shared columns, probabilities multiplied.
+    Column positions are resolved once per call, never per row; the build
+    side is the right input. Output columns are the left input's columns
+    followed by the right input's non-shared columns. *)
+
+val project : ?guard:Probdb_guard.Guard.t -> ?counters:counters -> string list -> rel -> rel
+(** Independent project: group by the kept columns and combine each
+    group's probabilities with ⊕. Raises [Invalid_argument] on unknown
+    columns. *)
+
+val disjoint_union : ?guard:Probdb_guard.Guard.t -> ?counters:counters -> rel -> rel -> rel
+(** Union of two relations over the same columns (the right input's
+    columns may be ordered differently) whose underlying events are
+    disjoint, so probabilities of equal tuples {e add}. Used for safe
+    UCQ plans whose branches partition the event space. Raises
+    [Invalid_argument] if the column sets differ. *)
+
+val boolean_prob : rel -> float
+(** For a zero-column relation: the probability of its single row, or 0. *)
+
+val to_rows : Probdb_core.Dict.t -> rel -> (Probdb_core.Tuple.t * float) list
+(** Materialise back into boxed tuples (row order preserved). *)

@@ -18,7 +18,9 @@ type t = {
   deadline_at : float option;  (* absolute Clock time *)
   heap_watermark : int option;
   fault : fault option;
-  mutable cancelled : bool;
+  cancelled : bool Atomic.t;
+      (* atomic: [cancel] may be called from another domain while workers
+         poll — the write must become visible to them *)
   budgets : (string, budget) Hashtbl.t;
   mutable poll_count : int;
   mutable io_count : int;
@@ -32,7 +34,7 @@ let make ~live ?deadline_s ?heap_watermark_words ?fault () =
     deadline_at = Option.map (fun d -> born +. d) deadline_s;
     heap_watermark = heap_watermark_words;
     fault;
-    cancelled = false;
+    cancelled = Atomic.make false;
     budgets = Hashtbl.create 8;
     poll_count = 0;
     io_count = 0;
@@ -49,9 +51,9 @@ let set_budget g name limit =
 let budget_spent g name =
   match Hashtbl.find_opt g.budgets name with Some b -> b.spent | None -> 0
 
-let cancel g = if g.live then g.cancelled <- true
+let cancel g = if g.live then Atomic.set g.cancelled true
 
-let is_cancelled g = g.cancelled
+let is_cancelled g = Atomic.get g.cancelled
 
 let polls g = g.poll_count
 
@@ -71,7 +73,7 @@ let poll g ~site =
         trip resource ~site ~limit:(float_of_int poll)
           ~spent:(float_of_int g.poll_count)
     | _ -> ());
-    if g.cancelled then trip Cancelled ~site ~limit:0.0 ~spent:(elapsed_s g);
+    if Atomic.get g.cancelled then trip Cancelled ~site ~limit:0.0 ~spent:(elapsed_s g);
     (match g.deadline_at with
     | Some at ->
         let now = Clock.now () in
@@ -86,6 +88,15 @@ let poll g ~site =
         if words > w then
           trip Heap ~site ~limit:(float_of_int w) ~spent:(float_of_int words)
     | None -> ()
+  end
+
+let poll_interval = 256
+
+let tick g ~site counter =
+  if g.live then begin
+    let c = !counter + 1 in
+    counter := c;
+    if c land (poll_interval - 1) = 0 then poll g ~site
   end
 
 let charge g ~site name n =

@@ -95,6 +95,18 @@ val poll : t -> site:string -> unit
     exhausted, attributing it to [site]. Order: injected fault,
     cancellation, deadline, heap watermark. *)
 
+val poll_interval : int
+(** How many {!tick}s buy one real {!poll} (256). *)
+
+val tick : t -> site:string -> int ref -> unit
+(** Amortised polling for tight inner loops (sampler iterations, columnar
+    operator rows): increments [counter] and calls {!poll} only every
+    {!poll_interval}-th tick, keeping guard overhead under 1% of loop cost
+    while still bounding the reaction latency to a deadline or
+    cancellation. The caller owns [counter] (one per loop nest, usually
+    [ref 0]); on the shared {!unlimited} guard this is a no-op that leaves
+    the counter untouched. *)
+
 val charge : t -> site:string -> string -> int -> unit
 (** [charge g ~site name n] adds [n] work units to budget [name], raising
     {!Exhausted} with [Work name] if the budget overflows, then behaves

@@ -3,6 +3,7 @@ module Fo = Probdb_logic.Fo
 module Cq = Probdb_logic.Cq
 module Ucq = Probdb_logic.Ucq
 module Guard = Probdb_guard.Guard
+module Par = Probdb_par.Par
 
 exception Unsafe of string
 
@@ -36,6 +37,19 @@ let fresh_stats () =
     cancelled_terms = 0;
     negations = 0;
     base_lookups = 0 }
+
+(* Field-wise sum of [src] into [dst]. Parallel branches tally into fresh
+   per-branch records (the shared record is not atomic) and are merged here
+   after the fork joins. *)
+let merge_stats dst src =
+  dst.independent_unions <- dst.independent_unions + src.independent_unions;
+  dst.independent_joins <- dst.independent_joins + src.independent_joins;
+  dst.separator_steps <- dst.separator_steps + src.separator_steps;
+  dst.ie_expansions <- dst.ie_expansions + src.ie_expansions;
+  dst.ie_terms <- dst.ie_terms + src.ie_terms;
+  dst.cancelled_terms <- dst.cancelled_terms + src.cancelled_terms;
+  dst.negations <- dst.negations + src.negations;
+  dst.base_lookups <- dst.base_lookups + src.base_lookups
 
 let obs_counts (s : stats) : Probdb_obs.Stats.lifted_rules =
   { Probdb_obs.Stats.independent_unions = s.independent_unions;
@@ -200,9 +214,9 @@ let nonempty_subsets xs =
   in
   List.filter (fun (_, k) -> k > 0) (go xs)
 
-let eval_query config stats guard db (q0 : query) =
+let eval_query ?pool config stats guard db (q0 : query) =
   let domain = Core.Tid.domain db in
-  let base (a : Cq.atom) tuple =
+  let base stats (a : Cq.atom) tuple =
     stats.base_lookups <- stats.base_lookups + 1;
     let p = Core.Tid.prob db a.Cq.rel tuple in
     if a.Cq.comp then begin
@@ -211,23 +225,45 @@ let eval_query config stats guard db (q0 : query) =
     end
     else p
   in
-  let rec prob_query q =
+  (* Independent branches (relation-disjoint groups) touch disjoint state,
+     so with a pool each runs as its own task against a fresh stats record.
+     [combine] is always folded in branch order — the float result is
+     bit-identical to the sequential fold at any pool size. *)
+  let branches stats eval_one ~combine items =
+    match pool with
+    | Some p when List.length items > 1 ->
+        let tasks =
+          List.map
+            (fun g () ->
+              let s = fresh_stats () in
+              let v = eval_one s g in
+              (v, s))
+            items
+        in
+        List.fold_left
+          (fun acc (v, s) ->
+            merge_stats stats s;
+            combine acc v)
+          1.0 (Par.run p tasks)
+    | _ -> List.fold_left (fun acc g -> combine acc (eval_one stats g)) 1.0 items
+  in
+  let rec prob_query stats q =
     Guard.poll guard ~site:"lifted.query";
     let q = conj_minimize (List.map clause_minimize q) in
     match q with
     | [] -> 1.0
-    | [ d ] -> prob_clause d
+    | [ d ] -> prob_clause stats d
     | clauses -> (
         match group_by_names (fun d -> List.concat_map Cq.rel_names d) clauses with
         | [] -> 1.0
-        | [ _single ] -> inclusion_exclusion clauses
+        | [ _single ] -> inclusion_exclusion stats clauses
         | groups ->
             stats.independent_joins <- stats.independent_joins + 1;
             Log.debug (fun m ->
                 m "independent join: %d groups of %s" (List.length groups)
                   (query_to_string clauses));
-            List.fold_left (fun acc g -> acc *. prob_query g) 1.0 groups)
-  and inclusion_exclusion clauses =
+            branches stats prob_query ~combine:(fun acc v -> acc *. v) groups)
+  and inclusion_exclusion stats clauses =
     if not config.use_inclusion_exclusion then
       raise
         (Unsafe
@@ -270,16 +306,16 @@ let eval_query config stats guard db (q0 : query) =
         m "inclusion-exclusion over %d clauses: %d terms after cancellation"
           (List.length clauses) (List.length terms));
     List.fold_left
-      (fun acc (d, coeff) -> acc +. (float_of_int coeff *. prob_clause d))
+      (fun acc (d, coeff) -> acc +. (float_of_int coeff *. prob_clause stats d))
       0.0 terms
-  and prob_clause d =
+  and prob_clause stats d =
     Guard.poll guard ~site:"lifted.clause";
     let d = clause_minimize d in
     match d with
     | [] -> 0.0
     | _ when List.exists (fun c -> c = []) d -> 1.0
     | [ [ a ] ] when Option.is_some (ground_tuple a) ->
-        base a (Option.get (ground_tuple a))
+        base stats a (Option.get (ground_tuple a))
     | _ -> (
         match group_by_names Cq.rel_names d with
         | [] -> 0.0
@@ -291,11 +327,14 @@ let eval_query config stats guard db (q0 : query) =
                     m "separator {%s} on %s"
                       (String.concat ", " (List.map snd pairs))
                       (clause_to_string d));
-                let factor a =
+                let factor stats a =
                   let ucq = List.map (fun (c, x) -> Cq.subst_const x a c) pairs in
-                  1.0 -. prob_query (query_of_ucq ucq)
+                  1.0 -. prob_query stats (query_of_ucq ucq)
                 in
-                1.0 -. List.fold_left (fun acc a -> acc *. factor a) 1.0 domain
+                (* The substituted queries over distinct constants touch
+                   disjoint tuples — independent, hence also branchable. *)
+                1.0
+                -. branches stats factor ~combine:(fun acc v -> acc *. v) domain
             | None ->
                 raise
                   (Unsafe
@@ -307,17 +346,19 @@ let eval_query config stats guard db (q0 : query) =
                 m "independent union: %d groups of %s" (List.length groups)
                   (clause_to_string d));
             1.0
-            -. List.fold_left (fun acc g -> acc *. (1.0 -. prob_clause g)) 1.0 groups)
+            -. branches stats prob_clause
+                 ~combine:(fun acc v -> acc *. (1.0 -. v))
+                 groups)
   in
-  prob_query q0
+  prob_query stats q0
 
 let probability_ucq ?(config = default_config) ?(stats = fresh_stats ())
-    ?(guard = Guard.unlimited) db ucq =
-  eval_query config stats guard db (query_of_ucq ucq)
+    ?(guard = Guard.unlimited) ?pool db ucq =
+  eval_query ?pool config stats guard db (query_of_ucq ucq)
 
-let probability ?config ?stats ?guard db q =
+let probability ?config ?stats ?guard ?pool db q =
   let ucq, mode = Ucq.of_sentence q in
-  Ucq.apply_mode mode (probability_ucq ?config ?stats ?guard db ucq)
+  Ucq.apply_mode mode (probability_ucq ?config ?stats ?guard ?pool db ucq)
 
 type verdict = Safe | Unsafe_by_rules of string | Unsupported of string
 

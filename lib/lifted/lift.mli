@@ -76,6 +76,7 @@ val probability :
   ?config:config ->
   ?stats:stats ->
   ?guard:Probdb_guard.Guard.t ->
+  ?pool:Probdb_par.Par.pool ->
   Probdb_core.Tid.t ->
   Probdb_logic.Fo.t ->
   float
@@ -86,12 +87,20 @@ val probability :
     recursion (sites ["lifted.query"], ["lifted.clause"]) and charged
     ["lifted.ie_terms"] work units per inclusion–exclusion expansion, so an
     exploding derivation raises [Probdb_guard.Guard.Exhausted] instead of
-    running away. *)
+    running away.
+
+    With [pool], independent branches — relation-disjoint groups of the
+    independent union/join rules and the per-constant factors of the
+    separator rule — run as pool tasks, each tallying into a fresh stats
+    record merged after the fork joins. Results are always combined in
+    branch order, so the returned probability (and the final [stats]) is
+    identical to the sequential evaluation for any pool size. *)
 
 val probability_ucq :
   ?config:config ->
   ?stats:stats ->
   ?guard:Probdb_guard.Guard.t ->
+  ?pool:Probdb_par.Par.pool ->
   Probdb_core.Tid.t ->
   Probdb_logic.Ucq.t ->
   float

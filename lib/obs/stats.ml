@@ -45,6 +45,9 @@ type t = {
   mutable ci_high : float option;
   mutable samples : int option;
   mutable chain : (string * string * string) list;
+  mutable domains_used : int;
+  mutable par_tasks : int;
+  mutable rows_processed : int;
 }
 
 let create () =
@@ -67,7 +70,10 @@ let create () =
     ci_low = None;
     ci_high = None;
     samples = None;
-    chain = [] }
+    chain = [];
+    domains_used = 1;
+    par_tasks = 0;
+    rows_processed = 0 }
 
 let total_s t = t.parse_s +. t.classify_s +. t.plan_s +. t.solve_s
 
@@ -157,7 +163,10 @@ let to_json t =
                  [ ("strategy", Json.Str s);
                    ("kind", Json.Str kind);
                    ("detail", Json.Str detail) ])
-             t.chain) ) ]
+             t.chain) );
+      ("domains_used", Json.Int t.domains_used);
+      ("par_tasks", Json.Int t.par_tasks);
+      ("rows_processed", Json.Int t.rows_processed) ]
 
 (* ---------- human table ---------- *)
 
@@ -208,6 +217,10 @@ let pp ppf t =
   (match t.memo_hit_rate with
   | Some r -> line "memo hit rate    %.1f%%@." (100.0 *. r)
   | None -> ());
+  if t.domains_used > 1 || t.par_tasks > 0 then
+    line "parallelism      %d domains | %d pool tasks@." t.domains_used t.par_tasks;
+  if t.rows_processed > 0 then
+    line "rows processed   %d@." t.rows_processed;
   if t.degraded then begin
     line "degraded         yes — exact strategies exhausted@.";
     (match (t.ci_low, t.ci_high) with

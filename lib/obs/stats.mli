@@ -76,6 +76,12 @@ type t = {
   mutable chain : (string * string * string) list;
       (** degradation chain: strategy, kind (["skipped"] or ["tripped"]),
           detail — in trial order; the typed superset of [skipped] *)
+  mutable domains_used : int;
+      (** configured parallelism of the evaluation (1 = sequential) *)
+  mutable par_tasks : int;
+      (** tasks executed through the [Probdb_par.Par] pool, all strategies *)
+  mutable rows_processed : int;
+      (** input rows streamed through columnar plan operators *)
 }
 
 val create : unit -> t

@@ -1,0 +1,101 @@
+type pool = { domains : int; tasks : int Atomic.t }
+
+let clamp lo hi v = max lo (min hi v)
+
+let default_domains () = clamp 1 64 (Domain.recommended_domain_count ())
+
+let create ?domains () =
+  let domains =
+    match domains with Some d -> clamp 1 64 d | None -> default_domains ()
+  in
+  { domains; tasks = Atomic.make 0 }
+
+let domains p = p.domains
+
+let tasks_run p = Atomic.get p.tasks
+
+(* True while the current domain is executing a pool task: nested [run]
+   calls fall back to sequential execution instead of spawning domains
+   from inside workers. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+type 'a slot = Empty | Value of 'a | Raised of exn
+
+let run_seq p thunks =
+  List.map
+    (fun thunk ->
+      Atomic.incr p.tasks;
+      thunk ())
+    thunks
+
+let run p thunks =
+  let n = List.length thunks in
+  if p.domains = 1 || n <= 1 || Domain.DLS.get in_worker then run_seq p thunks
+  else begin
+    let tasks = Array.of_list thunks in
+    let results = Array.make n Empty in
+    let next = Atomic.make 0 in
+    let work () =
+      Domain.DLS.set in_worker true;
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n then continue := false
+        else begin
+          Atomic.incr p.tasks;
+          results.(i) <-
+            (match tasks.(i) () with
+            | v -> Value v
+            | exception e -> Raised e)
+        end
+      done;
+      Domain.DLS.set in_worker false
+    in
+    let helpers =
+      List.init (min (p.domains - 1) (n - 1)) (fun _ -> Domain.spawn work)
+    in
+    work ();
+    List.iter Domain.join helpers;
+    (* re-raise the lowest-indexed failure for determinism *)
+    Array.iter (function Raised e -> raise e | _ -> ()) results;
+    Array.to_list
+      (Array.map (function Value v -> v | _ -> assert false) results)
+  end
+
+let map_reduce p ~map ~reduce ~init n =
+  if n <= 0 then init
+  else
+    run p (List.init n (fun i () -> map i))
+    |> List.fold_left reduce init
+
+(* ---------- splitmix64 ---------- *)
+
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let golden = 0x9E3779B97F4A7C15L
+
+  let mix z =
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let make ~seed ~stream =
+    (* Decorrelate the per-stream states: the stream index is passed
+       through the finaliser before being folded into the seed, so
+       neighbouring streams start far apart in the state space. *)
+    let s = mix (Int64.add (Int64.of_int seed) (Int64.mul golden (mix (Int64.of_int (stream + 1))))) in
+    { state = s }
+
+  let int64 t =
+    t.state <- Int64.add t.state golden;
+    mix t.state
+
+  let float t bound =
+    let bits53 = Int64.shift_right_logical (int64 t) 11 in
+    Int64.to_float bits53 *. (1.0 /. 9007199254740992.0) *. bound
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Par.Rng.int: bound must be positive";
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (int64 t) 1) (Int64.of_int bound))
+end

@@ -1,0 +1,75 @@
+(** A dependency-free multicore runtime: a [Domain] worker pool plus
+    deterministic splittable RNG streams.
+
+    Design constraints, in order:
+
+    - {e Determinism}: a computation run through the pool must return the
+      same answer for every domain count, including 1. {!run} and
+      {!map_reduce} therefore collect results by task index and reduce in
+      index order, never in completion order, and {!Rng} derives one
+      independent stream per task index rather than per worker.
+    - {e Safety under nesting}: a task that itself calls into the pool runs
+      its subtasks sequentially (tracked with a domain-local flag), so
+      recursive solvers can parallelise their top-level branches without
+      deadlock or unbounded domain spawning.
+    - {e Exception transparency}: if tasks raise, the exception of the
+      lowest-indexed failing task is re-raised in the caller once every
+      worker has drained — in particular [Probdb_guard.Guard.Exhausted]
+      trips propagate out of workers exactly like sequential code. *)
+
+type pool
+
+val create : ?domains:int -> unit -> pool
+(** A pool that aims for [domains]-way parallelism (clamped to [1, 64];
+    default {!default_domains}). Workers are spawned per {!run} call and
+    joined before it returns, so a pool holds no OS resources between
+    calls and never outlives its work. *)
+
+val domains : pool -> int
+(** The configured parallelism (1 means: always sequential). *)
+
+val tasks_run : pool -> int
+(** Total tasks executed through this pool so far (for [Stats.par_tasks]). *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to [1, 64]. *)
+
+val run : pool -> (unit -> 'a) list -> 'a list
+(** Run the thunks, possibly in parallel, and return their results in task
+    order. Spawns [min (domains pool - 1) (tasks - 1)] extra domains; the
+    calling domain works too. With [domains pool = 1], a single task, or
+    when called from inside another {!run} task, this is [List.map] with
+    the same exception behaviour. *)
+
+val map_reduce :
+  pool -> map:(int -> 'a) -> reduce:('b -> 'a -> 'b) -> init:'b -> int -> 'b
+(** [map_reduce pool ~map ~reduce ~init n] computes
+    [reduce (... (reduce init (map 0)) ...) (map (n-1))] with the [map]
+    calls running on the pool. [reduce] is applied sequentially in index
+    order in the calling domain, so non-associative reductions (floating
+    point sums) are deterministic. *)
+
+(** Deterministic splittable RNG (splitmix64).
+
+    Streams are derived from a [(seed, stream index)] pair, so task [i]
+    can be handed stream [i] regardless of which worker executes it: the
+    sequence of draws depends only on the seed and the index. The
+    generator passes the usual empirical tests at the scale of Monte-Carlo
+    sampling and costs a handful of integer operations per draw. *)
+module Rng : sig
+  type t
+
+  val make : seed:int -> stream:int -> t
+  (** Stream [stream] of the family identified by [seed]. Distinct
+      [(seed, stream)] pairs give (statistically) independent sequences. *)
+
+  val int64 : t -> int64
+  (** Next raw 64-bit output. *)
+
+  val float : t -> float -> float
+  (** [float t bound] draws uniformly from [\[0, bound)] using the top 53
+      bits of {!int64}. *)
+
+  val int : t -> int -> int
+  (** [int t bound] draws uniformly from [\[0, bound)]; [bound > 0]. *)
+end

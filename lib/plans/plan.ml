@@ -2,6 +2,7 @@ module Core = Probdb_core
 module Cq = Probdb_logic.Cq
 module Fo = Probdb_logic.Fo
 module Guard = Probdb_guard.Guard
+module Exec = Probdb_exec.Exec
 module Sset = Set.Make (String)
 
 type t =
@@ -24,9 +25,42 @@ let rec atoms = function
   | Join (p1, p2) -> atoms p1 @ atoms p2
   | Project (_, p) -> atoms p
 
-let eval ?(guard = Guard.unlimited) db plan =
-  (* Each operator's output cardinality is charged against the guard's
-     ["plan.rows"] budget, bounding intermediate-relation blow-up. *)
+(* ---------- evaluation ----------
+
+   The hot path is columnar: one [Dict] per evaluation interns every value
+   once, and the [Exec] operators run over int-array columns. The
+   list-based [Ptable] operators remain as the executable reference the
+   columnar path is property-tested against. Each operator's output
+   cardinality is charged against the guard's ["plan.rows"] budget,
+   bounding intermediate-relation blow-up exactly as before. *)
+
+let eval_exec ?(guard = Guard.unlimited) ?counters db plan =
+  (* size hint: distinct values are bounded by the support, and starting
+     near the final size avoids rehashing the id table log(n) times *)
+  let dict = Core.Dict.create ~size_hint:(2 * Core.Tid.support_size db + 64) () in
+  let observe rel =
+    Guard.charge guard ~site:"plan.eval" "plan.rows" (Exec.nrows rel);
+    rel
+  in
+  let rec go = function
+    | Scan a -> observe (Exec.scan ~guard ?counters dict db a)
+    | Join (p1, p2) -> observe (Exec.join ~guard ?counters (go p1) (go p2))
+    | Project (keep, p) -> observe (Exec.project ~guard ?counters keep (go p))
+  in
+  (go plan, dict)
+
+let ptable_of_rel dict rel =
+  { Ptable.vars = Array.to_list rel.Exec.vars;
+    rows =
+      List.sort
+        (fun (a, _) (b, _) -> Core.Tuple.compare a b)
+        (Exec.to_rows dict rel) }
+
+let eval ?guard db plan =
+  let rel, dict = eval_exec ?guard db plan in
+  ptable_of_rel dict rel
+
+let eval_reference ?(guard = Guard.unlimited) db plan =
   let observe t =
     Guard.charge guard ~site:"plan.eval" "plan.rows" (List.length t.Ptable.rows);
     t
@@ -38,28 +72,27 @@ let eval ?(guard = Guard.unlimited) db plan =
   in
   go plan
 
-let boolean_prob ?guard db plan = Ptable.boolean_prob (eval ?guard db plan)
+let boolean_prob ?guard db plan =
+  Exec.boolean_prob (fst (eval_exec ?guard db plan))
 
-let eval_counting ?(guard = Guard.unlimited) db plan =
-  let operators = ref 0 and peak = ref 0 in
-  let observe t =
-    incr operators;
-    let rows = List.length t.Ptable.rows in
-    peak := max !peak rows;
-    Guard.charge guard ~site:"plan.eval" "plan.rows" rows;
-    t
-  in
-  let rec go = function
-    | Scan a -> observe (Ptable.scan db a)
-    | Join (p1, p2) -> observe (Ptable.join (go p1) (go p2))
-    | Project (keep, p) -> observe (Ptable.project keep (go p))
-  in
-  let result = go plan in
-  (result, { Probdb_obs.Stats.operators = !operators; peak_rows = !peak })
+let boolean_prob_reference ?guard db plan =
+  Ptable.boolean_prob (eval_reference ?guard db plan)
+
+let eval_counting ?guard db plan =
+  let counters = Exec.fresh_counters () in
+  let rel, dict = eval_exec ?guard ~counters db plan in
+  ( ptable_of_rel dict rel,
+    { Probdb_obs.Stats.operators = counters.Exec.operators;
+      peak_rows = counters.Exec.peak_rows },
+    counters.Exec.rows_processed )
 
 let boolean_prob_counting ?guard db plan =
-  let t, counts = eval_counting ?guard db plan in
-  (Ptable.boolean_prob t, counts)
+  let counters = Exec.fresh_counters () in
+  let rel, _dict = eval_exec ?guard ~counters db plan in
+  ( Exec.boolean_prob rel,
+    { Probdb_obs.Stats.operators = counters.Exec.operators;
+      peak_rows = counters.Exec.peak_rows },
+    counters.Exec.rows_processed )
 
 let is_safe plan =
   let rec go = function

@@ -20,29 +20,53 @@ val out_vars : t -> string list
 val atoms : t -> Probdb_logic.Cq.atom list
 
 val eval : ?guard:Probdb_guard.Guard.t -> Probdb_core.Tid.t -> t -> Ptable.t
-(** [guard] (default {!Probdb_guard.Guard.unlimited}) is charged
+(** Evaluates the plan on the columnar executor ([Probdb_exec.Exec]) —
+    values interned once, operators over int-array columns — and
+    materialises the result as a [Ptable] with rows in tuple order.
+    [guard] (default {!Probdb_guard.Guard.unlimited}) is charged
     ["plan.rows"] work units per operator output row (site ["plan.eval"]),
     so a cardinality budget or deadline interrupts evaluation with
     [Probdb_guard.Guard.Exhausted]. *)
 
+val eval_exec :
+  ?guard:Probdb_guard.Guard.t ->
+  ?counters:Probdb_exec.Exec.counters ->
+  Probdb_core.Tid.t ->
+  t ->
+  Probdb_exec.Exec.rel * Probdb_core.Dict.t
+(** The columnar evaluation itself, without the boxed materialisation:
+    the result relation plus the dictionary its ids live in. This is what
+    {!eval}, {!boolean_prob} and the counting variants run on. *)
+
+val eval_reference :
+  ?guard:Probdb_guard.Guard.t -> Probdb_core.Tid.t -> t -> Ptable.t
+(** The list-based reference evaluator (pre-columnar semantics), kept as
+    the oracle the columnar path is property-tested against. Row order is
+    operator-dependent, unlike {!eval}'s sorted output. *)
+
 val boolean_prob : ?guard:Probdb_guard.Guard.t -> Probdb_core.Tid.t -> t -> float
-(** Evaluates a plan whose output has no columns. *)
+(** Evaluates a plan whose output has no columns (columnar). *)
+
+val boolean_prob_reference :
+  ?guard:Probdb_guard.Guard.t -> Probdb_core.Tid.t -> t -> float
+(** {!boolean_prob} on the {!eval_reference} path. *)
 
 val eval_counting :
   ?guard:Probdb_guard.Guard.t ->
   Probdb_core.Tid.t ->
   t ->
-  Ptable.t * Probdb_obs.Stats.plan_counts
-(** Like {!eval}, additionally reporting the number of operators evaluated
-    and the peak intermediate-relation cardinality — the space measure the
-    oblivious-bounds experiments (Thm. 6.1) track per plan. *)
+  Ptable.t * Probdb_obs.Stats.plan_counts * int
+(** Like {!eval}, additionally reporting the number of operators evaluated,
+    the peak intermediate-relation cardinality — the space measure the
+    oblivious-bounds experiments (Thm. 6.1) track per plan — and the total
+    input rows streamed through operators ([Stats.rows_processed]). *)
 
 val boolean_prob_counting :
   ?guard:Probdb_guard.Guard.t ->
   Probdb_core.Tid.t ->
   t ->
-  float * Probdb_obs.Stats.plan_counts
-(** {!boolean_prob} with the same operator/cardinality counts. *)
+  float * Probdb_obs.Stats.plan_counts * int
+(** {!boolean_prob} with the same operator/cardinality/row counts. *)
 
 val is_safe : t -> bool
 (** The structural criterion of [32] for self-join-free plans: every

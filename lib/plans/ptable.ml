@@ -62,21 +62,24 @@ let index_of vars x =
 let join t1 t2 =
   let shared = List.filter (fun x -> List.mem x t1.vars) t2.vars in
   let extra2 = List.filter (fun x -> not (List.mem x shared)) t2.vars in
-  let key vars tuple = List.map (fun x -> List.nth tuple (index_of vars x)) shared in
-  (* hash the smaller side on the shared key *)
+  (* column positions resolved once, outside the per-row loops *)
+  let shared_idx1 = List.map (index_of t1.vars) shared in
+  let shared_idx2 = List.map (index_of t2.vars) shared in
+  let extra_idx2 = List.map (index_of t2.vars) extra2 in
+  let pick idxs tuple =
+    let arr = Array.of_list tuple in
+    List.map (Array.get arr) idxs
+  in
+  (* hash the right side on the shared key *)
   let tbl = Hashtbl.create (List.length t2.rows) in
   List.iter
-    (fun (tuple, p) ->
-      let k = key t2.vars tuple in
-      Hashtbl.add tbl k (tuple, p))
+    (fun (tuple, p) -> Hashtbl.add tbl (pick shared_idx2 tuple) (pick extra_idx2 tuple, p))
     t2.rows;
   let rows =
     List.concat_map
       (fun (tuple1, p1) ->
-        Hashtbl.find_all tbl (key t1.vars tuple1)
-        |> List.map (fun (tuple2, p2) ->
-               let ext = List.map (fun x -> List.nth tuple2 (index_of t2.vars x)) extra2 in
-               (tuple1 @ ext, p1 *. p2)))
+        Hashtbl.find_all tbl (pick shared_idx1 tuple1)
+        |> List.map (fun (ext, p2) -> (tuple1 @ ext, p1 *. p2)))
       t1.rows
   in
   { vars = t1.vars @ extra2; rows }
