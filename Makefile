@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke docs check check-budget
+.PHONY: all build test bench bench-smoke docs check check-budget check-wmc
 
 all: build
 
@@ -47,11 +47,28 @@ bench-smoke: build
 			{ echo "bench-smoke: BENCH_parallel.json missing $$key"; \
 			  cat BENCH_parallel.json; exit 1; }; \
 	done; \
-	echo "bench-smoke: BENCH_parallel.json schema + determinism flag — OK"
+	echo "bench-smoke: BENCH_parallel.json schema + determinism flag — OK"; \
+	timeout 120 env PROBDB_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- e16 \
+		>/dev/null || { echo "bench-smoke: e16 failed or hung (exit $$?)"; exit 1; }; \
+	for key in '"experiment": "wmc"' '"smoke": true' '"speedup"' \
+		'"bit_identical": true' '"cache_hit_rate"' '"cache_evictions"'; do \
+		grep -q "$$key" BENCH_wmc.json || \
+			{ echo "bench-smoke: BENCH_wmc.json missing $$key"; \
+			  cat BENCH_wmc.json; exit 1; }; \
+	done; \
+	echo "bench-smoke: BENCH_wmc.json schema + bit-identity flag — OK"
+
+# The grounded-WMC equivalence suite on its own: the clause-database
+# counter against brute force and the tree DPLL reference across the
+# cache/components config matrix, including the deterministic guard-trip
+# fault injection ("guard trips mid-solve degrade cleanly").
+check-wmc: build
+	dune exec --no-build test/main.exe -- test 'cnf|wmc' -c
 
 # What CI runs: build, test suite, the budget and benchmark smoke tests,
-# and — when odoc is installed — the fatal-warnings documentation build.
-check: build test check-budget bench-smoke
+# the WMC equivalence suite, and — when odoc is installed — the
+# fatal-warnings documentation build.
+check: build test check-budget bench-smoke check-wmc
 	@if command -v odoc >/dev/null 2>&1; then \
 		dune build @check-docs; \
 	else \

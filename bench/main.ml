@@ -24,6 +24,7 @@ let experiments =
     ("e13", "extensions", E13_extensions.run);
     ("e14", "resource guards / degradation", E14_guard.run);
     ("e15", "columnar execution / parallel runtime", E15_parallel.run);
+    ("e16", "grounded WMC vs tree DPLL", E16_wmc.run);
   ]
 
 let micro () =
@@ -36,7 +37,7 @@ let micro () =
    @ E09_mln.bechamel_tests @ E10_approximation.bechamel_tests
    @ E11_duality.bechamel_tests @ E12_engine_ablation.bechamel_tests
    @ E13_extensions.bechamel_tests @ E14_guard.bechamel_tests
-   @ E15_parallel.bechamel_tests)
+   @ E15_parallel.bechamel_tests @ E16_wmc.bechamel_tests)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

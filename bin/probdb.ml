@@ -62,6 +62,7 @@ let strategy_conv =
     | "symmetric" -> Ok (Some E.Symmetric)
     | "safe-plan" -> Ok (Some E.Safe_plan)
     | "read-once" -> Ok (Some E.Read_once)
+    | "wmc" -> Ok (Some E.Wmc)
     | "obdd" -> Ok (Some E.Obdd)
     | "dpll" -> Ok (Some E.Dpll)
     | "karp-luby" -> Ok (Some E.Karp_luby)
@@ -77,7 +78,10 @@ let method_arg =
     value
     & opt strategy_conv None
     & info [ "method" ] ~docv:"METHOD"
-        ~doc:"One of auto, lifted, symmetric, safe-plan, read-once, obdd, dpll, karp-luby, world-enum.")
+        ~doc:
+          "One of auto, lifted, symmetric, safe-plan, read-once, wmc, obdd, \
+           dpll, karp-luby, world-enum. ($(b,wmc) is the clause-database \
+           counter; explicitly selected it clausifies non-CNF lineage.)")
 
 let samples_arg =
   Arg.(

@@ -195,6 +195,43 @@ let to_dnf f =
   in
   go f
 
+(* CNF-shape recognition for the clause-database WMC bridge. The smart
+   constructors keep values flattened, so one non-recursive pattern match
+   per level is exhaustive: a literal, a clause of literals, or a
+   conjunction of clauses. *)
+let as_literal = function
+  | Var v -> Some (v, true)
+  | Not (Var v) -> Some (v, false)
+  | _ -> None
+
+let as_clause f =
+  match as_literal f with
+  | Some l -> Some [ l ]
+  | None -> (
+      match f with
+      | Or fs ->
+          List.fold_left
+            (fun acc g ->
+              match acc, as_literal g with
+              | Some ls, Some l -> Some (l :: ls)
+              | _ -> None)
+            (Some []) fs
+          |> Option.map List.rev
+      | _ -> None)
+
+let as_cnf = function
+  | True -> Some []
+  | False -> Some [ [] ]
+  | And fs ->
+      List.fold_left
+        (fun acc g ->
+          match acc, as_clause g with
+          | Some cs, Some c -> Some (c :: cs)
+          | _ -> None)
+        (Some []) fs
+      |> Option.map List.rev
+  | f -> Option.map (fun c -> [ c ]) (as_clause f)
+
 let to_key f =
   let buf = Buffer.create 64 in
   let rec go = function

@@ -84,6 +84,15 @@ val to_dnf : t -> int list list
     [Invalid_argument] on non-positive input. Worst-case exponential — meant
     for lineages of fixed queries on moderate databases. *)
 
+val as_cnf : t -> (int * bool) list list option
+(** [Some clauses] when the formula is syntactically a conjunction of
+    disjunctions of literals — each literal [(v, sign)] with [sign = false]
+    for a negated variable. [True] is the empty conjunction [Some []] and
+    [False] the empty clause [Some [[]]]. Lineages of universal queries are
+    CNF-shaped by construction; this is the gate the engine's WMC strategy
+    uses to pick the direct clause translation over Tseitin clausification
+    (see [Probdb_cnf.Cnf]). Returns [None] on any other shape. *)
+
 val to_key : t -> string
 (** Compact serialisation of the normalised form; equal formulas (as values)
     have equal keys. *)

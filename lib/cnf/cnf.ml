@@ -1,0 +1,168 @@
+module F = Probdb_boolean.Formula
+
+(* Literal encoding: variable [v] (a dense index) is literal [2*v]
+   positively and [2*v + 1] negated. Negation is one xor; the variable one
+   shift. This is the int packing the whole clause database runs on. *)
+let lit v sign = (2 * v) + if sign then 0 else 1
+let neg l = l lxor 1
+let var l = l lsr 1
+let positive l = l land 1 = 0
+
+type t = {
+  nvars : int;
+  n_orig : int;
+  orig_var : int array;
+  trace_var : int array;
+  clauses : int array array;
+  clausified : bool;
+}
+
+(* Dense index per original variable, in ascending variable order — so the
+   dense order IS the variable order, and the branching tie-break "smallest
+   variable" means the same thing here as in the tree solver. *)
+let dense_map f =
+  let vs = Array.of_list (F.vars f) in
+  let map = Hashtbl.create (Array.length vs) in
+  Array.iteri (fun i v -> Hashtbl.add map v i) vs;
+  (vs, map)
+
+(* Auxiliary (Tseitin) variables get trace ids past every original id, so
+   the recorded circuit never confuses an aux decision with a lineage
+   variable. *)
+let trace_ids ~orig_var ~nvars =
+  let n_orig = Array.length orig_var in
+  let aux_base = if n_orig = 0 then 0 else orig_var.(n_orig - 1) + 1 in
+  Array.init nvars (fun i ->
+      if i < n_orig then orig_var.(i) else aux_base + (i - n_orig))
+
+let of_cnf_clauses ~orig_var ~map cls =
+  let nvars = Array.length orig_var in
+  let clauses =
+    List.filter_map
+      (fun c ->
+        let lits =
+          List.sort_uniq Int.compare
+            (List.map (fun (v, sign) -> lit (Hashtbl.find map v) sign) c)
+        in
+        (* A tautological clause (l and ¬l) constrains nothing. The smart
+           constructors never produce one, but the translation should not
+           depend on that. *)
+        if List.exists (fun l -> List.mem (neg l) lits) lits then None
+        else Some (Array.of_list lits))
+      cls
+  in
+  { nvars;
+    n_orig = nvars;
+    orig_var;
+    trace_var = trace_ids ~orig_var ~nvars;
+    clauses = Array.of_list clauses;
+    clausified = false }
+
+let of_formula f =
+  match F.as_cnf f with
+  | None -> None
+  | Some cls ->
+      let orig_var, map = dense_map f in
+      Some (of_cnf_clauses ~orig_var ~map cls)
+
+(* Tseitin clausification with biconditional definitions: each gate
+   variable [a] is {e equivalent} to its subformula, not merely implied by
+   it, so every assignment of the original variables extends to exactly one
+   assignment of the gates — the weighted model count is preserved when
+   gates weigh (1, 1) (see {!Wmc}). Shared subformulas (the input is a
+   normalised DAG-ish tree) share one gate via the structural memo table. *)
+let clausify f =
+  let orig_var, map = dense_map f in
+  let n_orig = Array.length orig_var in
+  let next = ref n_orig in
+  let clauses = ref [] in
+  let emit c = clauses := Array.of_list c :: !clauses in
+  let fresh () =
+    let v = !next in
+    incr next;
+    lit v true
+  in
+  let memo = Hashtbl.create 64 in
+  let constant_lit = ref None in
+  (* A literal forced true, for the (normally impossible) nested constant. *)
+  let forced_true () =
+    match !constant_lit with
+    | Some l -> l
+    | None ->
+        let l = fresh () in
+        emit [ l ];
+        constant_lit := Some l;
+        l
+  in
+  let rec go f =
+    match Hashtbl.find_opt memo (F.hash f, f) with
+    | Some l -> l
+    | None ->
+        let l =
+          match f with
+          | F.True -> forced_true ()
+          | F.False -> neg (forced_true ())
+          | F.Var v -> lit (Hashtbl.find map v) true
+          | F.Not g -> neg (go g)
+          | F.And gs ->
+              let ls = List.map go gs in
+              let a = fresh () in
+              List.iter (fun l -> emit [ neg a; l ]) ls;
+              emit (a :: List.map neg ls);
+              a
+          | F.Or gs ->
+              let ls = List.map go gs in
+              let a = fresh () in
+              List.iter (fun l -> emit [ a; neg l ]) ls;
+              emit (neg a :: ls);
+              a
+        in
+        Hashtbl.add memo (F.hash f, f) l;
+        l
+  in
+  (match f with
+  | F.True -> ()
+  | F.False -> emit []
+  | f -> emit [ go f ]);
+  let nvars = !next in
+  { nvars;
+    n_orig;
+    orig_var;
+    trace_var = trace_ids ~orig_var ~nvars;
+    clauses = Array.of_list (List.rev !clauses);
+    clausified = true }
+
+let translate f =
+  match of_formula f with Some t -> t | None -> clausify f
+
+(* Weight arrays in probability form. Gate variables weigh (1, 1): they are
+   functionally determined by the original variables, so each original
+   model contributes its own probability exactly once. *)
+let weights ~prob t =
+  let w_pos = Array.make t.nvars 1.0 in
+  let w_neg = Array.make t.nvars 1.0 in
+  for i = 0 to t.n_orig - 1 do
+    let p = prob t.orig_var.(i) in
+    w_pos.(i) <- p;
+    w_neg.(i) <- 1.0 -. p
+  done;
+  (w_pos, w_neg)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cnf: %d vars (%d original%s), %d clauses" t.nvars
+    t.n_orig
+    (if t.clausified then ", clausified" else "")
+    (Array.length t.clauses);
+  Array.iter
+    (fun c ->
+      Format.fprintf ppf "@ (%s)"
+        (String.concat " | "
+           (Array.to_list
+              (Array.map
+                 (fun l ->
+                   Printf.sprintf "%s%d"
+                     (if positive l then "" else "!")
+                     t.trace_var.(var l))
+                 c))))
+    t.clauses;
+  Format.fprintf ppf "@]"

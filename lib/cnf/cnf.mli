@@ -1,0 +1,56 @@
+(** CNF bridge: from {!Probdb_boolean.Formula} to an int-packed clause set.
+
+    The clause-database model counter ({!Wmc}) wants clauses of packed int
+    literals, not formula trees. Lineages of universal (CNF-shaped) queries
+    translate {e directly} — clause for clause, no new variables — which is
+    the common case the engine's WMC strategy is gated on. Everything else
+    goes through {!clausify}, a Tseitin transformation with biconditional
+    gate definitions; gates are functionally determined by the original
+    variables, so weighted model counts are preserved when gates weigh
+    [(1, 1)] in both phases ({!weights}).
+
+    Literals pack as [2*v] (positive) / [2*v + 1] (negated) over {e dense}
+    variable indices [0 .. nvars-1]; index order follows ascending original
+    variable id, so ordering heuristics agree with the tree solver's. *)
+
+val lit : int -> bool -> int
+(** [lit v sign] is the packed literal for dense variable [v]. *)
+
+val neg : int -> int
+(** The complement literal (one xor). *)
+
+val var : int -> int
+(** The dense variable of a literal. *)
+
+val positive : int -> bool
+
+type t = {
+  nvars : int;  (** dense variables, original then auxiliary *)
+  n_orig : int;  (** dense [0 .. n_orig-1] are original formula variables *)
+  orig_var : int array;  (** dense index → original variable id, ascending *)
+  trace_var : int array;
+      (** dense index → id to use in recorded circuits: the original id for
+          original variables, ids past every original id for gates *)
+  clauses : int array array;  (** each clause sorted, duplicate-free *)
+  clausified : bool;  (** gates were introduced (Tseitin fallback) *)
+}
+
+val of_formula : Probdb_boolean.Formula.t -> t option
+(** Direct translation, defined exactly when
+    {!Probdb_boolean.Formula.as_cnf} recognises the shape. No auxiliary
+    variables; [True] becomes zero clauses and [False] one empty clause. *)
+
+val clausify : Probdb_boolean.Formula.t -> t
+(** Tseitin clausification with biconditional gate definitions (weighted
+    model count preserved, see module comment). Linear in the formula size
+    up to the structural memo table that shares repeated subformulas. *)
+
+val translate : Probdb_boolean.Formula.t -> t
+(** {!of_formula} when CNF-shaped, else {!clausify}. *)
+
+val weights : prob:(int -> float) -> t -> float array * float array
+(** [(w_pos, w_neg)] indexed by dense variable: [(p, 1-p)] from [prob] on
+    original variables ([1 -. p] computed here, once — the float the tree
+    solver multiplies by), [(1, 1)] on gates. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,532 @@
+module F = Probdb_boolean.Formula
+module Circuit = Probdb_kc.Circuit
+module Guard = Probdb_guard.Guard
+
+type config = {
+  use_cache : bool;
+  use_components : bool;
+  max_decisions : int;
+  max_cache_entries : int;
+}
+
+let default_config =
+  { use_cache = true;
+    use_components = true;
+    max_decisions = 50_000_000;
+    max_cache_entries = 500_000 }
+
+exception Decision_limit of int
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  components : int;
+  cache_hits : int;
+  cache_queries : int;
+  cache_entries : int;
+  cache_evictions : int;
+  max_trail : int;
+}
+
+let obs_counts (s : stats) : Probdb_obs.Stats.wmc_counts =
+  { Probdb_obs.Stats.wmc_decisions = s.decisions;
+    propagations = s.propagations;
+    components = s.components;
+    wmc_cache_hits = s.cache_hits;
+    wmc_cache_queries = s.cache_queries;
+    wmc_cache_entries = s.cache_entries;
+    wmc_cache_evictions = s.cache_evictions;
+    max_trail = s.max_trail }
+
+type result = { prob : float; circuit : Circuit.t; trace_size : int; stats : stats }
+
+(* ---------- small growable int vector ---------- *)
+
+type vec = { mutable data : int array; mutable len : int }
+
+let vec_make () = { data = Array.make 4 0; len = 0 }
+
+let vec_push v x =
+  if v.len = Array.length v.data then begin
+    let d = Array.make (2 * v.len) 0 in
+    Array.blit v.data 0 d 0 v.len;
+    v.data <- d
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let vec_to_sorted_array v =
+  let a = Array.sub v.data 0 v.len in
+  Array.sort Int.compare a;
+  a
+
+(* ---------- component cache ---------- *)
+
+(* Key: the packed signature of a residual component —
+   [#clauses; clause ids…; free vars…], both segments sorted. Clause ids
+   plus the free-variable set determine the residual constraint exactly
+   (the free literals of a clause are its literals over free variables, and
+   component clauses are unsatisfied by construction), so equal signatures
+   mean equal subproblems. Same multiply-and-mask mixing discipline as
+   [Formula.hash]. *)
+module Sig = struct
+  type t = int array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let n = Array.length a in
+    let rec go i = i = n || (a.(i) = b.(i) && go (i + 1)) in
+    go 0
+
+  let hash a =
+    let h = ref 0 in
+    for i = 0 to Array.length a - 1 do
+      h := (!h * 486187739) + a.(i)
+    done;
+    !h land max_int
+end
+
+module Ccache = Hashtbl.Make (Sig)
+
+type centry = { cprob : float; ccirc : Circuit.t; mutable age : int }
+
+(* ---------- solver state ---------- *)
+
+type solver = {
+  cnf : Cnf.t;
+  nclauses : int;
+  arena : int array;  (* all clause literals, flat *)
+  cstart : int array;  (* clause c occupies arena[cstart.(c) .. cstart.(c+1) - 1] *)
+  value : int array;  (* per variable: 0 unassigned, 1 true, -1 false *)
+  trail : int array;
+  mutable trail_len : int;
+  watches : vec array;  (* per literal: clauses watching it *)
+  occ : int array array;  (* per variable: clauses containing it *)
+  vstamp : int array;  (* per variable: component-BFS generation *)
+  cstamp : int array;  (* per clause: component-BFS generation *)
+  bstamp : int array;  (* per variable: branching-count generation *)
+  bcount : int array;
+  mutable gen : int;
+  w_pos : float array;
+  w_neg : float array;
+  builder : Circuit.builder;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable components : int;
+  mutable cache_hits : int;
+  mutable cache_queries : int;
+  mutable cache_evictions : int;
+  mutable inserts : int;
+  mutable max_trail : int;
+}
+
+let lit_value s l =
+  let v = s.value.(l lsr 1) in
+  if l land 1 = 0 then v else -v
+
+let lit_weight s l =
+  if l land 1 = 0 then s.w_pos.(l lsr 1) else s.w_neg.(l lsr 1)
+
+let assign s l =
+  s.value.(l lsr 1) <- (if l land 1 = 0 then 1 else -1);
+  s.trail.(s.trail_len) <- l;
+  s.trail_len <- s.trail_len + 1;
+  if s.trail_len > s.max_trail then s.max_trail <- s.trail_len
+
+(* O(1)-per-entry backtracking: pop the trail to [mark], unassigning.
+   Watch lists need no repair — the two-watched-literal invariant is
+   restored lazily by the next propagation. *)
+let undo s mark =
+  for k = s.trail_len - 1 downto mark do
+    s.value.(s.trail.(k) lsr 1) <- 0
+  done;
+  s.trail_len <- mark
+
+let clause_satisfied s c =
+  let e = s.cstart.(c + 1) in
+  let rec go j = j < e && (lit_value s s.arena.(j) = 1 || go (j + 1)) in
+  go s.cstart.(c)
+
+(* Two-watched-literal unit propagation from trail position [head].
+   Watched literals live in the first two arena slots of their clause and
+   are swapped in place as watches move. Returns [false] on conflict (the
+   trail then holds assignments the caller must [undo]). *)
+let propagate s head =
+  let ok = ref true in
+  let head = ref head in
+  while !ok && !head < s.trail_len do
+    let l = s.trail.(!head) in
+    incr head;
+    let fl = l lxor 1 in
+    let ws = s.watches.(fl) in
+    let i = ref 0 and j = ref 0 in
+    while !i < ws.len do
+      let c = ws.data.(!i) in
+      incr i;
+      let st = s.cstart.(c) in
+      if s.arena.(st) = fl then begin
+        s.arena.(st) <- s.arena.(st + 1);
+        s.arena.(st + 1) <- fl
+      end;
+      let other = s.arena.(st) in
+      if lit_value s other = 1 then begin
+        (* satisfied through the other watch; keep watching *)
+        ws.data.(!j) <- c;
+        incr j
+      end
+      else begin
+        let e = s.cstart.(c + 1) in
+        let k = ref (st + 2) in
+        let repl = ref (-1) in
+        while !repl < 0 && !k < e do
+          if lit_value s s.arena.(!k) >= 0 then repl := !k else incr k
+        done;
+        if !repl >= 0 then begin
+          (* move the watch to the non-false replacement *)
+          let nl = s.arena.(!repl) in
+          s.arena.(!repl) <- fl;
+          s.arena.(st + 1) <- nl;
+          vec_push s.watches.(nl) c
+        end
+        else if lit_value s other = -1 then begin
+          (* every literal false: conflict; keep list consistent and stop *)
+          ws.data.(!j) <- c;
+          incr j;
+          while !i < ws.len do
+            ws.data.(!j) <- ws.data.(!i);
+            incr i;
+            incr j
+          done;
+          ok := false
+        end
+        else begin
+          (* unit: [other] is the last non-false literal *)
+          ws.data.(!j) <- c;
+          incr j;
+          assign s other;
+          s.propagations <- s.propagations + 1
+        end
+      end
+    done;
+    ws.len <- !j
+  done;
+  !ok
+
+(* Components of the residual database, computed incrementally: the search
+   is confined to the parent component's variables and clauses, so deep in
+   the decision tree each split only touches the shrinking subproblem it
+   lives in, never the global database. Unsatisfied clauses reachable from
+   a free variable are exactly the parent's (conditioning only ever
+   satisfies or shrinks clauses), so the walk follows global occurrence
+   lists filtered by a satisfaction test. Components come back ordered by
+   their smallest free variable; free variables whose clauses are all
+   satisfied belong to no component (their weights sum to 1). *)
+let find_components s (pvars : int array) =
+  s.gen <- s.gen + 1;
+  let g = s.gen in
+  let comps = ref [] in
+  let stack = vec_make () in
+  let npv = Array.length pvars in
+  for vi = 0 to npv - 1 do
+    let v0 = pvars.(vi) in
+    if s.value.(v0) = 0 && s.vstamp.(v0) <> g then begin
+      let cvars = vec_make () and ccls = vec_make () in
+      s.vstamp.(v0) <- g;
+      stack.len <- 0;
+      vec_push stack v0;
+      while stack.len > 0 do
+        stack.len <- stack.len - 1;
+        let u = stack.data.(stack.len) in
+        vec_push cvars u;
+        let occ = s.occ.(u) in
+        for k = 0 to Array.length occ - 1 do
+          let c = occ.(k) in
+          if s.cstamp.(c) <> g then begin
+            s.cstamp.(c) <- g;
+            if not (clause_satisfied s c) then begin
+              vec_push ccls c;
+              for j = s.cstart.(c) to s.cstart.(c + 1) - 1 do
+                let w = s.arena.(j) lsr 1 in
+                if s.value.(w) = 0 && s.vstamp.(w) <> g then begin
+                  s.vstamp.(w) <- g;
+                  vec_push stack w
+                end
+              done
+            end
+          end
+        done
+      done;
+      if ccls.len > 0 then
+        comps := (vec_to_sorted_array cvars, vec_to_sorted_array ccls) :: !comps
+    end
+  done;
+  List.rev !comps
+
+(* The ablation without the components rule: the whole residual as one
+   pseudo-component. *)
+let residual_as_one s (pvars : int array) =
+  s.gen <- s.gen + 1;
+  let g = s.gen in
+  let cvars = vec_make () and ccls = vec_make () in
+  Array.iter
+    (fun v ->
+      if s.value.(v) = 0 then
+        Array.iter
+          (fun c ->
+            if s.cstamp.(c) <> g then begin
+              s.cstamp.(c) <- g;
+              if not (clause_satisfied s c) then begin
+                vec_push ccls c;
+                for j = s.cstart.(c) to s.cstart.(c + 1) - 1 do
+                  let w = s.arena.(j) lsr 1 in
+                  if s.value.(w) = 0 && s.vstamp.(w) <> g then begin
+                    s.vstamp.(w) <- g;
+                    vec_push cvars w
+                  end
+                done
+              end
+            end)
+          s.occ.(v))
+    pvars;
+  if ccls.len = 0 then []
+  else [ (vec_to_sorted_array cvars, vec_to_sorted_array ccls) ]
+
+(* Branching heuristic: most occurrences in the component's (all
+   unsatisfied) clauses, smallest variable on ties — the clause-database
+   reading of the tree solver's [most_frequent_var], so the two searches
+   visit the same decisions on directly-translated lineage. *)
+let branch_var s (cvars : int array) (ccls : int array) =
+  s.gen <- s.gen + 1;
+  let g = s.gen in
+  Array.iter
+    (fun c ->
+      for j = s.cstart.(c) to s.cstart.(c + 1) - 1 do
+        let w = s.arena.(j) lsr 1 in
+        if s.value.(w) = 0 then
+          if s.bstamp.(w) = g then s.bcount.(w) <- s.bcount.(w) + 1
+          else begin
+            s.bstamp.(w) <- g;
+            s.bcount.(w) <- 1
+          end
+      done)
+    ccls;
+  let best = ref (-1) and best_count = ref 0 in
+  Array.iter
+    (fun v ->
+      if s.bstamp.(v) = g && s.bcount.(v) > !best_count then begin
+        best := v;
+        best_count := s.bcount.(v)
+      end)
+    cvars;
+  !best
+
+(* ---------- the search ---------- *)
+
+let make_key (cvars : int array) (ccls : int array) =
+  let nc = Array.length ccls and nv = Array.length cvars in
+  let key = Array.make (1 + nc + nv) nc in
+  Array.blit ccls 0 key 1 nc;
+  Array.blit cvars 0 key (1 + nc) nv;
+  key
+
+let count_cnf ?(config = default_config) ?(guard = Guard.unlimited) ~prob cnf =
+  let nvars = cnf.Cnf.nvars in
+  let nclauses = Array.length cnf.Cnf.clauses in
+  let w_pos, w_neg = Cnf.weights ~prob cnf in
+  let total_lits = Array.fold_left (fun a c -> a + Array.length c) 0 cnf.Cnf.clauses in
+  let arena = Array.make (max 1 total_lits) 0 in
+  let cstart = Array.make (nclauses + 1) 0 in
+  let occ_count = Array.make (max 1 nvars) 0 in
+  Array.iteri
+    (fun c lits ->
+      cstart.(c + 1) <- cstart.(c) + Array.length lits;
+      Array.iteri
+        (fun j l ->
+          arena.(cstart.(c) + j) <- l;
+          occ_count.(l lsr 1) <- occ_count.(l lsr 1) + 1)
+        lits)
+    cnf.Cnf.clauses;
+  let occ = Array.init (max 1 nvars) (fun v -> Array.make occ_count.(v) 0) in
+  let fill = Array.make (max 1 nvars) 0 in
+  Array.iteri
+    (fun c lits ->
+      Array.iter
+        (fun l ->
+          let v = l lsr 1 in
+          occ.(v).(fill.(v)) <- c;
+          fill.(v) <- fill.(v) + 1)
+        lits)
+    cnf.Cnf.clauses;
+  let s =
+    { cnf;
+      nclauses;
+      arena;
+      cstart;
+      value = Array.make (max 1 nvars) 0;
+      trail = Array.make (max 1 nvars) 0;
+      trail_len = 0;
+      watches = Array.init (max 1 (2 * nvars)) (fun _ -> vec_make ());
+      occ;
+      vstamp = Array.make (max 1 nvars) 0;
+      cstamp = Array.make (max 1 nclauses) 0;
+      bstamp = Array.make (max 1 nvars) 0;
+      bcount = Array.make (max 1 nvars) 0;
+      gen = 0;
+      w_pos;
+      w_neg;
+      builder = Circuit.builder ();
+      decisions = 0;
+      propagations = 0;
+      components = 0;
+      cache_hits = 0;
+      cache_queries = 0;
+      cache_evictions = 0;
+      inserts = 0;
+      max_trail = 0 }
+  in
+  let cache : centry Ccache.t = Ccache.create 1024 in
+  let cache_cap =
+    match Guard.budget_limit guard "wmc.cache_entries" with
+    | Some n -> max 2 n
+    | None -> max 2 config.max_cache_entries
+  in
+  let clock = ref 0 in
+  let evict_half () =
+    let entries = Ccache.fold (fun k e acc -> (k, e.age) :: acc) cache [] in
+    let entries = List.sort (fun (_, a) (_, b) -> Int.compare a b) entries in
+    let drop = max 1 (List.length entries / 2) in
+    List.iteri (fun i (k, _) -> if i < drop then Ccache.remove cache k) entries;
+    s.cache_evictions <- s.cache_evictions + drop
+  in
+  (* Heap-watermark integration: rather than letting memoisation push the
+     heap over the guard's limit (which would trip the next poll), shed
+     cache weight when live words reach 80% of the watermark. Checked every
+     256 inserts — same amortisation as [Guard.tick]. *)
+  let heap_check () =
+    s.inserts <- s.inserts + 1;
+    if s.inserts land 255 = 0 then
+      match Guard.heap_watermark_words guard with
+      | Some w ->
+          if (Gc.quick_stat ()).Gc.heap_words * 10 > w * 8 && Ccache.length cache > 2
+          then evict_half ()
+      | None -> ()
+  in
+  let tru = Circuit.tru s.builder and fls = Circuit.fls s.builder in
+  let implied_leaf l =
+    Circuit.decide_lit s.builder ~var:cnf.Cnf.trace_var.(l lsr 1)
+      ~sign:(l land 1 = 0) tru
+  in
+  (* One branch of the Shannon expansion: assign, propagate, split the
+     residual, recurse. The value mirrors the tree solver's arithmetic
+     exactly: a left fold of the implied-literal weights in ascending
+     variable order, then the component values in ascending min-variable
+     order — on directly-translated lineage the two solvers produce
+     bit-identical floats (the e16 benchmark asserts this). *)
+  let rec branch (cvars, ccls) v sign =
+    let mark = s.trail_len in
+    assign s (Cnf.lit v sign);
+    if not (propagate s mark) then begin
+      undo s mark;
+      (0.0, fls)
+    end
+    else begin
+      let implied = Array.sub s.trail (mark + 1) (s.trail_len - mark - 1) in
+      Array.sort (fun a b -> Int.compare (a lsr 1) (b lsr 1)) implied;
+      let comps =
+        if config.use_components then find_components s cvars
+        else residual_as_one s cvars
+      in
+      ignore ccls;
+      s.components <- s.components + List.length comps;
+      let parts = List.map solve_comp comps in
+      let acc = Array.fold_left (fun acc l -> acc *. lit_weight s l) 1.0 implied in
+      let p = List.fold_left (fun acc (q, _) -> acc *. q) acc parts in
+      let leaves = List.map implied_leaf (Array.to_list implied) in
+      let circ = Circuit.band s.builder (leaves @ List.map snd parts) in
+      undo s mark;
+      (p, circ)
+    end
+  and decide (cvars, ccls) =
+    let v = branch_var s cvars ccls in
+    s.decisions <- s.decisions + 1;
+    if s.decisions > config.max_decisions then
+      raise (Decision_limit config.max_decisions);
+    Guard.poll guard ~site:"wmc.decide";
+    let p_lo, c_lo = branch (cvars, ccls) v false in
+    let p_hi, c_hi = branch (cvars, ccls) v true in
+    let p = (s.w_neg.(v) *. p_lo) +. (s.w_pos.(v) *. p_hi) in
+    (p, Circuit.decision s.builder cnf.Cnf.trace_var.(v) ~lo:c_lo ~hi:c_hi)
+  and solve_comp (cvars, ccls) =
+    if not config.use_cache then decide (cvars, ccls)
+    else begin
+      s.cache_queries <- s.cache_queries + 1;
+      incr clock;
+      let key = make_key cvars ccls in
+      match Ccache.find_opt cache key with
+      | Some e ->
+          s.cache_hits <- s.cache_hits + 1;
+          e.age <- !clock;
+          (e.cprob, e.ccirc)
+      | None ->
+          let (p, c) as result = decide (cvars, ccls) in
+          if Ccache.length cache >= cache_cap then evict_half ();
+          heap_check ();
+          Ccache.replace cache key { cprob = p; ccirc = c; age = !clock };
+          result
+    end
+  in
+  let conflict = ref false in
+  (* Assert the root unit clauses, then propagate to closure. *)
+  for c = 0 to nclauses - 1 do
+    if not !conflict then
+      match cstart.(c + 1) - cstart.(c) with
+      | 0 -> conflict := true
+      | 1 ->
+          let l = arena.(cstart.(c)) in
+          (match lit_value s l with
+          | 0 -> assign s l
+          | -1 -> conflict := true
+          | _ -> ())
+      | _ ->
+          vec_push s.watches.(arena.(cstart.(c))) c;
+          vec_push s.watches.(arena.(cstart.(c) + 1)) c
+  done;
+  let p, circuit =
+    if !conflict then (0.0, fls)
+    else if not (propagate s 0) then (0.0, fls)
+    else begin
+      let implied = Array.sub s.trail 0 s.trail_len in
+      Array.sort (fun a b -> Int.compare (a lsr 1) (b lsr 1)) implied;
+      let all_vars = Array.init nvars Fun.id in
+      let comps =
+        if config.use_components then find_components s all_vars
+        else residual_as_one s all_vars
+      in
+      s.components <- s.components + List.length comps;
+      let parts = List.map solve_comp comps in
+      let acc = Array.fold_left (fun acc l -> acc *. lit_weight s l) 1.0 implied in
+      let p = List.fold_left (fun acc (q, _) -> acc *. q) acc parts in
+      let leaves = List.map implied_leaf (Array.to_list implied) in
+      (p, Circuit.band s.builder (leaves @ List.map snd parts))
+    end
+  in
+  { prob = p;
+    circuit;
+    trace_size = Circuit.size circuit;
+    stats =
+      { decisions = s.decisions;
+        propagations = s.propagations;
+        components = s.components;
+        cache_hits = s.cache_hits;
+        cache_queries = s.cache_queries;
+        cache_entries = Ccache.length cache;
+        cache_evictions = s.cache_evictions;
+        max_trail = s.max_trail } }
+
+let count ?config ?guard ?(force_clausify = false) ~prob f =
+  let cnf = if force_clausify then Cnf.clausify f else Cnf.translate f in
+  count_cnf ?config ?guard ~prob cnf
+
+let probability ?config ?guard ?force_clausify ~prob f =
+  (count ?config ?guard ?force_clausify ~prob f).prob

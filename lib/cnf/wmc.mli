@@ -1,0 +1,96 @@
+(** Weighted model counting on a dense clause database — the sharpSAT-style
+    grounded engine (Sec. 7 of the paper, the machinery behind the d-DNNF
+    compilers).
+
+    Where [Probdb_dpll.Dpll] rebuilds immutable formula trees on every
+    Shannon expansion, this counter conditions by {e assignment}: literals
+    are packed ints ({!Cnf.lit}), clauses live in one flat int arena,
+    conditioning pushes literals onto a trail, two-watched-literal unit
+    propagation finds implied literals without scanning clauses, and
+    backtracking pops the trail in O(1) per entry. Connected components of
+    the residual database are recomputed only inside the parent component
+    (incremental in the recursion), and solved components are memoised in a
+    {e bounded} cache keyed by a packed component signature.
+
+    The search mirrors the tree solver's arithmetic — same branching rule
+    (most occurrences, smallest variable on ties), same combination order —
+    so on directly-translated lineage the two produce bit-identical
+    probabilities; the tree solver remains the property-tested reference
+    semantics ([test/test_cnf.ml]). The recorded trace is the same
+    {!Probdb_kc.Circuit.t} d-DNNF the tree solver emits (implied literals
+    become one-sided decision nodes), so trace-size measurements (Thm 7.1)
+    apply unchanged. *)
+
+type config = {
+  use_cache : bool;  (** memoise solved components *)
+  use_components : bool;
+      (** split residuals into connected components (off: one blob) *)
+  max_decisions : int;  (** bail out with {!Decision_limit} beyond this *)
+  max_cache_entries : int;
+      (** component-cache entry cap; on overflow the least-recently-used
+          half is evicted (counted in {!stats}[.cache_evictions]). A
+          ["wmc.cache_entries"] budget on the guard overrides this. *)
+}
+
+val default_config : config
+(** cache + components, 50M decisions, 500k cache entries. *)
+
+exception Decision_limit of int
+
+type stats = {
+  decisions : int;  (** branching decisions *)
+  propagations : int;  (** literals implied by unit propagation *)
+  components : int;  (** components produced across all splits *)
+  cache_hits : int;
+  cache_queries : int;
+  cache_entries : int;  (** entries resident when the search finished *)
+  cache_evictions : int;
+      (** entries dropped by the entry cap or the heap-watermark sweep *)
+  max_trail : int;  (** deepest assignment trail reached *)
+}
+
+val obs_counts : stats -> Probdb_obs.Stats.wmc_counts
+(** The same counters in the shape of the observability layer's per-query
+    record; used by the engine and the CLI. *)
+
+type result = {
+  prob : float;
+  circuit : Probdb_kc.Circuit.t;  (** the trace, a decision-DNNF *)
+  trace_size : int;  (** distinct internal nodes of the trace *)
+  stats : stats;
+}
+
+val count_cnf :
+  ?config:config ->
+  ?guard:Probdb_guard.Guard.t ->
+  prob:(int -> float) ->
+  Cnf.t ->
+  result
+(** Count a prepared clause database. [prob] maps {e original} variable
+    ids (gate variables weigh [(1,1)], see {!Cnf.weights}). [guard]
+    (default {!Probdb_guard.Guard.unlimited}) is polled at every decision
+    (site ["wmc.decide"]); its heap watermark additionally drives cache
+    eviction, and a ["wmc.cache_entries"] budget caps the cache. All search
+    state is local to the call, so a guard trip mid-solve aborts cleanly —
+    a subsequent call starts from scratch with nothing corrupted. *)
+
+val count :
+  ?config:config ->
+  ?guard:Probdb_guard.Guard.t ->
+  ?force_clausify:bool ->
+  prob:(int -> float) ->
+  Probdb_boolean.Formula.t ->
+  result
+(** {!Cnf.translate} then {!count_cnf}. [force_clausify] (default [false])
+    skips the direct translation even on CNF-shaped input — the engine's
+    explicit [--method wmc] path for non-CNF lineage, and an ablation knob
+    for tests. *)
+
+val probability :
+  ?config:config ->
+  ?guard:Probdb_guard.Guard.t ->
+  ?force_clausify:bool ->
+  prob:(int -> float) ->
+  Probdb_boolean.Formula.t ->
+  float
+(** Just the probability of {!count}. *)

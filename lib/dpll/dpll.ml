@@ -10,6 +10,7 @@ type config = {
   independent_or : bool;
   var_choice : var_choice;
   max_decisions : int;
+  max_cache_entries : int;
 }
 
 let default_config =
@@ -17,7 +18,8 @@ let default_config =
     use_components = true;
     independent_or = false;
     var_choice = Most_frequent;
-    max_decisions = 50_000_000 }
+    max_decisions = 50_000_000;
+    max_cache_entries = 500_000 }
 
 let obdd_config order =
   { default_config with use_components = false; var_choice = Fixed order }
@@ -33,6 +35,7 @@ type stats = {
   cache_queries : int;
   component_splits : int;
   cache_entries : int;
+  cache_evictions : int;
 }
 
 let obs_counts (s : stats) : Probdb_obs.Stats.dpll_counts =
@@ -41,7 +44,8 @@ let obs_counts (s : stats) : Probdb_obs.Stats.dpll_counts =
     cache_hits = s.cache_hits;
     cache_queries = s.cache_queries;
     component_splits = s.component_splits;
-    cache_entries = s.cache_entries }
+    cache_entries = s.cache_entries;
+    cache_evictions = s.cache_evictions }
 
 type result = { prob : float; circuit : Circuit.t; trace_size : int; stats : stats }
 
@@ -66,15 +70,31 @@ let rec var_set = function
   | F.And fs | F.Or fs ->
       List.fold_left (fun acc f -> Iset.union acc (var_set f)) Iset.empty fs
 
-(* Partition formulas into groups sharing no variables (union-find). *)
+(* Partition formulas into groups sharing no variables (union-find with
+   path halving and union by size — near-constant amortised [find] even on
+   the star-shaped lineages that used to degenerate into O(n) parent
+   chains). Groups come back ordered by their smallest member index, each
+   group keeping member order, so callers see a deterministic partition. *)
 let independent_groups fs =
   let fs = Array.of_list fs in
   let n = Array.length fs in
   let parent = Array.init n Fun.id in
-  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let size = Array.make n 1 in
+  let find i =
+    let i = ref i in
+    while parent.(!i) <> !i do
+      parent.(!i) <- parent.(parent.(!i));
+      i := parent.(!i)
+    done;
+    !i
+  in
   let union i j =
     let ri, rj = find i, find j in
-    if ri <> rj then parent.(ri) <- rj
+    if ri <> rj then begin
+      let big, small = if size.(ri) >= size.(rj) then ri, rj else rj, ri in
+      parent.(small) <- big;
+      size.(big) <- size.(big) + size.(small)
+    end
   in
   let home = Hashtbl.create 16 in
   Array.iteri
@@ -86,13 +106,19 @@ let independent_groups fs =
           | None -> Hashtbl.add home v i)
         (var_set f))
     fs;
-  let groups = Hashtbl.create 8 in
-  Array.iteri
-    (fun i f ->
-      let r = find i in
-      Hashtbl.replace groups r (f :: Option.value ~default:[] (Hashtbl.find_opt groups r)))
-    fs;
-  Hashtbl.fold (fun _ g acc -> g :: acc) groups []
+  let members = Array.make n [] in
+  let first = Array.make n max_int in
+  for i = n - 1 downto 0 do
+    let r = find i in
+    members.(r) <- fs.(i) :: members.(r);
+    first.(r) <- i
+  done;
+  (* [members] is indexed by union-find root (arbitrary under union by
+     size); order groups by their smallest member index instead. *)
+  Array.to_list (Array.init n Fun.id)
+  |> List.filter (fun r -> members.(r) <> [])
+  |> List.sort (fun a b -> Int.compare first.(a) first.(b))
+  |> List.map (fun r -> members.(r))
 
 let most_frequent_var f =
   let freq = Hashtbl.create 32 in
@@ -123,14 +149,35 @@ let choose_var cfg f =
       | Some v -> v
       | None -> Iset.min_elt vs)
 
+type entry = { value : float * Circuit.t; mutable stamp : int }
+
 let count ?(config = default_config) ?(guard = Guard.unlimited) ~prob f =
   let builder = Circuit.builder () in
-  let cache : (float * Circuit.t) Fcache.t = Fcache.create 1024 in
+  let cache : entry Fcache.t = Fcache.create 1024 in
+  (* The cache is bounded: a long exact solve must not outgrow the heap
+     between guard polls. The cap comes from the guard's
+     ["dpll.cache_entries"] budget when one is installed, else from the
+     config; overflow evicts the least-recently-stamped half in one sweep
+     (O(cap log cap) amortised over at least cap/2 inserts). *)
+  let cache_cap =
+    match Guard.budget_limit guard "dpll.cache_entries" with
+    | Some n -> max 2 n
+    | None -> max 2 config.max_cache_entries
+  in
+  let clock = ref 0 in
   let decisions = ref 0
   and unit_propagations = ref 0
   and cache_hits = ref 0
   and cache_queries = ref 0
+  and cache_evictions = ref 0
   and component_splits = ref 0 in
+  let evict_half () =
+    let entries = Fcache.fold (fun k e acc -> (k, e.stamp) :: acc) cache [] in
+    let entries = List.sort (fun (_, a) (_, b) -> Int.compare a b) entries in
+    let drop = max 1 (List.length entries / 2) in
+    List.iteri (fun i (k, _) -> if i < drop then Fcache.remove cache k) entries;
+    cache_evictions := !cache_evictions + drop
+  in
   let rec go f =
     match f with
     | F.True ->
@@ -142,13 +189,16 @@ let count ?(config = default_config) ?(guard = Guard.unlimited) ~prob f =
     | _ when not config.use_cache -> solve f
     | _ -> (
         incr cache_queries;
+        incr clock;
         match Fcache.find_opt cache f with
-        | Some hit ->
+        | Some e ->
             incr cache_hits;
-            hit
+            e.stamp <- !clock;
+            e.value
         | None ->
             let result = solve f in
-            Fcache.replace cache f result;
+            if Fcache.length cache >= cache_cap then evict_half ();
+            Fcache.replace cache f { value = result; stamp = !clock };
             result)
   and solve f =
     match f with
@@ -189,6 +239,7 @@ let count ?(config = default_config) ?(guard = Guard.unlimited) ~prob f =
         cache_hits = !cache_hits;
         cache_queries = !cache_queries;
         component_splits = !component_splits;
-        cache_entries = Fcache.length cache } }
+        cache_entries = Fcache.length cache;
+        cache_evictions = !cache_evictions } }
 
 let probability ?config ?guard ~prob f = (count ?config ?guard ~prob f).prob

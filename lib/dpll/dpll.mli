@@ -23,11 +23,15 @@ type config = {
   independent_or : bool;
   var_choice : var_choice;
   max_decisions : int;  (** bail out with {!Decision_limit} beyond this *)
+  max_cache_entries : int;
+      (** formula-cache entry cap; on overflow the least-recently-used half
+          is evicted (counted in {!stats}[.cache_evictions]). A
+          ["dpll.cache_entries"] budget on the guard overrides this. *)
 }
 
 val default_config : config
 (** cache + components, most-frequent variable, no independent-or, 50M
-    decision cap. *)
+    decision cap, 500k cache entries. *)
 
 val obdd_config : int list -> config
 (** cache, no components, fixed order — the OBDD-shaped trace. *)
@@ -45,7 +49,8 @@ type stats = {
   cache_hits : int;
   cache_queries : int;  (** cache lookups; hit rate = hits/queries *)
   component_splits : int;
-  cache_entries : int;  (** distinct subformulas memoised over the run *)
+  cache_entries : int;  (** subformulas memoised and still resident at the end *)
+  cache_evictions : int;  (** entries dropped to stay under the entry cap *)
 }
 
 val obs_counts : stats -> Probdb_obs.Stats.dpll_counts

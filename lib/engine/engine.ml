@@ -5,6 +5,7 @@ module Lift = Probdb_lifted.Lift
 module Lineage = Probdb_lineage.Lineage
 module Obdd = Probdb_kc.Obdd
 module Dpll = Probdb_dpll.Dpll
+module Wmc = Probdb_cnf.Wmc
 module Plan = Probdb_plans.Plan
 module Karp_luby = Probdb_approx.Karp_luby
 module Stats = Probdb_obs.Stats
@@ -19,6 +20,7 @@ type strategy =
   | Symmetric
   | Safe_plan
   | Read_once
+  | Wmc
   | Obdd
   | Dpll
   | Karp_luby
@@ -29,6 +31,7 @@ let strategy_name = function
   | Symmetric -> "symmetric"
   | Safe_plan -> "safe-plan"
   | Read_once -> "read-once"
+  | Wmc -> "wmc"
   | Obdd -> "obdd"
   | Dpll -> "dpll"
   | Karp_luby -> "karp-luby"
@@ -40,6 +43,7 @@ type config = {
   strategies : strategy list;
   obdd_max_nodes : int;
   dpll_max_decisions : int;
+  wmc_max_decisions : int;
   kl_samples : int;
   max_enum_support : int;
   seed : int;
@@ -54,9 +58,11 @@ type config = {
 
 let default_config =
   { strategies =
-      [ Lifted; Symmetric; Safe_plan; Read_once; Obdd; Dpll; Karp_luby; World_enum ];
+      [ Lifted; Symmetric; Safe_plan; Read_once; Wmc; Obdd; Dpll; Karp_luby;
+        World_enum ];
     obdd_max_nodes = 200_000;
     dpll_max_decisions = 2_000_000;
+    wmc_max_decisions = 2_000_000;
     kl_samples = 100_000;
     max_enum_support = 22;
     seed = 42;
@@ -70,7 +76,8 @@ let default_config =
 
 let exact_only =
   { default_config with
-    strategies = [ Lifted; Symmetric; Safe_plan; Read_once; Obdd; Dpll; World_enum ] }
+    strategies =
+      [ Lifted; Symmetric; Safe_plan; Read_once; Wmc; Obdd; Dpll; World_enum ] }
 
 type outcome = Exact of float | Approximate of { value : float; std_error : float }
 
@@ -224,6 +231,37 @@ let try_obdd config stats guard db q =
               limit = float_of_int n;
               spent = float_of_int n })
 
+let try_wmc config stats guard db q =
+  let ctx = Lineage.create db in
+  match Lineage.of_query ctx q with
+  | exception Invalid_argument msg -> Skip msg
+  | f -> (
+      (* In the auto chain the clause-database counter only claims lineage
+         it translates directly — universal (CNF-shaped) sentences — and
+         leaves DNF lineage to OBDD/DPLL, whose heuristics fit it better.
+         As the only configured strategy (--method wmc) it was explicitly
+         requested, so anything else goes through Tseitin clausification. *)
+      if config.strategies <> [ Wmc ] && Probdb_boolean.Formula.as_cnf f = None then
+        Skip "lineage is not CNF-shaped (force with --method wmc)"
+      else
+        let wmc_config =
+          { Wmc.default_config with Wmc.max_decisions = config.wmc_max_decisions }
+        in
+        match Wmc.count ~config:wmc_config ~guard ~prob:(Lineage.prob ctx) f with
+        | r ->
+            stats.Stats.wmc <- Some (Wmc.obs_counts r.Wmc.stats);
+            stats.Stats.circuit <- Some (Probdb_kc.Circuit.obs_counts r.Wmc.circuit);
+            stats.Stats.memo_hit_rate <-
+              Stats.hit_rate ~hits:r.Wmc.stats.Wmc.cache_hits
+                ~queries:r.Wmc.stats.Wmc.cache_queries;
+            Ok_outcome (Exact r.Wmc.prob)
+        | exception Wmc.Decision_limit n ->
+            Trip
+              { Guard.resource = Guard.Work "wmc.decisions";
+                site = "wmc.decide";
+                limit = float_of_int n;
+                spent = float_of_int n })
+
 let try_dpll config stats guard db q =
   let ctx = Lineage.create db in
   match Lineage.of_query ctx q with
@@ -286,6 +324,7 @@ let attempt config stats guard pool db q s =
     | Symmetric -> try_symmetric guard db q
     | Safe_plan -> try_safe_plan stats guard db q
     | Read_once -> try_read_once db q
+    | Wmc -> try_wmc config stats guard db q
     | Obdd -> try_obdd config stats guard db q
     | Dpll -> try_dpll config stats guard db q
     | Karp_luby -> try_karp_luby config guard pool db q

@@ -15,6 +15,12 @@
     + {e read-once factorisation} — when the monotone DNF lineage is
       read-once (e.g. any hierarchical CQ lineage), probability in linear
       time (Golumbic et al., Sec. 7 context);
+    + {e clause-database WMC} (Sec. 7) — exact, grounded; a sharpSAT-style
+      counter ([Probdb_cnf.Wmc]) with watched-literal propagation,
+      component decomposition and a bounded component cache. In the auto
+      chain it claims exactly the CNF-shaped (universal) lineages it
+      translates directly; picked explicitly ([--method wmc] /
+      [strategies = [Wmc]]) it clausifies anything;
     + {e knowledge compilation to OBDD} (Sec. 7) — exact, grounded; blows
       up on hard queries and is capped by a node budget;
     + {e DPLL with caching and components} (Sec. 7) — exact, grounded,
@@ -31,6 +37,7 @@ type strategy =
   | Symmetric
   | Safe_plan
   | Read_once
+  | Wmc
   | Obdd
   | Dpll
   | Karp_luby
@@ -50,6 +57,9 @@ type config = {
   strategies : strategy list;  (** tried in order *)
   obdd_max_nodes : int;
   dpll_max_decisions : int;
+  wmc_max_decisions : int;
+      (** decision cap of the clause-database WMC strategy (its component
+          cache is additionally bounded, see [Probdb_cnf.Wmc.config]) *)
   kl_samples : int;
   max_enum_support : int;
   seed : int;
@@ -78,10 +88,10 @@ type config = {
 }
 
 val default_config : config
-(** All eight strategies in the order above; 200k OBDD nodes, 2M decisions,
-    100k Karp–Luby samples; no deadline, no budgets, no fault; degradation
-    on at [eps = 0.1], [delta = 0.05], at most 20k samples; one domain
-    (sequential). *)
+(** All nine strategies in the order above; 200k OBDD nodes, 2M decisions
+    (DPLL and WMC each), 100k Karp–Luby samples; no deadline, no budgets,
+    no fault; degradation on at [eps = 0.1], [delta = 0.05], at most 20k
+    samples; one domain (sequential). *)
 
 val exact_only : config
 (** Drops Karp–Luby. *)

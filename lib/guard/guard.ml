@@ -51,6 +51,11 @@ let set_budget g name limit =
 let budget_spent g name =
   match Hashtbl.find_opt g.budgets name with Some b -> b.spent | None -> 0
 
+let budget_limit g name =
+  match Hashtbl.find_opt g.budgets name with Some b -> Some b.limit | None -> None
+
+let heap_watermark_words g = g.heap_watermark
+
 let cancel g = if g.live then Atomic.set g.cancelled true
 
 let is_cancelled g = Atomic.get g.cancelled

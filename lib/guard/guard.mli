@@ -75,6 +75,16 @@ val set_budget : t -> string -> int -> unit
 val budget_spent : t -> string -> int
 (** Work units charged so far against the named budget (0 if absent). *)
 
+val budget_limit : t -> string -> int option
+(** The configured limit of the named budget, if one was installed. Solvers
+    use this to read sizing hints off the guard (e.g. the DPLL cache cap
+    from ["dpll.cache_entries"]) without a second configuration channel. *)
+
+val heap_watermark_words : t -> int option
+(** The heap watermark the guard enforces, if any. Caches consult it to
+    evict {e before} the next {!poll} would trip, trading memoisation for
+    staying under the limit (see the component cache in [Probdb_cnf.Wmc]). *)
+
 val cancel : t -> unit
 (** Request cooperative cancellation: the next {!poll} raises. Safe to call
     from another domain or signal handler (a single mutable flag). *)

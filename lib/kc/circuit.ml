@@ -73,6 +73,10 @@ let ior b children =
 
 let var_leaf b v = decision b v ~lo:(fls b) ~hi:(tru b)
 
+let decide_lit b ~var ~sign rest =
+  if sign then decision b var ~lo:(fls b) ~hi:rest
+  else decision b var ~lo:rest ~hi:(fls b)
+
 let built_nodes b = b.internal
 
 let iter_nodes f root =

@@ -45,6 +45,13 @@ val ior : builder -> t list -> t
 val var_leaf : builder -> int -> t
 (** The one-decision circuit testing a single variable. *)
 
+val decide_lit : builder -> var:int -> sign:bool -> t -> t
+(** [decide_lit b ~var ~sign rest] is the decision node forcing the literal
+    [var = sign] and continuing with [rest] on that branch (the other
+    branch is [false]). This is how trace-recording solvers write an
+    {e implied} literal — a unit propagation — into the circuit: the d-DNNF
+    stays equivalent to the subproblem before the implication. *)
+
 val built_nodes : builder -> int
 (** Total distinct internal nodes ever built — the trace size measure used
     by the Theorem 7.1 experiments. *)

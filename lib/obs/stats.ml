@@ -16,6 +16,18 @@ type dpll_counts = {
   cache_queries : int;
   component_splits : int;
   cache_entries : int;
+  cache_evictions : int;
+}
+
+type wmc_counts = {
+  wmc_decisions : int;
+  propagations : int;
+  components : int;
+  wmc_cache_hits : int;
+  wmc_cache_queries : int;
+  wmc_cache_entries : int;
+  wmc_cache_evictions : int;
+  max_trail : int;
 }
 
 type circuit_counts = { circuit_class : string; nodes : int; edges : int }
@@ -36,6 +48,7 @@ type t = {
   mutable solve_s : float;
   mutable lifted : lifted_rules option;
   mutable dpll : dpll_counts option;
+  mutable wmc : wmc_counts option;
   mutable circuit : circuit_counts option;
   mutable plan : plan_counts option;
   mutable memo_hit_rate : float option;
@@ -62,6 +75,7 @@ let create () =
     solve_s = 0.0;
     lifted = None;
     dpll = None;
+    wmc = None;
     circuit = None;
     plan = None;
     memo_hit_rate = None;
@@ -114,7 +128,19 @@ let dpll_to_json (d : dpll_counts) =
       ("cache_hits", Json.Int d.cache_hits);
       ("cache_queries", Json.Int d.cache_queries);
       ("component_splits", Json.Int d.component_splits);
-      ("cache_entries", Json.Int d.cache_entries) ]
+      ("cache_entries", Json.Int d.cache_entries);
+      ("cache_evictions", Json.Int d.cache_evictions) ]
+
+let wmc_to_json (w : wmc_counts) =
+  Json.Obj
+    [ ("decisions", Json.Int w.wmc_decisions);
+      ("propagations", Json.Int w.propagations);
+      ("components", Json.Int w.components);
+      ("cache_hits", Json.Int w.wmc_cache_hits);
+      ("cache_queries", Json.Int w.wmc_cache_queries);
+      ("cache_entries", Json.Int w.wmc_cache_entries);
+      ("cache_evictions", Json.Int w.wmc_cache_evictions);
+      ("max_trail", Json.Int w.max_trail) ]
 
 let circuit_to_json (c : circuit_counts) =
   Json.Obj
@@ -142,6 +168,7 @@ let to_json t =
             ("total_s", Json.Float (total_s t)) ] );
       ("lifted_rules", opt lifted_to_json t.lifted);
       ("dpll", opt dpll_to_json t.dpll);
+      ("wmc", opt wmc_to_json t.wmc);
       ("circuit", opt circuit_to_json t.circuit);
       ("plan", opt plan_to_json t.plan);
       ("memo_hit_rate", opt (fun f -> Json.Float f) t.memo_hit_rate);
@@ -200,10 +227,18 @@ let pp ppf t =
   (match t.dpll with
   | Some d ->
       line
-        "dpll             branches %d | unit propagations %d | cache %d/%d | components \
-         %d | cached subformulas %d@."
-        d.branches d.unit_propagations d.cache_hits d.cache_queries d.component_splits
-        d.cache_entries
+        "dpll             branches %d | unit propagations %d | cache %d/%d (evicted %d) \
+         | components %d | cached subformulas %d@."
+        d.branches d.unit_propagations d.cache_hits d.cache_queries d.cache_evictions
+        d.component_splits d.cache_entries
+  | None -> ());
+  (match t.wmc with
+  | Some w ->
+      line
+        "wmc              decisions %d | propagations %d | components %d | cache %d/%d \
+         (entries %d, evicted %d) | max trail %d@."
+        w.wmc_decisions w.propagations w.components w.wmc_cache_hits w.wmc_cache_queries
+        w.wmc_cache_entries w.wmc_cache_evictions w.max_trail
   | None -> ());
   (match t.circuit with
   | Some c ->

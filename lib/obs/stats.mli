@@ -32,7 +32,24 @@ type dpll_counts = {
   cache_hits : int;
   cache_queries : int;
   component_splits : int;
-  cache_entries : int;  (** distinct subformulas memoised *)
+  cache_entries : int;  (** subformulas currently memoised *)
+  cache_evictions : int;  (** entries dropped to stay under the cache cap *)
+}
+
+(** Counters of the clause-database weighted model counter
+    ([Probdb_cnf.Wmc]); the [wmc_]-prefixed names avoid clashing with the
+    {!dpll_counts} fields in this flat namespace — the JSON keys drop the
+    prefix (see [docs/STATS.md]). *)
+type wmc_counts = {
+  wmc_decisions : int;  (** branching decisions *)
+  propagations : int;  (** literals implied by watched-literal propagation *)
+  components : int;  (** connected components detected in residual databases *)
+  wmc_cache_hits : int;
+  wmc_cache_queries : int;
+  wmc_cache_entries : int;  (** component-cache entries live at the end *)
+  wmc_cache_evictions : int;
+      (** entries dropped by the entry cap or the heap-watermark sweep *)
+  max_trail : int;  (** deepest assignment trail over the run *)
 }
 
 type circuit_counts = {
@@ -62,6 +79,7 @@ type t = {
   mutable solve_s : float;  (** the winning strategy's evaluation *)
   mutable lifted : lifted_rules option;
   mutable dpll : dpll_counts option;
+  mutable wmc : wmc_counts option;
   mutable circuit : circuit_counts option;
   mutable plan : plan_counts option;
   mutable memo_hit_rate : float option;
