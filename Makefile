@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke docs check check-budget check-wmc
+.PHONY: all build test bench bench-smoke bench-compare docs check check-budget check-wmc check-trace
 
 all: build
 
@@ -39,8 +39,10 @@ check-budget: build
 # cross-domain-count determinism flag. `timeout 120` guards against the
 # worker pool wedging on exotic machines.
 bench-smoke: build
-	@timeout 120 env PROBDB_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- e15 \
+	@timeout 120 env PROBDB_BENCH_SMOKE=1 PROBDB_TRACE=1 dune exec --no-build bench/main.exe -- e15 \
 		>/dev/null || { echo "bench-smoke: e15 failed or hung (exit $$?)"; exit 1; }; \
+	dune exec --no-build bench/compare.exe -- --validate-trace TRACE_e15.json || \
+		{ echo "bench-smoke: TRACE_e15.json failed trace validation"; exit 1; }; \
 	for key in '"experiment": "parallel"' '"smoke": true' '"join_speedup"' \
 		'"columnar_rows_per_s"' '"estimates_identical": true' '"scaling"'; do \
 		grep -q "$$key" BENCH_parallel.json || \
@@ -65,10 +67,49 @@ bench-smoke: build
 check-wmc: build
 	dune exec --no-build test/main.exe -- test 'cnf|wmc' -c
 
+# The observability suite: trace/metrics/histogram unit and property
+# tests, then an end-to-end run — `probdb eval --trace` on a star query
+# must produce Chrome trace_event JSON that passes the validator.
+check-trace: build
+	@dune exec --no-build test/main.exe -- test 'trace|metrics|obs' -c || \
+		{ echo "check-trace: unit/property suites failed"; exit 1; }; \
+	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT; \
+	dune exec --no-build bin/probdb.exe -- gen --out "$$tmp/db" --domain 8 --seed 5 \
+		R:1:0.5 S:2:0.3 T:1:0.5 >/dev/null; \
+	dune exec --no-build bin/probdb.exe -- eval --db "$$tmp/db" \
+		--trace "$$tmp/trace.json" \
+		"exists x y. R(x) && S(x,y) && T(y)" >/dev/null || \
+		{ echo "check-trace: eval --trace failed"; exit 1; }; \
+	dune exec --no-build bench/compare.exe -- --validate-trace "$$tmp/trace.json" || \
+		{ echo "check-trace: emitted trace failed validation"; exit 1; }; \
+	echo "check-trace: suites + end-to-end trace schema — OK"
+
+# The bench regression gate, self-tested both ways: two smoke runs of the
+# same experiment must pass the comparison (threshold 4x absorbs smoke-run
+# noise), and a synthetically regressed copy (timings x25) must fail it.
+bench-compare: build
+	@tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT; \
+	timeout 120 env PROBDB_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- e16 \
+		>/dev/null || { echo "bench-compare: e16 run 1 failed"; exit 1; }; \
+	cp BENCH_wmc.json "$$tmp/old.json"; \
+	timeout 120 env PROBDB_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- e16 \
+		>/dev/null || { echo "bench-compare: e16 run 2 failed"; exit 1; }; \
+	cp BENCH_wmc.json "$$tmp/new.json"; \
+	dune exec --no-build bench/compare.exe -- "$$tmp/old.json" "$$tmp/new.json" \
+		--threshold 4 || \
+		{ echo "bench-compare: real pair flagged as regression"; exit 1; }; \
+	dune exec --no-build bench/compare.exe -- --degrade 25 "$$tmp/old.json" \
+		"$$tmp/bad.json" >/dev/null; \
+	if dune exec --no-build bench/compare.exe -- "$$tmp/old.json" "$$tmp/bad.json" \
+		--threshold 4 >/dev/null; then \
+		echo "bench-compare: synthetic regression NOT caught"; exit 1; \
+	fi; \
+	echo "bench-compare: real pair passes, synthetic x25 regression caught — OK"
+
 # What CI runs: build, test suite, the budget and benchmark smoke tests,
-# the WMC equivalence suite, and — when odoc is installed — the
-# fatal-warnings documentation build.
-check: build test check-budget bench-smoke check-wmc
+# the WMC equivalence suite, the observability suite, and — when odoc is
+# installed — the fatal-warnings documentation build.
+check: build test check-budget bench-smoke check-wmc check-trace
 	@if command -v odoc >/dev/null 2>&1; then \
 		dune build @check-docs; \
 	else \

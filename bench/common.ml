@@ -71,6 +71,28 @@ let bench_json name fields =
   close_out oc;
   Printf.printf "[wrote %s]\n" path
 
+(* Opt-in tracing for experiments: with PROBDB_TRACE set (to anything but
+   "" or "0") each experiment's run is recorded and written next to its
+   BENCH_*.json as TRACE_<name>.json — same Chrome trace_event schema as
+   `probdb eval --trace` (docs/TRACING.md). *)
+let trace_requested =
+  match Sys.getenv_opt "PROBDB_TRACE" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+let with_trace name f =
+  if not trace_requested then f ()
+  else begin
+    Probdb_obs.Trace.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Probdb_obs.Trace.disable ();
+        let path = Printf.sprintf "TRACE_%s.json" name in
+        Probdb_obs.Trace.write path;
+        Printf.printf "[wrote %s]\n" path)
+      (fun () -> Probdb_obs.Trace.with_span ~cat:"bench" ("bench." ^ name) f)
+  end
+
 let f4 x = Printf.sprintf "%.4f" x
 let f6 x = Printf.sprintf "%.6f" x
 let g x = Printf.sprintf "%.6g" x

@@ -1,0 +1,186 @@
+(* The bench regression gate and trace validator.
+
+   Usage:
+     compare OLD.json NEW.json [--threshold R] [--min-s S]
+       Compare two BENCH_*.json files: every numeric leaf whose key ends
+       in "_s" is a lower-is-better timing; NEW regresses when
+       new > old * (1 + R). Exits 1 when any leaf regresses, 0 otherwise.
+       Leaves below S seconds in both files are skipped (noise floor).
+
+     compare --degrade FACTOR IN.json OUT.json
+       Write a copy of IN with every "_s" timing multiplied by FACTOR —
+       a synthetic regression used to test that the gate actually fails.
+
+     compare --validate-trace FILE.json
+       Check that FILE is well-formed Chrome trace_event JSON: an object
+       with a traceEvents list, every event carrying name/ph/ts/pid/tid,
+       a known phase letter, and balanced Begin/End nesting per lane.
+
+   Wired as `make bench-compare` and `make check-trace` (docs/PERF.md,
+   docs/TRACING.md). *)
+
+module Json = Probdb_obs.Json
+
+let read_json path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.of_string s with
+  | Ok doc -> doc
+  | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+
+(* Flatten a document to (dot.separated.path, leaf) pairs; list elements
+   are indexed so rows of a table compare positionally. *)
+let rec flatten prefix doc acc =
+  let key k = if prefix = "" then k else prefix ^ "." ^ k in
+  match doc with
+  | Json.Obj fields ->
+      List.fold_left (fun acc (k, v) -> flatten (key k) v acc) acc fields
+  | Json.List items ->
+      List.fold_left
+        (fun (acc, i) v -> (flatten (key (string_of_int i)) v acc, i + 1))
+        (acc, 0) items
+      |> fst
+  | leaf -> (prefix, leaf) :: acc
+
+let number = function
+  | Json.Float f -> Some f
+  | Json.Int n -> Some (float_of_int n)
+  | _ -> None
+
+let is_timing path = String.length path >= 2 && Filename.check_suffix path "_s"
+
+(* ---------- compare ---------- *)
+
+let compare_files ~threshold ~min_s old_path new_path =
+  let old_leaves = flatten "" (read_json old_path) [] in
+  let new_leaves = flatten "" (read_json new_path) [] in
+  let regressions = ref 0 and compared = ref 0 in
+  List.iter
+    (fun (path, old_leaf) ->
+      if is_timing path then
+        match (number old_leaf, List.assoc_opt path new_leaves) with
+        | Some old_v, Some new_leaf -> (
+            match number new_leaf with
+            | Some new_v when old_v >= min_s || new_v >= min_s ->
+                incr compared;
+                if new_v > old_v *. (1.0 +. threshold) then begin
+                  incr regressions;
+                  Printf.printf "REGRESSION  %-50s %.6fs -> %.6fs (%+.1f%%)\n" path
+                    old_v new_v
+                    (100.0 *. ((new_v /. old_v) -. 1.0))
+                end
+            | _ -> ())
+        | _ -> ())
+    old_leaves;
+  Printf.printf "%d timing(s) compared at threshold %.0f%%, %d regression(s)\n"
+    !compared (100.0 *. threshold) !regressions;
+  if !regressions > 0 then 1 else 0
+
+(* ---------- degrade ---------- *)
+
+let rec degrade factor prefix doc =
+  let key k = if prefix = "" then k else prefix ^ "." ^ k in
+  match doc with
+  | Json.Obj fields -> Json.Obj (List.map (fun (k, v) -> (k, degrade factor (key k) v)) fields)
+  | Json.List items -> Json.List (List.mapi (fun i v -> degrade factor (key (string_of_int i)) v) items)
+  | Json.Float f when is_timing prefix -> Json.Float (f *. factor)
+  | Json.Int n when is_timing prefix -> Json.Float (float_of_int n *. factor)
+  | leaf -> leaf
+
+let degrade_file factor in_path out_path =
+  let doc = degrade factor "" (read_json in_path) in
+  let oc = open_out out_path in
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "wrote %s (timings x%g)\n" out_path factor;
+  0
+
+(* ---------- validate-trace ---------- *)
+
+let known_phases = [ "B"; "E"; "i"; "C"; "M"; "X" ]
+
+let validate_trace path =
+  let fail fmt = Printf.ksprintf (fun s -> Printf.printf "INVALID %s: %s\n" path s; raise Exit) fmt in
+  try
+    let doc = read_json path in
+    let events =
+      match doc with
+      | Json.Obj fields -> (
+          match List.assoc_opt "traceEvents" fields with
+          | Some (Json.List evs) -> evs
+          | Some _ -> fail "traceEvents is not a list"
+          | None -> fail "no traceEvents field")
+      | _ -> fail "top level is not an object"
+    in
+    if events = [] then fail "empty traceEvents";
+    let depth : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    List.iteri
+      (fun i ev ->
+        let fields =
+          match ev with Json.Obj f -> f | _ -> fail "event %d is not an object" i
+        in
+        let str k =
+          match List.assoc_opt k fields with
+          | Some (Json.Str s) -> s
+          | _ -> fail "event %d: missing string field %S" i k
+        in
+        let num k =
+          match Option.bind (List.assoc_opt k fields) number with
+          | Some v -> v
+          | None -> fail "event %d: missing numeric field %S" i k
+        in
+        ignore (str "name");
+        let ph = str "ph" in
+        if not (List.mem ph known_phases) then fail "event %d: unknown phase %S" i ph;
+        ignore (num "pid");
+        let tid = int_of_float (num "tid") in
+        (* metadata events carry no timestamp *)
+        if ph <> "M" then ignore (num "ts");
+        let d = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+        match ph with
+        | "B" -> Hashtbl.replace depth tid (d + 1)
+        | "E" ->
+            if d <= 0 then fail "event %d: End without Begin on lane %d" i tid;
+            Hashtbl.replace depth tid (d - 1)
+        | _ -> ())
+      events;
+    Hashtbl.iter
+      (fun tid d -> if d <> 0 then fail "lane %d: %d unclosed Begin(s)" tid d)
+      depth;
+    Printf.printf "OK %s: %d events, balanced spans\n" path (List.length events);
+    0
+  with Exit -> 1
+
+(* ---------- entry ---------- *)
+
+let usage () =
+  prerr_endline
+    "usage: compare OLD.json NEW.json [--threshold R] [--min-s S]\n\
+    \       compare --degrade FACTOR IN.json OUT.json\n\
+    \       compare --validate-trace FILE.json";
+  2
+
+let () =
+  let code =
+    match List.tl (Array.to_list Sys.argv) with
+    | [ "--validate-trace"; path ] -> validate_trace path
+    | [ "--degrade"; factor; in_path; out_path ] -> (
+        match float_of_string_opt factor with
+        | Some f -> degrade_file f in_path out_path
+        | None -> usage ())
+    | old_path :: new_path :: rest ->
+        let rec opts threshold min_s = function
+          | "--threshold" :: v :: rest -> opts (float_of_string v) min_s rest
+          | "--min-s" :: v :: rest -> opts threshold (float_of_string v) rest
+          | [] -> Some (threshold, min_s)
+          | _ -> None
+        in
+        (match opts 0.25 0.0 rest with
+        | Some (threshold, min_s) -> compare_files ~threshold ~min_s old_path new_path
+        | None -> usage ())
+    | _ -> usage ()
+  in
+  exit code

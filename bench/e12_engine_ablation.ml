@@ -62,10 +62,36 @@ let dispatcher () =
   in
   Common.table ([ "query"; "answered by"; "value"; "skipped" ] :: rows)
 
+(* The cost of the probes themselves: the same auto-dispatched query with
+   tracing off (the default — every probe is one atomic load) and on. The
+   disabled number is the one that matters for production; docs/PERF.md
+   records it. *)
+let tracing_overhead () =
+  Common.section "tracing overhead (engine-auto on q_j, per-query medians)";
+  let db = db_for Q.q_j.Q.query ~n:3 in
+  let q = Q.q_j.Q.query in
+  let reps = 100 in
+  let batch () =
+    for _ = 1 to reps do
+      ignore (E.probability db q)
+    done
+  in
+  let off = Common.timed ~repeat:5 batch /. float_of_int reps in
+  Probdb_obs.Trace.enable ();
+  let on_ = Common.timed ~repeat:5 batch /. float_of_int reps in
+  Probdb_obs.Trace.disable ();
+  Probdb_obs.Trace.clear ();
+  Common.table
+    [ [ "tracing"; "time/query"; "overhead" ];
+      [ "disabled"; Common.pretty_time off; "-" ];
+      [ "enabled"; Common.pretty_time on_;
+        Printf.sprintf "%+.1f%%" (100.0 *. ((on_ /. off) -. 1.0)) ] ]
+
 let run () =
   Common.header "E12: engine ablation — every method on every query";
   matrix ();
-  dispatcher ()
+  dispatcher ();
+  tracing_overhead ()
 
 let bechamel_tests =
   let db = db_for Q.q_j.Q.query ~n:3 in

@@ -43,7 +43,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | [] ->
-      List.iter (fun (_, _, run) -> run ()) experiments;
+      List.iter (fun (id, _, run) -> Common.with_trace id run) experiments;
       micro ()
   | names ->
       List.iter
@@ -51,7 +51,7 @@ let () =
           if name = "micro" then micro ()
           else
             match List.find_opt (fun (id, _, _) -> String.equal id name) experiments with
-            | Some (_, _, run) -> run ()
+            | Some (id, _, run) -> Common.with_trace id run
             | None ->
                 Printf.eprintf "unknown experiment %S; available: %s micro\n" name
                   (String.concat " " (List.map (fun (id, _, _) -> id) experiments));

@@ -163,6 +163,24 @@ let stats_json_arg =
     & info [ "stats-json" ]
         ~doc:"Emit the per-query statistics as JSON on stdout (schema: docs/STATS.md).")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record an event trace of the evaluation and write it to $(docv) \
+           as Chrome trace_event JSON (open in Perfetto or chrome://tracing; \
+           schema: docs/TRACING.md).")
+
+let metrics_json_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics-json" ]
+        ~doc:
+          "After the evaluation, emit the process-wide metrics registry \
+           (counters, gauges, histograms) as JSON on stdout.")
+
 let setup_verbose verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
@@ -205,8 +223,21 @@ let config_of_cli meth samples deadline_ms eps delta no_degrade max_ie_terms
     domains = max 1 domains }
 
 let eval_run db_dir text free meth samples deadline_ms eps delta no_degrade
-    max_ie_terms max_plan_rows domains verbose show_stats stats_json =
+    max_ie_terms max_plan_rows domains verbose show_stats stats_json trace_file
+    metrics_json =
   setup_verbose verbose;
+  if trace_file <> None then Obs.Trace.enable ();
+  (* The trace file is written also when the evaluation raises — a trace of
+     the failing run is exactly what one wants to look at. *)
+  Fun.protect
+    ~finally:(fun () ->
+      match trace_file with
+      | Some path ->
+          Obs.Trace.disable ();
+          Obs.Trace.write path
+      | None -> ())
+  @@ fun () ->
+  Obs.Trace.with_span ~cat:"engine" "probdb.eval" @@ fun () ->
   with_db db_dir @@ fun db ->
   let stats = Stats.create () in
   stats.Stats.query <- Some text;
@@ -214,6 +245,11 @@ let eval_run db_dir text free meth samples deadline_ms eps delta no_degrade
   let config =
     config_of_cli meth samples deadline_ms eps delta no_degrade max_ie_terms
       max_plan_rows domains
+  in
+  let finish () =
+    if metrics_json then
+      print_endline (Obs.Json.to_string ~pretty:true (Obs.Metrics.to_json ()));
+    `Ok ()
   in
   match free with
   | [] -> (
@@ -224,7 +260,7 @@ let eval_run db_dir text free meth samples deadline_ms eps delta no_degrade
             Format.printf "%a@." Answer.pp a;
             if show_stats then Format.printf "%a" Stats.pp a.Answer.stats
           end;
-          `Ok ()
+          finish ()
       | Error e -> Err.raise_ e)
   | _ ->
       let answers = E.answers ~config ~free db q in
@@ -253,7 +289,7 @@ let eval_run db_dir text free meth samples deadline_ms eps delta no_degrade
               E.pp_report r;
             if show_stats then Format.printf "%a" Stats.pp r.E.stats)
           answers;
-      `Ok ()
+      finish ()
 
 let eval_cmd =
   let term =
@@ -261,7 +297,8 @@ let eval_cmd =
       ret
         (const eval_run $ db_arg $ query_arg $ free_arg $ method_arg $ samples_arg
        $ deadline_arg $ eps_arg $ delta_arg $ no_degrade_arg $ max_ie_terms_arg
-       $ max_plan_rows_arg $ domains_arg $ verbose_arg $ stats_arg $ stats_json_arg))
+       $ max_plan_rows_arg $ domains_arg $ verbose_arg $ stats_arg $ stats_json_arg
+       $ trace_arg $ metrics_json_arg))
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a query's probability on a TID.") term
 

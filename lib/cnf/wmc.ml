@@ -1,6 +1,7 @@
 module F = Probdb_boolean.Formula
 module Circuit = Probdb_kc.Circuit
 module Guard = Probdb_guard.Guard
+module Trace = Probdb_obs.Trace
 
 type config = {
   use_cache : bool;
@@ -453,6 +454,13 @@ let count_cnf ?(config = default_config) ?(guard = Guard.unlimited) ~prob cnf =
     if s.decisions > config.max_decisions then
       raise (Decision_limit config.max_decisions);
     Guard.poll guard ~site:"wmc.decide";
+    (* Sampled: one counter event per 256 decisions keeps the trace small
+       while still showing search progress on the timeline. *)
+    if s.decisions land 255 = 0 && Trace.on () then begin
+      Trace.counter ~cat:"wmc" "wmc.decisions" (float_of_int s.decisions);
+      Trace.counter ~cat:"wmc" "wmc.cache_hits" (float_of_int s.cache_hits);
+      Trace.counter ~cat:"wmc" "wmc.components" (float_of_int s.components)
+    end;
     let p_lo, c_lo = branch (cvars, ccls) v false in
     let p_hi, c_hi = branch (cvars, ccls) v true in
     let p = (s.w_neg.(v) *. p_lo) +. (s.w_pos.(v) *. p_hi) in

@@ -1,6 +1,7 @@
 module F = Probdb_boolean.Formula
 module Circuit = Probdb_kc.Circuit
 module Guard = Probdb_guard.Guard
+module Trace = Probdb_obs.Trace
 
 type var_choice = Most_frequent | Fixed of int list
 
@@ -223,6 +224,12 @@ let count ?(config = default_config) ?(guard = Guard.unlimited) ~prob f =
     incr decisions;
     if !decisions > config.max_decisions then raise (Decision_limit config.max_decisions);
     Guard.poll guard ~site:"dpll.shannon";
+    (* Sampled: one counter event per 256 decisions keeps the trace small
+       while still showing search progress and cache effectiveness. *)
+    if !decisions land 255 = 0 && Trace.on () then begin
+      Trace.counter ~cat:"dpll" "dpll.decisions" (float_of_int !decisions);
+      Trace.counter ~cat:"dpll" "dpll.cache_hits" (float_of_int !cache_hits)
+    end;
     let v = choose_var config f in
     let p_lo, c_lo = go (F.condition v false f) in
     let p_hi, c_hi = go (F.condition v true f) in

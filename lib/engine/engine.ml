@@ -11,6 +11,9 @@ module Karp_luby = Probdb_approx.Karp_luby
 module Stats = Probdb_obs.Stats
 module Clock = Probdb_obs.Clock
 module Counter = Probdb_obs.Counter
+module Trace = Probdb_obs.Trace
+module Metrics = Probdb_obs.Metrics
+module Json = Probdb_obs.Json
 module Guard = Probdb_guard.Guard
 module Error = Probdb_core.Probdb_error
 module Par = Probdb_par.Par
@@ -78,6 +81,53 @@ let exact_only =
   { default_config with
     strategies =
       [ Lifted; Symmetric; Safe_plan; Read_once; Wmc; Obdd; Dpll; World_enum ] }
+
+(* Process-wide metrics (aggregating across queries, unlike [Stats.t]);
+   the legacy [Counter] module keeps receiving the same increments so
+   existing consumers of [Counter.read] are unaffected. *)
+let m_queries = Metrics.counter "engine.queries"
+
+let m_degraded = Metrics.counter "engine.degraded"
+
+let m_latency = Metrics.histogram "engine.query_latency_s"
+
+let count_query () =
+  Counter.incr "engine.queries";
+  Metrics.incr m_queries
+
+let count_win s =
+  Counter.incr ("engine.strategy." ^ strategy_name s);
+  Metrics.incr (Metrics.counter ("engine.strategy." ^ strategy_name s))
+
+(* The evaluation-config echo surfaced as the [config] section of
+   --stats-json: enough to re-run the query the same way. *)
+let opt_json f = function None -> Json.Null | Some v -> f v
+
+let config_fields config =
+  [ ( "strategies",
+      Json.List (List.map (fun s -> Json.Str (strategy_name s)) config.strategies) );
+    ("domains", Json.Int config.domains);
+    ("seed", Json.Int config.seed);
+    ("deadline_s", opt_json (fun f -> Json.Float f) config.deadline_s);
+    ("kl_samples", Json.Int config.kl_samples);
+    ("obdd_max_nodes", Json.Int config.obdd_max_nodes);
+    ("dpll_max_decisions", Json.Int config.dpll_max_decisions);
+    ("wmc_max_decisions", Json.Int config.wmc_max_decisions);
+    ("max_enum_support", Json.Int config.max_enum_support);
+    ("max_ie_terms", opt_json (fun n -> Json.Int n) config.max_ie_terms);
+    ("max_plan_rows", opt_json (fun n -> Json.Int n) config.max_plan_rows);
+    ("heap_watermark_words", opt_json (fun n -> Json.Int n) config.heap_watermark_words);
+    ( "degrade",
+      opt_json
+        (fun d ->
+          Json.Obj
+            [ ("eps", Json.Float d.eps);
+              ("delta", Json.Float d.delta);
+              ("max_samples", Json.Int d.max_samples) ])
+        config.degrade ) ]
+
+let echo_config stats config =
+  if stats.Stats.config = [] then stats.Stats.config <- config_fields config
 
 type outcome = Exact of float | Approximate of { value : float; std_error : float }
 
@@ -330,6 +380,13 @@ let attempt config stats guard pool db q s =
     | Karp_luby -> try_karp_luby config guard pool db q
     | World_enum -> try_world_enum config db q
   in
+  (* Every trial is a span on the trace timeline and a GC-delta region:
+     the trace shows which strategy the time went to, the stats show which
+     strategy the allocation went to. *)
+  let run () =
+    Stats.with_gc stats (fun () ->
+        Trace.with_span ~cat:"strategy" (strategy_name s) run)
+  in
   match run () with r -> r | exception Guard.Exhausted trip -> Trip trip
 
 let evaluate ?(config = default_config) ?stats db q =
@@ -338,7 +395,8 @@ let evaluate ?(config = default_config) ?stats db q =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   if stats.Stats.query = None then
     stats.Stats.query <- Some (Format.asprintf "%a" Fo.pp q);
-  Counter.incr "engine.queries";
+  count_query ();
+  echo_config stats config;
   let guard = guard_of_config config in
   let pool = pool_of_config config in
   let rec go skipped = function
@@ -365,7 +423,8 @@ let evaluate ?(config = default_config) ?stats db q =
             stats.Stats.skipped <-
               List.rev_map (fun (s, m) -> (strategy_name s, m)) skipped;
             record_pool stats pool;
-            Counter.incr ("engine.strategy." ^ strategy_name s);
+            count_win s;
+            Metrics.observe m_latency (Stats.total_s stats);
             { outcome; strategy = s; skipped = List.rev skipped; stats }
         | Skip reason ->
             Stats.record_phase stats Stats.Classify dt;
@@ -431,7 +490,8 @@ let eval ?(config = default_config) ?stats db q =
   let stats = match stats with Some s -> s | None -> Stats.create () in
   if stats.Stats.query = None then
     stats.Stats.query <- Some (Format.asprintf "%a" Fo.pp q);
-  Counter.incr "engine.queries";
+  count_query ();
+  echo_config stats config;
   let guard = guard_of_config config in
   let pool = pool_of_config config in
   (* With degradation on, Karp–Luby is reserved for the fallback so that
@@ -467,7 +527,10 @@ let eval ?(config = default_config) ?stats db q =
     | None -> fail chain
     | Some { eps; delta; max_samples } -> (
         let result, dt =
-          Clock.time (fun () -> kl_fallback config pool ~eps ~delta ~max_samples db q)
+          Clock.time (fun () ->
+              Stats.with_gc stats (fun () ->
+                  Trace.with_span ~cat:"strategy" "karp-luby.fallback" (fun () ->
+                      kl_fallback config pool ~eps ~delta ~max_samples db q)))
         in
         Stats.record_phase stats Stats.Solve dt;
         match result with
@@ -484,6 +547,9 @@ let eval ?(config = default_config) ?stats db q =
             stats.Stats.ci_high <- Some confidence.Answer.ci_high;
             stats.Stats.samples <- Some confidence.Answer.samples;
             Counter.incr "engine.degraded";
+            Metrics.incr m_degraded;
+            count_win Karp_luby;
+            Metrics.observe m_latency (Stats.total_s stats);
             Result.Ok
               { Answer.value = v;
                 exact = false;
@@ -517,7 +583,8 @@ let eval ?(config = default_config) ?stats db q =
                   stats.Stats.std_error <- Some std_error;
                   (false, None)
             in
-            Counter.incr ("engine.strategy." ^ strategy_name s);
+            count_win s;
+            Metrics.observe m_latency (Stats.total_s stats);
             Result.Ok
               { Answer.value = value outcome;
                 exact;

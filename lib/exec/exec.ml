@@ -3,6 +3,7 @@ module Dict = Core.Dict
 module Cq = Probdb_logic.Cq
 module Fo = Probdb_logic.Fo
 module Guard = Probdb_guard.Guard
+module Trace = Probdb_obs.Trace
 
 type rel = { vars : string array; cols : int array array; probs : float array }
 
@@ -16,13 +17,22 @@ let fresh_counters () = { operators = 0; peak_rows = 0; rows_processed = 0 }
 
 let nrows r = Array.length r.probs
 
-let note counters ~inputs ~output =
+let note name counters ~inputs ~output =
+  if Trace.on () then begin
+    Trace.counter ~cat:"exec" ("exec." ^ name ^ ".rows_in") (float_of_int inputs);
+    Trace.counter ~cat:"exec" ("exec." ^ name ^ ".rows_out") (float_of_int output)
+  end;
   match counters with
   | None -> ()
   | Some c ->
       c.operators <- c.operators + 1;
       c.rows_processed <- c.rows_processed + inputs;
       c.peak_rows <- max c.peak_rows output
+
+(* Each operator body is one span on the trace timeline; paired with the
+   rows in/out counters above it shows where plan time and cardinality
+   blow-ups happen. *)
+let traced name f = Trace.with_span ~cat:"exec" ("exec." ^ name) f
 
 let index_of r x =
   let n = Array.length r.vars in
@@ -78,6 +88,7 @@ type arg_check =
   | Check_pos of int  (* repeated variable: must equal the value at this position *)
 
 let scan ?(guard = Guard.unlimited) ?counters dict db (atom : Cq.atom) =
+  traced "scan" @@ fun () ->
   if atom.Cq.comp then invalid_arg "Exec.scan: complemented atom";
   let args = Array.of_list atom.Cq.args in
   let var_list =
@@ -158,12 +169,13 @@ let scan ?(guard = Guard.unlimited) ?counters dict db (atom : Cq.atom) =
   let rel =
     { vars; cols = Array.map (fun b -> Array.sub b.Ibuf.a 0 n) col_bufs; probs }
   in
-  note counters ~inputs:!inputs ~output:n;
+  note "scan" counters ~inputs:!inputs ~output:n;
   rel
 
 (* ---------- select ---------- *)
 
 let select ?(guard = Guard.unlimited) ?counters r x id =
+  traced "select" @@ fun () ->
   let j = index_of r x in
   let col = r.cols.(j) in
   let keep = Ibuf.create () in
@@ -180,12 +192,13 @@ let select ?(guard = Guard.unlimited) ?counters r x id =
       cols = Array.map gather r.cols;
       probs = Array.init m (fun t -> r.probs.(Ibuf.get keep t)) }
   in
-  note counters ~inputs:n ~output:m;
+  note "select" counters ~inputs:n ~output:m;
   rel
 
 (* ---------- join ---------- *)
 
 let join ?(guard = Guard.unlimited) ?counters r1 r2 =
+  traced "join" @@ fun () ->
   let mem1 x = Array.exists (String.equal x) r1.vars in
   let shared = Array.of_list (List.filter mem1 (Array.to_list r2.vars)) in
   let idx1 = Array.map (index_of r1) shared in
@@ -256,7 +269,7 @@ let join ?(guard = Guard.unlimited) ?counters r1 r2 =
         Array.init m (fun t ->
             r1.probs.(Ibuf.get left t) *. r2.probs.(Ibuf.get right t)) }
   in
-  note counters ~inputs:(n1 + n2) ~output:m;
+  note "join" counters ~inputs:(n1 + n2) ~output:m;
   rel
 
 (* ---------- grouping (project, disjoint union) ---------- *)
@@ -303,6 +316,7 @@ let group_by ~guard ~site ~combine idxs r =
 let combine_or p q = 1.0 -. ((1.0 -. p) *. (1.0 -. q))
 
 let project ?(guard = Guard.unlimited) ?counters keep r =
+  traced "project" @@ fun () ->
   let keep_arr = Array.of_list keep in
   let idxs = Array.map (index_of r) keep_arr in
   let groups = group_by ~guard ~site:"exec.project" ~combine:combine_or idxs r in
@@ -313,10 +327,11 @@ let project ?(guard = Guard.unlimited) ?counters keep r =
         Array.map (fun j -> Array.init m (fun t -> r.cols.(j).(groups.(t).row))) idxs;
       probs = Array.init m (fun t -> groups.(t).p) }
   in
-  note counters ~inputs:(nrows r) ~output:m;
+  note "project" counters ~inputs:(nrows r) ~output:m;
   rel
 
 let disjoint_union ?(guard = Guard.unlimited) ?counters r1 r2 =
+  traced "union" @@ fun () ->
   let k = Array.length r1.vars in
   if
     k <> Array.length r2.vars
@@ -342,7 +357,7 @@ let disjoint_union ?(guard = Guard.unlimited) ?counters r1 r2 =
         Array.init k (fun j -> Array.init m (fun t -> both.cols.(j).(groups.(t).row)));
       probs = Array.init m (fun t -> groups.(t).p) }
   in
-  note counters ~inputs:(n1 + n2) ~output:m;
+  note "union" counters ~inputs:(n1 + n2) ~output:m;
   rel
 
 let boolean_prob r =

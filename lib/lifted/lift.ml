@@ -4,6 +4,7 @@ module Cq = Probdb_logic.Cq
 module Ucq = Probdb_logic.Ucq
 module Guard = Probdb_guard.Guard
 module Par = Probdb_par.Par
+module Trace = Probdb_obs.Trace
 
 exception Unsafe of string
 
@@ -259,6 +260,7 @@ let eval_query ?pool config stats guard db (q0 : query) =
         | [ _single ] -> inclusion_exclusion stats clauses
         | groups ->
             stats.independent_joins <- stats.independent_joins + 1;
+            Trace.instant ~cat:"lifted" "lifted.independent_join";
             Log.debug (fun m ->
                 m "independent join: %d groups of %s" (List.length groups)
                   (query_to_string clauses));
@@ -270,6 +272,7 @@ let eval_query ?pool config stats guard db (q0 : query) =
            (Printf.sprintf "inclusion-exclusion needed (disabled) on: %s"
               (query_to_string clauses)));
     stats.ie_expansions <- stats.ie_expansions + 1;
+    Trace.instant ~cat:"lifted" "lifted.inclusion_exclusion";
     let terms =
       List.map
         (fun (subset, k) ->
@@ -323,6 +326,7 @@ let eval_query ?pool config stats guard db (q0 : query) =
             match find_separator d with
             | Some pairs ->
                 stats.separator_steps <- stats.separator_steps + 1;
+                Trace.instant ~cat:"lifted" "lifted.separator";
                 Log.debug (fun m ->
                     m "separator {%s} on %s"
                       (String.concat ", " (List.map snd pairs))
@@ -342,6 +346,7 @@ let eval_query ?pool config stats guard db (q0 : query) =
                         (clause_to_string d))))
         | groups ->
             stats.independent_unions <- stats.independent_unions + 1;
+            Trace.instant ~cat:"lifted" "lifted.independent_union";
             Log.debug (fun m ->
                 m "independent union: %d groups of %s" (List.length groups)
                   (clause_to_string d));

@@ -13,6 +13,10 @@ let now () =
   in
   clamp ()
 
+(* Truncation of a monotone float is monotone, so [now_ns] inherits the
+   never-goes-backwards guarantee of [now]. *)
+let now_ns () = int_of_float (now () *. 1e9)
+
 let time f =
   let t0 = now () in
   let result = f () in

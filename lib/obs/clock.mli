@@ -12,6 +12,11 @@ val now : unit -> float
 (** Seconds since the process loaded this module; non-negative and
     monotonically non-decreasing, also under concurrent callers. *)
 
+val now_ns : unit -> int
+(** {!now} in integer nanoseconds — the timestamp unit of trace events
+    ({!Trace}). Same monotonicity guarantee and the same underlying
+    microsecond resolution; the extra digits are not precision. *)
+
 val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result with the elapsed seconds
     (always [>= 0.]). Exceptions from [f] propagate unchanged. *)

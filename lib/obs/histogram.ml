@@ -1,0 +1,141 @@
+(* Log-linear histograms: 16 linear sub-buckets per power-of-two octave,
+   like HDR histograms. A bucket's width is at most 1/16 of its lower
+   bound, so quantile estimates (bucket midpoints) are within ~3.2%
+   relative error of some sample in the right rank neighbourhood. *)
+
+let sub_buckets = 16
+
+(* frexp exponents covered: [e_min, e_max). Values outside clamp to the
+   first/last bucket; for latencies in seconds that is < ~5.4e-20 s and
+   > ~9.2e18 s, neither of which a measurement can produce. *)
+let e_min = -64
+
+let e_max = 64
+
+let nbuckets = (e_max - e_min) * sub_buckets
+
+let relative_error = 1.0 /. (2.0 *. float_of_int sub_buckets)
+
+type t = {
+  counts : int array;
+  mutable zeros : int;  (* values <= 0. (and nan), kept out of the log buckets *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  { counts = Array.make nbuckets 0;
+    zeros = 0;
+    count = 0;
+    sum = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity }
+
+let bucket_of v =
+  (* v > 0: frexp v = (m, e) with m in [0.5, 1), v = m * 2^e *)
+  let m, e = Float.frexp v in
+  let sub = int_of_float ((m -. 0.5) *. float_of_int (2 * sub_buckets)) in
+  let sub = if sub >= sub_buckets then sub_buckets - 1 else max 0 sub in
+  let idx = ((e - e_min) * sub_buckets) + sub in
+  if idx < 0 then 0 else if idx >= nbuckets then nbuckets - 1 else idx
+
+(* Midpoint of bucket [idx]: the bucket spans
+   [2^e * (1/2 + s/32), 2^e * (1/2 + (s+1)/32)). *)
+let bucket_mid idx =
+  let e = (idx / sub_buckets) + e_min in
+  let s = idx mod sub_buckets in
+  Float.ldexp (0.5 +. ((float_of_int s +. 0.5) /. float_of_int (2 * sub_buckets))) e
+
+let add t v =
+  t.count <- t.count + 1;
+  if v > 0.0 then begin
+    t.sum <- t.sum +. v;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v;
+    let idx = bucket_of v in
+    t.counts.(idx) <- t.counts.(idx) + 1
+  end
+  else begin
+    t.zeros <- t.zeros + 1;
+    if v <= 0.0 then begin
+      (* keep min/max honest for non-positive observations *)
+      if v < t.min_v then t.min_v <- v;
+      if v > t.max_v then t.max_v <- v
+    end
+  end
+
+let count t = t.count
+
+let sum t = t.sum
+
+let min_value t = if t.count = 0 then 0.0 else t.min_v
+
+let max_value t = if t.count = 0 then 0.0 else t.max_v
+
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+(* Nearest-rank quantile over the bucketed distribution: the value
+   reported is the midpoint of the bucket containing the sample of rank
+   [ceil(q * count)] (non-positive observations rank below every
+   bucket). *)
+let quantile t q =
+  if t.count = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = int_of_float (Float.round (q *. float_of_int t.count)) in
+    let rank = max 1 (min t.count rank) in
+    if rank <= t.zeros then Float.min 0.0 (min_value t)
+    else begin
+      let remaining = ref (rank - t.zeros) in
+      let idx = ref 0 in
+      let result = ref (max_value t) in
+      (try
+         while !idx < nbuckets do
+           let c = t.counts.(!idx) in
+           if c >= !remaining then begin
+             result := bucket_mid !idx;
+             raise Stdlib.Exit
+           end;
+           remaining := !remaining - c;
+           incr idx
+         done
+       with Stdlib.Exit -> ());
+      !result
+    end
+  end
+
+let merge_into ~into t =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) t.counts;
+  into.zeros <- into.zeros + t.zeros;
+  into.count <- into.count + t.count;
+  into.sum <- into.sum +. t.sum;
+  if t.min_v < into.min_v then into.min_v <- t.min_v;
+  if t.max_v > into.max_v then into.max_v <- t.max_v
+
+let copy t =
+  let c = create () in
+  merge_into ~into:c t;
+  c
+
+let to_json t =
+  let buckets =
+    Array.to_list
+      (Array.of_seq
+         (Seq.filter_map
+            (fun i ->
+              if t.counts.(i) = 0 then None
+              else Some (Json.List [ Json.Float (bucket_mid i); Json.Int t.counts.(i) ]))
+            (Seq.init nbuckets Fun.id)))
+  in
+  Json.Obj
+    [ ("count", Json.Int t.count);
+      ("sum", Json.Float t.sum);
+      ("mean", Json.Float (mean t));
+      ("min", Json.Float (min_value t));
+      ("max", Json.Float (max_value t));
+      ("p50", Json.Float (quantile t 0.5));
+      ("p90", Json.Float (quantile t 0.9));
+      ("p99", Json.Float (quantile t 0.99));
+      ("buckets", Json.List buckets) ]

@@ -1,0 +1,52 @@
+(** Log-bucketed histograms for latencies and sizes.
+
+    HDR-style log-linear buckets: every power-of-two octave is split into
+    16 linear sub-buckets, so a bucket's width is at most 1/16 of its
+    lower bound and quantile estimates (bucket midpoints) are within
+    {!relative_error} (≈3.1%) of the exact nearest-rank sample quantile —
+    the property test in [test/test_metrics.ml] asserts exactly this
+    bound. Memory is a fixed ~2048-slot int array per histogram,
+    independent of the number of observations.
+
+    A histogram is a single-writer value: {!Metrics} shards one per domain
+    and merges on read. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one observation. Non-positive (and NaN) values are counted but
+    kept out of the log buckets; they rank below every positive sample. *)
+
+val count : t -> int
+(** Total observations recorded. *)
+
+val sum : t -> float
+(** Sum of the positive observations (exact, not bucketed). *)
+
+val mean : t -> float
+
+val min_value : t -> float
+(** Smallest observation ([0.] when empty); exact, not bucketed. *)
+
+val max_value : t -> float
+(** Largest observation ([0.] when empty); exact, not bucketed. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] estimates the [q]-quantile (nearest-rank): the midpoint
+    of the bucket holding the sample of rank [round (q * count)]. Within
+    {!relative_error} of the exact sample quantile. *)
+
+val relative_error : float
+(** The documented quantile error bound: half of the widest
+    bucket-width-to-value ratio, [1/32]. *)
+
+val merge_into : into:t -> t -> unit
+(** Fold the second histogram's buckets and moments into [into]. *)
+
+val copy : t -> t
+
+val to_json : t -> Json.t
+(** [{"count", "sum", "mean", "min", "max", "p50", "p90", "p99",
+    "buckets": [[midpoint, count], ...]}] — non-empty buckets only. *)

@@ -1,0 +1,136 @@
+(* Process-wide metrics: a registry of named counters, gauges and
+   histograms that outlives any single query (unlike Stats.t, which is
+   per-query). Writes are sharded by domain id so concurrent domains
+   rarely touch the same cache line; reads merge the shards without
+   taking any lock. *)
+
+let nshards = 16
+
+let shard () = (Domain.self () :> int) land (nshards - 1)
+
+type counter = { cname : string; cells : int Atomic.t array }
+
+type gauge = { gname : string; gcell : float Atomic.t }
+
+type histogram = {
+  hname : string;
+  hshards : Histogram.t array;
+  hlocks : Mutex.t array;  (* writer-side only: two domains can share a shard *)
+}
+
+type registered =
+  | Counter of counter
+  | Gauge of gauge
+  | Histo of histogram
+
+let table : (string, registered) Hashtbl.t = Hashtbl.create 64
+
+let registry_lock = Mutex.create ()
+
+let register name make cast =
+  let found =
+    match Hashtbl.find_opt table name with
+    | Some r -> cast r
+    | None ->
+        Mutex.protect registry_lock (fun () ->
+            match Hashtbl.find_opt table name with
+            | Some r -> cast r
+            | None ->
+                let v = make () in
+                Hashtbl.add table name v;
+                cast v)
+  in
+  match found with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is already registered as another metric kind" name)
+
+let counter name =
+  register name
+    (fun () ->
+      Counter { cname = name; cells = Array.init nshards (fun _ -> Atomic.make 0) })
+    (function Counter c -> Some c | _ -> None)
+
+let gauge name =
+  register name
+    (fun () -> Gauge { gname = name; gcell = Atomic.make 0.0 })
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram name =
+  register name
+    (fun () ->
+      Histo
+        { hname = name;
+          hshards = Array.init nshards (fun _ -> Histogram.create ());
+          hlocks = Array.init nshards (fun _ -> Mutex.create ()) })
+    (function Histo h -> Some h | _ -> None)
+
+(* ---------- writes (sharded; lock-free for counters and gauges) ---------- *)
+
+let add c n = ignore (Atomic.fetch_and_add c.cells.(shard ()) n)
+
+let incr c = add c 1
+
+let set g v = Atomic.set g.gcell v
+
+let observe h v =
+  let s = shard () in
+  Mutex.protect h.hlocks.(s) (fun () -> Histogram.add h.hshards.(s) v)
+
+let time h f =
+  let t0 = Clock.now () in
+  Fun.protect ~finally:(fun () -> observe h (Clock.now () -. t0)) f
+
+(* ---------- reads (lock-free merges) ---------- *)
+
+(* Counter sums are exact: every increment lands in exactly one atomic
+   cell, and the read sums all cells. Histogram reads merge the shard
+   arrays without locking — a read racing a writer can miss the very last
+   observation, but after writers quiesce the merge is exact. *)
+let counter_value c = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 c.cells
+
+let gauge_value g = Atomic.get g.gcell
+
+let histogram_value h =
+  let merged = Histogram.create () in
+  Array.iter (fun s -> Histogram.merge_into ~into:merged s) h.hshards;
+  merged
+
+(* ---------- snapshot ---------- *)
+
+let sorted_bindings () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.fold (fun name r acc -> (name, r) :: acc) table [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let to_json () =
+  let counters, gauges, histos =
+    List.fold_left
+      (fun (cs, gs, hs) (name, r) ->
+        match r with
+        | Counter c -> ((name, Json.Int (counter_value c)) :: cs, gs, hs)
+        | Gauge g -> (cs, (name, Json.Float (gauge_value g)) :: gs, hs)
+        | Histo h -> (cs, gs, (name, Histogram.to_json (histogram_value h)) :: hs))
+      ([], [], [])
+      (sorted_bindings ())
+  in
+  Json.Obj
+    [ ("counters", Json.Obj (List.rev counters));
+      ("gauges", Json.Obj (List.rev gauges));
+      ("histograms", Json.Obj (List.rev histos)) ]
+
+let reset () =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter
+        (fun _ r ->
+          match r with
+          | Counter c -> Array.iter (fun a -> Atomic.set a 0) c.cells
+          | Gauge g -> Atomic.set g.gcell 0.0
+          | Histo h ->
+              Array.iteri
+                (fun i _ ->
+                  Mutex.protect h.hlocks.(i) (fun () ->
+                      h.hshards.(i) <- Histogram.create ()))
+                h.hshards)
+        table)

@@ -1,0 +1,68 @@
+(** Process-wide metrics: named counters, gauges and latency/size
+    histograms that aggregate {e across} queries — the long-lived
+    complement of the per-query {!Stats} record.
+
+    Writes are sharded by domain id ({!nshards} shards): counter
+    increments are atomic adds on the writer's shard cell, so concurrent
+    domains do not contend and read-side sums are {e exact} — the
+    property test in [test/test_metrics.ml] asserts that [N] domains
+    adding concurrently sum to exactly the total. Reads merge the shards
+    without taking any lock; a read racing a histogram writer can miss the
+    in-flight observation, but once writers quiesce the merge is exact.
+
+    Naming convention (see [docs/TRACING.md]): dot-separated
+    [subsystem.metric[_unit]], e.g. [engine.queries],
+    [engine.query_latency_s]. Registration is idempotent — calling
+    {!counter} twice with one name returns the same counter — but
+    re-registering a name as a different kind raises [Invalid_argument]. *)
+
+type counter
+
+type gauge
+
+type histogram
+
+val nshards : int
+(** Number of write shards (domain id modulo {!nshards}). *)
+
+val counter : string -> counter
+(** Find or create the named counter. *)
+
+val gauge : string -> gauge
+(** Find or create the named gauge. *)
+
+val histogram : string -> histogram
+(** Find or create the named histogram (see {!Histogram} for bucketing
+    and quantile error bounds). *)
+
+val add : counter -> int -> unit
+(** Atomic, lock-free, sharded. *)
+
+val incr : counter -> unit
+
+val set : gauge -> float -> unit
+(** Last write wins. *)
+
+val observe : histogram -> float -> unit
+(** Record one observation into the writer domain's shard. *)
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk and {!observe} its wall-clock duration in seconds;
+    exceptions propagate with the time still recorded. *)
+
+val counter_value : counter -> int
+(** Lock-free exact sum over the shards. *)
+
+val gauge_value : gauge -> float
+
+val histogram_value : histogram -> Histogram.t
+(** A lock-free merged copy of all shards. *)
+
+val to_json : unit -> Json.t
+(** Snapshot of every registered metric:
+    [{"counters": {...}, "gauges": {...}, "histograms": {...}}], names
+    sorted; histogram values as {!Histogram.to_json}. This is the
+    [probdb eval --metrics-json] document. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (tests). *)

@@ -55,19 +55,34 @@ let finish t =
 
 let root t = t.root
 
+(* Time spent in the node itself, excluding its children — what a deep
+   tree makes the reader compute by hand otherwise. Clamped at zero:
+   clock granularity can make children sum to slightly more than the
+   parent. *)
+let self_s n =
+  Float.max 0.0
+    (n.total_s -. List.fold_left (fun acc c -> acc +. c.total_s) 0.0 n.children)
+
+let percent_of ~parent_s total_s =
+  if parent_s > 0.0 then 100.0 *. total_s /. parent_s else 100.0
+
 let rec to_json n =
   Json.Obj
     ([ ("name", Json.Str n.name);
        ("total_s", Json.Float n.total_s);
+       ("self_s", Json.Float (self_s n));
        ("count", Json.Int n.count) ]
     @ if n.children = [] then [] else [ ("children", Json.List (List.map to_json n.children)) ])
 
 let pp ppf n =
-  let rec go indent n =
-    Format.fprintf ppf "%s%-*s %10.3fms  x%d@."
+  let rec go indent parent_s n =
+    Format.fprintf ppf "%s%-*s %10.3fms  self %10.3fms  x%-6d %5.1f%%@."
       (String.make indent ' ')
       (max 1 (24 - indent))
-      n.name (n.total_s *. 1e3) n.count;
-    List.iter (go (indent + 2)) n.children
+      n.name (n.total_s *. 1e3)
+      (self_s n *. 1e3)
+      n.count
+      (percent_of ~parent_s n.total_s);
+    List.iter (go (indent + 2) n.total_s) n.children
   in
-  go 0 n
+  go 0 n.total_s n

@@ -41,9 +41,15 @@ val root : t -> node
 (** The root node, readable while collection is still running (open spans
     show the time accumulated by completed entries only). *)
 
+val self_s : node -> float
+(** Self time: [total_s] minus the children's totals, clamped to [0.]
+    (clock granularity can make children sum past the parent). *)
+
 val to_json : node -> Json.t
-(** [{"name": ..., "total_s": ..., "count": ..., "children": [...]}] —
-    empty [children] omitted. *)
+(** [{"name": ..., "total_s": ..., "self_s": ..., "count": ...,
+    "children": [...]}] — empty [children] omitted. *)
 
 val pp : Format.formatter -> node -> unit
-(** An indented tree, one line per span: name, total, count. *)
+(** An indented tree, one line per span: name, total, self time, count,
+    and percent of the parent's total — readable without arithmetic even
+    when the tree is deep. *)

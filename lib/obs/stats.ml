@@ -34,6 +34,25 @@ type circuit_counts = { circuit_class : string; nodes : int; edges : int }
 
 type plan_counts = { operators : int; peak_rows : int }
 
+type gc_counts = {
+  mutable minor_words : float;
+  mutable major_words : float;
+  mutable promoted_words : float;
+  mutable minor_collections : int;
+  mutable major_collections : int;
+  mutable compactions : int;
+  mutable heap_peak_words : int;
+}
+
+let fresh_gc () =
+  { minor_words = 0.0;
+    major_words = 0.0;
+    promoted_words = 0.0;
+    minor_collections = 0;
+    major_collections = 0;
+    compactions = 0;
+    heap_peak_words = 0 }
+
 type phase = Parse | Classify | Plan | Solve
 
 type t = {
@@ -61,6 +80,8 @@ type t = {
   mutable domains_used : int;
   mutable par_tasks : int;
   mutable rows_processed : int;
+  gc : gc_counts;
+  mutable config : (string * Json.t) list;
 }
 
 let create () =
@@ -87,7 +108,9 @@ let create () =
     chain = [];
     domains_used = 1;
     par_tasks = 0;
-    rows_processed = 0 }
+    rows_processed = 0;
+    gc = fresh_gc ();
+    config = [] }
 
 let total_s t = t.parse_s +. t.classify_s +. t.plan_s +. t.solve_s
 
@@ -105,6 +128,44 @@ let time_phase t phase f =
 
 let hit_rate ~hits ~queries =
   if queries = 0 then None else Some (float_of_int hits /. float_of_int queries)
+
+(* ---------- GC profiling ---------- *)
+
+(* [Gc.quick_stat] deltas around a region of work, folded into the stats
+   record. Callers must not nest [with_gc] on the same record: the outer
+   region's deltas would double-count the inner's. When tracing is on,
+   the running totals are also emitted as counter events so the trace
+   timeline shows allocation pressure per phase. *)
+(* [Gc.quick_stat] only refreshes its allocation counters at collection
+   boundaries (and does not maintain [top_heap_words] at all on OCaml 5),
+   so a short region that triggers no collection would read as zero
+   words. [Gc.minor_words ()] is the live allocation counter, and
+   [heap_words] the current major-heap size — those two carry the signal
+   between collections. *)
+let with_gc t f =
+  let b = Gc.quick_stat () in
+  let b_minor = Gc.minor_words () in
+  Fun.protect
+    ~finally:(fun () ->
+      let a = Gc.quick_stat () in
+      let g = t.gc in
+      g.minor_words <- g.minor_words +. (Gc.minor_words () -. b_minor);
+      g.major_words <- g.major_words +. (a.Gc.major_words -. b.Gc.major_words);
+      g.promoted_words <- g.promoted_words +. (a.Gc.promoted_words -. b.Gc.promoted_words);
+      g.minor_collections <-
+        g.minor_collections + (a.Gc.minor_collections - b.Gc.minor_collections);
+      g.major_collections <-
+        g.major_collections + (a.Gc.major_collections - b.Gc.major_collections);
+      g.compactions <- g.compactions + (a.Gc.compactions - b.Gc.compactions);
+      g.heap_peak_words <- max g.heap_peak_words a.Gc.heap_words;
+      if Trace.on () then begin
+        Trace.counter ~cat:"gc" "gc.minor_words" g.minor_words;
+        Trace.counter ~cat:"gc" "gc.major_words" g.major_words;
+        Trace.counter ~cat:"gc" "gc.minor_collections" (float_of_int g.minor_collections);
+        Trace.counter ~cat:"gc" "gc.major_collections" (float_of_int g.major_collections);
+        Trace.counter ~cat:"gc" "gc.heap_words" (float_of_int a.Gc.heap_words)
+      end)
+    f
 
 (* ---------- JSON ---------- *)
 
@@ -152,6 +213,16 @@ let plan_to_json (p : plan_counts) =
   Json.Obj
     [ ("operators", Json.Int p.operators); ("peak_rows", Json.Int p.peak_rows) ]
 
+let gc_to_json (g : gc_counts) =
+  Json.Obj
+    [ ("minor_words", Json.Float g.minor_words);
+      ("major_words", Json.Float g.major_words);
+      ("promoted_words", Json.Float g.promoted_words);
+      ("minor_collections", Json.Int g.minor_collections);
+      ("major_collections", Json.Int g.major_collections);
+      ("compactions", Json.Int g.compactions);
+      ("heap_peak_words", Json.Int g.heap_peak_words) ]
+
 let to_json t =
   Json.Obj
     [ ("query", opt (fun s -> Json.Str s) t.query);
@@ -193,7 +264,9 @@ let to_json t =
              t.chain) );
       ("domains_used", Json.Int t.domains_used);
       ("par_tasks", Json.Int t.par_tasks);
-      ("rows_processed", Json.Int t.rows_processed) ]
+      ("rows_processed", Json.Int t.rows_processed);
+      ("gc", gc_to_json t.gc);
+      ("config", match t.config with [] -> Json.Null | fields -> Json.Obj fields) ]
 
 (* ---------- human table ---------- *)
 
@@ -256,6 +329,13 @@ let pp ppf t =
     line "parallelism      %d domains | %d pool tasks@." t.domains_used t.par_tasks;
   if t.rows_processed > 0 then
     line "rows processed   %d@." t.rows_processed;
+  if t.gc.minor_words > 0.0 || t.gc.major_words > 0.0 then
+    line
+      "gc               minor %.3gMw | major %.3gMw | promoted %.3gMw | collections \
+       %d+%d | heap peak %.3gMw@."
+      (t.gc.minor_words /. 1e6) (t.gc.major_words /. 1e6) (t.gc.promoted_words /. 1e6)
+      t.gc.minor_collections t.gc.major_collections
+      (float_of_int t.gc.heap_peak_words /. 1e6);
   if t.degraded then begin
     line "degraded         yes — exact strategies exhausted@.";
     (match (t.ci_low, t.ci_high) with

@@ -63,6 +63,26 @@ type plan_counts = {
   peak_rows : int;  (** largest intermediate-relation cardinality *)
 }
 
+(** Accumulated GC-counter deltas over the regions bracketed with
+    {!with_gc} — allocation pressure and collector activity attributable
+    to this query, not to the whole process. *)
+type gc_counts = {
+  mutable minor_words : float;
+      (** words allocated in the minor heap ([Gc.minor_words] deltas —
+          live even between collections) *)
+  mutable major_words : float;
+      (** words allocated in the major heap; [Gc.quick_stat] refreshes
+          this at collection boundaries, so allocation-free-of-collection
+          regions read 0 *)
+  mutable promoted_words : float;  (** words surviving a minor collection *)
+  mutable minor_collections : int;
+  mutable major_collections : int;
+  mutable compactions : int;
+  mutable heap_peak_words : int;
+      (** max major-heap size ([heap_words]) seen at any region exit; 0
+          when the regions never touched the major heap *)
+}
+
 (** The four phases a query goes through; see {!record_phase}. *)
 type phase = Parse | Classify | Plan | Solve
 
@@ -100,6 +120,11 @@ type t = {
       (** tasks executed through the [Probdb_par.Par] pool, all strategies *)
   mutable rows_processed : int;
       (** input rows streamed through columnar plan operators *)
+  gc : gc_counts;  (** filled by {!with_gc}; all-zero when never bracketed *)
+  mutable config : (string * Json.t) list;
+      (** evaluation-config echo (method, domains, deadline, ε/δ, seed, …)
+          set by the engine; serialised as the [config] section of
+          {!to_json}, [null] when empty *)
 }
 
 val create : unit -> t
@@ -119,6 +144,14 @@ val time_phase : t -> phase -> (unit -> 'a) -> 'a
 
 val hit_rate : hits:int -> queries:int -> float option
 (** [hits/queries], or [None] when [queries = 0]. *)
+
+val with_gc : t -> (unit -> 'a) -> 'a
+(** [with_gc t f] runs [f] and folds the [Gc.quick_stat] deltas across it
+    into [t.gc] (allocated words, collection counts, heap peak), also when
+    [f] raises. When {!Trace.on}, the running totals are emitted as
+    [gc.*] counter events so the trace timeline shows allocation pressure.
+    Do not nest on the same record — the outer region would double-count
+    the inner one's deltas. *)
 
 val to_json : t -> Json.t
 (** The machine-readable form; schema in [docs/STATS.md]. Unpopulated

@@ -1,0 +1,223 @@
+(* Event tracing: bounded per-domain ring buffers of timestamped events,
+   exported as Chrome trace_event JSON (loadable in Perfetto or
+   chrome://tracing). Disabled tracing costs one atomic load per probe. *)
+
+type kind = Begin | End | Instant | Counter
+
+type event = {
+  kind : kind;
+  name : string;
+  cat : string;
+  ts_ns : int;
+  domain : int;
+  value : float;  (* counter value; 0. for the other kinds *)
+}
+
+(* ---------- global state ---------- *)
+
+let enabled = Atomic.make false
+
+let default_capacity = 65_536
+
+let capacity = Atomic.make default_capacity
+
+(* Bumped by [enable]/[clear]: buffers cached in domain-local storage from
+   an older generation are abandoned, so a new trace never sees stale
+   events from the previous one. *)
+let generation = Atomic.make 0
+
+type buffer = {
+  gen : int;
+  domain : int;
+  ring : event array;
+  mutable total : int;  (* events ever written; the ring keeps the last
+                           [Array.length ring] of them *)
+}
+
+let dummy =
+  { kind = Instant; name = ""; cat = ""; ts_ns = 0; domain = 0; value = 0.0 }
+
+(* All buffers ever handed out for the current generation, oldest first.
+   Worker domains die with their pool; their buffers stay reachable here
+   so the exporter sees every lane. *)
+let registry : buffer list ref = ref []
+
+let registry_lock = Mutex.create ()
+
+let local : buffer option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let fresh_buffer () =
+  let b =
+    { gen = Atomic.get generation;
+      domain = (Domain.self () :> int);
+      ring = Array.make (max 1 (Atomic.get capacity)) dummy;
+      total = 0 }
+  in
+  Mutex.protect registry_lock (fun () -> registry := b :: !registry);
+  b
+
+let buffer () =
+  let slot = Domain.DLS.get local in
+  match !slot with
+  | Some b when b.gen = Atomic.get generation -> b
+  | _ ->
+      let b = fresh_buffer () in
+      slot := Some b;
+      b
+
+(* ---------- emission ---------- *)
+
+let on () = Atomic.get enabled
+
+let emit kind name cat value =
+  let b = buffer () in
+  let n = Array.length b.ring in
+  b.ring.(b.total mod n) <-
+    { kind; name; cat; ts_ns = Clock.now_ns (); domain = b.domain; value };
+  b.total <- b.total + 1
+
+let begin_ ?(cat = "") name = if on () then emit Begin name cat 0.0
+
+let end_ ?(cat = "") name = if on () then emit End name cat 0.0
+
+let instant ?(cat = "") name = if on () then emit Instant name cat 0.0
+
+let counter ?(cat = "") name value = if on () then emit Counter name cat value
+
+let with_span ?cat name f =
+  if on () then begin
+    begin_ ?cat name;
+    Fun.protect ~finally:(fun () -> end_ ?cat name) f
+  end
+  else f ()
+
+(* ---------- control ---------- *)
+
+let clear () =
+  Atomic.incr generation;
+  Mutex.protect registry_lock (fun () -> registry := [])
+
+let enable ?capacity:cap () =
+  (match cap with Some c -> Atomic.set capacity (max 1 c) | None -> ());
+  clear ();
+  Atomic.set enabled true
+
+let disable () = Atomic.set enabled false
+
+(* ---------- collection ---------- *)
+
+let buffer_events b =
+  let n = Array.length b.ring in
+  let kept = min b.total n in
+  List.init kept (fun i -> b.ring.((b.total - kept + i) mod n))
+
+let events () =
+  let buffers = Mutex.protect registry_lock (fun () -> !registry) in
+  List.concat_map buffer_events (List.rev buffers)
+  |> List.stable_sort (fun a b -> Int.compare a.ts_ns b.ts_ns)
+
+let dropped () =
+  let buffers = Mutex.protect registry_lock (fun () -> !registry) in
+  List.fold_left
+    (fun acc b -> acc + max 0 (b.total - Array.length b.ring))
+    0 buffers
+
+(* ---------- Chrome trace_event export ---------- *)
+
+let ph_of_kind = function
+  | Begin -> "B"
+  | End -> "E"
+  | Instant -> "i"
+  | Counter -> "C"
+
+let us_of_ns ns = float_of_int ns /. 1e3
+
+let event_json e =
+  let base =
+    [ ("name", Json.Str e.name);
+      ("cat", Json.Str (if e.cat = "" then "probdb" else e.cat));
+      ("ph", Json.Str (ph_of_kind e.kind));
+      ("ts", Json.Float (us_of_ns e.ts_ns));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int e.domain) ]
+  in
+  match e.kind with
+  | Counter -> Json.Obj (base @ [ ("args", Json.Obj [ ("value", Json.Float e.value) ]) ])
+  | Instant -> Json.Obj (base @ [ ("s", Json.Str "t") ])
+  | Begin | End -> Json.Obj base
+
+(* Ring overflow drops oldest events, which can orphan an [End] (its
+   [Begin] was evicted) or leave a [Begin] unclosed (collection stopped
+   mid-span). The exporter repairs both so the file always satisfies the
+   schema: orphan Ends are dropped, unclosed Begins get a synthetic End at
+   the last timestamp seen on their lane. *)
+let balanced evs =
+  let depth : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let last_ts : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let get tbl d = Option.value ~default:0 (Hashtbl.find_opt tbl d) in
+  let kept =
+    List.filter
+      (fun (e : event) ->
+        Hashtbl.replace last_ts e.domain e.ts_ns;
+        match e.kind with
+        | Begin ->
+            Hashtbl.replace depth e.domain (get depth e.domain + 1);
+            true
+        | End ->
+            let d = get depth e.domain in
+            if d <= 0 then false
+            else begin
+              Hashtbl.replace depth e.domain (d - 1);
+              true
+            end
+        | Instant | Counter -> true)
+      evs
+  in
+  let closers =
+    Hashtbl.fold
+      (fun domain d acc ->
+        List.init d (fun _ ->
+            { kind = End; name = "(unclosed)"; cat = "probdb";
+              ts_ns = get last_ts domain; domain; value = 0.0 })
+        @ acc)
+      depth []
+  in
+  kept @ closers
+
+let lane_metadata evs =
+  let domains =
+    List.sort_uniq Int.compare (List.map (fun (e : event) -> e.domain) evs)
+  in
+  Json.Obj
+    [ ("name", Json.Str "process_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.Str "probdb") ]) ]
+  :: List.map
+       (fun d ->
+         Json.Obj
+           [ ("name", Json.Str "thread_name");
+             ("ph", Json.Str "M");
+             ("pid", Json.Int 1);
+             ("tid", Json.Int d);
+             ( "args",
+               Json.Obj [ ("name", Json.Str (Printf.sprintf "domain %d" d)) ] ) ])
+       domains
+
+let to_chrome_json () =
+  let evs = balanced (events ()) in
+  Json.Obj
+    [ ("traceEvents", Json.List (lane_metadata evs @ List.map event_json evs));
+      ("displayTimeUnit", Json.Str "ms");
+      ("otherData", Json.Obj [ ("dropped_events", Json.Int (dropped ())) ]) ]
+
+let write path =
+  let doc = to_chrome_json () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~pretty:true doc);
+      output_string oc "\n")

@@ -1,0 +1,73 @@
+(** Event tracing: what happened {e when}, on {e which domain}.
+
+    A process-global, normally-off event log. Each domain writes
+    timestamped events into its own bounded ring buffer (no cross-domain
+    contention on the hot path); an exporter renders all buffers as Chrome
+    [trace_event] JSON with one lane per domain, loadable in Perfetto or
+    [chrome://tracing]. When tracing is disabled every probe costs a single
+    atomic load — cheap enough to leave the instrumentation compiled into
+    the engine, the solvers, the columnar executor and the worker pool.
+
+    Schema and conventions are documented in [docs/TRACING.md]. *)
+
+type kind = Begin | End | Instant | Counter
+
+type event = {
+  kind : kind;
+  name : string;
+  cat : string;  (** category, e.g. ["strategy"], ["exec"], ["gc"] *)
+  ts_ns : int;  (** {!Clock.now_ns} at emission *)
+  domain : int;  (** the emitting domain's id — the trace lane *)
+  value : float;  (** counter value; [0.] for the other kinds *)
+}
+
+val on : unit -> bool
+(** Whether tracing is currently enabled. Probes check this themselves;
+    call it directly only to skip expensive argument preparation. *)
+
+val enable : ?capacity:int -> unit -> unit
+(** Start a fresh trace, discarding any previous events.
+
+    @param capacity per-domain ring size in events (default 65536); when a
+    buffer overflows, the oldest events are dropped and counted in
+    {!dropped}. *)
+
+val disable : unit -> unit
+(** Stop recording. Already-recorded events remain collectable. *)
+
+val clear : unit -> unit
+(** Drop all recorded events without changing the enabled state. *)
+
+val begin_ : ?cat:string -> string -> unit
+(** Open a duration slice on the current domain's lane. Pair with
+    {!end_}, or use {!with_span}. *)
+
+val end_ : ?cat:string -> string -> unit
+(** Close the innermost open slice on the current domain's lane. *)
+
+val instant : ?cat:string -> string -> unit
+(** A point-in-time event (rendered as a tick mark). *)
+
+val counter : ?cat:string -> string -> float -> unit
+(** Record the current value of a named quantity; Perfetto renders the
+    series as a counter track. *)
+
+val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] brackets [f] with {!begin_}/{!end_}; the slice is
+    closed also when [f] raises. When tracing is off, runs [f] with no
+    bracketing at all. *)
+
+val events : unit -> event list
+(** All recorded events across all domains, in timestamp order. *)
+
+val dropped : unit -> int
+(** Events lost to ring overflow since the last {!enable}/{!clear}. *)
+
+val to_chrome_json : unit -> Json.t
+(** The Chrome [trace_event] document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms", ...}] with one
+    [thread_name] metadata record per domain lane. Begin/End pairs broken
+    by ring overflow are repaired so the document always validates. *)
+
+val write : string -> unit
+(** Write {!to_chrome_json} to a file (pretty-printed). *)

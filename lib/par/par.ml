@@ -1,3 +1,5 @@
+module Trace = Probdb_obs.Trace
+
 type pool = { domains : int; tasks : int Atomic.t }
 
 let clamp lo hi v = max lo (min hi v)
@@ -21,11 +23,16 @@ let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
 
 type 'a slot = Empty | Value of 'a | Raised of exn
 
+(* Each task runs inside a "par.task" span; spans land in the executing
+   domain's trace buffer, so the exported trace shows one lane per domain
+   with its share of the pool's work. *)
+let run_task thunk = Trace.with_span ~cat:"par" "par.task" thunk
+
 let run_seq p thunks =
   List.map
     (fun thunk ->
       Atomic.incr p.tasks;
-      thunk ())
+      run_task thunk)
     thunks
 
 let run p thunks =
@@ -44,7 +51,7 @@ let run p thunks =
         else begin
           Atomic.incr p.tasks;
           results.(i) <-
-            (match tasks.(i) () with
+            (match run_task tasks.(i) with
             | v -> Value v
             | exception e -> Raised e)
         end

@@ -1,0 +1,164 @@
+(* Tests for the process-wide metrics registry: exact sharded counters
+   under concurrent domains, histogram quantile error bounds (property
+   test), registration semantics, and the JSON snapshot. *)
+
+module Metrics = Probdb_obs.Metrics
+module Histogram = Probdb_obs.Histogram
+module Json = Probdb_obs.Json
+
+(* (a) Counter increments from concurrent domains must sum exactly: every
+   add lands in one atomic shard cell and the read sums all cells. *)
+let test_concurrent_counter_exact () =
+  let c = Metrics.counter "test.concurrent_adds" in
+  let before = Metrics.counter_value c in
+  let domains = 4 and per_domain = 25_000 in
+  let work () =
+    for _ = 1 to per_domain do
+      Metrics.incr c
+    done
+  in
+  let spawned = List.init (domains - 1) (fun _ -> Domain.spawn work) in
+  work ();
+  List.iter Domain.join spawned;
+  Alcotest.(check int) "exact sum" (domains * per_domain)
+    (Metrics.counter_value c - before)
+
+(* (b) Histogram observations from concurrent domains all land in some
+   shard; the merged read sees every one once writers quiesce. *)
+let test_concurrent_histogram_complete () =
+  let h = Metrics.histogram "test.concurrent_observe" in
+  let domains = 4 and per_domain = 5_000 in
+  let work () =
+    for i = 1 to per_domain do
+      Metrics.observe h (float_of_int i)
+    done
+  in
+  let spawned = List.init (domains - 1) (fun _ -> Domain.spawn work) in
+  work ();
+  List.iter Domain.join spawned;
+  let merged = Metrics.histogram_value h in
+  Alcotest.(check int) "all observations merged" (domains * per_domain)
+    (Histogram.count merged);
+  Test_util.check_float ~eps:1e-6 "sum merged"
+    (float_of_int domains *. float_of_int (per_domain * (per_domain + 1)) /. 2.0)
+    (Histogram.sum merged)
+
+(* The exact nearest-rank quantile the histogram approximates. *)
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  let rank = max 1 (min n (int_of_float (Float.round (q *. float_of_int n)))) in
+  sorted.(rank - 1)
+
+(* (c) Property: on arbitrary positive samples, every estimated quantile
+   is within the documented relative error (1/32) of the exact
+   nearest-rank sample quantile. *)
+let prop_quantile_error_bound =
+  Test_util.qcheck ~count:300 "histogram quantiles within documented error"
+    QCheck2.Gen.(
+      list_size (int_range 1 400) (map (fun x -> Float.exp x) (float_range (-10.0) 10.0)))
+    (fun samples ->
+      let h = Histogram.create () in
+      List.iter (Histogram.add h) samples;
+      let sorted = Array.of_list (List.sort Float.compare samples) in
+      List.for_all
+        (fun q ->
+          let est = Histogram.quantile h q in
+          let exact = exact_quantile sorted q in
+          Float.abs (est -. exact) <= Histogram.relative_error *. exact +. 1e-12)
+        [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ])
+
+(* (d) Merging histograms preserves counts, sums and extrema. *)
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.add a) [ 1.0; 2.0; 3.0 ];
+  List.iter (Histogram.add b) [ 10.0; 20.0 ];
+  Histogram.merge_into ~into:a b;
+  Alcotest.(check int) "count" 5 (Histogram.count a);
+  Test_util.check_float "sum" 36.0 (Histogram.sum a);
+  Test_util.check_float "min" 1.0 (Histogram.min_value a);
+  Test_util.check_float "max" 20.0 (Histogram.max_value a)
+
+(* (e) Non-positive and NaN observations rank below every positive one
+   instead of poisoning the buckets. *)
+let test_histogram_nonpositive () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 0.0; -5.0; Float.nan; 4.0; 8.0 ];
+  Alcotest.(check int) "all counted" 5 (Histogram.count h);
+  Alcotest.(check bool) "low quantile is the floor" true
+    (Histogram.quantile h 0.1 <= 0.0);
+  Alcotest.(check bool) "high quantile sees positives" true
+    (Histogram.quantile h 1.0 > 7.0)
+
+(* (f) Registration: same name and kind returns the same metric;
+   re-registering as a different kind is a typed error. *)
+let test_registration () =
+  let c1 = Metrics.counter "test.register_once" in
+  let c2 = Metrics.counter "test.register_once" in
+  Metrics.add c1 3;
+  Alcotest.(check int) "same underlying counter" (Metrics.counter_value c1)
+    (Metrics.counter_value c2);
+  match Metrics.gauge "test.register_once" with
+  | _ -> Alcotest.fail "kind clash not rejected"
+  | exception Invalid_argument _ -> ()
+
+(* (g) Gauges keep the last write. *)
+let test_gauge () =
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set g 1.5;
+  Metrics.set g 2.5;
+  Test_util.check_float "last write wins" 2.5 (Metrics.gauge_value g)
+
+(* (h) Metrics.time records a duration and re-raises. *)
+let test_time_records_on_raise () =
+  let h = Metrics.histogram "test.time_raise" in
+  let before = Histogram.count (Metrics.histogram_value h) in
+  (match Metrics.time h (fun () -> raise Exit) with
+  | () -> Alcotest.fail "exception swallowed"
+  | exception Exit -> ());
+  Alcotest.(check int) "duration recorded" (before + 1)
+    (Histogram.count (Metrics.histogram_value h))
+
+(* (i) The snapshot carries every registered metric under its section,
+   with names sorted. *)
+let test_snapshot_json () =
+  ignore (Metrics.counter "test.snap_counter");
+  ignore (Metrics.gauge "test.snap_gauge");
+  ignore (Metrics.histogram "test.snap_histo");
+  match Metrics.to_json () with
+  | Json.Obj sections ->
+      let names_of section =
+        match List.assoc_opt section sections with
+        | Some (Json.Obj fields) -> List.map fst fields
+        | _ -> Alcotest.failf "missing section %S" section
+      in
+      let counters = names_of "counters" in
+      Alcotest.(check bool) "counter listed" true
+        (List.mem "test.snap_counter" counters);
+      Alcotest.(check bool) "gauge listed" true
+        (List.mem "test.snap_gauge" (names_of "gauges"));
+      Alcotest.(check bool) "histogram listed" true
+        (List.mem "test.snap_histo" (names_of "histograms"));
+      Alcotest.(check bool) "names sorted" true
+        (counters = List.sort String.compare counters)
+  | _ -> Alcotest.fail "snapshot is not an object"
+
+let suites =
+  [
+    ( "metrics",
+      [
+        Alcotest.test_case "concurrent counter adds sum exactly" `Quick
+          test_concurrent_counter_exact;
+        Alcotest.test_case "concurrent histogram merge complete" `Quick
+          test_concurrent_histogram_complete;
+        prop_quantile_error_bound;
+        Alcotest.test_case "histogram merge preserves moments" `Quick
+          test_histogram_merge;
+        Alcotest.test_case "non-positive observations isolated" `Quick
+          test_histogram_nonpositive;
+        Alcotest.test_case "registration idempotent, kind-checked" `Quick
+          test_registration;
+        Alcotest.test_case "gauge last write wins" `Quick test_gauge;
+        Alcotest.test_case "time records on raise" `Quick test_time_records_on_raise;
+        Alcotest.test_case "snapshot JSON sections" `Quick test_snapshot_json;
+      ] );
+  ]

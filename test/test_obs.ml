@@ -106,6 +106,127 @@ let test_json_parser_edges () =
   let nonfinite = Json.to_string (Json.Float Float.nan) in
   Alcotest.(check string) "nan serialises as null" "null" nonfinite
 
+(* ---------- Json round-trip property ---------- *)
+
+(* Finite floats only: NaN/infinite serialise as null by design, so they
+   cannot round-trip. *)
+let gen_json =
+  QCheck2.Gen.(
+    sized_size (int_range 0 5) @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [ return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              map (fun i -> Json.Int i) int;
+              map (fun f -> Json.Float f) (float_range (-1e9) 1e9);
+              (* full byte range: control characters force \u escapes *)
+              map (fun s -> Json.Str s) (string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 12)) ]
+        in
+        if n = 0 then leaf
+        else
+          oneof
+            [ leaf;
+              map (fun items -> Json.List items) (list_size (int_range 0 4) (self (n / 2)));
+              map
+                (fun fields -> Json.Obj fields)
+                (list_size (int_range 0 4)
+                   (pair (string_size ~gen:printable (int_range 0 8)) (self (n / 2)))) ]))
+
+let prop_json_roundtrip =
+  Test_util.qcheck ~count:500 "json parse . to_string = identity" gen_json
+    (fun doc ->
+      match Json.of_string (Json.to_string doc) with
+      | Ok reparsed -> reparsed = doc
+      | Error _ -> false)
+
+(* Directed \u cases the generator is unlikely to hit: escapes decoding to
+   UTF-8, surrogate pairs, and the rejection of unpaired surrogates. *)
+let test_json_unicode_escapes () =
+  let ok s = match Json.of_string s with Ok v -> v | Error e -> Alcotest.failf "%S: %s" s e in
+  Alcotest.(check bool) "basic escape" true (ok {|"A"|} = Json.Str "A");
+  Alcotest.(check bool) "two-byte UTF-8" true (ok {|"é"|} = Json.Str "\xc3\xa9");
+  Alcotest.(check bool) "three-byte UTF-8" true (ok {|"€"|} = Json.Str "\xe2\x82\xac");
+  Alcotest.(check bool) "surrogate pair" true
+    (ok {|"😀"|} = Json.Str "\xf0\x9f\x98\x80");
+  (match Json.of_string {|"\ud800"|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unpaired high surrogate");
+  match Json.of_string {|"\u12"|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted truncated escape"
+
+(* A deeply nested document must round-trip without blowing the stack. *)
+let test_json_deep_nesting () =
+  let deep = ref (Json.Int 1) in
+  for _ = 1 to 1000 do
+    deep := Json.List [ !deep ]
+  done;
+  match Json.of_string (Json.to_string !deep) with
+  | Ok reparsed -> Alcotest.(check bool) "1000-deep round-trip" true (reparsed = !deep)
+  | Error e -> Alcotest.failf "deep document does not parse: %s" e
+
+(* ---------- Span self-time ---------- *)
+
+let test_span_self_time () =
+  let t = Obs.Span.create "root" in
+  Obs.Span.with_ t "child" (fun () -> ignore (Sys.opaque_identity (List.init 1000 Fun.id)));
+  Obs.Span.with_ t "child" (fun () -> ());
+  let root = Obs.Span.finish t in
+  let child = List.hd root.Obs.Span.children in
+  Alcotest.(check int) "child entered twice" 2 child.Obs.Span.count;
+  Test_util.check_float ~eps:1e-9 "root self = total - children"
+    (root.Obs.Span.total_s -. child.Obs.Span.total_s)
+    (Obs.Span.self_s root);
+  Test_util.check_float ~eps:1e-9 "leaf self = leaf total" child.Obs.Span.total_s
+    (Obs.Span.self_s child);
+  (* self_s must appear in the JSON so tooling need not recompute it *)
+  (match Json.member "self_s" (Obs.Span.to_json root) with
+  | Some (Json.Float _) -> ()
+  | _ -> Alcotest.fail "self_s missing from span JSON");
+  (* pp renders without raising and mentions the child *)
+  let rendered = Format.asprintf "%a" Obs.Span.pp root in
+  Alcotest.(check bool) "pp mentions child" true
+    (String.length rendered > 0
+    && Option.is_some (String.index_opt rendered 'c'))
+
+(* ---------- Stats gc + config sections ---------- *)
+
+let test_stats_gc_section () =
+  let stats = Stats.create () in
+  let _ =
+    Stats.with_gc stats (fun () ->
+        Sys.opaque_identity (Array.init 100_000 float_of_int))
+  in
+  Alcotest.(check bool) "allocation observed" true (stats.Stats.gc.Stats.minor_words > 0.0);
+  Alcotest.(check bool) "heap peak recorded" true
+    (stats.Stats.gc.Stats.heap_peak_words > 0);
+  match Json.member "gc" (Stats.to_json stats) with
+  | Some (Json.Obj fields) ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " present") true (List.mem_assoc k fields))
+        [ "minor_words"; "major_words"; "promoted_words"; "minor_collections";
+          "major_collections"; "compactions"; "heap_peak_words" ]
+  | _ -> Alcotest.fail "gc section missing from stats JSON"
+
+let test_stats_config_echo () =
+  let db = Gen.h0_db ~seed:4 ~n:3 () in
+  let config = { E.default_config with E.domains = 2; E.seed = 9 } in
+  let stats = Stats.create () in
+  let _ = E.evaluate ~config ~stats db Q.h0.Q.query in
+  match Json.member "config" (Stats.to_json stats) with
+  | Some (Json.Obj fields) ->
+      Alcotest.(check bool) "domains echoed" true
+        (List.assoc_opt "domains" fields = Some (Json.Int 2));
+      Alcotest.(check bool) "seed echoed" true
+        (List.assoc_opt "seed" fields = Some (Json.Int 9));
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " present") true (List.mem_assoc k fields))
+        [ "strategies"; "deadline_s"; "kl_samples"; "degrade" ]
+  | Some Json.Null -> Alcotest.fail "config not populated by the engine"
+  | _ -> Alcotest.fail "config section missing from stats JSON"
+
 let suites =
   [
     ( "obs",
@@ -118,5 +239,12 @@ let suites =
         Alcotest.test_case "timers monotone and non-negative" `Quick
           test_timers_nonnegative;
         Alcotest.test_case "json parser edge cases" `Quick test_json_parser_edges;
+        prop_json_roundtrip;
+        Alcotest.test_case "json unicode escapes" `Quick test_json_unicode_escapes;
+        Alcotest.test_case "json deep nesting round-trips" `Quick
+          test_json_deep_nesting;
+        Alcotest.test_case "span self-time" `Quick test_span_self_time;
+        Alcotest.test_case "stats gc section" `Quick test_stats_gc_section;
+        Alcotest.test_case "stats config echo" `Quick test_stats_config_echo;
       ] );
   ]
