@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke bench-compare docs check check-budget check-wmc check-trace
+.PHONY: all build test bench bench-smoke bench-compare docs check check-budget check-wmc check-trace check-serve
 
 all: build
 
@@ -84,6 +84,20 @@ check-trace: build
 		{ echo "check-trace: emitted trace failed validation"; exit 1; }; \
 	echo "check-trace: suites + end-to-end trace schema — OK"
 
+# The serving suite at soak scale plus the E17 load generator: PROBDB_SOAK=1
+# widens the multi-client test to 8 clients x 200 rounds (bit-identical
+# answers, zero sheds on an uncontended server), then the closed-loop bench
+# runs at smoke sizes and BENCH_serve.json must pass the schema validator —
+# the serving counterpart of --validate-trace (docs/SERVING.md).
+check-serve: build
+	@timeout 300 env PROBDB_SOAK=1 dune exec --no-build test/main.exe -- test serve || \
+		{ echo "check-serve: serve suite failed under soak (exit $$?)"; exit 1; }; \
+	timeout 120 env PROBDB_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- e17 \
+		>/dev/null || { echo "check-serve: e17 failed or hung (exit $$?)"; exit 1; }; \
+	dune exec --no-build bench/compare.exe -- --validate-serve BENCH_serve.json || \
+		{ echo "check-serve: BENCH_serve.json failed schema validation"; exit 1; }; \
+	echo "check-serve: soak suite + load-gen schema + all requests answered — OK"
+
 # The bench regression gate, self-tested both ways: two smoke runs of the
 # same experiment must pass the comparison (threshold 4x absorbs smoke-run
 # noise), and a synthetically regressed copy (timings x25) must fail it.
@@ -104,12 +118,20 @@ bench-compare: build
 		--threshold 4 >/dev/null; then \
 		echo "bench-compare: synthetic regression NOT caught"; exit 1; \
 	fi; \
-	echo "bench-compare: real pair passes, synthetic x25 regression caught — OK"
+	timeout 120 env PROBDB_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- e17 \
+		>/dev/null || { echo "bench-compare: e17 run 1 failed"; exit 1; }; \
+	cp BENCH_serve.json "$$tmp/serve-old.json"; \
+	timeout 120 env PROBDB_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- e17 \
+		>/dev/null || { echo "bench-compare: e17 run 2 failed"; exit 1; }; \
+	dune exec --no-build bench/compare.exe -- "$$tmp/serve-old.json" BENCH_serve.json \
+		--threshold 4 --min-s 0.01 || \
+		{ echo "bench-compare: serve pair flagged as regression"; exit 1; }; \
+	echo "bench-compare: wmc + serve pairs pass, synthetic x25 regression caught — OK"
 
 # What CI runs: build, test suite, the budget and benchmark smoke tests,
-# the WMC equivalence suite, the observability suite, and — when odoc is
-# installed — the fatal-warnings documentation build.
-check: build test check-budget bench-smoke check-wmc check-trace
+# the WMC equivalence suite, the observability suite, the serving soak,
+# and — when odoc is installed — the fatal-warnings documentation build.
+check: build test check-budget bench-smoke check-wmc check-trace check-serve
 	@if command -v odoc >/dev/null 2>&1; then \
 		dune build @check-docs; \
 	else \

@@ -154,19 +154,77 @@ let validate_trace path =
     0
   with Exit -> 1
 
+(* ---------- validate-serve ---------- *)
+
+(* Schema check for BENCH_serve.json (the E17 load-generator output) —
+   the serving counterpart of --validate-trace, run by `make check-serve`.
+   Asserts the documented shape: the sweep table with its per-level
+   fields, the sustained-qps headline, and the soak invariant that every
+   request was answered. *)
+let validate_serve path =
+  let fail fmt =
+    Printf.ksprintf (fun s -> Printf.printf "INVALID %s: %s\n" path s; raise Exit) fmt
+  in
+  try
+    let doc = read_json path in
+    let fields = match doc with Json.Obj f -> f | _ -> fail "top level is not an object" in
+    let get k = match List.assoc_opt k fields with Some v -> v | None -> fail "missing field %S" k in
+    (match get "experiment" with
+    | Json.Str "serve" -> ()
+    | _ -> fail "experiment is not \"serve\"");
+    let num_field obj k =
+      match obj with
+      | Json.Obj f -> (
+          match Option.bind (List.assoc_opt k f) number with
+          | Some v -> v
+          | None -> fail "sweep level missing numeric field %S" k)
+      | _ -> fail "sweep level is not an object"
+    in
+    let levels = match get "sweep" with
+      | Json.List (_ :: _ as ls) -> ls
+      | Json.List [] -> fail "empty sweep"
+      | _ -> fail "sweep is not a list"
+    in
+    List.iter
+      (fun l ->
+        List.iter
+          (fun k -> ignore (num_field l k))
+          [ "clients"; "requests"; "qps"; "p50_s"; "p90_s"; "p99_s";
+            "degraded_rate"; "shed_rate"; "errors" ];
+        let lo k = num_field l k in
+        if lo "p50_s" > lo "p99_s" then fail "p50 above p99 in a sweep level";
+        let rate k =
+          let v = lo k in
+          if v < 0.0 || v > 1.0 then fail "%s outside [0,1]" k
+        in
+        rate "degraded_rate";
+        rate "shed_rate")
+      levels;
+    ignore (Option.map number (Some (get "sustained_qps")));
+    (match get "all_answered" with
+    | Json.Bool true -> ()
+    | Json.Bool false -> fail "all_answered is false: requests went unanswered"
+    | _ -> fail "all_answered is not a boolean");
+    Printf.printf "OK %s: %d sweep level(s), all requests answered\n" path
+      (List.length levels);
+    0
+  with Exit -> 1
+
 (* ---------- entry ---------- *)
 
 let usage () =
   prerr_endline
     "usage: compare OLD.json NEW.json [--threshold R] [--min-s S]\n\
     \       compare --degrade FACTOR IN.json OUT.json\n\
-    \       compare --validate-trace FILE.json";
+    \       compare --validate-trace FILE.json\n\
+    \       compare --validate-serve FILE.json";
   2
 
 let () =
   let code =
     match List.tl (Array.to_list Sys.argv) with
     | [ "--validate-trace"; path ] -> validate_trace path
+    | [ "--validate-serve"; path ] -> validate_serve path
     | [ "--degrade"; factor; in_path; out_path ] -> (
         match float_of_string_opt factor with
         | Some f -> degrade_file f in_path out_path

@@ -1,0 +1,234 @@
+(* E17 — the serving path under load: a closed-loop load generator against
+   an in-process `probdb serve` instance (EXPERIMENTS.md E17).
+
+   N client threads each hold one TCP connection and issue eval requests
+   back-to-back (closed loop: the next request leaves when the previous
+   answer arrives) for a fixed window. Sweeping N maps out the saturation
+   curve of a server with a fixed worker pool:
+
+   - sustained throughput (answered requests / wall-clock window);
+   - client-observed latency quantiles (p50/p90/p99, measured around the
+     full round trip, queue wait included);
+   - the degradation-rate curve — the fraction of answers served as the
+     certified (ε,δ) approximation because the queue stood above the
+     degrade watermark at admission — and the shed rate past capacity;
+   - the headline: the largest swept load whose p99 stays inside the
+     latency budget, and the qps sustained there.
+
+   Every response is accounted for (ok / degraded-under-load / shed /
+   error); the run fails loudly if a single request goes unanswered —
+   this is the soak half of `make check-serve`.
+
+   PROBDB_BENCH_SMOKE=1 shrinks the database, the sweep and the windows so
+   the experiment doubles as a schema check for BENCH_serve.json. *)
+
+module Serve = Probdb_serve.Serve
+module Client = Probdb_serve.Client
+module Json = Probdb_obs.Json
+module E = Probdb_engine.Engine
+module Gen = Probdb_workload.Gen
+
+let smoke = Sys.getenv_opt "PROBDB_BENCH_SMOKE" <> None
+
+let p99_budget_ms = 250.0
+
+(* A mixed workload: two safe queries (lifted, microseconds) and one
+   unsafe one (grounded exact inference, the queue-clogging kind). *)
+let queries =
+  [ "exists x y. R(x) && S(x,y)";
+    "forall x y. R(x) || S(x,y)";
+    "exists x y. R(x) && S(x,y) && T(y)" ]
+
+let make_db () =
+  let domain_size = if smoke then 7 else 12 in
+  Gen.random_tid ~seed:17 ~domain_size
+    [ Gen.spec ~density:0.6 "R" 1; Gen.spec ~density:0.4 "S" 2;
+      Gen.spec ~density:0.6 "T" 1 ]
+
+type client_tally = {
+  mutable ok : int;
+  mutable degraded_load : int;
+  mutable shed : int;
+  mutable errors : int;
+  mutable latencies_s : float list;
+}
+
+let run_client ~port ~until ~queries tally =
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let qs = Array.of_list queries in
+  let i = ref 0 in
+  while Unix.gettimeofday () < until do
+    let q = qs.(!i mod Array.length qs) in
+    incr i;
+    let t0 = Unix.gettimeofday () in
+    (match Client.eval c q with
+    | resp ->
+        let dt = Unix.gettimeofday () -. t0 in
+        tally.latencies_s <- dt :: tally.latencies_s;
+        if Client.ok resp then begin
+          tally.ok <- tally.ok + 1;
+          match Json.member "degraded_under_load" (Client.result resp) with
+          | Some (Json.Bool true) -> tally.degraded_load <- tally.degraded_load + 1
+          | _ -> ()
+        end
+        else
+          (match Client.error_class resp with
+          | Some "overloaded" -> tally.shed <- tally.shed + 1
+          | _ -> tally.errors <- tally.errors + 1)
+    | exception (End_of_file | Sys_error _ | Failure _) ->
+        tally.errors <- tally.errors + 1)
+  done
+
+let quantile sorted q =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n -> sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+type level = {
+  clients : int;
+  requests : int;
+  qps : float;
+  p50_s : float;
+  p90_s : float;
+  p99_s : float;
+  degraded_rate : float;
+  shed_rate : float;
+  level_errors : int;
+}
+
+let run_level ~port ~window_s ~clients =
+  let tallies =
+    Array.init clients (fun _ ->
+        { ok = 0; degraded_load = 0; shed = 0; errors = 0; latencies_s = [] })
+  in
+  let until = Unix.gettimeofday () +. window_s in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    Array.to_list
+      (Array.map
+         (fun tally -> Thread.create (fun () -> run_client ~port ~until ~queries tally) ())
+         tallies)
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let latencies =
+    Array.of_list (Array.to_list tallies |> List.concat_map (fun t -> t.latencies_s))
+  in
+  Array.sort Float.compare latencies;
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let answered = sum (fun t -> t.ok) + sum (fun t -> t.shed) + sum (fun t -> t.errors) in
+  let rate n = if answered = 0 then 0.0 else float_of_int n /. float_of_int answered in
+  {
+    clients;
+    requests = answered;
+    qps = float_of_int (sum (fun t -> t.ok)) /. wall;
+    p50_s = quantile latencies 0.50;
+    p90_s = quantile latencies 0.90;
+    p99_s = quantile latencies 0.99;
+    degraded_rate = rate (sum (fun t -> t.degraded_load));
+    shed_rate = rate (sum (fun t -> t.shed));
+    level_errors = sum (fun t -> t.errors);
+  }
+
+let run () =
+  Common.header "E17: serving under load (closed-loop clients vs probdb serve)";
+  let db = make_db () in
+  let workers = if smoke then 2 else 4 in
+  let queue_capacity = 32 in
+  (* below the top sweep level's closed-loop queue depth (clients - workers),
+     so the run actually maps out the degradation-rate curve *)
+  let degrade_above = if smoke then 3 else 8 in
+  let config =
+    { Serve.default_config with
+      Serve.port = 0;
+      workers;
+      queue_capacity;
+      degrade_above;
+      (* bound every request so the closed loop can't wedge on one
+         pathological exact evaluation *)
+      default_deadline_ms = Some 2_000 }
+  in
+  let server = Serve.start ~config db in
+  let port = Serve.port server in
+  Printf.printf "server on 127.0.0.1:%d — %d workers, queue %d, degrade above %d\n"
+    port workers queue_capacity degrade_above;
+  Fun.protect ~finally:(fun () -> Serve.stop server) @@ fun () ->
+  let sweep = if smoke then [ 1; 4; 8 ] else [ 1; 2; 4; 8; 16 ] in
+  let window_s = if smoke then 2.0 else 6.0 in
+  let levels = List.map (fun clients -> run_level ~port ~window_s ~clients) sweep in
+  Common.section "saturation sweep";
+  Common.table
+    ([ "clients"; "requests"; "qps"; "p50"; "p90"; "p99"; "degraded"; "shed";
+       "errors" ]
+    :: List.map
+         (fun l ->
+           [ string_of_int l.clients;
+             string_of_int l.requests;
+             Printf.sprintf "%.0f" l.qps;
+             Common.pretty_time l.p50_s;
+             Common.pretty_time l.p90_s;
+             Common.pretty_time l.p99_s;
+             Printf.sprintf "%.1f%%" (100.0 *. l.degraded_rate);
+             Printf.sprintf "%.1f%%" (100.0 *. l.shed_rate);
+             string_of_int l.level_errors ])
+         levels);
+  let budget_s = p99_budget_ms /. 1000.0 in
+  let within = List.filter (fun l -> l.p99_s <= budget_s) levels in
+  let sustained =
+    List.fold_left (fun acc l -> if l.qps > acc.qps then l else acc)
+      (List.hd levels) within
+  in
+  let errors = List.fold_left (fun acc l -> acc + l.level_errors) 0 levels in
+  Printf.printf
+    "\nsustained %.0f qps at %d clients with p99 %s (budget %.0f ms); %d errors\n"
+    sustained.qps sustained.clients
+    (Common.pretty_time sustained.p99_s)
+    p99_budget_ms errors;
+  if errors > 0 then
+    Printf.printf "WARNING: %d request(s) failed with a non-overload error\n" errors;
+  let final_stats = Serve.stats_json server in
+  Common.bench_json "serve"
+    [
+      ("smoke", Json.Bool smoke);
+      ("workers", Json.Int workers);
+      ("queue_capacity", Json.Int queue_capacity);
+      ("degrade_above", Json.Int degrade_above);
+      ("p99_budget_ms", Json.Float p99_budget_ms);
+      ( "sweep",
+        Json.List
+          (List.map
+             (fun l ->
+               Json.Obj
+                 [
+                   ("clients", Json.Int l.clients);
+                   ("requests", Json.Int l.requests);
+                   ("qps", Json.Float l.qps);
+                   ("p50_s", Json.Float l.p50_s);
+                   ("p90_s", Json.Float l.p90_s);
+                   ("p99_s", Json.Float l.p99_s);
+                   ("degraded_rate", Json.Float l.degraded_rate);
+                   ("shed_rate", Json.Float l.shed_rate);
+                   ("errors", Json.Int l.level_errors);
+                 ])
+             levels) );
+      ("sustained_qps", Json.Float sustained.qps);
+      ("sustained_clients", Json.Int sustained.clients);
+      ("sustained_p99_s", Json.Float sustained.p99_s);
+      ("all_answered", Json.Bool (errors = 0));
+      ("server_stats", final_stats);
+    ]
+
+(* The protocol layer micro-benchmarked on its own: parse+render of one
+   eval request line — the per-request overhead floor of the server. *)
+let bechamel_tests =
+  let line =
+    {|{"id":12,"op":"eval","query":"exists x y. R(x) && S(x,y)","deadline_ms":100}|}
+  in
+  [
+    Bechamel.Test.make ~name:"serve/protocol-parse"
+      (Bechamel.Staged.stage (fun () ->
+           match Probdb_serve.Protocol.parse line with
+           | Ok _ -> ()
+           | Error (_, m) -> failwith m));
+  ]

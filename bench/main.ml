@@ -25,6 +25,7 @@ let experiments =
     ("e14", "resource guards / degradation", E14_guard.run);
     ("e15", "columnar execution / parallel runtime", E15_parallel.run);
     ("e16", "grounded WMC vs tree DPLL", E16_wmc.run);
+    ("e17", "serving under load", E17_serve.run);
   ]
 
 let micro () =
@@ -37,7 +38,8 @@ let micro () =
    @ E09_mln.bechamel_tests @ E10_approximation.bechamel_tests
    @ E11_duality.bechamel_tests @ E12_engine_ablation.bechamel_tests
    @ E13_extensions.bechamel_tests @ E14_guard.bechamel_tests
-   @ E15_parallel.bechamel_tests @ E16_wmc.bechamel_tests)
+   @ E15_parallel.bechamel_tests @ E16_wmc.bechamel_tests
+   @ E17_serve.bechamel_tests)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

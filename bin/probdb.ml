@@ -24,6 +24,7 @@ module Lineage = Probdb_lineage.Lineage
 module P = Probdb_plans
 module Obs = Probdb_obs
 module Stats = Probdb_obs.Stats
+module Serve = Probdb_serve.Serve
 
 let query_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"The query sentence.")
@@ -58,16 +59,10 @@ let with_db dir k = k (Core.Csv_io.load_dir dir)
 let strategy_conv =
   let parse = function
     | "auto" -> Ok None
-    | "lifted" -> Ok (Some E.Lifted)
-    | "symmetric" -> Ok (Some E.Symmetric)
-    | "safe-plan" -> Ok (Some E.Safe_plan)
-    | "read-once" -> Ok (Some E.Read_once)
-    | "wmc" -> Ok (Some E.Wmc)
-    | "obdd" -> Ok (Some E.Obdd)
-    | "dpll" -> Ok (Some E.Dpll)
-    | "karp-luby" -> Ok (Some E.Karp_luby)
-    | "world-enum" -> Ok (Some E.World_enum)
-    | s -> Error (`Msg (Printf.sprintf "unknown method %S" s))
+    | s -> (
+        match E.strategy_of_name s with
+        | Some strategy -> Ok (Some strategy)
+        | None -> Error (`Msg (Printf.sprintf "unknown method %S" s)))
   in
   Arg.conv (parse, fun ppf m ->
       Format.pp_print_string ppf
@@ -234,7 +229,9 @@ let eval_run db_dir text free meth samples deadline_ms eps delta no_degrade
       match trace_file with
       | Some path ->
           Obs.Trace.disable ();
-          Obs.Trace.write path
+          (* typed Io error (exit 2) on an unwritable path, not a raw
+             [Sys_error] escaping through [Fun.Finally_raised] *)
+          Err.guard_io ~path (fun () -> Obs.Trace.write path)
       | None -> ())
   @@ fun () ->
   Obs.Trace.with_span ~cat:"engine" "probdb.eval" @@ fun () ->
@@ -528,6 +525,114 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a query's lineage to OBDD and decision-DNNF.")
     Term.(ret (const compile_run $ db_arg $ query_arg))
 
+(* ---------- serve ---------- *)
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Bind address (an IP literal).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt int 7433
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"TCP port; 0 picks an ephemeral port (printed on startup).")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "workers" ] ~docv:"N"
+        ~doc:"Worker domains draining the request queue (engine concurrency).")
+
+let queue_arg =
+  Arg.(
+    value
+    & opt int 64
+    & info [ "queue" ] ~docv:"N"
+        ~doc:
+          "Request-queue bound. A full queue sheds requests with a typed \
+           $(b,overloaded) error instead of queueing unboundedly.")
+
+let degrade_above_arg =
+  Arg.(
+    value
+    & opt int 48
+    & info [ "degrade-above" ] ~docv:"N"
+        ~doc:
+          "Queue-depth watermark above which admitted requests are answered \
+           with the certified (eps,delta)-approximation instead of exact \
+           inference; 0 disables degradation under load.")
+
+let serve_deadline_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Default per-request deadline applied when a request carries none. \
+           Queue wait counts against it (admission control).")
+
+let serve_run db_dir host port workers queue degrade_above deadline_ms eps delta
+    samples =
+  with_db db_dir @@ fun db ->
+  let engine =
+    let default_fallback_samples =
+      match E.default_config.E.degrade with Some d -> d.E.max_samples | None -> 20_000
+    in
+    { E.default_config with
+      E.kl_samples = Option.value samples ~default:E.default_config.E.kl_samples;
+      degrade =
+        Some
+          { E.eps;
+            delta;
+            max_samples = Option.value samples ~default:default_fallback_samples }
+    }
+  in
+  let config =
+    { Serve.host;
+      port;
+      workers;
+      queue_capacity = queue;
+      degrade_above;
+      default_deadline_ms = deadline_ms;
+      engine }
+  in
+  let server = Serve.start ~config db in
+  Printf.printf
+    "probdb serve: listening on %s:%d (%d workers, queue %d, degrade above %d)\n%!"
+    host (Serve.port server) workers queue degrade_above;
+  (* SIGINT/SIGTERM drain: stop accepting, finish in-flight work, exit 0.
+     The handler must not block (it runs on the main thread), so the stop
+     itself goes to a fresh thread and [wait] below observes it. *)
+  let graceful _ =
+    ignore (Thread.create (fun () -> Serve.stop ~mode:`Drain server) ())
+  in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle graceful)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful)
+   with Invalid_argument _ | Sys_error _ -> ());
+  Serve.wait server;
+  `Ok ()
+
+let serve_cmd =
+  let term =
+    Term.(
+      ret
+        (const serve_run $ db_arg $ host_arg $ port_arg $ workers_arg $ queue_arg
+       $ degrade_above_arg $ serve_deadline_arg $ eps_arg $ delta_arg
+       $ samples_arg))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a long-lived concurrent query server: line-delimited JSON over \
+          TCP, bounded request queue, degradation then shedding under \
+          overload (protocol and operations: docs/SERVING.md).")
+    term
+
 (* ---------- gen ---------- *)
 
 let out_arg =
@@ -585,12 +690,15 @@ let () =
       Cmd.eval ~catch:false
         (Cmd.group info
            [ eval_cmd; explain_cmd; classify_cmd; plan_cmd; lineage_cmd; compile_cmd;
-             gen_cmd ])
+             serve_cmd; gen_cmd ])
     with
-    | Err.Error e ->
+    (* [Fun.protect] wraps a raising cleanup (e.g. the trace writer hitting
+       an unwritable path) in [Finally_raised]; unwrap so typed errors keep
+       their exit codes instead of escaping as a backtrace. *)
+    | Err.Error e | Fun.Finally_raised (Err.Error e) ->
         prerr_endline ("probdb: " ^ Err.render e);
         Err.exit_code e
-    | Sys_error msg ->
+    | Sys_error msg | Fun.Finally_raised (Sys_error msg) ->
         prerr_endline ("probdb: " ^ msg);
         2
   in

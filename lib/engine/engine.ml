@@ -40,6 +40,18 @@ let strategy_name = function
   | Karp_luby -> "karp-luby"
   | World_enum -> "world-enum"
 
+let strategy_of_name = function
+  | "lifted" -> Some Lifted
+  | "symmetric" -> Some Symmetric
+  | "safe-plan" -> Some Safe_plan
+  | "read-once" -> Some Read_once
+  | "wmc" -> Some Wmc
+  | "obdd" -> Some Obdd
+  | "dpll" -> Some Dpll
+  | "karp-luby" -> Some Karp_luby
+  | "world-enum" -> Some World_enum
+  | _ -> None
+
 type degrade = { eps : float; delta : float; max_samples : int }
 
 type config = {
@@ -57,6 +69,7 @@ type config = {
   fault : Guard.fault option;
   degrade : degrade option;
   domains : int;
+  parent_guard : Guard.t option;
 }
 
 let default_config =
@@ -75,7 +88,21 @@ let default_config =
     heap_watermark_words = None;
     fault = None;
     degrade = Some { eps = 0.1; delta = 0.05; max_samples = 20_000 };
-    domains = 1 }
+    domains = 1;
+    parent_guard = None }
+
+(* The serving-time backpressure config: skip every exact strategy and go
+   straight to the (ε,δ) Karp–Luby fallback, keeping whatever degrade
+   accuracy targets the base config carries (installing the defaults when
+   degradation was off). Used by [probdb serve] when the request queue
+   passes its degrade watermark. *)
+let force_degrade config =
+  { config with
+    strategies = [];
+    degrade =
+      (match config.degrade with
+      | Some _ as d -> d
+      | None -> default_config.degrade) }
 
 let exact_only =
   { default_config with
@@ -152,12 +179,13 @@ let guard_of_config config =
       config.heap_watermark_words,
       config.fault,
       config.max_ie_terms,
-      config.max_plan_rows )
+      config.max_plan_rows,
+      config.parent_guard )
   with
-  | None, None, None, None, None -> Guard.unlimited
+  | None, None, None, None, None, None -> Guard.unlimited
   | _ ->
       let g =
-        Guard.create ?deadline_s:config.deadline_s
+        Guard.create ?parent:config.parent_guard ?deadline_s:config.deadline_s
           ?heap_watermark_words:config.heap_watermark_words ?fault:config.fault ()
       in
       Option.iter (fun n -> Guard.set_budget g "lifted.ie_terms" n) config.max_ie_terms;

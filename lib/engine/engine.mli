@@ -45,6 +45,11 @@ type strategy =
 
 val strategy_name : strategy -> string
 
+val strategy_of_name : string -> strategy option
+(** Inverse of {!strategy_name} — the one name table shared by the CLI's
+    [--method] parser and the serve protocol's ["method"] field. [None] on
+    unknown names (and on ["auto"], which means "no override"). *)
+
 type degrade = {
   eps : float;  (** target relative error of the fallback approximation *)
   delta : float;  (** target failure probability *)
@@ -85,6 +90,12 @@ type config = {
           sampling ({!Probdb_approx.Karp_luby.estimate_par}, whose
           batch-indexed RNG streams make the estimate identical at any
           domain count); [stats] reports [domains_used] / [par_tasks]. *)
+  parent_guard : Probdb_guard.Guard.t option;
+      (** when set, the per-evaluation guard is created with this parent,
+          linking cancellation: {!Probdb_guard.Guard.cancel} on the parent
+          interrupts the evaluation at its next poll. A long-running
+          server passes one server-wide guard here so a hard shutdown can
+          stop every in-flight query cooperatively. *)
 }
 
 val default_config : config
@@ -95,6 +106,16 @@ val default_config : config
 
 val exact_only : config
 (** Drops Karp–Luby. *)
+
+val force_degrade : config -> config
+(** The serving-time backpressure transform: empty the strategy list so
+    {!eval} skips every exact method and answers directly with the (ε,δ)
+    Karp–Luby fallback — a certified confidence-interval answer at a cost
+    bounded by [degrade.max_samples], which is what an overloaded server
+    wants instead of queueing exact work. Keeps the base config's [degrade]
+    targets, installing {!default_config}'s when degradation was off.
+    Queries with no monotone DNF lineage to sample still come back as
+    [Error (No_method _)]. *)
 
 type outcome =
   | Exact of float

@@ -25,9 +25,13 @@ type t = {
   mutable poll_count : int;
   mutable io_count : int;
   live : bool;  (* false only for [unlimited]: every check short-circuits *)
+  parent : t option;
+      (* linked cancellation: a poll also trips when any ancestor was
+         cancelled — one [cancel] on a server-wide guard interrupts every
+         in-flight per-request guard built on top of it *)
 }
 
-let make ~live ?deadline_s ?heap_watermark_words ?fault () =
+let make ~live ?parent ?deadline_s ?heap_watermark_words ?fault () =
   let born = Clock.now () in
   { born;
     deadline_s;
@@ -38,10 +42,11 @@ let make ~live ?deadline_s ?heap_watermark_words ?fault () =
     budgets = Hashtbl.create 8;
     poll_count = 0;
     io_count = 0;
-    live }
+    live;
+    parent }
 
-let create ?deadline_s ?heap_watermark_words ?fault () =
-  make ~live:true ?deadline_s ?heap_watermark_words ?fault ()
+let create ?parent ?deadline_s ?heap_watermark_words ?fault () =
+  make ~live:true ?parent ?deadline_s ?heap_watermark_words ?fault ()
 
 let unlimited = make ~live:false ()
 
@@ -58,7 +63,9 @@ let heap_watermark_words g = g.heap_watermark
 
 let cancel g = if g.live then Atomic.set g.cancelled true
 
-let is_cancelled g = Atomic.get g.cancelled
+let rec is_cancelled g =
+  Atomic.get g.cancelled
+  || (match g.parent with Some p -> is_cancelled p | None -> false)
 
 let polls g = g.poll_count
 
@@ -78,7 +85,7 @@ let poll g ~site =
         trip resource ~site ~limit:(float_of_int poll)
           ~spent:(float_of_int g.poll_count)
     | _ -> ());
-    if Atomic.get g.cancelled then trip Cancelled ~site ~limit:0.0 ~spent:(elapsed_s g);
+    if is_cancelled g then trip Cancelled ~site ~limit:0.0 ~spent:(elapsed_s g);
     (match g.deadline_at with
     | Some at ->
         let now = Clock.now () in

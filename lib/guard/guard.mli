@@ -52,6 +52,7 @@ type fault =
 type t
 
 val create :
+  ?parent:t ->
   ?deadline_s:float ->
   ?heap_watermark_words:int ->
   ?fault:fault ->
@@ -61,7 +62,13 @@ val create :
     measured on the monotonic {!Probdb_obs.Clock}; [heap_watermark_words]
     bounds [Gc.quick_stat().heap_words]; [fault] installs a deterministic
     failure for tests. With no arguments the guard only supports
-    cancellation and budgets added later with {!set_budget}. *)
+    cancellation and budgets added later with {!set_budget}.
+
+    [parent] links cancellation (and only cancellation: deadlines, budgets
+    and watermarks stay per-guard): {!poll} and {!is_cancelled} also
+    consult every ancestor, so one {!cancel} on a long-lived parent — a
+    query server shutting down hard — interrupts every in-flight
+    evaluation running under a child guard. *)
 
 val unlimited : t
 (** A shared guard that never trips; {!poll} on it is a no-op. Every
@@ -87,9 +94,12 @@ val heap_watermark_words : t -> int option
 
 val cancel : t -> unit
 (** Request cooperative cancellation: the next {!poll} raises. Safe to call
-    from another domain or signal handler (a single mutable flag). *)
+    from another domain or signal handler (a single mutable flag).
+    Cancelling a guard also cancels every guard created with it as
+    [?parent], transitively. *)
 
 val is_cancelled : t -> bool
+(** Whether this guard or any ancestor was cancelled. *)
 
 val polls : t -> int
 (** Number of polls so far — the denominator for fault injection. *)

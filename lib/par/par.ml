@@ -75,6 +75,146 @@ let map_reduce p ~map ~reduce ~init n =
     run p (List.init n (fun i () -> map i))
     |> List.fold_left reduce init
 
+(* ---------- persistent worker service ---------- *)
+
+module Service = struct
+  type 'a t = {
+    svc_domains : int;
+    capacity : int;
+    queue : 'a Queue.t;
+    lock : Mutex.t;
+    nonempty : Condition.t;
+    idle : Condition.t;
+    mutable closed : bool;
+    mutable in_flight : int;
+    mutable workers : unit Domain.t list;
+    submitted : int Atomic.t;
+    completed : int Atomic.t;
+    failures : int Atomic.t;
+  }
+
+  (* One worker: block on the queue, run the handler, repeat until the
+     service is closed and the queue is drained. The handler owns its own
+     error reporting; an exception that does escape is counted and
+     swallowed so one bad item can never kill a worker. *)
+  let worker t f =
+    Domain.DLS.set in_worker true;
+    let rec loop () =
+      Mutex.lock t.lock;
+      while Queue.is_empty t.queue && not t.closed do
+        Condition.wait t.nonempty t.lock
+      done;
+      if Queue.is_empty t.queue then Mutex.unlock t.lock (* closed: exit *)
+      else begin
+        let item = Queue.pop t.queue in
+        t.in_flight <- t.in_flight + 1;
+        Mutex.unlock t.lock;
+        (match Trace.with_span ~cat:"par" "par.service" (fun () -> f item) with
+        | () -> ()
+        | exception _ -> Atomic.incr t.failures);
+        Atomic.incr t.completed;
+        Mutex.lock t.lock;
+        t.in_flight <- t.in_flight - 1;
+        if t.in_flight = 0 && Queue.is_empty t.queue then
+          Condition.broadcast t.idle;
+        Mutex.unlock t.lock;
+        loop ()
+      end
+    in
+    loop ()
+
+  let start ?(domains = default_domains ()) ~capacity f =
+    if capacity < 1 then invalid_arg "Par.Service.start: capacity must be >= 1";
+    let t =
+      { svc_domains = clamp 1 64 domains;
+        capacity;
+        queue = Queue.create ();
+        lock = Mutex.create ();
+        nonempty = Condition.create ();
+        idle = Condition.create ();
+        closed = false;
+        in_flight = 0;
+        workers = [];
+        submitted = Atomic.make 0;
+        completed = Atomic.make 0;
+        failures = Atomic.make 0 }
+    in
+    t.workers <-
+      List.init t.svc_domains (fun _ -> Domain.spawn (fun () -> worker t f));
+    t
+
+  let domains t = t.svc_domains
+
+  let capacity t = t.capacity
+
+  let try_submit t x =
+    Mutex.lock t.lock;
+    if t.closed then begin
+      Mutex.unlock t.lock;
+      `Closed
+    end
+    else if Queue.length t.queue >= t.capacity then begin
+      Mutex.unlock t.lock;
+      `Overloaded
+    end
+    else begin
+      Queue.push x t.queue;
+      Atomic.incr t.submitted;
+      let depth = Queue.length t.queue in
+      Condition.signal t.nonempty;
+      Mutex.unlock t.lock;
+      `Accepted depth
+    end
+
+  let depth t =
+    Mutex.lock t.lock;
+    let d = Queue.length t.queue in
+    Mutex.unlock t.lock;
+    d
+
+  let in_flight t =
+    Mutex.lock t.lock;
+    let n = t.in_flight in
+    Mutex.unlock t.lock;
+    n
+
+  let submitted t = Atomic.get t.submitted
+
+  let completed t = Atomic.get t.completed
+
+  let failures t = Atomic.get t.failures
+
+  let wait_idle t =
+    Mutex.lock t.lock;
+    while not (Queue.is_empty t.queue && t.in_flight = 0) do
+      Condition.wait t.idle t.lock
+    done;
+    Mutex.unlock t.lock
+
+  let shutdown ?(drain = true) t =
+    Mutex.lock t.lock;
+    if t.closed then begin
+      Mutex.unlock t.lock;
+      []
+    end
+    else begin
+      t.closed <- true;
+      let dropped =
+        if drain then []
+        else begin
+          let xs = List.of_seq (Queue.to_seq t.queue) in
+          Queue.clear t.queue;
+          xs
+        end
+      in
+      Condition.broadcast t.nonempty;
+      Mutex.unlock t.lock;
+      List.iter Domain.join t.workers;
+      t.workers <- [];
+      dropped
+    end
+end
+
 (* ---------- splitmix64 ---------- *)
 
 module Rng = struct

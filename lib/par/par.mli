@@ -49,6 +49,66 @@ val map_reduce :
     order in the calling domain, so non-associative reductions (floating
     point sums) are deterministic. *)
 
+(** A persistent worker service: the long-lived sibling of the per-call
+    {!run} pool. {!Service.start} spawns a fixed set of worker domains
+    that block on a {e bounded} work queue and drain it until shutdown —
+    the shape a long-running query server needs, where {!run}'s
+    spawn-per-call workers would churn a domain per request.
+
+    The queue bound is the backpressure contract: {!Service.try_submit}
+    {e never blocks} and reports [`Overloaded] when the queue is full, so
+    callers decide what overload means (shed, degrade, retry) instead of
+    queueing unboundedly. Workers run with the nested-[run] flag set, so a
+    handler that calls back into a {!pool} executes sequentially rather
+    than spawning domains from inside a worker. A handler exception is
+    counted in {!Service.failures} and swallowed; one poisonous item never
+    kills a worker. *)
+module Service : sig
+  type 'a t
+
+  val start : ?domains:int -> capacity:int -> ('a -> unit) -> 'a t
+  (** Spawn [domains] worker domains (clamped to [1, 64]; default
+      {!default_domains}) all running the handler over items of a shared
+      queue bounded at [capacity] (>= 1, or [Invalid_argument]). *)
+
+  val try_submit : 'a t -> 'a -> [ `Accepted of int | `Overloaded | `Closed ]
+  (** Non-blocking enqueue. [`Accepted depth] reports the queue depth just
+      after the push (the admission-control signal); [`Overloaded] means
+      the queue is at capacity and the item was {e not} enqueued;
+      [`Closed] means {!shutdown} has begun. *)
+
+  val depth : 'a t -> int
+  (** Items enqueued and not yet picked up by a worker. *)
+
+  val in_flight : 'a t -> int
+  (** Items currently being processed by workers. *)
+
+  val domains : 'a t -> int
+
+  val capacity : 'a t -> int
+
+  val submitted : 'a t -> int
+  (** Items accepted since {!start}. *)
+
+  val completed : 'a t -> int
+  (** Handler runs finished (including failed ones) since {!start}. *)
+
+  val failures : 'a t -> int
+  (** Handler runs that raised (the exception is swallowed). *)
+
+  val wait_idle : 'a t -> unit
+  (** Block until the queue is empty and no item is in flight. *)
+
+  val shutdown : ?drain:bool -> 'a t -> 'a list
+  (** Close the service to new submissions and join the workers. With
+      [drain] (the default) workers first finish every queued item and the
+      result is [[]]; with [~drain:false] the queue is cleared {e before}
+      the workers stop and the dropped items are returned so the caller
+      can fail them out (a query server answers each with a typed
+      shutting-down error). In-flight items always run to completion.
+      Idempotent; the second call returns [[]] immediately. *)
+end
+
 (** Deterministic splittable RNG (splitmix64).
 
     Streams are derived from a [(seed, stream index)] pair, so task [i]

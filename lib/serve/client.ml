@@ -1,0 +1,67 @@
+module Json = Probdb_obs.Json
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+let connect ?(host = "127.0.0.1") port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
+  | () -> ()
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    next_id = 0;
+    closed = false;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_in_noerr t.ic;
+    close_out_noerr t.oc
+  end
+
+let send_line t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv_line t = input_line t.ic
+
+let call t fields =
+  let fields =
+    if List.mem_assoc "id" fields then fields
+    else begin
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      ("id", Json.Int id) :: fields
+    end
+  in
+  send_line t (Json.to_string (Json.Obj fields));
+  match Json.of_string (recv_line t) with
+  | Ok j -> j
+  | Error msg -> failwith ("serve client: bad response JSON: " ^ msg)
+
+let eval ?(fields = []) t query =
+  call t (("op", Json.Str "eval") :: ("query", Json.Str query) :: fields)
+
+let ok resp = match Json.member "ok" resp with Some (Json.Bool b) -> b | _ -> false
+
+let ping t = ok (call t [ ("op", Json.Str "ping") ])
+
+let result resp = Option.value ~default:Json.Null (Json.member "result" resp)
+
+let error_class resp =
+  match Json.member "error" resp with
+  | Some err -> (
+      match Json.member "class" err with Some (Json.Str s) -> Some s | _ -> None)
+  | None -> None

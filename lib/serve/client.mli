@@ -1,0 +1,48 @@
+(** A minimal blocking client for the [probdb serve] protocol.
+
+    One TCP connection, synchronous request/response. This is what the
+    test suite, the soak check and the serving bench drive the server
+    with; it is deliberately dependency-free and small enough to be a
+    reference implementation of the wire protocol for client authors
+    (docs/SERVING.md walks through the same exchanges with raw sockets). *)
+
+type t
+
+val connect : ?host:string -> int -> t
+(** [connect port] opens a connection to [host] (default ["127.0.0.1"]).
+    @raise Unix.Unix_error when the server is not there. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val call : t -> (string * Probdb_obs.Json.t) list -> Probdb_obs.Json.t
+(** [call t fields] sends the object [fields] — adding a fresh integer
+    ["id"] when the caller did not pass one — and returns the parsed
+    response object. Responses are matched to requests by arrival order
+    (the protocol answers in submission order per connection).
+    @raise End_of_file when the server closed the connection.
+    @raise Failure when the response line is not valid JSON. *)
+
+val eval : ?fields:(string * Probdb_obs.Json.t) list -> t -> string ->
+  Probdb_obs.Json.t
+(** [eval t query] is [call] with [op = "eval"]; [fields] adds or
+    overrides request fields (["deadline_ms"], ["method"], …). *)
+
+val ping : t -> bool
+(** [true] iff the server answered the liveness probe with [ok]. *)
+
+val send_line : t -> string -> unit
+(** Raw escape hatch: write one line verbatim (malformed-input tests). *)
+
+val recv_line : t -> string
+(** Raw escape hatch: read one response line.
+    @raise End_of_file when the server closed the connection. *)
+
+val ok : Probdb_obs.Json.t -> bool
+(** The ["ok"] field of a response ([false] when absent). *)
+
+val result : Probdb_obs.Json.t -> Probdb_obs.Json.t
+(** The ["result"] field ([Null] when absent). *)
+
+val error_class : Probdb_obs.Json.t -> string option
+(** The ["error"]["class"] field of a failed response. *)

@@ -1,0 +1,168 @@
+module Json = Probdb_obs.Json
+module Err = Probdb_core.Probdb_error
+
+type eval_request = {
+  query : string;
+  free : string list;
+  meth : string option;
+  deadline_ms : int option;
+  samples : int option;
+  eps : float option;
+  delta : float option;
+  seed : int option;
+  no_degrade : bool;
+  want_stats : bool;
+}
+
+type op =
+  | Eval of eval_request
+  | Ping
+  | Stats
+  | Metrics
+  | Trace of { ms : int }
+  | Shutdown of { drain : bool }
+
+type request = { id : Json.t; op : op }
+
+type error =
+  | Engine of Err.t
+  | Bad_request of string
+  | Overloaded of { depth : int; capacity : int }
+  | Shutting_down
+  | Internal of string
+
+let error_class = function
+  | Engine e -> Err.class_name e
+  | Bad_request _ -> "bad-request"
+  | Overloaded _ -> "overloaded"
+  | Shutting_down -> "shutting-down"
+  | Internal _ -> "internal"
+
+let error_code = function
+  | Engine e -> Err.exit_code e
+  | Internal _ -> 1
+  | Overloaded _ -> 8
+  | Shutting_down -> 9
+  | Bad_request _ -> 10
+
+let error_message = function
+  | Engine e -> Err.render e
+  | Bad_request m -> m
+  | Overloaded { depth; capacity } ->
+      Printf.sprintf "request queue full (%d/%d); retry with backoff" depth
+        capacity
+  | Shutting_down -> "server is shutting down"
+  | Internal m -> "internal error: " ^ m
+
+(* Field extraction: every accessor either succeeds, signals absence, or
+   fails with a [Bad_request]-grade message naming the field. *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let field name j = Json.member name j
+
+let str_field name j =
+  match field name j with
+  | None -> None
+  | Some (Json.Str s) -> Some s
+  | Some _ -> bad "field %S must be a string" name
+
+let int_field name j =
+  match field name j with
+  | None -> None
+  | Some (Json.Int i) -> Some i
+  | Some _ -> bad "field %S must be an integer" name
+
+let float_field name j =
+  match field name j with
+  | None -> None
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | Some _ -> bad "field %S must be a number" name
+
+let bool_field ~default name j =
+  match field name j with
+  | None -> default
+  | Some (Json.Bool b) -> b
+  | Some _ -> bad "field %S must be a boolean" name
+
+let str_list_field name j =
+  match field name j with
+  | None -> []
+  | Some (Json.List items) ->
+      List.map
+        (function
+          | Json.Str s -> s
+          | _ -> bad "field %S must be a list of strings" name)
+        items
+  | Some _ -> bad "field %S must be a list of strings" name
+
+let parse_eval j =
+  let query =
+    match str_field "query" j with
+    | Some q -> q
+    | None -> bad "op \"eval\" requires a string field \"query\""
+  in
+  Eval
+    {
+      query;
+      free = str_list_field "free" j;
+      meth = str_field "method" j;
+      deadline_ms = int_field "deadline_ms" j;
+      samples = int_field "samples" j;
+      eps = float_field "eps" j;
+      delta = float_field "delta" j;
+      seed = int_field "seed" j;
+      no_degrade = bool_field ~default:false "no_degrade" j;
+      want_stats = bool_field ~default:false "stats" j;
+    }
+
+let parse_op j =
+  match str_field "op" j with
+  | None -> parse_eval j
+  | Some "eval" -> parse_eval j
+  | Some "ping" -> Ping
+  | Some "stats" -> Stats
+  | Some "metrics" -> Metrics
+  | Some "trace" ->
+      let ms = Option.value ~default:100 (int_field "ms" j) in
+      if ms < 0 || ms > 60_000 then
+        bad "field \"ms\" must be between 0 and 60000"
+      else Trace { ms }
+  | Some "shutdown" -> Shutdown { drain = bool_field ~default:true "drain" j }
+  | Some op -> bad "unknown op %S" op
+
+let parse line =
+  match Json.of_string line with
+  | Error msg -> Error (Json.Null, "malformed JSON: " ^ msg)
+  | Ok (Json.Obj _ as j) -> (
+      let id = Option.value ~default:Json.Null (field "id" j) in
+      try Ok { id; op = parse_op j } with Bad m -> Error (id, m))
+  | Ok _ -> Error (Json.Null, "request must be a JSON object")
+
+let response_ok ~id result =
+  Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", result) ]
+
+let response_error ~id err =
+  let base =
+    [
+      ("class", Json.Str (error_class err));
+      ("code", Json.Int (error_code err));
+      ("message", Json.Str (error_message err));
+    ]
+  in
+  let extra =
+    match err with
+    | Overloaded { depth; capacity } ->
+        [ ("depth", Json.Int depth); ("capacity", Json.Int capacity) ]
+    | _ -> []
+  in
+  Json.Obj
+    [ ("id", id); ("ok", Json.Bool false); ("error", Json.Obj (base @ extra)) ]
+
+let write_line oc j =
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  flush oc

@@ -1,0 +1,87 @@
+(** The [probdb serve] wire protocol: line-delimited JSON over TCP.
+
+    One request per line, one response per line, both JSON objects;
+    responses echo the request's [id] verbatim so clients may pipeline.
+    The full schema — field tables, error codes, overload semantics,
+    copy-paste examples — is documented in [docs/SERVING.md]; this module
+    is its executable counterpart: parsing of request lines into typed
+    {!request}s and rendering of typed {!error}s into response documents.
+
+    Error codes deliberately reuse the CLI exit codes of
+    {!Probdb_core.Probdb_error} (2 io … 7 exhausted) and extend them with
+    the serving-only classes: [1 internal], [8 overloaded], [9
+    shutting-down], [10 bad-request]. *)
+
+(** Per-request evaluation settings; every field except [query] is
+    optional on the wire and [None]/default here, falling back to the
+    server's base configuration. *)
+type eval_request = {
+  query : string;  (** first-order sentence, CLI concrete syntax *)
+  free : string list;  (** free variables of a non-Boolean query *)
+  meth : string option;  (** strategy name as in [probdb eval --method] *)
+  deadline_ms : int option;
+      (** admission-to-answer deadline; queue wait counts against it *)
+  samples : int option;
+  eps : float option;
+  delta : float option;
+  seed : int option;
+  no_degrade : bool;  (** fail typed instead of degrading *)
+  want_stats : bool;  (** include the full stats record in the response *)
+}
+
+type op =
+  | Eval of eval_request
+  | Ping  (** liveness probe; answers [{"pong": true}] *)
+  | Stats  (** the server stats snapshot (docs/STATS.md [serve] block) *)
+  | Metrics  (** the process-wide {!Probdb_obs.Metrics} snapshot *)
+  | Trace of { ms : int }
+      (** capture an event trace for [ms] milliseconds and return the
+          Chrome trace_event document inline *)
+  | Shutdown of { drain : bool }
+      (** stop the server; with [drain] (default) queued and in-flight
+          requests complete first *)
+
+type request = { id : Probdb_obs.Json.t; op : op }
+(** [id] is echoed verbatim in the response ([Null] when absent). *)
+
+(** Everything that can go wrong with one request. [Engine] wraps the
+    typed error channel shared with the CLI; the rest are serving-only. *)
+type error =
+  | Engine of Probdb_core.Probdb_error.t
+  | Bad_request of string  (** malformed JSON, unknown op, bad field type *)
+  | Overloaded of { depth : int; capacity : int }
+      (** the request queue was full and the request was shed, not queued *)
+  | Shutting_down  (** the server no longer accepts work *)
+  | Internal of string  (** unexpected exception; a server bug *)
+
+exception Bad of string
+(** The parse-time escape hatch behind {!parse}; also raised by the server's
+    per-request configuration when a field value is recognised as wrong only
+    at evaluation time (an unknown ["method"] name). *)
+
+val bad : ('a, unit, string, 'b) format4 -> 'a
+(** [bad fmt ...] raises {!Bad} with the formatted message. *)
+
+val error_class : error -> string
+(** ["io"], ["csv"], ["parse"], ["usage"], ["no-method"], ["exhausted"],
+    ["internal"], ["overloaded"], ["shutting-down"], or ["bad-request"]. *)
+
+val error_code : error -> int
+(** The numeric code: {!Probdb_core.Probdb_error.exit_code} for [Engine],
+    1 internal, 8 overloaded, 9 shutting-down, 10 bad-request. *)
+
+val parse : string -> (request, Probdb_obs.Json.t * string) result
+(** Parse one request line. A request without an ["op"] field is an
+    [eval]. [Error] carries the [Bad_request] message together with the
+    request's [id] when one could be extracted ([Null] otherwise), so
+    even malformed pipelined requests get correlatable responses. *)
+
+val response_ok : id:Probdb_obs.Json.t -> Probdb_obs.Json.t -> Probdb_obs.Json.t
+(** [{"id": id, "ok": true, "result": result}]. *)
+
+val response_error : id:Probdb_obs.Json.t -> error -> Probdb_obs.Json.t
+(** [{"id": id, "ok": false, "error": {"class", "code", "message"}}];
+    [Overloaded] additionally reports ["depth"] and ["capacity"]. *)
+
+val write_line : out_channel -> Probdb_obs.Json.t -> unit
+(** Compact-encode, append ['\n'], flush. *)

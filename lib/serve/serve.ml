@@ -1,0 +1,605 @@
+module Core = Probdb_core
+module Err = Probdb_core.Probdb_error
+module L = Probdb_logic
+module E = Probdb_engine.Engine
+module Answer = Probdb_engine.Answer
+module Guard = Probdb_guard.Guard
+module Par = Probdb_par.Par
+module Json = Probdb_obs.Json
+module Stats = Probdb_obs.Stats
+module Metrics = Probdb_obs.Metrics
+module Trace = Probdb_obs.Trace
+module Clock = Probdb_obs.Clock
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_capacity : int;
+  degrade_above : int;
+  default_deadline_ms : int option;
+  engine : E.config;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7433;
+    workers = 2;
+    queue_capacity = 64;
+    degrade_above = 48;
+    default_deadline_ms = None;
+    engine = E.default_config;
+  }
+
+(* Process-wide metrics mirrored by every server instance (the per-server
+   snapshot lives in [stats_json]); names documented in docs/STATS.md. *)
+let m_connections = Metrics.counter "serve.connections"
+let m_requests = Metrics.counter "serve.requests"
+let m_shed = Metrics.counter "serve.shed"
+let m_degraded_load = Metrics.counter "serve.degraded_under_load"
+let m_queue_depth = Metrics.gauge "serve.queue_depth"
+let m_latency = Metrics.histogram "serve.request_latency_s"
+let m_queue_wait = Metrics.histogram "serve.queue_wait_s"
+
+(* One TCP connection. Responses from worker domains and from the reader
+   thread interleave on [oc], hence the write lock; [pending] counts
+   requests admitted but not yet answered, so EOF handling can wait for
+   the last response to flush before closing — [echo req | client] must
+   see its answer. *)
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  wlock : Mutex.t;
+  plock : Mutex.t;
+  pdone : Condition.t;
+  mutable pending : int;
+  mutable closed : bool;
+}
+
+(* An admitted eval request, queued for the worker service. [j_enqueued_s]
+   anchors the queue-wait measurement the admission deadline charges;
+   [j_degrade_load] is the backpressure verdict, decided at admission. *)
+type job = {
+  j_conn : conn;
+  j_id : Json.t;
+  j_req : Protocol.eval_request;
+  j_degrade_load : bool;
+  j_enqueued_s : float;
+}
+
+type state = Running | Stopping
+
+type t = {
+  cfg : config;
+  db : Core.Tid.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  guard : Guard.t;  (* parent of every request guard; [stop `Now] cancels *)
+  service : job Par.Service.t;
+  state : state Atomic.t;
+  started_s : float;
+  conns : (int, conn) Hashtbl.t;
+  conns_lock : Mutex.t;
+  mutable accept_thread : Thread.t option;
+  stop_lock : Mutex.t;
+  mutable stopped : bool;
+  trace_lock : Mutex.t;  (* tracing is process-global: one capture at a time *)
+  next_cid : int Atomic.t;
+  c_accepted : int Atomic.t;
+  c_requests : int Atomic.t;
+  c_eval_ok : int Atomic.t;
+  c_eval_error : int Atomic.t;
+  c_shed : int Atomic.t;
+  c_degraded_load : int Atomic.t;
+}
+
+(* ---------- connection plumbing ---------- *)
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* A write to a connection the client already abandoned is not worth
+   anything: swallow the error and let the reader thread observe EOF. *)
+let send conn json =
+  try with_lock conn.wlock (fun () -> Protocol.write_line conn.oc json)
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+let pending_incr conn =
+  with_lock conn.plock (fun () -> conn.pending <- conn.pending + 1)
+
+let pending_decr conn =
+  with_lock conn.plock (fun () ->
+      conn.pending <- conn.pending - 1;
+      if conn.pending <= 0 then Condition.broadcast conn.pdone)
+
+let pending_wait conn =
+  with_lock conn.plock (fun () ->
+      while conn.pending > 0 do
+        Condition.wait conn.pdone conn.plock
+      done)
+
+let close_conn t conn =
+  let mine =
+    with_lock conn.plock (fun () ->
+        if conn.closed then false
+        else begin
+          conn.closed <- true;
+          true
+        end)
+  in
+  if mine then begin
+    (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    close_in_noerr conn.ic;
+    close_out_noerr conn.oc;
+    with_lock t.conns_lock (fun () -> Hashtbl.remove t.conns conn.cid)
+  end
+
+(* ---------- request evaluation (worker domains) ---------- *)
+
+(* Per-request engine configuration: the server's base config, overridden
+   field by field from the request, run under a child of the server guard.
+   Raises [Protocol.Bad] on an unknown method name. *)
+let config_of_request t ~(remaining_s : float option)
+    (r : Protocol.eval_request) ~degrade_load =
+  let base = t.cfg.engine in
+  let base =
+    match r.Protocol.meth with
+    | None | Some "auto" -> base
+    | Some name -> (
+        match E.strategy_of_name name with
+        | Some s -> { base with E.strategies = [ s ] }
+        | None -> Protocol.bad "unknown method %S" name)
+  in
+  let base =
+    { base with
+      E.kl_samples = Option.value r.Protocol.samples ~default:base.E.kl_samples;
+      seed = Option.value r.Protocol.seed ~default:base.E.seed }
+  in
+  let degrade =
+    if r.Protocol.no_degrade || r.Protocol.meth = Some "karp-luby" then None
+    else
+      let d =
+        match base.E.degrade with
+        | Some d -> d
+        | None -> (
+            match E.default_config.E.degrade with
+            | Some d -> d
+            | None -> { E.eps = 0.1; delta = 0.05; max_samples = 20_000 })
+      in
+      Some
+        { E.eps = Option.value r.Protocol.eps ~default:d.E.eps;
+          delta = Option.value r.Protocol.delta ~default:d.E.delta;
+          max_samples = Option.value r.Protocol.samples ~default:d.E.max_samples }
+  in
+  let config =
+    { base with
+      E.deadline_s = remaining_s;
+      degrade;
+      parent_guard = Some t.guard;
+      (* engine work must stay inside this worker domain *)
+      domains = 1 }
+  in
+  if degrade_load then E.force_degrade config else config
+
+let confidence_json (c : Answer.confidence) =
+  Json.Obj
+    [
+      ("ci_low", Json.Float c.Answer.ci_low);
+      ("ci_high", Json.Float c.Answer.ci_high);
+      ("eps", Json.Float c.Answer.eps);
+      ("delta", Json.Float c.Answer.delta);
+      ("samples", Json.Int c.Answer.samples);
+    ]
+
+let chain_json steps =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [
+             ("strategy", Json.Str (Answer.step_strategy s));
+             ("kind", Json.Str (Answer.step_kind s));
+             ("detail", Json.Str (Answer.step_detail s));
+           ])
+       steps)
+
+let answer_json ~want_stats ~degraded_load (a : Answer.t) =
+  Json.Obj
+    ([
+       ("value", Json.Float a.Answer.value);
+       ("exact", Json.Bool a.Answer.exact);
+       ("strategy", Json.Str a.Answer.strategy);
+       ("degraded", Json.Bool a.Answer.degraded);
+       ("degraded_under_load", Json.Bool degraded_load);
+     ]
+    @ (match a.Answer.confidence with
+      | Some c -> [ ("confidence", confidence_json c) ]
+      | None -> [])
+    @ [ ("chain", chain_json a.Answer.chain) ]
+    @ if want_stats then [ ("stats", Stats.to_json a.Answer.stats) ] else [])
+
+let report_json (r : E.report) =
+  Json.Obj
+    [
+      ("value", Json.Float (E.value r.E.outcome));
+      ( "exact",
+        Json.Bool
+          (match r.E.outcome with E.Exact _ -> true | E.Approximate _ -> false)
+      );
+      ("strategy", Json.Str (E.strategy_name r.E.strategy));
+    ]
+
+(* Exceptions escaping [E.answers] (which has no [eval]-style typed
+   wrapper) and anything else unexpected, folded into the typed channel. *)
+let typed_error = function
+  | Err.Error e -> Protocol.Engine e
+  | E.No_method chain ->
+      Protocol.Engine
+        (Err.No_method (List.map (fun (s, m) -> (E.strategy_name s, m)) chain))
+  | Guard.Exhausted trip ->
+      Protocol.Engine
+        (Err.Exhausted
+           {
+             resource = Guard.resource_name trip.Guard.resource;
+             site = trip.Guard.site;
+             detail = Guard.describe trip;
+           })
+  | Protocol.Bad m -> Protocol.Bad_request m
+  | exn -> Protocol.Internal (Printexc.to_string exn)
+
+(* The deadline the evaluation still has: what the request asked for (or
+   the server default) minus the time already spent queued. A request that
+   spent its whole budget waiting gets a hair's breadth of deadline, so
+   the guard trips at the first poll and the degradation path answers —
+   the overloaded-server contract (degrade, don't drop). *)
+let remaining_deadline t (r : Protocol.eval_request) ~queue_wait_s =
+  match
+    (r.Protocol.deadline_ms, t.cfg.default_deadline_ms, t.cfg.engine.E.deadline_s)
+  with
+  | Some ms, _, _ | None, Some ms, _ ->
+      Some (Float.max 1e-4 ((float_of_int ms /. 1000.0) -. queue_wait_s))
+  | None, None, base -> base
+
+let eval_result_json t job ~config ~degraded_load ~stats q =
+  let r = job.j_req in
+  match r.Protocol.free with
+  | [] -> (
+      match E.eval ~config ~stats t.db q with
+      | Ok a ->
+          Ok
+            (answer_json ~want_stats:r.Protocol.want_stats ~degraded_load a)
+      | Error e -> Error (Protocol.Engine e))
+  | free -> (
+      match E.answers ~config ~free t.db q with
+      | answers ->
+          Ok
+            (Json.Obj
+               [
+                 ( "bindings",
+                   Json.List
+                     (List.map
+                        (fun (binding, rep) ->
+                          Json.Obj
+                            [
+                              ( "binding",
+                                Json.List
+                                  (List.map
+                                     (fun v -> Json.Str (Core.Value.to_string v))
+                                     binding) );
+                              ("answer", report_json rep);
+                            ])
+                        answers) );
+               ])
+      | exception exn -> Error (typed_error exn))
+
+let run_job t job =
+  let conn = job.j_conn in
+  let r = job.j_req in
+  let queue_wait_s = Clock.now () -. job.j_enqueued_s in
+  Metrics.observe m_queue_wait queue_wait_s;
+  Metrics.set m_queue_depth (float_of_int (Par.Service.depth t.service));
+  let attempt ~degrade_load =
+    try
+      let remaining_s = remaining_deadline t r ~queue_wait_s in
+      let config = config_of_request t ~remaining_s r ~degrade_load in
+      let stats = Stats.create () in
+      stats.Stats.query <- Some r.Protocol.query;
+      match L.Parser.parse ~free:r.Protocol.free r.Protocol.query with
+      | exception L.Parser.Error msg ->
+          Error (Protocol.Engine (Err.Parse { message = msg }))
+      | q -> eval_result_json t job ~config ~degraded_load:degrade_load ~stats q
+    with exn -> Error (typed_error exn)
+  in
+  let result =
+    match attempt ~degrade_load:job.j_degrade_load with
+    | Error (Protocol.Engine (Err.No_method _)) when job.j_degrade_load ->
+        (* degradation under load is best-effort: a query with no monotone
+           DNF lineage has no (ε,δ) fallback to degrade to, so it gets its
+           normal exact evaluation instead of a spurious no-method error *)
+        attempt ~degrade_load:false
+    | r -> r
+  in
+  (match result with
+  | Ok doc ->
+      Atomic.incr t.c_eval_ok;
+      send conn (Protocol.response_ok ~id:job.j_id doc)
+  | Error err ->
+      Atomic.incr t.c_eval_error;
+      send conn (Protocol.response_error ~id:job.j_id err));
+  Metrics.observe m_latency (Clock.now () -. job.j_enqueued_s);
+  pending_decr conn
+
+(* ---------- control operations (reader threads) ---------- *)
+
+let uptime_s t = Clock.now () -. t.started_s
+
+let stats_json t =
+  Json.Obj
+    [
+      ("uptime_s", Json.Float (uptime_s t));
+      ("workers", Json.Int (Par.Service.domains t.service));
+      ("queue_capacity", Json.Int (Par.Service.capacity t.service));
+      ("queue_depth", Json.Int (Par.Service.depth t.service));
+      ("degrade_above", Json.Int t.cfg.degrade_above);
+      ("in_flight", Json.Int (Par.Service.in_flight t.service));
+      ("connections_accepted", Json.Int (Atomic.get t.c_accepted));
+      ( "connections_active",
+        Json.Int (with_lock t.conns_lock (fun () -> Hashtbl.length t.conns)) );
+      ("requests", Json.Int (Atomic.get t.c_requests));
+      ("eval_ok", Json.Int (Atomic.get t.c_eval_ok));
+      ("eval_error", Json.Int (Atomic.get t.c_eval_error));
+      ("shed", Json.Int (Atomic.get t.c_shed));
+      ("degraded_under_load", Json.Int (Atomic.get t.c_degraded_load));
+      ("worker_failures", Json.Int (Par.Service.failures t.service));
+    ]
+
+let capture_trace t ~ms =
+  with_lock t.trace_lock (fun () ->
+      Trace.enable ();
+      Fun.protect ~finally:Trace.disable (fun () ->
+          Thread.delay (float_of_int ms /. 1000.0));
+      let doc = Trace.to_chrome_json () in
+      Trace.clear ();
+      doc)
+
+(* ---------- admission control ---------- *)
+
+let submit_eval t conn ~id (r : Protocol.eval_request) =
+  (* Backpressure verdict at admission: past the watermark the request is
+     still served, but with [force_degrade] — a bounded-cost certified
+     (ε,δ) answer instead of queued exact work. *)
+  let depth_now = Par.Service.depth t.service in
+  let degrade_load = t.cfg.degrade_above > 0 && depth_now >= t.cfg.degrade_above in
+  pending_incr conn;
+  let job =
+    {
+      j_conn = conn;
+      j_id = id;
+      j_req = r;
+      j_degrade_load = degrade_load;
+      j_enqueued_s = Clock.now ();
+    }
+  in
+  match Par.Service.try_submit t.service job with
+  | `Accepted depth ->
+      Metrics.set m_queue_depth (float_of_int depth);
+      if degrade_load then begin
+        Atomic.incr t.c_degraded_load;
+        Metrics.incr m_degraded_load
+      end
+  | `Overloaded ->
+      Atomic.incr t.c_shed;
+      Metrics.incr m_shed;
+      send conn
+        (Protocol.response_error ~id
+           (Protocol.Overloaded
+              {
+                depth = Par.Service.depth t.service;
+                capacity = Par.Service.capacity t.service;
+              }));
+      pending_decr conn
+  | `Closed ->
+      send conn (Protocol.response_error ~id Protocol.Shutting_down);
+      pending_decr conn
+
+(* ---------- lifecycle (mutually recursive with request handling:
+   the [shutdown] op stops the server that is handling it) ---------- *)
+
+let rec handle_request t conn line =
+  match Protocol.parse line with
+  | Error (id, msg) ->
+      send conn (Protocol.response_error ~id (Protocol.Bad_request msg))
+  | Ok { Protocol.id; op } -> (
+      Atomic.incr t.c_requests;
+      Metrics.incr m_requests;
+      match op with
+      | Protocol.Ping ->
+          send conn
+            (Protocol.response_ok ~id (Json.Obj [ ("pong", Json.Bool true) ]))
+      | Protocol.Stats -> send conn (Protocol.response_ok ~id (stats_json t))
+      | Protocol.Metrics ->
+          send conn (Protocol.response_ok ~id (Metrics.to_json ()))
+      | Protocol.Trace { ms } ->
+          send conn (Protocol.response_ok ~id (capture_trace t ~ms))
+      | Protocol.Shutdown { drain } ->
+          send conn
+            (Protocol.response_ok ~id
+               (Json.Obj
+                  [ ("stopping", Json.Str (if drain then "drain" else "now")) ]));
+          (* stop from a fresh thread: [stop] joins reader threads and
+             workers, including the ones serving this very request *)
+          ignore
+            (Thread.create
+               (fun mode -> try stop_ ~mode t with _ -> ())
+               (if drain then `Drain else `Now))
+      | Protocol.Eval r ->
+          if Atomic.get t.state <> Running then
+            send conn (Protocol.response_error ~id Protocol.Shutting_down)
+          else submit_eval t conn ~id r)
+
+and reader t conn =
+  let rec loop () =
+    match input_line conn.ic with
+    | line ->
+        if String.trim line <> "" then handle_request t conn line;
+        loop ()
+    | exception (End_of_file | Sys_error _) -> ()
+  in
+  loop ();
+  (* let in-flight responses for this connection flush before closing *)
+  pending_wait conn;
+  close_conn t conn
+
+and accept_loop t =
+  match Unix.accept t.listen_fd with
+  | fd, _addr when Atomic.get t.state <> Running ->
+      (* the wake-up knock from [stop_], or a client racing the stop *)
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  | fd, _addr ->
+      Atomic.incr t.c_accepted;
+      Metrics.incr m_connections;
+      let conn =
+        {
+          cid = Atomic.fetch_and_add t.next_cid 1;
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+          wlock = Mutex.create ();
+          plock = Mutex.create ();
+          pdone = Condition.create ();
+          pending = 0;
+          closed = false;
+        }
+      in
+      with_lock t.conns_lock (fun () -> Hashtbl.replace t.conns conn.cid conn);
+      ignore (Thread.create (fun () -> reader t conn) ());
+      accept_loop t
+  | exception Unix.Unix_error _ ->
+      (* the listening socket was closed by [stop], or accept failed
+         terminally; either way the accept loop is done *)
+      ()
+
+and stop_ ~mode t =
+  with_lock t.stop_lock @@ fun () ->
+  if not t.stopped then begin
+    Atomic.set t.state Stopping;
+    (* Waking a thread blocked in [accept] is the subtle part: closing the
+       fd does not interrupt it on Linux. [shutdown] wakes it on most
+       systems; the loopback knock covers the rest — the accept loop sees
+       [Stopping] and exits either way. *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try
+       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       Fun.protect
+         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+         (fun () ->
+           try
+             Unix.connect fd
+               (Unix.ADDR_INET
+                  (Unix.inet_addr_of_string t.cfg.host, t.bound_port))
+           with Unix.Unix_error _ -> ())
+     with Unix.Unix_error _ | Failure _ -> ());
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    t.accept_thread <- None;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match mode with `Now -> Guard.cancel t.guard | `Drain -> ());
+    let dropped =
+      Par.Service.shutdown
+        ~drain:(match mode with `Drain -> true | `Now -> false)
+        t.service
+    in
+    List.iter
+      (fun job ->
+        send job.j_conn
+          (Protocol.response_error ~id:job.j_id Protocol.Shutting_down);
+        pending_decr job.j_conn)
+      dropped;
+    let conns =
+      with_lock t.conns_lock (fun () ->
+          Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
+    in
+    List.iter (fun c -> close_conn t c) conns;
+    t.stopped <- true
+  end
+
+let stop ?(mode = `Drain) t = stop_ ~mode t
+
+let wait t =
+  let rec loop () =
+    let stopped = with_lock t.stop_lock (fun () -> t.stopped) in
+    if not stopped then begin
+      Thread.delay 0.05;
+      loop ()
+    end
+  in
+  loop ()
+
+let start ?(config = default_config) db =
+  (* never die on a client that went away mid-write *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  let addr =
+    try Unix.inet_addr_of_string config.host
+    with Failure _ ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Err.raise_ (Err.Io { path = config.host; message = "not an IP address" })
+  in
+  (match Unix.bind listen_fd (Unix.ADDR_INET (addr, config.port)) with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      Err.raise_
+        (Err.Io
+           {
+             path = Printf.sprintf "%s:%d" config.host config.port;
+             message = Unix.error_message e;
+           }));
+  Unix.listen listen_fd 64;
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  (* tie the knot: the worker handler needs [t], which holds the service *)
+  let t_cell = ref None in
+  let service =
+    Par.Service.start ~domains:(max 1 config.workers)
+      ~capacity:(max 1 config.queue_capacity) (fun job ->
+        match !t_cell with Some t -> run_job t job | None -> ())
+  in
+  let t =
+    {
+      cfg = config;
+      db;
+      listen_fd;
+      bound_port;
+      guard = Guard.create ();
+      service;
+      state = Atomic.make Running;
+      started_s = Clock.now ();
+      conns = Hashtbl.create 16;
+      conns_lock = Mutex.create ();
+      accept_thread = None;
+      stop_lock = Mutex.create ();
+      stopped = false;
+      trace_lock = Mutex.create ();
+      next_cid = Atomic.make 0;
+      c_accepted = Atomic.make 0;
+      c_requests = Atomic.make 0;
+      c_eval_ok = Atomic.make 0;
+      c_eval_error = Atomic.make 0;
+      c_shed = Atomic.make 0;
+      c_degraded_load = Atomic.make 0;
+    }
+  in
+  t_cell := Some t;
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let port t = t.bound_port

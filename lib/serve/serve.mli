@@ -1,0 +1,72 @@
+(** The [probdb serve] server: a long-running concurrent query service.
+
+    One process loads a TID once and answers many clients over TCP, one
+    line-delimited JSON request/response pair at a time (the protocol of
+    {!Protocol}, specified in [docs/SERVING.md]). The moving parts:
+
+    - an {e accept thread} takes connections and spawns one blocking
+      {e reader thread} per connection (system threads, so blocking I/O
+      releases the OCaml runtime lock);
+    - control operations ([ping]/[stats]/[metrics]/[trace]/[shutdown])
+      are answered inline on the reader thread;
+    - [eval] requests are submitted to a bounded
+      {!Probdb_par.Par.Service} queue drained by worker {e domains} — the
+      only place engine work runs, so concurrency is capped by the worker
+      count and the queue bound is the backpressure contract;
+    - overload degrades before it sheds: past the [degrade_above]
+      watermark admitted requests are evaluated with
+      {!Probdb_engine.Engine.force_degrade} (certified (ε,δ) Karp–Luby
+      answers), and when the queue is full the request is refused with a
+      typed [overloaded] error — the server never queues unboundedly;
+    - every request runs under a {!Probdb_guard.Guard} deadline whose
+      budget {e includes the time spent queued} (admission control), and
+      all request guards are children of one server guard so
+      {!stop}[ `Now] cancels in-flight work cooperatively. *)
+
+type config = {
+  host : string;  (** bind address (default ["127.0.0.1"]) *)
+  port : int;  (** TCP port; [0] picks an ephemeral port (see {!port}) *)
+  workers : int;  (** engine worker domains draining the request queue *)
+  queue_capacity : int;
+      (** bound of the request queue; a full queue sheds ([overloaded]) *)
+  degrade_above : int;
+      (** queue-depth watermark above which admitted requests are
+          force-degraded to the (ε,δ) approximation; [<= 0] never degrades
+          under load *)
+  default_deadline_ms : int option;
+      (** per-request deadline applied when the request carries none *)
+  engine : Probdb_engine.Engine.config;
+      (** base evaluation config; per-request fields override it *)
+}
+
+val default_config : config
+(** Loopback, port 7433, 2 workers, queue capacity 64, degrade watermark
+    48, no default deadline, {!Probdb_engine.Engine.default_config}. *)
+
+type t
+
+val start : ?config:config -> Probdb_core.Tid.t -> t
+(** Bind, listen, spawn the accept thread and the worker service, and
+    return immediately. @raise Probdb_core.Probdb_error.Error ([Io])
+    when the address cannot be bound. *)
+
+val port : t -> int
+(** The actually-bound port — the way to find an ephemeral one. *)
+
+val stop : ?mode:[ `Drain | `Now ] -> t -> unit
+(** Stop the server. [`Drain] (default) stops accepting, lets queued and
+    in-flight requests complete and their responses flush, then closes
+    every connection. [`Now] additionally clears the queue (each dropped
+    request is answered with a typed [shutting-down] error) and cancels
+    the server guard, interrupting in-flight evaluations at their next
+    poll. Idempotent; concurrent callers block until the stop completes. *)
+
+val wait : t -> unit
+(** Block until the server has stopped (its accept thread has exited and
+    the workers are joined) — the foreground of [probdb serve]. *)
+
+val stats_json : t -> Probdb_obs.Json.t
+(** The live server snapshot behind the [stats] protocol op (schema:
+    the [serve] block of [docs/STATS.md]): connection and request
+    counters, queue depth and capacity, shed and degraded-under-load
+    totals, uptime. *)

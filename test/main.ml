@@ -6,4 +6,5 @@ let () =
      @ Test_par.suites @ Test_mln.suites
      @ Test_symmetric.suites @ Test_approx.suites @ Test_engine.suites
      @ Test_openworld.suites @ Test_provenance.suites @ Test_robustness.suites
-     @ Test_obs.suites @ Test_trace.suites @ Test_metrics.suites)
+     @ Test_obs.suites @ Test_trace.suites @ Test_metrics.suites
+     @ Test_serve.suites)

@@ -160,6 +160,123 @@ let test_engine_domains_config () =
   Alcotest.(check int) "domains_used parallel" 4 s4.Stats.domains_used;
   Alcotest.(check bool) "par_tasks counted" true (s4.Stats.par_tasks > 0)
 
+(* ---------- the persistent worker service ---------- *)
+
+let test_service_completes_everything () =
+  let processed = Atomic.make 0 in
+  let svc =
+    Par.Service.start ~domains:3 ~capacity:128 (fun n ->
+        Atomic.fetch_and_add processed n |> ignore)
+  in
+  let accepted = ref 0 in
+  for i = 1 to 100 do
+    match Par.Service.try_submit svc i with
+    | `Accepted _ -> incr accepted
+    | `Overloaded | `Closed -> ()
+  done;
+  Par.Service.wait_idle svc;
+  Alcotest.(check int) "everything accepted" 100 !accepted;
+  Alcotest.(check int) "sum of processed items" 5050 (Atomic.get processed);
+  Alcotest.(check int) "submitted" 100 (Par.Service.submitted svc);
+  Alcotest.(check int) "completed" 100 (Par.Service.completed svc);
+  Alcotest.(check int) "no failures" 0 (Par.Service.failures svc);
+  Alcotest.(check (list int)) "drain-shutdown drops nothing" []
+    (Par.Service.shutdown svc)
+
+let test_service_backpressure () =
+  (* one worker wedged on a slow item: the queue fills to capacity and
+     further submissions report [`Overloaded] without blocking *)
+  let release = Atomic.make false in
+  let svc =
+    Par.Service.start ~domains:1 ~capacity:2 (fun _ ->
+        while not (Atomic.get release) do
+          Thread.yield ()
+        done)
+  in
+  (* first item goes in flight; wait until the worker picked it up *)
+  (match Par.Service.try_submit svc 0 with
+  | `Accepted _ -> ()
+  | _ -> Alcotest.fail "first submit refused");
+  while Par.Service.in_flight svc = 0 do
+    Thread.yield ()
+  done;
+  (match Par.Service.try_submit svc 1 with
+  | `Accepted d -> Alcotest.(check int) "depth after second" 1 d
+  | _ -> Alcotest.fail "second submit refused");
+  (match Par.Service.try_submit svc 2 with
+  | `Accepted d -> Alcotest.(check int) "depth at capacity" 2 d
+  | _ -> Alcotest.fail "third submit refused");
+  (match Par.Service.try_submit svc 3 with
+  | `Overloaded -> ()
+  | `Accepted _ | `Closed -> Alcotest.fail "expected overload at capacity");
+  Atomic.set release true;
+  Par.Service.wait_idle svc;
+  ignore (Par.Service.shutdown svc);
+  Alcotest.(check int) "only the accepted items ran" 3 (Par.Service.completed svc)
+
+let test_service_shutdown_drops () =
+  let release = Atomic.make false in
+  let svc =
+    Par.Service.start ~domains:1 ~capacity:8 (fun _ ->
+        while not (Atomic.get release) do
+          Thread.yield ()
+        done)
+  in
+  List.iter (fun i -> ignore (Par.Service.try_submit svc i)) [ 0; 1; 2; 3 ];
+  while Par.Service.in_flight svc = 0 do
+    Thread.yield ()
+  done;
+  (* no-drain shutdown returns the queued (never-started) items; the
+     in-flight one still completes. The shutdown must be issued before
+     releasing the worker, from another thread since it joins. *)
+  let dropped = ref [] in
+  let th =
+    Thread.create (fun () -> dropped := Par.Service.shutdown ~drain:false svc) ()
+  in
+  (* give the shutdown a moment to close the queue, then release *)
+  Thread.delay 0.05;
+  Atomic.set release true;
+  Thread.join th;
+  Alcotest.(check (list int)) "queued items returned in order" [ 1; 2; 3 ] !dropped;
+  Alcotest.(check int) "in-flight item completed" 1 (Par.Service.completed svc);
+  (match Par.Service.try_submit svc 9 with
+  | `Closed -> ()
+  | `Accepted _ | `Overloaded -> Alcotest.fail "submit after shutdown not closed");
+  Alcotest.(check (list int)) "second shutdown is a no-op" []
+    (Par.Service.shutdown svc)
+
+let test_service_swallows_failures () =
+  let svc =
+    Par.Service.start ~domains:2 ~capacity:16 (fun n ->
+        if n mod 2 = 0 then raise (Boom n))
+  in
+  for i = 0 to 9 do
+    ignore (Par.Service.try_submit svc i)
+  done;
+  Par.Service.wait_idle svc;
+  ignore (Par.Service.shutdown svc);
+  Alcotest.(check int) "all ran" 10 (Par.Service.completed svc);
+  Alcotest.(check int) "failures counted" 5 (Par.Service.failures svc)
+
+let test_service_workers_run_nested_sequential () =
+  (* a handler that calls into a [run] pool must execute its tasks
+     sequentially on the worker domain rather than spawning domains *)
+  let saw_extra_domain = Atomic.make false in
+  let svc =
+    Par.Service.start ~domains:1 ~capacity:4 (fun () ->
+        let self = Domain.self () in
+        let pool = Par.create ~domains:4 () in
+        Par.run pool
+          (List.init 4 (fun _ () ->
+               if Domain.self () <> self then Atomic.set saw_extra_domain true))
+        |> ignore)
+  in
+  ignore (Par.Service.try_submit svc ());
+  Par.Service.wait_idle svc;
+  ignore (Par.Service.shutdown svc);
+  Alcotest.(check bool) "nested run stayed on the worker" false
+    (Atomic.get saw_extra_domain)
+
 let suites =
   [
     ( "par",
@@ -178,5 +295,15 @@ let suites =
         Alcotest.test_case "lifted pool = sequential" `Quick
           test_lift_pool_equals_sequential;
         Alcotest.test_case "engine --domains wiring" `Quick test_engine_domains_config;
+        Alcotest.test_case "service completes everything" `Quick
+          test_service_completes_everything;
+        Alcotest.test_case "service backpressure at capacity" `Quick
+          test_service_backpressure;
+        Alcotest.test_case "service no-drain shutdown returns queue" `Quick
+          test_service_shutdown_drops;
+        Alcotest.test_case "service swallows handler failures" `Quick
+          test_service_swallows_failures;
+        Alcotest.test_case "service workers run nested pools sequentially" `Quick
+          test_service_workers_run_nested_sequential;
       ] );
   ]

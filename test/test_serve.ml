@@ -1,0 +1,501 @@
+(* The [probdb serve] suite: protocol conformance, concurrency
+   bit-identity against in-process evaluation, admission control,
+   overload shedding, and shutdown semantics — everything over a real
+   TCP loopback socket, on an ephemeral port per test.
+
+   The multi-client soak scales with PROBDB_SOAK=1 (what `make
+   check-serve` sets): 8 clients x 1000 requests instead of the quick
+   8 x 50. *)
+
+module Serve = Probdb_serve.Serve
+module Client = Probdb_serve.Client
+module Protocol = Probdb_serve.Protocol
+module Json = Probdb_obs.Json
+module E = Probdb_engine.Engine
+module Answer = Probdb_engine.Answer
+module L = Probdb_logic
+module Gen = Probdb_workload.Gen
+module Err = Probdb_core.Probdb_error
+
+let small_db () =
+  Gen.random_tid ~seed:11 ~domain_size:6
+    [ Gen.spec ~density:0.5 "R" 1; Gen.spec ~density:0.3 "S" 2;
+      Gen.spec ~density:0.5 "T" 1 ]
+
+(* Big enough that grounded exact inference on the unsafe H0-shaped query
+   polls its guard many times — the deadline and degradation paths need
+   work to interrupt. *)
+let hard_db () =
+  Gen.random_tid ~seed:3 ~domain_size:26
+    [ Gen.spec ~density:0.85 "R" 1; Gen.spec ~density:0.8 "S" 2;
+      Gen.spec ~density:0.85 "T" 1 ]
+
+let h0 = "exists x y. R(x) && S(x,y) && T(y)"
+
+let queries =
+  [ "exists x y. R(x) && S(x,y)";
+    "exists x. R(x)";
+    h0;
+    "forall x y. R(x) || S(x,y)";
+    "exists x y. R(x) && S(x,y) && R(y)" ]
+
+let with_server ?config db f =
+  let config =
+    match config with
+    | Some c -> { c with Serve.port = 0 }
+    | None -> { Serve.default_config with Serve.port = 0 }
+  in
+  let server = Serve.start ~config db in
+  Fun.protect ~finally:(fun () -> Serve.stop server) (fun () ->
+      f server (Serve.port server))
+
+let get name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.failf "response missing %S in %s" name (Json.to_string j)
+
+let float_of name j =
+  match get name j with
+  | Json.Float f -> f
+  | Json.Int i -> float_of_int i
+  | _ -> Alcotest.failf "%S is not a number" name
+
+let bool_of name j =
+  match get name j with
+  | Json.Bool b -> b
+  | _ -> Alcotest.failf "%S is not a boolean" name
+
+(* ---------- protocol conformance ---------- *)
+
+let test_protocol_ops () =
+  with_server (small_db ()) @@ fun _server port ->
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  Alcotest.(check bool) "ping" true (Client.ping c);
+  (* stats has the documented serve-block fields *)
+  let stats = Client.result (Client.call c [ ("op", Json.Str "stats") ]) in
+  List.iter
+    (fun k -> ignore (get k stats))
+    [ "uptime_s"; "workers"; "queue_capacity"; "queue_depth"; "degrade_above";
+      "in_flight"; "connections_accepted"; "connections_active"; "requests";
+      "eval_ok"; "eval_error"; "shed"; "degraded_under_load"; "worker_failures" ];
+  (* metrics is the process-wide registry document *)
+  let metrics = Client.result (Client.call c [ ("op", Json.Str "metrics") ]) in
+  ignore (get "counters" metrics);
+  ignore (get "gauges" metrics);
+  ignore (get "histograms" metrics);
+  (* trace returns a Chrome trace_event document *)
+  let trace =
+    Client.result (Client.call c [ ("op", Json.Str "trace"); ("ms", Json.Int 10) ])
+  in
+  ignore (get "traceEvents" trace);
+  (* id round-trips verbatim, including non-integer ids *)
+  let resp =
+    Client.call c [ ("id", Json.Str "abc"); ("op", Json.Str "ping") ]
+  in
+  (match get "id" resp with
+  | Json.Str "abc" -> ()
+  | j -> Alcotest.failf "id not echoed: %s" (Json.to_string j))
+
+let expect_error ~cls ~code resp =
+  Alcotest.(check bool) "ok=false" false (Client.ok resp);
+  let err = get "error" resp in
+  (match get "class" err with
+  | Json.Str c -> Alcotest.(check string) "error class" cls c
+  | _ -> Alcotest.fail "error class not a string");
+  match get "code" err with
+  | Json.Int c -> Alcotest.(check int) "error code" code c
+  | _ -> Alcotest.fail "error code not an int"
+
+let test_malformed_requests () =
+  with_server (small_db ()) @@ fun _server port ->
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let roundtrip line =
+    Client.send_line c line;
+    match Json.of_string (Client.recv_line c) with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "response not JSON: %s" m
+  in
+  (* not JSON at all *)
+  expect_error ~cls:"bad-request" ~code:10 (roundtrip "this is not json");
+  (* JSON but not an object *)
+  expect_error ~cls:"bad-request" ~code:10 (roundtrip "[1,2,3]");
+  (* missing op defaults to eval, which then lacks its query — and the
+     error still echoes the request id so pipelined clients can match it *)
+  let missing = roundtrip {|{"id":17}|} in
+  expect_error ~cls:"bad-request" ~code:10 missing;
+  (match Json.member "id" missing with
+  | Some (Json.Int 17) -> ()
+  | other ->
+      Alcotest.failf "parse error lost the id: %s"
+        (match other with Some j -> Json.to_string j | None -> "absent"));
+  (* ...and a well-formed op-less request really is an eval *)
+  (match Json.member "ok" (roundtrip {|{"id":18,"query":"exists x. R(x)"}|}) with
+  | Some (Json.Bool true) -> ()
+  | _ -> Alcotest.fail "op-less eval request did not succeed");
+  (* unknown op *)
+  expect_error ~cls:"bad-request" ~code:10 (roundtrip {|{"op":"frobnicate"}|});
+  (* eval without query *)
+  expect_error ~cls:"bad-request" ~code:10 (roundtrip {|{"op":"eval"}|});
+  (* wrong field type *)
+  expect_error ~cls:"bad-request" ~code:10
+    (roundtrip {|{"op":"eval","query":42}|});
+  (* unknown method: recognised at evaluation, still typed *)
+  expect_error ~cls:"bad-request" ~code:10
+    (Client.eval c ~fields:[ ("method", Json.Str "quantum") ] "exists x. R(x)");
+  (* a query that does not parse: the typed parse error, code 4 *)
+  expect_error ~cls:"parse" ~code:4 (Client.eval c "exists x. R(x");
+  (* the connection survived all of the above *)
+  Alcotest.(check bool) "still serving" true (Client.ping c)
+
+(* ---------- bit-identity against in-process evaluation ---------- *)
+
+let local_value db q =
+  match
+    E.eval ~config:E.default_config db (L.Parser.parse_sentence q)
+  with
+  | Ok a -> a.Answer.value
+  | Error e -> Alcotest.failf "local eval failed: %s" (Err.render e)
+
+let test_eval_matches_local () =
+  let db = small_db () in
+  let expected = List.map (fun q -> (q, local_value db q)) queries in
+  with_server db @@ fun _server port ->
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  List.iter
+    (fun (q, want) ->
+      let resp = Client.eval c q in
+      Alcotest.(check bool) ("ok for " ^ q) true (Client.ok resp);
+      let got = float_of "value" (Client.result resp) in
+      if got <> want then
+        Alcotest.failf "%s: served %.17g <> local %.17g" q got want)
+    expected
+
+let test_concurrent_clients_bit_identical () =
+  let db = small_db () in
+  let expected = List.map (fun q -> (q, local_value db q)) queries in
+  let soak = Sys.getenv_opt "PROBDB_SOAK" = Some "1" in
+  let clients = 8 and rounds = if soak then 200 else 10 in
+  (* 8 clients x rounds x 5 queries: 8000 requests in soak mode *)
+  with_server db @@ fun server port ->
+  let failures = Atomic.make 0 in
+  let answered = Atomic.make 0 in
+  let client_loop _i =
+    let c = Client.connect port in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    for _ = 1 to rounds do
+      List.iter
+        (fun (q, want) ->
+          let resp = Client.eval c q in
+          let got = float_of "value" (Client.result resp) in
+          Atomic.incr answered;
+          if not (Client.ok resp) || got <> want then Atomic.incr failures)
+        expected
+    done
+  in
+  let threads = List.init clients (fun i -> Thread.create client_loop i) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no mismatched answers" 0 (Atomic.get failures);
+  Alcotest.(check int) "every request answered"
+    (clients * rounds * List.length expected)
+    (Atomic.get answered);
+  (* zero dropped connections: the servers saw exactly [clients] + none shed *)
+  let stats = Serve.stats_json server in
+  (match Json.member "shed" stats with
+  | Some (Json.Int 0) -> ()
+  | j ->
+      Alcotest.failf "unexpected shedding under default capacity: %s"
+        (match j with Some j -> Json.to_string j | None -> "missing"))
+
+let test_pipelined_requests () =
+  (* many requests written before any response is read; per-connection
+     answers come back for every id exactly once *)
+  with_server (small_db ()) @@ fun _server port ->
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let n = 20 in
+  for i = 0 to n - 1 do
+    Client.send_line c
+      (Json.to_string
+         (Json.Obj
+            [ ("id", Json.Int i); ("op", Json.Str "eval");
+              ("query", Json.Str "exists x. R(x)") ]))
+  done;
+  let seen = Hashtbl.create n in
+  for _ = 1 to n do
+    match Json.of_string (Client.recv_line c) with
+    | Ok resp -> (
+        Alcotest.(check bool) "ok" true (Client.ok resp);
+        match get "id" resp with
+        | Json.Int i -> Hashtbl.replace seen i ()
+        | _ -> Alcotest.fail "non-integer id echoed")
+    | Error m -> Alcotest.failf "bad response: %s" m
+  done;
+  Alcotest.(check int) "every id answered once" n (Hashtbl.length seen)
+
+(* ---------- deadlines, degradation, overload ---------- *)
+
+let test_deadline_degrades () =
+  (* a 1 ms deadline on an unsafe query over the hard database: exact
+     inference cannot finish, the guard trips, the answer is the certified
+     (eps,delta) fallback *)
+  with_server (hard_db ()) @@ fun _server port ->
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let resp = Client.eval c ~fields:[ ("deadline_ms", Json.Int 1) ] h0 in
+  Alcotest.(check bool) "ok (degraded, not dropped)" true (Client.ok resp);
+  let r = Client.result resp in
+  Alcotest.(check bool) "degraded" true (bool_of "degraded" r);
+  let conf = get "confidence" r in
+  let lo = float_of "ci_low" conf and hi = float_of "ci_high" conf in
+  let v = float_of "value" r in
+  Alcotest.(check bool) "value inside its own CI" true (lo <= v && v <= hi)
+
+let test_deadline_no_degrade_fails_typed () =
+  with_server (hard_db ()) @@ fun _server port ->
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let resp =
+    Client.eval c
+      ~fields:[ ("deadline_ms", Json.Int 1); ("no_degrade", Json.Bool true) ]
+      h0
+  in
+  (* exhausted (7): a guard tripped and no fallback was allowed *)
+  expect_error ~cls:"exhausted" ~code:7 resp
+
+let test_overload_sheds_typed () =
+  (* one worker wedged on slow sampling work, capacity 1, no degradation
+     watermark: the pipelined burst must shed with the typed overloaded
+     error and never queue unboundedly *)
+  let config =
+    { Serve.default_config with
+      Serve.workers = 1;
+      queue_capacity = 1;
+      degrade_above = 0 }
+  in
+  with_server ~config (hard_db ()) @@ fun _server port ->
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let n = 8 in
+  for i = 0 to n - 1 do
+    Client.send_line c
+      (Json.to_string
+         (Json.Obj
+            [ ("id", Json.Int i); ("op", Json.Str "eval");
+              ("query", Json.Str h0);
+              ("method", Json.Str "karp-luby");
+              ("samples", Json.Int 2_000_000) ]))
+  done;
+  let ok = ref 0 and shed = ref 0 and other = ref 0 in
+  for _ = 1 to n do
+    match Json.of_string (Client.recv_line c) with
+    | Ok resp ->
+        if Client.ok resp then incr ok
+        else if Client.error_class resp = Some "overloaded" then begin
+          incr shed;
+          let err = get "error" resp in
+          ignore (get "depth" err);
+          ignore (get "capacity" err);
+          match get "code" err with
+          | Json.Int 8 -> ()
+          | _ -> Alcotest.fail "overloaded code <> 8"
+        end
+        else incr other
+    | Error m -> Alcotest.failf "bad response: %s" m
+  done;
+  Alcotest.(check int) "every request answered" n (!ok + !shed + !other);
+  Alcotest.(check int) "no untyped failures" 0 !other;
+  Alcotest.(check bool) "some requests shed" true (!shed > 0);
+  Alcotest.(check bool) "some requests served" true (!ok > 0)
+
+let test_degrades_under_load () =
+  (* watermark 1 with a wedged worker: later admissions in the burst are
+     answered with the certified approximation instead of queued exact
+     work, and the stats counter records it *)
+  let config =
+    { Serve.default_config with
+      Serve.workers = 1;
+      queue_capacity = 16;
+      degrade_above = 1 }
+  in
+  with_server ~config (hard_db ()) @@ fun server port ->
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let n = 6 in
+  for i = 0 to n - 1 do
+    Client.send_line c
+      (Json.to_string
+         (Json.Obj
+            [ ("id", Json.Int i); ("op", Json.Str "eval");
+              ("query", Json.Str h0);
+              (* even the degraded answers stay bounded *)
+              ("samples", Json.Int 4_000);
+              ("deadline_ms", Json.Int 300) ]))
+  done;
+  let degraded_under_load = ref 0 in
+  for _ = 1 to n do
+    match Json.of_string (Client.recv_line c) with
+    | Ok resp when Client.ok resp ->
+        if bool_of "degraded_under_load" (Client.result resp) then
+          incr degraded_under_load
+    | Ok _ -> () (* typed errors acceptable under a deadline *)
+    | Error m -> Alcotest.failf "bad response: %s" m
+  done;
+  Alcotest.(check bool) "burst tail degraded under load" true
+    (!degraded_under_load > 0);
+  match Json.member "degraded_under_load" (Serve.stats_json server) with
+  | Some (Json.Int k) ->
+      Alcotest.(check bool) "stats counter advanced" true (k > 0)
+  | _ -> Alcotest.fail "stats missing degraded_under_load"
+
+(* ---------- shutdown ---------- *)
+
+let test_shutdown_drains_in_flight () =
+  (* a slow request is in flight when the shutdown lands on another
+     connection; its answer must still arrive before the socket closes *)
+  with_server (hard_db ()) @@ fun server port ->
+  let c = Client.connect port in
+  let slow_resp = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        slow_resp :=
+          Some
+            (Client.eval c
+               ~fields:
+                 [ ("method", Json.Str "karp-luby");
+                   ("samples", Json.Int 500_000) ]
+               h0))
+      ()
+  in
+  (* let the slow request reach a worker *)
+  Thread.delay 0.15;
+  let admin = Client.connect port in
+  let resp = Client.call admin [ ("op", Json.Str "shutdown") ] in
+  Alcotest.(check bool) "shutdown acknowledged" true (Client.ok resp);
+  Thread.join th;
+  Client.close c;
+  Client.close admin;
+  Serve.wait server;
+  (match !slow_resp with
+  | Some r -> Alcotest.(check bool) "in-flight answer delivered" true (Client.ok r)
+  | None -> Alcotest.fail "in-flight request lost");
+  (* new connections are refused once stopped *)
+  match Client.connect port with
+  | c2 ->
+      (* accept backlog may race the close; a read must at least fail *)
+      (match Client.ping c2 with
+      | true -> Alcotest.fail "server still serving after shutdown"
+      | false -> ()
+      | exception (End_of_file | Sys_error _ | Failure _) -> ());
+      Client.close c2
+  | exception Unix.Unix_error _ -> ()
+
+let test_stop_now_cancels () =
+  (* stop `Now while slow exact work is in flight: the server guard's
+     cancellation reaches the evaluation, which answers typed (cancelled
+     -> exhausted) or degraded — and stop returns promptly either way *)
+  with_server (hard_db ()) @@ fun server port ->
+  let c = Client.connect port in
+  let got = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        got :=
+          Some
+            (try
+               `Resp
+                 (Client.eval c
+                    ~fields:[ ("no_degrade", Json.Bool true) ]
+                    h0)
+             with End_of_file | Sys_error _ | Failure _ -> `Closed))
+      ()
+  in
+  Thread.delay 0.2;
+  let t0 = Unix.gettimeofday () in
+  Serve.stop ~mode:`Now server;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "stop `Now returns promptly" true (elapsed < 5.0);
+  Thread.join th;
+  Client.close c;
+  match !got with
+  | Some (`Resp r) ->
+      (* the in-flight request was interrupted: typed error, never a hang *)
+      if Client.ok r then ()
+      else
+        Alcotest.(check bool) "typed interruption" true
+          (match Client.error_class r with
+          | Some ("exhausted" | "shutting-down" | "internal") -> true
+          | _ -> false)
+  | Some `Closed | None -> ()
+
+let test_queued_get_shutting_down_on_stop_now () =
+  (* queued-but-not-started requests are failed out with the typed
+     shutting-down error when the queue is cleared *)
+  let config =
+    { Serve.default_config with
+      Serve.workers = 1;
+      queue_capacity = 8;
+      degrade_above = 0 }
+  in
+  with_server ~config (hard_db ()) @@ fun server port ->
+  let c = Client.connect port in
+  for i = 0 to 3 do
+    Client.send_line c
+      (Json.to_string
+         (Json.Obj
+            [ ("id", Json.Int i); ("op", Json.Str "eval");
+              ("query", Json.Str h0);
+              ("method", Json.Str "karp-luby");
+              ("samples", Json.Int 2_000_000) ]))
+  done;
+  Thread.delay 0.2;
+  let stopper = Thread.create (fun () -> Serve.stop ~mode:`Now server) () in
+  let classes = ref [] in
+  (try
+     for _ = 1 to 4 do
+       match Json.of_string (Client.recv_line c) with
+       | Ok resp ->
+           classes :=
+             (if Client.ok resp then "ok"
+              else Option.value ~default:"?" (Client.error_class resp))
+             :: !classes
+       | Error _ -> ()
+     done
+   with End_of_file | Sys_error _ -> ());
+  Thread.join stopper;
+  Client.close c;
+  Alcotest.(check bool) "queued requests answered shutting-down" true
+    (List.mem "shutting-down" !classes)
+
+let suites =
+  [
+    ( "serve",
+      [
+        Alcotest.test_case "protocol control ops" `Quick test_protocol_ops;
+        Alcotest.test_case "malformed requests answered typed" `Quick
+          test_malformed_requests;
+        Alcotest.test_case "served values = in-process values" `Quick
+          test_eval_matches_local;
+        Alcotest.test_case "concurrent clients bit-identical" `Slow
+          test_concurrent_clients_bit_identical;
+        Alcotest.test_case "pipelined requests all answered" `Quick
+          test_pipelined_requests;
+        Alcotest.test_case "deadline expiry degrades with CI" `Quick
+          test_deadline_degrades;
+        Alcotest.test_case "deadline + no_degrade fails typed" `Quick
+          test_deadline_no_degrade_fails_typed;
+        Alcotest.test_case "overload sheds with typed error" `Slow
+          test_overload_sheds_typed;
+        Alcotest.test_case "backpressure degrades under load" `Slow
+          test_degrades_under_load;
+        Alcotest.test_case "shutdown drains in-flight work" `Slow
+          test_shutdown_drains_in_flight;
+        Alcotest.test_case "stop now cancels in-flight work" `Slow
+          test_stop_now_cancels;
+        Alcotest.test_case "stop now fails queued typed" `Slow
+          test_queued_get_shutting_down_on_stop_now;
+      ] );
+  ]
