@@ -26,8 +26,11 @@ let connect ?(host = "127.0.0.1") port =
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    close_in_noerr t.ic;
-    close_out_noerr t.oc
+    (* both channels wrap [t.fd]: flush, then close the descriptor exactly
+       once — closing each channel would close the fd twice, and the second
+       close can hit a descriptor number already reused by another thread *)
+    (try flush t.oc with Sys_error _ -> ());
+    (try Unix.close t.fd with Unix.Unix_error _ -> ())
   end
 
 let send_line t line =

@@ -99,6 +99,19 @@ let str_list_field name j =
         items
   | Some _ -> bad "field %S must be a list of strings" name
 
+(* [deadline_ms]/[samples] flow into guard and sampler invariants; reject
+   non-positive values here as [bad-request] rather than letting them
+   surface as an internal engine error. *)
+let pos_int_field name j =
+  match int_field name j with
+  | Some v when v < 1 -> bad "field %S must be a positive integer" name
+  | v -> v
+
+let pos_float_field name j =
+  match float_field name j with
+  | Some v when not (v > 0.0) -> bad "field %S must be a positive number" name
+  | v -> v
+
 let parse_eval j =
   let query =
     match str_field "query" j with
@@ -110,10 +123,10 @@ let parse_eval j =
       query;
       free = str_list_field "free" j;
       meth = str_field "method" j;
-      deadline_ms = int_field "deadline_ms" j;
-      samples = int_field "samples" j;
-      eps = float_field "eps" j;
-      delta = float_field "delta" j;
+      deadline_ms = pos_int_field "deadline_ms" j;
+      samples = pos_int_field "samples" j;
+      eps = pos_float_field "eps" j;
+      delta = pos_float_field "delta" j;
       seed = int_field "seed" j;
       no_degrade = bool_field ~default:false "no_degrade" j;
       want_stats = bool_field ~default:false "stats" j;

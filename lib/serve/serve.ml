@@ -133,8 +133,12 @@ let close_conn t conn =
   in
   if mine then begin
     (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-    close_in_noerr conn.ic;
-    close_out_noerr conn.oc;
+    (* both channels wrap the same descriptor: flush, then close it
+       exactly once — closing through each channel in turn would close
+       the fd twice, and between the two closes the accept loop can
+       reuse the descriptor number for a fresh connection *)
+    (try flush conn.oc with Sys_error _ -> ());
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     with_lock t.conns_lock (fun () -> Hashtbl.remove t.conns conn.cid)
   end
 
@@ -183,7 +187,12 @@ let config_of_request t ~(remaining_s : float option)
       (* engine work must stay inside this worker domain *)
       domains = 1 }
   in
-  if degrade_load then E.force_degrade config else config
+  (* [no_degrade] requests are exempt from backpressure degradation
+     (admission never marks them, but guard here too: [force_degrade]
+     would reinstall the default accuracy targets over [degrade = None]
+     and silently break the exactness contract) *)
+  if degrade_load && not r.Protocol.no_degrade then E.force_degrade config
+  else config
 
 let confidence_json (c : Answer.confidence) =
   Json.Obj
@@ -371,9 +380,15 @@ let capture_trace t ~ms =
 let submit_eval t conn ~id (r : Protocol.eval_request) =
   (* Backpressure verdict at admission: past the watermark the request is
      still served, but with [force_degrade] — a bounded-cost certified
-     (ε,δ) answer instead of queued exact work. *)
+     (ε,δ) answer instead of queued exact work. A request that demanded
+     exactness with [no_degrade] is exempt (docs/SERVING.md): it keeps
+     its exact evaluation and is not counted as degraded-under-load. *)
   let depth_now = Par.Service.depth t.service in
-  let degrade_load = t.cfg.degrade_above > 0 && depth_now >= t.cfg.degrade_above in
+  let degrade_load =
+    t.cfg.degrade_above > 0
+    && depth_now >= t.cfg.degrade_above
+    && not r.Protocol.no_degrade
+  in
   pending_incr conn;
   let job =
     {
@@ -445,14 +460,25 @@ and reader t conn =
   let rec loop () =
     match input_line conn.ic with
     | line ->
-        if String.trim line <> "" then handle_request t conn line;
+        (if String.trim line <> "" then
+           try handle_request t conn line
+           with exn ->
+             (* a request that blew past every typed channel (e.g.
+                Stack_overflow on pathological input) must not kill the
+                reader: answer [internal] and keep reading *)
+             send conn
+               (Protocol.response_error ~id:Json.Null
+                  (Protocol.Internal (Printexc.to_string exn))));
         loop ()
     | exception (End_of_file | Sys_error _) -> ()
   in
-  loop ();
-  (* let in-flight responses for this connection flush before closing *)
-  pending_wait conn;
-  close_conn t conn
+  (* the connection is unregistered and its fd closed no matter how the
+     loop ends; in-flight responses flush first *)
+  Fun.protect
+    ~finally:(fun () ->
+      pending_wait conn;
+      close_conn t conn)
+    loop
 
 and accept_loop t =
   match Unix.accept t.listen_fd with

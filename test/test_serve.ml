@@ -144,6 +144,14 @@ let test_malformed_requests () =
   (* unknown method: recognised at evaluation, still typed *)
   expect_error ~cls:"bad-request" ~code:10
     (Client.eval c ~fields:[ ("method", Json.Str "quantum") ] "exists x. R(x)");
+  (* out-of-range numeric fields: bad-request, not an internal engine
+     error surfacing from a guard or sampler invariant *)
+  expect_error ~cls:"bad-request" ~code:10
+    (Client.eval c ~fields:[ ("samples", Json.Int 0) ] "exists x. R(x)");
+  expect_error ~cls:"bad-request" ~code:10
+    (Client.eval c ~fields:[ ("deadline_ms", Json.Int (-5)) ] "exists x. R(x)");
+  expect_error ~cls:"bad-request" ~code:10
+    (Client.eval c ~fields:[ ("eps", Json.Float 0.0) ] "exists x. R(x)");
   (* a query that does not parse: the typed parse error, code 4 *)
   expect_error ~cls:"parse" ~code:4 (Client.eval c "exists x. R(x");
   (* the connection survived all of the above *)
@@ -350,6 +358,67 @@ let test_degrades_under_load () =
       Alcotest.(check bool) "stats counter advanced" true (k > 0)
   | _ -> Alcotest.fail "stats missing degraded_under_load"
 
+let test_no_degrade_exempt_under_load () =
+  (* past the degradation watermark, a request carrying [no_degrade]
+     keeps its exact evaluation and is not counted as degraded-under-load:
+     force-degrading it would silently break the exactness contract
+     (docs/SERVING.md "Overload semantics") *)
+  let config =
+    { Serve.default_config with
+      Serve.workers = 1;
+      queue_capacity = 16;
+      degrade_above = 1 }
+  in
+  let db = hard_db () in
+  let cheap = "exists x. R(x)" in
+  let want = local_value db cheap in
+  with_server ~config db @@ fun server port ->
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* two slow sampling jobs (no_degrade so they never touch the counter):
+     one wedges the single worker, the other holds the queue depth at the
+     watermark while the exact requests behind it are admitted *)
+  for i = 0 to 1 do
+    Client.send_line c
+      (Json.to_string
+         (Json.Obj
+            [ ("id", Json.Int i); ("op", Json.Str "eval");
+              ("query", Json.Str h0);
+              ("method", Json.Str "karp-luby");
+              ("no_degrade", Json.Bool true);
+              ("samples", Json.Int 400_000) ]))
+  done;
+  let n = 3 in
+  for i = 2 to 1 + n do
+    Client.send_line c
+      (Json.to_string
+         (Json.Obj
+            [ ("id", Json.Int i); ("op", Json.Str "eval");
+              ("query", Json.Str cheap);
+              ("no_degrade", Json.Bool true) ]))
+  done;
+  for _ = 1 to 2 + n do
+    match Json.of_string (Client.recv_line c) with
+    | Error m -> Alcotest.failf "bad response: %s" m
+    | Ok resp -> (
+        Alcotest.(check bool) "ok" true (Client.ok resp);
+        match get "id" resp with
+        | Json.Int i when i >= 2 ->
+            let r = Client.result resp in
+            Alcotest.(check bool) "exact despite load" true (bool_of "exact" r);
+            Alcotest.(check bool) "not flagged degraded_under_load" false
+              (bool_of "degraded_under_load" r);
+            let got = float_of "value" r in
+            if got <> want then
+              Alcotest.failf "no_degrade served %.17g <> exact %.17g" got want
+        | _ -> ())
+  done;
+  match Json.member "degraded_under_load" (Serve.stats_json server) with
+  | Some (Json.Int 0) -> ()
+  | j ->
+      Alcotest.failf "no_degrade requests counted as degraded: %s"
+        (match j with Some j -> Json.to_string j | None -> "missing")
+
 (* ---------- shutdown ---------- *)
 
 let test_shutdown_drains_in_flight () =
@@ -491,6 +560,8 @@ let suites =
           test_overload_sheds_typed;
         Alcotest.test_case "backpressure degrades under load" `Slow
           test_degrades_under_load;
+        Alcotest.test_case "no_degrade exempt from load degradation" `Slow
+          test_no_degrade_exempt_under_load;
         Alcotest.test_case "shutdown drains in-flight work" `Slow
           test_shutdown_drains_in_flight;
         Alcotest.test_case "stop now cancels in-flight work" `Slow
