@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke bench-compare docs check check-budget check-wmc check-trace check-serve
+.PHONY: all build test bench bench-smoke bench-compare docs check check-budget check-wmc check-trace check-serve check-chaos
 
 all: build
 
@@ -58,7 +58,12 @@ bench-smoke: build
 			{ echo "bench-smoke: BENCH_wmc.json missing $$key"; \
 			  cat BENCH_wmc.json; exit 1; }; \
 	done; \
-	echo "bench-smoke: BENCH_wmc.json schema + bit-identity flag — OK"
+	echo "bench-smoke: BENCH_wmc.json schema + bit-identity flag — OK"; \
+	timeout 300 env PROBDB_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- e18 \
+		>/dev/null || { echo "bench-smoke: e18 failed or hung (exit $$?)"; exit 1; }; \
+	dune exec --no-build bench/compare.exe -- --validate-chaos BENCH_chaos.json || \
+		{ echo "bench-smoke: BENCH_chaos.json failed schema validation"; exit 1; }; \
+	echo "bench-smoke: BENCH_chaos.json schema + soak invariants — OK"
 
 # The grounded-WMC equivalence suite on its own: the clause-database
 # counter against brute force and the tree DPLL reference across the
@@ -98,6 +103,28 @@ check-serve: build
 		{ echo "check-serve: BENCH_serve.json failed schema validation"; exit 1; }; \
 	echo "check-serve: soak suite + load-gen schema + all requests answered — OK"
 
+# The chaos-engineering suite: the deterministic fault-injection tests
+# (seeded schedules, the self-healing worker pool, the resilient client),
+# then the E18 chaos soak at smoke sizes — BENCH_chaos.json must pass the
+# schema validator, which also asserts the robustness contract: every
+# request accounted for, faults injected at >= 5 sites, the server alive
+# at the end, and chaos-disabled answers bit-identical to the control.
+# PROBDB_SOAK=1 turns the smoke soak into the long one (25k requests per
+# fault-rate level) — same invariants, hours of wall-clock headroom.
+check-chaos: build
+	@timeout 300 dune exec --no-build test/main.exe -- test chaos || \
+		{ echo "check-chaos: chaos suite failed (exit $$?)"; exit 1; }; \
+	if [ -n "$$PROBDB_SOAK" ]; then \
+		timeout 3600 env PROBDB_SOAK=1 dune exec --no-build bench/main.exe -- e18 \
+			>/dev/null || { echo "check-chaos: e18 soak failed or hung (exit $$?)"; exit 1; }; \
+	else \
+		timeout 300 env PROBDB_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- e18 \
+			>/dev/null || { echo "check-chaos: e18 failed or hung (exit $$?)"; exit 1; }; \
+	fi; \
+	dune exec --no-build bench/compare.exe -- --validate-chaos BENCH_chaos.json || \
+		{ echo "check-chaos: BENCH_chaos.json failed schema validation"; exit 1; }; \
+	echo "check-chaos: chaos suite + seeded soak + schema — OK"
+
 # The bench regression gate, self-tested both ways: two smoke runs of the
 # same experiment must pass the comparison (threshold 4x absorbs smoke-run
 # noise), and a synthetically regressed copy (timings x25) must fail it.
@@ -130,8 +157,9 @@ bench-compare: build
 
 # What CI runs: build, test suite, the budget and benchmark smoke tests,
 # the WMC equivalence suite, the observability suite, the serving soak,
-# and — when odoc is installed — the fatal-warnings documentation build.
-check: build test check-budget bench-smoke check-wmc check-trace check-serve
+# the chaos-engineering suite, and — when odoc is installed — the
+# fatal-warnings documentation build.
+check: build test check-budget bench-smoke check-wmc check-trace check-serve check-chaos
 	@if command -v odoc >/dev/null 2>&1; then \
 		dune build @check-docs; \
 	else \

@@ -210,6 +210,79 @@ let validate_serve path =
     0
   with Exit -> 1
 
+(* ---------- validate-chaos ---------- *)
+
+(* Schema and invariant check for BENCH_chaos.json (the E18 chaos-soak
+   output) — run by `make check-chaos`. Beyond shape, it asserts the
+   robustness contract the soak measures: every request accounted for,
+   the server alive at the end, faults actually injected at every
+   non-zero rate and across at least 5 distinct sites, and the
+   chaos-disabled control answers bit-identical. *)
+let validate_chaos path =
+  let fail fmt =
+    Printf.ksprintf (fun s -> Printf.printf "INVALID %s: %s\n" path s; raise Exit) fmt
+  in
+  try
+    let doc = read_json path in
+    let fields = match doc with Json.Obj f -> f | _ -> fail "top level is not an object" in
+    let get k = match List.assoc_opt k fields with Some v -> v | None -> fail "missing field %S" k in
+    (match get "experiment" with
+    | Json.Str "chaos" -> ()
+    | _ -> fail "experiment is not \"chaos\"");
+    let bool_true k =
+      match get k with
+      | Json.Bool true -> ()
+      | Json.Bool false -> fail "%s is false" k
+      | _ -> fail "%s is not a boolean" k
+    in
+    let num_field obj k =
+      match obj with
+      | Json.Obj f -> (
+          match Option.bind (List.assoc_opt k f) number with
+          | Some v -> v
+          | None -> fail "level missing numeric field %S" k)
+      | _ -> fail "level is not an object"
+    in
+    let levels = match get "levels" with
+      | Json.List (_ :: _ as ls) -> ls
+      | Json.List [] -> fail "empty levels"
+      | _ -> fail "levels is not a list"
+    in
+    List.iter
+      (fun l ->
+        List.iter
+          (fun k -> ignore (num_field l k))
+          [ "rate"; "requests"; "ok"; "typed_errors"; "gave_up"; "degraded";
+            "retries"; "injections"; "worker_restarts"; "availability";
+            "recovery_s"; "wall_s" ];
+        let v k = num_field l k in
+        if v "rate" < 0.0 || v "rate" > 1.0 then fail "rate outside [0,1]";
+        if v "availability" < 0.0 || v "availability" > 1.0 then
+          fail "availability outside [0,1]";
+        if v "ok" +. v "typed_errors" +. v "gave_up" <> v "requests" then
+          fail "level at rate %g: ok + typed + gave_up <> requests" (v "rate");
+        if v "rate" > 0.0 && v "injections" <= 0.0 then
+          fail "no injections at non-zero rate %g" (v "rate");
+        if v "rate" = 0.0 && v "injections" > 0.0 then
+          fail "injections at rate 0")
+      levels;
+    let sites = match get "injections_per_site" with
+      | Json.Obj site_fields ->
+          List.filter
+            (fun (_, v) -> match number v with Some n -> n > 0.0 | None -> false)
+            site_fields
+      | _ -> fail "injections_per_site is not an object"
+    in
+    if List.length sites < 5 then
+      fail "only %d site(s) injected faults; need >= 5" (List.length sites);
+    bool_true "all_accounted";
+    bool_true "server_survived";
+    bool_true "bit_identical_after_disarm";
+    Printf.printf "OK %s: %d level(s), %d site(s) injected, all accounted, server survived\n"
+      path (List.length levels) (List.length sites);
+    0
+  with Exit -> 1
+
 (* ---------- entry ---------- *)
 
 let usage () =
@@ -217,7 +290,8 @@ let usage () =
     "usage: compare OLD.json NEW.json [--threshold R] [--min-s S]\n\
     \       compare --degrade FACTOR IN.json OUT.json\n\
     \       compare --validate-trace FILE.json\n\
-    \       compare --validate-serve FILE.json";
+    \       compare --validate-serve FILE.json\n\
+    \       compare --validate-chaos FILE.json";
   2
 
 let () =
@@ -225,6 +299,7 @@ let () =
     match List.tl (Array.to_list Sys.argv) with
     | [ "--validate-trace"; path ] -> validate_trace path
     | [ "--validate-serve"; path ] -> validate_serve path
+    | [ "--validate-chaos"; path ] -> validate_chaos path
     | [ "--degrade"; factor; in_path; out_path ] -> (
         match float_of_string_opt factor with
         | Some f -> degrade_file f in_path out_path

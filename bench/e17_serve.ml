@@ -76,7 +76,7 @@ let run_client ~port ~until ~queries tally =
           (match Client.error_class resp with
           | Some "overloaded" -> tally.shed <- tally.shed + 1
           | _ -> tally.errors <- tally.errors + 1)
-    | exception (End_of_file | Sys_error _ | Failure _) ->
+    | exception (End_of_file | Sys_error _ | Failure _ | Client.Connection_closed) ->
         tally.errors <- tally.errors + 1)
   done
 

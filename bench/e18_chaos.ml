@@ -1,0 +1,275 @@
+(* E18 — chaos soak: the serving stack under a seeded deterministic fault
+   schedule (EXPERIMENTS.md E18, docs/SERVING.md "Chaos replay").
+
+   An in-process `probdb serve` instance is driven by resilient clients
+   ([Client.Resilient]: per-attempt timeouts, jittered retries, circuit
+   breaker) while [Probdb_chaos.Chaos] injects faults at every armed site
+   — accept-loop errnos, connection resets on read and write, short
+   writes, worker crashes, worker stalls, guard trips — at rates swept
+   from 0 (control) to 10%.
+
+   The robustness contract measured here:
+   - every request is accounted for: a correct answer, a typed error, or
+     a typed client give-up — never a hang, never an unexplained drop;
+   - the server survives every level (final liveness probe succeeds) and
+     self-heals: crashed/stalled workers are respawned (restart counts
+     come from the server's own stats);
+   - availability degrades gracefully with the fault rate rather than
+     cliffing, and with chaos disarmed answers are bit-identical to the
+     control run (the chaos hooks are free when off).
+
+   Sizing: ~10k requests across the sweep by default; PROBDB_BENCH_SMOKE=1
+   shrinks it to a schema check for BENCH_chaos.json; PROBDB_SOAK=1 grows
+   it into a long soak. *)
+
+module Chaos = Probdb_chaos.Chaos
+module Serve = Probdb_serve.Serve
+module Client = Probdb_serve.Client
+module Resilient = Probdb_serve.Client.Resilient
+module Metrics = Probdb_obs.Metrics
+module Json = Probdb_obs.Json
+module Gen = Probdb_workload.Gen
+
+let smoke = Sys.getenv_opt "PROBDB_BENCH_SMOKE" <> None
+let soak = Sys.getenv_opt "PROBDB_SOAK" <> None
+
+let chaos_seed = 42
+let rates = [ 0.0; 0.01; 0.05; 0.10 ]
+
+(* requests per sweep level; the default sweep totals ~10k *)
+let requests_per_level = if smoke then 60 else if soak then 25_000 else 2_500
+let clients_per_level = if smoke then 2 else 4
+
+let sites =
+  [ "serve.accept"; "serve.read"; "serve.write.reset"; "serve.write.short";
+    "par.worker.crash"; "par.worker.stall"; "guard.poll" ]
+
+let site_count site = Metrics.counter_value (Metrics.counter ("chaos." ^ site))
+
+let queries =
+  [| "exists x y. R(x) && S(x,y)";
+     "exists x. R(x)";
+     "exists x y. R(x) && S(x,y) && T(y)";
+     "forall x y. R(x) || S(x,y)" |]
+
+let make_db () =
+  let domain_size = if smoke then 6 else 9 in
+  Gen.random_tid ~seed:18 ~domain_size
+    [ Gen.spec ~density:0.5 "R" 1; Gen.spec ~density:0.35 "S" 2;
+      Gen.spec ~density:0.5 "T" 1 ]
+
+type tally = {
+  mutable ok : int;
+  mutable typed_errors : int;
+  mutable gave_up : int;
+  mutable degraded_load : int;
+  mutable retries : int;
+}
+
+let client_policy k =
+  { Resilient.attempt_timeout_s = 2.0;
+    max_attempts = 4;
+    base_backoff_s = 0.002;
+    max_backoff_s = 0.05;
+    retry_budget_s = 0.5;
+    breaker_threshold = 10;
+    breaker_cooldown_s = 0.05;
+    seed = 1000 + k }
+
+let run_client ~port ~k ~n tally =
+  let c = Resilient.create ~policy:(client_policy k) port in
+  Fun.protect ~finally:(fun () -> Resilient.close c) @@ fun () ->
+  for i = 0 to n - 1 do
+    let q = queries.((k + i) mod Array.length queries) in
+    (match Resilient.eval c q with
+    | Ok resp ->
+        if Client.ok resp then begin
+          tally.ok <- tally.ok + 1;
+          match Json.member "degraded_under_load" (Client.result resp) with
+          | Some (Json.Bool true) -> tally.degraded_load <- tally.degraded_load + 1
+          | _ -> ()
+        end
+        else tally.typed_errors <- tally.typed_errors + 1
+    | Error _ -> tally.gave_up <- tally.gave_up + 1);
+    (* an open breaker fails calls fast; give the cooldown a beat so the
+       soak measures retry behaviour, not a wedged-open breaker *)
+    if Resilient.breaker_is_open c then Thread.delay 0.06
+  done;
+  tally.retries <- Resilient.retries c
+
+type level = {
+  rate : float;
+  requests : int;
+  l_ok : int;
+  l_typed : int;
+  l_gave_up : int;
+  l_degraded : int;
+  l_retries : int;
+  availability : float;
+  injections : int;
+  restarts : int;
+  recovery_s : float;
+  wall_s : float;
+}
+
+let restarts_of stats =
+  match Json.member "worker_restarts" stats with
+  | Some (Json.Int n) -> n
+  | _ -> 0
+
+let run_level ~server ~port rate =
+  let restarts0 = restarts_of (Serve.stats_json server) in
+  let injections0 = Chaos.injections () in
+  if rate > 0.0 then Chaos.arm { Chaos.seed = chaos_seed; rate };
+  let per_client = requests_per_level / clients_per_level in
+  let tallies =
+    Array.init clients_per_level (fun _ ->
+        { ok = 0; typed_errors = 0; gave_up = 0; degraded_load = 0; retries = 0 })
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init clients_per_level (fun k ->
+        Thread.create (fun () -> run_client ~port ~k ~n:per_client tallies.(k)) ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  Chaos.disarm ();
+  (* recovery: time-to-first-clean-answer once the faults stop *)
+  let recovery_t0 = Unix.gettimeofday () in
+  let c = Client.connect port in
+  let recovered = Client.ok (Client.eval c queries.(0)) in
+  Client.close c;
+  let recovery = Unix.gettimeofday () -. recovery_t0 in
+  if not recovered then failwith "E18: server did not answer cleanly after disarm";
+  let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let ok = sum (fun t -> t.ok) in
+  let typed = sum (fun t -> t.typed_errors) in
+  let gave_up = sum (fun t -> t.gave_up) in
+  let answered = ok + typed + gave_up in
+  {
+    rate;
+    requests = per_client * clients_per_level;
+    l_ok = ok;
+    l_typed = typed;
+    l_gave_up = gave_up;
+    l_degraded = sum (fun t -> t.degraded_load);
+    l_retries = sum (fun t -> t.retries);
+    availability =
+      (if answered = 0 then 0.0 else float_of_int ok /. float_of_int answered);
+    injections = Chaos.injections () - injections0;
+    restarts = restarts_of (Serve.stats_json server) - restarts0;
+    recovery_s = recovery;
+    wall_s = wall;
+  }
+
+(* the bit-identical control: evaluate every query over one clean
+   connection and return the raw result payloads *)
+let control_results ~port =
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  Array.to_list queries
+  |> List.map (fun q -> Json.to_string (Client.result (Client.eval c q)))
+
+let run () =
+  Common.header "E18: chaos soak (seeded fault injection vs probdb serve)";
+  Chaos.disarm ();
+  let db = make_db () in
+  let config =
+    { Serve.default_config with
+      Serve.port = 0;
+      workers = (if smoke then 2 else 4);
+      queue_capacity = 32;
+      degrade_above = 16;
+      worker_stall_deadline_ms = 1_000;
+      default_deadline_ms = Some 2_000 }
+  in
+  let server = Serve.start ~config db in
+  let port = Serve.port server in
+  Printf.printf "server on 127.0.0.1:%d — seed %d, %d requests/level over %s\n"
+    port chaos_seed requests_per_level
+    (String.concat " " (List.map (Printf.sprintf "%.0f%%")
+                          (List.map (( *. ) 100.0) rates)));
+  Fun.protect ~finally:(fun () -> Chaos.disarm (); Serve.stop server)
+  @@ fun () ->
+  let before = control_results ~port in
+  let levels = List.map (run_level ~server ~port) rates in
+  let after = control_results ~port in
+  let bit_identical = List.equal String.equal before after in
+  let survived = let c = Client.connect port in
+                 let alive = Client.ping c in Client.close c; alive in
+  Common.section "fault-rate sweep";
+  Common.table
+    ([ "rate"; "requests"; "ok"; "typed"; "gave up"; "degraded"; "retries";
+       "injected"; "restarts"; "avail"; "recovery" ]
+    :: List.map
+         (fun l ->
+           [ Printf.sprintf "%.0f%%" (100.0 *. l.rate);
+             string_of_int l.requests;
+             string_of_int l.l_ok;
+             string_of_int l.l_typed;
+             string_of_int l.l_gave_up;
+             string_of_int l.l_degraded;
+             string_of_int l.l_retries;
+             string_of_int l.injections;
+             string_of_int l.restarts;
+             Printf.sprintf "%.1f%%" (100.0 *. l.availability);
+             Common.pretty_time l.recovery_s ])
+         levels);
+  let all_accounted =
+    List.for_all (fun l -> l.l_ok + l.l_typed + l.l_gave_up = l.requests) levels
+  in
+  let injection_sites =
+    List.filter (fun s -> site_count s > 0) sites
+  in
+  Printf.printf
+    "\nsites injected: %s\nall accounted: %b; answers bit-identical after disarm: %b; server survived: %b\n"
+    (String.concat ", " injection_sites)
+    all_accounted bit_identical survived;
+  if not all_accounted then failwith "E18: a request went unaccounted";
+  if not survived then failwith "E18: server did not survive the soak";
+  if not bit_identical then
+    failwith "E18: chaos-disabled answers differ from the control run";
+  Common.bench_json "chaos"
+    [
+      ("smoke", Json.Bool smoke);
+      ("soak", Json.Bool soak);
+      ("seed", Json.Int chaos_seed);
+      ("requests_per_level", Json.Int requests_per_level);
+      ("clients_per_level", Json.Int clients_per_level);
+      ( "levels",
+        Json.List
+          (List.map
+             (fun l ->
+               Json.Obj
+                 [
+                   ("rate", Json.Float l.rate);
+                   ("requests", Json.Int l.requests);
+                   ("ok", Json.Int l.l_ok);
+                   ("typed_errors", Json.Int l.l_typed);
+                   ("gave_up", Json.Int l.l_gave_up);
+                   ("degraded", Json.Int l.l_degraded);
+                   ("retries", Json.Int l.l_retries);
+                   ("injections", Json.Int l.injections);
+                   ("worker_restarts", Json.Int l.restarts);
+                   ("availability", Json.Float l.availability);
+                   ("recovery_s", Json.Float l.recovery_s);
+                   ("wall_s", Json.Float l.wall_s);
+                 ])
+             levels) );
+      ( "injections_per_site",
+        Json.Obj (List.map (fun s -> (s, Json.Int (site_count s))) sites) );
+      ("sites_injected", Json.Int (List.length injection_sites));
+      ("all_accounted", Json.Bool all_accounted);
+      ("bit_identical_after_disarm", Json.Bool bit_identical);
+      ("server_survived", Json.Bool survived);
+    ]
+
+(* The chaos decision on its own: the per-poll overhead a guarded solver
+   pays at an armed site — this is the "free when off / cheap when on"
+   claim measured. *)
+let bechamel_tests =
+  [
+    Bechamel.Test.make ~name:"chaos/fire-disarmed"
+      (Bechamel.Staged.stage (fun () ->
+           ignore (Chaos.fire ~site:"bench.site")));
+  ]

@@ -575,8 +575,38 @@ let serve_deadline_arg =
           "Default per-request deadline applied when a request carries none. \
            Queue wait counts against it (admission control).")
 
-let serve_run db_dir host port workers queue degrade_above deadline_ms eps delta
-    samples =
+let stall_deadline_arg =
+  Arg.(
+    value
+    & opt int 30_000
+    & info [ "stall-deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Worker stall watchdog: a worker busy on one request past this \
+           deadline is abandoned (the request answered with a typed \
+           $(b,internal) error) and a replacement worker domain is spawned. \
+           0 disables the watchdog.")
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chaos" ] ~docv:"SEED:RATE"
+        ~doc:
+          "Arm deterministic fault injection: every named chaos site \
+           (accept/read/write faults, worker crashes and stalls, guard \
+           trips) fails with probability RATE on a schedule derived from \
+           SEED — the same seed and rate replay the same injections \
+           (docs/SERVING.md, chaos runbook). Equivalent to setting \
+           $(b,PROBDB_CHAOS).")
+
+let serve_run db_dir host port workers queue degrade_above deadline_ms
+    stall_deadline_ms chaos eps delta samples =
+  (match chaos with
+  | None -> ()
+  | Some s -> (
+      match Probdb_chaos.Chaos.parse_spec s with
+      | Ok spec -> Probdb_chaos.Chaos.arm spec
+      | Error msg -> fail "--chaos: %s" msg));
   with_db db_dir @@ fun db ->
   let engine =
     let default_fallback_samples =
@@ -598,6 +628,7 @@ let serve_run db_dir host port workers queue degrade_above deadline_ms eps delta
       queue_capacity = queue;
       degrade_above;
       default_deadline_ms = deadline_ms;
+      worker_stall_deadline_ms = stall_deadline_ms;
       engine }
   in
   let server = Serve.start ~config db in
@@ -622,8 +653,8 @@ let serve_cmd =
     Term.(
       ret
         (const serve_run $ db_arg $ host_arg $ port_arg $ workers_arg $ queue_arg
-       $ degrade_above_arg $ serve_deadline_arg $ eps_arg $ delta_arg
-       $ samples_arg))
+       $ degrade_above_arg $ serve_deadline_arg $ stall_deadline_arg
+       $ chaos_arg $ eps_arg $ delta_arg $ samples_arg))
   in
   Cmd.v
     (Cmd.info "serve"

@@ -1,0 +1,113 @@
+module Trace = Probdb_obs.Trace
+module Metrics = Probdb_obs.Metrics
+
+type spec = { seed : int; rate : float }
+
+let parse_spec s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "bad chaos spec %S: expected seed:rate" s)
+  | Some i -> (
+      let seed_s = String.sub s 0 i in
+      let rate_s = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt seed_s, float_of_string_opt rate_s) with
+      | None, _ -> Error (Printf.sprintf "bad chaos seed %S: expected an integer" seed_s)
+      | _, None -> Error (Printf.sprintf "bad chaos rate %S: expected a float" rate_s)
+      | Some seed, _ when seed < 0 ->
+          Error (Printf.sprintf "bad chaos seed %d: must be non-negative" seed)
+      | _, Some rate when not (rate >= 0.0 && rate <= 1.0) ->
+          Error (Printf.sprintf "bad chaos rate %s: must be in [0, 1]" rate_s)
+      | Some seed, Some rate -> Ok { seed; rate })
+
+let render_spec { seed; rate } = Printf.sprintf "%d:%g" seed rate
+
+(* Same splitmix64 finaliser as [Par.Rng] (duplicated because chaos sits
+   below par in the library graph). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* FNV-1a over the site name: stable across runs and OCaml versions,
+   unlike [Hashtbl.hash]'s unspecified algorithm. *)
+let site_hash site =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    site;
+  !h
+
+(* Map the mixed 64-bit word to [0,1) using its top 53 bits. *)
+let to_unit z = Int64.to_float (Int64.shift_right_logical z 11) *. 0x1p-53
+
+type state = { sp : spec; counters : (string, int Atomic.t) Hashtbl.t; lock : Mutex.t }
+
+let state : state option Atomic.t = Atomic.make None
+
+let total = Atomic.make 0
+
+let injections_c = Metrics.counter "chaos.injections"
+
+let arm sp =
+  Atomic.set state
+    (Some { sp; counters = Hashtbl.create 16; lock = Mutex.create () })
+
+let disarm () = Atomic.set state None
+
+let armed () = Atomic.get state <> None
+
+let spec () = Option.map (fun st -> st.sp) (Atomic.get state)
+
+let counter_of st site =
+  match Hashtbl.find_opt st.counters site with
+  | Some c -> c
+  | None ->
+      Mutex.lock st.lock;
+      let c =
+        match Hashtbl.find_opt st.counters site with
+        | Some c -> c
+        | None ->
+            let c = Atomic.make 0 in
+            Hashtbl.add st.counters site c;
+            c
+      in
+      Mutex.unlock st.lock;
+      c
+
+let fire ~site =
+  match Atomic.get state with
+  | None -> false
+  | Some st ->
+      let n = Atomic.fetch_and_add (counter_of st site) 1 in
+      let z =
+        mix
+          (Int64.logxor
+             (Int64.add (Int64.of_int st.sp.seed) (Int64.mul golden (Int64.of_int n)))
+             (site_hash site))
+      in
+      let firing = to_unit z < st.sp.rate in
+      if firing then begin
+        Atomic.incr total;
+        Metrics.incr injections_c;
+        Metrics.incr (Metrics.counter ("chaos." ^ site));
+        Trace.instant ~cat:"chaos" ("chaos." ^ site)
+      end;
+      firing
+
+let injections () = Atomic.get total
+
+let stall_s = 0.25
+
+(* Honour PROBDB_CHAOS in every binary that links the library, so tests
+   and the serve CLI share one switch. A malformed spec is a hard error:
+   silently ignoring it would turn a chaos run into a clean run. *)
+let () =
+  match Sys.getenv_opt "PROBDB_CHAOS" with
+  | None | Some "" -> ()
+  | Some s -> (
+      match parse_spec s with
+      | Ok sp -> arm sp
+      | Error msg -> invalid_arg ("PROBDB_CHAOS: " ^ msg))

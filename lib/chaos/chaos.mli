@@ -1,0 +1,58 @@
+(** Seeded, deterministic fault injection.
+
+    A chaos {e schedule} is a pure function of [(seed, site, n)]: the
+    [n]-th call to {!fire} at a named site fires iff a splitmix64 mix of
+    the seed, the site name and [n] lands below the configured rate.
+    Replaying a run with the same seed, rate and per-site call sequence
+    therefore replays the {e same} injections — the property the chaos
+    runbook in [docs/SERVING.md] relies on.
+
+    Sites are dot-separated names owned by the layer that calls {!fire}:
+    [serve.accept], [serve.read], [serve.write.reset],
+    [serve.write.short], [par.worker.crash], [par.worker.stall],
+    [guard.poll]. The chaos library never raises or sleeps itself — it
+    only answers "does this call fire?"; the caller turns a firing into
+    the fault it owns (an errno, a crash, a stall, a budget trip). Every
+    firing is emitted as a trace instant (category ["chaos"]) and counted
+    in Metrics ([chaos.injections] plus a per-site counter), so a run's
+    injections are visible in [--trace] and [--metrics-json] output.
+
+    Arming is process-wide and intended to happen once at startup, either
+    programmatically ({!arm}) or via the [PROBDB_CHAOS=seed:rate]
+    environment variable read at module initialisation. When disarmed
+    (the default) {!fire} is a single atomic read returning [false]. *)
+
+type spec = { seed : int; rate : float }
+(** [rate] is the per-call firing probability in [\[0, 1\]]. *)
+
+val parse_spec : string -> (spec, string) result
+(** Parse ["seed:rate"], e.g. ["42:0.05"]. The seed must be a
+    non-negative integer and the rate a float in [\[0, 1\]]. *)
+
+val render_spec : spec -> string
+(** Inverse of {!parse_spec}: ["seed:rate"]. *)
+
+val arm : spec -> unit
+(** Install the schedule and reset all per-site call counters, so two
+    [arm]s with the same spec replay identical schedules. *)
+
+val disarm : unit -> unit
+(** Stop injecting. Counters are reset on the next {!arm}. *)
+
+val armed : unit -> bool
+
+val spec : unit -> spec option
+(** The armed spec, if any. *)
+
+val fire : site:string -> bool
+(** [fire ~site] advances [site]'s call counter and reports whether this
+    call is scheduled to fail. Always [false] when disarmed (without
+    advancing any counter). Thread- and domain-safe. *)
+
+val injections : unit -> int
+(** Total injections since process start (across arms). *)
+
+val stall_s : float
+(** How long a [par.worker.stall] injection should wedge a worker —
+    fixed, and comfortably past the stall deadline used by the chaos
+    tests and bench so every stall injection exercises the watchdog. *)

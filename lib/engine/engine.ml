@@ -68,6 +68,7 @@ type config = {
   heap_watermark_words : int option;
   fault : Guard.fault option;
   degrade : degrade option;
+  force_degraded : bool;
   domains : int;
   parent_guard : Guard.t option;
 }
@@ -88,17 +89,20 @@ let default_config =
     heap_watermark_words = None;
     fault = None;
     degrade = Some { eps = 0.1; delta = 0.05; max_samples = 20_000 };
+    force_degraded = false;
     domains = 1;
     parent_guard = None }
 
 (* The serving-time backpressure config: skip every exact strategy and go
    straight to the (ε,δ) Karp–Luby fallback, keeping whatever degrade
    accuracy targets the base config carries (installing the defaults when
-   degradation was off). Used by [probdb serve] when the request queue
-   passes its degrade watermark. *)
+   degradation was off). The strategy list is kept so the degradation
+   chain can record each skipped strategy — a degraded answer must say
+   why it degraded. Used by [probdb serve] when the request queue passes
+   its degrade watermark. *)
 let force_degrade config =
   { config with
-    strategies = [];
+    force_degraded = true;
     degrade =
       (match config.degrade with
       | Some _ as d -> d
@@ -589,6 +593,16 @@ let eval ?(config = default_config) ?stats db q =
   in
   let rec go chain = function
     | [] -> degrade_or_fail (List.rev chain)
+    | s :: rest when config.force_degraded ->
+        (* backpressure degradation: no exact strategy runs, but each one
+           is recorded as skipped so the degradation chain says why the
+           answer is an (ε,δ) interval *)
+        go
+          (Answer.Skipped
+             { strategy = strategy_name s;
+               reason = "skipped: degraded under load (backpressure)" }
+          :: chain)
+          rest
     | s :: rest -> (
         let plan_before = stats.Stats.plan_s in
         let result, dt = Clock.time (fun () -> attempt config stats guard pool db q s) in

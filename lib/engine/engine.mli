@@ -82,6 +82,11 @@ type config = {
           when every exact strategy is skipped or tripped, and Karp–Luby is
           removed from the main strategy loop. [None]: {!eval} fails
           instead. Ignored by the legacy {!evaluate}. *)
+  force_degraded : bool;
+      (** when set (by {!force_degrade}), {!eval} skips every exact
+          strategy — recording each as a skipped step in the degradation
+          chain — and answers directly with the (ε,δ) fallback. Ignored
+          by the legacy {!evaluate}. *)
   domains : int;
       (** OCaml domains for the parallel runtime ([probdb.par]). At [1]
           (the default) no pool is created and every strategy runs its
@@ -108,9 +113,10 @@ val exact_only : config
 (** Drops Karp–Luby. *)
 
 val force_degrade : config -> config
-(** The serving-time backpressure transform: empty the strategy list so
-    {!eval} skips every exact method and answers directly with the (ε,δ)
-    Karp–Luby fallback — a certified confidence-interval answer at a cost
+(** The serving-time backpressure transform: set [force_degraded] so
+    {!eval} skips every exact method — each recorded as a skipped step in
+    the degradation chain — and answers directly with the (ε,δ)
+    Karp–Luby fallback, a certified confidence-interval answer at a cost
     bounded by [degrade.max_samples], which is what an overloaded server
     wants instead of queueing exact work. Keeps the base config's [degrade]
     targets, installing {!default_config}'s when degradation was off.

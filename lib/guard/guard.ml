@@ -85,6 +85,11 @@ let poll g ~site =
         trip resource ~site ~limit:(float_of_int poll)
           ~spent:(float_of_int g.poll_count)
     | _ -> ());
+    (* Chaos rides the same exhaustion path as a budget trip: the engine
+       sees a typed [Exhausted {resource = Fault}] and degrades or
+       reports [exhausted], exactly as for a real resource trip. *)
+    if Probdb_chaos.Chaos.fire ~site:"guard.poll" then
+      trip Fault ~site ~limit:0.0 ~spent:(float_of_int g.poll_count);
     if is_cancelled g then trip Cancelled ~site ~limit:0.0 ~spent:(elapsed_s g);
     (match g.deadline_at with
     | Some at ->

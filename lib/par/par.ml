@@ -78,69 +78,238 @@ let map_reduce p ~map ~reduce ~init n =
 (* ---------- persistent worker service ---------- *)
 
 module Service = struct
+  module Chaos = Probdb_chaos.Chaos
+  module Metrics = Probdb_obs.Metrics
+  module Clock = Probdb_obs.Clock
+
+  (* Raised by the chaos schedule between picking an item up and running
+     the handler — deliberately outside the handler-swallowing try, so it
+     escapes the worker loop and exercises the crash-recovery path. *)
+  exception Chaos_crash
+
+  (* One record per worker domain, alive or retired. [running] doubles as
+     the ownership token for the in-flight decrement: whoever [take]s it
+     (the worker on completion, the watchdog on a stall, the crash
+     handler on an escape) owns dooming or completing that item, so the
+     decrement happens exactly once however the race resolves. *)
+  type 'a slot = {
+    mutable running : 'a option;
+    mutable busy_since : float;
+    mutable abandoned : bool;  (* watchdog gave up: exit after the handler *)
+    mutable exited : bool;  (* the domain body returned: safe to join *)
+    mutable domain : unit Domain.t option;
+  }
+
   type 'a t = {
     svc_domains : int;
     capacity : int;
+    stall_deadline_s : float option;
+    on_doom : ('a -> unit) option;
+    on_restart : (unit -> unit) option;
     queue : 'a Queue.t;
     lock : Mutex.t;
     nonempty : Condition.t;
     idle : Condition.t;
     mutable closed : bool;
+    mutable wd_stop : bool;
     mutable in_flight : int;
-    mutable workers : unit Domain.t list;
+    mutable slots : 'a slot list;  (* active workers *)
+    mutable retired : 'a slot list;  (* crashed or abandoned workers *)
+    mutable watchdog : Thread.t option;
     submitted : int Atomic.t;
     completed : int Atomic.t;
     failures : int Atomic.t;
+    restarts : int Atomic.t;
   }
+
+  let m_restarts = Metrics.counter "par.worker_restarts"
+
+  (* Must hold [t.lock]. *)
+  let signal_idle_locked t =
+    if t.in_flight = 0 && Queue.is_empty t.queue then Condition.broadcast t.idle
+
+  (* Retire [slot] and, unless the service is closed with nothing left to
+     drain, spawn a replacement worker. Returns the doomed item (if the
+     slot was mid-item) and whether a replacement was spawned, so the
+     caller can run [on_doom]/[on_restart] outside the lock. Must hold
+     [t.lock]. *)
+  let retire_locked t ~spawn slot =
+    let doomed = slot.running in
+    slot.running <- None;
+    slot.abandoned <- true;
+    (match doomed with
+    | Some _ ->
+        t.in_flight <- t.in_flight - 1;
+        signal_idle_locked t
+    | None -> ());
+    t.slots <- List.filter (fun s -> s != slot) t.slots;
+    t.retired <- slot :: t.retired;
+    let respawn = (not t.closed) || not (Queue.is_empty t.queue) in
+    if respawn then begin
+      Atomic.incr t.restarts;
+      Metrics.incr m_restarts;
+      spawn t
+    end;
+    (doomed, respawn)
+
+  let doom t item =
+    match t.on_doom with Some k -> (try k item with _ -> ()) | None -> ()
+
+  let restarted t =
+    match t.on_restart with Some k -> (try k () with _ -> ()) | None -> ()
 
   (* One worker: block on the queue, run the handler, repeat until the
      service is closed and the queue is drained. The handler owns its own
      error reporting; an exception that does escape is counted and
-     swallowed so one bad item can never kill a worker. *)
-  let worker t f =
+     swallowed so one bad item can never kill a worker. Exceptions raised
+     {e outside} the handler (chaos crashes, runtime failures) kill the
+     worker and are recovered by [guarded_worker] below. *)
+  let worker t f slot =
     Domain.DLS.set in_worker true;
     let rec loop () =
       Mutex.lock t.lock;
-      while Queue.is_empty t.queue && not t.closed do
+      while Queue.is_empty t.queue && not t.closed && not slot.abandoned do
         Condition.wait t.nonempty t.lock
       done;
-      if Queue.is_empty t.queue then Mutex.unlock t.lock (* closed: exit *)
+      if slot.abandoned || Queue.is_empty t.queue then
+        Mutex.unlock t.lock (* closed or superseded: exit *)
       else begin
         let item = Queue.pop t.queue in
         t.in_flight <- t.in_flight + 1;
+        slot.running <- Some item;
+        slot.busy_since <- Clock.now ();
         Mutex.unlock t.lock;
+        (* A chaos stall wedges the worker long enough for the watchdog to
+           doom the item, then still runs the handler: a doomed request was
+           already answered by [on_doom], so the late result is discarded
+           by the caller's reply deduplication, and without a watchdog the
+           item is merely slow, never lost. A chaos crash escapes here,
+           before the handler, so the item dies with the worker. *)
+        if Chaos.fire ~site:"par.worker.stall" then Unix.sleepf Chaos.stall_s;
+        if Chaos.fire ~site:"par.worker.crash" then raise Chaos_crash;
         (match Trace.with_span ~cat:"par" "par.service" (fun () -> f item) with
         | () -> ()
         | exception _ -> Atomic.incr t.failures);
         Atomic.incr t.completed;
         Mutex.lock t.lock;
-        t.in_flight <- t.in_flight - 1;
-        if t.in_flight = 0 && Queue.is_empty t.queue then
-          Condition.broadcast t.idle;
+        (match slot.running with
+        | Some _ ->
+            (* still ours: the watchdog did not doom it *)
+            slot.running <- None;
+            t.in_flight <- t.in_flight - 1;
+            signal_idle_locked t
+        | None -> () (* doomed while we ran: decrement already happened *));
+        let superseded = slot.abandoned in
         Mutex.unlock t.lock;
+        if not superseded then loop ()
+      end
+    in
+    loop ()
+
+  (* Spawn a worker domain wrapped in crash recovery: if anything escapes
+     the worker loop, retire the slot (dooming its item) and spawn a
+     replacement, so the pool heals back to [svc_domains] workers. *)
+  let rec spawn_worker t f =
+    let slot =
+      { running = None;
+        busy_since = 0.0;
+        abandoned = false;
+        exited = false;
+        domain = None }
+    in
+    t.slots <- slot :: t.slots;
+    let body () =
+      (try worker t f slot
+       with _e ->
+         Atomic.incr t.failures;
+         Mutex.lock t.lock;
+         let doomed, respawned =
+           retire_locked t ~spawn:(fun t -> spawn_worker_locked t f) slot
+         in
+         Mutex.unlock t.lock;
+         (match doomed with Some item -> doom t item | None -> ());
+         if respawned then restarted t);
+      slot.exited <- true
+    in
+    slot.domain <- Some (Domain.spawn body)
+
+  (* [retire_locked] is called with the lock held; spawning there is fine
+     (Domain.spawn does not touch [t.lock]) but the slot-list update must
+     happen under it. *)
+  and spawn_worker_locked t f = spawn_worker t f
+
+  (* The stall watchdog: a thread (not a domain — it only sleeps and
+     scans) that dooms any worker busy past the deadline. The doomed
+     worker is {e not} killed — OCaml domains cannot be — it is abandoned:
+     its item is failed out via [on_doom], a replacement is spawned, and
+     when (if) its handler returns it sees the abandonment and exits. *)
+  let watchdog_loop t f deadline =
+    let interval = Float.min 0.05 (Float.max 0.005 (deadline /. 4.0)) in
+    let rec loop () =
+      Thread.delay interval;
+      Mutex.lock t.lock;
+      if t.wd_stop then Mutex.unlock t.lock
+      else begin
+        let now = Clock.now () in
+        let doomed =
+          List.filter_map
+            (fun slot ->
+              match slot.running with
+              | Some _ when now -. slot.busy_since > deadline ->
+                  Some
+                    (retire_locked t
+                       ~spawn:(fun t -> spawn_worker_locked t f)
+                       slot)
+              | _ -> None)
+            t.slots
+        in
+        Mutex.unlock t.lock;
+        List.iter
+          (fun (item, respawned) ->
+            (match item with Some item -> doom t item | None -> ());
+            if respawned then restarted t)
+          doomed;
         loop ()
       end
     in
     loop ()
 
-  let start ?(domains = default_domains ()) ~capacity f =
+  let start ?(domains = default_domains ()) ?stall_deadline_s ?on_doom
+      ?on_restart ~capacity f =
     if capacity < 1 then invalid_arg "Par.Service.start: capacity must be >= 1";
+    (match stall_deadline_s with
+    | Some d when not (d > 0.0) ->
+        invalid_arg "Par.Service.start: stall_deadline_s must be > 0"
+    | _ -> ());
     let t =
       { svc_domains = clamp 1 64 domains;
         capacity;
+        stall_deadline_s;
+        on_doom;
+        on_restart;
         queue = Queue.create ();
         lock = Mutex.create ();
         nonempty = Condition.create ();
         idle = Condition.create ();
         closed = false;
+        wd_stop = false;
         in_flight = 0;
-        workers = [];
+        slots = [];
+        retired = [];
+        watchdog = None;
         submitted = Atomic.make 0;
         completed = Atomic.make 0;
-        failures = Atomic.make 0 }
+        failures = Atomic.make 0;
+        restarts = Atomic.make 0 }
     in
-    t.workers <-
-      List.init t.svc_domains (fun _ -> Domain.spawn (fun () -> worker t f));
+    Mutex.lock t.lock;
+    for _ = 1 to t.svc_domains do
+      spawn_worker t f
+    done;
+    Mutex.unlock t.lock;
+    (match stall_deadline_s with
+    | Some d -> t.watchdog <- Some (Thread.create (fun () -> watchdog_loop t f d) ())
+    | None -> ());
     t
 
   let domains t = t.svc_domains
@@ -184,6 +353,8 @@ module Service = struct
 
   let failures t = Atomic.get t.failures
 
+  let restarts t = Atomic.get t.restarts
+
   let wait_idle t =
     Mutex.lock t.lock;
     while not (Queue.is_empty t.queue && t.in_flight = 0) do
@@ -209,8 +380,46 @@ module Service = struct
       in
       Condition.broadcast t.nonempty;
       Mutex.unlock t.lock;
-      List.iter Domain.join t.workers;
-      t.workers <- [];
+      (* Join until no active worker remains. A worker that crashes during
+         the drain retires itself and (queue permitting) spawns a
+         replacement, so we re-read [t.slots] each round rather than
+         joining a one-shot snapshot. *)
+      let rec join_active () =
+        Mutex.lock t.lock;
+        let active = t.slots in
+        t.slots <- [];
+        Mutex.unlock t.lock;
+        match active with
+        | [] -> ()
+        | slots ->
+            List.iter
+              (fun s -> match s.domain with Some d -> Domain.join d | None -> ())
+              slots;
+            Condition.broadcast t.nonempty;
+            join_active ()
+      in
+      join_active ();
+      (* Retired workers: crashed ones have terminated and join instantly;
+         an abandoned worker still wedged in its handler ([exited] false)
+         cannot be joined without hanging the shutdown — it is the one
+         thing we abandoned it for, so it is left to die with the process. *)
+      Mutex.lock t.lock;
+      let retired = t.retired in
+      t.retired <- [];
+      Mutex.unlock t.lock;
+      List.iter
+        (fun s ->
+          if s.exited then
+            match s.domain with Some d -> Domain.join d | None -> ())
+        retired;
+      (match t.watchdog with
+      | Some wd ->
+          Mutex.lock t.lock;
+          t.wd_stop <- true;
+          Mutex.unlock t.lock;
+          Thread.join wd;
+          t.watchdog <- None
+      | None -> ());
       dropped
     end
 end

@@ -62,14 +62,41 @@ val map_reduce :
     handler that calls back into a {!pool} executes sequentially rather
     than spawning domains from inside a worker. A handler exception is
     counted in {!Service.failures} and swallowed; one poisonous item never
-    kills a worker. *)
+    kills a worker.
+
+    The service is {e self-healing}: an exception that escapes a worker
+    {e outside} the handler (a chaos-injected crash, a runtime failure)
+    retires that worker and spawns a replacement, and with
+    [stall_deadline_s] set a watchdog thread additionally abandons any
+    worker busy past the deadline. Either way the item the worker was
+    processing is {e doomed}: it is handed to [on_doom] (a query server
+    answers it with a typed internal error) and its in-flight slot is
+    released exactly once, however the doom/completion race resolves.
+    Restarts are counted in {!Service.restarts} and in the
+    [par.worker_restarts] metric. *)
 module Service : sig
   type 'a t
 
-  val start : ?domains:int -> capacity:int -> ('a -> unit) -> 'a t
+  val start :
+    ?domains:int ->
+    ?stall_deadline_s:float ->
+    ?on_doom:('a -> unit) ->
+    ?on_restart:(unit -> unit) ->
+    capacity:int ->
+    ('a -> unit) ->
+    'a t
   (** Spawn [domains] worker domains (clamped to [1, 64]; default
       {!default_domains}) all running the handler over items of a shared
-      queue bounded at [capacity] (>= 1, or [Invalid_argument]). *)
+      queue bounded at [capacity] (>= 1, or [Invalid_argument]).
+
+      [stall_deadline_s] (> 0, or [Invalid_argument]; off by default)
+      starts a watchdog thread that retires any worker busy past the
+      deadline on one item and spawns a replacement — the abandoned
+      domain cannot be killed, so it is left to finish (or wedge) off the
+      books and its eventual result is discarded. [on_doom] is called
+      (outside the service lock) with each item lost to a crash or stall;
+      [on_restart] after each replacement worker is spawned. Exceptions
+      from either callback are swallowed. *)
 
   val try_submit : 'a t -> 'a -> [ `Accepted of int | `Overloaded | `Closed ]
   (** Non-blocking enqueue. [`Accepted depth] reports the queue depth just
@@ -94,7 +121,11 @@ module Service : sig
   (** Handler runs finished (including failed ones) since {!start}. *)
 
   val failures : 'a t -> int
-  (** Handler runs that raised (the exception is swallowed). *)
+  (** Handler runs that raised (the exception is swallowed), plus workers
+      lost to crashes. *)
+
+  val restarts : 'a t -> int
+  (** Replacement workers spawned after a crash or stall. *)
 
   val wait_idle : 'a t -> unit
   (** Block until the queue is empty and no item is in flight. *)

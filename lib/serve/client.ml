@@ -1,44 +1,69 @@
 module Json = Probdb_obs.Json
+module Clock = Probdb_obs.Clock
+
+exception Connection_closed
+
+let ignore_sigpipe () =
+  (* a write to a dead peer must surface as EPIPE (mapped to
+     [Connection_closed]), not kill the process *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* Write one line to the descriptor, looping on short writes (one
+   [single_write] is never assumed to send everything) and retrying
+   EINTR; disconnect-class errnos become the typed [Connection_closed]. *)
+let write_line_string fd line =
+  let buf = Bytes.unsafe_of_string (line ^ "\n") in
+  let len = Bytes.length buf in
+  let rec go pos len =
+    if len > 0 then begin
+      let n =
+        try Unix.single_write fd buf pos len with
+        | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+        | Unix.Unix_error
+            ( ( Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNABORTED
+              | Unix.ESHUTDOWN | Unix.EBADF ),
+              _,
+              _ ) ->
+            raise Connection_closed
+      in
+      go (pos + n) (len - n)
+    end
+  in
+  go 0 len
 
 type t = {
   fd : Unix.file_descr;
   ic : in_channel;
-  oc : out_channel;
   mutable next_id : int;
   mutable closed : bool;
 }
 
 let connect ?(host = "127.0.0.1") port =
+  ignore_sigpipe ();
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port)) with
   | () -> ()
   | exception e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e);
-  {
-    fd;
-    ic = Unix.in_channel_of_descr fd;
-    oc = Unix.out_channel_of_descr fd;
-    next_id = 0;
-    closed = false;
-  }
+  { fd; ic = Unix.in_channel_of_descr fd; next_id = 0; closed = false }
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    (* both channels wrap [t.fd]: flush, then close the descriptor exactly
-       once — closing each channel would close the fd twice, and the second
-       close can hit a descriptor number already reused by another thread *)
-    (try flush t.oc with Sys_error _ -> ());
+    (* writes are unbuffered (straight to [t.fd]), so nothing to flush;
+       close the descriptor exactly once — closing [ic] too would close
+       the fd twice, and the second close can hit a descriptor number
+       already reused by another thread *)
     (try Unix.close t.fd with Unix.Unix_error _ -> ())
   end
 
-let send_line t line =
-  output_string t.oc line;
-  output_char t.oc '\n';
-  flush t.oc
+let send_line t line = write_line_string t.fd line
 
-let recv_line t = input_line t.ic
+let recv_line t =
+  try input_line t.ic
+  with End_of_file | Sys_error _ -> raise Connection_closed
 
 let call t fields =
   let fields =
@@ -68,3 +93,272 @@ let error_class resp =
   | Some err -> (
       match Json.member "class" err with Some (Json.Str s) -> Some s | _ -> None)
   | None -> None
+
+(* ---------- resilient client ---------- *)
+
+module Resilient = struct
+  module Rng = Probdb_par.Par.Rng
+
+  type policy = {
+    attempt_timeout_s : float;
+    max_attempts : int;
+    base_backoff_s : float;
+    max_backoff_s : float;
+    retry_budget_s : float;
+    breaker_threshold : int;
+    breaker_cooldown_s : float;
+    seed : int;
+  }
+
+  let default_policy =
+    {
+      attempt_timeout_s = 2.0;
+      max_attempts = 4;
+      base_backoff_s = 0.01;
+      max_backoff_s = 0.5;
+      retry_budget_s = 2.0;
+      breaker_threshold = 5;
+      breaker_cooldown_s = 1.0;
+      seed = 0;
+    }
+
+  type failure = Breaker_open | Gave_up of string
+
+  exception Timeout
+
+  (* One live connection: the descriptor plus the residue of reads past
+     the last extracted line (responses are read with [select] deadlines,
+     so a read may return a line and a half). *)
+  type rc = { rfd : Unix.file_descr; rbuf : Buffer.t }
+
+  type t = {
+    host : string;
+    port : int;
+    policy : policy;
+    rng : Rng.t;
+    mutable conn : rc option;
+    mutable next_id : int;
+    mutable consec_failures : int;
+    mutable breaker_open_until : float;  (* Clock.now deadline; 0 = closed *)
+    mutable c_attempts : int;
+    mutable c_retries : int;
+    mutable c_timeouts : int;
+    mutable c_breaker_opens : int;
+    mutable closed : bool;
+  }
+
+  let create ?(policy = default_policy) ?(host = "127.0.0.1") port =
+    ignore_sigpipe ();
+    {
+      host;
+      port;
+      policy;
+      rng = Rng.make ~seed:policy.seed ~stream:0;
+      conn = None;
+      next_id = 0;
+      consec_failures = 0;
+      breaker_open_until = 0.0;
+      c_attempts = 0;
+      c_retries = 0;
+      c_timeouts = 0;
+      c_breaker_opens = 0;
+      closed = false;
+    }
+
+  let drop_conn t =
+    match t.conn with
+    | Some rc ->
+        t.conn <- None;
+        (try Unix.close rc.rfd with Unix.Unix_error _ -> ())
+    | None -> ()
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      drop_conn t
+    end
+
+  let ensure_conn t =
+    match t.conn with
+    | Some rc -> rc
+    | None ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (match
+           Unix.connect fd
+             (Unix.ADDR_INET (Unix.inet_addr_of_string t.host, t.port))
+         with
+        | () -> ()
+        | exception e ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            raise e);
+        let rc = { rfd = fd; rbuf = Buffer.create 256 } in
+        t.conn <- Some rc;
+        rc
+
+  (* Read one line with an absolute deadline: poll the descriptor with
+     [select] for the remaining time, never block past it. *)
+  let recv_line_by rc ~deadline =
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      let s = Buffer.contents rc.rbuf in
+      match String.index_opt s '\n' with
+      | Some i ->
+          let line = String.sub s 0 i in
+          Buffer.clear rc.rbuf;
+          Buffer.add_substring rc.rbuf s (i + 1) (String.length s - i - 1);
+          line
+      | None ->
+          let remaining = deadline -. Clock.now () in
+          if remaining <= 0.0 then raise Timeout;
+          let readable =
+            match Unix.select [ rc.rfd ] [] [] remaining with
+            | [], _, _ -> false
+            | _ -> true
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+          in
+          if not readable then go ()
+          else begin
+            let n =
+              try Unix.read rc.rfd chunk 0 (Bytes.length chunk) with
+              | Unix.Unix_error (Unix.EINTR, _, _) -> -1
+              | Unix.Unix_error
+                  ((Unix.ECONNRESET | Unix.ECONNABORTED | Unix.EPIPE), _, _) ->
+                  raise Connection_closed
+            in
+            if n = 0 then raise Connection_closed;
+            if n > 0 then Buffer.add_subbytes rc.rbuf chunk 0 n;
+            go ()
+          end
+    in
+    go ()
+
+  (* Which ops may be resent: everything read-only or deterministic on
+     the server — [shutdown] is the one op whose blind resend could act
+     twice, and an unknown op is conservatively not retried. *)
+  let idempotent fields =
+    match List.assoc_opt "op" fields with
+    | None | Some (Json.Str ("eval" | "ping" | "stats" | "metrics" | "trace"))
+      ->
+        true
+    | Some _ -> false
+
+  (* A typed response the server explicitly asks the client to retry. *)
+  let retryable_response resp =
+    match error_class resp with Some "overloaded" -> true | _ -> false
+
+  type attempt_outcome = Resp of Json.t | Transport of string
+
+  let one_attempt t fields =
+    t.c_attempts <- t.c_attempts + 1;
+    match
+      let rc = ensure_conn t in
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      let fields =
+        if List.mem_assoc "id" fields then fields
+        else ("id", Json.Int id) :: fields
+      in
+      write_line_string rc.rfd (Json.to_string (Json.Obj fields));
+      let deadline = Clock.now () +. t.policy.attempt_timeout_s in
+      recv_line_by rc ~deadline
+    with
+    | line -> (
+        match Json.of_string line with
+        | Ok j -> Resp j
+        | Error msg ->
+            (* a torn or corrupt frame leaves the stream unusable *)
+            drop_conn t;
+            Transport ("bad response JSON: " ^ msg))
+    | exception Timeout ->
+        (* the response may still be in flight: the connection's stream
+           position is unknown, so it cannot be reused *)
+        t.c_timeouts <- t.c_timeouts + 1;
+        drop_conn t;
+        Transport "attempt timeout"
+    | exception Connection_closed ->
+        drop_conn t;
+        Transport "connection closed"
+    | exception Unix.Unix_error (e, fn, _) ->
+        drop_conn t;
+        Transport (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+    | exception Sys_error msg ->
+        drop_conn t;
+        Transport msg
+
+  let note_transport_failure t =
+    t.consec_failures <- t.consec_failures + 1;
+    if
+      t.consec_failures >= t.policy.breaker_threshold
+      && Clock.now () >= t.breaker_open_until
+    then begin
+      t.c_breaker_opens <- t.c_breaker_opens + 1;
+      t.breaker_open_until <- Clock.now () +. t.policy.breaker_cooldown_s
+    end
+
+  let call t fields =
+    if t.closed then invalid_arg "Serve.Client.Resilient.call: closed";
+    if Clock.now () < t.breaker_open_until then Error Breaker_open
+    else begin
+      (* past the cooldown the breaker is half-open: this call is the
+         probe — success closes the breaker, another transport failure
+         re-opens it for a fresh cooldown (in [note_transport_failure],
+         [consec_failures] is still past the threshold) *)
+      let retry_ok = idempotent fields in
+      let budget = ref t.policy.retry_budget_s in
+      let prev_backoff = ref t.policy.base_backoff_s in
+      (* decorrelated jitter: sleep ~ U(base, 3 * previous sleep), capped;
+         drawn from the client's seeded stream so runs are replayable *)
+      let backoff () =
+        let hi = Float.max t.policy.base_backoff_s (3.0 *. !prev_backoff) in
+        let d =
+          t.policy.base_backoff_s
+          +. Rng.float t.rng (hi -. t.policy.base_backoff_s)
+        in
+        let d = Float.min d (Float.min t.policy.max_backoff_s !budget) in
+        prev_backoff := d;
+        budget := !budget -. d;
+        if d > 0.0 then Unix.sleepf d
+      in
+      let rec go attempt =
+        let may_retry =
+          retry_ok && attempt < t.policy.max_attempts && !budget > 0.0
+        in
+        match one_attempt t fields with
+        | Resp resp when retryable_response resp && may_retry ->
+            (* the transport worked — the server answered [overloaded] —
+               so the breaker stays closed; back off and try again *)
+            t.consec_failures <- 0;
+            t.c_retries <- t.c_retries + 1;
+            backoff ();
+            go (attempt + 1)
+        | Resp resp ->
+            t.consec_failures <- 0;
+            t.breaker_open_until <- 0.0;
+            Ok resp
+        | Transport msg ->
+            note_transport_failure t;
+            if may_retry && Clock.now () >= t.breaker_open_until then begin
+              t.c_retries <- t.c_retries + 1;
+              backoff ();
+              go (attempt + 1)
+            end
+            else Error (Gave_up msg)
+      in
+      go 1
+    end
+
+  let eval ?(fields = []) t query =
+    call t (("op", Json.Str "eval") :: ("query", Json.Str query) :: fields)
+
+  let ping t =
+    match call t [ ("op", Json.Str "ping") ] with
+    | Ok resp -> ok resp
+    | Error _ -> false
+
+  let attempts t = t.c_attempts
+  let retries t = t.c_retries
+  let timeouts t = t.c_timeouts
+  let breaker_opens t = t.c_breaker_opens
+
+  let breaker_is_open t = Clock.now () < t.breaker_open_until
+end

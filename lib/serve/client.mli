@@ -1,15 +1,29 @@
-(** A minimal blocking client for the [probdb serve] protocol.
+(** Clients for the [probdb serve] protocol.
 
-    One TCP connection, synchronous request/response. This is what the
-    test suite, the soak check and the serving bench drive the server
-    with; it is deliberately dependency-free and small enough to be a
-    reference implementation of the wire protocol for client authors
-    (docs/SERVING.md walks through the same exchanges with raw sockets). *)
+    The top-level functions are a {e minimal blocking client}: one TCP
+    connection, synchronous request/response, no retries. This is what
+    the test suite and the malformed-input checks drive the server with;
+    it is deliberately small enough to be a reference implementation of
+    the wire protocol for client authors (docs/SERVING.md walks through
+    the same exchanges with raw sockets). Disconnect-class failures
+    ([EPIPE], [ECONNRESET], EOF) surface as the typed
+    {!Connection_closed}, never as an uncaught [Unix_error] or a
+    SIGPIPE-killed process ({!connect} ignores SIGPIPE process-wide).
+
+    {!Resilient} is the production-shaped client: per-attempt timeouts,
+    retries with exponential backoff and decorrelated jitter under a
+    retry budget, and a circuit breaker — with retries restricted to
+    idempotent operations and typed-retryable failures. *)
+
+exception Connection_closed
+(** The peer is gone: EOF on read, or [EPIPE]/[ECONNRESET]-class errno
+    on read or write. *)
 
 type t
 
 val connect : ?host:string -> int -> t
 (** [connect port] opens a connection to [host] (default ["127.0.0.1"]).
+    Ignores SIGPIPE process-wide (idempotent).
     @raise Unix.Unix_error when the server is not there. *)
 
 val close : t -> unit
@@ -20,7 +34,7 @@ val call : t -> (string * Probdb_obs.Json.t) list -> Probdb_obs.Json.t
     ["id"] when the caller did not pass one — and returns the parsed
     response object. Responses are matched to requests by arrival order
     (the protocol answers in submission order per connection).
-    @raise End_of_file when the server closed the connection.
+    @raise Connection_closed when the server closed the connection.
     @raise Failure when the response line is not valid JSON. *)
 
 val eval : ?fields:(string * Probdb_obs.Json.t) list -> t -> string ->
@@ -32,11 +46,12 @@ val ping : t -> bool
 (** [true] iff the server answered the liveness probe with [ok]. *)
 
 val send_line : t -> string -> unit
-(** Raw escape hatch: write one line verbatim (malformed-input tests). *)
+(** Raw escape hatch: write one line verbatim (malformed-input tests),
+    looping on short writes. @raise Connection_closed on a dead peer. *)
 
 val recv_line : t -> string
 (** Raw escape hatch: read one response line.
-    @raise End_of_file when the server closed the connection. *)
+    @raise Connection_closed when the server closed the connection. *)
 
 val ok : Probdb_obs.Json.t -> bool
 (** The ["ok"] field of a response ([false] when absent). *)
@@ -46,3 +61,88 @@ val result : Probdb_obs.Json.t -> Probdb_obs.Json.t
 
 val error_class : Probdb_obs.Json.t -> string option
 (** The ["error"]["class"] field of a failed response. *)
+
+(** The resilient client: what a production caller should look like, and
+    what the chaos soak ([bench e18], [make check-chaos]) drives the
+    server with.
+
+    Failure handling, in order:
+    - every attempt runs under [attempt_timeout_s]; a timed-out
+      connection is {e dropped} (its stream position is unknown), never
+      reused;
+    - a failed attempt is retried only when the operation is idempotent
+      ([eval]/[ping]/[stats]/[metrics]/[trace] — never [shutdown]) {e
+      and} the failure is retryable: a typed [overloaded] response or a
+      transport failure (connection closed, timeout, refused). Responses
+      with any other typed error are answers, not failures — they are
+      returned, not resent;
+    - retries sleep with {e decorrelated jitter} (sleep ~ U(base, 3 ×
+      previous), capped) drawn from a seeded stream, under a per-call
+      retry budget ([retry_budget_s]) and attempt cap;
+    - [breaker_threshold] consecutive transport failures open a
+      {e circuit breaker}: calls fail fast with [Breaker_open] (no
+      connect attempts) for [breaker_cooldown_s], after which the next
+      call is the half-open probe — success closes the breaker, failure
+      re-opens it.
+
+    Not thread-safe: use one [Resilient.t] per thread. *)
+module Resilient : sig
+  type policy = {
+    attempt_timeout_s : float;  (** per-attempt send-to-response deadline *)
+    max_attempts : int;  (** total attempts per call, first one included *)
+    base_backoff_s : float;  (** minimum backoff sleep *)
+    max_backoff_s : float;  (** cap on one backoff sleep *)
+    retry_budget_s : float;  (** total backoff sleep allowed per call *)
+    breaker_threshold : int;
+        (** consecutive transport failures that open the breaker *)
+    breaker_cooldown_s : float;  (** how long the breaker stays open *)
+    seed : int;  (** jitter stream seed — replayable backoff schedules *)
+  }
+
+  val default_policy : policy
+  (** 2s attempt timeout, 4 attempts, 10ms–500ms backoff under a 2s
+      budget, breaker at 5 consecutive failures with a 1s cooldown. *)
+
+  type failure =
+    | Breaker_open  (** failed fast: the breaker is open, nothing was sent *)
+    | Gave_up of string
+        (** transport failure with no retry allowed (non-idempotent op,
+            attempts or budget exhausted); the message names the last
+            failure *)
+
+  type t
+
+  val create : ?policy:policy -> ?host:string -> int -> t
+  (** Like {!connect}, but lazy: the connection is established on the
+      first call (and re-established after any failure), so [create]
+      itself never fails on a dead server — the calls do, typed. *)
+
+  val close : t -> unit
+  (** Idempotent. *)
+
+  val call :
+    t -> (string * Probdb_obs.Json.t) list ->
+    (Probdb_obs.Json.t, failure) result
+  (** One request, with retries per the policy. [Ok resp] is any
+      response from the server, including typed errors ([resp] with
+      [ok = false]) — a typed error is an answer. *)
+
+  val eval : ?fields:(string * Probdb_obs.Json.t) list -> t -> string ->
+    (Probdb_obs.Json.t, failure) result
+
+  val ping : t -> bool
+
+  val attempts : t -> int
+  (** Wire attempts made (≥ calls). *)
+
+  val retries : t -> int
+  (** Attempts beyond the first of their call. *)
+
+  val timeouts : t -> int
+  (** Attempts that hit the per-attempt timeout. *)
+
+  val breaker_opens : t -> int
+  (** Closed→open breaker transitions. *)
+
+  val breaker_is_open : t -> bool
+end

@@ -179,3 +179,37 @@ let write_line oc j =
   output_string oc (Json.to_string j);
   output_char oc '\n';
   flush oc
+
+(* ---------- descriptor-level framing ---------- *)
+
+module Chaos = Probdb_chaos.Chaos
+
+(* One write syscall, never assumed complete: [Unix.single_write] may
+   send any prefix of the buffer (socket buffers full under load), so the
+   frame is complete only when the loop has drained it. EINTR is a
+   zero-byte iteration, not an error. *)
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.single_write fd buf pos len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (pos + n) (len - n)
+  end
+
+let write_line_fd fd j =
+  let line = Json.to_string j ^ "\n" in
+  let buf = Bytes.unsafe_of_string line in
+  let len = Bytes.length buf in
+  (* chaos sites: a connection reset surfacing mid-write, and a short
+     first write (the loop must finish the frame — a torn frame here
+     would corrupt every later response on the connection) *)
+  if Chaos.fire ~site:"serve.write.reset" then
+    raise (Unix.Unix_error (Unix.ECONNRESET, "write", ""));
+  let pos =
+    if len > 1 && Chaos.fire ~site:"serve.write.short" then
+      try Unix.single_write fd buf 0 (len / 2)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    else 0
+  in
+  write_all fd buf pos (len - pos)

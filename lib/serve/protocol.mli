@@ -85,3 +85,11 @@ val response_error : id:Probdb_obs.Json.t -> error -> Probdb_obs.Json.t
 
 val write_line : out_channel -> Probdb_obs.Json.t -> unit
 (** Compact-encode, append ['\n'], flush. *)
+
+val write_line_fd : Unix.file_descr -> Probdb_obs.Json.t -> unit
+(** {!write_line} straight to a descriptor, looping on short writes
+    (one [Unix.single_write] is never assumed to send the whole frame)
+    and retrying [EINTR] — the framing used by the server's response
+    path and the clients. @raise Unix.Unix_error on a dead peer
+    ([EPIPE]/[ECONNRESET]); callers map it to their connection-closed
+    handling. *)

@@ -10,6 +10,7 @@ module Stats = Probdb_obs.Stats
 module Metrics = Probdb_obs.Metrics
 module Trace = Probdb_obs.Trace
 module Clock = Probdb_obs.Clock
+module Chaos = Probdb_chaos.Chaos
 
 type config = {
   host : string;
@@ -18,6 +19,7 @@ type config = {
   queue_capacity : int;
   degrade_above : int;
   default_deadline_ms : int option;
+  worker_stall_deadline_ms : int;
   engine : E.config;
 }
 
@@ -29,6 +31,7 @@ let default_config =
     queue_capacity = 64;
     degrade_above = 48;
     default_deadline_ms = None;
+    worker_stall_deadline_ms = 30_000;
     engine = E.default_config;
   }
 
@@ -41,17 +44,19 @@ let m_degraded_load = Metrics.counter "serve.degraded_under_load"
 let m_queue_depth = Metrics.gauge "serve.queue_depth"
 let m_latency = Metrics.histogram "serve.request_latency_s"
 let m_queue_wait = Metrics.histogram "serve.queue_wait_s"
+let m_worker_restarts = Metrics.counter "serve.worker_restarts"
 
 (* One TCP connection. Responses from worker domains and from the reader
-   thread interleave on [oc], hence the write lock; [pending] counts
-   requests admitted but not yet answered, so EOF handling can wait for
-   the last response to flush before closing — [echo req | client] must
-   see its answer. *)
+   thread interleave on the descriptor, hence the write lock; [pending]
+   counts requests admitted but not yet answered, so EOF handling can wait
+   for the last response to flush before closing — [echo req | client]
+   must see its answer. Writes go straight to [fd] via
+   {!Protocol.write_line_fd} (short-write-safe framing); [ic] wraps the
+   same descriptor for the blocking read side. *)
 type conn = {
   cid : int;
   fd : Unix.file_descr;
   ic : in_channel;
-  oc : out_channel;
   wlock : Mutex.t;
   plock : Mutex.t;
   pdone : Condition.t;
@@ -61,13 +66,17 @@ type conn = {
 
 (* An admitted eval request, queued for the worker service. [j_enqueued_s]
    anchors the queue-wait measurement the admission deadline charges;
-   [j_degrade_load] is the backpressure verdict, decided at admission. *)
+   [j_degrade_load] is the backpressure verdict, decided at admission.
+   [j_done] is the reply token: the worker's answer and the watchdog's
+   doom path race for it, and only the CAS winner sends — one response
+   per request, however the race resolves. *)
 type job = {
   j_conn : conn;
   j_id : Json.t;
   j_req : Protocol.eval_request;
   j_degrade_load : bool;
   j_enqueued_s : float;
+  j_done : bool Atomic.t;
 }
 
 type state = Running | Stopping
@@ -103,9 +112,11 @@ let with_lock m f =
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 (* A write to a connection the client already abandoned is not worth
-   anything: swallow the error and let the reader thread observe EOF. *)
+   anything ([EPIPE]/[ECONNRESET] included — SIGPIPE itself is ignored
+   process-wide in [start]): swallow the error and let the reader thread
+   observe EOF. *)
 let send conn json =
-  try with_lock conn.wlock (fun () -> Protocol.write_line conn.oc json)
+  try with_lock conn.wlock (fun () -> Protocol.write_line_fd conn.fd json)
   with Sys_error _ | Unix.Unix_error _ -> ()
 
 let pending_incr conn =
@@ -133,14 +144,26 @@ let close_conn t conn =
   in
   if mine then begin
     (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-    (* both channels wrap the same descriptor: flush, then close it
-       exactly once — closing through each channel in turn would close
-       the fd twice, and between the two closes the accept loop can
-       reuse the descriptor number for a fresh connection *)
-    (try flush conn.oc with Sys_error _ -> ());
+    (* writes are unbuffered (straight to the fd), so there is nothing to
+       flush; close the descriptor exactly once — a second close could
+       hit a descriptor number the accept loop already reused *)
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     with_lock t.conns_lock (fun () -> Hashtbl.remove t.conns conn.cid)
   end
+
+(* Exactly-once reply for a job: whoever wins the [j_done] CAS — the
+   worker that evaluated it, the watchdog that doomed it, or the shutdown
+   path that dropped it — sends the response and releases the pending
+   slot; everyone else's response is discarded. Returns whether this
+   caller won. *)
+let reply job resp =
+  if Atomic.compare_and_set job.j_done false true then begin
+    send job.j_conn resp;
+    Metrics.observe m_latency (Clock.now () -. job.j_enqueued_s);
+    pending_decr job.j_conn;
+    true
+  end
+  else false
 
 (* ---------- request evaluation (worker domains) ---------- *)
 
@@ -306,7 +329,6 @@ let eval_result_json t job ~config ~degraded_load ~stats q =
       | exception exn -> Error (typed_error exn))
 
 let run_job t job =
-  let conn = job.j_conn in
   let r = job.j_req in
   let queue_wait_s = Clock.now () -. job.j_enqueued_s in
   Metrics.observe m_queue_wait queue_wait_s;
@@ -332,15 +354,13 @@ let run_job t job =
         attempt ~degrade_load:false
     | r -> r
   in
-  (match result with
+  match result with
   | Ok doc ->
-      Atomic.incr t.c_eval_ok;
-      send conn (Protocol.response_ok ~id:job.j_id doc)
+      if reply job (Protocol.response_ok ~id:job.j_id doc) then
+        Atomic.incr t.c_eval_ok
   | Error err ->
-      Atomic.incr t.c_eval_error;
-      send conn (Protocol.response_error ~id:job.j_id err));
-  Metrics.observe m_latency (Clock.now () -. job.j_enqueued_s);
-  pending_decr conn
+      if reply job (Protocol.response_error ~id:job.j_id err) then
+        Atomic.incr t.c_eval_error
 
 (* ---------- control operations (reader threads) ---------- *)
 
@@ -364,6 +384,7 @@ let stats_json t =
       ("shed", Json.Int (Atomic.get t.c_shed));
       ("degraded_under_load", Json.Int (Atomic.get t.c_degraded_load));
       ("worker_failures", Json.Int (Par.Service.failures t.service));
+      ("worker_restarts", Json.Int (Par.Service.restarts t.service));
     ]
 
 let capture_trace t ~ms =
@@ -397,6 +418,7 @@ let submit_eval t conn ~id (r : Protocol.eval_request) =
       j_req = r;
       j_degrade_load = degrade_load;
       j_enqueued_s = Clock.now ();
+      j_done = Atomic.make false;
     }
   in
   match Par.Service.try_submit t.service job with
@@ -409,17 +431,16 @@ let submit_eval t conn ~id (r : Protocol.eval_request) =
   | `Overloaded ->
       Atomic.incr t.c_shed;
       Metrics.incr m_shed;
-      send conn
-        (Protocol.response_error ~id
-           (Protocol.Overloaded
-              {
-                depth = Par.Service.depth t.service;
-                capacity = Par.Service.capacity t.service;
-              }));
-      pending_decr conn
+      ignore
+        (reply job
+           (Protocol.response_error ~id
+              (Protocol.Overloaded
+                 {
+                   depth = Par.Service.depth t.service;
+                   capacity = Par.Service.capacity t.service;
+                 })))
   | `Closed ->
-      send conn (Protocol.response_error ~id Protocol.Shutting_down);
-      pending_decr conn
+      ignore (reply job (Protocol.response_error ~id Protocol.Shutting_down))
 
 (* ---------- lifecycle (mutually recursive with request handling:
    the [shutdown] op stops the server that is handling it) ---------- *)
@@ -458,7 +479,13 @@ let rec handle_request t conn line =
 
 and reader t conn =
   let rec loop () =
-    match input_line conn.ic with
+    match
+      (* chaos site: the read syscall reporting a peer reset — handled
+         exactly like EOF, the connection is torn down cleanly *)
+      if Chaos.fire ~site:"serve.read" then
+        raise (Unix.Unix_error (Unix.ECONNRESET, "read", ""))
+      else input_line conn.ic
+    with
     | line ->
         (if String.trim line <> "" then
            try handle_request t conn line
@@ -470,7 +497,7 @@ and reader t conn =
                (Protocol.response_error ~id:Json.Null
                   (Protocol.Internal (Printexc.to_string exn))));
         loop ()
-    | exception (End_of_file | Sys_error _) -> ()
+    | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
   in
   (* the connection is unregistered and its fd closed no matter how the
      loop ends; in-flight responses flush first *)
@@ -480,34 +507,53 @@ and reader t conn =
       close_conn t conn)
     loop
 
-and accept_loop t =
-  match Unix.accept t.listen_fd with
-  | fd, _addr when Atomic.get t.state <> Running ->
-      (* the wake-up knock from [stop_], or a client racing the stop *)
-      (try Unix.close fd with Unix.Unix_error _ -> ())
-  | fd, _addr ->
-      Atomic.incr t.c_accepted;
-      Metrics.incr m_connections;
-      let conn =
-        {
-          cid = Atomic.fetch_and_add t.next_cid 1;
-          fd;
-          ic = Unix.in_channel_of_descr fd;
-          oc = Unix.out_channel_of_descr fd;
-          wlock = Mutex.create ();
-          plock = Mutex.create ();
-          pdone = Condition.create ();
-          pending = 0;
-          closed = false;
-        }
-      in
-      with_lock t.conns_lock (fun () -> Hashtbl.replace t.conns conn.cid conn);
-      ignore (Thread.create (fun () -> reader t conn) ());
-      accept_loop t
-  | exception Unix.Unix_error _ ->
-      (* the listening socket was closed by [stop], or accept failed
-         terminally; either way the accept loop is done *)
-      ()
+and accept_loop ?(backoff_s = 0.001) t =
+  if Atomic.get t.state <> Running then ()
+  else
+    (* chaos site: a transient accept failure (fd exhaustion, an
+       interrupted syscall) raised before the real accept so no actual
+       connection is consumed by the injection *)
+    match
+      if Chaos.fire ~site:"serve.accept" then
+        raise (Unix.Unix_error (Unix.EMFILE, "accept", ""))
+      else Unix.accept t.listen_fd
+    with
+    | fd, _addr when Atomic.get t.state <> Running ->
+        (* the wake-up knock from [stop_], or a client racing the stop *)
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+    | fd, _addr ->
+        Atomic.incr t.c_accepted;
+        Metrics.incr m_connections;
+        let conn =
+          {
+            cid = Atomic.fetch_and_add t.next_cid 1;
+            fd;
+            ic = Unix.in_channel_of_descr fd;
+            wlock = Mutex.create ();
+            plock = Mutex.create ();
+            pdone = Condition.create ();
+            pending = 0;
+            closed = false;
+          }
+        in
+        with_lock t.conns_lock (fun () -> Hashtbl.replace t.conns conn.cid conn);
+        ignore (Thread.create (fun () -> reader t conn) ());
+        accept_loop t
+    | exception
+        Unix.Unix_error
+          ( (Unix.EMFILE | Unix.ENFILE | Unix.EINTR | Unix.ECONNABORTED),
+            _,
+            _ )
+      when Atomic.get t.state = Running ->
+        (* transient errno: back off (1ms doubling to a 100ms cap, reset
+           by the next successful accept) and keep serving — fd
+           exhaustion and interrupted syscalls must not kill the server *)
+        Thread.delay backoff_s;
+        accept_loop ~backoff_s:(Float.min 0.1 (backoff_s *. 2.0)) t
+    | exception Unix.Unix_error _ ->
+        (* the listening socket was closed by [stop], or accept failed
+           terminally; either way the accept loop is done *)
+        ()
 
 and stop_ ~mode t =
   with_lock t.stop_lock @@ fun () ->
@@ -540,9 +586,8 @@ and stop_ ~mode t =
     in
     List.iter
       (fun job ->
-        send job.j_conn
-          (Protocol.response_error ~id:job.j_id Protocol.Shutting_down);
-        pending_decr job.j_conn)
+        ignore
+          (reply job (Protocol.response_error ~id:job.j_id Protocol.Shutting_down)))
       dropped;
     let conns =
       with_lock t.conns_lock (fun () ->
@@ -594,9 +639,30 @@ let start ?(config = default_config) db =
   in
   (* tie the knot: the worker handler needs [t], which holds the service *)
   let t_cell = ref None in
+  let stall_deadline_s =
+    if config.worker_stall_deadline_ms > 0 then
+      Some (float_of_int config.worker_stall_deadline_ms /. 1000.0)
+    else None
+  in
   let service =
-    Par.Service.start ~domains:(max 1 config.workers)
-      ~capacity:(max 1 config.queue_capacity) (fun job ->
+    Par.Service.start ~domains:(max 1 config.workers) ?stall_deadline_s
+      ~on_doom:(fun job ->
+        (* a worker crashed or stalled mid-job: the request is answered
+           typed [internal] here, and the worker pool has already spawned
+           a replacement *)
+        match !t_cell with
+        | Some t ->
+            if
+              reply job
+                (Protocol.response_error ~id:job.j_id
+                   (Protocol.Internal
+                      "worker lost (crash or stall); request abandoned, \
+                       worker restarted"))
+            then Atomic.incr t.c_eval_error
+        | None -> ())
+      ~on_restart:(fun () -> Metrics.incr m_worker_restarts)
+      ~capacity:(max 1 config.queue_capacity)
+      (fun job ->
         match !t_cell with Some t -> run_job t job | None -> ())
   in
   let t =

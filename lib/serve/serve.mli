@@ -35,13 +35,19 @@ type config = {
           under load *)
   default_deadline_ms : int option;
       (** per-request deadline applied when the request carries none *)
+  worker_stall_deadline_ms : int;
+      (** a worker busy on one request past this deadline is abandoned:
+          the request is answered with a typed [internal] error and a
+          replacement worker domain is spawned (see
+          {!Probdb_par.Par.Service}); [<= 0] disables the watchdog *)
   engine : Probdb_engine.Engine.config;
       (** base evaluation config; per-request fields override it *)
 }
 
 val default_config : config
 (** Loopback, port 7433, 2 workers, queue capacity 64, degrade watermark
-    48, no default deadline, {!Probdb_engine.Engine.default_config}. *)
+    48, no default deadline, 30s worker stall deadline,
+    {!Probdb_engine.Engine.default_config}. *)
 
 type t
 

@@ -1,0 +1,302 @@
+(* The chaos layer: deterministic seeded fault schedules, the
+   self-healing worker pool (crash recovery and the stall watchdog), the
+   resilient client (retries, timeouts, circuit breaker), and a short
+   seeded chaos soak against a live server — every request must come back
+   with a correct answer or a typed error, and the server must survive. *)
+
+module Chaos = Probdb_chaos.Chaos
+module Guard = Probdb_guard.Guard
+module Par = Probdb_par.Par
+module Serve = Probdb_serve.Serve
+module Client = Probdb_serve.Client
+module Resilient = Probdb_serve.Client.Resilient
+module Protocol = Probdb_serve.Protocol
+module Json = Probdb_obs.Json
+module Gen = Probdb_workload.Gen
+
+(* Every test arms its own schedule and must disarm on any exit: chaos
+   state is process-global and the rest of the suite expects a clean
+   process. *)
+let with_chaos spec f =
+  Chaos.arm spec;
+  Fun.protect ~finally:Chaos.disarm f
+
+let test_spec_parsing () =
+  (match Chaos.parse_spec "42:0.05" with
+  | Ok { Chaos.seed; rate } ->
+      Alcotest.(check int) "seed" 42 seed;
+      Alcotest.(check (float 1e-9)) "rate" 0.05 rate
+  | Error e -> Alcotest.fail e);
+  (match Chaos.parse_spec "7:1" with
+  | Ok { Chaos.rate; _ } -> Alcotest.(check (float 1e-9)) "rate 1" 1.0 rate
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check string) "render" "42:0.05"
+    (Chaos.render_spec { Chaos.seed = 42; rate = 0.05 });
+  List.iter
+    (fun bad ->
+      match Chaos.parse_spec bad with
+      | Ok _ -> Alcotest.failf "spec %S must be rejected" bad
+      | Error _ -> ())
+    [ ""; "42"; "x:0.5"; "42:x"; "-1:0.5"; "42:1.5"; "42:-0.1"; "42:nan" ]
+
+let fire_pattern ~site n =
+  List.init n (fun _ -> Chaos.fire ~site)
+
+let test_schedule_deterministic () =
+  let spec = { Chaos.seed = 7; rate = 0.3 } in
+  let a = with_chaos spec (fun () -> fire_pattern ~site:"t.x" 500) in
+  let b = with_chaos spec (fun () -> fire_pattern ~site:"t.x" 500) in
+  Alcotest.(check (list bool)) "same seed => same schedule" a b;
+  let c =
+    with_chaos { spec with Chaos.seed = 8 } (fun () -> fire_pattern ~site:"t.x" 500)
+  in
+  Alcotest.(check bool) "different seed => different schedule" true (a <> c);
+  let d = with_chaos spec (fun () -> fire_pattern ~site:"t.y" 500) in
+  Alcotest.(check bool) "different site => different schedule" true (a <> d);
+  (* the firing frequency tracks the rate (loose bounds: the schedule is
+     pseudo-random, not exact) *)
+  let fired = List.length (List.filter Fun.id a) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate 0.3 fired %d/500" fired)
+    true
+    (fired > 80 && fired < 230)
+
+let test_rate_extremes_and_disarm () =
+  let never = with_chaos { Chaos.seed = 3; rate = 0.0 } (fun () -> fire_pattern ~site:"t.z" 200) in
+  Alcotest.(check bool) "rate 0 never fires" false (List.mem true never);
+  let always = with_chaos { Chaos.seed = 3; rate = 1.0 } (fun () -> fire_pattern ~site:"t.z" 200) in
+  Alcotest.(check bool) "rate 1 always fires" false (List.mem false always);
+  Alcotest.(check bool) "disarmed" false (Chaos.armed ());
+  let before = Chaos.injections () in
+  Alcotest.(check bool) "disarmed never fires" false (Chaos.fire ~site:"t.z");
+  Alcotest.(check int) "disarmed counts nothing" before (Chaos.injections ())
+
+let test_guard_poll_trips_under_chaos () =
+  (* an armed schedule at rate 1 trips a live guard at its first poll,
+     through the same Exhausted/Fault path as the tests-only fault hook *)
+  with_chaos { Chaos.seed = 5; rate = 1.0 } (fun () ->
+      let g = Guard.create () in
+      match Guard.poll g ~site:"test.site" with
+      | exception Guard.Exhausted { resource = Guard.Fault; site; _ } ->
+          Alcotest.(check string) "trip names the poll site" "test.site" site
+      | _ -> Alcotest.fail "expected a chaos Fault trip");
+  (* the unlimited guard stays inert even under chaos: only live guards
+     poll, so unguarded library code is unaffected *)
+  with_chaos { Chaos.seed = 5; rate = 1.0 } (fun () ->
+      Guard.poll Guard.unlimited ~site:"test.site")
+
+let test_service_crash_self_heals () =
+  (* rate 1: every item's pickup raises the chaos crash before the
+     handler, killing the worker. Each loss must doom exactly that item
+     and respawn a worker; after disarming, the healed pool must still
+     process new work. *)
+  let processed = Atomic.make 0 in
+  let doomed = Atomic.make 0 in
+  let restarts_seen = Atomic.make 0 in
+  let svc =
+    Par.Service.start ~domains:1 ~capacity:16
+      ~on_doom:(fun _ -> Atomic.incr doomed)
+      ~on_restart:(fun () -> Atomic.incr restarts_seen)
+      (fun _ -> Atomic.incr processed)
+  in
+  with_chaos { Chaos.seed = 11; rate = 1.0 } (fun () ->
+      for i = 1 to 5 do
+        match Par.Service.try_submit svc i with
+        | `Accepted _ -> ()
+        | `Overloaded | `Closed -> Alcotest.fail "submit refused"
+      done;
+      (* crashes don't go through [completed]; wait on the doom count *)
+      let deadline = Unix.gettimeofday () +. 30.0 in
+      while Atomic.get doomed < 5 && Unix.gettimeofday () < deadline do
+        Thread.delay 0.01
+      done);
+  Alcotest.(check int) "all items doomed" 5 (Atomic.get doomed);
+  Alcotest.(check int) "none processed" 0 (Atomic.get processed);
+  Alcotest.(check bool) "restarts counted" true (Par.Service.restarts svc >= 5);
+  Alcotest.(check bool) "restart callback ran" true (Atomic.get restarts_seen >= 5);
+  (* chaos off: the healed pool still works *)
+  (match Par.Service.try_submit svc 99 with
+  | `Accepted _ -> ()
+  | _ -> Alcotest.fail "healed pool refused work");
+  Par.Service.wait_idle svc;
+  Alcotest.(check int) "healed pool processes" 1 (Atomic.get processed);
+  ignore (Par.Service.shutdown svc)
+
+let test_service_stall_watchdog () =
+  (* no chaos here: a handler that wedges past the stall deadline must be
+     abandoned by the watchdog — its item doomed, a replacement worker
+     spawned — while fast items keep flowing. *)
+  let doomed = ref [] in
+  let processed = Atomic.make 0 in
+  let svc =
+    Par.Service.start ~domains:1 ~capacity:16 ~stall_deadline_s:0.1
+      ~on_doom:(fun i -> doomed := i :: !doomed)
+      (fun i -> if i = 0 then Thread.delay 0.6 else Atomic.incr processed)
+  in
+  (match Par.Service.try_submit svc 0 with
+  | `Accepted _ -> ()
+  | _ -> Alcotest.fail "submit refused");
+  (match Par.Service.try_submit svc 1 with
+  | `Accepted _ -> ()
+  | _ -> Alcotest.fail "submit refused");
+  (* the fast item must be served by the replacement worker well before
+     the stalled worker wakes up *)
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  while Atomic.get processed < 1 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  Alcotest.(check int) "fast item processed by replacement" 1 (Atomic.get processed);
+  Alcotest.(check (list int)) "stalled item doomed" [ 0 ] !doomed;
+  Alcotest.(check int) "one restart" 1 (Par.Service.restarts svc);
+  (* let the stalled worker finish so shutdown can join it *)
+  Thread.delay 0.7;
+  ignore (Par.Service.shutdown svc)
+
+let test_write_line_fd_short_writes () =
+  (* the fd writer must deliver the frame intact whatever single_write
+     does: push a response bigger than the socket buffer through a
+     socketpair while a thread drains the other end *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let big = String.concat "" (List.init 40_000 (fun i -> string_of_int (i mod 10))) in
+  let doc = Json.Obj [ ("payload", Json.Str big) ] in
+  let received = Buffer.create (String.length big + 64) in
+  let reader =
+    Thread.create
+      (fun () ->
+        let chunk = Bytes.create 4096 in
+        let rec drain () =
+          match Unix.read b chunk 0 4096 with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes received chunk 0 n;
+              if Buffer.length received < String.length (Json.to_string doc) + 1
+              then drain ()
+        in
+        drain ())
+      ()
+  in
+  Protocol.write_line_fd a doc;
+  Thread.join reader;
+  Unix.close a;
+  Unix.close b;
+  Alcotest.(check string) "frame intact" (Json.to_string doc ^ "\n")
+    (Buffer.contents received)
+
+let test_resilient_breaker_on_dead_server () =
+  (* find a port with nothing listening *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> Alcotest.fail "no port"
+  in
+  Unix.close fd;
+  let policy =
+    { Resilient.default_policy with
+      Resilient.max_attempts = 2;
+      base_backoff_s = 0.001;
+      max_backoff_s = 0.002;
+      retry_budget_s = 0.01;
+      breaker_threshold = 2;
+      breaker_cooldown_s = 30.0 }
+  in
+  let c = Resilient.create ~policy port in
+  (match Resilient.eval c "exists x. R(x)" with
+  | Error (Resilient.Gave_up _) -> ()
+  | Error Resilient.Breaker_open -> Alcotest.fail "breaker open too early"
+  | Ok _ -> Alcotest.fail "nothing is listening");
+  Alcotest.(check bool) "breaker open after threshold" true (Resilient.breaker_is_open c);
+  Alcotest.(check int) "one breaker transition" 1 (Resilient.breaker_opens c);
+  let attempts_before = Resilient.attempts c in
+  (match Resilient.eval c "exists x. R(x)" with
+  | Error Resilient.Breaker_open -> ()
+  | _ -> Alcotest.fail "expected fail-fast while the breaker is open");
+  Alcotest.(check int) "breaker sends nothing" attempts_before (Resilient.attempts c);
+  Resilient.close c
+
+(* ---------- chaos soak against a live server ---------- *)
+
+let small_db () =
+  Gen.random_tid ~seed:11 ~domain_size:6
+    [ Gen.spec ~density:0.5 "R" 1; Gen.spec ~density:0.3 "S" 2;
+      Gen.spec ~density:0.5 "T" 1 ]
+
+let soak_queries =
+  [| "exists x y. R(x) && S(x,y)"; "exists x. R(x)";
+     "exists x y. R(x) && S(x,y) && T(y)"; "forall x y. R(x) || S(x,y)" |]
+
+let test_serve_chaos_soak () =
+  (* A short seeded soak with every site armed: 2 resilient clients x 60
+     requests at a 4% fault rate. The contract under chaos: no hangs, no
+     crashes — every call returns an answer or a typed error, and the
+     server still answers cleanly after disarming. *)
+  let config =
+    { Serve.default_config with
+      Serve.port = 0;
+      workers = 2;
+      queue_capacity = 16;
+      degrade_above = 8;
+      worker_stall_deadline_ms = 100;
+      default_deadline_ms = Some 2_000 }
+  in
+  let server = Serve.start ~config (small_db ()) in
+  let port = Serve.port server in
+  Fun.protect ~finally:(fun () -> Serve.stop server) @@ fun () ->
+  let ok = Atomic.make 0 and typed = Atomic.make 0 and gave_up = Atomic.make 0 in
+  with_chaos { Chaos.seed = 42; rate = 0.04 } (fun () ->
+      let client k =
+        let policy =
+          { Resilient.attempt_timeout_s = 1.0;
+            max_attempts = 3;
+            base_backoff_s = 0.005;
+            max_backoff_s = 0.05;
+            retry_budget_s = 0.3;
+            breaker_threshold = 8;
+            breaker_cooldown_s = 0.2;
+            seed = 100 + k }
+        in
+        let c = Resilient.create ~policy port in
+        for i = 0 to 59 do
+          let q = soak_queries.(i mod Array.length soak_queries) in
+          match Resilient.eval c q with
+          | Ok resp ->
+              if Client.ok resp then Atomic.incr ok else Atomic.incr typed
+          | Error _ -> Atomic.incr gave_up
+        done;
+        Resilient.close c
+      in
+      let ths = List.init 2 (fun k -> Thread.create client k) in
+      List.iter Thread.join ths);
+  let answered = Atomic.get ok + Atomic.get typed + Atomic.get gave_up in
+  Alcotest.(check int) "every request accounted for" 120 answered;
+  Alcotest.(check bool) "some requests succeeded" true (Atomic.get ok > 0);
+  Alcotest.(check bool) "chaos actually injected" true (Chaos.injections () > 0);
+  (* the server must have survived the soak: a clean client works and the
+     stats snapshot exposes the restart count *)
+  let c = Client.connect port in
+  Alcotest.(check bool) "server alive after chaos" true (Client.ping c);
+  let stats = Client.result (Client.call c [ ("op", Json.Str "stats") ]) in
+  (match Json.member "worker_restarts" stats with
+  | Some (Json.Int _) -> ()
+  | _ -> Alcotest.fail "stats must report worker_restarts");
+  Client.close c
+
+let suites =
+  [
+    ( "chaos",
+      [
+        Alcotest.test_case "spec parsing" `Quick test_spec_parsing;
+        Alcotest.test_case "schedule deterministic" `Quick test_schedule_deterministic;
+        Alcotest.test_case "rate extremes and disarm" `Quick test_rate_extremes_and_disarm;
+        Alcotest.test_case "guard poll trips under chaos" `Quick
+          test_guard_poll_trips_under_chaos;
+        Alcotest.test_case "service crash self-heals" `Quick test_service_crash_self_heals;
+        Alcotest.test_case "service stall watchdog" `Quick test_service_stall_watchdog;
+        Alcotest.test_case "fd writer survives short writes" `Quick
+          test_write_line_fd_short_writes;
+        Alcotest.test_case "resilient client circuit breaker" `Quick
+          test_resilient_breaker_on_dead_server;
+        Alcotest.test_case "serve chaos soak" `Slow test_serve_chaos_soak;
+      ] );
+  ]

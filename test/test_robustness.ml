@@ -328,6 +328,85 @@ let test_exact_answer_not_degraded () =
       Alcotest.(check bool) "exact" true a.Answer.exact;
       Test_util.check_float "value" (L.Brute_force.probability db q) a.Answer.value
 
+let test_degradation_bookkeeping_complete () =
+  (* Property: {e every} degraded answer — whatever drove the degradation
+     (budget trip, injected fault, or the server's force_degrade under
+     load) — carries complete bookkeeping: a non-empty degradation chain
+     whose steps all name a strategy and a kind, a confidence interval
+     bracketing the value, a positive sample count, and the same facts
+     mirrored in [Stats.t]. *)
+  let db = unsafe_db () and q = unsafe_q () in
+  let d = { E.eps = 0.05; delta = 0.05; max_samples = 20_000 } in
+  let configs seed =
+    [ ( "trip-at-poll",
+        { E.default_config with
+          E.seed;
+          strategies = [ E.Obdd; E.Dpll ];
+          fault = Some (Guard.Trip_at_poll { poll = 1; resource = Guard.Deadline });
+          degrade = Some d } );
+      ( "tiny-decision-budget",
+        { E.default_config with
+          E.seed;
+          strategies = [ E.Dpll ];
+          dpll_max_decisions = 1;
+          degrade = Some d } );
+      ( "force-degrade",
+        E.force_degrade { E.default_config with E.seed; degrade = Some d } );
+      ( "force-degrade-no-targets",
+        (* degradation was off in the base config: force_degrade installs
+           the defaults, and the bookkeeping contract still holds *)
+        E.force_degrade { E.default_config with E.seed; degrade = None } )
+    ]
+  in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (name, config) ->
+          let ctx fmt = Printf.ksprintf (fun s -> Printf.sprintf "%s/seed=%d: %s" name seed s) fmt in
+          let stats = Probdb_obs.Stats.create () in
+          match E.eval ~config ~stats db q with
+          | Error e -> Alcotest.fail (ctx "expected a degraded answer, got: %s" (Err.render e))
+          | Ok a ->
+              Alcotest.(check bool) (ctx "degraded") true a.Answer.degraded;
+              (* answer-side bookkeeping *)
+              Alcotest.(check bool) (ctx "chain non-empty") true (a.Answer.chain <> []);
+              List.iter
+                (fun step ->
+                  Alcotest.(check bool)
+                    (ctx "chain step names a strategy")
+                    true
+                    (Answer.step_strategy step <> "");
+                  Alcotest.(check bool)
+                    (ctx "chain step kind")
+                    true
+                    (List.mem (Answer.step_kind step) [ "skipped"; "tripped" ]))
+                a.Answer.chain;
+              let c =
+                match a.Answer.confidence with
+                | Some c -> c
+                | None -> Alcotest.fail (ctx "degraded answer must carry a CI")
+              in
+              Alcotest.(check bool)
+                (ctx "ci [%g, %g] brackets value %g" c.Answer.ci_low c.Answer.ci_high
+                   a.Answer.value)
+                true
+                (c.Answer.ci_low <= a.Answer.value && a.Answer.value <= c.Answer.ci_high);
+              Alcotest.(check bool) (ctx "samples > 0") true (c.Answer.samples > 0);
+              (* the same facts must land in Stats.t: the serving path
+                 (stats-json, BENCH joins) reads them from there *)
+              Alcotest.(check bool) (ctx "stats.degraded") true stats.Probdb_obs.Stats.degraded;
+              Alcotest.(check (option (float 1e-12))) (ctx "stats.ci_low")
+                (Some c.Answer.ci_low) stats.Probdb_obs.Stats.ci_low;
+              Alcotest.(check (option (float 1e-12))) (ctx "stats.ci_high")
+                (Some c.Answer.ci_high) stats.Probdb_obs.Stats.ci_high;
+              Alcotest.(check (option int)) (ctx "stats.samples")
+                (Some c.Answer.samples) stats.Probdb_obs.Stats.samples;
+              Alcotest.(check int) (ctx "stats.chain mirrors answer chain")
+                (List.length a.Answer.chain)
+                (List.length stats.Probdb_obs.Stats.chain))
+        (configs seed))
+    [ 1; 7; 42; 1234 ]
+
 let test_no_method_stays_typed () =
   (* nothing applicable and no trip: the error class is No_method, not
      Exhausted *)
@@ -364,5 +443,7 @@ let suites =
           test_degraded_answer_close_to_exact;
         Alcotest.test_case "exact answer not degraded" `Quick test_exact_answer_not_degraded;
         Alcotest.test_case "no-method stays typed" `Quick test_no_method_stays_typed;
+        Alcotest.test_case "degradation bookkeeping complete" `Quick
+          test_degradation_bookkeeping_complete;
       ] );
   ]

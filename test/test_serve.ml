@@ -458,7 +458,7 @@ let test_shutdown_drains_in_flight () =
       (match Client.ping c2 with
       | true -> Alcotest.fail "server still serving after shutdown"
       | false -> ()
-      | exception (End_of_file | Sys_error _ | Failure _) -> ());
+      | exception (End_of_file | Sys_error _ | Failure _ | Client.Connection_closed) -> ());
       Client.close c2
   | exception Unix.Unix_error _ -> ()
 
@@ -479,7 +479,7 @@ let test_stop_now_cancels () =
                  (Client.eval c
                     ~fields:[ ("no_degrade", Json.Bool true) ]
                     h0)
-             with End_of_file | Sys_error _ | Failure _ -> `Closed))
+             with End_of_file | Sys_error _ | Failure _ | Client.Connection_closed -> `Closed))
       ()
   in
   Thread.delay 0.2;
@@ -533,7 +533,7 @@ let test_queued_get_shutting_down_on_stop_now () =
              :: !classes
        | Error _ -> ()
      done
-   with End_of_file | Sys_error _ -> ());
+   with End_of_file | Sys_error _ | Client.Connection_closed -> ());
   Thread.join stopper;
   Client.close c;
   Alcotest.(check bool) "queued requests answered shutting-down" true
