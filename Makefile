@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke bench-compare docs check check-budget check-wmc check-trace check-serve check-chaos
+.PHONY: all build test bench bench-smoke bench-compare docs check check-budget check-wmc check-trace check-serve check-chaos check-prepare
 
 all: build
 
@@ -63,7 +63,12 @@ bench-smoke: build
 		>/dev/null || { echo "bench-smoke: e18 failed or hung (exit $$?)"; exit 1; }; \
 	dune exec --no-build bench/compare.exe -- --validate-chaos BENCH_chaos.json || \
 		{ echo "bench-smoke: BENCH_chaos.json failed schema validation"; exit 1; }; \
-	echo "bench-smoke: BENCH_chaos.json schema + soak invariants — OK"
+	echo "bench-smoke: BENCH_chaos.json schema + soak invariants — OK"; \
+	timeout 120 env PROBDB_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- e19 \
+		>/dev/null || { echo "bench-smoke: e19 failed or hung (exit $$?)"; exit 1; }; \
+	dune exec --no-build bench/compare.exe -- --validate-prepare BENCH_prepare.json || \
+		{ echo "bench-smoke: BENCH_prepare.json failed schema validation"; exit 1; }; \
+	echo "bench-smoke: BENCH_prepare.json schema + zero-drift invariant — OK"
 
 # The grounded-WMC equivalence suite on its own: the clause-database
 # counter against brute force and the tree DPLL reference across the
@@ -125,6 +130,23 @@ check-chaos: build
 		{ echo "check-chaos: BENCH_chaos.json failed schema validation"; exit 1; }; \
 	echo "check-chaos: chaos suite + seeded soak + schema — OK"
 
+# The prepared-queries suite both ways round, then the E19 bench: the
+# prepare tests must pass with the cache on AND with PROBDB_NO_PLAN_CACHE=1
+# (capacity-0 default cache — identical pipeline, nothing retained), and
+# BENCH_prepare.json must pass the schema validator, which also asserts the
+# cache contract: warm >= 2x faster than cold (1.2x at smoke sizes), served
+# hit rate >= 0.9 on repeated templates, and zero answer drift.
+check-prepare: build
+	@timeout 300 dune exec --no-build test/main.exe -- test prepare || \
+		{ echo "check-prepare: prepare suite failed (exit $$?)"; exit 1; }; \
+	timeout 300 env PROBDB_NO_PLAN_CACHE=1 dune exec --no-build test/main.exe -- test prepare || \
+		{ echo "check-prepare: prepare suite failed with the cache disabled"; exit 1; }; \
+	timeout 120 env PROBDB_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- e19 \
+		>/dev/null || { echo "check-prepare: e19 failed or hung (exit $$?)"; exit 1; }; \
+	dune exec --no-build bench/compare.exe -- --validate-prepare BENCH_prepare.json || \
+		{ echo "check-prepare: BENCH_prepare.json failed schema validation"; exit 1; }; \
+	echo "check-prepare: suite both cache modes + warm speedup + zero drift — OK"
+
 # The bench regression gate, self-tested both ways: two smoke runs of the
 # same experiment must pass the comparison (threshold 4x absorbs smoke-run
 # noise), and a synthetically regressed copy (timings x25) must fail it.
@@ -157,9 +179,9 @@ bench-compare: build
 
 # What CI runs: build, test suite, the budget and benchmark smoke tests,
 # the WMC equivalence suite, the observability suite, the serving soak,
-# the chaos-engineering suite, and — when odoc is installed — the
-# fatal-warnings documentation build.
-check: build test check-budget bench-smoke check-wmc check-trace check-serve check-chaos
+# the chaos-engineering suite, the prepared-queries suite, and — when
+# odoc is installed — the fatal-warnings documentation build.
+check: build test check-budget bench-smoke check-wmc check-trace check-serve check-chaos check-prepare
 	@if command -v odoc >/dev/null 2>&1; then \
 		dune build @check-docs; \
 	else \

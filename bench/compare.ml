@@ -283,6 +283,92 @@ let validate_chaos path =
     0
   with Exit -> 1
 
+(* ---------- validate-prepare ---------- *)
+
+(* Schema and invariant check for BENCH_prepare.json (the E19
+   prepared-queries output) — run by `make check-prepare`. Beyond shape,
+   it asserts the contract the prepare/execute split is sold on: warm
+   cache hits are genuinely faster than cold prepares (>= 2x median at
+   full sizes, >= 1.2x under PROBDB_BENCH_SMOKE where batches are tiny
+   and noise is not), the served repeated-template workload hits the
+   shared cache >= 90% of the time, and caching never changed an answer
+   (every served value bit-compared against the uncached engine). *)
+let validate_prepare path =
+  let fail fmt =
+    Printf.ksprintf (fun s -> Printf.printf "INVALID %s: %s\n" path s; raise Exit) fmt
+  in
+  try
+    let doc = read_json path in
+    let fields = match doc with Json.Obj f -> f | _ -> fail "top level is not an object" in
+    let get k = match List.assoc_opt k fields with Some v -> v | None -> fail "missing field %S" k in
+    (match get "experiment" with
+    | Json.Str "prepare" -> ()
+    | _ -> fail "experiment is not \"prepare\"");
+    let smoke = match get "smoke" with
+      | Json.Bool b -> b
+      | _ -> fail "smoke is not a boolean"
+    in
+    let num_field obj k =
+      match obj with
+      | Json.Obj f -> (
+          match Option.bind (List.assoc_opt k f) number with
+          | Some v -> v
+          | None -> fail "entry missing numeric field %S" k)
+      | _ -> fail "entry is not an object"
+    in
+    let rows = match get "cold_warm" with
+      | Json.List (_ :: _ as rs) -> rs
+      | Json.List [] -> fail "empty cold_warm"
+      | _ -> fail "cold_warm is not a list"
+    in
+    List.iter
+      (fun r ->
+        (match r with
+        | Json.Obj f when List.mem_assoc "template" f -> ()
+        | _ -> fail "cold_warm entry missing \"template\"");
+        if num_field r "cold_s" <= 0.0 then fail "non-positive cold_s";
+        if num_field r "warm_s" <= 0.0 then fail "non-positive warm_s";
+        ignore (num_field r "speedup"))
+      rows;
+    let num k = match number (get k) with
+      | Some v -> v
+      | None -> fail "%s is not a number" k
+    in
+    let floor_x = if smoke then 1.2 else 2.0 in
+    let median_speedup = num "median_speedup" in
+    if median_speedup < floor_x then
+      fail "median cold/warm speedup %.2fx below the %.1fx floor"
+        median_speedup floor_x;
+    let levels = match get "sweep" with
+      | Json.List (_ :: _ as ls) -> ls
+      | Json.List [] -> fail "empty sweep"
+      | _ -> fail "sweep is not a list"
+    in
+    List.iter
+      (fun l ->
+        List.iter
+          (fun k -> ignore (num_field l k))
+          [ "clients"; "qps_cached"; "qps_uncached" ])
+      levels;
+    let hit_rate = num "hit_rate" in
+    if hit_rate < 0.0 || hit_rate > 1.0 then fail "hit_rate outside [0,1]";
+    if hit_rate < 0.9 then
+      fail "served cache hit rate %.3f below 0.9 on a repeated-template workload"
+        hit_rate;
+    (match get "drift_free" with
+    | Json.Bool true -> ()
+    | Json.Bool false -> fail "drift_free is false: a cached answer differed"
+    | _ -> fail "drift_free is not a boolean");
+    (match get "all_answered" with
+    | Json.Bool true -> ()
+    | Json.Bool false -> fail "all_answered is false: requests went unanswered"
+    | _ -> fail "all_answered is not a boolean");
+    Printf.printf
+      "OK %s: %.2fx median warm speedup, %.3f hit rate, %d sweep level(s), zero drift\n"
+      path median_speedup hit_rate (List.length levels);
+    0
+  with Exit -> 1
+
 (* ---------- entry ---------- *)
 
 let usage () =
@@ -291,7 +377,8 @@ let usage () =
     \       compare --degrade FACTOR IN.json OUT.json\n\
     \       compare --validate-trace FILE.json\n\
     \       compare --validate-serve FILE.json\n\
-    \       compare --validate-chaos FILE.json";
+    \       compare --validate-chaos FILE.json\n\
+    \       compare --validate-prepare FILE.json";
   2
 
 let () =
@@ -300,6 +387,7 @@ let () =
     | [ "--validate-trace"; path ] -> validate_trace path
     | [ "--validate-serve"; path ] -> validate_serve path
     | [ "--validate-chaos"; path ] -> validate_chaos path
+    | [ "--validate-prepare"; path ] -> validate_prepare path
     | [ "--degrade"; factor; in_path; out_path ] -> (
         match float_of_string_opt factor with
         | Some f -> degrade_file f in_path out_path

@@ -1,0 +1,255 @@
+(* E19 — the prepare/execute split (EXPERIMENTS.md E19).
+
+   Two measurements:
+
+   1. Cold vs warm evaluation latency on repeated query templates. Cold
+      runs the full prepared pipeline every time (a capacity-0 cache:
+      identical code path, nothing retained); warm hits the shared
+      compiled-plan cache and goes straight to execution. The headline is
+      the median speedup across the safe templates — the queries whose
+      per-eval cost is dominated by classification and plan construction,
+      exactly what the cache amortises.
+
+   2. Served throughput with the cache on vs off, swept over client
+      counts, on a repeated-template workload — plus the cache hit rate
+      the cached server reports and a zero-drift check of every served
+      answer against the uncached engine.
+
+   Both caches are created explicitly, so the experiment measures what it
+   says even under PROBDB_NO_PLAN_CACHE=1. PROBDB_BENCH_SMOKE=1 shrinks
+   the batches, the sweep and the windows so the run doubles as a schema
+   check for BENCH_prepare.json (`make check-prepare`). *)
+
+module Json = Probdb_obs.Json
+module E = Probdb_engine.Engine
+module Answer = Probdb_engine.Answer
+module Prepare = Probdb_prepare.Prepare
+module L = Probdb_logic
+module Q = Probdb_workload.Queries
+module Gen = Probdb_workload.Gen
+module Serve = Probdb_serve.Serve
+module Client = Probdb_serve.Client
+
+let smoke = Sys.getenv_opt "PROBDB_BENCH_SMOKE" <> None
+
+let db_for q ~seed ~domain_size =
+  let specs =
+    List.map
+      (fun (name, arity) -> Gen.spec ~density:0.6 name arity)
+      (L.Fo.relations q)
+  in
+  Gen.random_tid ~seed ~domain_size specs
+
+(* Safe templates of growing width: classification and plan construction
+   grow with the query, execution stays cheap on a small database. *)
+let templates =
+  [ ("q_hier", Q.q_hier.Q.query);
+    ("q_hier+const", L.Parser.parse_sentence "exists x y. R(x) && S(x,y) && T('c3')");
+    ("chain4", Q.hierarchical_chain 4);
+    ("chain8", Q.hierarchical_chain 8) ]
+
+let uncached_config () =
+  { E.default_config with
+    E.plan_cache = Some (Prepare.Cache.create ~capacity:0 ()) }
+
+let cold_warm_row (name, q) =
+  let db = db_for q ~seed:17 ~domain_size:(if smoke then 4 else 6) in
+  let batch = if smoke then 20 else 200 in
+  let run config () =
+    for _ = 1 to batch do
+      match E.eval ~config db q with
+      | Ok _ -> ()
+      | Error e -> failwith (Probdb_core.Probdb_error.render e)
+    done
+  in
+  let cold_cfg = uncached_config () in
+  let warm_cfg =
+    { E.default_config with E.plan_cache = Some (Prepare.Cache.create ()) }
+  in
+  (* prime the cache, then measure only warm hits *)
+  (match E.eval ~config:warm_cfg db q with Ok _ -> () | Error _ -> ());
+  let per_eval total = total /. float_of_int batch in
+  let cold_s = per_eval (Common.timed ~repeat:5 (run cold_cfg)) in
+  let warm_s = per_eval (Common.timed ~repeat:5 (run warm_cfg)) in
+  (name, cold_s, warm_s, cold_s /. warm_s)
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  a.(Array.length a / 2)
+
+(* ---------- the served sweep ---------- *)
+
+let served_queries =
+  [ "exists x y. R(x) && S(x,y)";
+    "exists x. R(x) && T(x)";
+    "exists x y. R(x) && S(x,y) && T(y)" ]
+
+let serve_db () =
+  Gen.random_tid ~seed:11 ~domain_size:(if smoke then 5 else 8)
+    [ Gen.spec ~density:0.6 "R" 1; Gen.spec ~density:0.4 "S" 2;
+      Gen.spec ~density:0.6 "T" 1 ]
+
+let bits = Int64.bits_of_float
+
+(* closed-loop client: back-to-back requests until the window closes,
+   every answer compared bit-for-bit against the uncached engine *)
+let run_client ~port ~until ~expected ok drift errors =
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let qs = Array.of_list expected in
+  let i = ref 0 in
+  while Unix.gettimeofday () < until do
+    let q, want = qs.(!i mod Array.length qs) in
+    incr i;
+    match Client.eval c q with
+    | resp when Client.ok resp -> (
+        Atomic.incr ok;
+        match Json.member "value" (Client.result resp) with
+        | Some (Json.Float got) when bits got = bits want -> ()
+        | _ -> Atomic.incr drift)
+    | _ -> Atomic.incr errors
+    | exception (End_of_file | Sys_error _ | Failure _ | Client.Connection_closed)
+      ->
+        Atomic.incr errors
+  done
+
+let run_level ~port ~window_s ~clients ~expected =
+  let ok = Atomic.make 0 and drift = Atomic.make 0 and errors = Atomic.make 0 in
+  let until = Unix.gettimeofday () +. window_s in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init clients (fun _ ->
+        Thread.create (fun () -> run_client ~port ~until ~expected ok drift errors) ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  (float_of_int (Atomic.get ok) /. wall, Atomic.get drift, Atomic.get errors)
+
+let sweep_servers db ~expected =
+  let sweep = if smoke then [ 1; 4 ] else [ 1; 8; 16 ] in
+  let window_s = if smoke then 0.8 else 3.0 in
+  let start cache =
+    Serve.start
+      ~config:
+        { Serve.default_config with
+          Serve.port = 0;
+          workers = if smoke then 2 else 4;
+          default_deadline_ms = Some 2_000;
+          engine = { E.default_config with E.plan_cache = Some cache } }
+      db
+  in
+  let cache = Prepare.Cache.create () in
+  let cached = start cache in
+  let uncached = start (Prepare.Cache.create ~capacity:0 ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.stop cached;
+      Serve.stop uncached)
+  @@ fun () ->
+  let drift = ref 0 and errors = ref 0 in
+  let levels =
+    List.map
+      (fun clients ->
+        let qps_on, d1, e1 =
+          run_level ~port:(Serve.port cached) ~window_s ~clients ~expected
+        in
+        let qps_off, d2, e2 =
+          run_level ~port:(Serve.port uncached) ~window_s ~clients ~expected
+        in
+        drift := !drift + d1 + d2;
+        errors := !errors + e1 + e2;
+        (clients, qps_on, qps_off))
+      sweep
+  in
+  let k = Prepare.Cache.counters cache in
+  let hit_rate =
+    let lookups = k.Prepare.Cache.hits + k.Prepare.Cache.misses in
+    if lookups = 0 then 0.0
+    else float_of_int k.Prepare.Cache.hits /. float_of_int lookups
+  in
+  (levels, hit_rate, !drift, !errors)
+
+let run () =
+  Common.header "E19: prepared queries / the compiled-plan cache";
+  Common.section "cold vs warm per-eval latency (repeated templates)";
+  let rows = List.map cold_warm_row templates in
+  Common.table
+    ([ "template"; "cold"; "warm"; "speedup" ]
+    :: List.map
+         (fun (name, cold_s, warm_s, speedup) ->
+           [ name; Common.pretty_time cold_s; Common.pretty_time warm_s;
+             Printf.sprintf "%.1fx" speedup ])
+         rows);
+  let median_speedup = median (List.map (fun (_, _, _, s) -> s) rows) in
+  Printf.printf "\nmedian cold/warm speedup: %.2fx\n" median_speedup;
+
+  Common.section "served qps, cache on vs off (repeated-template workload)";
+  let db = serve_db () in
+  let uncached = uncached_config () in
+  let expected =
+    List.map
+      (fun q ->
+        match E.eval ~config:uncached db (L.Parser.parse_sentence q) with
+        | Ok a -> (q, a.Answer.value)
+        | Error e -> failwith (Probdb_core.Probdb_error.render e))
+      served_queries
+  in
+  let levels, hit_rate, drift, errors = sweep_servers db ~expected in
+  Common.table
+    ([ "clients"; "qps cached"; "qps uncached"; "ratio" ]
+    :: List.map
+         (fun (clients, qps_on, qps_off) ->
+           [ string_of_int clients;
+             Printf.sprintf "%.0f" qps_on;
+             Printf.sprintf "%.0f" qps_off;
+             Printf.sprintf "%.2fx" (qps_on /. Float.max 1e-9 qps_off) ])
+         levels);
+  Printf.printf "\ncache hit rate %.3f; %d drifted answer(s); %d error(s)\n"
+    hit_rate drift errors;
+
+  Common.bench_json "prepare"
+    [
+      ("smoke", Json.Bool smoke);
+      ( "cold_warm",
+        Json.List
+          (List.map
+             (fun (name, cold_s, warm_s, speedup) ->
+               Json.Obj
+                 [
+                   ("template", Json.Str name);
+                   ("cold_s", Json.Float cold_s);
+                   ("warm_s", Json.Float warm_s);
+                   ("speedup", Json.Float speedup);
+                 ])
+             rows) );
+      ("median_speedup", Json.Float median_speedup);
+      ( "sweep",
+        Json.List
+          (List.map
+             (fun (clients, qps_on, qps_off) ->
+               Json.Obj
+                 [
+                   ("clients", Json.Int clients);
+                   ("qps_cached", Json.Float qps_on);
+                   ("qps_uncached", Json.Float qps_off);
+                 ])
+             levels) );
+      ("hit_rate", Json.Float hit_rate);
+      ("drift_free", Json.Bool (drift = 0));
+      ("all_answered", Json.Bool (errors = 0));
+    ]
+
+(* The cache inner loop micro-benchmarked on its own: a warm structural
+   lookup (one atomic load + key canonicalisation + bind) vs a full
+   uncached prepare of the same template. *)
+let bechamel_tests =
+  let q = Q.q_hier.Q.query in
+  let cache = Prepare.Cache.create () in
+  ignore (Prepare.Cache.of_query cache q);
+  [
+    Bechamel.Test.make ~name:"prepare/warm-lookup"
+      (Bechamel.Staged.stage (fun () -> ignore (Prepare.Cache.of_query cache q)));
+    Bechamel.Test.make ~name:"prepare/cold-build"
+      (Bechamel.Staged.stage (fun () -> ignore (Prepare.prepare q)));
+  ]

@@ -27,6 +27,7 @@ let experiments =
     ("e16", "grounded WMC vs tree DPLL", E16_wmc.run);
     ("e17", "serving under load", E17_serve.run);
     ("e18", "chaos soak", E18_chaos.run);
+    ("e19", "prepared queries / plan cache", E19_prepare.run);
   ]
 
 let micro () =
@@ -40,7 +41,8 @@ let micro () =
    @ E11_duality.bechamel_tests @ E12_engine_ablation.bechamel_tests
    @ E13_extensions.bechamel_tests @ E14_guard.bechamel_tests
    @ E15_parallel.bechamel_tests @ E16_wmc.bechamel_tests
-   @ E17_serve.bechamel_tests @ E18_chaos.bechamel_tests)
+   @ E17_serve.bechamel_tests @ E18_chaos.bechamel_tests
+   @ E19_prepare.bechamel_tests)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

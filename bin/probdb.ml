@@ -6,6 +6,7 @@
 
      probdb eval     --db data/ --stats "exists x y. R(x) && S(x,y)"
      probdb explain  --db data/ "exists x y. R(x) && S(x,y)"
+     probdb prepare  "exists x y. R(x) && S(x,y) && T('a',y)"
      probdb classify "forall x y. R(x) || S(x,y) || T(y)"
      probdb plan     --db data/ "exists x y. R(x) && S(x,y) && T(y)"
      probdb lineage  --db data/ "exists x y. R(x) && S(x,y)"
@@ -24,6 +25,7 @@ module Lineage = Probdb_lineage.Lineage
 module P = Probdb_plans
 module Obs = Probdb_obs
 module Stats = Probdb_obs.Stats
+module Prepare = Probdb_prepare.Prepare
 module Serve = Probdb_serve.Serve
 
 let query_arg =
@@ -143,6 +145,17 @@ let domains_arg =
            karp-luby samples in parallel batches; sampling results are \
            identical for a given --seed at any domain count.")
 
+let no_plan_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-plan-cache" ]
+        ~doc:
+          "Run the prepared pipeline without retaining compiled plans (a \
+           capacity-0 cache): every evaluation re-prepares from scratch. The \
+           pipeline is identical either way, so answers never change — only \
+           the prepare timings do. Setting $(b,PROBDB_NO_PLAN_CACHE) in the \
+           environment does the same.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Trace lifted-inference rule applications.")
 
@@ -218,8 +231,8 @@ let config_of_cli meth samples deadline_ms eps delta no_degrade max_ie_terms
     domains = max 1 domains }
 
 let eval_run db_dir text free meth samples deadline_ms eps delta no_degrade
-    max_ie_terms max_plan_rows domains verbose show_stats stats_json trace_file
-    metrics_json =
+    max_ie_terms max_plan_rows domains no_plan_cache verbose show_stats
+    stats_json trace_file metrics_json =
   setup_verbose verbose;
   if trace_file <> None then Obs.Trace.enable ();
   (* The trace file is written also when the evaluation raises — a trace of
@@ -239,9 +252,17 @@ let eval_run db_dir text free meth samples deadline_ms eps delta no_degrade
   let stats = Stats.create () in
   stats.Stats.query <- Some text;
   with_timed_query stats ~free text @@ fun q ->
+  (* the prepared pipeline always runs; [--no-plan-cache] only drops
+     retention (capacity 0), so a non-Boolean query's groundings share one
+     cached artifact unless caching is off *)
+  let plan_cache =
+    if no_plan_cache then Prepare.Cache.create ~capacity:0 ()
+    else Prepare.Cache.create_default ()
+  in
   let config =
-    config_of_cli meth samples deadline_ms eps delta no_degrade max_ie_terms
-      max_plan_rows domains
+    { (config_of_cli meth samples deadline_ms eps delta no_degrade max_ie_terms
+         max_plan_rows domains)
+      with E.plan_cache = Some plan_cache }
   in
   let finish () =
     if metrics_json then
@@ -294,8 +315,8 @@ let eval_cmd =
       ret
         (const eval_run $ db_arg $ query_arg $ free_arg $ method_arg $ samples_arg
        $ deadline_arg $ eps_arg $ delta_arg $ no_degrade_arg $ max_ie_terms_arg
-       $ max_plan_rows_arg $ domains_arg $ verbose_arg $ stats_arg $ stats_json_arg
-       $ trace_arg $ metrics_json_arg))
+       $ max_plan_rows_arg $ domains_arg $ no_plan_cache_arg $ verbose_arg
+       $ stats_arg $ stats_json_arg $ trace_arg $ metrics_json_arg))
   in
   Cmd.v (Cmd.info "eval" ~doc:"Evaluate a query's probability on a TID.") term
 
@@ -394,6 +415,77 @@ let explain_cmd =
       ret
         (const explain_run $ db_arg $ query_arg $ deadline_arg $ eps_arg $ delta_arg
        $ no_degrade_arg))
+
+(* ---------- prepare ---------- *)
+
+let prepare_run text free =
+  with_query ~free text @@ fun q ->
+  let key, params = Prepare.key_of_query q in
+  Format.printf "key:        %s@." key;
+  Format.printf "parameters: %d%s@." (Array.length params)
+    (if Array.length params = 0 then ""
+     else
+       Printf.sprintf " (%s)"
+         (String.concat ", "
+            (List.map Core.Value.to_string (Array.to_list params))));
+  if not (L.Fo.is_sentence q) then begin
+    (* open formulas are evaluated per grounding ([--free]); each grounding
+       binds different constants into the same structural key, so one
+       cached artifact serves all of them *)
+    Format.printf
+      "open formula: prepared per grounding at execution; every grounding \
+       shares the artifact cached under this key@.";
+    `Ok ()
+  end
+  else begin
+    let b = Prepare.prepare q in
+    let a = b.Prepare.artifact in
+    (match Prepare.bind_ucq b with
+    | Ok (ucq, mode) ->
+        Format.printf "UCQ form:   %a (%s)@." L.Ucq.pp ucq
+          (match mode with
+          | L.Ucq.Direct -> "direct"
+          | L.Ucq.Complemented -> "complemented")
+    | Error msg -> Format.printf "UCQ form:   outside the unate fragment (%s)@." msg);
+    (* verdict details mention template constants; render the internal
+       NUL-prefixed parameter markers as the $i of the key *)
+    let verdict_s =
+      let s = Format.asprintf "%a" Lift.pp_verdict a.Prepare.verdict in
+      let b = Buffer.create (String.length s) in
+      String.iteri
+        (fun i c ->
+          if c = '\x00' then begin
+            if i + 1 < String.length s && s.[i + 1] = 'p' then
+              Buffer.add_char b '$'
+          end
+          else if not (c = 'p' && i > 0 && s.[i - 1] = '\x00') then
+            Buffer.add_char b c)
+        s;
+      Buffer.contents b
+    in
+    Format.printf "safety:     %s@." verdict_s;
+    (match Prepare.bind_plan b with
+    | Some plan ->
+        Format.printf "safe plan:  %s@." (P.Plan.to_string plan);
+        Format.printf
+          "execution:  warm cache hits promote safe-plan to the front and \
+           run this plan directly (parse/classify/plan read ~0)@."
+    | None ->
+        Format.printf "safe plan:  none cached (%s)@."
+          (Option.value a.Prepare.plan_skip ~default:"not a single CQ"));
+    `Ok ()
+  end
+
+let prepare_cmd =
+  Cmd.v
+    (Cmd.info "prepare"
+       ~doc:
+         "Show what the prepare/execute split caches for a query: the \
+          structural key (constants lifted to \\$i parameters), the \
+          parameter binding, the cached UCQ form, the safety verdict, and \
+          the compiled template plan (if any). The same key is what \
+          $(b,probdb eval) and $(b,probdb serve) share plans under.")
+    Term.(ret (const prepare_run $ query_arg $ free_arg))
 
 (* ---------- classify ---------- *)
 
@@ -600,7 +692,7 @@ let chaos_arg =
            $(b,PROBDB_CHAOS).")
 
 let serve_run db_dir host port workers queue degrade_above deadline_ms
-    stall_deadline_ms chaos eps delta samples =
+    stall_deadline_ms chaos eps delta samples no_plan_cache =
   (match chaos with
   | None -> ()
   | Some s -> (
@@ -618,7 +710,12 @@ let serve_run db_dir host port workers queue degrade_above deadline_ms
         Some
           { E.eps;
             delta;
-            max_samples = Option.value samples ~default:default_fallback_samples }
+            max_samples = Option.value samples ~default:default_fallback_samples };
+      (* [None] lets [Serve.start] create the shared default-capacity cache
+         (honouring PROBDB_NO_PLAN_CACHE); the flag forces capacity 0 *)
+      plan_cache =
+        (if no_plan_cache then Some (Prepare.Cache.create ~capacity:0 ())
+         else None)
     }
   in
   let config =
@@ -654,7 +751,7 @@ let serve_cmd =
       ret
         (const serve_run $ db_arg $ host_arg $ port_arg $ workers_arg $ queue_arg
        $ degrade_above_arg $ serve_deadline_arg $ stall_deadline_arg
-       $ chaos_arg $ eps_arg $ delta_arg $ samples_arg))
+       $ chaos_arg $ eps_arg $ delta_arg $ samples_arg $ no_plan_cache_arg))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -720,8 +817,8 @@ let () =
     try
       Cmd.eval ~catch:false
         (Cmd.group info
-           [ eval_cmd; explain_cmd; classify_cmd; plan_cmd; lineage_cmd; compile_cmd;
-             serve_cmd; gen_cmd ])
+           [ eval_cmd; explain_cmd; prepare_cmd; classify_cmd; plan_cmd; lineage_cmd;
+             compile_cmd; serve_cmd; gen_cmd ])
     with
     (* [Fun.protect] wraps a raising cleanup (e.g. the trace writer hitting
        an unwritable path) in [Finally_raised]; unwrap so typed errors keep

@@ -7,6 +7,7 @@ module Obdd = Probdb_kc.Obdd
 module Dpll = Probdb_dpll.Dpll
 module Wmc = Probdb_cnf.Wmc
 module Plan = Probdb_plans.Plan
+module Prepare = Probdb_prepare.Prepare
 module Karp_luby = Probdb_approx.Karp_luby
 module Stats = Probdb_obs.Stats
 module Clock = Probdb_obs.Clock
@@ -71,6 +72,7 @@ type config = {
   force_degraded : bool;
   domains : int;
   parent_guard : Guard.t option;
+  plan_cache : Prepare.Cache.t option;
 }
 
 let default_config =
@@ -91,7 +93,8 @@ let default_config =
     degrade = Some { eps = 0.1; delta = 0.05; max_samples = 20_000 };
     force_degraded = false;
     domains = 1;
-    parent_guard = None }
+    parent_guard = None;
+    plan_cache = None }
 
 (* The serving-time backpressure config: skip every exact strategy and go
    straight to the (ε,δ) Karp–Luby fallback, keeping whatever degrade
@@ -148,6 +151,7 @@ let config_fields config =
     ("max_ie_terms", opt_json (fun n -> Json.Int n) config.max_ie_terms);
     ("max_plan_rows", opt_json (fun n -> Json.Int n) config.max_plan_rows);
     ("heap_watermark_words", opt_json (fun n -> Json.Int n) config.heap_watermark_words);
+    ("plan_cache", Json.Bool (config.plan_cache <> None));
     ( "degrade",
       opt_json
         (fun d ->
@@ -252,10 +256,25 @@ let try_symmetric guard db q =
       | p -> Ok_outcome (Exact p)
       | exception Probdb_symmetric.Wfomc.Unsupported msg -> Skip ("FO2 fragment: " ^ msg))
 
-let try_read_once db q =
-  match Ucq.of_sentence q with
-  | exception Ucq.Unsupported msg -> Skip ("fragment: " ^ msg)
-  | ucq, mode -> (
+(* The prepared variants below consume the cached structural artifact
+   instead of re-deriving it: [Prepare.bind_ucq]/[bind_plan] substitute the
+   actual constants back into the template-level UCQ/plan. Data-dependent
+   checks (standard probabilities, read-once-ness, guard trips) still run
+   here — only structure was cached. With [prepared = None] each function
+   is byte-for-byte the legacy cold path. *)
+
+let ucq_of ?prepared q =
+  match prepared with
+  | Some b -> Prepare.bind_ucq b
+  | None -> (
+      match Ucq.of_sentence q with
+      | r -> Ok r
+      | exception Ucq.Unsupported msg -> Error msg)
+
+let try_read_once ?prepared db q =
+  match ucq_of ?prepared q with
+  | Error msg -> Skip ("fragment: " ^ msg)
+  | Ok (ucq, mode) -> (
       if
         List.exists
           (List.exists (fun (a : Probdb_logic.Cq.atom) -> a.Probdb_logic.Cq.comp))
@@ -270,27 +289,40 @@ let try_read_once db q =
             | Some p -> Ok_outcome (Exact (Ucq.apply_mode mode p))
             | None -> Skip "lineage is not read-once"))
 
-let try_safe_plan stats guard db q =
-  match Ucq.of_sentence q with
-  | exception Ucq.Unsupported msg -> Skip ("fragment: " ^ msg)
-  | ucq, Ucq.Complemented ->
-      ignore ucq;
-      Skip "universal sentence (plans handle positive CQs only)"
-  | ucq, Ucq.Direct -> (
-      match Ucq.minimize ucq with
-      | [ cq ]
-        when Probdb_logic.Cq.is_self_join_free cq
-             && not (List.exists (fun (a : Probdb_logic.Cq.atom) -> a.Probdb_logic.Cq.comp) cq)
-        -> (
-          match Stats.time_phase stats Stats.Plan (fun () -> Plan.safe_plan cq) with
-          | Some plan ->
-              let p, plan_counts, rows = Plan.boolean_prob_counting ~guard db plan in
-              stats.Stats.plan <- Some plan_counts;
-              stats.Stats.rows_processed <- stats.Stats.rows_processed + rows;
-              Ok_outcome (Exact p)
-          | None -> Skip "no safe plan (non-hierarchical)")
-      | [ _ ] -> Skip "CQ has self-joins or negated atoms"
-      | _ -> Skip "not a single CQ")
+let run_safe_plan stats guard db plan =
+  let p, plan_counts, rows = Plan.boolean_prob_counting ~guard db plan in
+  stats.Stats.plan <- Some plan_counts;
+  stats.Stats.rows_processed <- stats.Stats.rows_processed + rows;
+  Ok_outcome (Exact p)
+
+let try_safe_plan ?prepared stats guard db q =
+  match prepared with
+  | Some b -> (
+      (* prepare already planned the template; binding the constants back
+         in is the only Plan-phase work left *)
+      match Stats.time_phase stats Stats.Plan (fun () -> Prepare.bind_plan b) with
+      | Some plan -> run_safe_plan stats guard db plan
+      | None ->
+          Skip
+            (Option.value ~default:"no safe plan (non-hierarchical)"
+               (Prepare.plan_skip b)))
+  | None -> (
+      match Ucq.of_sentence q with
+      | exception Ucq.Unsupported msg -> Skip ("fragment: " ^ msg)
+      | ucq, Ucq.Complemented ->
+          ignore ucq;
+          Skip "universal sentence (plans handle positive CQs only)"
+      | ucq, Ucq.Direct -> (
+          match Ucq.minimize ucq with
+          | [ cq ]
+            when Probdb_logic.Cq.is_self_join_free cq
+                 && not (List.exists (fun (a : Probdb_logic.Cq.atom) -> a.Probdb_logic.Cq.comp) cq)
+            -> (
+              match Stats.time_phase stats Stats.Plan (fun () -> Plan.safe_plan cq) with
+              | Some plan -> run_safe_plan stats guard db plan
+              | None -> Skip "no safe plan (non-hierarchical)")
+          | [ _ ] -> Skip "CQ has self-joins or negated atoms"
+          | _ -> Skip "not a single CQ"))
 
 let try_obdd config stats guard db q =
   let ctx = Lineage.create db in
@@ -367,12 +399,12 @@ let try_dpll config stats guard db q =
               limit = float_of_int n;
               spent = float_of_int n })
 
-let try_karp_luby config guard pool db q =
+let try_karp_luby ?prepared config guard pool db q =
   if not (Core.Tid.is_standard db) then Skip "non-standard probabilities"
   else
-    match Ucq.of_sentence q with
-    | exception Ucq.Unsupported msg -> Skip ("fragment: " ^ msg)
-    | ucq, mode -> (
+    match ucq_of ?prepared q with
+    | Error msg -> Skip ("fragment: " ^ msg)
+    | Ok (ucq, mode) -> (
         if List.exists (List.exists (fun (a : Probdb_logic.Cq.atom) -> a.Probdb_logic.Cq.comp)) ucq
         then Skip "complemented atoms (lineage is not a monotone DNF)"
         else
@@ -399,17 +431,17 @@ let try_world_enum config db q =
          (Core.Tid.support_size db) config.max_enum_support)
   else Ok_outcome (Exact (Probdb_logic.Brute_force.probability db q))
 
-let attempt config stats guard pool db q s =
+let attempt ?prepared config stats guard pool db q s =
   let run () =
     match s with
     | Lifted -> try_lifted stats guard pool db q
     | Symmetric -> try_symmetric guard db q
-    | Safe_plan -> try_safe_plan stats guard db q
-    | Read_once -> try_read_once db q
+    | Safe_plan -> try_safe_plan ?prepared stats guard db q
+    | Read_once -> try_read_once ?prepared db q
     | Wmc -> try_wmc config stats guard db q
     | Obdd -> try_obdd config stats guard db q
     | Dpll -> try_dpll config stats guard db q
-    | Karp_luby -> try_karp_luby config guard pool db q
+    | Karp_luby -> try_karp_luby ?prepared config guard pool db q
     | World_enum -> try_world_enum config db q
   in
   (* Every trial is a span on the trace timeline and a GC-delta region:
@@ -421,7 +453,30 @@ let attempt config stats guard pool db q s =
   in
   match run () with r -> r | exception Guard.Exhausted trip -> Trip trip
 
-let evaluate ?(config = default_config) ?stats db q =
+(* Prepared-pipeline gating: the prepared path is active when the caller
+   hands over an artifact or the config carries a cache. With a cached
+   template plan, Safe_plan is promoted to the front of the strategy list —
+   running the compiled columnar plan instead of re-deriving the answer by
+   lifted recursion is the whole point of the warm path. The promotion is a
+   pure function of the artifact, so cold misses, warm hits and a disabled
+   (capacity-0) cache order the strategies identically and answers cannot
+   drift with cache state. *)
+let acquire_prepared config stats prepared q =
+  match (prepared, config.plan_cache) with
+  | (Some _ as p), _ -> p
+  | None, Some cache when Fo.is_sentence q ->
+      Some (Prepare.Cache.of_query ~stats cache q)
+  | None, _ -> None
+
+let promote_safe_plan prepared strategies =
+  match prepared with
+  | Some b
+    when b.Prepare.artifact.Prepare.plan <> None && List.mem Safe_plan strategies
+    ->
+      Safe_plan :: List.filter (fun s -> s <> Safe_plan) strategies
+  | _ -> strategies
+
+let evaluate ?(config = default_config) ?stats ?prepared db q =
   if not (Fo.is_sentence q) then
     invalid_arg "Engine.evaluate: open formula (use Engine.answers)";
   let stats = match stats with Some s -> s | None -> Stats.create () in
@@ -431,6 +486,8 @@ let evaluate ?(config = default_config) ?stats db q =
   echo_config stats config;
   let guard = guard_of_config config in
   let pool = pool_of_config config in
+  let prepared = acquire_prepared config stats prepared q in
+  let strategies = promote_safe_plan prepared config.strategies in
   let rec go skipped = function
     | [] ->
         stats.Stats.skipped <-
@@ -440,7 +497,9 @@ let evaluate ?(config = default_config) ?stats db q =
         (* [Plan.safe_plan] time lands in the Plan phase inside the attempt;
            subtract it so Classify/Solve only get what is really theirs. *)
         let plan_before = stats.Stats.plan_s in
-        let result, dt = Clock.time (fun () -> attempt config stats guard pool db q s) in
+        let result, dt =
+          Clock.time (fun () -> attempt ?prepared config stats guard pool db q s)
+        in
         let dt = Float.max 0.0 (dt -. (stats.Stats.plan_s -. plan_before)) in
         match result with
         | Ok_outcome outcome ->
@@ -465,7 +524,7 @@ let evaluate ?(config = default_config) ?stats db q =
             Stats.record_phase stats Stats.Classify dt;
             go ((s, Guard.describe trip) :: skipped) rest)
   in
-  go [] config.strategies
+  go [] strategies
 
 (* ---------- guaranteed-completion evaluation ---------- *)
 
@@ -475,12 +534,12 @@ let evaluate ?(config = default_config) ?stats db q =
    front, so completion is guaranteed. Returns [None] when the query has
    no monotone DNF lineage to sample (complemented atoms, non-standard
    probabilities, outside the UCQ fragment). *)
-let kl_fallback config pool ~eps ~delta ~max_samples db q =
+let kl_fallback ?prepared config pool ~eps ~delta ~max_samples db q =
   if not (Core.Tid.is_standard db) then None
   else
-    match Ucq.of_sentence q with
-    | exception Ucq.Unsupported _ -> None
-    | ucq, mode -> (
+    match ucq_of ?prepared q with
+    | Error _ -> None
+    | Ok (ucq, mode) -> (
         if
           List.exists
             (List.exists (fun (a : Probdb_logic.Cq.atom) -> a.Probdb_logic.Cq.comp))
@@ -516,7 +575,7 @@ let kl_fallback config pool ~eps ~delta ~max_samples db q =
                   est.Karp_luby.std_error,
                   { Answer.ci_low = lo; ci_high = hi; eps; delta; samples } ))
 
-let eval ?(config = default_config) ?stats db q =
+let eval ?(config = default_config) ?stats ?prepared db q =
   if not (Fo.is_sentence q) then
     invalid_arg "Engine.eval: open formula (use Engine.answers)";
   let stats = match stats with Some s -> s | None -> Stats.create () in
@@ -526,6 +585,7 @@ let eval ?(config = default_config) ?stats db q =
   echo_config stats config;
   let guard = guard_of_config config in
   let pool = pool_of_config config in
+  let prepared = acquire_prepared config stats prepared q in
   (* With degradation on, Karp–Luby is reserved for the fallback so that
      [degraded = true] means exactly "no exact strategy completed". *)
   let strategies =
@@ -533,6 +593,7 @@ let eval ?(config = default_config) ?stats db q =
     | Some _ -> List.filter (fun s -> s <> Karp_luby) config.strategies
     | None -> config.strategies
   in
+  let strategies = promote_safe_plan prepared strategies in
   let finish_stats chain =
     stats.Stats.chain <- Answer.chain_to_stats chain;
     stats.Stats.skipped <-
@@ -562,7 +623,7 @@ let eval ?(config = default_config) ?stats db q =
           Clock.time (fun () ->
               Stats.with_gc stats (fun () ->
                   Trace.with_span ~cat:"strategy" "karp-luby.fallback" (fun () ->
-                      kl_fallback config pool ~eps ~delta ~max_samples db q)))
+                      kl_fallback ?prepared config pool ~eps ~delta ~max_samples db q)))
         in
         Stats.record_phase stats Stats.Solve dt;
         match result with
@@ -605,7 +666,9 @@ let eval ?(config = default_config) ?stats db q =
           rest
     | s :: rest -> (
         let plan_before = stats.Stats.plan_s in
-        let result, dt = Clock.time (fun () -> attempt config stats guard pool db q s) in
+        let result, dt =
+          Clock.time (fun () -> attempt ?prepared config stats guard pool db q s)
+        in
         let dt = Float.max 0.0 (dt -. (stats.Stats.plan_s -. plan_before)) in
         match result with
         | Ok_outcome outcome ->

@@ -101,6 +101,21 @@ type config = {
           interrupts the evaluation at its next poll. A long-running
           server passes one server-wide guard here so a hard shutdown can
           stop every in-flight query cooperatively. *)
+  plan_cache : Probdb_prepare.Prepare.Cache.t option;
+      (** when set, {!eval}/{!evaluate} run the prepared pipeline: the
+          query's structural key (constants lifted to parameters) is looked
+          up in this shared compiled-plan cache, a miss builds and caches
+          the artifact (UCQ reduction, minimisation, classification,
+          template safe plan), and execution binds the constants back into
+          the cached artifact. When the artifact carries a safe plan,
+          [Safe_plan] is promoted to the front of the strategy list, so
+          warm evaluations of safe queries run the compiled columnar plan
+          directly — parse/classify/plan phase timings read ~0 on hits.
+          [stats] reports the lookup in its [prepare] block. A capacity-0
+          cache runs the identical pipeline without retaining anything —
+          that is what [--no-plan-cache] installs, so caching can never
+          change an answer. [None] (the default) is the legacy
+          every-eval-reclassifies behaviour. *)
 }
 
 val default_config : config
@@ -142,8 +157,12 @@ exception No_method of (strategy * string) list
 (** Every configured strategy failed; the payload says why. *)
 
 val evaluate :
-  ?config:config -> ?stats:Probdb_obs.Stats.t -> Probdb_core.Tid.t ->
-  Probdb_logic.Fo.t -> report
+  ?config:config ->
+  ?stats:Probdb_obs.Stats.t ->
+  ?prepared:Probdb_prepare.Prepare.bound ->
+  Probdb_core.Tid.t ->
+  Probdb_logic.Fo.t ->
+  report
 (** Tries the configured strategies in order and returns the first answer.
     Always-on instrumentation: phase timings and per-solver counters are
     recorded into [stats] (a fresh record when not supplied) and returned
@@ -152,12 +171,16 @@ val evaluate :
 
     @param config strategy list and budgets (default {!default_config}).
     @param stats the record to fill; freshly created when absent.
+    @param prepared a pre-resolved artifact binding for [q] (e.g. from
+      {!Probdb_prepare.Prepare.Cache.resolve_text}); when absent and
+      [config.plan_cache] is set, the engine resolves one itself.
     @raise Invalid_argument on open formulas — use {!answers}.
     @raise No_method when every configured strategy is skipped. *)
 
 val eval :
   ?config:config ->
   ?stats:Probdb_obs.Stats.t ->
+  ?prepared:Probdb_prepare.Prepare.bound ->
   Probdb_core.Tid.t ->
   Probdb_logic.Fo.t ->
   (Answer.t, Probdb_core.Probdb_error.t) result

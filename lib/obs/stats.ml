@@ -32,6 +32,15 @@ type wmc_counts = {
 
 type circuit_counts = { circuit_class : string; nodes : int; edges : int }
 
+type prepare_counts = {
+  prep_hit : bool;
+  prep_key : string;
+  prep_cache_hits : int;
+  prep_cache_misses : int;
+  prep_cache_evictions : int;
+  prep_cache_entries : int;
+}
+
 type plan_counts = { operators : int; peak_rows : int }
 
 type gc_counts = {
@@ -53,7 +62,7 @@ let fresh_gc () =
     compactions = 0;
     heap_peak_words = 0 }
 
-type phase = Parse | Classify | Plan | Solve
+type phase = Parse | Prepare | Classify | Plan | Solve
 
 type t = {
   mutable query : string option;
@@ -62,6 +71,7 @@ type t = {
   mutable exact : bool;
   mutable std_error : float option;
   mutable parse_s : float;
+  mutable prepare_s : float;
   mutable classify_s : float;
   mutable plan_s : float;
   mutable solve_s : float;
@@ -70,6 +80,7 @@ type t = {
   mutable wmc : wmc_counts option;
   mutable circuit : circuit_counts option;
   mutable plan : plan_counts option;
+  mutable prepare : prepare_counts option;
   mutable memo_hit_rate : float option;
   mutable skipped : (string * string) list;
   mutable degraded : bool;
@@ -91,6 +102,7 @@ let create () =
     exact = true;
     std_error = None;
     parse_s = 0.0;
+    prepare_s = 0.0;
     classify_s = 0.0;
     plan_s = 0.0;
     solve_s = 0.0;
@@ -99,6 +111,7 @@ let create () =
     wmc = None;
     circuit = None;
     plan = None;
+    prepare = None;
     memo_hit_rate = None;
     skipped = [];
     degraded = false;
@@ -112,12 +125,13 @@ let create () =
     gc = fresh_gc ();
     config = [] }
 
-let total_s t = t.parse_s +. t.classify_s +. t.plan_s +. t.solve_s
+let total_s t = t.parse_s +. t.prepare_s +. t.classify_s +. t.plan_s +. t.solve_s
 
 let record_phase t phase dt =
   let dt = Float.max 0.0 dt in
   match phase with
   | Parse -> t.parse_s <- t.parse_s +. dt
+  | Prepare -> t.prepare_s <- t.prepare_s +. dt
   | Classify -> t.classify_s <- t.classify_s +. dt
   | Plan -> t.plan_s <- t.plan_s +. dt
   | Solve -> t.solve_s <- t.solve_s +. dt
@@ -213,6 +227,22 @@ let plan_to_json (p : plan_counts) =
   Json.Obj
     [ ("operators", Json.Int p.operators); ("peak_rows", Json.Int p.peak_rows) ]
 
+let prepare_to_json (p : prepare_counts) =
+  Json.Obj
+    [ ("hit", Json.Bool p.prep_hit);
+      ("key", Json.Str p.prep_key);
+      ("cache_hits", Json.Int p.prep_cache_hits);
+      ("cache_misses", Json.Int p.prep_cache_misses);
+      ("cache_evictions", Json.Int p.prep_cache_evictions);
+      ("cache_entries", Json.Int p.prep_cache_entries);
+      ( "cache_hit_rate",
+        match
+          hit_rate ~hits:p.prep_cache_hits
+            ~queries:(p.prep_cache_hits + p.prep_cache_misses)
+        with
+        | Some r -> Json.Float r
+        | None -> Json.Null ) ]
+
 let gc_to_json (g : gc_counts) =
   Json.Obj
     [ ("minor_words", Json.Float g.minor_words);
@@ -233,6 +263,7 @@ let to_json t =
       ( "phases",
         Json.Obj
           [ ("parse_s", Json.Float t.parse_s);
+            ("prepare_s", Json.Float t.prepare_s);
             ("classify_s", Json.Float t.classify_s);
             ("plan_s", Json.Float t.plan_s);
             ("solve_s", Json.Float t.solve_s);
@@ -242,6 +273,7 @@ let to_json t =
       ("wmc", opt wmc_to_json t.wmc);
       ("circuit", opt circuit_to_json t.circuit);
       ("plan", opt plan_to_json t.plan);
+      ("prepare", opt prepare_to_json t.prepare);
       ("memo_hit_rate", opt (fun f -> Json.Float f) t.memo_hit_rate);
       ( "skipped",
         Json.List
@@ -284,8 +316,11 @@ let pp ppf t =
         | Some e -> Printf.sprintf " (±%.2g at 95%%)" (1.96 *. e)
         | None -> "")
   | None -> ());
-  line "phase timings    parse %s | classify %s | plan %s | solve %s | total %s@."
-    (ms t.parse_s) (ms t.classify_s) (ms t.plan_s) (ms t.solve_s) (ms (total_s t));
+  line
+    "phase timings    parse %s | prepare %s | classify %s | plan %s | solve %s | \
+     total %s@."
+    (ms t.parse_s) (ms t.prepare_s) (ms t.classify_s) (ms t.plan_s) (ms t.solve_s)
+    (ms (total_s t));
   (match t.lifted with
   | Some l ->
       line
@@ -321,6 +356,15 @@ let pp ppf t =
   | Some p ->
       line "plan             %d operators | peak intermediate rows %d@." p.operators
         p.peak_rows
+  | None -> ());
+  (match t.prepare with
+  | Some p ->
+      line
+        "prepared         %s (key %s) | cache %d hits / %d misses / %d evictions \
+         | %d entries@."
+        (if p.prep_hit then "cache hit" else "cache miss")
+        p.prep_key p.prep_cache_hits p.prep_cache_misses p.prep_cache_evictions
+        p.prep_cache_entries
   | None -> ());
   (match t.memo_hit_rate with
   | Some r -> line "memo hit rate    %.1f%%@." (100.0 *. r)

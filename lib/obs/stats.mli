@@ -63,6 +63,20 @@ type plan_counts = {
   peak_rows : int;  (** largest intermediate-relation cardinality *)
 }
 
+(** The prepared-query block ([Probdb_prepare.Prepare]): whether this
+    evaluation hit the shared compiled-plan cache, under which structural
+    key, and the cache's running totals at that moment. The [prep_]-prefixed
+    names avoid clashing in this flat namespace — the JSON keys drop the
+    prefix (see [docs/STATS.md]). *)
+type prepare_counts = {
+  prep_hit : bool;  (** this query's structural key was already cached *)
+  prep_key : string;  (** canonical structural key (constants as [$i]) *)
+  prep_cache_hits : int;  (** cache-lifetime hit total *)
+  prep_cache_misses : int;
+  prep_cache_evictions : int;
+  prep_cache_entries : int;  (** artifacts cached after this lookup *)
+}
+
 (** Accumulated GC-counter deltas over the regions bracketed with
     {!with_gc} — allocation pressure and collector activity attributable
     to this query, not to the whole process. *)
@@ -83,8 +97,11 @@ type gc_counts = {
           when the regions never touched the major heap *)
 }
 
-(** The four phases a query goes through; see {!record_phase}. *)
-type phase = Parse | Classify | Plan | Solve
+(** The phases a query goes through; see {!record_phase}. [Prepare] is the
+    structural-key lookup plus, on a miss, artifact construction (UCQ
+    reduction, minimisation, classification, safe-plan construction) —
+    on a cache hit it is the only pre-solve phase that runs at all. *)
+type phase = Parse | Prepare | Classify | Plan | Solve
 
 type t = {
   mutable query : string option;  (** concrete syntax, when known *)
@@ -93,6 +110,8 @@ type t = {
   mutable exact : bool;  (** [false] for sampling-based answers *)
   mutable std_error : float option;  (** for approximate answers *)
   mutable parse_s : float;
+  mutable prepare_s : float;
+      (** structural-key lookup + artifact construction on cache misses *)
   mutable classify_s : float;
       (** time spent deciding applicability (skipped strategies included) *)
   mutable plan_s : float;  (** safe-plan construction *)
@@ -102,6 +121,8 @@ type t = {
   mutable wmc : wmc_counts option;
   mutable circuit : circuit_counts option;
   mutable plan : plan_counts option;
+  mutable prepare : prepare_counts option;
+      (** filled when the evaluation went through a compiled-plan cache *)
   mutable memo_hit_rate : float option;
       (** cache hits / cache queries of the winning solver, when it caches *)
   mutable skipped : (string * string) list;  (** strategy, reason — in trial order *)
@@ -131,7 +152,7 @@ val create : unit -> t
 (** All-zero timings, every section [None]. *)
 
 val total_s : t -> float
-(** Sum of the four phase timings. *)
+(** Sum of the phase timings. *)
 
 val record_phase : t -> phase -> float -> unit
 (** [record_phase t ph dt] adds [dt] seconds to phase [ph].

@@ -3,6 +3,7 @@ module Err = Probdb_core.Probdb_error
 module L = Probdb_logic
 module E = Probdb_engine.Engine
 module Answer = Probdb_engine.Answer
+module Prepare = Probdb_prepare.Prepare
 module Guard = Probdb_guard.Guard
 module Par = Probdb_par.Par
 module Json = Probdb_obs.Json
@@ -87,6 +88,18 @@ type t = {
   listen_fd : Unix.file_descr;
   bound_port : int;
   guard : Guard.t;  (* parent of every request guard; [stop `Now] cancels *)
+  plan_cache : Prepare.Cache.t;
+      (* one compiled-plan cache shared by every worker domain: repeated
+         query templates skip parse/classify/plan after the first request *)
+  req_base : E.config;
+      (* the request-invariant engine config, resolved once at [start]:
+         server guard installed as parent, [domains = 1] (engine work must
+         stay inside its worker domain), the shared plan cache. Per-request
+         handling only overrides the fields the request actually sets. *)
+  base_degrade : E.degrade;
+      (* the degradation targets a request inherits when it sets none,
+         resolved once from the engine config (falling back to the engine
+         defaults) *)
   service : job Par.Service.t;
   state : state Atomic.t;
   started_s : float;
@@ -167,12 +180,35 @@ let reply job resp =
 
 (* ---------- request evaluation (worker domains) ---------- *)
 
-(* Per-request engine configuration: the server's base config, overridden
-   field by field from the request, run under a child of the server guard.
-   Raises [Protocol.Bad] on an unknown method name. *)
+(* The request-invariant part of every per-request engine config: parent
+   guard, worker-domain confinement, the shared plan cache, and the
+   resolved degradation defaults. Built once at [start]; the per-request
+   path ([config_of_request]) only layers the request's own overrides on
+   top, instead of re-deriving all of this for every request. *)
+let engine_base_of config ~guard ~plan_cache =
+  let base =
+    { config.engine with
+      E.parent_guard = Some guard;
+      plan_cache = Some plan_cache;
+      (* engine work must stay inside this worker domain *)
+      domains = 1 }
+  in
+  let base_degrade =
+    match base.E.degrade with
+    | Some d -> d
+    | None -> (
+        match E.default_config.E.degrade with
+        | Some d -> d
+        | None -> { E.eps = 0.1; delta = 0.05; max_samples = 20_000 })
+  in
+  (base, base_degrade)
+
+(* Per-request engine configuration: the hoisted base ([t.req_base]),
+   overridden field by field from the request, run under a child of the
+   server guard. Raises [Protocol.Bad] on an unknown method name. *)
 let config_of_request t ~(remaining_s : float option)
     (r : Protocol.eval_request) ~degrade_load =
-  let base = t.cfg.engine in
+  let base = t.req_base in
   let base =
     match r.Protocol.meth with
     | None | Some "auto" -> base
@@ -182,34 +218,28 @@ let config_of_request t ~(remaining_s : float option)
         | None -> Protocol.bad "unknown method %S" name)
   in
   let base =
-    { base with
-      E.kl_samples = Option.value r.Protocol.samples ~default:base.E.kl_samples;
-      seed = Option.value r.Protocol.seed ~default:base.E.seed }
+    match (r.Protocol.samples, r.Protocol.seed) with
+    | None, None -> base
+    | _ ->
+        { base with
+          E.kl_samples =
+            Option.value r.Protocol.samples ~default:base.E.kl_samples;
+          seed = Option.value r.Protocol.seed ~default:base.E.seed }
   in
   let degrade =
     if r.Protocol.no_degrade || r.Protocol.meth = Some "karp-luby" then None
     else
-      let d =
-        match base.E.degrade with
-        | Some d -> d
-        | None -> (
-            match E.default_config.E.degrade with
-            | Some d -> d
-            | None -> { E.eps = 0.1; delta = 0.05; max_samples = 20_000 })
-      in
-      Some
-        { E.eps = Option.value r.Protocol.eps ~default:d.E.eps;
-          delta = Option.value r.Protocol.delta ~default:d.E.delta;
-          max_samples = Option.value r.Protocol.samples ~default:d.E.max_samples }
+      match (r.Protocol.eps, r.Protocol.delta, r.Protocol.samples) with
+      | None, None, None -> Some t.base_degrade
+      | _ ->
+          let d = t.base_degrade in
+          Some
+            { E.eps = Option.value r.Protocol.eps ~default:d.E.eps;
+              delta = Option.value r.Protocol.delta ~default:d.E.delta;
+              max_samples =
+                Option.value r.Protocol.samples ~default:d.E.max_samples }
   in
-  let config =
-    { base with
-      E.deadline_s = remaining_s;
-      degrade;
-      parent_guard = Some t.guard;
-      (* engine work must stay inside this worker domain *)
-      domains = 1 }
-  in
+  let config = { base with E.deadline_s = remaining_s; degrade } in
   (* [no_degrade] requests are exempt from backpressure degradation
      (admission never marks them, but guard here too: [force_degrade]
      would reinstall the default accuracy targets over [degrade = None]
@@ -296,11 +326,18 @@ let remaining_deadline t (r : Protocol.eval_request) ~queue_wait_s =
       Some (Float.max 1e-4 ((float_of_int ms /. 1000.0) -. queue_wait_s))
   | None, None, base -> base
 
-let eval_result_json t job ~config ~degraded_load ~stats q =
+let engine_base t = t.req_base
+let plan_cache t = t.plan_cache
+
+let request_engine_config ?(degrade_load = false) t (r : Protocol.eval_request) =
+  let remaining_s = remaining_deadline t r ~queue_wait_s:0.0 in
+  config_of_request t ~remaining_s r ~degrade_load
+
+let eval_result_json t job ~config ~degraded_load ~stats ?prepared q =
   let r = job.j_req in
   match r.Protocol.free with
   | [] -> (
-      match E.eval ~config ~stats t.db q with
+      match E.eval ~config ~stats ?prepared t.db q with
       | Ok a ->
           Ok
             (answer_json ~want_stats:r.Protocol.want_stats ~degraded_load a)
@@ -339,10 +376,18 @@ let run_job t job =
       let config = config_of_request t ~remaining_s r ~degrade_load in
       let stats = Stats.create () in
       stats.Stats.query <- Some r.Protocol.query;
-      match L.Parser.parse ~free:r.Protocol.free r.Protocol.query with
+      (* the shared text index skips the parser on repeated request texts
+         and hands back the prepared binding in the same lookup, so warm
+         requests go straight to execution *)
+      match
+        Prepare.Cache.resolve_text ~stats t.plan_cache ~free:r.Protocol.free
+          r.Protocol.query
+      with
       | exception L.Parser.Error msg ->
           Error (Protocol.Engine (Err.Parse { message = msg }))
-      | q -> eval_result_json t job ~config ~degraded_load:degrade_load ~stats q
+      | q, prepared ->
+          eval_result_json t job ~config ~degraded_load:degrade_load ~stats
+            ?prepared q
     with exn -> Error (typed_error exn)
   in
   let result =
@@ -385,6 +430,23 @@ let stats_json t =
       ("degraded_under_load", Json.Int (Atomic.get t.c_degraded_load));
       ("worker_failures", Json.Int (Par.Service.failures t.service));
       ("worker_restarts", Json.Int (Par.Service.restarts t.service));
+      ( "prepare_cache",
+        let k = Prepare.Cache.counters t.plan_cache in
+        Json.Obj
+          [
+            ("capacity", Json.Int (Prepare.Cache.capacity t.plan_cache));
+            ("hits", Json.Int k.Prepare.Cache.hits);
+            ("misses", Json.Int k.Prepare.Cache.misses);
+            ("evictions", Json.Int k.Prepare.Cache.evictions);
+            ("entries", Json.Int k.Prepare.Cache.entries);
+            ( "hit_rate",
+              match
+                Stats.hit_rate ~hits:k.Prepare.Cache.hits
+                  ~queries:(k.Prepare.Cache.hits + k.Prepare.Cache.misses)
+              with
+              | Some r -> Json.Float r
+              | None -> Json.Null );
+          ] );
     ]
 
 let capture_trace t ~ms =
@@ -665,13 +727,26 @@ let start ?(config = default_config) db =
       (fun job ->
         match !t_cell with Some t -> run_job t job | None -> ())
   in
+  let guard = Guard.create () in
+  (* every worker domain shares one compiled-plan cache; an explicitly
+     configured cache (e.g. capacity 0 for [--no-plan-cache]) is honoured,
+     otherwise the default-capacity cache is created here once *)
+  let plan_cache =
+    match config.engine.E.plan_cache with
+    | Some c -> c
+    | None -> Prepare.Cache.create_default ()
+  in
+  let req_base, base_degrade = engine_base_of config ~guard ~plan_cache in
   let t =
     {
       cfg = config;
       db;
       listen_fd;
       bound_port;
-      guard = Guard.create ();
+      guard;
+      plan_cache;
+      req_base;
+      base_degrade;
       service;
       state = Atomic.make Running;
       started_s = Clock.now ();

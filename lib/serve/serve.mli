@@ -59,6 +59,30 @@ val start : ?config:config -> Probdb_core.Tid.t -> t
 val port : t -> int
 (** The actually-bound port — the way to find an ephemeral one. *)
 
+val plan_cache : t -> Probdb_prepare.Prepare.Cache.t
+(** The compiled-plan cache shared by every worker domain. An explicitly
+    configured [engine.plan_cache] is honoured (capacity 0 disables
+    retention — the [--no-plan-cache] server); otherwise {!start} creates
+    one default-capacity cache for the server's lifetime. Its counters
+    are the [prepare_cache] block of {!stats_json}. *)
+
+val engine_base : t -> Probdb_engine.Engine.config
+(** The request-invariant engine configuration, resolved once at
+    {!start}: the server guard as [parent_guard], [domains = 1], the
+    shared {!plan_cache} installed, degradation defaults resolved. The
+    per-request path layers request overrides on this hoisted base
+    instead of rebuilding it per request; the same record is returned on
+    every call (physical equality — the hoist contract the tests pin). *)
+
+val request_engine_config :
+  ?degrade_load:bool -> t -> Protocol.eval_request -> Probdb_engine.Engine.config
+(** The engine configuration a given request would evaluate under (with
+    zero queue wait charged against its deadline) — {!engine_base} plus
+    the request's own overrides. Exposed for tests.
+    @param degrade_load apply the over-watermark
+      {!Probdb_engine.Engine.force_degrade} transform (default [false]).
+    @raise Protocol.Bad on an unknown ["method"] name. *)
+
 val stop : ?mode:[ `Drain | `Now ] -> t -> unit
 (** Stop the server. [`Drain] (default) stops accepting, lets queued and
     in-flight requests complete and their responses flush, then closes
