@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke bench-compare docs check check-budget check-wmc check-trace check-serve check-chaos check-prepare
+.PHONY: all build test bench bench-smoke bench-compare docs check check-budget check-wmc check-trace check-serve check-chaos check-prepare check-storage
 
 all: build
 
@@ -68,7 +68,12 @@ bench-smoke: build
 		>/dev/null || { echo "bench-smoke: e19 failed or hung (exit $$?)"; exit 1; }; \
 	dune exec --no-build bench/compare.exe -- --validate-prepare BENCH_prepare.json || \
 		{ echo "bench-smoke: BENCH_prepare.json failed schema validation"; exit 1; }; \
-	echo "bench-smoke: BENCH_prepare.json schema + zero-drift invariant — OK"
+	echo "bench-smoke: BENCH_prepare.json schema + zero-drift invariant — OK"; \
+	timeout 120 env PROBDB_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- e20 \
+		>/dev/null || { echo "bench-smoke: e20 failed or hung (exit $$?)"; exit 1; }; \
+	dune exec --no-build bench/compare.exe -- --validate-storage BENCH_storage.json || \
+		{ echo "bench-smoke: BENCH_storage.json failed schema validation"; exit 1; }; \
+	echo "bench-smoke: BENCH_storage.json schema + open-speedup + lazy-fault invariants — OK"
 
 # The grounded-WMC equivalence suite on its own: the clause-database
 # counter against brute force and the tree DPLL reference across the
@@ -147,6 +152,40 @@ check-prepare: build
 		{ echo "check-prepare: BENCH_prepare.json failed schema validation"; exit 1; }; \
 	echo "check-prepare: suite both cache modes + warm speedup + zero drift — OK"
 
+# The packed-storage suite at soak scale (the concurrent serve test reads
+# one shared mapped container from every worker), then an end-to-end CLI
+# check: gen a CSV directory, pack it with full checksum verification,
+# and the packed eval must print byte-identical output to the CSV eval;
+# a corrupt copy (one flipped header byte) must be rejected with the
+# typed Io diagnostic, exit code 2.
+check-storage: build
+	@timeout 300 env PROBDB_SOAK=1 dune exec --no-build test/main.exe -- test storage || \
+		{ echo "check-storage: storage suite failed under soak (exit $$?)"; exit 1; }; \
+	tmp=$$(mktemp -d) && trap 'rm -rf "$$tmp"' EXIT; \
+	q='exists x y. R(x) && S(x,y) && T(y)'; \
+	dune exec --no-build bin/probdb.exe -- gen --out "$$tmp/db" --domain 12 --seed 9 \
+		R:1:0.5 S:2:0.3 T:1:0.5 >/dev/null; \
+	dune exec --no-build bin/probdb.exe -- pack "$$tmp/db" "$$tmp/db.pdb" --verify >/dev/null || \
+		{ echo "check-storage: pack --verify failed"; exit 1; }; \
+	dune exec --no-build bin/probdb.exe -- eval --db "$$tmp/db" "$$q" > "$$tmp/csv.out" || \
+		{ echo "check-storage: csv eval failed"; exit 1; }; \
+	dune exec --no-build bin/probdb.exe -- eval --db "$$tmp/db.pdb" "$$q" > "$$tmp/pdb.out" || \
+		{ echo "check-storage: packed eval failed"; exit 1; }; \
+	cmp -s "$$tmp/csv.out" "$$tmp/pdb.out" || \
+		{ echo "check-storage: packed answer differs from csv answer"; \
+		  diff "$$tmp/csv.out" "$$tmp/pdb.out"; exit 1; }; \
+	cp "$$tmp/db.pdb" "$$tmp/bad.pdb"; \
+	printf 'X' | dd of="$$tmp/bad.pdb" bs=1 seek=70 conv=notrunc 2>/dev/null; \
+	dune exec --no-build bin/probdb.exe -- eval --db "$$tmp/bad.pdb" "$$q" \
+		>/dev/null 2>"$$tmp/bad.err"; code=$$?; \
+	[ $$code -eq 2 ] || \
+		{ echo "check-storage: corrupt container exited $$code, want 2"; \
+		  cat "$$tmp/bad.err"; exit 1; }; \
+	grep -qi 'checksum\|corrupt' "$$tmp/bad.err" || \
+		{ echo "check-storage: corrupt container lacked a typed diagnostic"; \
+		  cat "$$tmp/bad.err"; exit 1; }; \
+	echo "check-storage: soak suite + bit-identical CLI roundtrip + typed corruption — OK"
+
 # The bench regression gate, self-tested both ways: two smoke runs of the
 # same experiment must pass the comparison (threshold 4x absorbs smoke-run
 # noise), and a synthetically regressed copy (timings x25) must fail it.
@@ -179,9 +218,10 @@ bench-compare: build
 
 # What CI runs: build, test suite, the budget and benchmark smoke tests,
 # the WMC equivalence suite, the observability suite, the serving soak,
-# the chaos-engineering suite, the prepared-queries suite, and — when
-# odoc is installed — the fatal-warnings documentation build.
-check: build test check-budget bench-smoke check-wmc check-trace check-serve check-chaos check-prepare
+# the chaos-engineering suite, the prepared-queries suite, the
+# packed-storage suite, and — when odoc is installed — the
+# fatal-warnings documentation build.
+check: build test check-budget bench-smoke check-wmc check-trace check-serve check-chaos check-prepare check-storage
 	@if command -v odoc >/dev/null 2>&1; then \
 		dune build @check-docs; \
 	else \

@@ -369,6 +369,81 @@ let validate_prepare path =
     0
   with Exit -> 1
 
+(* ---------- validate-storage ---------- *)
+
+(* Schema and invariant check for BENCH_storage.json (the E20
+   out-of-core storage output) — run by `make bench-smoke`. Beyond
+   shape, it asserts the contract packed containers are sold on:
+   `Storage.open_file` beats `Csv_io.load_dir` by >= 100x at full sizes
+   (>= 5x under PROBDB_BENCH_SMOKE, where files are a handful of pages
+   and the constant costs dominate), the cold query mapped strictly
+   less than the whole file (the untouched relation never faulted in),
+   and every answer bit-matched the CSV path. *)
+let validate_storage path =
+  let fail fmt =
+    Printf.ksprintf (fun s -> Printf.printf "INVALID %s: %s\n" path s; raise Exit) fmt
+  in
+  try
+    let doc = read_json path in
+    let fields = match doc with Json.Obj f -> f | _ -> fail "top level is not an object" in
+    let get k = match List.assoc_opt k fields with Some v -> v | None -> fail "missing field %S" k in
+    (match get "experiment" with
+    | Json.Str "storage" -> ()
+    | _ -> fail "experiment is not \"storage\"");
+    let smoke = match get "smoke" with
+      | Json.Bool b -> b
+      | _ -> fail "smoke is not a boolean"
+    in
+    let num_field obj k =
+      match obj with
+      | Json.Obj f -> (
+          match Option.bind (List.assoc_opt k f) number with
+          | Some v -> v
+          | None -> fail "scale missing numeric field %S" k)
+      | _ -> fail "scale is not an object"
+    in
+    let scales = match get "scales" with
+      | Json.List (_ :: _ as ss) -> ss
+      | Json.List [] -> fail "empty scales"
+      | _ -> fail "scales is not a list"
+    in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun k -> ignore (num_field s k))
+          [ "rows"; "file_bytes"; "csv_load_s"; "pack_s"; "open_s";
+            "open_speedup"; "cold_csv_s"; "cold_packed_s"; "cold_speedup";
+            "bytes_mapped"; "mapped_fraction" ];
+        let v k = num_field s k in
+        if v "open_s" <= 0.0 then fail "non-positive open_s";
+        if v "csv_load_s" <= 0.0 then fail "non-positive csv_load_s";
+        let mf = v "mapped_fraction" in
+        if mf <= 0.0 || mf >= 1.0 then
+          fail
+            "mapped_fraction %.3f at %.0f rows not in (0,1): the cold query \
+             should map the scanned columns and only those"
+            mf (v "rows"))
+      scales;
+    let num k = match number (get k) with
+      | Some v -> v
+      | None -> fail "%s is not a number" k
+    in
+    let floor_x = if smoke then 5.0 else 100.0 in
+    let max_speedup = num "max_open_speedup" in
+    if max_speedup < floor_x then
+      fail "open speedup %.1fx at the largest scale below the %.0fx floor"
+        max_speedup floor_x;
+    (match get "bit_identical" with
+    | Json.Bool true -> ()
+    | Json.Bool false -> fail "bit_identical is false: a packed answer differed"
+    | _ -> fail "bit_identical is not a boolean");
+    Printf.printf
+      "OK %s: %d scale(s), %.0fx open speedup at the largest, lazy faults \
+       only, zero drift\n"
+      path (List.length scales) max_speedup;
+    0
+  with Exit -> 1
+
 (* ---------- entry ---------- *)
 
 let usage () =
@@ -378,7 +453,8 @@ let usage () =
     \       compare --validate-trace FILE.json\n\
     \       compare --validate-serve FILE.json\n\
     \       compare --validate-chaos FILE.json\n\
-    \       compare --validate-prepare FILE.json";
+    \       compare --validate-prepare FILE.json\n\
+    \       compare --validate-storage FILE.json";
   2
 
 let () =
@@ -388,6 +464,7 @@ let () =
     | [ "--validate-serve"; path ] -> validate_serve path
     | [ "--validate-chaos"; path ] -> validate_chaos path
     | [ "--validate-prepare"; path ] -> validate_prepare path
+    | [ "--validate-storage"; path ] -> validate_storage path
     | [ "--degrade"; factor; in_path; out_path ] -> (
         match float_of_string_opt factor with
         | Some f -> degrade_file f in_path out_path

@@ -28,6 +28,7 @@ let experiments =
     ("e17", "serving under load", E17_serve.run);
     ("e18", "chaos soak", E18_chaos.run);
     ("e19", "prepared queries / plan cache", E19_prepare.run);
+    ("e20", "out-of-core packed storage", E20_storage.run);
   ]
 
 let micro () =
@@ -42,7 +43,7 @@ let micro () =
    @ E13_extensions.bechamel_tests @ E14_guard.bechamel_tests
    @ E15_parallel.bechamel_tests @ E16_wmc.bechamel_tests
    @ E17_serve.bechamel_tests @ E18_chaos.bechamel_tests
-   @ E19_prepare.bechamel_tests)
+   @ E19_prepare.bechamel_tests @ E20_storage.bechamel_tests)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

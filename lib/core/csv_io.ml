@@ -40,19 +40,22 @@ let load_relation ?(guard = Probdb_guard.Guard.unlimited) ?(strict = true) name
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let rec read lineno acc =
+      (* rows stream straight into the builder's map: peak heap is one map,
+         not list + map, which matters when packing multi-GB inputs *)
+      let b = Relation.Builder.create name in
+      let rec read lineno =
         match In_channel.input_line ic with
-        | None -> List.rev acc
+        | None -> ()
         | Some line ->
             let line = String.trim line in
-            if line = "" || (String.length line > 0 && line.[0] = '#') then
-              read (lineno + 1) acc
-            else read (lineno + 1) (parse_row ~strict ~path ~lineno line :: acc)
+            (if line <> "" && line.[0] <> '#' then
+               let tuple, p = parse_row ~strict ~path ~lineno line in
+               try Relation.Builder.add b tuple p
+               with Invalid_argument msg -> csv_error ~path ~lineno "%s" msg);
+            read (lineno + 1)
       in
-      let rows = read 1 [] in
-      match rows with
-      | [] -> Relation.make (Schema.of_arity name 0) []
-      | (t, _) :: _ -> Relation.make (Schema.of_arity name (Tuple.arity t)) rows)
+      read 1;
+      Relation.Builder.finish b)
 
 let load_dir ?(guard = Probdb_guard.Guard.unlimited) ?(strict = true) dir =
   Probdb_error.guard_io ~path:dir @@ fun () ->
@@ -69,6 +72,59 @@ let load_dir ?(guard = Probdb_guard.Guard.unlimited) ?(strict = true) dir =
            else None)
   in
   Tid.make rels
+
+(* Packed containers live in [Probdb_storage], which sits above this
+   library, so the dispatch goes through a registration hook: the storage
+   module installs its opener at module-initialisation time. *)
+
+let packed_magic = "PDBPACK1"
+let packed_loader : (guard:Guard.t -> string -> Tid.t) option ref = ref None
+let register_packed_loader f = packed_loader := Some f
+
+let looks_packed path =
+  Filename.check_suffix path ".pdb"
+  ||
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (String.length packed_magic) with
+          | s -> String.equal s packed_magic
+          | exception End_of_file -> false)
+
+let load_any ?(guard = Probdb_guard.Guard.unlimited) ?(strict = true) path =
+  let exists, is_dir =
+    match Sys.is_directory path with
+    | d -> (true, d)
+    | exception Sys_error _ -> (false, false)
+  in
+  if not exists then
+    Probdb_error.raise_
+      (Probdb_error.Io { path; message = "no such file or directory" })
+  else if is_dir then load_dir ~guard ~strict path
+  else if looks_packed path then (
+    Guard.io guard ~path;
+    match !packed_loader with
+    | Some open_packed -> open_packed ~guard path
+    | None ->
+        Probdb_error.raise_
+          (Probdb_error.Io
+             {
+               path;
+               message =
+                 "packed container support not linked (Probdb_storage)";
+             }))
+  else
+    Probdb_error.raise_
+      (Probdb_error.Io
+         {
+           path;
+           message =
+             "not a CSV directory or packed container (expected a directory \
+              of .csv files or a .pdb file)";
+         })
 
 let save_relation path r =
   Probdb_error.guard_io ~path @@ fun () ->

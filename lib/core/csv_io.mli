@@ -38,6 +38,22 @@ val load_dir : ?guard:Probdb_guard.Guard.t -> ?strict:bool -> string -> Tid.t
 
     @raise Probdb_error.Error [Io] when the directory cannot be read. *)
 
+val load_any : ?guard:Probdb_guard.Guard.t -> ?strict:bool -> string -> Tid.t
+(** Format-sniffing load: a directory is read as CSV per {!load_dir}; a
+    regular file ending in [.pdb] or starting with the packed-container
+    magic is opened through the loader installed by
+    {!register_packed_loader} (the [Probdb_storage] library registers one
+    when linked). [strict] applies only to the CSV path — packed files
+    store exactly what was packed.
+
+    @raise Probdb_error.Error
+      [Io] when the path is missing, is neither format, or is packed but
+      no packed loader is linked; [Io]/[Csv] as the underlying loader. *)
+
+val register_packed_loader : (guard:Probdb_guard.Guard.t -> string -> Tid.t) -> unit
+(** Installs the opener {!load_any} dispatches packed containers to.
+    Called once, at module-initialisation time, by [Probdb_storage]. *)
+
 val save_relation : string -> Relation.t -> unit
 (** [save_relation path r] writes [r] to one CSV file at [path]. *)
 

@@ -1,19 +1,55 @@
 type t = { schema : Schema.t; map : float Tuple.Map.t }
 
+let arity_error name tuple expected =
+  invalid_arg
+    (Printf.sprintf "Relation.make: tuple %s has arity %d, expected %d in %s"
+       (Tuple.to_string tuple) (Tuple.arity tuple) expected name)
+
+let duplicate_error name tuple =
+  invalid_arg
+    (Printf.sprintf "Relation.make: duplicate tuple %s in %s" (Tuple.to_string tuple) name)
+
 let make schema rows =
   let k = Schema.arity schema in
   let add map (tuple, p) =
-    if Tuple.arity tuple <> k then
-      invalid_arg
-        (Printf.sprintf "Relation.make: tuple %s has arity %d, expected %d in %s"
-           (Tuple.to_string tuple) (Tuple.arity tuple) k schema.Schema.name);
-    if Tuple.Map.mem tuple map then
-      invalid_arg
-        (Printf.sprintf "Relation.make: duplicate tuple %s in %s" (Tuple.to_string tuple)
-           schema.Schema.name);
+    if Tuple.arity tuple <> k then arity_error schema.Schema.name tuple k;
+    if Tuple.Map.mem tuple map then duplicate_error schema.Schema.name tuple;
     Tuple.Map.add tuple p map
   in
   { schema; map = List.fold_left add Tuple.Map.empty rows }
+
+module Builder = struct
+  type relation = t
+
+  type t = {
+    name : string;
+    mutable arity : int option;  (* fixed by the first row *)
+    mutable map : float Tuple.Map.t;
+    mutable count : int;
+  }
+
+  let create name = { name; arity = None; map = Tuple.Map.empty; count = 0 }
+
+  let add b tuple p =
+    let k = Tuple.arity tuple in
+    (match b.arity with
+    | None -> b.arity <- Some k
+    | Some a -> if k <> a then arity_error b.name tuple a);
+    if Tuple.Map.mem tuple b.map then duplicate_error b.name tuple;
+    b.map <- Tuple.Map.add tuple p b.map;
+    b.count <- b.count + 1
+
+  let count b = b.count
+
+  let finish ?arity b : relation =
+    let a =
+      match (b.arity, arity) with
+      | Some a, _ -> a
+      | None, Some a -> a
+      | None, None -> 0
+    in
+    { schema = Schema.of_arity b.name a; map = b.map }
+end
 
 let of_list name rows =
   match rows with

@@ -22,6 +22,36 @@ val of_list : string -> (Tuple.t * float) list -> t
 (** [of_list name rows] infers the arity from the first row. An empty [rows]
     list is rejected; use {!make} with an explicit schema instead. *)
 
+(** Incremental construction without materialising a row list first.
+
+    Streaming loaders ({!Csv_io.load_relation}, the packed-file reader of
+    [Probdb_storage]) feed rows one at a time straight into the relation's
+    internal map, so peak heap during a load is one map instead of
+    [list + map]. Arity is fixed by the first row; duplicate tuples and
+    arity mismatches raise the same [Invalid_argument] errors as {!make},
+    at the offending row. *)
+module Builder : sig
+  type relation := t
+
+  type t
+
+  val create : string -> t
+  (** A builder for a relation of that name, arity still open. *)
+
+  val add : t -> Tuple.t -> float -> unit
+  (** Append one row.
+
+      @raise Invalid_argument on an arity mismatch with the first row or a
+        duplicate tuple, with the same messages as {!make}. *)
+
+  val count : t -> int
+  (** Rows added so far. *)
+
+  val finish : ?arity:int -> t -> relation
+  (** The finished relation. [arity] is used only when no row was added
+      (default 0 — the schema a loader infers from an empty file). *)
+end
+
 val deterministic : string -> Tuple.t list -> t
 (** All listed tuples get probability 1. *)
 

@@ -1,62 +1,153 @@
 module Smap = Map.Make (String)
 
-type t = { rels : Relation.t Smap.t; domain : Value.t list }
+(* Out-of-core readers (Probdb_storage) extend this so the columnar
+   executor can recognise a TID it can scan without materialising. *)
+type backing = ..
+
+(* A relation slot. Eager TIDs ([make]) start [Forced]; storage-backed
+   TIDs ([make_lazy]) start [Thunk] and materialise on first touch.
+   [card] is exact either way: eager slots count the relation, lazy slots
+   carry the row count from the container's table of contents, so
+   [support_size] never forces anything. *)
+type slot = { mutable state : slot_state; card : int }
+and slot_state = Forced of Relation.t | Thunk of (unit -> Relation.t)
+
+type t = {
+  rels : slot Smap.t;
+  mutable dom : dom_state;
+  lock : Mutex.t;
+      (* serialises forcing: serving domains share one TID, and OCaml's
+         [Lazy] is not safe under parallel forcing *)
+  backing : backing option;
+}
+
+and dom_state = Dom of Value.t list | Dom_thunk of (unit -> Value.t list)
+
+let force_slot db s =
+  match s.state with
+  | Forced r -> r
+  | Thunk _ ->
+      (* the unlocked read above is a benign race: a slot only ever moves
+         Thunk -> Forced, and losing the race just means taking the lock *)
+      Mutex.protect db.lock (fun () ->
+          match s.state with
+          | Forced r -> r
+          | Thunk f ->
+              let r = f () in
+              s.state <- Forced r;
+              r)
 
 let compute_domain extra rels =
   List.concat_map Relation.values rels
   |> List.rev_append extra
   |> List.sort_uniq Value.compare
 
+let eager_slot r = { state = Forced r; card = Relation.cardinal r }
+
 let make ?(domain = []) rels =
   let add map r =
     let name = Relation.name r in
     if Smap.mem name map then
       invalid_arg (Printf.sprintf "Tid.make: duplicate relation %s" name);
-    Smap.add name r map
+    Smap.add name (eager_slot r) map
   in
-  { rels = List.fold_left add Smap.empty rels; domain = compute_domain domain rels }
+  { rels = List.fold_left add Smap.empty rels;
+    dom = Dom_thunk (fun () -> compute_domain domain rels);
+    lock = Mutex.create ();
+    backing = None }
 
-let relations db = Smap.bindings db.rels |> List.map snd
-let relation db name = Smap.find name db.rels
-let relation_opt db name = Smap.find_opt name db.rels
+let make_lazy ?backing ~domain rels =
+  let add map (name, card, thunk) =
+    if Smap.mem name map then
+      invalid_arg (Printf.sprintf "Tid.make: duplicate relation %s" name);
+    if card < 0 then
+      invalid_arg (Printf.sprintf "Tid.make_lazy: negative cardinality for %s" name);
+    Smap.add name { state = Thunk thunk; card } map
+  in
+  { rels = List.fold_left add Smap.empty rels;
+    dom = Dom_thunk domain;
+    lock = Mutex.create ();
+    backing }
+
+let backing db = db.backing
+
+let relations db = Smap.bindings db.rels |> List.map (fun (_, s) -> force_slot db s)
+
+let relation db name = force_slot db (Smap.find name db.rels)
+
+let relation_opt db name = Option.map (force_slot db) (Smap.find_opt name db.rels)
+
 let mem_relation db name = Smap.mem name db.rels
-let domain db = db.domain
-let domain_size db = List.length db.domain
+
+let forced_relations db =
+  Smap.fold
+    (fun _ s acc -> match s.state with Forced _ -> acc + 1 | Thunk _ -> acc)
+    db.rels 0
+
+let domain db =
+  match db.dom with
+  | Dom d -> d
+  | Dom_thunk _ ->
+      Mutex.protect db.lock (fun () ->
+          match db.dom with
+          | Dom d -> d
+          | Dom_thunk f ->
+              let d = f () in
+              db.dom <- Dom d;
+              d)
+
+let domain_size db = List.length (domain db)
 
 let prob db name t =
-  match Smap.find_opt name db.rels with
-  | None -> 0.0
-  | Some r -> Relation.prob r t
+  match relation_opt db name with None -> 0.0 | Some r -> Relation.prob r t
 
-let support_size db = Smap.fold (fun _ r acc -> acc + Relation.cardinal r) db.rels 0
+let support_size db = Smap.fold (fun _ s acc -> acc + s.card) db.rels 0
 
 let support db =
   Smap.fold
-    (fun name r acc -> Relation.fold (fun t p acc -> (name, t, p) :: acc) r acc)
+    (fun name s acc ->
+      Relation.fold (fun t p acc -> (name, t, p) :: acc) (force_slot db s) acc)
     db.rels []
   |> List.rev
 
-let is_standard db = Smap.for_all (fun _ r -> Relation.is_standard r) db.rels
+let is_standard db =
+  Smap.for_all (fun _ s -> Relation.is_standard (force_slot db s)) db.rels
+
+(* Derived TIDs drop the backing: their contents no longer coincide with
+   the container, so the executor must not scan the mapped columns. The
+   untouched slots are shared — forcing one memoises for every holder. *)
+
+let derive ?(dom = None) db rels =
+  { rels;
+    dom = (match dom with Some d -> d | None -> db.dom);
+    lock = Mutex.create ();
+    backing = None }
 
 let map_probs f db =
-  { db with rels = Smap.mapi (fun name r -> Relation.map_probs (f name) r) db.rels }
+  derive db
+    (Smap.mapi
+       (fun name s ->
+         { state = Forced (Relation.map_probs (f name) (force_slot db s));
+           card = s.card })
+       db.rels)
 
 let add_relation db r =
   let name = Relation.name r in
   if Smap.mem name db.rels then
     invalid_arg (Printf.sprintf "Tid.add_relation: relation %s already exists" name);
-  { rels = Smap.add name r db.rels; domain = compute_domain db.domain [ r ] }
+  let dom = Some (Dom (compute_domain (domain db) [ r ])) in
+  derive ~dom db (Smap.add name (eager_slot r) db.rels)
 
 let replace_relation db r =
-  { rels = Smap.add (Relation.name r) r db.rels;
-    domain = compute_domain db.domain [ r ] }
+  let dom = Some (Dom (compute_domain (domain db) [ r ])) in
+  derive ~dom db (Smap.add (Relation.name r) (eager_slot r) db.rels)
 
 let restrict db names =
-  { db with rels = Smap.filter (fun name _ -> List.mem name names) db.rels }
+  derive db (Smap.filter (fun name _ -> List.mem name names) db.rels)
 
 let pp ppf db =
   Format.fprintf ppf "@[<v>";
-  Smap.iter (fun _ r -> Format.fprintf ppf "%a@ " Relation.pp r) db.rels;
+  Smap.iter (fun _ s -> Format.fprintf ppf "%a@ " Relation.pp (force_slot db s)) db.rels;
   Format.fprintf ppf "domain = {%a}@]"
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Value.pp)
-    db.domain
+    (domain db)

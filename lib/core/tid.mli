@@ -3,9 +3,26 @@
     A TID is a set of probabilistic relations over a shared finite domain.
     A possible world is drawn by including each listed tuple independently
     with its marginal probability; unlisted possible tuples have probability
-    0 (Sec. 2, Eq. (3) of the paper). *)
+    0 (Sec. 2, Eq. (3) of the paper).
+
+    Relations may be {e lazy}: a TID opened from a packed container
+    ({!Probdb_storage}) holds thunks that decode a relation from its mapped
+    columns only when somebody actually asks for the heap representation.
+    Cardinalities and the domain come from the container's table of
+    contents, so {!support_size} and {!domain} never force a relation.
+    Forcing is memoised and domain-safe (a mutex, not [Lazy]): all serving
+    workers can share one TID. *)
 
 type t
+
+type backing = ..
+(** Extension point for out-of-core storage: a reader module extends this
+    with a handle to its open container and tags the TIDs it creates, so
+    downstream layers (the columnar executor) can recognise a TID whose
+    relations are scannable in place, without [Probdb_core] depending on
+    the storage layer. Every derived TID ({!map_probs}, {!add_relation},
+    {!replace_relation}, {!restrict}) drops the tag — its contents no
+    longer coincide with the container. *)
 
 val make : ?domain:Value.t list -> Relation.t list -> t
 (** Builds a TID.
@@ -14,6 +31,22 @@ val make : ?domain:Value.t list -> Relation.t list -> t
       domain is the active domain (every value appearing in some tuple)
       union this list.
     @raise Invalid_argument if two relations share a name. *)
+
+val make_lazy :
+  ?backing:backing ->
+  domain:(unit -> Value.t list) ->
+  (string * int * (unit -> Relation.t)) list ->
+  t
+(** [make_lazy ?backing ~domain rels] builds a TID whose relations are
+    produced on demand. Each entry is [(name, cardinal, thunk)]; [cardinal]
+    must equal the row count of the relation the thunk returns (it feeds
+    {!support_size} without forcing). [domain] must return the full sorted
+    domain. Thunks run at most once, under the TID's lock.
+
+    @raise Invalid_argument on a duplicate name or a negative cardinal. *)
+
+val backing : t -> backing option
+(** The storage tag, if this TID came straight from {!make_lazy} with one. *)
 
 val relations : t -> Relation.t list
 
@@ -25,6 +58,10 @@ val relation_opt : t -> string -> Relation.t option
 
 val mem_relation : t -> string -> bool
 
+val forced_relations : t -> int
+(** How many relations have been materialised to the heap so far — equals
+    the relation count for an eager TID; observability for lazy ones. *)
+
 val domain : t -> Value.t list
 (** The finite domain [DOM], sorted. *)
 
@@ -35,7 +72,8 @@ val prob : t -> string -> Tuple.t -> float
     0 when the tuple (or the relation) is absent. *)
 
 val support_size : t -> int
-(** Total number of listed tuples across all relations. *)
+(** Total number of listed tuples across all relations. Never forces a
+    lazy relation (counts come from the container's table of contents). *)
 
 val support : t -> (string * Tuple.t * float) list
 (** All listed tuples as [(relation, tuple, probability)] triples. *)

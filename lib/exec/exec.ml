@@ -5,7 +5,34 @@ module Fo = Probdb_logic.Fo
 module Guard = Probdb_guard.Guard
 module Trace = Probdb_obs.Trace
 
-type rel = { vars : string array; cols : int array array; probs : float array }
+(* Columns come from two providers: ordinary heap arrays (the CSV path,
+   and every operator output) and mmapped [Bigarray] segments of a packed
+   container (the storage path). Operators read through [iget]/[fget] and
+   never care which one they got, so a scan over a packed relation can
+   hand its mapped segments straight to a join — zero copies. *)
+
+type int_column = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type float_column =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type icol = Ints of int array | Imapped of int_column
+type fcol = Floats of float array | Fmapped of float_column
+
+let iget c i = match c with Ints a -> a.(i) | Imapped m -> m.{i}
+let ilen c = match c with Ints a -> Array.length a | Imapped m -> Bigarray.Array1.dim m
+let fget c i = match c with Floats a -> a.(i) | Fmapped m -> m.{i}
+let flen c = match c with Floats a -> Array.length a | Fmapped m -> Bigarray.Array1.dim m
+
+let int_array = function
+  | Ints a -> a
+  | Imapped m -> Array.init (Bigarray.Array1.dim m) (fun i -> m.{i})
+
+let float_array = function
+  | Floats a -> a
+  | Fmapped m -> Array.init (Bigarray.Array1.dim m) (fun i -> m.{i})
+
+type rel = { vars : string array; cols : icol array; probs : fcol }
 
 type counters = {
   mutable operators : int;
@@ -15,7 +42,7 @@ type counters = {
 
 let fresh_counters () = { operators = 0; peak_rows = 0; rows_processed = 0 }
 
-let nrows r = Array.length r.probs
+let nrows r = flen r.probs
 
 let note name counters ~inputs ~output =
   if Trace.on () then begin
@@ -87,8 +114,9 @@ type arg_check =
   | Bind  (* first occurrence of a variable: always admits *)
   | Check_pos of int  (* repeated variable: must equal the value at this position *)
 
-let scan ?(guard = Guard.unlimited) ?counters dict db (atom : Cq.atom) =
-  traced "scan" @@ fun () ->
+(* Shared by both scan providers: distinct variables in first-occurrence
+   order, each variable's defining position, and the per-position test. *)
+let analyze_atom (atom : Cq.atom) =
   if atom.Cq.comp then invalid_arg "Exec.scan: complemented atom";
   let args = Array.of_list atom.Cq.args in
   let var_list =
@@ -117,6 +145,11 @@ let scan ?(guard = Guard.unlimited) ?counters dict db (atom : Cq.atom) =
             if p = j then Bind else Check_pos p)
       args
   in
+  (vars, first_pos, checks)
+
+let scan ?(guard = Guard.unlimited) ?counters dict db (atom : Cq.atom) =
+  traced "scan" @@ fun () ->
+  let vars, first_pos, checks = analyze_atom atom in
   let k = Array.length vars in
   let col_bufs = Array.init k (fun _ -> Ibuf.create ()) in
   let prob_buf = Fbuf.create () in
@@ -167,10 +200,92 @@ let scan ?(guard = Guard.unlimited) ?counters dict db (atom : Cq.atom) =
   let probs = Fbuf.to_array prob_buf in
   let n = Array.length probs in
   let rel =
-    { vars; cols = Array.map (fun b -> Array.sub b.Ibuf.a 0 n) col_bufs; probs }
+    { vars;
+      cols = Array.map (fun b -> Ints (Array.sub b.Ibuf.a 0 n)) col_bufs;
+      probs = Floats probs }
   in
   note "scan" counters ~inputs:!inputs ~output:n;
   rel
+
+let empty_scan ?counters atom =
+  let vars, _, _ = analyze_atom atom in
+  let rel =
+    { vars;
+      cols = Array.map (fun _ -> Ints [||]) vars;
+      probs = Floats [||] }
+  in
+  note "scan" counters ~inputs:0 ~output:0;
+  rel
+
+(* Resolved admission test for the mapped provider: constants become
+   interned ids up front (an unknown constant matches no row at all). *)
+type rcheck = Rbind | Rconst of int | Rpos of int | Rnever
+
+let scan_cols ?(guard = Guard.unlimited) ?counters ~lookup
+    ~(cols : int_column array) ~(probs : float_column) (atom : Cq.atom) =
+  traced "scan" @@ fun () ->
+  let vars, first_pos, checks = analyze_atom atom in
+  if Array.length checks <> Array.length cols then
+    invalid_arg
+      (Printf.sprintf "Exec.scan_cols: atom %s has arity %d, relation has %d"
+         atom.Cq.rel (Array.length checks) (Array.length cols));
+  let n = Bigarray.Array1.dim probs in
+  let k = Array.length vars in
+  let simple = Array.for_all (function Bind -> true | _ -> false) checks in
+  if simple then begin
+    (* every position binds a distinct variable: the mapped segments ARE
+       the output columns — zero copies, zero per-row work; pages fault in
+       only when a downstream operator touches them *)
+    let rel =
+      { vars; cols = Array.map (fun c -> Imapped c) cols; probs = Fmapped probs }
+    in
+    note "scan" counters ~inputs:n ~output:n;
+    rel
+  end
+  else begin
+    let rchecks =
+      Array.map
+        (function
+          | Bind -> Rbind
+          | Check_pos p -> Rpos p
+          | Check_const c -> (
+              match lookup c with Some id -> Rconst id | None -> Rnever))
+        checks
+    in
+    let impossible = Array.exists (function Rnever -> true | _ -> false) rchecks in
+    let col_bufs = Array.init k (fun _ -> Ibuf.create ()) in
+    let prob_buf = Fbuf.create () in
+    let ticks = ref 0 in
+    if not impossible then
+      for i = 0 to n - 1 do
+        Guard.tick guard ~site:"exec.scan" ticks;
+        let admit = ref true in
+        Array.iteri
+          (fun j check ->
+            if !admit then
+              match check with
+              | Rbind -> ()
+              | Rconst id -> if cols.(j).{i} <> id then admit := false
+              | Rpos p -> if cols.(p).{i} <> cols.(j).{i} then admit := false
+              | Rnever -> admit := false)
+          rchecks;
+        if !admit then begin
+          for j = 0 to k - 1 do
+            Ibuf.push col_bufs.(j) cols.(first_pos.(j)).{i}
+          done;
+          Fbuf.push prob_buf probs.{i}
+        end
+      done;
+    let out_probs = Fbuf.to_array prob_buf in
+    let m = Array.length out_probs in
+    let rel =
+      { vars;
+        cols = Array.map (fun b -> Ints (Array.sub b.Ibuf.a 0 m)) col_bufs;
+        probs = Floats out_probs }
+    in
+    note "scan" counters ~inputs:(if impossible then 0 else n) ~output:m;
+    rel
+  end
 
 (* ---------- select ---------- *)
 
@@ -183,14 +298,14 @@ let select ?(guard = Guard.unlimited) ?counters r x id =
   let n = nrows r in
   for i = 0 to n - 1 do
     Guard.tick guard ~site:"exec.select" ticks;
-    if col.(i) = id then Ibuf.push keep i
+    if iget col i = id then Ibuf.push keep i
   done;
   let m = keep.Ibuf.n in
-  let gather col = Array.init m (fun t -> col.(Ibuf.get keep t)) in
+  let gather col = Ints (Array.init m (fun t -> iget col (Ibuf.get keep t))) in
   let rel =
     { vars = r.vars;
       cols = Array.map gather r.cols;
-      probs = Array.init m (fun t -> r.probs.(Ibuf.get keep t)) }
+      probs = Floats (Array.init m (fun t -> fget r.probs (Ibuf.get keep t))) }
   in
   note "select" counters ~inputs:n ~output:m;
   rel
@@ -213,13 +328,14 @@ let join ?(guard = Guard.unlimited) ?counters r1 r2 =
   let hash_row cols idxs i =
     let h = ref 0 in
     for j = 0 to ns - 1 do
-      h := (!h * 486187739) + cols.(idxs.(j)).(i)
+      h := (!h * 486187739) + iget cols.(idxs.(j)) i
     done;
     !h land max_int
   in
   let eq_rows i1 i2 =
     let rec go j =
-      j = ns || (r1.cols.(idx1.(j)).(i1) = r2.cols.(idx2.(j)).(i2) && go (j + 1))
+      j = ns
+      || (iget r1.cols.(idx1.(j)) i1 = iget r2.cols.(idx2.(j)) i2 && go (j + 1))
     in
     go 0
   in
@@ -259,15 +375,16 @@ let join ?(guard = Guard.unlimited) ?counters r1 r2 =
     walk head.(slot)
   done;
   let m = left.Ibuf.n in
-  let gather src by = Array.init m (fun t -> src.(Ibuf.get by t)) in
+  let gather src by = Ints (Array.init m (fun t -> iget src (Ibuf.get by t))) in
   let cols1 = Array.map (fun col -> gather col left) r1.cols in
   let cols2 = List.map (fun (j, _) -> gather r2.cols.(j) right) extra2 in
   let rel =
     { vars = Array.append r1.vars (Array.of_list (List.map snd extra2));
       cols = Array.append cols1 (Array.of_list cols2);
       probs =
-        Array.init m (fun t ->
-            r1.probs.(Ibuf.get left t) *. r2.probs.(Ibuf.get right t)) }
+        Floats
+          (Array.init m (fun t ->
+               fget r1.probs (Ibuf.get left t) *. fget r2.probs (Ibuf.get right t))) }
   in
   note "join" counters ~inputs:(n1 + n2) ~output:m;
   rel
@@ -283,12 +400,14 @@ let group_by ~guard ~site ~combine idxs r =
   let hash_row i =
     let h = ref 0 in
     for j = 0 to k - 1 do
-      h := (!h * 486187739) + r.cols.(idxs.(j)).(i)
+      h := (!h * 486187739) + iget r.cols.(idxs.(j)) i
     done;
     !h land max_int
   in
   let eq_rows a b =
-    let rec go j = j = k || (r.cols.(idxs.(j)).(a) = r.cols.(idxs.(j)).(b) && go (j + 1)) in
+    let rec go j =
+      j = k || (iget r.cols.(idxs.(j)) a = iget r.cols.(idxs.(j)) b && go (j + 1))
+    in
     go 0
   in
   let groups = ref [] and ngroups = ref 0 in
@@ -302,9 +421,9 @@ let group_by ~guard ~site ~combine idxs r =
       List.find_opt (fun g -> eq_rows g.row i) (Hashtbl.find_all tbl h)
     in
     match existing with
-    | Some g -> g.p <- combine g.p r.probs.(i)
+    | Some g -> g.p <- combine g.p (fget r.probs i)
     | None ->
-        let g = { row = i; p = r.probs.(i) } in
+        let g = { row = i; p = fget r.probs i } in
         Hashtbl.add tbl h g;
         groups := g :: !groups;
         incr ngroups
@@ -324,8 +443,10 @@ let project ?(guard = Guard.unlimited) ?counters keep r =
   let rel =
     { vars = keep_arr;
       cols =
-        Array.map (fun j -> Array.init m (fun t -> r.cols.(j).(groups.(t).row))) idxs;
-      probs = Array.init m (fun t -> groups.(t).p) }
+        Array.map
+          (fun j -> Ints (Array.init m (fun t -> iget r.cols.(j) groups.(t).row)))
+          idxs;
+      probs = Floats (Array.init m (fun t -> groups.(t).p)) }
   in
   note "project" counters ~inputs:(nrows r) ~output:m;
   rel
@@ -345,8 +466,9 @@ let disjoint_union ?(guard = Guard.unlimited) ?counters r1 r2 =
     { vars = r1.vars;
       cols =
         Array.init k (fun j ->
-            Array.append r1.cols.(j) (Array.map (fun v -> v) r2.cols.(perm.(j))));
-      probs = Array.append r1.probs r2.probs }
+            Ints
+              (Array.append (int_array r1.cols.(j)) (int_array r2.cols.(perm.(j)))));
+      probs = Floats (Array.append (float_array r1.probs) (float_array r2.probs)) }
   in
   let idxs = Array.init k Fun.id in
   let groups = group_by ~guard ~site:"exec.union" ~combine:( +. ) idxs both in
@@ -354,8 +476,9 @@ let disjoint_union ?(guard = Guard.unlimited) ?counters r1 r2 =
   let rel =
     { vars = r1.vars;
       cols =
-        Array.init k (fun j -> Array.init m (fun t -> both.cols.(j).(groups.(t).row)));
-      probs = Array.init m (fun t -> groups.(t).p) }
+        Array.init k (fun j ->
+            Ints (Array.init m (fun t -> iget both.cols.(j) groups.(t).row)));
+      probs = Floats (Array.init m (fun t -> groups.(t).p)) }
   in
   note "union" counters ~inputs:(n1 + n2) ~output:m;
   rel
@@ -365,10 +488,10 @@ let boolean_prob r =
   else
     match nrows r with
     | 0 -> 0.0
-    | 1 -> r.probs.(0)
+    | 1 -> fget r.probs 0
     | _ -> invalid_arg "Exec.boolean_prob: multiple rows in boolean relation"
 
 let to_rows dict r =
   let k = Array.length r.vars in
   List.init (nrows r) (fun i ->
-      (List.init k (fun j -> Dict.value dict r.cols.(j).(i)), r.probs.(i)))
+      (List.init k (fun j -> Dict.value dict (iget r.cols.(j) i)), fget r.probs i))

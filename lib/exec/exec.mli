@@ -11,16 +11,39 @@
     under the independent project) and are tested property-for-property
     against the [Ptable] reference.
 
+    Columns come from {e two providers}: heap arrays ([Ints]/[Floats] —
+    CSV loads and every operator output) and mmapped segments of a packed
+    container ([Imapped]/[Fmapped] — see {!Probdb_storage.Storage}).
+    Operators read both through {!iget}/{!fget}, so {!scan_cols} over a
+    packed relation hands the kernel-managed pages straight to a join with
+    zero copies and no per-tuple boxing.
+
     Guard integration: operators accept a [?guard] and poll it amortised
     (every {!Probdb_guard.Guard.poll_interval} rows), so deadlines and
     cancellation reach even a single large join without measurable
     overhead. Budget charging per operator {e output} stays the caller's
     job ([Plan.eval] charges ["plan.rows"], as before). *)
 
+type int_column = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type float_column =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type icol = Ints of int array | Imapped of int_column
+(** An id column: a heap array or a mapped container segment. *)
+
+type fcol = Floats of float array | Fmapped of float_column
+(** A probability column. *)
+
+val iget : icol -> int -> int
+val ilen : icol -> int
+val fget : fcol -> int -> float
+val flen : fcol -> int
+
 type rel = {
   vars : string array;  (** column names, in order *)
-  cols : int array array;  (** [cols.(j).(i)] = interned value of row [i], column [j] *)
-  probs : float array;  (** [probs.(i)] = marginal probability of row [i] *)
+  cols : icol array;  (** [iget cols.(j) i] = interned value of row [i], column [j] *)
+  probs : fcol;  (** [fget probs i] = marginal probability of row [i] *)
 }
 
 (** Mutable per-evaluation tally, reported into
@@ -47,6 +70,29 @@ val scan :
     occurrence order, and interns the surviving values. An atom over a
     missing relation scans as empty. Raises [Invalid_argument] on
     complemented atoms. *)
+
+val scan_cols :
+  ?guard:Probdb_guard.Guard.t ->
+  ?counters:counters ->
+  lookup:(Probdb_core.Value.t -> int option) ->
+  cols:int_column array ->
+  probs:float_column ->
+  Probdb_logic.Cq.atom ->
+  rel
+(** {!scan} over a packed relation's mapped columns. When the atom binds a
+    distinct variable at every position — the common shape — the output
+    {e is} the mapped segments ([Imapped]/[Fmapped]): zero copies, zero
+    per-row work, pages fault in only when an operator touches them.
+    Constants and repeated variables fall back to a filtered gather whose
+    admission ids come from [lookup] (the container's read-only dictionary
+    via [Dict.find_opt] — a constant the container never saw matches no
+    row, and nothing is ever interned during evaluation). Raises
+    [Invalid_argument] on complemented atoms or an arity mismatch with the
+    columns. *)
+
+val empty_scan : ?counters:counters -> Probdb_logic.Cq.atom -> rel
+(** The empty result of scanning the atom against a missing relation:
+    same columns, zero rows. *)
 
 val select : ?guard:Probdb_guard.Guard.t -> ?counters:counters -> rel -> string -> int -> rel
 (** [select r x id] keeps the rows whose column [x] carries interned value

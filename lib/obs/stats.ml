@@ -43,6 +43,15 @@ type prepare_counts = {
 
 type plan_counts = { operators : int; peak_rows : int }
 
+type storage_counts = {
+  st_path : string;
+  st_file_bytes : int;
+  st_open_s : float;
+  st_bytes_mapped : int;
+  st_cols_mapped : int;
+  st_rels_materialized : int;
+}
+
 type gc_counts = {
   mutable minor_words : float;
   mutable major_words : float;
@@ -81,6 +90,7 @@ type t = {
   mutable circuit : circuit_counts option;
   mutable plan : plan_counts option;
   mutable prepare : prepare_counts option;
+  mutable storage : storage_counts option;
   mutable memo_hit_rate : float option;
   mutable skipped : (string * string) list;
   mutable degraded : bool;
@@ -112,6 +122,7 @@ let create () =
     circuit = None;
     plan = None;
     prepare = None;
+    storage = None;
     memo_hit_rate = None;
     skipped = [];
     degraded = false;
@@ -243,6 +254,15 @@ let prepare_to_json (p : prepare_counts) =
         | Some r -> Json.Float r
         | None -> Json.Null ) ]
 
+let storage_to_json (s : storage_counts) =
+  Json.Obj
+    [ ("path", Json.Str s.st_path);
+      ("file_bytes", Json.Int s.st_file_bytes);
+      ("open_s", Json.Float s.st_open_s);
+      ("bytes_mapped", Json.Int s.st_bytes_mapped);
+      ("cols_mapped", Json.Int s.st_cols_mapped);
+      ("relations_materialized", Json.Int s.st_rels_materialized) ]
+
 let gc_to_json (g : gc_counts) =
   Json.Obj
     [ ("minor_words", Json.Float g.minor_words);
@@ -274,6 +294,7 @@ let to_json t =
       ("circuit", opt circuit_to_json t.circuit);
       ("plan", opt plan_to_json t.plan);
       ("prepare", opt prepare_to_json t.prepare);
+      ("storage", opt storage_to_json t.storage);
       ("memo_hit_rate", opt (fun f -> Json.Float f) t.memo_hit_rate);
       ( "skipped",
         Json.List
@@ -365,6 +386,14 @@ let pp ppf t =
         (if p.prep_hit then "cache hit" else "cache miss")
         p.prep_key p.prep_cache_hits p.prep_cache_misses p.prep_cache_evictions
         p.prep_cache_entries
+  | None -> ());
+  (match t.storage with
+  | Some s ->
+      line
+        "storage          packed %s (%d bytes) | open %s | mapped %d cols, %d \
+         bytes | materialized %d rels@."
+        s.st_path s.st_file_bytes (ms s.st_open_s) s.st_cols_mapped
+        s.st_bytes_mapped s.st_rels_materialized
   | None -> ());
   (match t.memo_hit_rate with
   | Some r -> line "memo hit rate    %.1f%%@." (100.0 *. r)

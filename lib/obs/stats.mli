@@ -63,6 +63,21 @@ type plan_counts = {
   peak_rows : int;  (** largest intermediate-relation cardinality *)
 }
 
+(** The packed-storage block, filled when the TID came from a [.pdb]
+    container ([Probdb_storage.Storage]): what it cost to open and how
+    much of the file the evaluation actually touched. The [st_]-prefixed
+    names avoid clashing in this flat namespace — the JSON keys drop the
+    prefix (see [docs/STATS.md]). Process-wide totals live in the
+    [storage.*] metrics. *)
+type storage_counts = {
+  st_path : string;  (** the container file *)
+  st_file_bytes : int;  (** container size on disk *)
+  st_open_s : float;  (** header + TOC validation time (O(header)) *)
+  st_bytes_mapped : int;  (** bytes of column segments mapped so far *)
+  st_cols_mapped : int;  (** column segments mapped so far *)
+  st_rels_materialized : int;  (** relations decoded to the heap so far *)
+}
+
 (** The prepared-query block ([Probdb_prepare.Prepare]): whether this
     evaluation hit the shared compiled-plan cache, under which structural
     key, and the cache's running totals at that moment. The [prep_]-prefixed
@@ -123,6 +138,8 @@ type t = {
   mutable plan : plan_counts option;
   mutable prepare : prepare_counts option;
       (** filled when the evaluation went through a compiled-plan cache *)
+  mutable storage : storage_counts option;
+      (** filled when the TID came from a packed container *)
   mutable memo_hit_rate : float option;
       (** cache hits / cache queries of the winning solver, when it caches *)
   mutable skipped : (string * string) list;  (** strategy, reason — in trial order *)

@@ -3,6 +3,7 @@ module Cq = Probdb_logic.Cq
 module Fo = Probdb_logic.Fo
 module Guard = Probdb_guard.Guard
 module Exec = Probdb_exec.Exec
+module Storage = Probdb_storage.Storage
 module Sset = Set.Make (String)
 
 type t =
@@ -35,19 +36,44 @@ let rec atoms = function
    bounding intermediate-relation blow-up exactly as before. *)
 
 let eval_exec ?(guard = Guard.unlimited) ?counters db plan =
-  (* size hint: distinct values are bounded by the support, and starting
-     near the final size avoids rehashing the id table log(n) times *)
-  let dict = Core.Dict.create ~size_hint:(2 * Core.Tid.support_size db + 64) () in
   let observe rel =
     Guard.charge guard ~site:"plan.eval" "plan.rows" (Exec.nrows rel);
     rel
   in
-  let rec go = function
-    | Scan a -> observe (Exec.scan ~guard ?counters dict db a)
-    | Join (p1, p2) -> observe (Exec.join ~guard ?counters (go p1) (go p2))
-    | Project (keep, p) -> observe (Exec.project ~guard ?counters keep (go p))
-  in
-  (go plan, dict)
+  match Storage.backing db with
+  | Some st ->
+      (* Packed TID: scan the container's mapped columns in place. The
+         container's dictionary already holds every value with its packed
+         id, so it is shared read-only across evaluations (and serving
+         workers) — query constants resolve through [find_opt], nothing
+         interns. Ids coincide with what loading the CSV would intern, so
+         answers are bit-identical to the heap path. *)
+      let dict = Storage.dict st in
+      let lookup v = Core.Dict.find_opt dict v in
+      let rec go = function
+        | Scan a ->
+            observe
+              (match Storage.view st a.Cq.rel with
+              | Some v ->
+                  Exec.scan_cols ~guard ?counters ~lookup ~cols:v.Storage.vcols
+                    ~probs:v.Storage.vprobs a
+              | None -> Exec.empty_scan ?counters a)
+        | Join (p1, p2) -> observe (Exec.join ~guard ?counters (go p1) (go p2))
+        | Project (keep, p) -> observe (Exec.project ~guard ?counters keep (go p))
+      in
+      (go plan, dict)
+  | None ->
+      (* size hint: distinct values are bounded by the support, and starting
+         near the final size avoids rehashing the id table log(n) times *)
+      let dict =
+        Core.Dict.create ~size_hint:(2 * Core.Tid.support_size db + 64) ()
+      in
+      let rec go = function
+        | Scan a -> observe (Exec.scan ~guard ?counters dict db a)
+        | Join (p1, p2) -> observe (Exec.join ~guard ?counters (go p1) (go p2))
+        | Project (keep, p) -> observe (Exec.project ~guard ?counters keep (go p))
+      in
+      (go plan, dict)
 
 let ptable_of_rel dict rel =
   { Ptable.vars = Array.to_list rel.Exec.vars;

@@ -7,4 +7,5 @@ let () =
      @ Test_symmetric.suites @ Test_approx.suites @ Test_engine.suites
      @ Test_openworld.suites @ Test_provenance.suites @ Test_robustness.suites
      @ Test_obs.suites @ Test_trace.suites @ Test_metrics.suites
-     @ Test_prepare.suites @ Test_serve.suites @ Test_chaos.suites)
+     @ Test_prepare.suites @ Test_serve.suites @ Test_storage.suites
+     @ Test_chaos.suites)
