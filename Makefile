@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-smoke bench-compare docs check check-budget check-wmc check-trace check-serve check-chaos check-prepare check-storage
+.PHONY: all build test bench bench-smoke bench-compare docs check check-budget check-wmc check-trace check-serve check-chaos check-prepare check-storage check-obs
 
 all: build
 
@@ -113,6 +113,20 @@ check-serve: build
 		{ echo "check-serve: BENCH_serve.json failed schema validation"; exit 1; }; \
 	echo "check-serve: soak suite + load-gen schema + all requests answered — OK"
 
+# The observability gate: the windowed-aggregation and request-id unit
+# suite, the request-correlation serve tests, then the E21 overhead
+# experiment at smoke sizes — BENCH_obs.json must pass the schema
+# validator, which also asserts the telemetry contract: overhead within
+# budget, request-id coverage 1.0, live windows, exact counters.
+check-obs: build
+	@timeout 300 dune exec --no-build test/main.exe -- test window || \
+		{ echo "check-obs: window/request-id suite failed (exit $$?)"; exit 1; }; \
+	timeout 120 env PROBDB_BENCH_SMOKE=1 dune exec --no-build bench/main.exe -- e21 \
+		>/dev/null || { echo "check-obs: e21 failed or hung (exit $$?)"; exit 1; }; \
+	dune exec --no-build bench/compare.exe -- --validate-obs BENCH_obs.json || \
+		{ echo "check-obs: BENCH_obs.json failed schema validation"; exit 1; }; \
+	echo "check-obs: window suite + telemetry overhead budget + id coverage — OK"
+
 # The chaos-engineering suite: the deterministic fault-injection tests
 # (seeded schedules, the self-healing worker pool, the resilient client),
 # then the E18 chaos soak at smoke sizes — BENCH_chaos.json must pass the
@@ -221,7 +235,7 @@ bench-compare: build
 # the chaos-engineering suite, the prepared-queries suite, the
 # packed-storage suite, and — when odoc is installed — the
 # fatal-warnings documentation build.
-check: build test check-budget bench-smoke check-wmc check-trace check-serve check-chaos check-prepare check-storage
+check: build test check-budget bench-smoke check-wmc check-trace check-serve check-chaos check-prepare check-storage check-obs
 	@if command -v odoc >/dev/null 2>&1; then \
 		dune build @check-docs; \
 	else \

@@ -444,6 +444,59 @@ let validate_storage path =
     0
   with Exit -> 1
 
+(* BENCH_obs.json gates from the telemetry issue: the instrumented
+   server's throughput cost at saturation stays within the 2% budget
+   (smoke windows are too short to measure that honestly, so smoke only
+   sanity-bounds it), every reply carries a request id, the cumulative
+   counters reconcile exactly with the client tally, and the rolling
+   windows moved under load. Run by `make check-obs`. *)
+let validate_obs path =
+  let fail fmt =
+    Printf.ksprintf (fun s -> Printf.printf "INVALID %s: %s\n" path s; raise Exit) fmt
+  in
+  try
+    let doc = read_json path in
+    let fields = match doc with Json.Obj f -> f | _ -> fail "top level is not an object" in
+    let get k = match List.assoc_opt k fields with Some v -> v | None -> fail "missing field %S" k in
+    (match get "experiment" with
+    | Json.Str "obs" -> ()
+    | _ -> fail "experiment is not \"obs\"");
+    let smoke = match get "smoke" with
+      | Json.Bool b -> b
+      | _ -> fail "smoke is not a boolean"
+    in
+    let num k = match number (get k) with
+      | Some v -> v
+      | None -> fail "%s is not a number" k
+    in
+    if num "qps_off" <= 0.0 then fail "non-positive qps_off";
+    if num "qps_on" <= 0.0 then fail "non-positive qps_on";
+    if num "answered" <= 0.0 then fail "no replies tallied";
+    if num "openmetrics_scrapes" <= 0.0 then
+      fail "the openmetrics exposition was never scraped";
+    let overhead = num "overhead_pct" in
+    let budget = if smoke then 50.0 else 2.0 in
+    if overhead > budget then
+      fail "telemetry overhead %.2f%% above the %.0f%% budget" overhead budget;
+    let coverage = num "request_id_coverage" in
+    if coverage < 1.0 then
+      fail "request_id coverage %.3f below 1.0: some reply had no id" coverage;
+    (match get "window_moves" with
+    | Json.Bool true -> ()
+    | Json.Bool false -> fail "rolling windows did not move under load"
+    | _ -> fail "window_moves is not a boolean");
+    (match get "cumulative_exact" with
+    | Json.Bool true -> ()
+    | Json.Bool false ->
+        fail "cumulative counters do not reconcile with the client tally"
+    | _ -> fail "cumulative_exact is not a boolean");
+    Printf.printf
+      "OK %s: overhead %.2f%% (budget %.0f%%), id coverage 1.0 over %.0f \
+       replies, windows live, counters exact\n"
+      path overhead budget (num "answered");
+    0
+  with Exit -> 1
+
 (* ---------- entry ---------- *)
 
 let usage () =
@@ -454,7 +507,8 @@ let usage () =
     \       compare --validate-serve FILE.json\n\
     \       compare --validate-chaos FILE.json\n\
     \       compare --validate-prepare FILE.json\n\
-    \       compare --validate-storage FILE.json";
+    \       compare --validate-storage FILE.json\n\
+    \       compare --validate-obs FILE.json";
   2
 
 let () =
@@ -465,6 +519,7 @@ let () =
     | [ "--validate-chaos"; path ] -> validate_chaos path
     | [ "--validate-prepare"; path ] -> validate_prepare path
     | [ "--validate-storage"; path ] -> validate_storage path
+    | [ "--validate-obs"; path ] -> validate_obs path
     | [ "--degrade"; factor; in_path; out_path ] -> (
         match float_of_string_opt factor with
         | Some f -> degrade_file f in_path out_path

@@ -29,6 +29,7 @@ let experiments =
     ("e18", "chaos soak", E18_chaos.run);
     ("e19", "prepared queries / plan cache", E19_prepare.run);
     ("e20", "out-of-core packed storage", E20_storage.run);
+    ("e21", "operational telemetry overhead", E21_obs.run);
   ]
 
 let micro () =
@@ -43,7 +44,8 @@ let micro () =
    @ E13_extensions.bechamel_tests @ E14_guard.bechamel_tests
    @ E15_parallel.bechamel_tests @ E16_wmc.bechamel_tests
    @ E17_serve.bechamel_tests @ E18_chaos.bechamel_tests
-   @ E19_prepare.bechamel_tests @ E20_storage.bechamel_tests)
+   @ E19_prepare.bechamel_tests @ E20_storage.bechamel_tests
+   @ E21_obs.bechamel_tests)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -31,6 +31,8 @@ module Obs = Probdb_obs
 module Stats = Probdb_obs.Stats
 module Prepare = Probdb_prepare.Prepare
 module Serve = Probdb_serve.Serve
+module Top = Probdb_serve.Top
+module Serve_client = Probdb_serve.Client
 module Storage = Probdb_storage.Storage
 
 let query_arg =
@@ -708,23 +710,92 @@ let chaos_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "chaos" ] ~docv:"SEED:RATE"
+    & info [ "chaos" ] ~docv:"SEED:RATE[:SITES]"
         ~doc:
           "Arm deterministic fault injection: every named chaos site \
            (accept/read/write faults, worker crashes and stalls, guard \
            trips) fails with probability RATE on a schedule derived from \
            SEED — the same seed and rate replay the same injections \
-           (docs/SERVING.md, chaos runbook). Equivalent to setting \
-           $(b,PROBDB_CHAOS).")
+           (docs/SERVING.md, chaos runbook). An optional comma-separated \
+           SITES list restricts injection to those sites. Equivalent to \
+           setting $(b,PROBDB_CHAOS).")
+
+let slow_query_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-query-ms" ] ~docv:"MS"
+        ~doc:
+          "Log requests taking MS milliseconds or longer as NDJSON records \
+           (request_id, strategy chain, phase timings, verdict — schema in \
+           docs/SERVING.md). 0 logs every request.")
+
+let slow_query_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slow-query-log" ] ~docv:"PATH"
+        ~doc:
+          "Append slow-query records to PATH instead of stderr (requires \
+           $(b,--slow-query-ms)).")
+
+let openmetrics_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "openmetrics" ] ~docv:"PORT"
+        ~doc:
+          "Also serve a Prometheus/OpenMetrics text exposition over HTTP on \
+           PORT (0 picks an ephemeral port, printed on startup).")
+
+let slo_p99_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slo-p99-ms" ] ~docv:"MS"
+        ~doc:
+          "p99 latency objective: requests over MS milliseconds count \
+           against a 1% miss budget, reported as the rolling \
+           $(b,p99_burn_rate) gauge.")
+
+let slo_availability_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slo-availability" ] ~docv:"FRAC"
+        ~doc:
+          "Availability objective in (0, 1), e.g. 0.999: errors plus shed \
+           requests against the failure budget is the rolling \
+           $(b,availability_burn_rate) gauge.")
+
+let no_telemetry_arg =
+  Arg.(
+    value & flag
+    & info [ "no-telemetry" ]
+        ~doc:
+          "Disable windowed metrics and server-side request-id minting \
+           (client-supplied request ids still propagate). The overhead \
+           bench's baseline.")
 
 let serve_run db_dir host port workers queue degrade_above deadline_ms
-    stall_deadline_ms chaos eps delta samples no_plan_cache =
+    stall_deadline_ms chaos eps delta samples no_plan_cache slow_query_ms
+    slow_query_log openmetrics slo_p99_ms slo_availability no_telemetry =
   (match chaos with
   | None -> ()
   | Some s -> (
-      match Probdb_chaos.Chaos.parse_spec s with
-      | Ok spec -> Probdb_chaos.Chaos.arm spec
+      match Probdb_chaos.Chaos.parse_cli s with
+      | Ok (spec, only) -> Probdb_chaos.Chaos.arm ?only spec
       | Error msg -> fail "--chaos: %s" msg));
+  (match slow_query_ms with
+  | Some ms when ms < 0.0 -> fail "--slow-query-ms: must be >= 0"
+  | _ -> ());
+  (match slo_availability with
+  | Some a when not (a > 0.0 && a < 1.0) ->
+      fail "--slo-availability: must be in (0, 1)"
+  | _ -> ());
+  (match (slow_query_log, slow_query_ms) with
+  | Some _, None -> fail "--slow-query-log requires --slow-query-ms"
+  | _ -> ());
   with_db db_dir @@ fun db ->
   let engine =
     let default_fallback_samples =
@@ -752,12 +823,21 @@ let serve_run db_dir host port workers queue degrade_above deadline_ms
       degrade_above;
       default_deadline_ms = deadline_ms;
       worker_stall_deadline_ms = stall_deadline_ms;
-      engine }
+      engine;
+      telemetry = not no_telemetry;
+      slow_query_ms;
+      slow_query_log;
+      openmetrics_port = openmetrics;
+      slo_p99_ms;
+      slo_availability }
   in
   let server = Serve.start ~config db in
   Printf.printf
     "probdb serve: listening on %s:%d (%d workers, queue %d, degrade above %d)\n%!"
     host (Serve.port server) workers queue degrade_above;
+  (match Serve.openmetrics_port server with
+  | Some p -> Printf.printf "probdb serve: openmetrics on http://%s:%d/\n%!" host p
+  | None -> ());
   (* SIGINT/SIGTERM drain: stop accepting, finish in-flight work, exit 0.
      The handler must not block (it runs on the main thread), so the stop
      itself goes to a fresh thread and [wait] below observes it. *)
@@ -777,7 +857,9 @@ let serve_cmd =
       ret
         (const serve_run $ db_arg $ host_arg $ port_arg $ workers_arg $ queue_arg
        $ degrade_above_arg $ serve_deadline_arg $ stall_deadline_arg
-       $ chaos_arg $ eps_arg $ delta_arg $ samples_arg $ no_plan_cache_arg))
+       $ chaos_arg $ eps_arg $ delta_arg $ samples_arg $ no_plan_cache_arg
+       $ slow_query_ms_arg $ slow_query_log_arg $ openmetrics_arg
+       $ slo_p99_ms_arg $ slo_availability_arg $ no_telemetry_arg))
   in
   Cmd.v
     (Cmd.info "serve"
@@ -786,6 +868,69 @@ let serve_cmd =
           TCP, bounded request queue, degradation then shedding under \
           overload (protocol and operations: docs/SERVING.md).")
     term
+
+(* ---------- top ---------- *)
+
+let top_addr_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"HOST:PORT" ~doc:"Server address, e.g. 127.0.0.1:7433.")
+
+let top_interval_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "interval" ] ~docv:"S" ~doc:"Refresh interval in seconds.")
+
+let top_frames_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "frames" ] ~docv:"N"
+        ~doc:"Render N frames then exit (for scripts and tests).")
+
+let top_once_arg =
+  Arg.(
+    value & flag
+    & info [ "once" ] ~doc:"Render a single frame and exit (= --frames 1).")
+
+let top_run addr interval frames once =
+  let host, port =
+    match String.rindex_opt addr ':' with
+    | Some i -> (
+        let host = String.sub addr 0 i in
+        let port_s = String.sub addr (i + 1) (String.length addr - i - 1) in
+        match int_of_string_opt port_s with
+        | Some p when p > 0 && p < 65536 -> (host, p)
+        | _ -> fail "top: bad port in %S" addr)
+    | None -> fail "top: expected HOST:PORT, got %S" addr
+  in
+  if not (interval > 0.0) then fail "top: --interval must be > 0";
+  let frames = if once then Some 1 else frames in
+  (match
+     Top.run ~host ~port ~interval_s:interval ?frames ()
+   with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Err.raise_
+        (Err.Io
+           { path = addr; message = "connect: " ^ Unix.error_message e })
+  | exception Serve_client.Connection_closed ->
+      Err.raise_ (Err.Io { path = addr; message = "connection closed" }));
+  `Ok ()
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard for a running probdb server: rolling qps \
+          sparkline, 1m latency quantiles, error/shed/degraded/cache rates, \
+          SLO burn, strategy wins, chaos and slow-query status.")
+    Term.(
+      ret
+        (const top_run $ top_addr_arg $ top_interval_arg $ top_frames_arg
+       $ top_once_arg))
 
 (* ---------- pack ---------- *)
 
@@ -891,7 +1036,7 @@ let () =
       Cmd.eval ~catch:false
         (Cmd.group info
            [ eval_cmd; explain_cmd; prepare_cmd; classify_cmd; plan_cmd; lineage_cmd;
-             compile_cmd; pack_cmd; serve_cmd; gen_cmd ])
+             compile_cmd; pack_cmd; serve_cmd; top_cmd; gen_cmd ])
     with
     (* [Fun.protect] wraps a raising cleanup (e.g. the trace writer hitting
        an unwritable path) in [Finally_raised]; unwrap so typed errors keep

@@ -20,6 +20,30 @@ let parse_spec s =
 
 let render_spec { seed; rate } = Printf.sprintf "%d:%g" seed rate
 
+(* The CLI/env grammar is a superset of [parse_spec]: an optional third
+   colon-separated field restricts injection to a comma-separated site
+   allowlist, e.g. "42:0.1:serve.read,par.worker.crash". *)
+let parse_cli s =
+  match String.split_on_char ':' s with
+  | [ _; _ ] -> Result.map (fun sp -> (sp, None)) (parse_spec s)
+  | [ seed_s; rate_s; sites_s ] -> (
+      match parse_spec (seed_s ^ ":" ^ rate_s) with
+      | Error _ as e -> e |> Result.map (fun sp -> (sp, None))
+      | Ok sp ->
+          let sites =
+            String.split_on_char ',' sites_s
+            |> List.map String.trim
+            |> List.filter (fun x -> x <> "")
+          in
+          if sites = [] then
+            Error
+              (Printf.sprintf "bad chaos sites %S: expected site1,site2,..."
+                 sites_s)
+          else Ok (sp, Some sites))
+  | _ ->
+      Error
+        (Printf.sprintf "bad chaos spec %S: expected seed:rate[:site1,site2]" s)
+
 (* Same splitmix64 finaliser as [Par.Rng] (duplicated because chaos sits
    below par in the library graph). *)
 let mix z =
@@ -43,7 +67,12 @@ let site_hash site =
 (* Map the mixed 64-bit word to [0,1) using its top 53 bits. *)
 let to_unit z = Int64.to_float (Int64.shift_right_logical z 11) *. 0x1p-53
 
-type state = { sp : spec; counters : (string, int Atomic.t) Hashtbl.t; lock : Mutex.t }
+type state = {
+  sp : spec;
+  only : string list option;
+  counters : (string, int Atomic.t) Hashtbl.t;
+  lock : Mutex.t;
+}
 
 let state : state option Atomic.t = Atomic.make None
 
@@ -51,15 +80,17 @@ let total = Atomic.make 0
 
 let injections_c = Metrics.counter "chaos.injections"
 
-let arm sp =
+let arm ?only sp =
   Atomic.set state
-    (Some { sp; counters = Hashtbl.create 16; lock = Mutex.create () })
+    (Some { sp; only; counters = Hashtbl.create 16; lock = Mutex.create () })
 
 let disarm () = Atomic.set state None
 
 let armed () = Atomic.get state <> None
 
 let spec () = Option.map (fun st -> st.sp) (Atomic.get state)
+
+let sites () = Option.bind (Atomic.get state) (fun st -> st.only)
 
 let counter_of st site =
   match Hashtbl.find_opt st.counters site with
@@ -77,9 +108,17 @@ let counter_of st site =
       Mutex.unlock st.lock;
       c
 
+(* Site filtering happens before the counter advances: a filtered site
+   behaves exactly as if the process were disarmed for it, so narrowing
+   [only] does not perturb the schedules of the sites that remain. *)
 let fire ~site =
   match Atomic.get state with
   | None -> false
+  | Some st when
+      (match st.only with
+      | Some sites -> not (List.mem site sites)
+      | None -> false) ->
+      false
   | Some st ->
       let n = Atomic.fetch_and_add (counter_of st site) 1 in
       let z =
@@ -108,6 +147,6 @@ let () =
   match Sys.getenv_opt "PROBDB_CHAOS" with
   | None | Some "" -> ()
   | Some s -> (
-      match parse_spec s with
-      | Ok sp -> arm sp
+      match parse_cli s with
+      | Ok (sp, only) -> arm ?only sp
       | Error msg -> invalid_arg ("PROBDB_CHAOS: " ^ msg))

@@ -32,9 +32,17 @@ val parse_spec : string -> (spec, string) result
 val render_spec : spec -> string
 (** Inverse of {!parse_spec}: ["seed:rate"]. *)
 
-val arm : spec -> unit
+val parse_cli : string -> (spec * string list option, string) result
+(** Parse the CLI/env grammar ["seed:rate\[:site1,site2,...\]"]: like
+    {!parse_spec} plus an optional comma-separated site allowlist for
+    {!arm}'s [?only]. *)
+
+val arm : ?only:string list -> spec -> unit
 (** Install the schedule and reset all per-site call counters, so two
-    [arm]s with the same spec replay identical schedules. *)
+    [arm]s with the same spec replay identical schedules. When [only] is
+    given, {!fire} returns [false] at every site not in the list without
+    advancing its counter — narrowing the allowlist leaves the remaining
+    sites' schedules unchanged. *)
 
 val disarm : unit -> unit
 (** Stop injecting. Counters are reset on the next {!arm}. *)
@@ -43,6 +51,9 @@ val armed : unit -> bool
 
 val spec : unit -> spec option
 (** The armed spec, if any. *)
+
+val sites : unit -> string list option
+(** The armed site allowlist, if one was given to {!arm}. *)
 
 val fire : site:string -> bool
 (** [fire ~site] advances [site]'s call counter and reports whether this

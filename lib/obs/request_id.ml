@@ -1,0 +1,31 @@
+(* Server-minted request ids: 16 hex digits from a splitmix64 stream
+   seeded per process. Ids only need to be unique within one server's
+   logs/traces, so a pid-and-clock seed plus a monotone counter is
+   enough — no entropy source, no dependency. *)
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let seed =
+  Int64.logxor
+    (Int64.bits_of_float (Unix.gettimeofday ()))
+    (Int64.of_int (Unix.getpid () * 0x1F123BB5))
+
+let counter = Atomic.make 0
+
+let mint () =
+  let n = Atomic.fetch_and_add counter 1 in
+  let z = Int64.add seed (Int64.mul (Int64.of_int (n + 1)) golden) in
+  Printf.sprintf "%016Lx" (mix z)
+
+(* Client-supplied ids appear verbatim in NDJSON logs, trace event names
+   and OpenMetrics labels, so restrict them to printable non-space ASCII
+   and a sane length. *)
+let valid s =
+  let n = String.length s in
+  n >= 1 && n <= 128
+  && String.for_all (fun c -> Char.code c >= 0x21 && Char.code c <= 0x7e) s

@@ -1,0 +1,9 @@
+(** Request ids for end-to-end correlation of serve requests across
+    replies, Stats, trace events, the slow-query log and metrics. *)
+
+val mint : unit -> string
+(** A fresh 16-hex-digit id, unique within this process. *)
+
+val valid : string -> bool
+(** [valid s] accepts client-supplied ids: 1–128 printable, non-space
+    ASCII characters. *)

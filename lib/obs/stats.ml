@@ -75,6 +75,7 @@ type phase = Parse | Prepare | Classify | Plan | Solve
 
 type t = {
   mutable query : string option;
+  mutable request_id : string option;
   mutable strategy : string option;
   mutable probability : float option;
   mutable exact : bool;
@@ -107,6 +108,7 @@ type t = {
 
 let create () =
   { query = None;
+    request_id = None;
     strategy = None;
     probability = None;
     exact = true;
@@ -276,6 +278,7 @@ let gc_to_json (g : gc_counts) =
 let to_json t =
   Json.Obj
     [ ("query", opt (fun s -> Json.Str s) t.query);
+      ("request_id", opt (fun s -> Json.Str s) t.request_id);
       ("strategy", opt (fun s -> Json.Str s) t.strategy);
       ("probability", opt (fun f -> Json.Float f) t.probability);
       ("exact", Json.Bool t.exact);
@@ -328,6 +331,9 @@ let ms s = Printf.sprintf "%.3fms" (s *. 1e3)
 let pp ppf t =
   let line fmt = Format.fprintf ppf fmt in
   (match t.query with Some q -> line "query            %s@." q | None -> ());
+  (match t.request_id with
+  | Some r -> line "request_id       %s@." r
+  | None -> ());
   (match t.strategy with Some s -> line "strategy         %s@." s | None -> ());
   (match t.probability with
   | Some p ->

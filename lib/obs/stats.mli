@@ -120,6 +120,8 @@ type phase = Parse | Prepare | Classify | Plan | Solve
 
 type t = {
   mutable query : string option;  (** concrete syntax, when known *)
+  mutable request_id : string option;
+      (** serve-layer correlation id, when evaluated on behalf of a request *)
   mutable strategy : string option;  (** winning strategy name *)
   mutable probability : float option;
   mutable exact : bool;  (** [false] for sampling-based answers *)

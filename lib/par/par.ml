@@ -222,6 +222,7 @@ module Service = struct
       (try worker t f slot
        with _e ->
          Atomic.incr t.failures;
+         Trace.instant ~cat:"par" "par.worker.crashed";
          Mutex.lock t.lock;
          let doomed, respawned =
            retire_locked t ~spawn:(fun t -> spawn_worker_locked t f) slot
@@ -266,6 +267,7 @@ module Service = struct
         Mutex.unlock t.lock;
         List.iter
           (fun (item, respawned) ->
+            Trace.instant ~cat:"par" "par.worker.stalled";
             (match item with Some item -> doom t item | None -> ());
             if respawned then restarted t)
           doomed;

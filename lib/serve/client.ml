@@ -88,6 +88,11 @@ let ping t = ok (call t [ ("op", Json.Str "ping") ])
 
 let result resp = Option.value ~default:Json.Null (Json.member "result" resp)
 
+let request_id resp =
+  match Json.member "request_id" resp with
+  | Some (Json.Str s) -> Some s
+  | _ -> None
+
 let error_class resp =
   match Json.member "error" resp with
   | Some err -> (

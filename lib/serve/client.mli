@@ -59,6 +59,10 @@ val ok : Probdb_obs.Json.t -> bool
 val result : Probdb_obs.Json.t -> Probdb_obs.Json.t
 (** The ["result"] field ([Null] when absent). *)
 
+val request_id : Probdb_obs.Json.t -> string option
+(** The top-level ["request_id"] correlation id of a response, when the
+    server attached one. *)
+
 val error_class : Probdb_obs.Json.t -> string option
 (** The ["error"]["class"] field of a failed response. *)
 

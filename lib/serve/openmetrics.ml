@@ -1,0 +1,211 @@
+(* OpenMetrics / Prometheus text exposition, with no HTTP library: the
+   renderer turns a flat metric list into the line format, and
+   [serve_http] answers any HTTP/1.x GET on a dedicated port with the
+   current exposition — enough for a Prometheus scrape_config, curl, or
+   `probdb top`'s fallback, while the real server keeps its own
+   line-JSON protocol untouched. *)
+
+module Json = Probdb_obs.Json
+
+type metric =
+  | Counter of string * float
+  | Gauge of string * float
+  | Info of string * (string * string) list
+
+(* Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots in our
+   registry names become underscores. *)
+let sanitize_name s =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    s
+
+(* Label values live in double quotes: escape backslash, quote, newline. *)
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let float_repr v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let render metrics =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun m ->
+      match m with
+      | Counter (name, v) ->
+          let name = sanitize_name name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" name);
+          Buffer.add_string b
+            (Printf.sprintf "%s_total %s\n" name (float_repr v))
+      | Gauge (name, v) ->
+          let name = sanitize_name name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name);
+          Buffer.add_string b (Printf.sprintf "%s %s\n" name (float_repr v))
+      | Info (name, labels) ->
+          let name = sanitize_name name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s info\n" name);
+          let rendered =
+            labels
+            |> List.map (fun (k, v) ->
+                   Printf.sprintf "%s=\"%s\"" (sanitize_name k) (escape_label v))
+            |> String.concat ","
+          in
+          Buffer.add_string b (Printf.sprintf "%s_info{%s} 1\n" name rendered))
+    metrics;
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+(* Project the process-wide Metrics registry snapshot
+   ({"counters":{..},"gauges":{..},"histograms":{..}}) into flat metrics;
+   histograms surface as count/sum counters plus quantile gauges. *)
+let of_metrics_json j =
+  let obj name =
+    match Json.member name j with Some (Json.Obj kvs) -> kvs | _ -> []
+  in
+  let num = function
+    | Json.Int i -> Some (float_of_int i)
+    | Json.Float f -> Some f
+    | _ -> None
+  in
+  let counters =
+    List.filter_map
+      (fun (name, v) -> Option.map (fun v -> Counter (name, v)) (num v))
+      (obj "counters")
+  in
+  let gauges =
+    List.filter_map
+      (fun (name, v) -> Option.map (fun v -> Gauge (name, v)) (num v))
+      (obj "gauges")
+  in
+  let histos =
+    List.concat_map
+      (fun (name, h) ->
+        let field f = Option.bind (Json.member f h) num in
+        let counter suffix f =
+          match field f with
+          | Some v -> [ Counter (name ^ suffix, v) ]
+          | None -> []
+        in
+        let gauge suffix f =
+          match field f with
+          | Some v -> [ Gauge (name ^ suffix, v) ]
+          | None -> []
+        in
+        counter "_count" "count" @ counter "_sum" "sum" @ gauge "_p50" "p50"
+        @ gauge "_p90" "p90" @ gauge "_p99" "p99")
+      (obj "histograms")
+  in
+  counters @ gauges @ histos
+
+(* ---------- minimal HTTP listener ---------- *)
+
+type listener = {
+  om_port : int;
+  om_sock : Unix.file_descr;
+  om_thread : Thread.t;
+  om_stopping : bool Atomic.t;
+}
+
+let om_port l = l.om_port
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+(* Read and discard the request head (start line + headers, ending at the
+   first blank line). The body callback is re-evaluated per request so
+   each scrape sees fresh gauges. Any request shape gets the same 200 —
+   there is exactly one resource on this port. *)
+let handle_client fd body =
+  let buf = Bytes.create 4096 in
+  let rec drain_head seen =
+    if
+      contains_sub seen "\r\n\r\n" || contains_sub seen "\n\n"
+      || String.length seen > 65536
+    then ()
+    else
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | n -> drain_head (seen ^ Bytes.sub_string buf 0 n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain_head seen
+      | exception Unix.Unix_error _ -> ()
+  in
+  drain_head "";
+  let text = body () in
+  let resp =
+    Printf.sprintf
+      "HTTP/1.0 200 OK\r\n\
+       Content-Type: application/openmetrics-text; version=1.0.0; \
+       charset=utf-8\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n\
+       %s"
+      (String.length text) text
+  in
+  let rbuf = Bytes.unsafe_of_string resp in
+  let len = Bytes.length rbuf in
+  let pos = ref 0 in
+  (try
+     while !pos < len do
+       match Unix.write fd rbuf !pos (len - !pos) with
+       | n -> pos := !pos + n
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+     done
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve_http ~host ~port ~body =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (try Unix.bind sock addr
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen sock 16;
+  let om_port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stopping = Atomic.make false in
+  let thread =
+    Thread.create
+      (fun () ->
+        let rec loop () =
+          match Unix.accept sock with
+          | fd, _ ->
+              (* scrape endpoints are low-rate; serve inline, no pool *)
+              (try handle_client fd body
+               with _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()));
+              loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | exception Unix.Unix_error _ ->
+              if Atomic.get stopping then () else loop ()
+        in
+        loop ())
+      ()
+  in
+  { om_port; om_sock = sock; om_thread = thread; om_stopping = stopping }
+
+let stop l =
+  Atomic.set l.om_stopping true;
+  (try Unix.shutdown l.om_sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close l.om_sock with Unix.Unix_error _ -> ());
+  try Thread.join l.om_thread with _ -> ()

@@ -1,0 +1,38 @@
+(** OpenMetrics / Prometheus text exposition without an HTTP dependency:
+    a line-format renderer plus a minimal single-resource HTTP listener
+    for [probdb serve --openmetrics PORT]. *)
+
+type metric =
+  | Counter of string * float  (** rendered with the [_total] suffix *)
+  | Gauge of string * float
+  | Info of string * (string * string) list
+      (** rendered as [name_info{k="v",...} 1] — used to expose strings
+          like the last request id *)
+
+val sanitize_name : string -> string
+(** Map to the Prometheus name charset ([a-zA-Z0-9_:], non-digit
+    first character); dots become underscores. *)
+
+val render : metric list -> string
+(** The text exposition: [# TYPE] comment plus sample line per metric,
+    terminated by [# EOF]. *)
+
+val of_metrics_json : Probdb_obs.Json.t -> metric list
+(** Project a {!Probdb_obs.Metrics.to_json} snapshot into flat metrics:
+    counters and gauges map directly; each histogram becomes
+    [name_count]/[name_sum] counters and [name_p50]/[name_p90]/[name_p99]
+    gauges. *)
+
+type listener
+
+val om_port : listener -> int
+(** The bound port (useful when created with port [0]). *)
+
+val serve_http : host:string -> port:int -> body:(unit -> string) -> listener
+(** Start an accept thread answering every HTTP request on
+    [host:port] with [200 OK] and a fresh [body ()] as
+    [application/openmetrics-text]. @raise Unix.Unix_error if the port
+    cannot be bound. *)
+
+val stop : listener -> unit
+(** Close the listening socket and join the accept thread. *)

@@ -1,5 +1,6 @@
 module Json = Probdb_obs.Json
 module Err = Probdb_core.Probdb_error
+module Request_id = Probdb_obs.Request_id
 
 type eval_request = {
   query : string;
@@ -12,13 +13,14 @@ type eval_request = {
   seed : int option;
   no_degrade : bool;
   want_stats : bool;
+  request_id : string option;
 }
 
 type op =
   | Eval of eval_request
   | Ping
   | Stats
-  | Metrics
+  | Metrics of { openmetrics : bool }
   | Trace of { ms : int }
   | Shutdown of { drain : bool }
 
@@ -130,6 +132,13 @@ let parse_eval j =
       seed = int_field "seed" j;
       no_degrade = bool_field ~default:false "no_degrade" j;
       want_stats = bool_field ~default:false "stats" j;
+      request_id =
+        (match str_field "request_id" j with
+        | Some rid when not (Request_id.valid rid) ->
+            bad
+              "field \"request_id\" must be 1-128 printable non-space ASCII \
+               characters"
+        | rid -> rid);
     }
 
 let parse_op j =
@@ -138,7 +147,11 @@ let parse_op j =
   | Some "eval" -> parse_eval j
   | Some "ping" -> Ping
   | Some "stats" -> Stats
-  | Some "metrics" -> Metrics
+  | Some "metrics" -> (
+      match str_field "format" j with
+      | None | Some "json" -> Metrics { openmetrics = false }
+      | Some "openmetrics" -> Metrics { openmetrics = true }
+      | Some f -> bad "unknown metrics format %S (json|openmetrics)" f)
   | Some "trace" ->
       let ms = Option.value ~default:100 (int_field "ms" j) in
       if ms < 0 || ms > 60_000 then
@@ -155,10 +168,19 @@ let parse line =
       try Ok { id; op = parse_op j } with Bad m -> Error (id, m))
   | Ok _ -> Error (Json.Null, "request must be a JSON object")
 
-let response_ok ~id result =
-  Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", result) ]
+(* The correlation id rides at the top level of both reply shapes so a
+   client (or a log grepper) can match replies to trace events and
+   slow-query records without unwrapping the result. *)
+let rid_field = function
+  | None -> []
+  | Some rid -> [ ("request_id", Json.Str rid) ]
 
-let response_error ~id err =
+let response_ok ?request_id ~id result =
+  Json.Obj
+    ([ ("id", id); ("ok", Json.Bool true); ("result", result) ]
+    @ rid_field request_id)
+
+let response_error ?request_id ~id err =
   let base =
     [
       ("class", Json.Str (error_class err));
@@ -173,7 +195,8 @@ let response_error ~id err =
     | _ -> []
   in
   Json.Obj
-    [ ("id", id); ("ok", Json.Bool false); ("error", Json.Obj (base @ extra)) ]
+    ([ ("id", id); ("ok", Json.Bool false); ("error", Json.Obj (base @ extra)) ]
+    @ rid_field request_id)
 
 let write_line oc j =
   output_string oc (Json.to_string j);

@@ -27,13 +27,20 @@ type eval_request = {
   seed : int option;
   no_degrade : bool;  (** fail typed instead of degrading *)
   want_stats : bool;  (** include the full stats record in the response *)
+  request_id : string option;
+      (** client-supplied correlation id (1–128 printable non-space ASCII
+          characters, validated by {!Probdb_obs.Request_id.valid}); when
+          absent the server mints one *)
 }
 
 type op =
   | Eval of eval_request
   | Ping  (** liveness probe; answers [{"pong": true}] *)
   | Stats  (** the server stats snapshot (docs/STATS.md [serve] block) *)
-  | Metrics  (** the process-wide {!Probdb_obs.Metrics} snapshot *)
+  | Metrics of { openmetrics : bool }
+      (** the process-wide {!Probdb_obs.Metrics} snapshot; with
+          [openmetrics] (wire field ["format": "openmetrics"]) the result
+          is the OpenMetrics text exposition instead of raw JSON *)
   | Trace of { ms : int }
       (** capture an event trace for [ms] milliseconds and return the
           Chrome trace_event document inline *)
@@ -76,12 +83,16 @@ val parse : string -> (request, Probdb_obs.Json.t * string) result
     request's [id] when one could be extracted ([Null] otherwise), so
     even malformed pipelined requests get correlatable responses. *)
 
-val response_ok : id:Probdb_obs.Json.t -> Probdb_obs.Json.t -> Probdb_obs.Json.t
-(** [{"id": id, "ok": true, "result": result}]. *)
+val response_ok :
+  ?request_id:string -> id:Probdb_obs.Json.t -> Probdb_obs.Json.t -> Probdb_obs.Json.t
+(** [{"id": id, "ok": true, "result": result}], plus a top-level
+    ["request_id"] when one is known. *)
 
-val response_error : id:Probdb_obs.Json.t -> error -> Probdb_obs.Json.t
+val response_error :
+  ?request_id:string -> id:Probdb_obs.Json.t -> error -> Probdb_obs.Json.t
 (** [{"id": id, "ok": false, "error": {"class", "code", "message"}}];
-    [Overloaded] additionally reports ["depth"] and ["capacity"]. *)
+    [Overloaded] additionally reports ["depth"] and ["capacity"], and a
+    top-level ["request_id"] is added when one is known. *)
 
 val write_line : out_channel -> Probdb_obs.Json.t -> unit
 (** Compact-encode, append ['\n'], flush. *)

@@ -11,6 +11,9 @@ module Stats = Probdb_obs.Stats
 module Metrics = Probdb_obs.Metrics
 module Trace = Probdb_obs.Trace
 module Clock = Probdb_obs.Clock
+module Window = Probdb_obs.Window
+module Histogram = Probdb_obs.Histogram
+module Request_id = Probdb_obs.Request_id
 module Chaos = Probdb_chaos.Chaos
 
 type config = {
@@ -22,6 +25,12 @@ type config = {
   default_deadline_ms : int option;
   worker_stall_deadline_ms : int;
   engine : E.config;
+  telemetry : bool;
+  slow_query_ms : float option;
+  slow_query_log : string option;
+  openmetrics_port : int option;
+  slo_p99_ms : float option;
+  slo_availability : float option;
 }
 
 let default_config =
@@ -34,6 +43,12 @@ let default_config =
     default_deadline_ms = None;
     worker_stall_deadline_ms = 30_000;
     engine = E.default_config;
+    telemetry = true;
+    slow_query_ms = None;
+    slow_query_log = None;
+    openmetrics_port = None;
+    slo_p99_ms = None;
+    slo_availability = None;
   }
 
 (* Process-wide metrics mirrored by every server instance (the per-server
@@ -75,12 +90,61 @@ type job = {
   j_conn : conn;
   j_id : Json.t;
   j_req : Protocol.eval_request;
+  j_rid : string option;  (* correlation id: client-supplied or minted *)
   j_degrade_load : bool;
   j_enqueued_s : float;
   j_done : bool Atomic.t;
 }
 
 type state = Running | Stopping
+
+(* The rolling-horizon side of the telemetry: windowed twins of the
+   cumulative counters, read back at 10s/60s/300s horizons by
+   [stats_json] and the OpenMetrics exposition. Cumulative counters stay
+   the source of exactness; these answer "what is happening right now". *)
+type windows = {
+  w_latency : Window.histogram;
+  w_queue_wait : Window.histogram;
+  w_answered : Window.counter;  (* eval replies sent, any outcome *)
+  w_ok : Window.counter;
+  w_errors : Window.counter;
+  w_degraded : Window.counter;  (* force-degraded under load *)
+  w_shed : Window.counter;
+  w_slow : Window.counter;  (* at/over the slow-query threshold *)
+  w_slo_miss : Window.counter;  (* latency above the p99 objective *)
+  w_cache_hits : Window.counter;
+  w_cache_misses : Window.counter;
+  w_restarts : Window.counter;
+  w_strategies : (string, Window.counter) Hashtbl.t;  (* winning strategy *)
+  w_strategies_lock : Mutex.t;
+}
+
+let make_windows () =
+  {
+    w_latency = Window.histogram ();
+    w_queue_wait = Window.histogram ();
+    w_answered = Window.counter ();
+    w_ok = Window.counter ();
+    w_errors = Window.counter ();
+    w_degraded = Window.counter ();
+    w_shed = Window.counter ();
+    w_slow = Window.counter ();
+    w_slo_miss = Window.counter ();
+    w_cache_hits = Window.counter ();
+    w_cache_misses = Window.counter ();
+    w_restarts = Window.counter ();
+    w_strategies = Hashtbl.create 8;
+    w_strategies_lock = Mutex.create ();
+  }
+
+let strategy_counter w name =
+  Mutex.protect w.w_strategies_lock (fun () ->
+      match Hashtbl.find_opt w.w_strategies name with
+      | Some c -> c
+      | None ->
+          let c = Window.counter () in
+          Hashtbl.add w.w_strategies name c;
+          c)
 
 type t = {
   cfg : config;
@@ -103,6 +167,12 @@ type t = {
   service : job Par.Service.t;
   state : state Atomic.t;
   started_s : float;
+  started_unix_s : float;  (* wall-clock start, for operators *)
+  windows : windows option;  (* None with [telemetry = false] *)
+  slowlog : Slowlog.t option;
+  mutable om_listener : Openmetrics.listener option;
+  last_rid : string option Atomic.t;
+  last_slow_rid : string option Atomic.t;
   conns : (int, conn) Hashtbl.t;
   conns_lock : Mutex.t;
   mutable accept_thread : Thread.t option;
@@ -168,11 +238,27 @@ let close_conn t conn =
    worker that evaluated it, the watchdog that doomed it, or the shutdown
    path that dropped it — sends the response and releases the pending
    slot; everyone else's response is discarded. Returns whether this
-   caller won. *)
-let reply job resp =
+   caller won. The winner also feeds the windowed latency/SLO gauges, so
+   every admitted request is counted exactly once however it ends. *)
+let reply t job resp =
   if Atomic.compare_and_set job.j_done false true then begin
+    (* telemetry first, wire second: a client that reads [stats] right
+       after receiving its reply must already see this request in the
+       rolling windows *)
+    let latency_s = Clock.now () -. job.j_enqueued_s in
+    Metrics.observe m_latency latency_s;
+    (match t.windows with
+    | None -> ()
+    | Some w ->
+        Window.observe w.w_latency latency_s;
+        Window.incr w.w_answered;
+        (match t.cfg.slo_p99_ms with
+        | Some ms when latency_s > ms /. 1e3 -> Window.incr w.w_slo_miss
+        | _ -> ()));
+    (match job.j_rid with
+    | Some _ as rid -> Atomic.set t.last_rid rid
+    | None -> ());
     send job.j_conn resp;
-    Metrics.observe m_latency (Clock.now () -. job.j_enqueued_s);
     pending_decr job.j_conn;
     true
   end
@@ -365,34 +451,122 @@ let eval_result_json t job ~config ~degraded_load ~stats ?prepared q =
                ])
       | exception exn -> Error (typed_error exn))
 
+(* One slow-query NDJSON record: everything needed to replay and explain
+   the request, keyed by its correlation id. Schema documented in
+   docs/SERVING.md (Monitoring). *)
+let slow_record job ~latency_s ~queue_wait_s ~(stats : Stats.t) ~verdict =
+  let opt_str = function None -> Json.Null | Some s -> Json.Str s in
+  Json.Obj
+    [
+      ("ts_unix_s", Json.Float (Unix.gettimeofday ()));
+      ("request_id", opt_str job.j_rid);
+      ("query", Json.Str job.j_req.Protocol.query);
+      ("verdict", Json.Str verdict);
+      ("latency_s", Json.Float latency_s);
+      ("queue_wait_s", Json.Float queue_wait_s);
+      ("strategy", opt_str stats.Stats.strategy);
+      ("exact", Json.Bool stats.Stats.exact);
+      ("degraded", Json.Bool stats.Stats.degraded);
+      ( "prepared_key",
+        match stats.Stats.prepare with
+        | Some p -> Json.Str p.Stats.prep_key
+        | None -> Json.Null );
+      ( "cache_hit",
+        match stats.Stats.prepare with
+        | Some p -> Json.Bool p.Stats.prep_hit
+        | None -> Json.Null );
+      ( "bytes_mapped",
+        match stats.Stats.storage with
+        | Some s -> Json.Int s.Stats.st_bytes_mapped
+        | None -> Json.Null );
+      ( "phases",
+        Json.Obj
+          [
+            ("parse_s", Json.Float stats.Stats.parse_s);
+            ("prepare_s", Json.Float stats.Stats.prepare_s);
+            ("classify_s", Json.Float stats.Stats.classify_s);
+            ("plan_s", Json.Float stats.Stats.plan_s);
+            ("solve_s", Json.Float stats.Stats.solve_s);
+          ] );
+      ( "chain",
+        Json.List
+          (List.map
+             (fun (s, kind, detail) ->
+               Json.Obj
+                 [
+                   ("strategy", Json.Str s);
+                   ("kind", Json.Str kind);
+                   ("detail", Json.Str detail);
+                 ])
+             stats.Stats.chain) );
+    ]
+
+(* Post-reply bookkeeping for an answered eval: windowed outcome
+   counters, the slow-query log, and the terminal trace instant. Only the
+   reply winner calls this — a worker that lost the race to the watchdog
+   must not double-count its late result. *)
+let record_outcome t job ~stats ~degraded_load ~queue_wait_s ~verdict ~ok =
+  let latency_s = Clock.now () -. job.j_enqueued_s in
+  (match t.windows with
+  | None -> ()
+  | Some w ->
+      if ok then Window.incr w.w_ok else Window.incr w.w_errors;
+      if degraded_load then Window.incr w.w_degraded;
+      (match stats.Stats.strategy with
+      | Some s -> Window.incr (strategy_counter w s)
+      | None -> ());
+      (match stats.Stats.prepare with
+      | Some p ->
+          Window.incr
+            (if p.Stats.prep_hit then w.w_cache_hits else w.w_cache_misses)
+      | None -> ()));
+  (match t.slowlog with
+  | Some sl when Slowlog.should_log sl ~latency_s ->
+      (match t.windows with Some w -> Window.incr w.w_slow | None -> ());
+      (match job.j_rid with
+      | Some _ as rid -> Atomic.set t.last_slow_rid rid
+      | None -> ());
+      Slowlog.log sl (slow_record job ~latency_s ~queue_wait_s ~stats ~verdict)
+  | _ -> ());
+  match job.j_rid with
+  | Some rid -> Trace.instant ~cat:"request" ("req:" ^ rid ^ ":" ^ verdict)
+  | None -> ()
+
 let run_job t job =
   let r = job.j_req in
   let queue_wait_s = Clock.now () -. job.j_enqueued_s in
   Metrics.observe m_queue_wait queue_wait_s;
+  (match t.windows with
+  | Some w -> Window.observe w.w_queue_wait queue_wait_s
+  | None -> ());
   Metrics.set m_queue_depth (float_of_int (Par.Service.depth t.service));
   let attempt ~degrade_load =
-    try
-      let remaining_s = remaining_deadline t r ~queue_wait_s in
-      let config = config_of_request t ~remaining_s r ~degrade_load in
-      let stats = Stats.create () in
-      stats.Stats.query <- Some r.Protocol.query;
-      (* the shared text index skips the parser on repeated request texts
-         and hands back the prepared binding in the same lookup, so warm
-         requests go straight to execution *)
-      match
-        Prepare.Cache.resolve_text ~stats t.plan_cache ~free:r.Protocol.free
-          r.Protocol.query
-      with
-      | exception L.Parser.Error msg ->
-          Error (Protocol.Engine (Err.Parse { message = msg }))
-      | q, prepared ->
-          eval_result_json t job ~config ~degraded_load:degrade_load ~stats
-            ?prepared q
-    with exn -> Error (typed_error exn)
+    let stats = Stats.create () in
+    stats.Stats.query <- Some r.Protocol.query;
+    stats.Stats.request_id <- job.j_rid;
+    let result =
+      try
+        let remaining_s = remaining_deadline t r ~queue_wait_s in
+        let config = config_of_request t ~remaining_s r ~degrade_load in
+        (* the shared text index skips the parser on repeated request texts
+           and hands back the prepared binding in the same lookup, so warm
+           requests go straight to execution *)
+        match
+          Prepare.Cache.resolve_text ~stats t.plan_cache ~free:r.Protocol.free
+            r.Protocol.query
+        with
+        | exception L.Parser.Error msg ->
+            Error (Protocol.Engine (Err.Parse { message = msg }))
+        | q, prepared ->
+            eval_result_json t job ~config ~degraded_load:degrade_load ~stats
+              ?prepared q
+      with exn -> Error (typed_error exn)
+    in
+    (result, stats, degrade_load)
   in
-  let result =
+  let result, stats, degraded_load =
     match attempt ~degrade_load:job.j_degrade_load with
-    | Error (Protocol.Engine (Err.No_method _)) when job.j_degrade_load ->
+    | Error (Protocol.Engine (Err.No_method _)), _, _ when job.j_degrade_load ->
         (* degradation under load is best-effort: a query with no monotone
            DNF lineage has no (ε,δ) fallback to degrade to, so it gets its
            normal exact evaluation instead of a spurious no-method error *)
@@ -401,20 +575,126 @@ let run_job t job =
   in
   match result with
   | Ok doc ->
-      if reply job (Protocol.response_ok ~id:job.j_id doc) then
-        Atomic.incr t.c_eval_ok
+      if reply t job (Protocol.response_ok ?request_id:job.j_rid ~id:job.j_id doc)
+      then begin
+        Atomic.incr t.c_eval_ok;
+        record_outcome t job ~stats ~degraded_load ~queue_wait_s ~verdict:"ok"
+          ~ok:true
+      end
   | Error err ->
-      if reply job (Protocol.response_error ~id:job.j_id err) then
-        Atomic.incr t.c_eval_error
+      if
+        reply t job
+          (Protocol.response_error ?request_id:job.j_rid ~id:job.j_id err)
+      then begin
+        Atomic.incr t.c_eval_error;
+        record_outcome t job ~stats ~degraded_load ~queue_wait_s
+          ~verdict:(Protocol.error_class err) ~ok:false
+      end
 
 (* ---------- control operations (reader threads) ---------- *)
 
 let uptime_s t = Clock.now () -. t.started_s
 
+(* One rolling-horizon snapshot: quantiles from the merged latency
+   window, rates against the eval replies sent inside the horizon. The
+   denominator is [w_answered] — every admitted eval ends in exactly one
+   reply (ok, error, shed, doomed), so the rates partition it. *)
+let horizon_json t w ~horizon_s =
+  let lat = Window.snapshot w.w_latency ~horizon_s in
+  let answered = Window.total w.w_answered ~horizon_s in
+  let errors = Window.total w.w_errors ~horizon_s in
+  let shed = Window.total w.w_shed ~horizon_s in
+  let rate num den =
+    if den = 0 then Json.Null else Json.Float (float_of_int num /. float_of_int den)
+  in
+  let q p =
+    if Histogram.count lat = 0 then Json.Null
+    else Json.Float (Histogram.quantile lat p)
+  in
+  let hits = Window.total w.w_cache_hits ~horizon_s in
+  let misses = Window.total w.w_cache_misses ~horizon_s in
+  let slo =
+    let avail_burn =
+      match t.cfg.slo_availability with
+      | Some a when a < 1.0 && answered > 0 ->
+          let failure_rate =
+            float_of_int (errors + shed) /. float_of_int answered
+          in
+          Some (failure_rate /. (1.0 -. a))
+      | _ -> None
+    in
+    let p99_burn =
+      match t.cfg.slo_p99_ms with
+      | Some _ when answered > 0 ->
+          (* the objective tolerates 1% of requests over the p99 target:
+             burn 1.0 = spending that budget exactly *)
+          let miss_rate =
+            float_of_int (Window.total w.w_slo_miss ~horizon_s)
+            /. float_of_int answered
+          in
+          Some (miss_rate /. 0.01)
+      | _ -> None
+    in
+    match (avail_burn, p99_burn) with
+    | None, None -> []
+    | _ ->
+        [
+          ( "slo",
+            Json.Obj
+              ((match p99_burn with
+               | Some b -> [ ("p99_burn_rate", Json.Float b) ]
+               | None -> [])
+              @
+              match avail_burn with
+              | Some b -> [ ("availability_burn_rate", Json.Float b) ]
+              | None -> []) );
+        ]
+  in
+  let strategies =
+    let rows =
+      Mutex.protect w.w_strategies_lock (fun () ->
+          Hashtbl.fold (fun name c acc -> (name, c) :: acc) w.w_strategies [])
+    in
+    rows
+    |> List.filter_map (fun (name, c) ->
+           match Window.total c ~horizon_s with
+           | 0 -> None
+           | n -> Some (name, Json.Int n))
+    |> List.sort compare
+  in
+  Json.Obj
+    ([
+       ("qps", Json.Float (Window.rate w.w_answered ~horizon_s));
+       ("answered", Json.Int answered);
+       ("p50_s", q 0.5);
+       ("p90_s", q 0.9);
+       ("p99_s", q 0.99);
+       ("error_rate", rate errors answered);
+       ("shed_rate", rate shed answered);
+       ("degraded_rate", rate (Window.total w.w_degraded ~horizon_s) answered);
+       ("cache_hit_rate", rate hits (hits + misses));
+       ("slow", Json.Int (Window.total w.w_slow ~horizon_s));
+       ("worker_restarts", Json.Int (Window.total w.w_restarts ~horizon_s));
+       ("strategies", Json.Obj strategies);
+     ]
+    @ slo)
+
+let window_json t =
+  match t.windows with
+  | None -> Json.Null
+  | Some w ->
+      Json.Obj
+        [
+          ("10s", horizon_json t w ~horizon_s:10.0);
+          ("60s", horizon_json t w ~horizon_s:60.0);
+          ("300s", horizon_json t w ~horizon_s:300.0);
+        ]
+
 let stats_json t =
   Json.Obj
     [
       ("uptime_s", Json.Float (uptime_s t));
+      ("started_unix_s", Json.Float t.started_unix_s);
       ("workers", Json.Int (Par.Service.domains t.service));
       ("queue_capacity", Json.Int (Par.Service.capacity t.service));
       ("queue_depth", Json.Int (Par.Service.depth t.service));
@@ -447,7 +727,102 @@ let stats_json t =
               | Some r -> Json.Float r
               | None -> Json.Null );
           ] );
+      ("window", window_json t);
+      ( "chaos",
+        if not (Chaos.armed ()) then Json.Null
+        else
+          Json.Obj
+            ([
+               ( "spec",
+                 match Chaos.spec () with
+                 | Some sp -> Json.Str (Chaos.render_spec sp)
+                 | None -> Json.Null );
+               ("injections", Json.Int (Chaos.injections ()));
+             ]
+            @
+            match Chaos.sites () with
+            | Some sites ->
+                [ ("sites", Json.List (List.map (fun s -> Json.Str s) sites)) ]
+            | None -> []) );
+      ( "slow_query",
+        match t.slowlog with
+        | None -> Json.Null
+        | Some sl ->
+            Json.Obj
+              [
+                ("threshold_ms", Json.Float (Slowlog.threshold_s sl *. 1e3));
+                ("logged", Json.Int (Slowlog.logged sl));
+                ( "last_request_id",
+                  match Atomic.get t.last_slow_rid with
+                  | Some rid -> Json.Str rid
+                  | None -> Json.Null );
+              ] );
     ]
+
+(* The OpenMetrics exposition: the process-wide registry snapshot plus
+   this server's cumulative counters and rolling 60s gauges, and info
+   metrics carrying the most recent request ids so a scrape can be
+   joined against the trace and the slow-query log. *)
+let openmetrics_text t =
+  let registry = Openmetrics.of_metrics_json (Metrics.to_json ()) in
+  let serve =
+    [
+      Openmetrics.Gauge ("probdb_serve_uptime_seconds", uptime_s t);
+      Openmetrics.Gauge ("probdb_serve_started_unix_seconds", t.started_unix_s);
+      Openmetrics.Counter
+        ("probdb_serve_requests", float_of_int (Atomic.get t.c_requests));
+      Openmetrics.Counter
+        ("probdb_serve_eval_ok", float_of_int (Atomic.get t.c_eval_ok));
+      Openmetrics.Counter
+        ("probdb_serve_eval_error", float_of_int (Atomic.get t.c_eval_error));
+      Openmetrics.Counter
+        ("probdb_serve_shed", float_of_int (Atomic.get t.c_shed));
+      Openmetrics.Counter
+        ( "probdb_serve_degraded_under_load",
+          float_of_int (Atomic.get t.c_degraded_load) );
+      Openmetrics.Gauge
+        ( "probdb_serve_queue_depth",
+          float_of_int (Par.Service.depth t.service) );
+    ]
+  in
+  let windowed =
+    match t.windows with
+    | None -> []
+    | Some w ->
+        let h = 60.0 in
+        let lat = Window.snapshot w.w_latency ~horizon_s:h in
+        let answered = Window.total w.w_answered ~horizon_s:h in
+        let g name v = Openmetrics.Gauge ("probdb_serve_1m_" ^ name, v) in
+        let q p =
+          if Histogram.count lat = 0 then []
+          else [ g (Printf.sprintf "p%.0f_seconds" (p *. 100.0)) (Histogram.quantile lat p) ]
+        in
+        [ g "qps" (Window.rate w.w_answered ~horizon_s:h) ]
+        @ q 0.5 @ q 0.9 @ q 0.99
+        @ (if answered = 0 then []
+           else
+             let frac c =
+               float_of_int (Window.total c ~horizon_s:h)
+               /. float_of_int answered
+             in
+             [
+               g "error_rate" (frac w.w_errors);
+               g "shed_rate" (frac w.w_shed);
+               g "degraded_rate" (frac w.w_degraded);
+             ])
+  in
+  let rids =
+    (match Atomic.get t.last_rid with
+    | Some rid ->
+        [ Openmetrics.Info ("probdb_last_request", [ ("request_id", rid) ]) ]
+    | None -> [])
+    @
+    match Atomic.get t.last_slow_rid with
+    | Some rid ->
+        [ Openmetrics.Info ("probdb_last_slow_request", [ ("request_id", rid) ]) ]
+    | None -> []
+  in
+  Openmetrics.render (registry @ serve @ windowed @ rids)
 
 let capture_trace t ~ms =
   with_lock t.trace_lock (fun () ->
@@ -472,17 +847,29 @@ let submit_eval t conn ~id (r : Protocol.eval_request) =
     && depth_now >= t.cfg.degrade_above
     && not r.Protocol.no_degrade
   in
+  (* Correlation id: honour the client's, mint one otherwise. Telemetry
+     off ([--no-telemetry], the overhead-bench baseline) skips minting but
+     still propagates a client-supplied id. *)
+  let rid =
+    match r.Protocol.request_id with
+    | Some _ as rid -> rid
+    | None -> if t.cfg.telemetry then Some (Request_id.mint ()) else None
+  in
   pending_incr conn;
   let job =
     {
       j_conn = conn;
       j_id = id;
       j_req = r;
+      j_rid = rid;
       j_degrade_load = degrade_load;
       j_enqueued_s = Clock.now ();
       j_done = Atomic.make false;
     }
   in
+  (match rid with
+  | Some rid -> Trace.instant ~cat:"request" ("req:" ^ rid ^ ":admitted")
+  | None -> ());
   match Par.Service.try_submit t.service job with
   | `Accepted depth ->
       Metrics.set m_queue_depth (float_of_int depth);
@@ -493,16 +880,22 @@ let submit_eval t conn ~id (r : Protocol.eval_request) =
   | `Overloaded ->
       Atomic.incr t.c_shed;
       Metrics.incr m_shed;
+      (match t.windows with Some w -> Window.incr w.w_shed | None -> ());
+      (match rid with
+      | Some rid -> Trace.instant ~cat:"request" ("req:" ^ rid ^ ":shed")
+      | None -> ());
       ignore
-        (reply job
-           (Protocol.response_error ~id
+        (reply t job
+           (Protocol.response_error ?request_id:rid ~id
               (Protocol.Overloaded
                  {
                    depth = Par.Service.depth t.service;
                    capacity = Par.Service.capacity t.service;
                  })))
   | `Closed ->
-      ignore (reply job (Protocol.response_error ~id Protocol.Shutting_down))
+      ignore
+        (reply t job
+           (Protocol.response_error ?request_id:rid ~id Protocol.Shutting_down))
 
 (* ---------- lifecycle (mutually recursive with request handling:
    the [shutdown] op stops the server that is handling it) ---------- *)
@@ -519,8 +912,12 @@ let rec handle_request t conn line =
           send conn
             (Protocol.response_ok ~id (Json.Obj [ ("pong", Json.Bool true) ]))
       | Protocol.Stats -> send conn (Protocol.response_ok ~id (stats_json t))
-      | Protocol.Metrics ->
+      | Protocol.Metrics { openmetrics = false } ->
           send conn (Protocol.response_ok ~id (Metrics.to_json ()))
+      | Protocol.Metrics { openmetrics = true } ->
+          send conn
+            (Protocol.response_ok ~id
+               (Json.Obj [ ("openmetrics", Json.Str (openmetrics_text t)) ]))
       | Protocol.Trace { ms } ->
           send conn (Protocol.response_ok ~id (capture_trace t ~ms))
       | Protocol.Shutdown { drain } ->
@@ -649,13 +1046,21 @@ and stop_ ~mode t =
     List.iter
       (fun job ->
         ignore
-          (reply job (Protocol.response_error ~id:job.j_id Protocol.Shutting_down)))
+          (reply t job
+             (Protocol.response_error ?request_id:job.j_rid ~id:job.j_id
+                Protocol.Shutting_down)))
       dropped;
     let conns =
       with_lock t.conns_lock (fun () ->
           Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
     in
     List.iter (fun c -> close_conn t c) conns;
+    (match t.om_listener with
+    | Some l ->
+        Openmetrics.stop l;
+        t.om_listener <- None
+    | None -> ());
+    (match t.slowlog with Some sl -> Slowlog.close sl | None -> ());
     t.stopped <- true
   end
 
@@ -715,14 +1120,28 @@ let start ?(config = default_config) db =
         match !t_cell with
         | Some t ->
             if
-              reply job
-                (Protocol.response_error ~id:job.j_id
+              reply t job
+                (Protocol.response_error ?request_id:job.j_rid ~id:job.j_id
                    (Protocol.Internal
                       "worker lost (crash or stall); request abandoned, \
                        worker restarted"))
-            then Atomic.incr t.c_eval_error
+            then begin
+              Atomic.incr t.c_eval_error;
+              (* the doomed request still gets its full telemetry trail:
+                 error window, trace instant, slow-query record — all
+                 keyed by the same correlation id as the typed reply *)
+              let stats = Stats.create () in
+              stats.Stats.query <- Some job.j_req.Protocol.query;
+              stats.Stats.request_id <- job.j_rid;
+              record_outcome t job ~stats ~degraded_load:false
+                ~queue_wait_s:0.0 ~verdict:"doomed" ~ok:false
+            end
         | None -> ())
-      ~on_restart:(fun () -> Metrics.incr m_worker_restarts)
+      ~on_restart:(fun () ->
+        Metrics.incr m_worker_restarts;
+        match !t_cell with
+        | Some { windows = Some w; _ } -> Window.incr w.w_restarts
+        | _ -> ())
       ~capacity:(max 1 config.queue_capacity)
       (fun job ->
         match !t_cell with Some t -> run_job t job | None -> ())
@@ -737,6 +1156,12 @@ let start ?(config = default_config) db =
     | None -> Prepare.Cache.create_default ()
   in
   let req_base, base_degrade = engine_base_of config ~guard ~plan_cache in
+  let slowlog =
+    match config.slow_query_ms with
+    | Some threshold_ms ->
+        Some (Slowlog.create ?path:config.slow_query_log ~threshold_ms ())
+    | None -> None
+  in
   let t =
     {
       cfg = config;
@@ -750,6 +1175,12 @@ let start ?(config = default_config) db =
       service;
       state = Atomic.make Running;
       started_s = Clock.now ();
+      started_unix_s = Unix.gettimeofday ();
+      windows = (if config.telemetry then Some (make_windows ()) else None);
+      slowlog;
+      om_listener = None;
+      last_rid = Atomic.make None;
+      last_slow_rid = Atomic.make None;
       conns = Hashtbl.create 16;
       conns_lock = Mutex.create ();
       accept_thread = None;
@@ -766,7 +1197,16 @@ let start ?(config = default_config) db =
     }
   in
   t_cell := Some t;
+  (match config.openmetrics_port with
+  | Some p ->
+      t.om_listener <-
+        Some
+          (Openmetrics.serve_http ~host:config.host ~port:p ~body:(fun () ->
+               openmetrics_text t))
+  | None -> ());
   t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
   t
 
 let port t = t.bound_port
+
+let openmetrics_port t = Option.map Openmetrics.om_port t.om_listener

@@ -42,12 +42,32 @@ type config = {
           {!Probdb_par.Par.Service}); [<= 0] disables the watchdog *)
   engine : Probdb_engine.Engine.config;
       (** base evaluation config; per-request fields override it *)
+  telemetry : bool;
+      (** master switch for the windowed metrics and request-id minting
+          (default [true]); the overhead bench's baseline turns it off.
+          Client-supplied request ids still propagate when off. *)
+  slow_query_ms : float option;
+      (** log requests at/above this latency as NDJSON records; [0] logs
+          every request; [None] (default) disables the log *)
+  slow_query_log : string option;
+      (** slow-query log path (append mode); [None] logs to stderr *)
+  openmetrics_port : int option;
+      (** serve the OpenMetrics text exposition over HTTP on this extra
+          port ([0] picks an ephemeral one, see {!openmetrics_port}) *)
+  slo_p99_ms : float option;
+      (** latency objective: requests over this count against a 1%% miss
+          budget, exposed as the windowed [p99_burn_rate] gauge *)
+  slo_availability : float option;
+      (** availability objective in [(0, 1)], e.g. [0.999]: errors + shed
+          against its failure budget is the windowed
+          [availability_burn_rate] gauge *)
 }
 
 val default_config : config
 (** Loopback, port 7433, 2 workers, queue capacity 64, degrade watermark
     48, no default deadline, 30s worker stall deadline,
-    {!Probdb_engine.Engine.default_config}. *)
+    {!Probdb_engine.Engine.default_config}; telemetry on, no slow-query
+    log, no OpenMetrics listener, no SLOs. *)
 
 type t
 
@@ -58,6 +78,16 @@ val start : ?config:config -> Probdb_core.Tid.t -> t
 
 val port : t -> int
 (** The actually-bound port — the way to find an ephemeral one. *)
+
+val openmetrics_port : t -> int option
+(** The bound port of the OpenMetrics HTTP listener, when configured. *)
+
+val openmetrics_text : t -> string
+(** The OpenMetrics text exposition served on the {!openmetrics_port}
+    listener and by the [metrics]/[format=openmetrics] protocol op: the
+    process-wide {!Probdb_obs.Metrics} registry, this server's cumulative
+    counters, rolling 1m gauges, and info metrics carrying the most
+    recent (slow) request ids. *)
 
 val plan_cache : t -> Probdb_prepare.Prepare.Cache.t
 (** The compiled-plan cache shared by every worker domain. An explicitly
@@ -99,4 +129,7 @@ val stats_json : t -> Probdb_obs.Json.t
 (** The live server snapshot behind the [stats] protocol op (schema:
     the [serve] block of [docs/STATS.md]): connection and request
     counters, queue depth and capacity, shed and degraded-under-load
-    totals, uptime. *)
+    totals, uptime and wall-clock start time, the rolling
+    10s/60s/300s [window] block (qps, latency quantiles, error / shed /
+    degraded / cache-hit rates, strategy wins, SLO burn rates), and the
+    [chaos] and [slow_query] status blocks. *)

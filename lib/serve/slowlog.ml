@@ -1,0 +1,59 @@
+(* Structured slow-query log: one NDJSON record per request whose
+   latency met the threshold, appended to a file (or stderr) under a
+   mutex so concurrent workers never interleave partial lines. A
+   threshold of 0 logs every request — the firehose mode the request-id
+   propagation tests and `probdb top` demos rely on. *)
+
+module Json = Probdb_obs.Json
+
+type sink = Fd of Unix.file_descr * bool (* close on [close]? *)
+
+type t = {
+  threshold_s : float;
+  sink : sink;
+  lock : Mutex.t;
+  logged : int Atomic.t;
+}
+
+let create ?path ~threshold_ms () =
+  if not (threshold_ms >= 0.0) then
+    invalid_arg "Slowlog.create: threshold_ms must be >= 0";
+  let sink =
+    match path with
+    | None -> Fd (Unix.stderr, false)
+    | Some p ->
+        Fd
+          ( Unix.openfile p [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644,
+            true )
+  in
+  { threshold_s = threshold_ms /. 1e3;
+    sink;
+    lock = Mutex.create ();
+    logged = Atomic.make 0 }
+
+let threshold_s t = t.threshold_s
+
+let should_log t ~latency_s = latency_s >= t.threshold_s
+
+(* A single [write] per record keeps lines atomic for typical record
+   sizes even when the sink is shared stderr. *)
+let log t json =
+  let line = Json.to_string json ^ "\n" in
+  let buf = Bytes.unsafe_of_string line in
+  let (Fd (fd, _)) = t.sink in
+  Mutex.protect t.lock (fun () ->
+      let len = Bytes.length buf in
+      let pos = ref 0 in
+      while !pos < len do
+        match Unix.write fd buf !pos (len - !pos) with
+        | n -> pos := !pos + n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done);
+  Atomic.incr t.logged
+
+let logged t = Atomic.get t.logged
+
+let close t =
+  match t.sink with
+  | Fd (fd, true) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | Fd (_, false) -> ()

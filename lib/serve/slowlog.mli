@@ -1,0 +1,27 @@
+(** The slow-query log: NDJSON records for requests at or above a latency
+    threshold, written atomically line-by-line to a file or stderr.
+    Record schema is documented in [docs/SERVING.md] (Monitoring). *)
+
+type t
+
+val create : ?path:string -> threshold_ms:float -> unit -> t
+(** Open the log. Without [path], records go to stderr; with it, the file
+    is opened append-mode (created [0o644] if missing). A [threshold_ms]
+    of [0] logs every request.
+    @raise Invalid_argument if [threshold_ms < 0].
+    @raise Unix.Unix_error if the file cannot be opened. *)
+
+val threshold_s : t -> float
+
+val should_log : t -> latency_s:float -> bool
+(** [latency_s >= threshold]. *)
+
+val log : t -> Probdb_obs.Json.t -> unit
+(** Append one record as a single NDJSON line. Thread-safe; lines are
+    never interleaved. *)
+
+val logged : t -> int
+(** Records written since {!create}. *)
+
+val close : t -> unit
+(** Close the file sink (a no-op for stderr). *)

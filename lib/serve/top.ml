@@ -1,0 +1,171 @@
+(* `probdb top HOST:PORT`: a refreshing terminal dashboard over the
+   server's `stats` op. Rendering is a pure function of the stats
+   snapshot plus a short qps history (so it is unit-testable without a
+   terminal); [run] owns the poll loop, the client and the ANSI clears. *)
+
+module Json = Probdb_obs.Json
+
+(* eight-level block sparkline; values are scaled against the series max *)
+let spark_levels = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                      "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                      "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+let sparkline values =
+  let vmax = List.fold_left Float.max 0.0 values in
+  values
+  |> List.map (fun v ->
+         if vmax <= 0.0 then spark_levels.(0)
+         else
+           let i =
+             int_of_float
+               (Float.round (v /. vmax *. float_of_int (Array.length spark_levels - 1)))
+           in
+           spark_levels.(max 0 (min (Array.length spark_levels - 1) i)))
+  |> String.concat ""
+
+(* JSON drill helpers tolerant of Null/missing blocks: the dashboard must
+   render something sensible against any server version. *)
+let member path j =
+  List.fold_left
+    (fun j name -> Option.bind j (Json.member name))
+    (Some j) path
+
+let num path j =
+  match member path j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let fnum ?(digits = 1) path j =
+  match num path j with
+  | Some f -> Printf.sprintf "%.*f" digits f
+  | None -> "-"
+
+let inum path j =
+  match num path j with Some f -> Printf.sprintf "%.0f" f | None -> "-"
+
+let ms path j =
+  match num path j with
+  | Some s -> Printf.sprintf "%.1fms" (s *. 1e3)
+  | None -> "-"
+
+let pct path j =
+  match num path j with
+  | Some r -> Printf.sprintf "%.1f%%" (r *. 100.0)
+  | None -> "-"
+
+let strategy_rows j =
+  match member [ "window"; "60s"; "strategies" ] j with
+  | Some (Json.Obj kvs) ->
+      kvs
+      |> List.filter_map (fun (name, v) ->
+             match v with Json.Int n -> Some (name, n) | _ -> None)
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+  | _ -> []
+
+let render ~addr ~history stats =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "probdb top — %s — uptime %ss" addr (inum [ "uptime_s" ] stats);
+  line "";
+  line "  qps  %s  %s (1m)" (sparkline history)
+    (fnum ~digits:1 [ "window"; "60s"; "qps" ] stats);
+  line "  latency (1m)   p50 %s   p90 %s   p99 %s"
+    (ms [ "window"; "60s"; "p50_s" ] stats)
+    (ms [ "window"; "60s"; "p90_s" ] stats)
+    (ms [ "window"; "60s"; "p99_s" ] stats);
+  line "  rates  (1m)    err %s   shed %s   degraded %s   cache-hit %s"
+    (pct [ "window"; "60s"; "error_rate" ] stats)
+    (pct [ "window"; "60s"; "shed_rate" ] stats)
+    (pct [ "window"; "60s"; "degraded_rate" ] stats)
+    (pct [ "window"; "60s"; "cache_hit_rate" ] stats);
+  (match
+     ( num [ "window"; "60s"; "slo"; "p99_burn_rate" ] stats,
+       num [ "window"; "60s"; "slo"; "availability_burn_rate" ] stats )
+   with
+  | None, None -> ()
+  | p99, avail ->
+      let show = function
+        | Some b -> Printf.sprintf "%.2fx" b
+        | None -> "-"
+      in
+      line "  slo burn (1m)  p99 %s   availability %s" (show p99) (show avail));
+  line "";
+  line "  queue %s/%s (degrade above %s)   in-flight %s   workers %s"
+    (inum [ "queue_depth" ] stats)
+    (inum [ "queue_capacity" ] stats)
+    (inum [ "degrade_above" ] stats)
+    (inum [ "in_flight" ] stats)
+    (inum [ "workers" ] stats);
+  line
+    "  totals  requests %s   ok %s   error %s   shed %s   degraded %s   \
+     restarts %s"
+    (inum [ "requests" ] stats)
+    (inum [ "eval_ok" ] stats)
+    (inum [ "eval_error" ] stats)
+    (inum [ "shed" ] stats)
+    (inum [ "degraded_under_load" ] stats)
+    (inum [ "worker_restarts" ] stats);
+  (match strategy_rows stats with
+  | [] -> ()
+  | rows ->
+      line "";
+      line "  strategy wins (1m)";
+      List.iter (fun (name, n) -> line "    %-24s %d" name n) rows);
+  (match member [ "chaos" ] stats with
+  | Some (Json.Obj _ as c) ->
+      line "";
+      line "  chaos  spec %s   injections %s"
+        (match member [ "spec" ] c with Some (Json.Str s) -> s | _ -> "-")
+        (inum [ "injections" ] c)
+  | _ -> ());
+  (match member [ "slow_query" ] stats with
+  | Some (Json.Obj _ as s) ->
+      line "";
+      line "  slow-query  threshold %sms   logged %s   last id %s"
+        (fnum ~digits:0 [ "threshold_ms" ] s)
+        (inum [ "logged" ] s)
+        (match member [ "last_request_id" ] s with
+        | Some (Json.Str rid) -> rid
+        | _ -> "-")
+  | _ -> ());
+  Buffer.contents b
+
+let fetch_stats client =
+  let resp = Client.call client [ ("op", Json.Str "stats") ] in
+  if Client.ok resp then Some (Client.result resp) else None
+
+let clear_screen = "\027[2J\027[H"
+
+(* Poll loop: one stats call per frame, qps history capped at the
+   sparkline width. [frames] bounds the run for tests and --once;
+   [None] runs until the connection drops or the user interrupts. *)
+let run ?(host = "127.0.0.1") ~port ?(interval_s = 1.0) ?frames () =
+  let addr = Printf.sprintf "%s:%d" host port in
+  let width = 30 in
+  let history = ref [] in
+  let client = Client.connect ~host port in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  let rec loop n =
+    match frames with
+    | Some f when n >= f -> ()
+    | _ -> (
+        match fetch_stats client with
+        | None -> prerr_endline "probdb top: stats request failed"
+        | Some stats ->
+            let qps =
+              Option.value ~default:0.0 (num [ "window"; "10s"; "qps" ] stats)
+            in
+            history := !history @ [ qps ];
+            if List.length !history > width then
+              history :=
+                List.filteri (fun i _ -> i >= List.length !history - width)
+                  !history;
+            print_string clear_screen;
+            print_string (render ~addr ~history:!history stats);
+            flush stdout;
+            (match frames with Some f when n + 1 >= f -> () | _ ->
+              Unix.sleepf interval_s);
+            loop (n + 1))
+  in
+  loop 0

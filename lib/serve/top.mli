@@ -1,0 +1,23 @@
+(** [probdb top HOST:PORT]: a refreshing terminal dashboard over the
+    server's [stats] op — qps sparkline, rolling latency quantiles and
+    rates, strategy-win table, chaos and slow-query status. *)
+
+val sparkline : float list -> string
+(** Eight-level block sparkline, scaled to the series maximum. *)
+
+val render : addr:string -> history:float list -> Probdb_obs.Json.t -> string
+(** Render one frame from a [stats] snapshot and the recent qps history.
+    Pure — exposed for tests. Missing or [Null] blocks render as ["-"]. *)
+
+val run :
+  ?host:string ->
+  port:int ->
+  ?interval_s:float ->
+  ?frames:int ->
+  unit ->
+  unit
+(** Poll [stats] every [interval_s] (default 1s) and repaint the
+    terminal. [frames] bounds the number of repaints (for [--once] and
+    tests); without it the loop runs until the connection drops or the
+    process is interrupted.
+    @raise Unix.Unix_error if the server cannot be reached. *)

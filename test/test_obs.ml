@@ -227,8 +227,187 @@ let test_stats_config_echo () =
   | Some Json.Null -> Alcotest.fail "config not populated by the engine"
   | _ -> Alcotest.fail "config section missing from stats JSON"
 
+(* ---------- histogram merge properties ----------
+
+   The windowed aggregator (Obs.Window) computes every rolling view by
+   merging per-bucket histograms, so merge must be a commutative monoid
+   up to observable state (counts, sum, quantiles — compared via the
+   stable JSON projection). *)
+
+module Histogram = Probdb_obs.Histogram
+module Window = Probdb_obs.Window
+
+let hist_of values =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) values;
+  h
+
+(* Fingerprint of the exactly-mergeable state: bucket counts, count,
+   min/max and the quantiles derived from them. [sum]/[mean] are float
+   accumulations whose last bits depend on addition order, so they are
+   checked separately with a relative tolerance. *)
+let hist_fingerprint h =
+  match Histogram.to_json h with
+  | Json.Obj fields ->
+      Json.to_string
+        (Json.Obj
+           (List.filter (fun (k, _) -> k <> "sum" && k <> "mean") fields))
+  | j -> Json.to_string j
+
+let close_sums a b =
+  let sa = Histogram.sum a and sb = Histogram.sum b in
+  Float.abs (sa -. sb) <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs sa) (Float.abs sb))
+
+let merged a b =
+  let into = Histogram.copy a in
+  Histogram.merge_into ~into b;
+  into
+
+let gen_values =
+  QCheck.Gen.(
+    list_size (int_bound 40)
+      (oneof
+         [
+           float_bound_exclusive 1.0;
+           map (fun f -> f *. 1e-6) (float_bound_exclusive 1.0);
+           map (fun f -> f *. 1e6) (float_bound_exclusive 1.0);
+           return 0.0;
+         ]))
+
+let arb_values = QCheck.make ~print:QCheck.Print.(list string_of_float) gen_values
+
+let prop_merge_commutative =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"histogram merge commutes" ~count:100
+       (QCheck.pair arb_values arb_values)
+       (fun (xs, ys) ->
+         let a = hist_of xs and b = hist_of ys in
+         let ab = merged a b and ba = merged b a in
+         hist_fingerprint ab = hist_fingerprint ba && close_sums ab ba))
+
+let prop_merge_associative =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"histogram merge associates" ~count:100
+       (QCheck.triple arb_values arb_values arb_values)
+       (fun (xs, ys, zs) ->
+         let a () = hist_of xs and b () = hist_of ys and c () = hist_of zs in
+         let l = merged (merged (a ()) (b ())) (c ())
+         and r = merged (a ()) (merged (b ()) (c ())) in
+         hist_fingerprint l = hist_fingerprint r && close_sums l r))
+
+(* Merging many sparse histograms must answer quantiles within the
+   documented per-histogram error bound: merge adds bucket counts
+   exactly, so sparseness cannot degrade accuracy. 2000 observations of
+   [i] spread one-per-histogram across 200 merges; the p-quantile of
+   1..n is within relative_error of p*n. *)
+let test_merge_quantile_bounds () =
+  let n = 2000 in
+  let shards = Array.init 200 (fun _ -> Histogram.create ()) in
+  for i = 1 to n do
+    Histogram.add shards.(i mod 200) (float_of_int i)
+  done;
+  let all = Histogram.create () in
+  Array.iter (fun h -> Histogram.merge_into ~into:all h) shards;
+  Alcotest.(check int) "merged count" n (Histogram.count all);
+  List.iter
+    (fun p ->
+      let want = p *. float_of_int n in
+      let got = Histogram.quantile all p in
+      let rel = Float.abs (got -. want) /. want in
+      if rel > Histogram.relative_error +. 0.01 then
+        Alcotest.failf "p%.0f: got %g want %g (rel %.3f)" (p *. 100.0) got want
+          rel)
+    [ 0.5; 0.9; 0.99 ]
+
+(* ---------- windowed aggregation ---------- *)
+
+let test_window_counter_basics () =
+  let c = Window.counter () in
+  Window.add c 3;
+  Window.incr c;
+  Alcotest.(check int) "in-horizon total" 4 (Window.total c ~horizon_s:10.0);
+  Alcotest.(check bool) "rate positive" true (Window.rate c ~horizon_s:10.0 > 0.0)
+
+(* Events age out once the ring has rotated past them: with 4 x 50ms
+   buckets the ring spans 200ms, so after 400ms the count is gone while
+   a cumulative counter would still hold it. *)
+let test_window_counter_expiry () =
+  let c = Window.counter ~buckets:4 ~bucket_s:0.05 () in
+  Window.add c 7;
+  Alcotest.(check int) "visible now" 7 (Window.total c ~horizon_s:1.0);
+  Unix.sleepf 0.4;
+  Alcotest.(check int) "expired" 0 (Window.total c ~horizon_s:1.0)
+
+let test_window_histogram () =
+  let h = Window.histogram () in
+  List.iter (Window.observe h) [ 0.01; 0.02; 0.03; 0.04; 0.05 ];
+  let snap = Window.snapshot h ~horizon_s:10.0 in
+  Alcotest.(check int) "all observed" 5 (Histogram.count snap);
+  let p50 = Histogram.quantile snap 0.5 in
+  Alcotest.(check bool) "median in range" true (p50 > 0.02 && p50 < 0.045)
+
+let test_window_histogram_expiry () =
+  let h = Window.histogram ~buckets:4 ~bucket_s:0.05 () in
+  Window.observe h 1.0;
+  Unix.sleepf 0.4;
+  Alcotest.(check int) "expired" 0
+    (Histogram.count (Window.snapshot h ~horizon_s:1.0))
+
+let test_window_invalid_args () =
+  Alcotest.check_raises "zero buckets"
+    (Invalid_argument "Window.counter: buckets must be >= 1") (fun () ->
+      ignore (Window.counter ~buckets:0 ()));
+  Alcotest.check_raises "bad bucket width"
+    (Invalid_argument "Window.histogram: bucket_s must be > 0") (fun () ->
+      ignore (Window.histogram ~bucket_s:0.0 ()))
+
+(* ---------- request ids ---------- *)
+
+module Request_id = Probdb_obs.Request_id
+
+let test_request_id_mint () =
+  let a = Request_id.mint () and b = Request_id.mint () in
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check int) "16 hex chars" 16 (String.length a);
+  Alcotest.(check bool) "valid" true (Request_id.valid a && Request_id.valid b)
+
+let test_request_id_valid () =
+  List.iter
+    (fun (s, want) ->
+      Alcotest.(check bool) (Printf.sprintf "valid %S" s) want
+        (Request_id.valid s))
+    [
+      ("abc-123", true);
+      ("", false);
+      ("has space", false);
+      ("tab\there", false);
+      (String.make 128 'x', true);
+      (String.make 129 'x', false);
+      ("caf\xc3\xa9", false);
+    ]
+
 let suites =
   [
+    ( "window",
+      [
+        prop_merge_commutative;
+        prop_merge_associative;
+        Alcotest.test_case "merged sparse histograms keep quantile bounds"
+          `Quick test_merge_quantile_bounds;
+        Alcotest.test_case "windowed counter: totals and rates" `Quick
+          test_window_counter_basics;
+        Alcotest.test_case "windowed counter: events age out" `Quick
+          test_window_counter_expiry;
+        Alcotest.test_case "windowed histogram: merge-on-read quantiles" `Quick
+          test_window_histogram;
+        Alcotest.test_case "windowed histogram: events age out" `Quick
+          test_window_histogram_expiry;
+        Alcotest.test_case "window: invalid parameters rejected" `Quick
+          test_window_invalid_args;
+        Alcotest.test_case "request ids: minting" `Quick test_request_id_mint;
+        Alcotest.test_case "request ids: validation" `Quick
+          test_request_id_valid;
+      ] );
     ( "obs",
       [
         Alcotest.test_case "safe query: zero inclusion-exclusion" `Quick

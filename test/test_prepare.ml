@@ -246,7 +246,8 @@ let with_server ?config db f =
 
 let plain_request query =
   { Protocol.query; free = []; meth = None; deadline_ms = None; samples = None;
-    eps = None; delta = None; seed = None; no_degrade = false; want_stats = false }
+    eps = None; delta = None; seed = None; no_degrade = false;
+    want_stats = false; request_id = None }
 
 let test_serve_engine_config_hoisted () =
   with_server (small_db ()) @@ fun server _port ->

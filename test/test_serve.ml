@@ -539,6 +539,228 @@ let test_queued_get_shutting_down_on_stop_now () =
   Alcotest.(check bool) "queued requests answered shutting-down" true
     (List.mem "shutting-down" !classes)
 
+(* ---------- operational telemetry ---------- *)
+
+module Trace = Probdb_obs.Trace
+module Chaos = Probdb_chaos.Chaos
+module Request_id = Probdb_obs.Request_id
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+(* Telemetry recording happens on the worker after the reply is sent, so
+   give the background write a moment to land. *)
+let eventually ?(timeout_s = 2.0) pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let test_request_id_roundtrip () =
+  with_server (small_db ()) @@ fun _server port ->
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* a client-supplied id is echoed verbatim on the reply *)
+  let resp =
+    Client.eval ~fields:[ ("request_id", Json.Str "rid-echo-1") ] c
+      "exists x. R(x)"
+  in
+  Alcotest.(check bool) "eval ok" true (Client.ok resp);
+  Alcotest.(check (option string)) "echoed" (Some "rid-echo-1")
+    (Client.request_id resp);
+  (* the server mints one when the client does not supply it *)
+  (match Client.request_id (Client.eval c "exists x. R(x)") with
+  | Some rid ->
+      Alcotest.(check bool) "minted id valid" true (Request_id.valid rid)
+  | None -> Alcotest.fail "no server-minted request_id");
+  (* malformed ids are rejected typed, not silently accepted *)
+  expect_error ~cls:"bad-request" ~code:10
+    (Client.eval ~fields:[ ("request_id", Json.Str "has space") ] c
+       "exists x. R(x)")
+
+let test_stats_window_and_uptime () =
+  with_server (small_db ()) @@ fun _server port ->
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "eval ok" true (Client.ok (Client.eval c h0))
+  done;
+  let stats = Client.result (Client.call c [ ("op", Json.Str "stats") ]) in
+  (* cumulative counters stay exact *)
+  Alcotest.(check bool) "uptime present" true
+    (float_of "uptime_s" stats >= 0.0);
+  Alcotest.(check bool) "start time sane" true
+    (float_of "started_unix_s" stats > 1e9);
+  (* rolling windows have moved under the load just applied *)
+  let window = get "window" stats in
+  List.iter (fun h -> ignore (get h window)) [ "10s"; "60s"; "300s" ];
+  let w10 = get "10s" window in
+  Alcotest.(check bool) "10s answered moved" true
+    (float_of "answered" w10 >= 5.0);
+  Alcotest.(check bool) "10s qps positive" true (float_of "qps" w10 > 0.0);
+  Alcotest.(check bool) "10s p99 present" true (float_of "p99_s" w10 > 0.0)
+
+(* One request through `--slow-query-ms 0` leaves the same correlation id
+   on the typed reply, the slow-query NDJSON record, the trace instants
+   and the OpenMetrics exposition — the issue's acceptance criterion. *)
+let test_request_id_correlation () =
+  let log = Filename.temp_file "probdb_slow" ".ndjson" in
+  Fun.protect ~finally:(fun () -> try Sys.remove log with Sys_error _ -> ())
+  @@ fun () ->
+  let config =
+    { Serve.default_config with
+      Serve.slow_query_ms = Some 0.0;
+      slow_query_log = Some log }
+  in
+  Trace.enable ();
+  Fun.protect ~finally:Trace.disable @@ fun () ->
+  with_server ~config (small_db ()) @@ fun server port ->
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let rid = "rid-corr-7" in
+  let resp =
+    Client.eval ~fields:[ ("request_id", Json.Str rid) ] c "exists x. R(x)"
+  in
+  Alcotest.(check bool) "eval ok" true (Client.ok resp);
+  Alcotest.(check (option string)) "reply correlated" (Some rid)
+    (Client.request_id resp);
+  (* slow-query record (threshold 0 logs everything) *)
+  Alcotest.(check bool) "slow-query record carries id" true
+    (eventually (fun () ->
+         contains_sub (read_file log)
+           (Printf.sprintf "\"request_id\":%s" (Json.to_string (Json.Str rid)))));
+  let slow_line =
+    match
+      List.find_opt
+        (fun l -> contains_sub l rid)
+        (String.split_on_char '\n' (read_file log))
+    with
+    | Some l -> l
+    | None -> Alcotest.fail "slow-query line vanished"
+  in
+  (match Json.of_string slow_line with
+  | Ok j ->
+      List.iter
+        (fun k -> ignore (get k j))
+        [ "ts_unix_s"; "request_id"; "query"; "verdict"; "latency_s";
+          "queue_wait_s"; "strategy"; "phases"; "chain" ]
+  | Error m -> Alcotest.failf "slow-query line not JSON: %s" m);
+  (* trace instants *)
+  let has_instant name =
+    List.exists
+      (fun (e : Trace.event) -> e.Trace.kind = Trace.Instant && e.Trace.name = name)
+      (Trace.events ())
+  in
+  Alcotest.(check bool) "trace: admitted instant" true
+    (eventually (fun () -> has_instant ("req:" ^ rid ^ ":admitted")));
+  Alcotest.(check bool) "trace: ok instant" true
+    (eventually (fun () -> has_instant ("req:" ^ rid ^ ":ok")));
+  (* OpenMetrics exposition *)
+  Alcotest.(check bool) "openmetrics carries id" true
+    (eventually (fun () ->
+         let om = Serve.openmetrics_text server in
+         contains_sub om
+           (Printf.sprintf "probdb_last_request_info{request_id=\"%s\"} 1" rid)
+         && contains_sub om
+              (Printf.sprintf
+                 "probdb_last_slow_request_info{request_id=\"%s\"} 1" rid)
+         && contains_sub om "# EOF"))
+
+(* A chaos-doomed request is answered with the typed internal error AND
+   its telemetry trail — all under the client's correlation id. The
+   chaos site allowlist keeps the fault on the worker only, so the
+   serve transport stays healthy. *)
+let test_doomed_request_carries_id () =
+  Chaos.arm ~only:[ "par.worker.crash" ] { Chaos.seed = 42; rate = 1.0 };
+  Fun.protect ~finally:Chaos.disarm @@ fun () ->
+  Trace.enable ();
+  Fun.protect ~finally:Trace.disable @@ fun () ->
+  let config = { Serve.default_config with Serve.workers = 1 } in
+  with_server ~config (small_db ()) @@ fun _server port ->
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let rid = "rid-doom-1" in
+  let resp =
+    Client.eval ~fields:[ ("request_id", Json.Str rid) ] c "exists x. R(x)"
+  in
+  expect_error ~cls:"internal" ~code:1 resp;
+  Alcotest.(check (option string)) "doomed reply correlated" (Some rid)
+    (Client.request_id resp);
+  Alcotest.(check bool) "trace: doomed instant" true
+    (eventually (fun () ->
+         List.exists
+           (fun (e : Trace.event) ->
+             e.Trace.kind = Trace.Instant
+             && e.Trace.name = "req:" ^ rid ^ ":doomed")
+           (Trace.events ())))
+
+let test_openmetrics_exposition () =
+  let config = { Serve.default_config with Serve.openmetrics_port = Some 0 } in
+  with_server ~config (small_db ()) @@ fun server port ->
+  let c = Client.connect port in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  Alcotest.(check bool) "eval ok" true (Client.ok (Client.eval c h0));
+  (* in-band: the metrics op grows an openmetrics format variant *)
+  let resp =
+    Client.call c
+      [ ("op", Json.Str "metrics"); ("format", Json.Str "openmetrics") ]
+  in
+  Alcotest.(check bool) "metrics ok" true (Client.ok resp);
+  let body =
+    match Json.member "openmetrics" (Client.result resp) with
+    | Some (Json.Str s) -> s
+    | _ -> Alcotest.fail "no openmetrics text in metrics result"
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("exposition has " ^ needle) true
+        (contains_sub body needle))
+    [ "# TYPE probdb_serve_requests counter"; "probdb_serve_requests_total";
+      "probdb_serve_uptime_seconds"; "# EOF" ];
+  (* unknown formats are rejected typed *)
+  expect_error ~cls:"bad-request" ~code:10
+    (Client.call c [ ("op", Json.Str "metrics"); ("format", Json.Str "xml") ]);
+  (* out-of-band: the HTTP exposition endpoint serves the same text *)
+  let om_port =
+    match Serve.openmetrics_port server with
+    | Some p -> p
+    | None -> Alcotest.fail "openmetrics listener has no port"
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, om_port));
+  let req = Bytes.of_string "GET /metrics HTTP/1.0\r\n\r\n" in
+  ignore (Unix.write fd req 0 (Bytes.length req));
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+  in
+  drain ();
+  let http = Buffer.contents buf in
+  Alcotest.(check bool) "HTTP 200" true (contains_sub http "200 OK");
+  Alcotest.(check bool) "openmetrics content type" true
+    (contains_sub http "application/openmetrics-text");
+  Alcotest.(check bool) "exposition complete" true (contains_sub http "# EOF")
+
 let suites =
   [
     ( "serve",
@@ -568,5 +790,15 @@ let suites =
           test_stop_now_cancels;
         Alcotest.test_case "stop now fails queued typed" `Slow
           test_queued_get_shutting_down_on_stop_now;
+        Alcotest.test_case "request ids round-trip and validate" `Quick
+          test_request_id_roundtrip;
+        Alcotest.test_case "stats: uptime and rolling windows" `Quick
+          test_stats_window_and_uptime;
+        Alcotest.test_case "one id across reply, slow log, trace, openmetrics"
+          `Quick test_request_id_correlation;
+        Alcotest.test_case "doomed request keeps its correlation id" `Quick
+          test_doomed_request_carries_id;
+        Alcotest.test_case "openmetrics exposition: in-band and HTTP" `Quick
+          test_openmetrics_exposition;
       ] );
   ]
